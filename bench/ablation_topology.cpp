@@ -1,0 +1,55 @@
+// Ablation: full circuit topology (supply / ground / bias nets as graph
+// nodes — Sec. 3's state representation) versus the partial topology that
+// Baseline B [GCN-RL] uses. The paper argues the omitted nets are
+// "indispensable parts of a circuit graph"; this harness trains the same
+// GCN-FC policy on both graphs and compares deployment accuracy.
+#include "harness.h"
+
+#include "circuit/opamp.h"
+
+using namespace crl;
+
+int main() {
+  auto scale = bench::Scale::fromEnv();
+  const int episodes = scale.episodes(1200);
+  const int evalEvery = std::max(100, episodes / 4);
+  std::printf("== Ablation: full vs partial circuit-topology graph ==\n");
+  std::printf("(two-stage Op-Amp, GCN-FC policy, %d episodes x %d seed(s))\n\n", episodes,
+              scale.seeds);
+
+  struct Variant {
+    const char* name;
+    bool fullTopology;
+  };
+  const Variant variants[] = {
+      {"full-topology", true},
+      {"partial-topology", false},
+  };
+
+  util::TextTable table({"graph", "nodes", "seed", "deploy accuracy", "mean steps (succ)"});
+  for (const auto& variant : variants) {
+    for (int seed = 0; seed < scale.seeds; ++seed) {
+      circuit::OpAmpConfig ampCfg;
+      ampCfg.fullTopologyGraph = variant.fullTopology;
+      circuit::TwoStageOpAmp amp(ampCfg);
+      envs::SizingEnv env(amp, {.maxSteps = 50});
+      util::Rng initRng(400 + static_cast<std::uint64_t>(seed));
+      auto policy = core::makePolicy(core::PolicyKind::GcnFc, env, initRng);
+      auto out = bench::trainWithCurves(env, env, *policy, episodes, evalEvery,
+                                        /*evalEpisodes=*/25,
+                                        /*seed=*/47 + static_cast<std::uint64_t>(seed));
+      bench::writeCurveCsv(scale.path(std::string("ablation_topology_") + variant.name +
+                                      "_s" + std::to_string(seed) + ".csv"),
+                           variant.name, seed, out.curve);
+      table.addRow({variant.name, std::to_string(amp.graph().nodeCount()),
+                    std::to_string(seed), util::TextTable::num(out.finalAccuracy.accuracy, 4),
+                    util::TextTable::num(out.finalAccuracy.meanStepsSuccess, 2)});
+      std::printf("%-18s (%zu graph nodes) seed %d: accuracy %.3f\n", variant.name,
+                  amp.graph().nodeCount(), seed, out.finalAccuracy.accuracy);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation: the transfer-learning contract (Sec. 3). Quantifies
+// (a) the coarse/fine reward agreement over random sizings (paper: ~+-10%),
+// (b) coarse-vs-fine wall-clock cost, and
+// (c) deployment accuracy of a coarse-trained policy evaluated in BOTH
+//     environments via core::trainWithTransfer.
+#include "harness.h"
+
+#include <chrono>
+
+#include "circuit/rfpa.h"
+#include "core/transfer.h"
+
+using namespace crl;
+
+int main() {
+  auto scale = bench::Scale::fromEnv();
+  std::printf("== Ablation: transfer learning (GaN RF PA) ==\n\n");
+
+  {
+    circuit::GanRfPa pa;
+    util::Rng rng(17);
+    util::RunningStats ratio;
+    auto t0 = std::chrono::steady_clock::now();
+    double coarseSec = 0.0, fineSec = 0.0;
+    int n = 0;
+    for (int i = 0; i < 30; ++i) {
+      auto p = pa.designSpace().sample(rng);
+      auto tA = std::chrono::steady_clock::now();
+      auto coarse = pa.measureAt(p, circuit::Fidelity::Coarse);
+      auto tB = std::chrono::steady_clock::now();
+      auto fine = pa.measureAt(p, circuit::Fidelity::Fine);
+      auto tC = std::chrono::steady_clock::now();
+      coarseSec += std::chrono::duration<double>(tB - tA).count();
+      fineSec += std::chrono::duration<double>(tC - tB).count();
+      if (coarse.valid && fine.valid && fine.specs[1] > 0.3) {
+        // Compare the FoM-style scalar the rewards are built from.
+        double rc = coarse.specs[1] + 3.0 * coarse.specs[0];
+        double rf = fine.specs[1] + 3.0 * fine.specs[0];
+        ratio.add(rc / rf);
+        ++n;
+      }
+    }
+    (void)t0;
+    std::printf("coarse/fine reward ratio over %d sizings: mean %.3f sd %.3f "
+                "(paper contract: ~1.0 +- 0.1)\n",
+                n, ratio.mean(), ratio.stddev());
+    std::printf("cost: coarse %.2f ms/sim vs fine %.2f ms/sim (%.0fx)\n",
+                1e3 * coarseSec / 30, 1e3 * fineSec / 30, fineSec / coarseSec);
+  }
+
+  {
+    circuit::GanRfPa pa;
+    core::TransferConfig cfg;
+    cfg.trainEpisodes = scale.episodes(600);
+    cfg.evalEpisodes = 15;
+    cfg.envConfig.maxSteps = 30;
+    auto res = core::trainWithTransfer(pa, cfg);
+    std::printf("\ncoarse-trained GCN-FC: accuracy in coarse env %.3f, "
+                "in fine env %.3f\n(transfer works when the fine accuracy "
+                "tracks the coarse accuracy)\n",
+                res.coarseAccuracy.accuracy, res.fineAccuracy.accuracy);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Micro-benchmarks of the learning substrate: policy forward/backward for
+// each network family and a full PPO minibatch update.
+#include <benchmark/benchmark.h>
+
+#include "circuit/opamp.h"
+#include "core/policies.h"
+#include "envs/sizing_env.h"
+#include "rl/ppo.h"
+
+using namespace crl;
+
+namespace {
+struct Fixture {
+  circuit::TwoStageOpAmp amp;
+  envs::SizingEnv env{amp, {.maxSteps = 50}};
+  util::Rng rng{1};
+  rl::Observation obs;
+  Fixture() { obs = env.reset(rng); }
+};
+}  // namespace
+
+static void BM_PolicyForward(benchmark::State& state, core::PolicyKind kind) {
+  Fixture f;
+  auto policy = core::makePolicy(kind, f.env, f.rng);
+  for (auto _ : state) {
+    auto out = policy->forward(f.obs);
+    benchmark::DoNotOptimize(out.logits.value().data());
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyForward, GatFc, core::PolicyKind::GatFc);
+BENCHMARK_CAPTURE(BM_PolicyForward, GcnFc, core::PolicyKind::GcnFc);
+BENCHMARK_CAPTURE(BM_PolicyForward, BaselineA, core::PolicyKind::BaselineA);
+BENCHMARK_CAPTURE(BM_PolicyForward, BaselineB, core::PolicyKind::BaselineB);
+
+static void BM_PolicyForwardBackward(benchmark::State& state, core::PolicyKind kind) {
+  Fixture f;
+  auto policy = core::makePolicy(kind, f.env, f.rng);
+  for (auto _ : state) {
+    auto out = policy->forward(f.obs);
+    nn::Tensor loss = nn::add(nn::sum(out.logits), out.value);
+    nn::backward(loss);
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyForwardBackward, GatFc, core::PolicyKind::GatFc);
+BENCHMARK_CAPTURE(BM_PolicyForwardBackward, GcnFc, core::PolicyKind::GcnFc);
+
+static void BM_PpoTrainTenEpisodes(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixture f;
+    auto policy = core::makePolicy(core::PolicyKind::GcnFc, f.env, f.rng);
+    rl::PpoConfig cfg;
+    cfg.stepsPerUpdate = 128;
+    rl::PpoTrainer trainer(f.env, *policy, cfg, util::Rng(2));
+    state.ResumeTiming();
+    trainer.train(10);
+  }
+}
+BENCHMARK(BM_PpoTrainTenEpisodes)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Micro-benchmarks of the RL substrate: policy forward passes for every
+// policy kind, action sampling, GAE computation, and one full PPO update on
+// the op-amp environment.
+#include <benchmark/benchmark.h>
+
+#include "circuit/opamp.h"
+#include "core/policies.h"
+#include "envs/sizing_env.h"
+#include "rl/ppo.h"
+
+using namespace crl;
+
+namespace {
+
+envs::SizingEnv& opampEnv() {
+  static circuit::TwoStageOpAmp amp;
+  static envs::SizingEnv env(amp, {.maxSteps = 50});
+  return env;
+}
+
+void BM_PolicyForward(benchmark::State& state) {
+  auto kind = static_cast<core::PolicyKind>(state.range(0));
+  auto& env = opampEnv();
+  util::Rng rng(1);
+  auto policy = core::makePolicy(kind, env, rng);
+  auto obs = env.reset(rng);
+  for (auto _ : state) {
+    auto out = policy->forward(obs);
+    benchmark::DoNotOptimize(out.logits.value());
+    benchmark::DoNotOptimize(out.value.value());
+  }
+  state.SetLabel(core::policyKindName(kind));
+}
+
+void BM_SampleAction(benchmark::State& state) {
+  auto& env = opampEnv();
+  util::Rng rng(2);
+  auto policy = core::makePolicy(core::PolicyKind::GcnFc, env, rng);
+  auto obs = env.reset(rng);
+  auto out = policy->forward(obs);
+  const auto logits = out.logits.value();
+  for (auto _ : state) {
+    auto a = rl::sampleAction(logits, rng);
+    benchmark::DoNotOptimize(a.logProb);
+  }
+}
+
+void BM_Gae(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<rl::Transition> steps(static_cast<std::size_t>(n));
+  util::Rng rng(3);
+  for (int i = 0; i < n; ++i) {
+    steps[static_cast<std::size_t>(i)].reward = rng.uniform(-1.0, 0.0);
+    steps[static_cast<std::size_t>(i)].value = rng.uniform(-5.0, 5.0);
+    steps[static_cast<std::size_t>(i)].terminal = (i % 50) == 49;
+  }
+  std::vector<double> adv, ret;
+  for (auto _ : state) {
+    rl::computeGae(steps, 0.99, 0.95, &adv, &ret);
+    benchmark::DoNotOptimize(adv.data());
+  }
+}
+
+void BM_PpoEpisode(benchmark::State& state) {
+  // One training episode (collection + amortized update share) on the
+  // fine-fidelity op-amp env with the GCN-FC policy.
+  auto& env = opampEnv();
+  util::Rng rng(4);
+  auto policy = core::makePolicy(core::PolicyKind::GcnFc, env, rng);
+  rl::PpoConfig cfg;
+  cfg.stepsPerUpdate = 128;
+  rl::PpoTrainer trainer(env, *policy, cfg, util::Rng(5));
+  for (auto _ : state) {
+    trainer.train(1);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_PolicyForward)
+    ->Arg(static_cast<int>(core::PolicyKind::GatFc))
+    ->Arg(static_cast<int>(core::PolicyKind::GcnFc))
+    ->Arg(static_cast<int>(core::PolicyKind::BaselineA))
+    ->Arg(static_cast<int>(core::PolicyKind::BaselineB))
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SampleAction);
+BENCHMARK(BM_Gae)->Arg(512)->Arg(4096);
+BENCHMARK(BM_PpoEpisode)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Micro-benchmarks of the simulation substrate (google-benchmark): these
+// quantify the coarse/fine cost asymmetry behind the paper's transfer
+// learning, plus raw solver throughput.
+#include <benchmark/benchmark.h>
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "util/rng.h"
+
+using namespace crl;
+
+static void BM_OpAmpDcOperatingPoint(benchmark::State& state) {
+  circuit::TwoStageOpAmp amp;
+  auto& net = amp.netlist();
+  spice::DcOptions opt;
+  opt.initialVoltage = 0.6;
+  for (auto _ : state) {
+    spice::DcAnalysis dc(net, opt);
+    auto r = dc.solve();
+    benchmark::DoNotOptimize(r.x.data());
+  }
+}
+BENCHMARK(BM_OpAmpDcOperatingPoint);
+
+static void BM_OpAmpFullMeasurement(benchmark::State& state) {
+  circuit::TwoStageOpAmp amp;
+  util::Rng rng(1);
+  auto p = amp.designSpace().sample(rng);
+  for (auto _ : state) {
+    auto m = amp.measureAt(p, circuit::Fidelity::Fine);
+    benchmark::DoNotOptimize(m.specs.data());
+  }
+}
+BENCHMARK(BM_OpAmpFullMeasurement);
+
+static void BM_RfPaCoarseMeasurement(benchmark::State& state) {
+  circuit::GanRfPa pa;
+  util::Rng rng(2);
+  auto p = pa.designSpace().sample(rng);
+  for (auto _ : state) {
+    auto m = pa.measureAt(p, circuit::Fidelity::Coarse);
+    benchmark::DoNotOptimize(m.specs.data());
+  }
+}
+BENCHMARK(BM_RfPaCoarseMeasurement);
+
+static void BM_RfPaFineMeasurement(benchmark::State& state) {
+  circuit::GanRfPa pa;
+  util::Rng rng(3);
+  auto p = pa.designSpace().sample(rng);
+  for (auto _ : state) {
+    auto m = pa.measureAt(p, circuit::Fidelity::Fine);
+    benchmark::DoNotOptimize(m.specs.data());
+  }
+}
+BENCHMARK(BM_RfPaFineMeasurement);
+
+static void BM_AcSinglePoint(benchmark::State& state) {
+  circuit::TwoStageOpAmp amp;
+  auto& net = amp.netlist();
+  spice::DcOptions opt;
+  opt.initialVoltage = 0.6;
+  spice::DcAnalysis dc(net, opt);
+  auto op = dc.solve();
+  spice::AcAnalysis ac(net, op.x);
+  spice::NodeId out = net.findNode("nout");
+  for (auto _ : state) {
+    auto h = ac.nodeVoltage(1e6, out);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_AcSinglePoint);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Calibration probe: samples the design spaces and reports the achievable
+// spec distributions (and coarse-vs-fine agreement for the RF PA). Used to
+// verify that the Table 1 sampling spaces are reachable in our simulator.
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace crl;
+
+int main(int argc, char** argv) {
+  int n = argc > 1 ? std::atoi(argv[1]) : 200;
+  util::Rng rng(1);
+
+  {
+    circuit::TwoStageOpAmp amp;
+    util::RunningStats gain, ugbw, pm, power;
+    int valid = 0, fail = 0;
+    for (int i = 0; i < n; ++i) {
+      auto p = amp.designSpace().sample(rng);
+      auto m = amp.measureAt(p, circuit::Fidelity::Fine);
+      if (!m.valid) {
+        ++fail;
+        continue;
+      }
+      ++valid;
+      gain.add(m.specs[0]);
+      ugbw.add(m.specs[1]);
+      pm.add(m.specs[2]);
+      power.add(m.specs[3]);
+    }
+    std::printf("== op-amp: valid %d/%d ==\n", valid, n);
+    std::printf("gain  mean %.1f  min %.2f  max %.1f\n", gain.mean(), gain.min(), gain.max());
+    std::printf("ugbw  mean %.3g  min %.3g  max %.3g\n", ugbw.mean(), ugbw.min(), ugbw.max());
+    std::printf("pm    mean %.1f  min %.1f  max %.1f\n", pm.mean(), pm.min(), pm.max());
+    std::printf("power mean %.3g  min %.3g  max %.3g\n", power.mean(), power.min(), power.max());
+    std::printf("pm>=55 fraction: n/a here; fails=%d\n", fail);
+    // Feasibility probes: smallest sizing (low power corner).
+    std::vector<double> lo(15);
+    for (int i = 0; i < 7; ++i) { lo[2*i] = 1.0; lo[2*i+1] = 2.0; }
+    lo[14] = 10.0;
+    auto mlo = amp.measureAt(lo, circuit::Fidelity::Fine);
+    std::printf("min-size: valid=%d gain=%.1f ugbw=%.3g pm=%.1f pwr=%.3g\n",
+                mlo.valid, mlo.specs[0], mlo.specs[1], mlo.specs[2], mlo.specs[3]);
+  }
+
+  {
+    circuit::GanRfPa pa;
+    util::RunningStats eff, pout, ratioE, ratioP;
+    int valid = 0, coarseValid = 0;
+    for (int i = 0; i < n / 2; ++i) {
+      auto p = pa.designSpace().sample(rng);
+      auto fine = pa.measureAt(p, circuit::Fidelity::Fine);
+      auto coarse = pa.measureAt(p, circuit::Fidelity::Coarse);
+      if (fine.valid) {
+        ++valid;
+        eff.add(fine.specs[0]);
+        pout.add(fine.specs[1]);
+        if (coarse.valid) {
+          ++coarseValid;
+          ratioE.add(coarse.specs[0] / fine.specs[0]);
+          ratioP.add(coarse.specs[1] / fine.specs[1]);
+        }
+      }
+    }
+    std::printf("== rf-pa: fine valid %d/%d, coarse valid %d ==\n", valid, n / 2, coarseValid);
+    std::printf("eff   mean %.3f  min %.3f  max %.3f\n", eff.mean(), eff.min(), eff.max());
+    std::printf("pout  mean %.3f  min %.3f  max %.3f\n", pout.mean(), pout.min(), pout.max());
+    std::printf("coarse/fine eff  mean %.3f sd %.3f | pout mean %.3f sd %.3f\n",
+                ratioE.mean(), ratioE.stddev(), ratioP.mean(), ratioP.stddev());
+  }
+  return 0;
+}

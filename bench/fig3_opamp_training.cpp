@@ -1,0 +1,53 @@
+// Figure 3, top row: P2S policy-training curves on the two-stage Op-Amp
+// (mean episode reward, mean episode length, deployment accuracy) for
+// GAT-FC, GCN-FC, Baseline A (AutoCkt-style FCNN) and Baseline B
+// (GCN-RL-style, no spec pathway). Also saves the trained GAT-FC/GCN-FC
+// policies for the downstream Fig. 5/6 and Table 2 harnesses.
+#include "harness.h"
+
+#include "circuit/opamp.h"
+
+using namespace crl;
+
+int main() {
+  auto scale = bench::Scale::fromEnv();
+  const int episodes = scale.episodes(1800);
+  const int evalEvery = std::max(100, episodes / 5);
+  std::printf("== Fig. 3 (two-stage Op-Amp): %d episodes x %d seed(s) ==\n", episodes,
+              scale.seeds);
+  std::printf("(paper scale: 3.5e4 episodes, 6 seeds; max episode length 50)\n\n");
+
+  util::TextTable table({"method", "seed", "final mean reward", "final mean length",
+                         "deploy accuracy"});
+  for (auto kind : bench::fig3Methods()) {
+    for (int seed = 0; seed < scale.seeds; ++seed) {
+      circuit::TwoStageOpAmp amp;
+      envs::SizingEnv env(amp, {.maxSteps = 50});
+      util::Rng initRng(100 + static_cast<std::uint64_t>(seed));
+      auto policy = core::makePolicy(kind, env, initRng);
+      auto out = bench::trainWithCurves(env, env, *policy, episodes, evalEvery,
+                                        /*evalEpisodes=*/25,
+                                        /*seed=*/static_cast<std::uint64_t>(seed));
+      std::string method = core::policyKindName(kind);
+      bench::writeCurveCsv(
+          scale.path("fig3_opamp_" + method + "_s" + std::to_string(seed) + ".csv"),
+          method, seed, out.curve);
+      table.addRow({method, std::to_string(seed),
+                    util::TextTable::num(out.curve.back().meanReward, 4),
+                    util::TextTable::num(out.curve.back().meanLength, 4),
+                    util::TextTable::num(out.finalAccuracy.accuracy, 4)});
+      std::printf("%-12s seed %d: accuracy %.3f, mean steps (succ) %.1f\n",
+                  method.c_str(), seed, out.finalAccuracy.accuracy,
+                  out.finalAccuracy.meanStepsSuccess);
+      std::fflush(stdout);
+      if (seed == 0 && (kind == core::PolicyKind::GcnFc || kind == core::PolicyKind::GatFc)) {
+        nn::saveParameters(scale.path(std::string("policy_opamp_") + method + ".bin"),
+                           policy->parameters());
+      }
+    }
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\nSeries CSVs written to %s/fig3_opamp_*.csv\n", scale.outDir.c_str());
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figure 3, last column: Genetic-Algorithm and Bayesian-Optimization
+// curves (best-so-far Eq. (1) reward vs # of simulation steps) on both
+// circuits. The paper observes GA needs ~400 and BO ~100 simulations; both
+// must use the fine (HB-equivalent) simulator for the RF PA since they
+// cannot exploit transfer learning.
+#include "harness.h"
+
+#include "baselines/optimizers.h"
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+
+using namespace crl;
+
+namespace {
+
+void runCircuit(circuit::Benchmark& bench, circuit::Fidelity fidelity, int runs,
+                const bench::Scale& scale, const std::string& tag) {
+  util::Rng rng(31);
+  util::CsvWriter csv(scale.path("fig3_optimizers_" + tag + ".csv"),
+                      {"method", "run", "simulation", "best_reward"});
+  util::RunningStats gaSteps, boSteps;
+  int gaSucc = 0, boSucc = 0;
+  for (int run = 0; run < runs; ++run) {
+    auto target = bench.specSpace().sample(rng);
+    auto obj = baselines::p2sObjective(bench.specSpace(), target);
+
+    baselines::GeneticAlgorithm ga;
+    auto gaRes = ga.optimize(bench, fidelity, obj, rng);
+    for (std::size_t i = 0; i < gaRes.curve.size(); ++i)
+      csv.writeRow(std::vector<std::string>{"GA", std::to_string(run),
+                                            std::to_string(i + 1),
+                                            util::TextTable::num(gaRes.curve[i], 6)});
+    if (gaRes.reachedTarget) {
+      ++gaSucc;
+      gaSteps.add(gaRes.stepsToTarget);
+    } else {
+      gaSteps.add(gaRes.evaluations);
+    }
+
+    baselines::BayesianOptimization bo;
+    auto boRes = bo.optimize(bench, fidelity, obj, rng);
+    for (std::size_t i = 0; i < boRes.curve.size(); ++i)
+      csv.writeRow(std::vector<std::string>{"BO", std::to_string(run),
+                                            std::to_string(i + 1),
+                                            util::TextTable::num(boRes.curve[i], 6)});
+    if (boRes.reachedTarget) {
+      ++boSucc;
+      boSteps.add(boRes.stepsToTarget);
+    } else {
+      boSteps.add(boRes.evaluations);
+    }
+  }
+  std::printf("%s:  GA success %d/%d, mean sims-to-target %.0f | "
+              "BO success %d/%d, mean sims-to-target %.0f\n",
+              tag.c_str(), gaSucc, runs, gaSteps.mean(), boSucc, runs, boSteps.mean());
+}
+
+}  // namespace
+
+int main() {
+  auto scale = bench::Scale::fromEnv();
+  const int runs = std::max(2, static_cast<int>(6 * scale.scale));
+  std::printf("== Fig. 3 (last column): GA / BO optimization curves, %d runs ==\n"
+              "(paper: 30-group runs; GA ~400 sims, BO ~100 sims per design)\n\n",
+              runs);
+  {
+    circuit::TwoStageOpAmp amp;
+    runCircuit(amp, circuit::Fidelity::Fine, runs, scale, "opamp");
+  }
+  {
+    circuit::GanRfPa pa;
+    runCircuit(pa, circuit::Fidelity::Fine, runs, scale, "rfpa");
+  }
+  std::printf("\nSeries CSVs written to %s/fig3_optimizers_*.csv\n", scale.outDir.c_str());
+  return 0;
+}

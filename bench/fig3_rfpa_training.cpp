@@ -1,0 +1,54 @@
+// Figure 3, bottom row: P2S policy-training curves on the GaN RF PA. All RL
+// agents train in the COARSE (fast DC) environment — the paper's transfer-
+// learning setup — while deployment accuracy is evaluated in the FINE
+// (harmonic-balance-equivalent transient) environment.
+#include "harness.h"
+
+#include "circuit/rfpa.h"
+
+using namespace crl;
+
+int main() {
+  auto scale = bench::Scale::fromEnv();
+  const int episodes = scale.episodes(1000);
+  const int evalEvery = std::max(100, episodes / 4);
+  std::printf("== Fig. 3 (GaN RF PA): %d episodes x %d seed(s) ==\n", episodes,
+              scale.seeds);
+  std::printf("(paper scale: 3.5e3 episodes, 6 seeds; max episode length 30;\n"
+              " training fidelity: coarse; deployment fidelity: fine)\n\n");
+
+  util::TextTable table({"method", "seed", "final mean reward", "final mean length",
+                         "deploy accuracy (fine)"});
+  for (auto kind : bench::fig3Methods()) {
+    for (int seed = 0; seed < scale.seeds; ++seed) {
+      circuit::GanRfPa pa;
+      envs::SizingEnv trainEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Coarse});
+      envs::SizingEnv evalEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Fine});
+      util::Rng initRng(200 + static_cast<std::uint64_t>(seed));
+      auto policy = core::makePolicy(kind, trainEnv, initRng);
+      auto out = bench::trainWithCurves(trainEnv, evalEnv, *policy, episodes, evalEvery,
+                                        /*evalEpisodes=*/15,
+                                        /*seed=*/17 + static_cast<std::uint64_t>(seed));
+      std::string method = core::policyKindName(kind);
+      bench::writeCurveCsv(
+          scale.path("fig3_rfpa_" + method + "_s" + std::to_string(seed) + ".csv"),
+          method, seed, out.curve);
+      table.addRow({method, std::to_string(seed),
+                    util::TextTable::num(out.curve.back().meanReward, 4),
+                    util::TextTable::num(out.curve.back().meanLength, 4),
+                    util::TextTable::num(out.finalAccuracy.accuracy, 4)});
+      std::printf("%-12s seed %d: fine-env accuracy %.3f, mean steps (succ) %.1f\n",
+                  method.c_str(), seed, out.finalAccuracy.accuracy,
+                  out.finalAccuracy.meanStepsSuccess);
+      std::fflush(stdout);
+      if (seed == 0 && (kind == core::PolicyKind::GcnFc || kind == core::PolicyKind::GatFc)) {
+        nn::saveParameters(scale.path(std::string("policy_rfpa_") + method + ".bin"),
+                           policy->parameters());
+      }
+    }
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  std::printf("\nSeries CSVs written to %s/fig3_rfpa_*.csv\n", scale.outDir.c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 5: deployment examples — a trained GCN-FC policy walks the
+// intermediate specifications to one target spec group per circuit.
+// Paper's targets: Op-Amp (G=350, B=1.8e7 Hz, PM=55 deg, P=4e-3 W);
+// RF PA (Pout=2.5 W, E=57%). Reuses the policies saved by the Fig. 3
+// harnesses when present, otherwise trains a fresh one.
+#include "harness.h"
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+
+using namespace crl;
+
+namespace {
+
+std::unique_ptr<core::MultimodalPolicy> obtainPolicy(
+    rl::Env& trainEnv, const std::string& artifact, int trainEpisodes,
+    const bench::Scale& scale) {
+  util::Rng rng(42);
+  auto policy = core::makePolicy(core::PolicyKind::GcnFc, trainEnv, rng);
+  auto params = policy->parameters();
+  if (nn::loadParameters(scale.path(artifact), params)) {
+    std::printf("(loaded trained policy from %s)\n", scale.path(artifact).c_str());
+    return policy;
+  }
+  std::printf("(no artifact %s; training GCN-FC for %d episodes)\n", artifact.c_str(),
+              trainEpisodes);
+  rl::PpoTrainer trainer(trainEnv, *policy, {}, util::Rng(7));
+  trainer.train(trainEpisodes);
+  return policy;
+}
+
+void printTrajectory(const core::DeploymentResult& r,
+                     const std::vector<std::string>& specNames,
+                     const std::vector<double>& target) {
+  std::printf("target:");
+  for (std::size_t i = 0; i < specNames.size(); ++i)
+    std::printf("  %s=%.4g", specNames[i].c_str(), target[i]);
+  std::printf("\nreached=%s in %d steps\n", r.success ? "yes" : "no", r.steps);
+  util::TextTable table([&] {
+    std::vector<std::string> hdr{"step"};
+    for (const auto& n : specNames) hdr.push_back(n);
+    return hdr;
+  }());
+  for (std::size_t t = 0; t < r.specTrajectory.size(); ++t) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (double v : r.specTrajectory[t]) row.push_back(util::TextTable::num(v, 4));
+    table.addRow(row);
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  auto scale = bench::Scale::fromEnv();
+  std::printf("== Fig. 5: deployment examples (GCN-FC policy) ==\n\n");
+
+  {
+    std::printf("-- Two-stage Op-Amp --\n");
+    circuit::TwoStageOpAmp amp;
+    envs::SizingEnv env(amp, {.maxSteps = 50});
+    auto policy = obtainPolicy(env, "policy_opamp_GCN-FC.bin",
+                               scale.episodes(1800), scale);
+    std::vector<double> target{350.0, 1.8e7, 55.0, 4e-3};
+    auto out = bench::deployWithRestarts(env, *policy, target, /*baseSeed=*/3,
+                                         /*maxRestarts=*/5);
+    std::printf("(attempt %d of <=5; %d cumulative steps)\n", out.attempts,
+                out.totalSteps);
+    printTrajectory(out.result, {"gain", "ugbw", "pm", "power"}, target);
+  }
+  std::printf("\n");
+  {
+    std::printf("-- GaN RF PA (deployed in the fine environment) --\n");
+    circuit::GanRfPa pa;
+    envs::SizingEnv trainEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Coarse});
+    envs::SizingEnv fineEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Fine});
+    auto policy = obtainPolicy(trainEnv, "policy_rfpa_GCN-FC.bin",
+                               scale.episodes(1000), scale);
+    std::vector<double> target{0.57, 2.5};
+    auto out = bench::deployWithRestarts(fineEnv, *policy, target, /*baseSeed=*/5,
+                                         /*maxRestarts=*/5);
+    std::printf("(attempt %d of <=5; %d cumulative steps)\n", out.attempts,
+                out.totalSteps);
+    printTrajectory(out.result, {"efficiency", "pout"}, target);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 6: generalization to unseen specifications — targets outside the
+// Table 1 sampling space. The paper's examples: Op-Amp (G=225, B=2.6e7,
+// PM=65 deg, P=6e-3 W); RF PA (Pout=2.9 W, E=69%). Our PA substrate peaks
+// near 62% overall efficiency, so the PA target uses E=61% (outside the
+// [50%, 60%] sampling box; see EXPERIMENTS.md for the substitution note).
+// Expectation reproduced: unseen targets need MORE deployment steps than the
+// in-distribution Fig. 5 targets.
+#include "harness.h"
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+
+using namespace crl;
+
+namespace {
+
+std::unique_ptr<core::MultimodalPolicy> obtainPolicy(
+    rl::Env& trainEnv, const std::string& artifact, int trainEpisodes,
+    const bench::Scale& scale) {
+  util::Rng rng(42);
+  auto policy = core::makePolicy(core::PolicyKind::GcnFc, trainEnv, rng);
+  auto params = policy->parameters();
+  if (nn::loadParameters(scale.path(artifact), params)) {
+    std::printf("(loaded trained policy from %s)\n", scale.path(artifact).c_str());
+    return policy;
+  }
+  std::printf("(no artifact; training GCN-FC for %d episodes)\n", trainEpisodes);
+  rl::PpoTrainer trainer(trainEnv, *policy, {}, util::Rng(7));
+  trainer.train(trainEpisodes);
+  return policy;
+}
+
+struct Outcome {
+  bool success;
+  int steps;  ///< cumulative steps across restarts (search effort)
+};
+
+Outcome deployOnce(rl::Env& env, const core::MultimodalPolicy& policy,
+                   const std::vector<double>& target, std::uint64_t seed,
+                   const std::vector<std::string>& names, bool print) {
+  auto out = bench::deployWithRestarts(env, policy, target, seed, /*maxRestarts=*/5,
+                                       /*recordTrajectory=*/print);
+  const auto& r = out.result;
+  if (print) {
+    std::printf("target:");
+    for (std::size_t i = 0; i < names.size(); ++i)
+      std::printf("  %s=%.4g", names[i].c_str(), target[i]);
+    std::printf("\nreached=%s (attempt %d of <=5, %d cumulative steps); trajectory:\n",
+                r.success ? "yes" : "no", out.attempts, out.totalSteps);
+    for (std::size_t t = 0; t < r.specTrajectory.size(); ++t) {
+      std::printf("  step %2zu:", t);
+      for (double v : r.specTrajectory[t]) std::printf(" %10.4g", v);
+      std::printf("\n");
+    }
+  }
+  return {r.success, out.totalSteps};
+}
+
+}  // namespace
+
+int main() {
+  auto scale = bench::Scale::fromEnv();
+  std::printf("== Fig. 6: generalization to unseen specifications ==\n\n");
+
+  {
+    std::printf("-- Two-stage Op-Amp --\n");
+    circuit::TwoStageOpAmp amp;
+    // Longer budget for out-of-distribution targets, as in the paper.
+    envs::SizingEnv env(amp, {.maxSteps = 80});
+    auto policy =
+        obtainPolicy(env, "policy_opamp_GCN-FC.bin", scale.episodes(1800), scale);
+    std::vector<double> seen{350.0, 1.8e7, 55.0, 4e-3};
+    std::vector<double> unseen{225.0, 2.6e7, 65.0, 6e-3};
+    auto sOut = deployOnce(env, *policy, seen, 3, {}, false);
+    auto uOut = deployOnce(env, *policy, unseen, 3, {"gain", "ugbw", "pm", "power"}, true);
+    std::printf("steps: in-distribution %d vs unseen %d (paper: unseen needs more)\n\n",
+                sOut.steps, uOut.steps);
+  }
+  {
+    std::printf("-- GaN RF PA --\n");
+    circuit::GanRfPa pa;
+    envs::SizingEnv trainEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Coarse});
+    envs::SizingEnv fineEnv(pa, {.maxSteps = 60, .fidelity = circuit::Fidelity::Fine});
+    auto policy =
+        obtainPolicy(trainEnv, "policy_rfpa_GCN-FC.bin", scale.episodes(1000), scale);
+    std::vector<double> seen{0.57, 2.5};
+    std::vector<double> unseen{0.61, 2.9};  // outside the [0.5,0.6]x[2,3] box
+    auto sOut = deployOnce(fineEnv, *policy, seen, 5, {}, false);
+    auto uOut = deployOnce(fineEnv, *policy, unseen, 5, {"efficiency", "pout"}, true);
+    std::printf("steps: in-distribution %d vs unseen %d (paper: 11 vs 49)\n", sOut.steps,
+                uOut.steps);
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+#pragma once
+// Shared infrastructure for the figure/table reproduction harnesses.
+//
+// Scale controls (environment variables):
+//   CRL_SCALE  — multiplies episode budgets (default 1.0; the paper's full
+//                budgets are ~10x the defaults used here, sized for a
+//                single-core container run).
+//   CRL_SEEDS  — number of random seeds per RL method (default 1; paper: 6).
+//   CRL_OUT    — output directory for CSV series + policy artifacts
+//                (default ./crl_artifacts).
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/deploy.h"
+#include "core/policies.h"
+#include "envs/sizing_env.h"
+#include "nn/serialize.h"
+#include "rl/ppo.h"
+#include "util/csv.h"
+#include "util/stats.h"
+
+namespace crl::bench {
+
+struct Scale {
+  double scale = 1.0;
+  int seeds = 1;
+  std::string outDir = "crl_artifacts";
+
+  static Scale fromEnv() {
+    Scale s;
+    if (const char* v = std::getenv("CRL_SCALE")) s.scale = std::atof(v);
+    if (const char* v = std::getenv("CRL_SEEDS")) s.seeds = std::atoi(v);
+    if (const char* v = std::getenv("CRL_OUT")) s.outDir = v;
+    std::filesystem::create_directories(s.outDir);
+    return s;
+  }
+  int episodes(int base) const { return std::max(50, static_cast<int>(base * scale)); }
+  std::string path(const std::string& file) const { return outDir + "/" + file; }
+};
+
+/// Training-curve sample points (Fig. 3 / Fig. 7 columns).
+struct CurvePoint {
+  int episode = 0;
+  double meanReward = 0.0;     // EMA-smoothed episode reward
+  double meanLength = 0.0;     // EMA-smoothed episode length
+  double deployAccuracy = -1;  // -1 where not evaluated
+};
+
+struct TrainOutcome {
+  std::vector<CurvePoint> curve;
+  core::AccuracyReport finalAccuracy;
+};
+
+/// Train one agent and sample its curves. evalEnv may differ from the
+/// training env (transfer learning evaluates in the fine environment).
+inline TrainOutcome trainWithCurves(rl::Env& trainEnv, rl::Env& evalEnv,
+                                    core::MultimodalPolicy& policy, int episodes,
+                                    int evalEvery, int evalEpisodes,
+                                    std::uint64_t seed, rl::PpoConfig ppo = {}) {
+  TrainOutcome out;
+  util::Ema rewardEma(0.05), lenEma(0.05);
+  rl::PpoTrainer trainer(trainEnv, policy, ppo, util::Rng(seed));
+  util::Rng evalRng(seed + 9001);
+
+  trainer.train(episodes, [&](const rl::EpisodeStats& s) {
+    rewardEma.update(s.episodeReward);
+    lenEma.update(s.episodeLength);
+    const bool evalNow = (s.episode % evalEvery == 0) || s.episode == episodes;
+    CurvePoint p;
+    p.episode = s.episode;
+    p.meanReward = rewardEma.value();
+    p.meanLength = lenEma.value();
+    if (evalNow) {
+      auto rep = core::evaluateAccuracy(evalEnv, policy, evalEpisodes, evalRng);
+      p.deployAccuracy = rep.accuracy;
+      out.curve.push_back(p);
+    } else if (s.episode % std::max(1, evalEvery / 10) == 0) {
+      out.curve.push_back(p);
+    }
+  });
+  util::Rng finalRng(seed + 5555);
+  out.finalAccuracy = core::evaluateAccuracy(evalEnv, policy, 2 * evalEpisodes, finalRng);
+  return out;
+}
+
+inline void writeCurveCsv(const std::string& path, const std::string& method, int seed,
+                          const std::vector<CurvePoint>& curve) {
+  util::CsvWriter csv(path, {"method", "seed", "episode", "mean_reward",
+                             "mean_length", "deploy_accuracy"});
+  for (const auto& p : curve) {
+    csv.writeRow(std::vector<std::string>{method, std::to_string(seed),
+                                          std::to_string(p.episode),
+                                          util::TextTable::num(p.meanReward, 6),
+                                          util::TextTable::num(p.meanLength, 6),
+                                          util::TextTable::num(p.deployAccuracy, 6)});
+  }
+}
+
+/// Deployment with random restarts: re-run from fresh random initial
+/// sizings until the target is reached (or the budget is exhausted).
+/// Returns the successful attempt's result (or the last attempt's) plus the
+/// cumulative step count across attempts — the honest "search effort".
+struct RestartOutcome {
+  core::DeploymentResult result;
+  int attempts = 0;
+  int totalSteps = 0;
+};
+
+inline RestartOutcome deployWithRestarts(rl::Env& env, const core::MultimodalPolicy& policy,
+                                         const std::vector<double>& target,
+                                         std::uint64_t baseSeed, int maxRestarts,
+                                         bool recordTrajectory = true) {
+  RestartOutcome out;
+  for (int k = 0; k < maxRestarts; ++k) {
+    util::Rng rng(baseSeed + static_cast<std::uint64_t>(k) * 131);
+    out.result = core::runDeployment(env, policy, target, rng,
+                                     {.recordTrajectory = recordTrajectory});
+    ++out.attempts;
+    out.totalSteps += out.result.steps;
+    if (out.result.success) break;
+  }
+  return out;
+}
+
+inline const std::vector<core::PolicyKind>& fig3Methods() {
+  static const std::vector<core::PolicyKind> kinds{
+      core::PolicyKind::GatFc, core::PolicyKind::GcnFc, core::PolicyKind::BaselineA,
+      core::PolicyKind::BaselineB};
+  return kinds;
+}
+
+}  // namespace crl::bench

@@ -1,0 +1,44 @@
+// Table 1: design space of device parameters and sampling space of desired
+// specifications for the two circuit benchmarks, printed from the live
+// DesignSpace / SpecSpace objects (so the table cannot drift from the code).
+#include <cstdio>
+#include <iostream>
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+#include "util/csv.h"
+
+using namespace crl;
+
+namespace {
+void printBenchmark(circuit::Benchmark& b, const char* tech, int numParams) {
+  std::printf("-- %s (%s), %d tunable device parameters --\n", b.name().c_str(), tech,
+              numParams);
+  util::TextTable params({"parameter", "min", "max", "step", "grid"});
+  for (std::size_t i = 0; i < b.designSpace().size(); ++i) {
+    const auto& p = b.designSpace().param(i);
+    params.addRow({p.name, util::TextTable::num(p.min, 4), util::TextTable::num(p.max, 4),
+                   util::TextTable::num(p.step, 4),
+                   std::to_string(b.designSpace().gridLevels(i))});
+  }
+  params.print(std::cout);
+  util::TextTable specs({"specification", "sample min", "sample max", "direction"});
+  for (std::size_t i = 0; i < b.specSpace().size(); ++i) {
+    const auto& s = b.specSpace().spec(i);
+    specs.addRow({s.name, util::TextTable::num(s.sampleMin, 4),
+                  util::TextTable::num(s.sampleMax, 4),
+                  s.direction == circuit::SpecDirection::Minimize ? "minimize" : "maximize"});
+  }
+  specs.print(std::cout);
+  std::printf("\n");
+}
+}  // namespace
+
+int main() {
+  std::printf("== Table 1: design and sampling spaces ==\n\n");
+  circuit::TwoStageOpAmp amp;
+  printBenchmark(amp, "45 nm CMOS (level-1 model)", 15);
+  circuit::GanRfPa pa;
+  printBenchmark(pa, "150 nm GaN (Angelov-style model)", 14);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Deployment CLI: load a policy trained by bench/fig3_opamp_training (or
+// train a fresh one if no artifact exists) and size the two-stage op-amp
+// for specs given on the command line.
+//
+//   $ ./build/examples/deploy_cli [gain ugbw_hz pm_deg power_w] [policy.bin]
+//   $ ./build/examples/deploy_cli 350 1.8e7 55 4e-3 crl_artifacts/policy_opamp_GCN-FC.bin
+//
+// This is the "design automation" deployment mode of Sec. 4: the trained
+// agent iteratively tunes the 15 device parameters until every spec is met,
+// and the result is printed as a SPICE deck ready for any simulator.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "circuit/opamp.h"
+#include "core/deploy.h"
+#include "core/policies.h"
+#include "envs/sizing_env.h"
+#include "nn/serialize.h"
+#include "rl/ppo.h"
+#include "spice/parser.h"
+
+using namespace crl;
+
+int main(int argc, char** argv) {
+  std::vector<double> target{350.0, 1.8e7, 55.0, 4e-3};
+  if (argc >= 5) {
+    for (int i = 0; i < 4; ++i) target[static_cast<std::size_t>(i)] = std::atof(argv[i + 1]);
+  }
+  std::string artifact =
+      argc >= 6 ? argv[5] : "crl_artifacts/policy_opamp_GCN-FC.bin";
+
+  circuit::TwoStageOpAmp amp;
+  envs::SizingEnv env(amp, {.maxSteps = 50});
+  util::Rng rng(1);
+  auto policy = core::makePolicy(core::PolicyKind::GcnFc, env, rng);
+
+  auto params = policy->parameters();
+  if (std::filesystem::exists(artifact) && nn::loadParameters(artifact, params)) {
+    std::printf("loaded trained policy from %s\n", artifact.c_str());
+  } else {
+    std::printf("no artifact at %s — training a fresh policy (1200 episodes)...\n",
+                artifact.c_str());
+    rl::PpoTrainer trainer(env, *policy, {}, util::Rng(2));
+    trainer.train(1200);
+  }
+
+  std::printf("target: gain>=%.4g, ugbw>=%.4g Hz, pm>=%.4g deg, power<=%.3g W\n",
+              target[0], target[1], target[2], target[3]);
+
+  util::Rng deployRng(7);
+  auto result = core::runDeployment(env, *policy, target, deployRng,
+                                    {.recordTrajectory = true});
+  std::printf("%s in %d steps\n", result.success ? "SUCCESS" : "did not converge",
+              result.steps);
+  std::printf("final specs: gain=%.1f ugbw=%.4g Hz pm=%.1f deg power=%.4g W\n",
+              result.finalSpecs[0], result.finalSpecs[1], result.finalSpecs[2],
+              result.finalSpecs[3]);
+
+  std::printf("\nsized parameters:\n");
+  for (std::size_t i = 0; i < result.finalParams.size(); ++i)
+    std::printf("  %-6s = %.4g\n", amp.designSpace().param(i).name.c_str(),
+                result.finalParams[i]);
+
+  // Emit the sized circuit as a SPICE deck (the DPM's "updated netlist").
+  amp.setParams(result.finalParams);
+  std::printf("\n%s", spice::writeDeck(amp.netlist(), "sized two-stage op-amp").c_str());
+  return result.success ? 0 : 1;
+}

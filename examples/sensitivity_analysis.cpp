@@ -1,0 +1,77 @@
+// Sensitivity / robustness tour of a sized op-amp: the quantitative version
+// of the "design trade-offs" a human designer (and the paper's FCNN spec
+// pathway) reasons about.
+//
+//   $ ./build/examples/sensitivity_analysis
+//
+// Prints the spec/parameter elasticity matrix, a Monte-Carlo yield estimate
+// under mismatch-style parameter perturbations, and slow/nominal/fast
+// corner specs.
+#include <cstdio>
+
+#include "circuit/analysis.h"
+#include "circuit/opamp.h"
+
+using namespace crl;
+
+int main() {
+  circuit::TwoStageOpAmp amp;
+
+  // A moderate sizing in the Miller-dominated regime.
+  auto sizing = amp.designSpace().midpoint();
+  for (std::size_t i = 0; i < 7; ++i) {
+    sizing[2 * i] = 10.0;
+    sizing[2 * i + 1] = 4.0;
+  }
+  sizing[14] = 4.0;
+  sizing = amp.designSpace().clamp(sizing);
+
+  auto m = amp.measureAt(sizing, circuit::Fidelity::Fine);
+  std::printf("base sizing: gain=%.1f ugbw=%.3g Hz pm=%.1f deg power=%.3g W\n\n",
+              m.specs[0], m.specs[1], m.specs[2], m.specs[3]);
+
+  // 1. Elasticity matrix: % spec change per % parameter change.
+  auto sens = circuit::specSensitivity(amp, sizing);
+  if (!sens.valid) {
+    std::printf("sensitivity failed to simulate\n");
+    return 1;
+  }
+  std::printf("elasticity (rows: gain, ugbw, pm, power; |e| > 0.05 shown):\n");
+  const char* specNames[4] = {"gain ", "ugbw ", "pm   ", "power"};
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::printf("  %s:", specNames[i]);
+    for (std::size_t j = 0; j < amp.designSpace().size(); ++j) {
+      const double e = sens.elasticity(i, j);
+      if (e > 0.05 || e < -0.05)
+        std::printf(" %s%+.2f", amp.designSpace().param(j).name.c_str(), e);
+    }
+    std::printf("\n");
+  }
+
+  // 2. Monte-Carlo yield against a spec target with some margin.
+  std::vector<double> target{0.8 * m.specs[0], 0.5 * m.specs[1], 50.0, 2.0 * m.specs[3]};
+  util::Rng rng(42);
+  circuit::YieldOptions yopt;
+  yopt.sigmaFrac = 0.03;
+  yopt.samples = 60;
+  auto yld = circuit::monteCarloYield(amp, sizing, target, rng, yopt);
+  std::printf("\nMonte-Carlo (sigma = 3%% of range, %d samples): yield %.0f%%"
+              " (%d/%d valid)\n",
+              yld.samples, 100.0 * yld.yield, yld.validCount, yld.samples);
+  std::printf("  gain  spread: mean %.1f sd %.1f\n", yld.specStats[0].mean(),
+              yld.specStats[0].stddev());
+  std::printf("  power spread: mean %.3g sd %.3g\n", yld.specStats[3].mean(),
+              yld.specStats[3].stddev());
+
+  // 3. Corners.
+  std::printf("\ncorners (all parameters scaled together):\n");
+  for (const auto& c : circuit::cornerSweep(amp, sizing, 0.1)) {
+    if (!c.valid) {
+      std::printf("  %-8s did not converge\n", c.name.c_str());
+      continue;
+    }
+    std::printf("  %-8s gain=%.1f ugbw=%.3g pm=%.1f power=%.3g\n", c.name.c_str(),
+                c.specs[0], c.specs[1], c.specs[2], c.specs[3]);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Simulator example: use the MNA engine directly — build a circuit, run DC /
+// AC / transient analyses, and extract amplifier metrics. Useful as a
+// starting point for adding new circuit benchmarks.
+//
+//   $ ./build/examples/spice_playground
+#include <cstdio>
+
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/mosfet.h"
+#include "spice/netlist.h"
+#include "spice/tran.h"
+
+using namespace crl::spice;
+
+int main() {
+  // A resistively loaded common-source stage.
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId in = net.node("in");
+  NodeId out = net.node("out");
+
+  net.add<VSource>("Vdd", vdd, kGround, 1.2);
+  auto* vin = net.add<VSource>("Vin", in, kGround, 0.42);
+  vin->setAcMag(1.0);
+
+  MosModel nm;
+  nm.kp = 300e-6;
+  nm.vth = 0.35;
+  nm.lambda = 0.2;
+  nm.length = 150e-9;
+  auto* m1 = net.add<Mosfet>("M1", out, in, kGround, nm, 5e-6, 4);
+  net.add<Resistor>("Rd", vdd, out, 3e3);
+  net.add<Capacitor>("CL", out, kGround, 200e-15);
+
+  // DC operating point.
+  DcAnalysis dc(net);
+  DcResult op = dc.solve();
+  std::printf("DC converged (%s, %d iterations)\n", op.strategy, op.iterations);
+  std::printf("V(out) = %.4f V, Id(M1) = %.4g A, gm = %.4g S\n",
+              dc.voltage(op, out), m1->evalAt(op.x).id, m1->evalAt(op.x).gm);
+
+  // AC sweep + metrics.
+  AcAnalysis ac(net, op.x);
+  auto sweep = ac.sweep(out, 1e3, 1e11, 8);
+  auto metrics = analyzeResponse(sweep);
+  std::printf("gain %.2f (%.1f dB), f3dB %.3g Hz, unity-gain %.3g Hz, PM %.1f deg\n",
+              metrics.dcGain, 20.0 * std::log10(metrics.dcGain), metrics.bandwidth3Db,
+              metrics.unityGainFreq, metrics.phaseMarginDeg);
+
+  // Transient: drive with a 1 MHz small sine and watch the amplified output.
+  vin->setSine(0.005, 1e6);
+  TranAnalysis tran(net);
+  double vmin = 1e9, vmax = -1e9;
+  tran.run(1e-8, 4e-6,
+           [&](double t, const crl::linalg::Vec& x) {
+             if (t > 2e-6) {  // after settling
+               double v = Netlist::voltageOf(x, out);
+               vmin = std::min(vmin, v);
+               vmax = std::max(vmax, v);
+             }
+           },
+           /*record=*/false);
+  std::printf("transient output swing: %.4f V (expected ~ 2*0.005*gain = %.4f V)\n",
+              vmax - vmin, 2 * 0.005 * metrics.dcGain);
+  return 0;
+}

@@ -1,0 +1,214 @@
+#include "baselines/optimizers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.h"
+
+namespace crl::baselines {
+
+namespace {
+
+/// Evaluation bookkeeping shared by both optimizers.
+struct Evaluator {
+  circuit::Benchmark& bench;
+  circuit::Fidelity fidelity;
+  const Objective& objective;
+  OptResult& result;
+  const bool stopAtTarget;
+
+  double operator()(const std::vector<double>& params) {
+    auto m = bench.measureAt(params, fidelity);
+    const double score = objective(m.specs);
+    ++result.evaluations;
+    if (score > result.bestObjective) {
+      result.bestObjective = score;
+      result.bestParams = bench.currentParams();
+    }
+    result.curve.push_back(result.bestObjective);
+    if (!result.reachedTarget && score >= 0.0) {
+      result.reachedTarget = true;
+      result.stepsToTarget = result.evaluations;
+    }
+    return score;
+  }
+
+  bool shouldStop() const { return stopAtTarget && result.reachedTarget; }
+};
+
+}  // namespace
+
+Objective p2sObjective(const circuit::SpecSpace& specs, std::vector<double> target) {
+  return [&specs, target = std::move(target)](const std::vector<double>& achieved) {
+    return specs.reward(achieved, target);
+  };
+}
+
+Objective fomObjective(double pRef, double eRef) {
+  return [pRef, eRef](const std::vector<double>& specs) {
+    const double p = specs[1], e = specs[0];
+    return (p - pRef) / (p + pRef) + 3.0 * (e - eRef) / (e + eRef);
+  };
+}
+
+OptResult GeneticAlgorithm::optimize(circuit::Benchmark& bench,
+                                     circuit::Fidelity fidelity,
+                                     const Objective& objective,
+                                     util::Rng& rng) const {
+  const auto& space = bench.designSpace();
+  OptResult result;
+  Evaluator eval{bench, fidelity, objective, result, cfg_.stopAtTarget};
+
+  struct Individual {
+    std::vector<double> genome;  ///< normalized [0,1] parameters
+    double fitness = -1e18;
+  };
+
+  auto decode = [&space](const std::vector<double>& u) { return space.denormalize(u); };
+  auto randomGenome = [&space, &rng]() {
+    std::vector<double> u(space.size());
+    for (auto& v : u) v = rng.uniform();
+    return u;
+  };
+
+  std::vector<Individual> pop(static_cast<std::size_t>(cfg_.population));
+  for (auto& ind : pop) {
+    ind.genome = randomGenome();
+    ind.fitness = eval(decode(ind.genome));
+    if (eval.shouldStop() || result.evaluations >= cfg_.maxEvaluations) return result;
+  }
+
+  auto tournamentPick = [&]() -> const Individual& {
+    const Individual* best = &pop[static_cast<std::size_t>(
+        rng.randint(0, cfg_.population - 1))];
+    for (int k = 1; k < cfg_.tournament; ++k) {
+      const Individual& c =
+          pop[static_cast<std::size_t>(rng.randint(0, cfg_.population - 1))];
+      if (c.fitness > best->fitness) best = &c;
+    }
+    return *best;
+  };
+
+  for (int gen = 0; gen < cfg_.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(),
+              [](const Individual& a, const Individual& b) { return a.fitness > b.fitness; });
+    std::vector<Individual> next(pop.begin(), pop.begin() + cfg_.elites);
+
+    while (static_cast<int>(next.size()) < cfg_.population) {
+      Individual child;
+      const Individual& pa = tournamentPick();
+      const Individual& pb = tournamentPick();
+      child.genome.resize(space.size());
+      for (std::size_t i = 0; i < space.size(); ++i) {
+        // Blend crossover followed by Gaussian mutation, clipped to [0,1].
+        double g = rng.chance(cfg_.crossoverRate)
+                       ? pa.genome[i] + rng.uniform() * (pb.genome[i] - pa.genome[i])
+                       : pa.genome[i];
+        if (rng.chance(cfg_.mutationRate)) g += rng.normal(0.0, cfg_.mutationSigma);
+        child.genome[i] = std::clamp(g, 0.0, 1.0);
+      }
+      child.fitness = eval(decode(child.genome));
+      next.push_back(std::move(child));
+      if (eval.shouldStop() || result.evaluations >= cfg_.maxEvaluations) return result;
+    }
+    pop = std::move(next);
+  }
+  return result;
+}
+
+namespace {
+
+double seKernel(const std::vector<double>& a, const std::vector<double>& b,
+                double lengthScale, double signalVariance) {
+  double sq = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sq += d * d;
+  }
+  return signalVariance * std::exp(-0.5 * sq / (lengthScale * lengthScale));
+}
+
+double normalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+double normalPdf(double z) {
+  return std::exp(-0.5 * z * z) / std::sqrt(2.0 * 3.14159265358979323846);
+}
+
+}  // namespace
+
+OptResult BayesianOptimization::optimize(circuit::Benchmark& bench,
+                                         circuit::Fidelity fidelity,
+                                         const Objective& objective,
+                                         util::Rng& rng) const {
+  const auto& space = bench.designSpace();
+  OptResult result;
+  Evaluator eval{bench, fidelity, objective, result, cfg_.stopAtTarget};
+
+  std::vector<std::vector<double>> xs;  // normalized sample locations
+  std::vector<double> ys;
+
+  auto sampleRandom = [&]() {
+    std::vector<double> u(space.size());
+    for (auto& v : u) v = rng.uniform();
+    return u;
+  };
+  auto evaluateAt = [&](const std::vector<double>& u) {
+    double y = eval(space.denormalize(u));
+    xs.push_back(u);
+    ys.push_back(y);
+    return y;
+  };
+
+  for (int i = 0; i < cfg_.initialSamples; ++i) {
+    evaluateAt(sampleRandom());
+    if (eval.shouldStop()) return result;
+  }
+
+  for (int it = 0; it < cfg_.iterations; ++it) {
+    const std::size_t n = xs.size();
+    // GP posterior via Cholesky of K + sigma_n^2 I.
+    linalg::Mat k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        double v = seKernel(xs[i], xs[j], cfg_.lengthScale, cfg_.signalVariance);
+        k(i, j) = v;
+        k(j, i) = v;
+      }
+      k(i, i) += cfg_.noiseVariance;
+    }
+    // Center targets for a zero-mean GP.
+    double yMean = 0.0;
+    for (double y : ys) yMean += y;
+    yMean /= static_cast<double>(n);
+    linalg::Vec centered(n);
+    for (std::size_t i = 0; i < n; ++i) centered[i] = ys[i] - yMean;
+
+    linalg::Cholesky chol(k);
+    linalg::Vec alpha = chol.solve(centered);
+    const double fBest = *std::max_element(ys.begin(), ys.end());
+
+    // Expected-improvement maximization over a random candidate pool.
+    std::vector<double> bestCand;
+    double bestEi = -1.0;
+    for (int c = 0; c < cfg_.candidatePool; ++c) {
+      std::vector<double> u = sampleRandom();
+      linalg::Vec kStar(n);
+      for (std::size_t i = 0; i < n; ++i)
+        kStar[i] = seKernel(u, xs[i], cfg_.lengthScale, cfg_.signalVariance);
+      double mu = yMean + linalg::dot(kStar, alpha);
+      linalg::Vec v = chol.solveLower(kStar);
+      double var = cfg_.signalVariance - linalg::dot(v, v);
+      double sd = std::sqrt(std::max(var, 1e-12));
+      double z = (mu - fBest - cfg_.exploration) / sd;
+      double ei = (mu - fBest - cfg_.exploration) * normalCdf(z) + sd * normalPdf(z);
+      if (ei > bestEi) {
+        bestEi = ei;
+        bestCand = std::move(u);
+      }
+    }
+    evaluateAt(bestCand);
+    if (eval.shouldStop()) return result;
+  }
+  return result;
+}
+
+}  // namespace crl::baselines

@@ -1,0 +1,79 @@
+#pragma once
+// Optimization-based baselines of Sec. 4: Genetic Algorithm [6] and Bayesian
+// Optimization [5]. Both maximize a scalar objective of the measured specs
+// (Eq. (1)'s r for P2S; the FoM for FoM optimization) directly on the design
+// grid, one circuit simulation per candidate, with no training phase.
+
+#include <functional>
+#include <vector>
+
+#include "circuit/benchmark.h"
+#include "util/rng.h"
+
+namespace crl::baselines {
+
+/// Objective over raw measured specs; larger is better. P2S uses Eq. (1)'s
+/// r (<= 0, success at 0); FoM uses Pout + 3*eff.
+using Objective = std::function<double(const std::vector<double>& specs)>;
+
+struct OptResult {
+  std::vector<double> bestParams;
+  double bestObjective = -1e18;
+  std::vector<double> curve;  ///< best-so-far objective per simulation
+  int evaluations = 0;
+  bool reachedTarget = false;   ///< objective >= 0 observed (P2S success)
+  int stepsToTarget = -1;       ///< simulation count at first success
+};
+
+struct GaConfig {
+  int population = 24;
+  int generations = 16;
+  int elites = 2;
+  int tournament = 3;
+  double crossoverRate = 0.9;
+  double mutationSigma = 0.15;   ///< in normalized [0,1] parameter units
+  double mutationRate = 0.25;
+  int maxEvaluations = 400;      ///< ~ the paper's observed GA budget
+  bool stopAtTarget = true;      ///< stop when objective >= 0 (P2S)
+};
+
+class GeneticAlgorithm {
+ public:
+  explicit GeneticAlgorithm(GaConfig cfg = {}) : cfg_(cfg) {}
+
+  OptResult optimize(circuit::Benchmark& bench, circuit::Fidelity fidelity,
+                     const Objective& objective, util::Rng& rng) const;
+
+ private:
+  GaConfig cfg_;
+};
+
+struct BoConfig {
+  int initialSamples = 12;
+  int iterations = 88;           ///< total budget ~100 sims (paper's BO)
+  int candidatePool = 400;       ///< random acquisition maximization
+  double lengthScale = 0.35;     ///< SE kernel, normalized parameter units
+  double signalVariance = 1.0;
+  double noiseVariance = 1e-4;
+  double exploration = 0.01;     ///< EI xi
+  bool stopAtTarget = true;
+};
+
+class BayesianOptimization {
+ public:
+  explicit BayesianOptimization(BoConfig cfg = {}) : cfg_(cfg) {}
+
+  OptResult optimize(circuit::Benchmark& bench, circuit::Fidelity fidelity,
+                     const Objective& objective, util::Rng& rng) const;
+
+ private:
+  BoConfig cfg_;
+};
+
+/// Eq. (1) objective for a fixed target spec group.
+Objective p2sObjective(const circuit::SpecSpace& specs, std::vector<double> target);
+/// Normalized FoM objective (P-Pr)/(P+Pr) + 3 (E-Er)/(E+Er)
+/// ([eff, pout] spec order), matching envs::fomOf.
+Objective fomObjective(double pRef = 2.5, double eRef = 0.55);
+
+}  // namespace crl::baselines

@@ -1,0 +1,73 @@
+#include "baselines/supervised.h"
+
+namespace crl::baselines {
+
+SupervisedSizer::SupervisedSizer(circuit::Benchmark& bench, SupervisedConfig cfg,
+                                 util::Rng rng)
+    : bench_(bench), cfg_(cfg), rng_(rng) {
+  std::vector<std::size_t> dims;
+  dims.push_back(bench_.specSpace().size());
+  for (std::size_t h : cfg_.hidden) dims.push_back(h);
+  dims.push_back(bench_.designSpace().size());
+  // Sigmoid output: normalized parameters live in [0, 1].
+  net_ = std::make_unique<nn::Mlp>(dims, rng_, nn::Activation::Tanh,
+                                   nn::Activation::Sigmoid);
+}
+
+double SupervisedSizer::train() {
+  // Dataset: sample sizings, measure specs, learn specs -> sizing.
+  std::vector<std::vector<double>> specIn;
+  std::vector<std::vector<double>> paramOut;
+  while (static_cast<int>(specIn.size()) < cfg_.datasetSize) {
+    auto p = bench_.designSpace().sample(rng_);
+    auto m = bench_.measureAt(p, cfg_.fidelity);
+    ++datasetSims_;
+    if (!m.valid) continue;
+    specIn.push_back(bench_.specSpace().normalize(m.specs));
+    paramOut.push_back(bench_.designSpace().normalize(p));
+  }
+
+  nn::Adam opt(net_->parameters(), {.lr = cfg_.learningRate});
+  const std::size_t n = specIn.size();
+  double lastLoss = 0.0;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    auto perm = rng_.permutation(n);
+    double epochLoss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < n; start += cfg_.batchSize) {
+      const std::size_t end = std::min(start + static_cast<std::size_t>(cfg_.batchSize), n);
+      linalg::Mat x(end - start, bench_.specSpace().size());
+      linalg::Mat y(end - start, bench_.designSpace().size());
+      for (std::size_t r = start; r < end; ++r) {
+        for (std::size_t c = 0; c < x.cols(); ++c) x(r - start, c) = specIn[perm[r]][c];
+        for (std::size_t c = 0; c < y.cols(); ++c) y(r - start, c) = paramOut[perm[r]][c];
+      }
+      opt.zeroGrad();
+      nn::Tensor pred = net_->forward(nn::Tensor(x));
+      nn::Tensor diff = nn::sub(pred, nn::Tensor(y));
+      nn::Tensor loss = nn::mean(nn::mul(diff, diff));
+      nn::backward(loss);
+      opt.step();
+      epochLoss += loss.item();
+      ++batches;
+    }
+    lastLoss = epochLoss / static_cast<double>(batches);
+  }
+  return lastLoss;
+}
+
+std::vector<double> SupervisedSizer::predict(const std::vector<double>& target) const {
+  auto normTarget = bench_.specSpace().normalize(target);
+  nn::Tensor out = net_->forward(nn::Tensor::row(normTarget));
+  std::vector<double> u(out.cols());
+  for (std::size_t i = 0; i < u.size(); ++i) u[i] = out.value()(0, i);
+  return bench_.designSpace().denormalize(u);
+}
+
+bool SupervisedSizer::designMeets(const std::vector<double>& target) {
+  auto p = predict(target);
+  auto m = bench_.measureAt(p, cfg_.fidelity);
+  return m.valid && bench_.specSpace().satisfied(m.specs, target);
+}
+
+}  // namespace crl::baselines

@@ -1,0 +1,49 @@
+#pragma once
+// Supervised-learning baseline [8]: learn the static inverse mapping from
+// desired specifications to device parameters with an FCNN, then size a
+// circuit in one inference step. Suffers the approximation-error accuracy
+// ceiling the paper describes (no iterative refinement).
+
+#include <memory>
+
+#include "circuit/benchmark.h"
+#include "nn/module.h"
+#include "nn/optim.h"
+#include "util/rng.h"
+
+namespace crl::baselines {
+
+struct SupervisedConfig {
+  int datasetSize = 2000;
+  int epochs = 60;
+  int batchSize = 64;
+  double learningRate = 1e-3;
+  std::vector<std::size_t> hidden = {64, 64};
+  circuit::Fidelity fidelity = circuit::Fidelity::Fine;
+};
+
+class SupervisedSizer {
+ public:
+  SupervisedSizer(circuit::Benchmark& bench, SupervisedConfig cfg, util::Rng rng);
+
+  /// Generate the dataset (random sizings -> measured specs) and fit the
+  /// inverse network. Returns the final training MSE.
+  double train();
+
+  /// One-step inference: predicted parameter vector for a target spec group.
+  std::vector<double> predict(const std::vector<double>& target) const;
+
+  /// Predict, simulate, and check whether the target is actually met.
+  bool designMeets(const std::vector<double>& target);
+
+  long datasetSimulations() const { return datasetSims_; }
+
+ private:
+  circuit::Benchmark& bench_;
+  SupervisedConfig cfg_;
+  util::Rng rng_;
+  std::unique_ptr<nn::Mlp> net_;
+  long datasetSims_ = 0;
+};
+
+}  // namespace crl::baselines

@@ -1,0 +1,111 @@
+#include "circuit/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace crl::circuit {
+
+SensitivityResult specSensitivity(Benchmark& bench, const std::vector<double>& params,
+                                  SensitivityOptions opt) {
+  SensitivityResult res;
+  const auto& space = bench.designSpace();
+  res.baseParams = space.clamp(params);
+
+  auto base = bench.measureAt(res.baseParams, opt.fidelity);
+  if (!base.valid) return res;
+  res.baseSpecs = base.specs;
+
+  const std::size_t nSpecs = bench.specSpace().size();
+  const std::size_t nParams = space.size();
+  res.jacobian = linalg::Mat(nSpecs, nParams);
+  res.elasticity = linalg::Mat(nSpecs, nParams);
+
+  for (std::size_t j = 0; j < nParams; ++j) {
+    const auto& p = space.param(j);
+    double h = std::max(opt.relStep * (p.max - p.min), p.step);
+    if (p.integer) h = std::max(1.0, std::round(h));
+
+    auto up = res.baseParams;
+    auto dn = res.baseParams;
+    up[j] = std::min(up[j] + h, p.max);
+    dn[j] = std::max(dn[j] - h, p.min);
+    up = space.clamp(up);
+    dn = space.clamp(dn);
+    const double dh = up[j] - dn[j];
+    if (dh <= 0.0) continue;  // degenerate range
+
+    auto mu = bench.measureAt(up, opt.fidelity);
+    auto md = bench.measureAt(dn, opt.fidelity);
+    if (!mu.valid || !md.valid) continue;  // leave the column at 0
+
+    for (std::size_t i = 0; i < nSpecs; ++i) {
+      const double d = (mu.specs[i] - md.specs[i]) / dh;
+      res.jacobian(i, j) = d;
+      const double s0 = res.baseSpecs[i];
+      const double p0 = res.baseParams[j];
+      if (std::fabs(s0) > 1e-30 && std::fabs(p0) > 1e-30)
+        res.elasticity(i, j) = d * p0 / s0;
+    }
+  }
+  // Restore the benchmark to the base sizing for the caller.
+  bench.setParams(res.baseParams);
+  res.valid = true;
+  return res;
+}
+
+YieldResult monteCarloYield(Benchmark& bench, const std::vector<double>& nominal,
+                            const std::vector<double>& target, util::Rng& rng,
+                            YieldOptions opt) {
+  YieldResult res;
+  res.samples = opt.samples;
+  const auto& space = bench.designSpace();
+  const auto& specs = bench.specSpace();
+  res.specStats.resize(specs.size());
+
+  const auto base = space.clamp(nominal);
+  for (int s = 0; s < opt.samples; ++s) {
+    auto p = base;
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const auto& ps = space.param(j);
+      p[j] += rng.normal(0.0, opt.sigmaFrac * (ps.max - ps.min));
+    }
+    p = space.clamp(p);
+    auto m = bench.measureAt(p, opt.fidelity);
+    if (!m.valid) continue;
+    ++res.validCount;
+    for (std::size_t i = 0; i < specs.size(); ++i) res.specStats[i].add(m.specs[i]);
+    if (specs.satisfied(m.specs, target)) ++res.passCount;
+  }
+  res.yield = res.samples > 0 ? static_cast<double>(res.passCount) / res.samples : 0.0;
+  bench.setParams(base);
+  return res;
+}
+
+std::vector<CornerResult> cornerSweep(Benchmark& bench, const std::vector<double>& nominal,
+                                      double spread, Fidelity fidelity) {
+  const auto& space = bench.designSpace();
+  const auto base = space.clamp(nominal);
+
+  const struct {
+    const char* name;
+    double scale;
+  } corners[] = {{"slow", 1.0 - spread}, {"nominal", 1.0}, {"fast", 1.0 + spread}};
+
+  std::vector<CornerResult> out;
+  for (const auto& c : corners) {
+    auto p = base;
+    for (double& v : p) v *= c.scale;
+    p = space.clamp(p);
+    auto m = bench.measureAt(p, fidelity);
+    CornerResult r;
+    r.name = c.name;
+    r.scale = c.scale;
+    r.valid = m.valid;
+    r.specs = m.specs;
+    out.push_back(std::move(r));
+  }
+  bench.setParams(base);
+  return out;
+}
+
+}  // namespace crl::circuit

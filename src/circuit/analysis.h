@@ -1,0 +1,84 @@
+#pragma once
+// Designer-facing analysis toolkit on top of the Benchmark interface:
+//
+//  * specSensitivity — finite-difference Jacobian of every specification
+//    with respect to every tunable parameter, plus the normalized
+//    elasticity matrix (% spec change per % parameter change). This is the
+//    quantitative version of the "design trade-offs" the paper's FCNN
+//    pathway is meant to capture.
+//  * monteCarloYield — spec-distribution / yield estimation under random
+//    parameter perturbations (mismatch-style Monte Carlo around a sizing).
+//  * cornerSweep — worst/best-case corners obtained by scaling all
+//    parameters together (slow/nominal/fast flavour).
+//
+// Everything works through Benchmark::measureAt, so the toolkit applies to
+// any circuit benchmark (op-amp, RF PA, or user-defined).
+
+#include <vector>
+
+#include "circuit/benchmark.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace crl::circuit {
+
+struct SensitivityOptions {
+  Fidelity fidelity = Fidelity::Fine;
+  /// Finite-difference step as a fraction of each parameter's range; the
+  /// probe is snapped to the design grid and falls back to one-sided
+  /// differences at the bounds.
+  double relStep = 0.05;
+};
+
+struct SensitivityResult {
+  bool valid = false;             ///< false if the base point fails to simulate
+  std::vector<double> baseParams;
+  std::vector<double> baseSpecs;
+  /// [numSpecs x numParams] d spec_i / d param_j.
+  linalg::Mat jacobian;
+  /// [numSpecs x numParams] (d spec / spec) / (d param / param) — elasticity;
+  /// zero where the base spec or parameter is ~0.
+  linalg::Mat elasticity;
+};
+
+/// Finite-difference sensitivity of all specs around `params`.
+SensitivityResult specSensitivity(Benchmark& bench, const std::vector<double>& params,
+                                  SensitivityOptions opt = {});
+
+struct YieldOptions {
+  Fidelity fidelity = Fidelity::Fine;
+  /// Gaussian perturbation sigma as a fraction of each parameter's range.
+  double sigmaFrac = 0.02;
+  int samples = 100;
+};
+
+struct YieldResult {
+  int samples = 0;
+  int validCount = 0;   ///< simulations that converged
+  int passCount = 0;    ///< valid samples meeting every spec target
+  double yield = 0.0;   ///< passCount / samples
+  /// Per-spec distribution across the valid samples.
+  std::vector<util::RunningStats> specStats;
+};
+
+/// Monte-Carlo yield of a sizing against a spec target under parameter
+/// perturbations (mismatch-style variation on the design grid).
+YieldResult monteCarloYield(Benchmark& bench, const std::vector<double>& nominal,
+                            const std::vector<double>& target, util::Rng& rng,
+                            YieldOptions opt = {});
+
+struct CornerResult {
+  std::string name;
+  double scale = 1.0;
+  bool valid = false;
+  std::vector<double> specs;
+};
+
+/// Evaluate slow/nominal/fast corners by scaling every parameter around a
+/// sizing (clamped to the design space).
+std::vector<CornerResult> cornerSweep(Benchmark& bench, const std::vector<double>& nominal,
+                                      double spread = 0.1,
+                                      Fidelity fidelity = Fidelity::Fine);
+
+}  // namespace crl::circuit

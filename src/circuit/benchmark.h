@@ -1,0 +1,55 @@
+#pragma once
+// Common interface of the sizable circuit benchmarks (two-stage Op-Amp and
+// GaN RF PA). Environments talk to circuits exclusively through this.
+
+#include <string>
+#include <vector>
+
+#include "circuit/design_space.h"
+#include "circuit/graph.h"
+#include "circuit/spec.h"
+
+namespace crl::circuit {
+
+/// Simulation fidelity (Sec. 3 "Transfer Learning"): Fine is the reference
+/// environment (AC/DC for the op-amp, transient steady-state for the PA);
+/// Coarse is the fast approximation used to train RF agents.
+enum class Fidelity { Coarse, Fine };
+
+struct Measurement {
+  std::vector<double> specs;  ///< aligned with SpecSpace order
+  bool valid = false;         ///< false if simulation failed to converge
+};
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual const DesignSpace& designSpace() const = 0;
+  virtual const SpecSpace& specSpace() const = 0;
+  virtual const CircuitGraph& graph() const = 0;
+
+  virtual const std::vector<double>& currentParams() const = 0;
+  virtual void setParams(const std::vector<double>& params) = 0;
+
+  /// Simulate the current sizing and report the spec vector. Implementations
+  /// must return worst-case specs with valid=false when the solver fails, so
+  /// callers can always compute a (very negative) reward.
+  virtual Measurement measure(Fidelity fidelity) = 0;
+
+  /// Convenience: set parameters then measure.
+  Measurement measureAt(const std::vector<double>& params, Fidelity fidelity) {
+    setParams(params);
+    return measure(fidelity);
+  }
+
+  /// Number of simulator invocations so far (per fidelity), for the paper's
+  /// "# of simulation steps" bookkeeping.
+  virtual long simCount(Fidelity fidelity) const = 0;
+
+  /// Worst-case spec vector reported when simulation fails.
+  virtual std::vector<double> worstSpecs() const = 0;
+};
+
+}  // namespace crl::circuit

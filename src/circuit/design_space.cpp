@@ -1,0 +1,95 @@
+#include "circuit/design_space.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crl::circuit {
+
+DesignSpace::DesignSpace(std::vector<ParamSpec> params) : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    if (p.max <= p.min) throw std::invalid_argument("DesignSpace: max <= min for " + p.name);
+    if (p.step <= 0.0) throw std::invalid_argument("DesignSpace: step <= 0 for " + p.name);
+  }
+}
+
+double DesignSpace::snap(double v, const ParamSpec& p) const {
+  double k = std::round((v - p.min) / p.step);
+  double maxK = std::floor((p.max - p.min) / p.step + 1e-9);
+  if (k < 0.0) k = 0.0;
+  if (k > maxK) k = maxK;
+  double snapped = p.min + k * p.step;
+  if (p.integer) snapped = std::round(snapped);
+  return snapped;
+}
+
+std::vector<double> DesignSpace::sample(util::Rng& rng) const {
+  std::vector<double> x(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto& p = params_[i];
+    x[i] = snap(rng.uniform(p.min, p.max), p);
+  }
+  return x;
+}
+
+std::vector<double> DesignSpace::midpoint() const {
+  std::vector<double> x(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    x[i] = snap(0.5 * (params_[i].min + params_[i].max), params_[i]);
+  return x;
+}
+
+std::vector<double> DesignSpace::clamp(const std::vector<double>& x) const {
+  if (x.size() != params_.size()) throw std::invalid_argument("DesignSpace: dim mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = snap(x[i], params_[i]);
+  return out;
+}
+
+std::vector<double> DesignSpace::applyActions(const std::vector<double>& x,
+                                              const std::vector<int>& actions) const {
+  if (actions.size() != params_.size())
+    throw std::invalid_argument("DesignSpace: action dim mismatch");
+  std::vector<double> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (actions[i] < -1 || actions[i] > 1)
+      throw std::invalid_argument("DesignSpace: action out of {-1,0,1}");
+    out[i] = snap(x[i] + actions[i] * params_[i].step, params_[i]);
+  }
+  return out;
+}
+
+std::vector<double> DesignSpace::normalize(const std::vector<double>& x) const {
+  if (x.size() != params_.size()) throw std::invalid_argument("DesignSpace: dim mismatch");
+  std::vector<double> u(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto& p = params_[i];
+    u[i] = (x[i] - p.min) / (p.max - p.min);
+  }
+  return u;
+}
+
+std::vector<double> DesignSpace::denormalize(const std::vector<double>& u) const {
+  if (u.size() != params_.size()) throw std::invalid_argument("DesignSpace: dim mismatch");
+  std::vector<double> x(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const auto& p = params_[i];
+    x[i] = snap(p.min + u[i] * (p.max - p.min), p);
+  }
+  return x;
+}
+
+int DesignSpace::gridLevels(std::size_t i) const {
+  const auto& p = params_.at(i);
+  return static_cast<int>(std::floor((p.max - p.min) / p.step + 1e-9)) + 1;
+}
+
+bool DesignSpace::contains(const std::vector<double>& x) const {
+  if (x.size() != params_.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto& p = params_[i];
+    if (x[i] < p.min - 0.5 * p.step || x[i] > p.max + 0.5 * p.step) return false;
+  }
+  return true;
+}
+
+}  // namespace crl::circuit

@@ -1,0 +1,59 @@
+#pragma once
+// Tunable-parameter space of a circuit benchmark (Table 1 of the paper).
+//
+// Each parameter lives on a discrete grid [min, max] with step `step` — the
+// paper's action space tunes each parameter by +step / 0 / -step per RL step.
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace crl::circuit {
+
+struct ParamSpec {
+  std::string name;
+  double min = 0.0;
+  double max = 1.0;
+  double step = 0.1;     ///< the paper's smallest tuning unit (delta-x)
+  bool integer = false;  ///< snap to integers (finger counts)
+};
+
+class DesignSpace {
+ public:
+  DesignSpace() = default;
+  explicit DesignSpace(std::vector<ParamSpec> params);
+
+  std::size_t size() const { return params_.size(); }
+  const ParamSpec& param(std::size_t i) const { return params_.at(i); }
+  const std::vector<ParamSpec>& params() const { return params_; }
+
+  /// Uniform random point on the grid.
+  std::vector<double> sample(util::Rng& rng) const;
+  /// Midpoint of every parameter range (snapped to the grid).
+  std::vector<double> midpoint() const;
+
+  /// Clamp a point into bounds and snap to the grid.
+  std::vector<double> clamp(const std::vector<double>& x) const;
+
+  /// Apply a per-parameter action in {-1, 0, +1} (times `step`), clamped.
+  std::vector<double> applyActions(const std::vector<double>& x,
+                                   const std::vector<int>& actions) const;
+
+  /// Normalize to [0, 1] per parameter (for NN features).
+  std::vector<double> normalize(const std::vector<double>& x) const;
+  /// Inverse of normalize (then snapped to the grid).
+  std::vector<double> denormalize(const std::vector<double>& u) const;
+
+  /// Number of grid points of parameter i.
+  int gridLevels(std::size_t i) const;
+
+  /// True if x is inside bounds (within a half grid step).
+  bool contains(const std::vector<double>& x) const;
+
+ private:
+  double snap(double v, const ParamSpec& p) const;
+  std::vector<ParamSpec> params_;
+};
+
+}  // namespace crl::circuit

@@ -1,0 +1,118 @@
+#include "circuit/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace crl::circuit {
+
+CircuitGraph::CircuitGraph(std::vector<GraphNode> nodes,
+                           std::vector<std::pair<int, int>> edges)
+    : nodes_(std::move(nodes)), edges_(std::move(edges)) {
+  const std::size_t n = nodes_.size();
+  adj_ = linalg::Mat(n, n);
+  for (auto [a, b] : edges_) {
+    if (a < 0 || b < 0 || a >= static_cast<int>(n) || b >= static_cast<int>(n) || a == b)
+      throw std::invalid_argument("CircuitGraph: bad edge");
+    adj_(a, b) = 1.0;
+    adj_(b, a) = 1.0;
+  }
+
+  // Normalized adjacency with self loops (Eq. 2): D^-1/2 (A + I) D^-1/2.
+  linalg::Mat ahat = adj_;
+  for (std::size_t i = 0; i < n; ++i) ahat(i, i) += 1.0;
+  std::vector<double> dInvSqrt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (std::size_t j = 0; j < n; ++j) deg += ahat(i, j);
+    dInvSqrt[i] = 1.0 / std::sqrt(deg);
+  }
+  normAdj_ = linalg::Mat(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      normAdj_(i, j) = dInvSqrt[i] * ahat(i, j) * dInvSqrt[j];
+
+  mask_ = linalg::Mat(n, n, -1e9);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (i == j || adj_(i, j) > 0.5) mask_(i, j) = 0.0;
+}
+
+linalg::Mat CircuitGraph::features() const {
+  const std::size_t n = nodes_.size();
+  linalg::Mat x(n, kNodeFeatureDim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int code = static_cast<int>(nodes_[i].type);
+    for (int b = 0; b < kTypeBits; ++b)
+      x(i, b) = ((code >> (kTypeBits - 1 - b)) & 1) ? 1.0 : 0.0;
+    double slots[kParamSlots] = {0.0, 0.0};
+    if (nodes_[i].fillParams) nodes_[i].fillParams(slots);
+    for (int s = 0; s < kParamSlots; ++s) x(i, kTypeBits + s) = slots[s];
+  }
+  return x;
+}
+
+int CircuitGraph::degree(int i) const {
+  int d = 0;
+  for (std::size_t j = 0; j < nodes_.size(); ++j)
+    if (adj_(i, j) > 0.5) ++d;
+  return d;
+}
+
+void GraphBuilder::addDevice(const spice::Device* dev, GraphNodeType type,
+                             std::function<void(double*)> fillParams) {
+  devices_.push_back({dev, type, std::move(fillParams)});
+}
+
+void GraphBuilder::addNetNode(spice::NodeId net, GraphNodeType type,
+                              const std::string& name,
+                              std::function<void(double*)> fillParams) {
+  netNodes_.push_back({net, type, name, std::move(fillParams)});
+}
+
+CircuitGraph GraphBuilder::build() const {
+  std::vector<GraphNode> nodes;
+  nodes.reserve(devices_.size() + netNodes_.size());
+  for (const auto& d : devices_) nodes.push_back({d.dev->name(), d.type, d.fill});
+  for (const auto& nn : netNodes_) nodes.push_back({nn.name, nn.type, nn.fill});
+
+  // Nets owned by a net-node do not create device-device edges; the edge goes
+  // device <-> net-node instead (this is how VP/GND/bias become hubs).
+  std::set<spice::NodeId> specialNets;
+  for (const auto& nn : netNodes_) specialNets.insert(nn.net);
+
+  std::set<std::pair<int, int>> edgeSet;
+  auto addEdge = [&](int a, int b) {
+    if (a == b) return;
+    edgeSet.insert({std::min(a, b), std::max(a, b)});
+  };
+
+  // Device-device edges through shared ordinary nets.
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    auto ti = devices_[i].dev->terminals();
+    for (std::size_t j = i + 1; j < devices_.size(); ++j) {
+      auto tj = devices_[j].dev->terminals();
+      bool connected = false;
+      for (spice::NodeId a : ti) {
+        if (specialNets.count(a)) continue;
+        if (std::find(tj.begin(), tj.end(), a) != tj.end()) connected = true;
+      }
+      if (connected) addEdge(static_cast<int>(i), static_cast<int>(j));
+    }
+  }
+
+  // Device <-> net-node edges.
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    auto ti = devices_[i].dev->terminals();
+    for (std::size_t k = 0; k < netNodes_.size(); ++k) {
+      if (std::find(ti.begin(), ti.end(), netNodes_[k].net) != ti.end())
+        addEdge(static_cast<int>(i), static_cast<int>(devices_.size() + k));
+    }
+  }
+
+  std::vector<std::pair<int, int>> edges(edgeSet.begin(), edgeSet.end());
+  return CircuitGraph(std::move(nodes), std::move(edges));
+}
+
+}  // namespace crl::circuit

@@ -1,0 +1,116 @@
+#pragma once
+// Circuit-topology graph (the paper's state representation).
+//
+// Graph nodes are devices plus the supply / ground / DC-bias nets ("full
+// topology" — the ingredient Baseline B omits). Two device nodes share an
+// edge when their terminals touch a common circuit net; a device and a
+// supply/bias node share an edge when the device touches that net.
+//
+// Node features follow Sec. 3: (t, p) with t the binary code of the node
+// type and p the zero-padded parameter vector — (W, nf) for transistors,
+// value for passives, voltage for supply/bias nodes. Parameters are
+// normalized before being handed to the policy network.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "spice/netlist.h"
+
+namespace crl::circuit {
+
+enum class GraphNodeType : int {
+  Nmos = 0,
+  Pmos = 1,
+  GanFet = 2,
+  Capacitor = 3,
+  Resistor = 4,
+  Inductor = 5,
+  Supply = 6,
+  Ground = 7,
+  Bias = 8,
+};
+
+/// Number of bits in the binary type code (fits all GraphNodeType values).
+constexpr int kTypeBits = 4;
+/// Parameter slots per node (transistors use two: W and nf).
+constexpr int kParamSlots = 2;
+/// Total feature dimension per graph node.
+constexpr int kNodeFeatureDim = kTypeBits + kParamSlots;
+
+struct GraphNode {
+  std::string name;
+  GraphNodeType type;
+  /// Produces the (normalized) parameter slots for the current sizing.
+  std::function<void(double* slots)> fillParams;
+};
+
+class CircuitGraph {
+ public:
+  CircuitGraph(std::vector<GraphNode> nodes, std::vector<std::pair<int, int>> edges);
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+  const GraphNode& node(std::size_t i) const { return nodes_.at(i); }
+  const std::vector<std::pair<int, int>>& edges() const { return edges_; }
+
+  /// 0/1 adjacency (no self loops).
+  const linalg::Mat& adjacency() const { return adj_; }
+  /// Symmetric-normalized adjacency with self loops: D^-1/2 (A+I) D^-1/2
+  /// (the GCN propagation matrix of Eq. 2).
+  const linalg::Mat& normalizedAdjacency() const { return normAdj_; }
+  /// Attention mask: 0 where an edge (or self loop) exists, -1e9 elsewhere
+  /// (added to GAT attention logits before the softmax).
+  const linalg::Mat& attentionMask() const { return mask_; }
+
+  /// Assemble the node-feature matrix [n x kNodeFeatureDim] for the current
+  /// parameters (via each node's fillParams callback).
+  linalg::Mat features() const;
+
+  bool hasEdge(int a, int b) const { return adj_(a, b) > 0.5; }
+  int degree(int i) const;
+
+ private:
+  std::vector<GraphNode> nodes_;
+  std::vector<std::pair<int, int>> edges_;
+  linalg::Mat adj_;
+  linalg::Mat normAdj_;
+  linalg::Mat mask_;
+};
+
+/// Helper that accumulates device/net annotations and derives the edges from
+/// netlist connectivity.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(const spice::Netlist& net) : net_(net) {}
+
+  /// Register a device as a graph node. excludeNets lists nets that should
+  /// not create device-device edges (e.g. supply nets, handled separately).
+  void addDevice(const spice::Device* dev, GraphNodeType type,
+                 std::function<void(double*)> fillParams);
+
+  /// Register a supply / ground / bias net as an extra graph node.
+  void addNetNode(spice::NodeId net, GraphNodeType type, const std::string& name,
+                  std::function<void(double*)> fillParams);
+
+  CircuitGraph build() const;
+
+ private:
+  struct DeviceEntry {
+    const spice::Device* dev;
+    GraphNodeType type;
+    std::function<void(double*)> fill;
+  };
+  struct NetEntry {
+    spice::NodeId net;
+    GraphNodeType type;
+    std::string name;
+    std::function<void(double*)> fill;
+  };
+
+  const spice::Netlist& net_;
+  std::vector<DeviceEntry> devices_;
+  std::vector<NetEntry> netNodes_;
+};
+
+}  // namespace crl::circuit

@@ -1,0 +1,214 @@
+#include "circuit/opamp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crl::circuit {
+
+namespace {
+constexpr double kMicron = 1e-6;
+constexpr double kPico = 1e-12;
+
+DesignSpace makeOpAmpSpace() {
+  // Table 1: W in [1, 100] um, fingers in [2, 32], Cc in [0.1, 10] pF. Grid
+  // steps are the paper's "smallest tuning unit": ~32 levels per parameter.
+  std::vector<ParamSpec> params;
+  for (int i = 1; i <= 7; ++i) {
+    params.push_back({"M" + std::to_string(i) + ".W", 1.0, 100.0, 3.3, false});
+    params.push_back({"M" + std::to_string(i) + ".nf", 2.0, 32.0, 1.0, true});
+  }
+  params.push_back({"Cc", 0.1, 10.0, 0.33, false});
+  return DesignSpace(std::move(params));
+}
+
+SpecSpace makeOpAmpSpecs() {
+  return SpecSpace({
+      {"gain", 300.0, 500.0, SpecDirection::Maximize, false},
+      {"ugbw", 1e6, 2.5e7, SpecDirection::Maximize, true},
+      {"pm", 55.0, 60.0, SpecDirection::Maximize, false},
+      {"power", 1e-4, 1e-2, SpecDirection::Minimize, true},
+  });
+}
+}  // namespace
+
+TwoStageOpAmp::TwoStageOpAmp(OpAmpConfig cfg)
+    : cfg_(cfg), space_(makeOpAmpSpace()), specs_(makeOpAmpSpecs()) {
+  params_ = space_.midpoint();
+  buildNetlist();
+  setParams(params_);
+  buildGraph();
+}
+
+void TwoStageOpAmp::buildNetlist() {
+  using namespace spice;
+  MosModel nm;
+  nm.type = MosType::Nmos;
+  nm.kp = cfg_.kpN;
+  nm.vth = cfg_.vthN;
+  nm.lambda = cfg_.lambdaN;
+  nm.length = cfg_.length;
+  MosModel pm = nm;
+  pm.type = MosType::Pmos;
+  pm.kp = cfg_.kpP;
+  pm.vth = cfg_.vthP;
+  pm.lambda = cfg_.lambdaP;
+
+  NodeId vdd = net_.node("vdd");
+  NodeId vinp = net_.node("vinp");
+  NodeId vinm = net_.node("vinm");
+  NodeId ntail = net_.node("ntail");
+  NodeId n1 = net_.node("n1");        // M1/M3 drains, mirror gate
+  NodeId nout1 = net_.node("nout1");  // first-stage output
+  NodeId nout = net_.node("nout");    // amp output
+  NodeId nbias = net_.node("nbias");
+
+  vddSrc_ = net_.add<VSource>("Vdd", vdd, kGround, cfg_.vdd);
+  vbiasSrc_ = net_.add<VSource>("Vbias", nbias, kGround, cfg_.vbias);
+
+  // In this topology M2's gate (vinm) is the NON-inverting input (its drain
+  // drives the inverting second stage), and M1's gate (vinp) is inverting.
+  // The AC drive therefore sits on vinm; the DC servo closes on vinp so the
+  // loop is negative feedback. The servo capacitor AC-grounds vinp, so a
+  // unit AC magnitude here is a unit differential drive.
+  auto* vm = net_.add<VSource>("Vinm", vinm, kGround, cfg_.vcm);
+  vm->setAcMag(1.0);
+
+  const double w0 = 10.0 * kMicron;
+  fets_.push_back(net_.add<Mosfet>("M1", n1, vinp, ntail, nm, w0, 2));
+  fets_.push_back(net_.add<Mosfet>("M2", nout1, vinm, ntail, nm, w0, 2));
+  fets_.push_back(net_.add<Mosfet>("M3", n1, n1, vdd, pm, w0, 2));
+  fets_.push_back(net_.add<Mosfet>("M4", nout1, n1, vdd, pm, w0, 2));
+  fets_.push_back(net_.add<Mosfet>("M5", ntail, nbias, kGround, nm, w0, 2));
+  fets_.push_back(net_.add<Mosfet>("M6", nout, nout1, vdd, pm, w0, 2));
+  fets_.push_back(net_.add<Mosfet>("M7", nout, nbias, kGround, nm, w0, 2));
+
+  // Miller compensation with a gm-tracking zero-nulling resistor. Rz is
+  // implemented the way production op-amps do it — as a triode device biased
+  // to track 1/gm6 — so measure() updates its value to 1/gm6 at the solved
+  // operating point (Rz carries no DC current, so this does not disturb the
+  // bias). Exact nulling parks the Miller zero at infinity across the whole
+  // sizing range.
+  NodeId nzc = net_.node("nzc");
+  cc_ = net_.add<Capacitor>("Cc", nout1, nzc, 1.0 * kPico);
+  rz_ = net_.add<Resistor>("Rz", nzc, nout, cfg_.rZero);
+  net_.add<Capacitor>("CL", nout, kGround, cfg_.loadCap);
+
+  // DC servo: at DC the inverting input (vinp) follows the output, biasing
+  // the amp at its balanced operating point regardless of input-pair
+  // mismatch; above ~Hz the 1 GOhm / 1 mF low-pass opens the loop so the AC
+  // measurement sees the open-loop transfer function.
+  net_.add<Resistor>("Rservo", nout, vinp, 1e9);
+  net_.add<Capacitor>("Cservo", vinp, kGround, 1e-3);
+
+  outNode_ = nout;
+  net_.finalize();
+}
+
+void TwoStageOpAmp::buildGraph() {
+  GraphBuilder builder(net_);
+  // Transistor nodes: normalized (W, nf) features that track params_ live.
+  for (std::size_t i = 0; i < fets_.size(); ++i) {
+    GraphNodeType type =
+        fets_[i]->model().type == spice::MosType::Nmos ? GraphNodeType::Nmos
+                                                       : GraphNodeType::Pmos;
+    builder.addDevice(fets_[i], type, [this, i](double* slots) {
+      const auto& pw = space_.param(2 * i);
+      const auto& pf = space_.param(2 * i + 1);
+      slots[0] = (params_[2 * i] - pw.min) / (pw.max - pw.min);
+      slots[1] = (params_[2 * i + 1] - pf.min) / (pf.max - pf.min);
+    });
+  }
+  builder.addDevice(cc_, GraphNodeType::Capacitor, [this](double* slots) {
+    const auto& pc = space_.param(14);
+    slots[0] = (params_[14] - pc.min) / (pc.max - pc.min);
+  });
+  builder.addDevice(net_.findDevice("CL"), GraphNodeType::Capacitor,
+                    [this](double* slots) { slots[0] = cfg_.loadCap / 10e-12; });
+  builder.addDevice(rz_, GraphNodeType::Resistor,
+                    [this](double* slots) { slots[0] = rz_->resistance() / 10e3; });
+
+  // Full topology: supply, ground and bias nets are graph nodes too
+  // (dropped in the partial-topology ablation).
+  if (cfg_.fullTopologyGraph) {
+    builder.addNetNode(net_.findNode("vdd"), GraphNodeType::Supply, "VP",
+                       [this](double* slots) { slots[0] = 1.0; });
+    builder.addNetNode(spice::kGround, GraphNodeType::Ground, "VGND", nullptr);
+    builder.addNetNode(net_.findNode("nbias"), GraphNodeType::Bias, "Vbias",
+                       [this](double* slots) { slots[0] = cfg_.vbias / cfg_.vdd; });
+  }
+  graph_ = std::make_unique<CircuitGraph>(builder.build());
+}
+
+void TwoStageOpAmp::setParams(const std::vector<double>& params) {
+  if (params.size() != kNumParams)
+    throw std::invalid_argument("TwoStageOpAmp: expected 15 parameters");
+  params_ = space_.clamp(params);
+  for (std::size_t i = 0; i < fets_.size(); ++i) {
+    fets_[i]->setGeometry(params_[2 * i] * kMicron,
+                          static_cast<int>(params_[2 * i + 1]));
+  }
+  cc_->setCapacitance(params_[14] * kPico);
+  // Geometry changes move the operating point; drop the stale warm start only
+  // if it repeatedly fails (the DC solver falls back to homotopy anyway).
+}
+
+std::vector<double> TwoStageOpAmp::failedSpecs() {
+  // Worst plausible corner of the spec space: tiny gain/BW/PM, high power.
+  return {1.0, 1e4, 1.0, 0.1};
+}
+
+Measurement TwoStageOpAmp::measure(Fidelity) {
+  // AC + DC is already the paper's fast path for analog circuits: coarse and
+  // fine coincide for the op-amp.
+  ++fineSims_;
+  Measurement out;
+  out.specs = failedSpecs();
+
+  // Nodeset at the input common mode: the servo loop has a latched
+  // equilibrium at vout ~ 0 that a flat 0 V guess falls into; starting all
+  // nodes near VCM selects the balanced operating point (this mirrors the
+  // .nodeset every open-loop testbench ships with).
+  spice::DcOptions dcOpt;
+  dcOpt.initialVoltage = cfg_.vcm;
+  spice::DcAnalysis dc(net_, dcOpt);
+  spice::DcResult op = lastOp_ ? dc.solve(*lastOp_) : dc.solve();
+  auto biased = [&](const spice::DcResult& r) {
+    const double vout = spice::Netlist::voltageOf(r.x, outNode_);
+    return r.converged && vout > 0.05 && vout < cfg_.vdd - 0.05;
+  };
+  if (lastOp_ && !biased(op)) {
+    // A stale warm start can drag the solve into the latched state; retry
+    // cold from the nodeset.
+    op = dc.solve();
+  }
+  if (!biased(op)) {
+    lastOp_.reset();
+    return out;
+  }
+  lastOp_ = op.x;
+
+  const double power = cfg_.vdd * std::fabs(op.x[vddSrc_->currentIndex()]);
+
+  // Track the nulling resistor to 1/gm6 at this operating point (see
+  // buildNetlist); series with Cc, so the DC solution is unaffected.
+  const auto e6 = fets_[5]->evalAt(op.x);
+  rz_->setResistance(1.0 / std::max(e6.gm, 1e-6));
+
+  spice::AcAnalysis ac(net_, op.x);
+  auto sweep = ac.sweep(outNode_, cfg_.fSweepLo, cfg_.fSweepHi, cfg_.pointsPerDecade);
+  auto metrics = spice::analyzeResponse(sweep);
+  if (!metrics.valid) {
+    // No unity crossing: report DC gain and power, floor the rest.
+    out.specs = {std::max(metrics.dcGain, 1.0), 1e4, 1.0, std::max(power, 1e-6)};
+    return out;
+  }
+
+  out.specs = {metrics.dcGain, metrics.unityGainFreq, metrics.phaseMarginDeg,
+               std::max(power, 1e-9)};
+  out.valid = true;
+  return out;
+}
+
+long TwoStageOpAmp::simCount(Fidelity) const { return fineSims_; }
+
+}  // namespace crl::circuit

@@ -1,0 +1,105 @@
+#pragma once
+// The CMOS two-stage Miller-compensated Op-Amp benchmark (Fig. 2 of the
+// paper; the standard benchmark of AutoCkt / GCN-RL / BO / GA papers).
+//
+// Topology (7 transistors + compensation cap, matching Table 1's
+// 2*7 + 1 = 15 tunable parameters):
+//
+//   M1/M2  NMOS differential input pair
+//   M3/M4  PMOS current-mirror load (M3 diode-connected)
+//   M5     NMOS tail current source     (gate at Vbias)
+//   M6     PMOS common-source 2nd stage (gate at first-stage output)
+//   M7     NMOS output current sink     (gate at Vbias)
+//   Cc     Miller compensation capacitor, CL fixed load
+//
+// Measurement testbench: the op-amp is placed in a DC servo loop (1 GOhm /
+// 1 mF low-pass from the output to the inverting input) so the operating
+// point self-biases regardless of input-pair mismatch — exactly how an
+// open-loop gain testbench is wired in an industrial simulator. The AC
+// differential drive (+0.5 / -0.5) then measures the open-loop transfer
+// function, from which gain, UGBW, phase margin are extracted; power comes
+// from the supply branch current at the DC operating point.
+
+#include <memory>
+#include <optional>
+
+#include "circuit/benchmark.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/mosfet.h"
+
+namespace crl::circuit {
+
+/// Fixed (non-tunable) technology and testbench constants.
+struct OpAmpConfig {
+  double vdd = 1.2;          ///< supply [V]
+  double vcm = 0.6;          ///< input common mode [V]
+  double vbias = 0.48;       ///< NMOS current-source gate bias [V]
+  double loadCap = 1e-12;    ///< fixed output load [F]
+  /// Initial zero-nulling resistance [Ohm]; measure() retunes it to 1/gm6
+  /// at each operating point (gm-tracking triode implementation).
+  double rZero = 150.0;
+  double length = 150e-9;    ///< channel length (analog device in 45nm node)
+  double kpN = 300e-6;       ///< NMOS mu*Cox [A/V^2]
+  double kpP = 150e-6;       ///< PMOS mu*Cox [A/V^2]
+  double vthN = 0.35;
+  double vthP = 0.35;
+  double lambdaN = 0.25;     ///< short-channel CLM
+  double lambdaP = 0.30;
+  /// Ablation switch: when false the circuit graph omits the supply /
+  /// ground / bias net nodes (Baseline B's partial-topology flaw).
+  bool fullTopologyGraph = true;
+  double fSweepLo = 1e3;     ///< AC sweep bounds [Hz]
+  double fSweepHi = 1e11;    ///< high enough that every sizing crosses unity
+  int pointsPerDecade = 8;
+};
+
+/// Spec order used throughout: [gain (V/V), UGBW (Hz), PM (deg), power (W)].
+class TwoStageOpAmp : public Benchmark {
+ public:
+  static constexpr std::size_t kNumParams = 15;  // 7 x (W, nf) + Cc
+  static constexpr std::size_t kNumSpecs = 4;
+
+  explicit TwoStageOpAmp(OpAmpConfig cfg = {});
+
+  const std::string& name() const override { return name_; }
+  const DesignSpace& designSpace() const override { return space_; }
+  const SpecSpace& specSpace() const override { return specs_; }
+  const CircuitGraph& graph() const override { return *graph_; }
+
+  const std::vector<double>& currentParams() const override { return params_; }
+  void setParams(const std::vector<double>& params) override;
+  Measurement measure(Fidelity fidelity) override;
+  long simCount(Fidelity fidelity) const override;
+
+  /// Worst-case spec vector used when the solver fails.
+  static std::vector<double> failedSpecs();
+  std::vector<double> worstSpecs() const override { return failedSpecs(); }
+
+  const OpAmpConfig& config() const { return cfg_; }
+  spice::Netlist& netlist() { return net_; }
+
+ private:
+  void buildNetlist();
+  void buildGraph();
+
+  std::string name_ = "two-stage-opamp";
+  OpAmpConfig cfg_;
+  DesignSpace space_;
+  SpecSpace specs_;
+  std::vector<double> params_;
+
+  spice::Netlist net_;
+  std::vector<spice::Mosfet*> fets_;   // M1..M7
+  spice::Capacitor* cc_ = nullptr;
+  spice::Resistor* rz_ = nullptr;
+  spice::VSource* vddSrc_ = nullptr;
+  spice::VSource* vbiasSrc_ = nullptr;
+  spice::NodeId outNode_ = spice::kGround;
+  std::unique_ptr<CircuitGraph> graph_;
+  std::optional<linalg::Vec> lastOp_;  // warm start for the DC solver
+  long fineSims_ = 0;
+};
+
+}  // namespace crl::circuit

@@ -1,0 +1,92 @@
+#pragma once
+// Five-transistor OTA benchmark — a third circuit demonstrating that the
+// framework generalizes beyond the paper's two evaluation circuits (the
+// paper positions the method as applying to "various analog circuits").
+//
+// Topology (single stage, 5 x (W, nf) = 10 tunable parameters):
+//
+//   M1/M2  NMOS differential input pair
+//   M3/M4  PMOS current-mirror load (M3 diode-connected)
+//   M5     NMOS tail current source (gate at Vbias)
+//   CL     fixed load capacitor at the output (M2/M4 drains)
+//
+// Spec order matches the two-stage op-amp: [gain, UGBW (Hz), PM (deg),
+// power (W)]. A single-stage OTA has no Miller compensation, so its phase
+// margin is naturally high and the binding trade-off is gain/bandwidth vs
+// power — a usefully different optimization landscape from the two-stage.
+//
+// The measurement testbench is the same DC-servo open-loop arrangement used
+// by TwoStageOpAmp.
+
+#include <memory>
+#include <optional>
+
+#include "circuit/benchmark.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/mosfet.h"
+
+namespace crl::circuit {
+
+struct OtaConfig {
+  double vdd = 1.2;        ///< supply [V]
+  double vcm = 0.6;        ///< input common mode [V]
+  double vbias = 0.48;     ///< tail current source gate bias [V]
+  double loadCap = 2e-12;  ///< fixed output load [F]
+  double length = 150e-9;  ///< channel length [m]
+  double kpN = 300e-6;
+  double kpP = 150e-6;
+  double vthN = 0.35;
+  double vthP = 0.35;
+  double lambdaN = 0.25;
+  double lambdaP = 0.30;
+  bool fullTopologyGraph = true;
+  double fSweepLo = 1e3;
+  double fSweepHi = 1e11;
+  int pointsPerDecade = 8;
+};
+
+class FiveTransistorOta : public Benchmark {
+ public:
+  static constexpr std::size_t kNumParams = 10;  // 5 x (W, nf)
+  static constexpr std::size_t kNumSpecs = 4;
+
+  explicit FiveTransistorOta(OtaConfig cfg = {});
+
+  const std::string& name() const override { return name_; }
+  const DesignSpace& designSpace() const override { return space_; }
+  const SpecSpace& specSpace() const override { return specs_; }
+  const CircuitGraph& graph() const override { return *graph_; }
+
+  const std::vector<double>& currentParams() const override { return params_; }
+  void setParams(const std::vector<double>& params) override;
+  Measurement measure(Fidelity fidelity) override;
+  long simCount(Fidelity fidelity) const override;
+
+  static std::vector<double> failedSpecs();
+  std::vector<double> worstSpecs() const override { return failedSpecs(); }
+
+  const OtaConfig& config() const { return cfg_; }
+  spice::Netlist& netlist() { return net_; }
+
+ private:
+  void buildNetlist();
+  void buildGraph();
+
+  std::string name_ = "five-transistor-ota";
+  OtaConfig cfg_;
+  DesignSpace space_;
+  SpecSpace specs_;
+  std::vector<double> params_;
+
+  spice::Netlist net_;
+  std::vector<spice::Mosfet*> fets_;  // M1..M5
+  spice::VSource* vddSrc_ = nullptr;
+  spice::NodeId outNode_ = spice::kGround;
+  std::unique_ptr<CircuitGraph> graph_;
+  std::optional<linalg::Vec> lastOp_;
+  long fineSims_ = 0;
+};
+
+}  // namespace crl::circuit

@@ -1,0 +1,104 @@
+#pragma once
+// The GaN RF power-amplifier benchmark (Fig. 4 of the paper, after the
+// saturated broadband amplifier of Diduck et al.).
+//
+// Topology: a six-device driver chain (D1..D5 and DF) of AC-coupled
+// common-source GaN stages with resistive loads, followed by the power
+// transistor M1 whose drain is fed through an RF choke and AC-coupled into
+// the 50-Ohm load. 7 devices x (W, nf) = 14 tunable parameters (Table 1).
+//
+// Measurements (spec order [efficiency (0..1), output power (W)]):
+//  * Fine  — transient (trapezoidal) simulation over several carrier
+//    periods; fundamental output power via DFT of the final period and DC
+//    power from the averaged supply-branch current. This computes the same
+//    periodic-steady-state quantities a harmonic-balance engine reports and
+//    is deliberately the expensive path.
+//  * Coarse — a single DC operating point plus a quasi-static signal-chain
+//    estimate (saturating per-stage gains, clipped-sine fundamental at the
+//    power device, class-AB supply-current model). This is the paper's
+//    "rough DC simulation": cheap, correlated with fine, bounded error.
+
+#include <memory>
+#include <optional>
+
+#include "circuit/benchmark.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/gan.h"
+#include "spice/tran.h"
+
+namespace crl::circuit {
+
+struct RfPaConfig {
+  double vdd = 28.0;          ///< power-stage drain supply VP [V]
+  double vdrv = 12.0;         ///< driver supply VP1 [V]
+  double vbiasDriver = 0.0;   ///< driver gate-return bias Vbias1 [V]
+  double vbiasPower = -2.0;   ///< power-stage gate bias Vbias2 (class-AB) [V]
+  double f0 = 400e6;          ///< carrier frequency [Hz]
+  double inputAmplitude = 1.2;///< saturated drive amplitude [V]
+  double rLoad = 50.0;        ///< antenna load [Ohm]
+  double rDrv1 = 200.0;       ///< driver stage drain loads [Ohm]
+  double rDrv2 = 150.0;
+  double rDrv3 = 120.0;
+  double rDrv4 = 125.0;
+  /// Self-bias source resistors (depletion-mode stages bias at
+  /// vgs ~ -Id*Rs; the bypass capacitor restores full AC gain).
+  double rSrc1 = 160.0;
+  double rSrc2 = 130.0;
+  double rSrc3 = 90.0;
+  double rSrc4 = 65.0;
+  double bypassCap = 200e-12;
+  double choke = 120e-9;      ///< drain RF choke [H]
+  double couplingCap = 50e-12;
+  double biasRes = 2e3;
+  int stepsPerPeriod = 128;   ///< transient resolution
+  int settlePeriods = 4;      ///< periods before the measurement window
+  /// Technology model shared by every GaN device (150 nm GaN flavour).
+  spice::GanModel ganModel{};
+};
+
+class GanRfPa : public Benchmark {
+ public:
+  static constexpr std::size_t kNumParams = 14;  // 7 x (W, nf)
+  static constexpr std::size_t kNumSpecs = 2;
+
+  explicit GanRfPa(RfPaConfig cfg = {});
+
+  const std::string& name() const override { return name_; }
+  const DesignSpace& designSpace() const override { return space_; }
+  const SpecSpace& specSpace() const override { return specs_; }
+  const CircuitGraph& graph() const override { return *graph_; }
+
+  const std::vector<double>& currentParams() const override { return params_; }
+  void setParams(const std::vector<double>& params) override;
+  Measurement measure(Fidelity fidelity) override;
+  long simCount(Fidelity fidelity) const override;
+
+  static std::vector<double> failedSpecs();
+  std::vector<double> worstSpecs() const override { return failedSpecs(); }
+  const RfPaConfig& config() const { return cfg_; }
+  spice::Netlist& netlist() { return net_; }
+
+ private:
+  void buildNetlist();
+  void buildGraph();
+  Measurement measureFine();
+  Measurement measureCoarse();
+
+  std::string name_ = "gan-rf-pa";
+  RfPaConfig cfg_;
+  DesignSpace space_;
+  SpecSpace specs_;
+  std::vector<double> params_;
+
+  spice::Netlist net_;
+  std::vector<spice::GanHemt*> fets_;  // D1..D5, DF, M1 (index 6 = power FET)
+  spice::VSource* vddSrc_ = nullptr;
+  spice::VSource* vinSrc_ = nullptr;
+  spice::NodeId outNode_ = spice::kGround;
+  std::unique_ptr<CircuitGraph> graph_;
+  long fineSims_ = 0;
+  long coarseSims_ = 0;
+};
+
+}  // namespace crl::circuit

@@ -1,0 +1,107 @@
+#include "circuit/spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crl::circuit {
+
+SpecSpace::SpecSpace(std::vector<SpecDef> specs) : specs_(std::move(specs)) {
+  for (const auto& s : specs_) {
+    if (s.sampleMax <= s.sampleMin)
+      throw std::invalid_argument("SpecSpace: bad range for " + s.name);
+    if (s.logScale && s.sampleMin <= 0.0)
+      throw std::invalid_argument("SpecSpace: log scale needs positive range for " + s.name);
+  }
+}
+
+std::vector<double> SpecSpace::sample(util::Rng& rng) const {
+  std::vector<double> g(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto& s = specs_[i];
+    if (s.logScale) {
+      g[i] = std::exp(rng.uniform(std::log(s.sampleMin), std::log(s.sampleMax)));
+    } else {
+      g[i] = rng.uniform(s.sampleMin, s.sampleMax);
+    }
+  }
+  return g;
+}
+
+std::vector<double> SpecSpace::sampleUnseen(util::Rng& rng, double margin) const {
+  std::vector<double> g(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto& s = specs_[i];
+    const double range = s.sampleMax - s.sampleMin;
+    // Pick a side; draw within (0, margin] of the range beyond that side.
+    const double offset = rng.uniform(0.02, margin) * range;
+    if (rng.chance(0.5)) {
+      g[i] = s.sampleMax + offset;
+    } else {
+      g[i] = std::max(s.sampleMin - offset, s.logScale ? 0.05 * s.sampleMin : 0.0);
+      // Keep strictly positive for log-scaled or physically positive specs.
+      if (g[i] <= 0.0) g[i] = 0.5 * s.sampleMin;
+    }
+  }
+  return g;
+}
+
+std::vector<double> SpecSpace::normalize(const std::vector<double>& g) const {
+  if (g.size() != specs_.size()) throw std::invalid_argument("SpecSpace: dim mismatch");
+  std::vector<double> out(g.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto& s = specs_[i];
+    double v;
+    if (s.logScale) {
+      const double lmin = std::log(s.sampleMin), lmax = std::log(s.sampleMax);
+      const double lg = std::log(std::max(g[i], 1e-30));
+      v = 2.0 * (lg - lmin) / (lmax - lmin) - 1.0;
+    } else {
+      v = 2.0 * (g[i] - s.sampleMin) / (s.sampleMax - s.sampleMin) - 1.0;
+    }
+    out[i] = std::clamp(v, -3.0, 3.0);
+  }
+  return out;
+}
+
+double SpecSpace::contribution(std::size_t i, double achieved, double target) const {
+  const auto& s = specs_.at(i);
+  const double denom = std::fabs(achieved) + std::fabs(target);
+  if (denom < 1e-30) return 0.0;
+  double d = (achieved - target) / denom;
+  if (s.direction == SpecDirection::Minimize) d = -d;
+  return std::min(d, 0.0);
+}
+
+double SpecSpace::reward(const std::vector<double>& achieved,
+                         const std::vector<double>& target) const {
+  if (achieved.size() != specs_.size() || target.size() != specs_.size())
+    throw std::invalid_argument("SpecSpace: reward dim mismatch");
+  double r = 0.0;
+  for (std::size_t i = 0; i < specs_.size(); ++i)
+    r += contribution(i, achieved[i], target[i]);
+  return r;
+}
+
+double SpecSpace::signedReward(const std::vector<double>& achieved,
+                               const std::vector<double>& target) const {
+  if (achieved.size() != specs_.size() || target.size() != specs_.size())
+    throw std::invalid_argument("SpecSpace: reward dim mismatch");
+  double r = 0.0;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto& s = specs_[i];
+    const double denom = std::fabs(achieved[i]) + std::fabs(target[i]);
+    if (denom < 1e-30) continue;
+    double d = (achieved[i] - target[i]) / denom;
+    if (s.direction == SpecDirection::Minimize) d = -d;
+    r += d;
+  }
+  return r;
+}
+
+bool SpecSpace::satisfied(const std::vector<double>& achieved,
+                          const std::vector<double>& target) const {
+  return reward(achieved, target) >= 0.0;
+}
+
+}  // namespace crl::circuit

@@ -1,0 +1,69 @@
+#pragma once
+// Specification space and the paper's Eq. (1) reward.
+//
+// A SpecSpace defines, per specification: the sampling range of desired
+// targets (Table 1), the optimization direction (bandwidth up, power down),
+// and whether sampling/normalization happens on a log scale (bandwidth spans
+// >1 decade).
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace crl::circuit {
+
+enum class SpecDirection { Maximize, Minimize };
+
+struct SpecDef {
+  std::string name;
+  double sampleMin = 0.0;
+  double sampleMax = 1.0;
+  SpecDirection direction = SpecDirection::Maximize;
+  bool logScale = false;
+};
+
+class SpecSpace {
+ public:
+  SpecSpace() = default;
+  explicit SpecSpace(std::vector<SpecDef> specs);
+
+  std::size_t size() const { return specs_.size(); }
+  const SpecDef& spec(std::size_t i) const { return specs_.at(i); }
+  const std::vector<SpecDef>& specs() const { return specs_; }
+
+  /// Sample a target spec group from the Table 1 sampling space.
+  std::vector<double> sample(util::Rng& rng) const;
+
+  /// Sample an *unseen* target outside the training sampling space: each spec
+  /// is drawn from a band extending `margin` (fraction of the range) beyond a
+  /// randomly chosen side of its range (Fig. 6 protocol).
+  std::vector<double> sampleUnseen(util::Rng& rng, double margin = 0.3) const;
+
+  /// Normalize a spec vector to roughly [-1, 1] using the sampling bounds
+  /// (values outside the box extrapolate smoothly and are clipped at +-3).
+  std::vector<double> normalize(const std::vector<double>& g) const;
+
+  /// Eq. (1): r = sum_j min(s_j * (g_j - g*_j) / (g_j + g*_j), 0), where s_j
+  /// flips for minimize-direction specs. Zero iff every spec is satisfied.
+  double reward(const std::vector<double>& achieved,
+                const std::vector<double>& target) const;
+
+  /// Reward-ablation variant: the same normalized differences *without* the
+  /// per-spec min(., 0) clipping, so over-achieving one spec earns positive
+  /// reward (the shaping Eq. (1) deliberately avoids).
+  double signedReward(const std::vector<double>& achieved,
+                      const std::vector<double>& target) const;
+
+  /// True iff all specs meet or beat their targets (reward == 0).
+  bool satisfied(const std::vector<double>& achieved,
+                 const std::vector<double>& target) const;
+
+  /// Per-spec contribution to Eq. (1) (<= 0); exposed for diagnostics.
+  double contribution(std::size_t i, double achieved, double target) const;
+
+ private:
+  std::vector<SpecDef> specs_;
+};
+
+}  // namespace crl::circuit

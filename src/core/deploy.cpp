@@ -1,0 +1,54 @@
+#include "core/deploy.h"
+
+namespace crl::core {
+
+DeploymentResult runDeployment(rl::Env& env, const rl::ActorCritic& policy,
+                               const std::vector<double>& target, util::Rng& rng,
+                               DeployOptions opt) {
+  DeploymentResult result;
+  rl::Observation obs = env.resetWithTarget(target, rng);
+  if (opt.recordTrajectory) result.specTrajectory.push_back(env.rawSpecs());
+
+  for (int t = 0; t < env.maxSteps(); ++t) {
+    rl::PolicyOutput out = policy.forward(obs);
+    rl::SampledAction act = opt.greedy ? rl::greedyAction(out.logits.value())
+                                       : rl::sampleAction(out.logits.value(), rng);
+    rl::StepResult res = env.step(act.actions);
+    ++result.steps;
+    if (opt.recordTrajectory) result.specTrajectory.push_back(env.rawSpecs());
+    obs = res.obs;
+    if (res.done) {
+      result.success = res.success;
+      break;
+    }
+  }
+  result.finalParams = env.currentParams();
+  result.finalSpecs = env.rawSpecs();
+  return result;
+}
+
+AccuracyReport evaluateAccuracy(rl::Env& env, const rl::ActorCritic& policy,
+                                int episodes, util::Rng& rng) {
+  AccuracyReport report;
+  report.episodes = episodes;
+  long successSteps = 0;
+  long allSteps = 0;
+  int successes = 0;
+  for (int i = 0; i < episodes; ++i) {
+    // reset() samples a fresh target; reuse it via rawTarget for clarity.
+    env.reset(rng);
+    DeploymentResult r = runDeployment(env, policy, env.rawTarget(), rng);
+    allSteps += r.steps;
+    if (r.success) {
+      ++successes;
+      successSteps += r.steps;
+    }
+  }
+  report.accuracy = static_cast<double>(successes) / episodes;
+  report.meanSteps = static_cast<double>(allSteps) / episodes;
+  report.meanStepsSuccess =
+      successes > 0 ? static_cast<double>(successSteps) / successes : 0.0;
+  return report;
+}
+
+}  // namespace crl::core

@@ -1,0 +1,43 @@
+#pragma once
+// Policy deployment (Sec. 4 "Automated Design with Policy Deployment"):
+// run a trained policy greedily against a target spec group, optionally
+// recording the per-step intermediate specifications (Figs. 5 and 6).
+
+#include <vector>
+
+#include "rl/env.h"
+#include "rl/policy.h"
+
+namespace crl::core {
+
+struct DeployOptions {
+  bool greedy = true;             ///< argmax actions (false: sample)
+  bool recordTrajectory = false;  ///< keep per-step raw specs
+};
+
+struct DeploymentResult {
+  bool success = false;
+  int steps = 0;                  ///< steps taken (maxSteps if unsuccessful)
+  std::vector<double> finalParams;
+  std::vector<double> finalSpecs;
+  /// Raw intermediate specs per step, starting with the initial state
+  /// (filled when recordTrajectory is set).
+  std::vector<std::vector<double>> specTrajectory;
+};
+
+DeploymentResult runDeployment(rl::Env& env, const rl::ActorCritic& policy,
+                               const std::vector<double>& target, util::Rng& rng,
+                               DeployOptions opt = {});
+
+struct AccuracyReport {
+  double accuracy = 0.0;       ///< fraction of targets reached
+  double meanSteps = 0.0;      ///< mean episode length over all episodes
+  double meanStepsSuccess = 0.0;  ///< mean steps among successful episodes
+  int episodes = 0;
+};
+
+/// Deploy against `episodes` freshly sampled target spec groups.
+AccuracyReport evaluateAccuracy(rl::Env& env, const rl::ActorCritic& policy,
+                                int episodes, util::Rng& rng);
+
+}  // namespace crl::core

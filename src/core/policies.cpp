@@ -1,0 +1,121 @@
+#include "core/policies.h"
+
+#include <stdexcept>
+
+namespace crl::core {
+
+const char* policyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::GatFc: return "GAT-FC";
+    case PolicyKind::GcnFc: return "GCN-FC";
+    case PolicyKind::BaselineA: return "Baseline-A";
+    case PolicyKind::BaselineB: return "Baseline-B";
+    case PolicyKind::BaselineBGat: return "Baseline-B-GAT";
+  }
+  return "?";
+}
+
+GnnFcTower::GnnFcTower(const PolicyConfig& cfg, gnn::GraphEncoder::Variant variant,
+                       bool useGraph, bool useSpecs, std::size_t outDim,
+                       util::Rng& rng)
+    : useGraph_(useGraph), useSpecs_(useSpecs) {
+  std::size_t trunkIn = 0;
+  if (useGraph_) {
+    graphEnc_ = std::make_unique<gnn::GraphEncoder>(
+        gnn::GraphEncoder::Config{variant, cfg.graphFeatureDim, cfg.gnnHidden,
+                                  cfg.gnnLayers, cfg.gatHeads},
+        rng);
+    trunkIn += cfg.gnnHidden;
+  }
+  if (useSpecs_) {
+    // FCNN over [intermediate specs ++ desired specs].
+    specNet_ = std::make_unique<nn::Mlp>(
+        std::vector<std::size_t>{2 * cfg.numSpecs, cfg.specHidden, cfg.specHidden},
+        rng, nn::Activation::Tanh, nn::Activation::Tanh);
+    trunkIn += cfg.specHidden;
+  }
+  if (!useGraph_) {
+    // Baseline A observes the raw parameter vector instead of the graph.
+    paramNet_ = std::make_unique<nn::Mlp>(
+        std::vector<std::size_t>{cfg.numParams, cfg.specHidden, cfg.specHidden}, rng,
+        nn::Activation::Tanh, nn::Activation::Tanh);
+    trunkIn += cfg.specHidden;
+  }
+  trunk_ = std::make_unique<nn::Mlp>(
+      std::vector<std::size_t>{trunkIn, cfg.trunkHidden, outDim}, rng,
+      nn::Activation::Tanh, nn::Activation::None);
+}
+
+nn::Tensor GnnFcTower::forward(const rl::Observation& obs, const linalg::Mat& normAdj,
+                               const linalg::Mat& mask) const {
+  nn::Tensor features;
+  bool first = true;
+  if (useGraph_) {
+    features = graphEnc_->encode(obs.nodeFeatures, normAdj, mask);
+    first = false;
+  } else {
+    features = paramNet_->forward(nn::Tensor::row(obs.paramsNorm));
+    first = false;
+  }
+  if (useSpecs_) {
+    std::vector<double> specIn = obs.specNow;
+    specIn.insert(specIn.end(), obs.specTarget.begin(), obs.specTarget.end());
+    nn::Tensor specEmb = specNet_->forward(nn::Tensor::row(specIn));
+    features = first ? specEmb : nn::concatCols(features, specEmb);
+  }
+  return trunk_->forward(features);
+}
+
+std::vector<nn::Tensor> GnnFcTower::parameters() const {
+  std::vector<nn::Tensor> out;
+  auto append = [&out](const std::vector<nn::Tensor>& ps) {
+    out.insert(out.end(), ps.begin(), ps.end());
+  };
+  if (graphEnc_) append(graphEnc_->parameters());
+  if (specNet_) append(specNet_->parameters());
+  if (paramNet_) append(paramNet_->parameters());
+  append(trunk_->parameters());
+  return out;
+}
+
+MultimodalPolicy::MultimodalPolicy(PolicyKind kind, PolicyConfig cfg,
+                                   const linalg::Mat& normAdj, const linalg::Mat& mask,
+                                   util::Rng& rng)
+    : kind_(kind), cfg_(cfg), name_(policyKindName(kind)), normAdj_(normAdj),
+      mask_(mask) {
+  const bool useGraph = kind != PolicyKind::BaselineA;
+  const bool useSpecs = kind == PolicyKind::GatFc || kind == PolicyKind::GcnFc ||
+                        kind == PolicyKind::BaselineA;
+  const auto variant = (kind == PolicyKind::GatFc || kind == PolicyKind::BaselineBGat)
+                           ? gnn::GraphEncoder::Variant::Gat
+                           : gnn::GraphEncoder::Variant::Gcn;
+  actor_ = std::make_unique<GnnFcTower>(cfg_, variant, useGraph, useSpecs,
+                                        3 * cfg_.numParams, rng);
+  critic_ = std::make_unique<GnnFcTower>(cfg_, variant, useGraph, useSpecs, 1, rng);
+}
+
+rl::PolicyOutput MultimodalPolicy::forward(const rl::Observation& obs) const {
+  rl::PolicyOutput out;
+  nn::Tensor flat = actor_->forward(obs, normAdj_, mask_);  // 1 x 3M
+  out.logits = nn::reshape(flat, cfg_.numParams, 3);
+  out.value = critic_->forward(obs, normAdj_, mask_);
+  return out;
+}
+
+std::vector<nn::Tensor> MultimodalPolicy::parameters() const {
+  auto out = actor_->parameters();
+  auto cp = critic_->parameters();
+  out.insert(out.end(), cp.begin(), cp.end());
+  return out;
+}
+
+std::unique_ptr<MultimodalPolicy> makePolicy(PolicyKind kind, const rl::Env& env,
+                                             util::Rng& rng, PolicyConfig base) {
+  base.numParams = env.numParams();
+  base.numSpecs = env.numSpecs();
+  base.graphFeatureDim = env.graphFeatureDim();
+  return std::make_unique<MultimodalPolicy>(kind, base, env.normalizedAdjacency(),
+                                            env.attentionMask(), rng);
+}
+
+}  // namespace crl::core

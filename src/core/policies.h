@@ -1,0 +1,91 @@
+#pragma once
+// Policy networks (the paper's contribution and its RL baselines).
+//
+//  * GnnFcPolicy — the domain-knowledge-infused multimodal network: a
+//    circuit-topology GNN (GCN or GAT) distills the graph state into an
+//    embedding; an FCNN extracts the couplings of the (intermediate +
+//    desired) specifications; the concatenation feeds shared FC layers and
+//    the M x 3 actor head. The critic has the same structure with a scalar
+//    head (separate parameters, as in the paper).
+//  * FcnnPolicy (Baseline A, AutoCkt-style) — specs and normalized
+//    parameters through a plain feedforward network; no topology knowledge.
+//  * GcnStaticPolicy (Baseline B, GCN-RL-style) — GNN over the circuit
+//    graph only (the paper's conservative reimplementation: full topology
+//    and dynamic parameters as node features) but no specification pathway,
+//    i.e. no knowledge of the design target couplings.
+
+#include <memory>
+#include <string>
+
+#include "gnn/layers.h"
+#include "nn/module.h"
+#include "rl/policy.h"
+
+namespace crl::core {
+
+enum class PolicyKind {
+  GatFc,       ///< ours, GAT variant
+  GcnFc,       ///< ours, GCN variant
+  BaselineA,   ///< FCNN-only (AutoCkt-style)
+  BaselineB,   ///< GCN over graph, no spec pathway (GCN-RL-style)
+  BaselineBGat ///< GAT flavour of Baseline B (Table 2's parenthesized row)
+};
+
+const char* policyKindName(PolicyKind kind);
+
+struct PolicyConfig {
+  std::size_t numParams = 15;       ///< M (actor emits M x 3 logits)
+  std::size_t numSpecs = 4;
+  std::size_t graphFeatureDim = 6;
+  std::size_t gnnHidden = 32;
+  std::size_t gnnLayers = 2;
+  std::size_t gatHeads = 4;
+  std::size_t specHidden = 32;      ///< FCNN width
+  std::size_t trunkHidden = 64;     ///< final FC width
+};
+
+/// One actor or critic tower; the ActorCritic below owns two.
+class GnnFcTower {
+ public:
+  GnnFcTower(const PolicyConfig& cfg, gnn::GraphEncoder::Variant variant,
+             bool useGraph, bool useSpecs, std::size_t outDim, util::Rng& rng);
+
+  nn::Tensor forward(const rl::Observation& obs, const linalg::Mat& normAdj,
+                     const linalg::Mat& mask) const;
+  std::vector<nn::Tensor> parameters() const;
+
+ private:
+  bool useGraph_;
+  bool useSpecs_;
+  std::unique_ptr<gnn::GraphEncoder> graphEnc_;
+  std::unique_ptr<nn::Mlp> specNet_;
+  std::unique_ptr<nn::Mlp> paramNet_;  ///< Baseline A's parameter pathway
+  std::unique_ptr<nn::Mlp> trunk_;
+};
+
+class MultimodalPolicy : public rl::ActorCritic {
+ public:
+  /// normAdj/mask are the graph constants of the environment.
+  MultimodalPolicy(PolicyKind kind, PolicyConfig cfg, const linalg::Mat& normAdj,
+                   const linalg::Mat& mask, util::Rng& rng);
+
+  rl::PolicyOutput forward(const rl::Observation& obs) const override;
+  std::vector<nn::Tensor> parameters() const override;
+  const char* name() const override { return name_.c_str(); }
+  PolicyKind kind() const { return kind_; }
+
+ private:
+  PolicyKind kind_;
+  PolicyConfig cfg_;
+  std::string name_;
+  linalg::Mat normAdj_;
+  linalg::Mat mask_;
+  std::unique_ptr<GnnFcTower> actor_;
+  std::unique_ptr<GnnFcTower> critic_;
+};
+
+/// Factory: build the policy matching an environment's shapes.
+std::unique_ptr<MultimodalPolicy> makePolicy(PolicyKind kind, const rl::Env& env,
+                                             util::Rng& rng, PolicyConfig base = {});
+
+}  // namespace crl::core

@@ -1,0 +1,32 @@
+#include "core/transfer.h"
+
+namespace crl::core {
+
+TransferResult trainWithTransfer(
+    circuit::Benchmark& bench, TransferConfig cfg,
+    const std::function<void(const rl::EpisodeStats&)>& onEpisode) {
+  TransferResult result;
+  util::Rng rng(cfg.seed);
+
+  envs::SizingEnvConfig trainCfg = cfg.envConfig;
+  trainCfg.fidelity = circuit::Fidelity::Coarse;
+  envs::SizingEnv trainEnv(bench, trainCfg);
+
+  result.policy = makePolicy(cfg.kind, trainEnv, rng);
+  rl::PpoTrainer trainer(trainEnv, *result.policy, cfg.ppo, rng.fork());
+  trainer.train(cfg.trainEpisodes, onEpisode);
+
+  util::Rng evalRng(cfg.seed + 1000);
+  result.coarseAccuracy =
+      evaluateAccuracy(trainEnv, *result.policy, cfg.evalEpisodes, evalRng);
+
+  envs::SizingEnvConfig fineCfg = cfg.envConfig;
+  fineCfg.fidelity = circuit::Fidelity::Fine;
+  envs::SizingEnv fineEnv(bench, fineCfg);
+  util::Rng evalRng2(cfg.seed + 2000);
+  result.fineAccuracy =
+      evaluateAccuracy(fineEnv, *result.policy, cfg.evalEpisodes, evalRng2);
+  return result;
+}
+
+}  // namespace crl::core

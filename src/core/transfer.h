@@ -1,0 +1,37 @@
+#pragma once
+// Transfer-learning workflow (Sec. 3): train the RF agent in the coarse
+// (fast DC) environment, deploy in the fine (harmonic-balance-equivalent)
+// environment. The learned experiences transfer because the coarse rewards
+// track the fine rewards within ~+-10%.
+
+#include <functional>
+#include <memory>
+
+#include "core/deploy.h"
+#include "core/policies.h"
+#include "envs/sizing_env.h"
+#include "rl/ppo.h"
+
+namespace crl::core {
+
+struct TransferConfig {
+  rl::PpoConfig ppo;
+  envs::SizingEnvConfig envConfig;  ///< fidelity fields are overridden
+  int trainEpisodes = 1000;
+  int evalEpisodes = 50;
+  PolicyKind kind = PolicyKind::GcnFc;
+  std::uint64_t seed = 0;
+};
+
+struct TransferResult {
+  AccuracyReport coarseAccuracy;  ///< deployment accuracy in the training env
+  AccuracyReport fineAccuracy;    ///< deployment accuracy in the target env
+  std::unique_ptr<MultimodalPolicy> policy;
+};
+
+/// Train on Fidelity::Coarse, evaluate on both fidelities.
+TransferResult trainWithTransfer(
+    circuit::Benchmark& bench, TransferConfig cfg,
+    const std::function<void(const rl::EpisodeStats&)>& onEpisode = {});
+
+}  // namespace crl::core

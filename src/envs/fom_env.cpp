@@ -1,0 +1,68 @@
+#include "envs/fom_env.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace crl::envs {
+
+double fomOf(const std::vector<double>& specs, double pRef, double eRef) {
+  if (specs.size() != 2) throw std::invalid_argument("fomOf: expected [eff, pout]");
+  const double p = specs[1], e = specs[0];
+  return (p - pRef) / (p + pRef) + 3.0 * (e - eRef) / (e + eRef);
+}
+
+FomEnv::FomEnv(circuit::Benchmark& bench, FomEnvConfig cfg) : bench_(bench), cfg_(cfg) {
+  params_ = bench_.designSpace().midpoint();
+  bestParams_ = params_;
+  target_ = {cfg_.eRef, cfg_.pRef};  // spec order [efficiency, pout]
+  specs_ = bench_.worstSpecs();
+}
+
+void FomEnv::simulate() {
+  auto m = bench_.measureAt(params_, cfg_.fidelity);
+  specs_ = m.specs;
+  const double f = fomOf(specs_);
+  if (f > bestFom_) {
+    bestFom_ = f;
+    bestParams_ = params_;
+  }
+}
+
+rl::Observation FomEnv::makeObservation() const {
+  rl::Observation obs;
+  obs.nodeFeatures = bench_.graph().features();
+  obs.specNow = bench_.specSpace().normalize(specs_);
+  obs.specTarget = bench_.specSpace().normalize(target_);
+  obs.paramsNorm = bench_.designSpace().normalize(params_);
+  return obs;
+}
+
+rl::Observation FomEnv::reset(util::Rng& rng) {
+  params_ = cfg_.randomInitialParams ? bench_.designSpace().sample(rng)
+                                     : bench_.designSpace().midpoint();
+  stepCount_ = 0;
+  bestFom_ = -1e9;
+  simulate();
+  return makeObservation();
+}
+
+rl::Observation FomEnv::resetWithTarget(const std::vector<double>&, util::Rng& rng) {
+  // FoM optimization has no per-episode target; fall back to reset().
+  return reset(rng);
+}
+
+rl::StepResult FomEnv::step(const std::vector<int>& actions) {
+  params_ = bench_.designSpace().applyActions(params_, actions);
+  simulate();
+  ++stepCount_;
+
+  rl::StepResult res;
+  const double p = specs_[1], e = specs_[0];
+  res.reward = (p - cfg_.pRef) / (p + cfg_.pRef) + 3.0 * (e - cfg_.eRef) / (e + cfg_.eRef);
+  res.done = stepCount_ >= cfg_.maxSteps;
+  res.success = false;
+  res.obs = makeObservation();
+  return res;
+}
+
+}  // namespace crl::envs

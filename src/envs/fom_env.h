@@ -1,0 +1,76 @@
+#pragma once
+// Figure-of-merit optimization environment (Sec. 4 "FoM Optimization").
+//
+// For the RF PA: FoM = Pout + 3 * efficiency; the per-step reward is the
+// normalized form r_i = (P_i - P_r)/(P_i + P_r) + 3 (E_i - E_r)/(E_i + E_r)
+// with reference values P_r, E_r. Episodes run a fixed number of steps and
+// the best FoM along the trajectory is tracked.
+
+#include "circuit/benchmark.h"
+#include "rl/env.h"
+
+namespace crl::envs {
+
+struct FomEnvConfig {
+  int maxSteps = 30;
+  double pRef = 2.5;   ///< output-power normalization reference [W]
+  double eRef = 0.55;  ///< efficiency normalization reference
+  circuit::Fidelity fidelity = circuit::Fidelity::Fine;
+  bool randomInitialParams = true;
+};
+
+/// Normalized FoM of a spec vector ([efficiency, pout] order), the paper's
+/// Sec. 4 definition: (P-Pr)/(P+Pr) + 3 (E-Er)/(E+Er). Defaults match
+/// FomEnvConfig's references.
+double fomOf(const std::vector<double>& specs, double pRef = 2.5, double eRef = 0.55);
+
+class FomEnv : public rl::Env {
+ public:
+  FomEnv(circuit::Benchmark& bench, FomEnvConfig cfg);
+
+  rl::Observation reset(util::Rng& rng) override;
+  rl::Observation resetWithTarget(const std::vector<double>& target,
+                                  util::Rng& rng) override;
+  rl::StepResult step(const std::vector<int>& actions) override;
+
+  std::size_t numParams() const override { return bench_.designSpace().size(); }
+  std::size_t numSpecs() const override { return bench_.specSpace().size(); }
+  int maxSteps() const override { return cfg_.maxSteps; }
+
+  const linalg::Mat& normalizedAdjacency() const override {
+    return bench_.graph().normalizedAdjacency();
+  }
+  const linalg::Mat& attentionMask() const override {
+    return bench_.graph().attentionMask();
+  }
+  std::size_t graphNodeCount() const override { return bench_.graph().nodeCount(); }
+  std::size_t graphFeatureDim() const override {
+    return static_cast<std::size_t>(circuit::kNodeFeatureDim);
+  }
+
+  const std::vector<double>& rawTarget() const override { return target_; }
+  const std::vector<double>& rawSpecs() const override { return specs_; }
+  const std::vector<double>& currentParams() const override { return params_; }
+
+  /// Best FoM seen since the last reset and its parameter vector.
+  double bestFom() const { return bestFom_; }
+  const std::vector<double>& bestParams() const { return bestParams_; }
+
+  circuit::Benchmark& benchmark() { return bench_; }
+  void setFidelity(circuit::Fidelity f) { cfg_.fidelity = f; }
+
+ private:
+  rl::Observation makeObservation() const;
+  void simulate();
+
+  circuit::Benchmark& bench_;
+  FomEnvConfig cfg_;
+  std::vector<double> params_;
+  std::vector<double> target_;  ///< fixed at the reference point
+  std::vector<double> specs_;
+  std::vector<double> bestParams_;
+  double bestFom_ = -1e9;
+  int stepCount_ = 0;
+};
+
+}  // namespace crl::envs

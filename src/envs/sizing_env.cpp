@@ -1,0 +1,69 @@
+#include "envs/sizing_env.h"
+
+#include <stdexcept>
+
+namespace crl::envs {
+
+SizingEnv::SizingEnv(circuit::Benchmark& bench, SizingEnvConfig cfg)
+    : bench_(bench), cfg_(cfg) {
+  params_ = bench_.designSpace().midpoint();
+  target_ = std::vector<double>(bench_.specSpace().size(), 1.0);
+  specs_ = bench_.worstSpecs();
+}
+
+void SizingEnv::simulate() {
+  auto m = bench_.measureAt(params_, cfg_.fidelity);
+  specs_ = m.specs;
+}
+
+rl::Observation SizingEnv::makeObservation() const {
+  rl::Observation obs;
+  obs.nodeFeatures = bench_.graph().features();
+  obs.specNow = bench_.specSpace().normalize(specs_);
+  obs.specTarget = bench_.specSpace().normalize(target_);
+  obs.paramsNorm = bench_.designSpace().normalize(params_);
+  return obs;
+}
+
+rl::Observation SizingEnv::reset(util::Rng& rng) {
+  return resetWithTarget(bench_.specSpace().sample(rng), rng);
+}
+
+rl::Observation SizingEnv::resetWithTarget(const std::vector<double>& target,
+                                           util::Rng& rng) {
+  if (target.size() != bench_.specSpace().size())
+    throw std::invalid_argument("SizingEnv: target dim mismatch");
+  target_ = target;
+  params_ = cfg_.randomInitialParams ? bench_.designSpace().sample(rng)
+                                     : bench_.designSpace().midpoint();
+  stepCount_ = 0;
+  simulate();
+  return makeObservation();
+}
+
+rl::StepResult SizingEnv::step(const std::vector<int>& actions) {
+  params_ = bench_.designSpace().applyActions(params_, actions);
+  simulate();
+  ++stepCount_;
+
+  rl::StepResult res;
+  const double r = bench_.specSpace().reward(specs_, target_);
+  if (r >= 0.0) {
+    // Episode ends on success under either shaping; only Eq. (1) pays the
+    // bonus R (the Raw ablation keeps its signed value).
+    res.reward = cfg_.rewardShape == RewardShape::Eq1
+                     ? cfg_.successBonus
+                     : bench_.specSpace().signedReward(specs_, target_);
+    res.done = true;
+    res.success = true;
+  } else {
+    res.reward = cfg_.rewardShape == RewardShape::Eq1
+                     ? r
+                     : bench_.specSpace().signedReward(specs_, target_);
+    res.done = stepCount_ >= cfg_.maxSteps;
+  }
+  res.obs = makeObservation();
+  return res;
+}
+
+}  // namespace crl::envs

@@ -1,0 +1,71 @@
+#pragma once
+// The P2S sizing environment (Sec. 3): state = (circuit graph, specs),
+// action = per-parameter {-1,0,+1} grid steps, reward = Eq. (1) with the
+// success bonus R = 10 and early termination once every spec is reached.
+
+#include "circuit/benchmark.h"
+#include "rl/env.h"
+
+namespace crl::envs {
+
+/// Reward shaping choices (the Eq. (1) design is ablated in
+/// bench/ablation_reward).
+enum class RewardShape {
+  Eq1,   ///< paper's Eq. (1): per-spec min(., 0) clipping + success bonus R
+  Raw,   ///< unclipped signed differences, no success bonus
+};
+
+struct SizingEnvConfig {
+  int maxSteps = 50;                       ///< 50 op-amp / 30 RF PA (Sec. 4)
+  double successBonus = 10.0;              ///< R in Eq. (1)
+  circuit::Fidelity fidelity = circuit::Fidelity::Fine;
+  bool randomInitialParams = true;         ///< midpoint start when false
+  RewardShape rewardShape = RewardShape::Eq1;
+};
+
+class SizingEnv : public rl::Env {
+ public:
+  SizingEnv(circuit::Benchmark& bench, SizingEnvConfig cfg);
+
+  rl::Observation reset(util::Rng& rng) override;
+  rl::Observation resetWithTarget(const std::vector<double>& target,
+                                  util::Rng& rng) override;
+  rl::StepResult step(const std::vector<int>& actions) override;
+
+  std::size_t numParams() const override { return bench_.designSpace().size(); }
+  std::size_t numSpecs() const override { return bench_.specSpace().size(); }
+  int maxSteps() const override { return cfg_.maxSteps; }
+
+  const linalg::Mat& normalizedAdjacency() const override {
+    return bench_.graph().normalizedAdjacency();
+  }
+  const linalg::Mat& attentionMask() const override {
+    return bench_.graph().attentionMask();
+  }
+  std::size_t graphNodeCount() const override { return bench_.graph().nodeCount(); }
+  std::size_t graphFeatureDim() const override {
+    return static_cast<std::size_t>(circuit::kNodeFeatureDim);
+  }
+
+  const std::vector<double>& rawTarget() const override { return target_; }
+  const std::vector<double>& rawSpecs() const override { return specs_; }
+  const std::vector<double>& currentParams() const override { return params_; }
+
+  circuit::Benchmark& benchmark() { return bench_; }
+  const SizingEnvConfig& config() const { return cfg_; }
+  /// Override the simulation fidelity (transfer learning switches this).
+  void setFidelity(circuit::Fidelity f) { cfg_.fidelity = f; }
+
+ private:
+  rl::Observation makeObservation() const;
+  void simulate();
+
+  circuit::Benchmark& bench_;
+  SizingEnvConfig cfg_;
+  std::vector<double> params_;
+  std::vector<double> target_;
+  std::vector<double> specs_;
+  int stepCount_ = 0;
+};
+
+}  // namespace crl::envs

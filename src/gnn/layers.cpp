@@ -1,0 +1,120 @@
+#include "gnn/layers.h"
+
+#include <stdexcept>
+
+namespace crl::gnn {
+
+using nn::Tensor;
+
+GcnLayer::GcnLayer(std::size_t in, std::size_t out, util::Rng& rng, nn::Activation act)
+    : w_(Tensor::xavier(in, out, rng)),
+      b_(Tensor::zeros(1, out, /*requiresGrad=*/true)),
+      act_(act) {}
+
+Tensor GcnLayer::forward(const Tensor& h, const linalg::Mat& normAdj) const {
+  Tensor agg = nn::matmulConstLeft(normAdj, h);         // A* H
+  Tensor z = nn::addRowBroadcast(nn::matmul(agg, w_), b_);  // A* H W + b
+  return nn::activate(z, act_);
+}
+
+GatLayer::GatLayer(std::size_t in, std::size_t headDim, std::size_t heads,
+                   util::Rng& rng, nn::Activation act)
+    : headDim_(headDim), act_(act) {
+  if (heads == 0 || headDim == 0) throw std::invalid_argument("GatLayer: empty head");
+  for (std::size_t k = 0; k < heads; ++k) {
+    wPerHead_.push_back(Tensor::xavier(in, headDim, rng));
+    aSrc_.push_back(Tensor::xavier(headDim, 1, rng));
+    aDst_.push_back(Tensor::xavier(headDim, 1, rng));
+  }
+}
+
+Tensor GatLayer::headForward(const Tensor& h, const linalg::Mat& mask,
+                             std::size_t k) const {
+  const std::size_t n = h.rows();
+  Tensor hw = nn::matmul(h, wPerHead_[k]);         // n x d
+  Tensor src = nn::matmul(hw, aSrc_[k]);           // n x 1
+  Tensor dst = nn::matmul(hw, aDst_[k]);           // n x 1
+  // e_ij = src_i + dst_j via rank-1 broadcasts with constant one-vectors.
+  Tensor onesRow(linalg::Mat(1, n, 1.0));
+  Tensor onesCol(linalg::Mat(n, 1, 1.0));
+  Tensor e = nn::add(nn::matmul(src, onesRow), nn::matmul(onesCol, nn::transpose(dst)));
+  e = nn::leakyRelu(e, 0.2);
+  e = nn::addConst(e, mask);                       // -1e9 off-neighbourhood
+  Tensor alpha = nn::softmaxRows(e);
+  return nn::matmul(alpha, hw);
+}
+
+Tensor GatLayer::forward(const Tensor& h, const linalg::Mat& mask) const {
+  Tensor out = headForward(h, mask, 0);
+  for (std::size_t k = 1; k < wPerHead_.size(); ++k)
+    out = nn::concatCols(out, headForward(h, mask, k));
+  return nn::activate(out, act_);
+}
+
+std::vector<Tensor> GatLayer::parameters() const {
+  std::vector<Tensor> out;
+  for (std::size_t k = 0; k < wPerHead_.size(); ++k) {
+    out.push_back(wPerHead_[k]);
+    out.push_back(aSrc_[k]);
+    out.push_back(aDst_[k]);
+  }
+  return out;
+}
+
+linalg::Mat GatLayer::attention(const linalg::Mat& features, const linalg::Mat& mask,
+                                std::size_t head) const {
+  Tensor h(features);
+  const std::size_t n = features.rows();
+  Tensor hw = nn::matmul(h, wPerHead_[head]);
+  Tensor src = nn::matmul(hw, aSrc_[head]);
+  Tensor dst = nn::matmul(hw, aDst_[head]);
+  Tensor onesRow(linalg::Mat(1, n, 1.0));
+  Tensor onesCol(linalg::Mat(n, 1, 1.0));
+  Tensor e = nn::add(nn::matmul(src, onesRow), nn::matmul(onesCol, nn::transpose(dst)));
+  e = nn::leakyRelu(e, 0.2);
+  e = nn::addConst(e, mask);
+  return nn::softmaxRows(e).value();
+}
+
+GraphEncoder::GraphEncoder(Config cfg, util::Rng& rng) : cfg_(cfg) {
+  if (cfg_.layers == 0) throw std::invalid_argument("GraphEncoder: need >= 1 layer");
+  std::size_t in = cfg_.inFeatures;
+  for (std::size_t l = 0; l < cfg_.layers; ++l) {
+    if (cfg_.variant == Variant::Gcn) {
+      gcn_.emplace_back(in, cfg_.hidden, rng);
+    } else {
+      if (cfg_.hidden % cfg_.heads != 0)
+        throw std::invalid_argument("GraphEncoder: hidden must divide by heads");
+      gat_.emplace_back(in, cfg_.hidden / cfg_.heads, cfg_.heads, rng);
+    }
+    in = cfg_.hidden;
+  }
+}
+
+Tensor GraphEncoder::nodeEmbeddings(const linalg::Mat& features,
+                                    const linalg::Mat& normAdj,
+                                    const linalg::Mat& mask) const {
+  Tensor h(features);
+  if (cfg_.variant == Variant::Gcn) {
+    for (const auto& layer : gcn_) h = layer.forward(h, normAdj);
+  } else {
+    for (const auto& layer : gat_) h = layer.forward(h, mask);
+  }
+  return h;
+}
+
+Tensor GraphEncoder::encode(const linalg::Mat& features, const linalg::Mat& normAdj,
+                            const linalg::Mat& mask) const {
+  return nn::meanRows(nodeEmbeddings(features, normAdj, mask));
+}
+
+std::vector<Tensor> GraphEncoder::parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& l : gcn_)
+    for (const auto& p : l.parameters()) out.push_back(p);
+  for (const auto& l : gat_)
+    for (const auto& p : l.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace crl::gnn

@@ -1,0 +1,93 @@
+#pragma once
+// Graph neural-network layers over the circuit-topology graph.
+//
+//  * GcnLayer — Eq. (2) of the paper: H' = tanh(A* H W + b) with the
+//    symmetric-normalized adjacency A* (precomputed by CircuitGraph).
+//  * GatLayer — multi-head graph attention (Velickovic et al.): per head,
+//    attention logits e_ij = LeakyReLU(a_src . Wh_i + a_dst . Wh_j) masked to
+//    the 1-hop neighbourhood (plus self loops), row-softmaxed, then used to
+//    mix the transformed node features; heads are concatenated.
+
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace crl::gnn {
+
+using nn::Tensor;
+
+class GcnLayer {
+ public:
+  GcnLayer(std::size_t in, std::size_t out, util::Rng& rng,
+           nn::Activation act = nn::Activation::Tanh);
+
+  /// normAdj is CircuitGraph::normalizedAdjacency().
+  Tensor forward(const Tensor& h, const linalg::Mat& normAdj) const;
+  std::vector<Tensor> parameters() const { return {w_, b_}; }
+  std::size_t outFeatures() const { return w_.cols(); }
+
+ private:
+  Tensor w_;
+  Tensor b_;
+  nn::Activation act_;
+};
+
+class GatLayer {
+ public:
+  /// Output feature dimension is heads * headDim (concatenated).
+  GatLayer(std::size_t in, std::size_t headDim, std::size_t heads, util::Rng& rng,
+           nn::Activation act = nn::Activation::Tanh);
+
+  /// mask is CircuitGraph::attentionMask() (0 on edges/self, -1e9 elsewhere).
+  Tensor forward(const Tensor& h, const linalg::Mat& mask) const;
+  std::vector<Tensor> parameters() const;
+  std::size_t heads() const { return wPerHead_.size(); }
+  std::size_t outFeatures() const { return heads() * headDim_; }
+
+  /// Attention coefficients of one head for inspection (no grad tracking).
+  linalg::Mat attention(const linalg::Mat& features, const linalg::Mat& mask,
+                        std::size_t head) const;
+
+ private:
+  Tensor headForward(const Tensor& h, const linalg::Mat& mask, std::size_t k) const;
+
+  std::size_t headDim_;
+  std::vector<Tensor> wPerHead_;
+  std::vector<Tensor> aSrc_;
+  std::vector<Tensor> aDst_;
+  nn::Activation act_;
+};
+
+/// Stacked GNN encoder with mean-pool readout to a graph embedding.
+class GraphEncoder {
+ public:
+  enum class Variant { Gcn, Gat };
+
+  struct Config {
+    Variant variant = Variant::Gcn;
+    std::size_t inFeatures = 6;
+    std::size_t hidden = 32;
+    std::size_t layers = 2;
+    std::size_t heads = 4;  ///< GAT only; hidden must be divisible by heads
+  };
+
+  GraphEncoder(Config cfg, util::Rng& rng);
+
+  /// Encode a node-feature matrix into node embeddings [n x hidden].
+  Tensor nodeEmbeddings(const linalg::Mat& features, const linalg::Mat& normAdj,
+                        const linalg::Mat& mask) const;
+  /// Mean-pooled graph embedding [1 x hidden].
+  Tensor encode(const linalg::Mat& features, const linalg::Mat& normAdj,
+                const linalg::Mat& mask) const;
+
+  std::vector<Tensor> parameters() const;
+  const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+  std::vector<GcnLayer> gcn_;
+  std::vector<GatLayer> gat_;
+};
+
+}  // namespace crl::gnn

@@ -1,0 +1,143 @@
+#pragma once
+// Dense row-major matrix over an arithmetic scalar (double or complex<double>).
+//
+// This is the numeric workhorse for the MNA circuit solver (real + complex
+// systems), the Gaussian-process baseline (Cholesky), and the autograd tensor
+// library. It favours clarity and bounds-checked access in debug builds over
+// absolute peak throughput; the systems here are small (tens of unknowns).
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <vector>
+
+namespace crl::linalg {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer list: Matrix<double>{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<T>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged init list");
+      for (const T& v : row) data_.push_back(v);
+    }
+  }
+
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& raw() { return data_; }
+  const std::vector<T>& raw() const { return data_; }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  Matrix& operator+=(const Matrix& o) {
+    checkSameShape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    checkSameShape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  Matrix& operator*=(T s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+  friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+  bool sameShape(const Matrix& o) const { return rows_ == o.rows_ && cols_ == o.cols_; }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+ private:
+  void checkSameShape(const Matrix& o) const {
+    if (!sameShape(o)) throw std::invalid_argument("Matrix: shape mismatch");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+using Mat = Matrix<double>;
+using CMat = Matrix<std::complex<double>>;
+using Vec = std::vector<double>;
+using CVec = std::vector<std::complex<double>>;
+
+/// Dense matmul C = A * B.
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      T aik = a(i, k);
+      if (aik == T{}) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+/// Matrix-vector product y = A x.
+template <typename T>
+std::vector<T> matvec(const Matrix<T>& a, const std::vector<T>& x) {
+  if (a.cols() != x.size()) throw std::invalid_argument("matvec: dim mismatch");
+  std::vector<T> y(a.rows(), T{});
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) y[i] += a(i, j) * x[j];
+  return y;
+}
+
+template <typename T>
+T dot(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("dot: dim mismatch");
+  T s{};
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vec& v);
+double norminf(const Vec& v);
+
+}  // namespace crl::linalg

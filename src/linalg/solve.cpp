@@ -1,0 +1,138 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace crl::linalg {
+
+namespace {
+inline double magnitude(double v) { return std::fabs(v); }
+inline double magnitude(const std::complex<double>& v) { return std::abs(v); }
+}  // namespace
+
+template <typename T>
+Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("Lu: matrix not square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot: pick the row with the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = magnitude(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      double m = magnitude(lu_(i, k));
+      if (m > best) {
+        best = m;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("Lu: singular matrix");
+    if (pivot != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(pivot, j));
+      std::swap(perm_[k], perm_[pivot]);
+      permSign_ = -permSign_;
+    }
+    const T pivotVal = lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      T factor = lu_(i, k) / pivotVal;
+      lu_(i, k) = factor;
+      if (factor == T{}) continue;
+      for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= factor * lu_(k, j);
+    }
+  }
+}
+
+template <typename T>
+std::vector<T> Lu<T>::solve(const std::vector<T>& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("Lu::solve: dim mismatch");
+  std::vector<T> x(n);
+  // Apply permutation, then forward substitution (unit lower triangular).
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 1; i < n; ++i) {
+    T s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    T s = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+template <typename T>
+T Lu<T>::determinant() const {
+  T det = static_cast<T>(permSign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+template class Lu<double>;
+template class Lu<std::complex<double>>;
+
+Cholesky::Cholesky(const Mat& a) {
+  if (a.rows() != a.cols()) throw std::invalid_argument("Cholesky: matrix not square");
+  const std::size_t n = a.rows();
+  l_ = Mat(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (s <= 0.0) throw std::runtime_error("Cholesky: matrix not SPD");
+        l_(i, i) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+}
+
+Vec Cholesky::solveLower(const Vec& b) const {
+  const std::size_t n = l_.rows();
+  if (b.size() != n) throw std::invalid_argument("Cholesky::solveLower: dim mismatch");
+  Vec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= l_(i, j) * y[j];
+    y[i] = s / l_(i, i);
+  }
+  return y;
+}
+
+Vec Cholesky::solve(const Vec& b) const {
+  const std::size_t n = l_.rows();
+  Vec y = solveLower(b);
+  // Back substitution with L^T.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= l_(j, ii) * y[j];
+    y[ii] = s / l_(ii, ii);
+  }
+  return y;
+}
+
+double Cholesky::halfLogDet() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return s;
+}
+
+double norm2(const Vec& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norminf(const Vec& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+}  // namespace crl::linalg

@@ -1,0 +1,59 @@
+#pragma once
+// Direct linear solvers: LU with partial pivoting (real & complex), Cholesky.
+//
+// MNA systems from the SPICE engine are small and dense-ish; partial-pivoted
+// LU is robust against the zero diagonals that voltage-source stamps create.
+
+#include "linalg/matrix.h"
+
+namespace crl::linalg {
+
+/// LU factorization with partial pivoting; factors are stored in-place.
+/// Throws std::runtime_error on (numerical) singularity.
+template <typename T>
+class Lu {
+ public:
+  explicit Lu(Matrix<T> a);
+
+  /// Solve A x = b for one right-hand side.
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// log|det(A)| sign-less magnitude check helper; determinant itself can
+  /// overflow for large systems so callers should prefer isSingular().
+  T determinant() const;
+
+  std::size_t order() const { return lu_.rows(); }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  int permSign_ = 1;
+};
+
+/// Convenience one-shot solve.
+template <typename T>
+std::vector<T> solveLinear(Matrix<T> a, const std::vector<T>& b) {
+  return Lu<T>(std::move(a)).solve(b);
+}
+
+/// Cholesky factorization A = L L^T for symmetric positive definite A.
+/// Used by the Gaussian-process baseline. Throws if A is not SPD.
+class Cholesky {
+ public:
+  explicit Cholesky(const Mat& a);
+
+  Vec solve(const Vec& b) const;
+  /// Solve L y = b (forward substitution only).
+  Vec solveLower(const Vec& b) const;
+  /// Sum of log of diagonal entries of L (0.5 * log det A).
+  double halfLogDet() const;
+  const Mat& lower() const { return l_; }
+
+ private:
+  Mat l_;
+};
+
+extern template class Lu<double>;
+extern template class Lu<std::complex<double>>;
+
+}  // namespace crl::linalg

@@ -1,0 +1,55 @@
+#include "nn/module.h"
+
+#include <stdexcept>
+
+namespace crl::nn {
+
+Tensor activate(const Tensor& x, Activation act) {
+  switch (act) {
+    case Activation::None: return x;
+    case Activation::Tanh: return tanhT(x);
+    case Activation::Relu: return relu(x);
+    case Activation::LeakyRelu: return leakyRelu(x);
+    case Activation::Sigmoid: return sigmoid(x);
+  }
+  throw std::logic_error("activate: unknown activation");
+}
+
+Linear::Linear(std::size_t in, std::size_t out, util::Rng& rng)
+    : w_(Tensor::xavier(in, out, rng)), b_(Tensor::zeros(1, out, /*requiresGrad=*/true)) {}
+
+Tensor Linear::forward(const Tensor& x) const {
+  return addRowBroadcast(matmul(x, w_), b_);
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, util::Rng& rng, Activation hidden,
+         Activation output)
+    : hidden_(hidden), output_(output) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need at least in/out dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+}
+
+Tensor Mlp::forward(const Tensor& x) const {
+  Tensor h = x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].forward(h);
+    h = activate(h, i + 1 < layers_.size() ? hidden_ : output_);
+  }
+  return h;
+}
+
+std::vector<Tensor> Mlp::parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& l : layers_)
+    for (const auto& p : l.parameters()) out.push_back(p);
+  return out;
+}
+
+std::size_t parameterCount(const std::vector<Tensor>& params) {
+  std::size_t n = 0;
+  for (const auto& p : params) n += p.value().size();
+  return n;
+}
+
+}  // namespace crl::nn

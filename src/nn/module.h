@@ -1,0 +1,49 @@
+#pragma once
+// Network building blocks: Linear layers and multi-layer perceptrons.
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace crl::nn {
+
+enum class Activation { None, Tanh, Relu, LeakyRelu, Sigmoid };
+
+Tensor activate(const Tensor& x, Activation act);
+
+/// Fully connected layer y = x W + b with Xavier-initialized weights.
+class Linear {
+ public:
+  Linear(std::size_t in, std::size_t out, util::Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const { return {w_, b_}; }
+  std::size_t inFeatures() const { return w_.rows(); }
+  std::size_t outFeatures() const { return w_.cols(); }
+
+ private:
+  Tensor w_;
+  Tensor b_;
+};
+
+/// MLP with a shared hidden activation and optional output activation.
+class Mlp {
+ public:
+  /// dims = {in, h1, ..., out}.
+  Mlp(const std::vector<std::size_t>& dims, util::Rng& rng,
+      Activation hidden = Activation::Tanh, Activation output = Activation::None);
+
+  Tensor forward(const Tensor& x) const;
+  std::vector<Tensor> parameters() const;
+  std::size_t layerCount() const { return layers_.size(); }
+
+ private:
+  std::vector<Linear> layers_;
+  Activation hidden_;
+  Activation output_;
+};
+
+/// Total scalar parameter count of a parameter list.
+std::size_t parameterCount(const std::vector<Tensor>& params);
+
+}  // namespace crl::nn

@@ -1,0 +1,56 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace crl::nn {
+
+Adam::Adam(std::vector<Tensor> params, AdamOptions opt)
+    : params_(std::move(params)), opt_(opt) {
+  for (auto& p : params_) {
+    p.ensureGrad();
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opt_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opt_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = params_[i].mutableValue();
+    const auto& grad = params_[i].grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t k = 0; k < value.raw().size(); ++k) {
+      const double g = grad.raw()[k];
+      m.raw()[k] = opt_.beta1 * m.raw()[k] + (1.0 - opt_.beta1) * g;
+      v.raw()[k] = opt_.beta2 * v.raw()[k] + (1.0 - opt_.beta2) * g * g;
+      const double mHat = m.raw()[k] / bc1;
+      const double vHat = v.raw()[k] / bc2;
+      value.raw()[k] -= opt_.lr * mHat / (std::sqrt(vHat) + opt_.eps);
+    }
+  }
+}
+
+void Adam::zeroGrad() {
+  for (auto& p : params_) p.zeroGrad();
+}
+
+double clipGradNorm(const std::vector<Tensor>& params, double maxNorm) {
+  double sq = 0.0;
+  for (const auto& p : params)
+    for (double g : p.grad().raw()) sq += g * g;
+  const double norm = std::sqrt(sq);
+  if (norm > maxNorm && norm > 0.0) {
+    const double scaleBy = maxNorm / norm;
+    for (const auto& p : params) {
+      // Grad buffers are mutable through the shared node.
+      auto& grad = const_cast<Tensor&>(p).mutableGrad();
+      grad *= scaleBy;
+    }
+  }
+  return norm;
+}
+
+}  // namespace crl::nn

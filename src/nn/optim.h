@@ -1,0 +1,41 @@
+#pragma once
+// Adam optimizer (Kingma & Ba) with global-norm gradient clipping — the
+// update rule Algorithm 1 of the paper uses for both policy and value nets.
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace crl::nn {
+
+struct AdamOptions {
+  double lr = 3e-4;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+};
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Tensor> params, AdamOptions opt = {});
+
+  /// Apply one update from the accumulated gradients.
+  void step();
+  void zeroGrad();
+  void setLearningRate(double lr) { opt_.lr = lr; }
+  double learningRate() const { return opt_.lr; }
+  const std::vector<Tensor>& parameters() const { return params_; }
+
+ private:
+  std::vector<Tensor> params_;
+  AdamOptions opt_;
+  std::vector<Mat> m_;
+  std::vector<Mat> v_;
+  long t_ = 0;
+};
+
+/// Scale all gradients so their global L2 norm is at most maxNorm.
+/// Returns the pre-clip norm.
+double clipGradNorm(const std::vector<Tensor>& params, double maxNorm);
+
+}  // namespace crl::nn

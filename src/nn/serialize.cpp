@@ -1,0 +1,58 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace crl::nn {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x43524C504152414DULL;  // "CRLPARAM"
+}
+
+void saveParameters(const std::string& path, const std::vector<Tensor>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("saveParameters: cannot open " + path);
+  auto writeU64 = [&](std::uint64_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  writeU64(kMagic);
+  writeU64(params.size());
+  for (const auto& p : params) {
+    writeU64(p.value().rows());
+    writeU64(p.value().cols());
+    out.write(reinterpret_cast<const char*>(p.value().data()),
+              static_cast<std::streamsize>(p.value().size() * sizeof(double)));
+  }
+}
+
+bool loadParameters(const std::string& path, std::vector<Tensor>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  auto readU64 = [&](std::uint64_t& v) {
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return static_cast<bool>(in);
+  };
+  std::uint64_t magic = 0, count = 0;
+  if (!readU64(magic) || magic != kMagic) return false;
+  if (!readU64(count) || count != params.size()) return false;
+
+  // Stage into temporaries so a short read leaves params untouched.
+  std::vector<linalg::Mat> staged;
+  staged.reserve(params.size());
+  for (const auto& p : params) {
+    std::uint64_t rows = 0, cols = 0;
+    if (!readU64(rows) || !readU64(cols)) return false;
+    if (rows != p.value().rows() || cols != p.value().cols()) return false;
+    linalg::Mat m(rows, cols);
+    in.read(reinterpret_cast<char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+    if (!in) return false;
+    staged.push_back(std::move(m));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i)
+    params[i].mutableValue() = std::move(staged[i]);
+  return true;
+}
+
+}  // namespace crl::nn

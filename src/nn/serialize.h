@@ -1,0 +1,21 @@
+#pragma once
+// Binary (de)serialization of parameter lists, so benchmark harnesses can
+// share trained policies instead of retraining per figure.
+
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace crl::nn {
+
+/// Write parameter values to a binary file. Format: magic, tensor count,
+/// then per tensor rows/cols (u64) + row-major doubles.
+void saveParameters(const std::string& path, const std::vector<Tensor>& params);
+
+/// Load values into existing tensors (shapes must match exactly).
+/// Returns false if the file is missing or incompatible; params untouched on
+/// failure.
+bool loadParameters(const std::string& path, std::vector<Tensor>& params);
+
+}  // namespace crl::nn

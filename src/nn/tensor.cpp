@@ -1,0 +1,428 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace crl::nn {
+
+namespace {
+using detail::Node;
+
+std::shared_ptr<Node> makeNode(Mat value, std::vector<std::shared_ptr<Node>> parents,
+                               std::function<void(Node&)> backward) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  bool needsGrad = false;
+  for (const auto& p : parents) needsGrad = needsGrad || p->requiresGrad;
+  n->requiresGrad = needsGrad;
+  if (needsGrad) {
+    n->parents = std::move(parents);
+    n->backward = std::move(backward);
+  }
+  return n;
+}
+
+Tensor wrap(std::shared_ptr<Node> n) { return Tensor(std::move(n)); }
+
+void accumulate(Node& target, const Mat& delta) {
+  if (!target.requiresGrad) return;
+  target.ensureGrad();
+  target.grad += delta;
+}
+
+void checkSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument(std::string(op) + ": shape mismatch");
+}
+
+/// Pointwise unary op helper: value = f(a), backward: da += dfda .* dout.
+template <typename F, typename DF>
+Tensor pointwise(const Tensor& a, F f, DF dfda) {
+  Mat out = a.value();
+  for (auto& v : out.raw()) v = f(v);
+  auto pa = a.node();
+  Mat in = a.value();
+  return wrap(makeNode(std::move(out), {pa}, [pa, in, dfda](Node& self) {
+    Mat delta(in.rows(), in.cols());
+    for (std::size_t i = 0; i < in.raw().size(); ++i)
+      delta.raw()[i] = dfda(in.raw()[i], self.value.raw()[i]) * self.grad.raw()[i];
+    accumulate(*pa, delta);
+  }));
+}
+}  // namespace
+
+Tensor::Tensor(Mat value, bool requiresGrad) {
+  node_ = std::make_shared<detail::Node>();
+  node_->value = std::move(value);
+  node_->requiresGrad = requiresGrad;
+}
+
+Tensor Tensor::zeros(std::size_t rows, std::size_t cols, bool requiresGrad) {
+  return Tensor(Mat(rows, cols), requiresGrad);
+}
+
+Tensor Tensor::scalar(double v) { return Tensor(Mat(1, 1, v)); }
+
+Tensor Tensor::row(const std::vector<double>& v) {
+  Mat m(1, v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) m(0, i) = v[i];
+  return Tensor(std::move(m));
+}
+
+Tensor Tensor::xavier(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Mat m(rows, cols);
+  const double bound = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& v : m.raw()) v = rng.uniform(-bound, bound);
+  return Tensor(std::move(m), /*requiresGrad=*/true);
+}
+
+double Tensor::item() const {
+  if (rows() != 1 || cols() != 1) throw std::logic_error("Tensor::item: not scalar");
+  return node_->value(0, 0);
+}
+
+void Tensor::zeroGrad() {
+  if (node_) {
+    node_->ensureGrad();
+    node_->grad.fill(0.0);
+  }
+}
+
+void backward(const Tensor& root) {
+  if (root.rows() != 1 || root.cols() != 1)
+    throw std::invalid_argument("backward: root must be scalar");
+  if (!root.requiresGrad()) return;
+
+  // Iterative topological sort (graphs can be deep for long episodes).
+  std::vector<Node*> order;
+  std::vector<Node*> stack{root.node().get()};
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    if (n->visitMark == 2) {
+      stack.pop_back();
+      continue;
+    }
+    if (n->visitMark == 1) {
+      n->visitMark = 2;
+      order.push_back(n);
+      stack.pop_back();
+      continue;
+    }
+    n->visitMark = 1;
+    for (const auto& p : n->parents)
+      if (p->requiresGrad && p->visitMark == 0) stack.push_back(p.get());
+  }
+
+  for (Node* n : order) {
+    n->ensureGrad();
+    n->visitMark = 0;  // reset for future passes
+  }
+  root.node()->grad(0, 0) = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if ((*it)->backward) (*it)->backward(**it);
+  }
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  auto pa = a.node(), pb = b.node();
+  Mat out = linalg::matmul(a.value(), b.value());
+  return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb](Node& self) {
+    // dA += dOut * B^T ; dB += A^T * dOut.
+    accumulate(*pa, linalg::matmul(self.grad, pb->value.transposed()));
+    accumulate(*pb, linalg::matmul(pa->value.transposed(), self.grad));
+  }));
+}
+
+Tensor matmulConstLeft(const Mat& a, const Tensor& b) {
+  auto pb = b.node();
+  Mat aT = a.transposed();
+  return wrap(makeNode(linalg::matmul(a, b.value()), {pb}, [pb, aT](Node& self) {
+    accumulate(*pb, linalg::matmul(aT, self.grad));
+  }));
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  checkSameShape(a, b, "add");
+  auto pa = a.node(), pb = b.node();
+  return wrap(makeNode(a.value() + b.value(), {pa, pb}, [pa, pb](Node& self) {
+    accumulate(*pa, self.grad);
+    accumulate(*pb, self.grad);
+  }));
+}
+
+Tensor addRowBroadcast(const Tensor& a, const Tensor& row) {
+  if (row.rows() != 1 || row.cols() != a.cols())
+    throw std::invalid_argument("addRowBroadcast: bias shape mismatch");
+  auto pa = a.node(), pr = row.node();
+  Mat out = a.value();
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += row.value()(0, c);
+  return wrap(makeNode(std::move(out), {pa, pr}, [pa, pr](Node& self) {
+    accumulate(*pa, self.grad);
+    Mat rowGrad(1, self.grad.cols());
+    for (std::size_t r = 0; r < self.grad.rows(); ++r)
+      for (std::size_t c = 0; c < self.grad.cols(); ++c) rowGrad(0, c) += self.grad(r, c);
+    accumulate(*pr, rowGrad);
+  }));
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  checkSameShape(a, b, "sub");
+  auto pa = a.node(), pb = b.node();
+  return wrap(makeNode(a.value() - b.value(), {pa, pb}, [pa, pb](Node& self) {
+    accumulate(*pa, self.grad);
+    accumulate(*pb, self.grad * -1.0);
+  }));
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  checkSameShape(a, b, "mul");
+  auto pa = a.node(), pb = b.node();
+  Mat out = a.value();
+  for (std::size_t i = 0; i < out.raw().size(); ++i) out.raw()[i] *= b.value().raw()[i];
+  return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb](Node& self) {
+    Mat da = self.grad, db = self.grad;
+    for (std::size_t i = 0; i < da.raw().size(); ++i) {
+      da.raw()[i] *= pb->value.raw()[i];
+      db.raw()[i] *= pa->value.raw()[i];
+    }
+    accumulate(*pa, da);
+    accumulate(*pb, db);
+  }));
+}
+
+Tensor scale(const Tensor& a, double s) {
+  auto pa = a.node();
+  return wrap(makeNode(a.value() * s, {pa}, [pa, s](Node& self) {
+    accumulate(*pa, self.grad * s);
+  }));
+}
+
+Tensor addScalar(const Tensor& a, double s) {
+  auto pa = a.node();
+  Mat out = a.value();
+  for (auto& v : out.raw()) v += s;
+  return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
+    accumulate(*pa, self.grad);
+  }));
+}
+
+Tensor addConst(const Tensor& a, const Mat& c) {
+  if (!a.value().sameShape(c)) throw std::invalid_argument("addConst: shape mismatch");
+  auto pa = a.node();
+  return wrap(makeNode(a.value() + c, {pa}, [pa](Node& self) {
+    accumulate(*pa, self.grad);
+  }));
+}
+
+Tensor tanhT(const Tensor& a) {
+  return pointwise(a, [](double v) { return std::tanh(v); },
+                   [](double, double y) { return 1.0 - y * y; });
+}
+
+Tensor relu(const Tensor& a) {
+  return pointwise(a, [](double v) { return v > 0.0 ? v : 0.0; },
+                   [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Tensor leakyRelu(const Tensor& a, double slope) {
+  return pointwise(a, [slope](double v) { return v > 0.0 ? v : slope * v; },
+                   [slope](double x, double) { return x > 0.0 ? 1.0 : slope; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return pointwise(a, [](double v) { return 1.0 / (1.0 + std::exp(-v)); },
+                   [](double, double y) { return y * (1.0 - y); });
+}
+
+Tensor expT(const Tensor& a) {
+  return pointwise(a, [](double v) { return std::exp(v); },
+                   [](double, double y) { return y; });
+}
+
+Tensor logT(const Tensor& a, double eps) {
+  return pointwise(a, [eps](double v) { return std::log(std::max(v, eps)); },
+                   [eps](double x, double) { return 1.0 / std::max(x, eps); });
+}
+
+Tensor minT(const Tensor& a, const Tensor& b) {
+  checkSameShape(a, b, "minT");
+  auto pa = a.node(), pb = b.node();
+  Mat out = a.value();
+  for (std::size_t i = 0; i < out.raw().size(); ++i)
+    out.raw()[i] = std::min(out.raw()[i], b.value().raw()[i]);
+  return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb](Node& self) {
+    Mat da(self.grad.rows(), self.grad.cols());
+    Mat db(self.grad.rows(), self.grad.cols());
+    for (std::size_t i = 0; i < self.grad.raw().size(); ++i) {
+      if (pa->value.raw()[i] <= pb->value.raw()[i])
+        da.raw()[i] = self.grad.raw()[i];
+      else
+        db.raw()[i] = self.grad.raw()[i];
+    }
+    accumulate(*pa, da);
+    accumulate(*pb, db);
+  }));
+}
+
+Tensor clampT(const Tensor& a, double lo, double hi) {
+  return pointwise(a, [lo, hi](double v) { return std::clamp(v, lo, hi); },
+                   [lo, hi](double x, double) { return (x > lo && x < hi) ? 1.0 : 0.0; });
+}
+
+Tensor softmaxRows(const Tensor& a) {
+  auto pa = a.node();
+  Mat out = a.value();
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double mx = out(r, 0);
+    for (std::size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
+    double total = 0.0;
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = std::exp(out(r, c) - mx);
+      total += out(r, c);
+    }
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= total;
+  }
+  return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
+    // dx_rc = y_rc * (dout_rc - sum_k dout_rk y_rk) per row.
+    Mat delta(self.value.rows(), self.value.cols());
+    for (std::size_t r = 0; r < self.value.rows(); ++r) {
+      double dotProd = 0.0;
+      for (std::size_t c = 0; c < self.value.cols(); ++c)
+        dotProd += self.grad(r, c) * self.value(r, c);
+      for (std::size_t c = 0; c < self.value.cols(); ++c)
+        delta(r, c) = self.value(r, c) * (self.grad(r, c) - dotProd);
+    }
+    accumulate(*pa, delta);
+  }));
+}
+
+Tensor logSoftmaxRows(const Tensor& a) {
+  auto pa = a.node();
+  Mat out = a.value();
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double mx = out(r, 0);
+    for (std::size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
+    double total = 0.0;
+    for (std::size_t c = 0; c < out.cols(); ++c) total += std::exp(out(r, c) - mx);
+    const double lse = mx + std::log(total);
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) -= lse;
+  }
+  return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
+    // dx_rc = dout_rc - softmax_rc * sum_k dout_rk.
+    Mat delta(self.value.rows(), self.value.cols());
+    for (std::size_t r = 0; r < self.value.rows(); ++r) {
+      double rowSum = 0.0;
+      for (std::size_t c = 0; c < self.value.cols(); ++c) rowSum += self.grad(r, c);
+      for (std::size_t c = 0; c < self.value.cols(); ++c)
+        delta(r, c) = self.grad(r, c) - std::exp(self.value(r, c)) * rowSum;
+    }
+    accumulate(*pa, delta);
+  }));
+}
+
+Tensor sum(const Tensor& a) {
+  auto pa = a.node();
+  double s = 0.0;
+  for (double v : a.value().raw()) s += v;
+  return wrap(makeNode(Mat(1, 1, s), {pa}, [pa](Node& self) {
+    Mat delta(pa->value.rows(), pa->value.cols(), self.grad(0, 0));
+    accumulate(*pa, delta);
+  }));
+}
+
+Tensor mean(const Tensor& a) {
+  const double n = static_cast<double>(a.value().size());
+  return scale(sum(a), 1.0 / n);
+}
+
+Tensor meanRows(const Tensor& a) {
+  auto pa = a.node();
+  const double n = static_cast<double>(a.rows());
+  Mat out(1, a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out(0, c) += a.value()(r, c) / n;
+  return wrap(makeNode(std::move(out), {pa}, [pa, n](Node& self) {
+    Mat delta(pa->value.rows(), pa->value.cols());
+    for (std::size_t r = 0; r < delta.rows(); ++r)
+      for (std::size_t c = 0; c < delta.cols(); ++c) delta(r, c) = self.grad(0, c) / n;
+    accumulate(*pa, delta);
+  }));
+}
+
+Tensor transpose(const Tensor& a) {
+  auto pa = a.node();
+  return wrap(makeNode(a.value().transposed(), {pa}, [pa](Node& self) {
+    accumulate(*pa, self.grad.transposed());
+  }));
+}
+
+Tensor concatCols(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("concatCols: row mismatch");
+  auto pa = a.node(), pb = b.node();
+  Mat out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a.value()(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b.value()(r, c);
+  }
+  const std::size_t aCols = a.cols();
+  return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb, aCols](Node& self) {
+    Mat da(pa->value.rows(), pa->value.cols());
+    Mat db(pb->value.rows(), pb->value.cols());
+    for (std::size_t r = 0; r < self.grad.rows(); ++r) {
+      for (std::size_t c = 0; c < aCols; ++c) da(r, c) = self.grad(r, c);
+      for (std::size_t c = 0; c < db.cols(); ++c) db(r, c) = self.grad(r, aCols + c);
+    }
+    accumulate(*pa, da);
+    accumulate(*pb, db);
+  }));
+}
+
+Tensor gatherPerRow(const Tensor& a, const std::vector<int>& idx) {
+  if (idx.size() != a.rows()) throw std::invalid_argument("gatherPerRow: index count");
+  auto pa = a.node();
+  Mat out(a.rows(), 1);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    int c = idx[r];
+    if (c < 0 || static_cast<std::size_t>(c) >= a.cols())
+      throw std::out_of_range("gatherPerRow: index out of range");
+    out(r, 0) = a.value()(r, static_cast<std::size_t>(c));
+  }
+  return wrap(makeNode(std::move(out), {pa}, [pa, idx](Node& self) {
+    Mat delta(pa->value.rows(), pa->value.cols());
+    for (std::size_t r = 0; r < delta.rows(); ++r)
+      delta(r, static_cast<std::size_t>(idx[r])) = self.grad(r, 0);
+    accumulate(*pa, delta);
+  }));
+}
+
+Tensor sliceRows(const Tensor& a, std::size_t begin, std::size_t count) {
+  if (begin + count > a.rows()) throw std::out_of_range("sliceRows: out of range");
+  auto pa = a.node();
+  Mat out(count, a.cols());
+  for (std::size_t r = 0; r < count; ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a.value()(begin + r, c);
+  return wrap(makeNode(std::move(out), {pa}, [pa, begin, count](Node& self) {
+    Mat delta(pa->value.rows(), pa->value.cols());
+    for (std::size_t r = 0; r < count; ++r)
+      for (std::size_t c = 0; c < delta.cols(); ++c)
+        delta(begin + r, c) = self.grad(r, c);
+    accumulate(*pa, delta);
+  }));
+}
+
+Tensor reshape(const Tensor& a, std::size_t rows, std::size_t cols) {
+  if (rows * cols != a.value().size())
+    throw std::invalid_argument("reshape: element count mismatch");
+  auto pa = a.node();
+  Mat out(rows, cols);
+  out.raw() = a.value().raw();
+  return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
+    Mat delta(pa->value.rows(), pa->value.cols());
+    delta.raw() = self.grad.raw();
+    accumulate(*pa, delta);
+  }));
+}
+
+}  // namespace crl::nn

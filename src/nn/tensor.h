@@ -1,0 +1,123 @@
+#pragma once
+// Reverse-mode automatic differentiation on dense 2-D matrices.
+//
+// This is the neural-network substrate the policy networks are built on
+// (replacing PyTorch in the original work). Tensors are value-semantic
+// handles to shared graph nodes; free functions build the computation graph
+// and backward() runs reverse accumulation from a scalar root.
+//
+// The op set is exactly what the GCN / GAT / FCNN policy networks and the
+// PPO loss need: matmul, broadcasts, pointwise nonlinearities, row-wise
+// (log-)softmax, reductions, concatenation, clipping, elementwise min, and
+// per-row gather.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace crl::nn {
+
+using linalg::Mat;
+
+namespace detail {
+struct Node {
+  Mat value;
+  Mat grad;                     ///< allocated lazily on first accumulation
+  bool requiresGrad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward;  ///< pushes this->grad into parents
+  int visitMark = 0;            ///< scratch for topological sort
+
+  void ensureGrad() {
+    if (grad.rows() != value.rows() || grad.cols() != value.cols())
+      grad = Mat(value.rows(), value.cols());
+  }
+};
+}  // namespace detail
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Mat value, bool requiresGrad = false);
+  /// Wrap an existing graph node (used by the op implementations).
+  explicit Tensor(std::shared_ptr<detail::Node> node) : node_(std::move(node)) {}
+
+  static Tensor zeros(std::size_t rows, std::size_t cols, bool requiresGrad = false);
+  static Tensor scalar(double v);
+  /// 1 x n row vector from std::vector.
+  static Tensor row(const std::vector<double>& v);
+  /// Xavier/Glorot-uniform initialized parameter.
+  static Tensor xavier(std::size_t rows, std::size_t cols, util::Rng& rng);
+
+  bool defined() const { return node_ != nullptr; }
+  const Mat& value() const { return node_->value; }
+  Mat& mutableValue() { return node_->value; }
+  const Mat& grad() const { return node_->grad; }
+  bool requiresGrad() const { return node_ && node_->requiresGrad; }
+  std::size_t rows() const { return node_->value.rows(); }
+  std::size_t cols() const { return node_->value.cols(); }
+  double item() const;  ///< value of a 1x1 tensor
+
+  void zeroGrad();
+  /// Ensure the grad buffer exists (used by the optimizer).
+  void ensureGrad() { node_->ensureGrad(); }
+  Mat& mutableGrad() { node_->ensureGrad(); return node_->grad; }
+
+  std::shared_ptr<detail::Node> node() const { return node_; }
+
+ private:
+  std::shared_ptr<detail::Node> node_;
+};
+
+/// Reverse accumulation from a scalar (1x1) root.
+void backward(const Tensor& root);
+
+// ---- graph-building ops -------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// Constant (non-differentiable) left operand — e.g. the GCN propagation
+/// matrix A* of Eq. (2).
+Tensor matmulConstLeft(const Mat& a, const Tensor& b);
+Tensor add(const Tensor& a, const Tensor& b);
+/// a (n x m) + row (1 x m), broadcast over rows (bias addition).
+Tensor addRowBroadcast(const Tensor& a, const Tensor& row);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);  ///< elementwise
+Tensor scale(const Tensor& a, double s);
+Tensor addScalar(const Tensor& a, double s);
+/// Add a constant matrix (attention mask) — gradient passes through.
+Tensor addConst(const Tensor& a, const Mat& c);
+
+Tensor tanhT(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor leakyRelu(const Tensor& a, double slope = 0.2);
+Tensor sigmoid(const Tensor& a);
+Tensor expT(const Tensor& a);
+/// Natural log of max(a, eps) for numerical safety.
+Tensor logT(const Tensor& a, double eps = 1e-12);
+/// Elementwise min (subgradient routes to the smaller operand).
+Tensor minT(const Tensor& a, const Tensor& b);
+/// Clip values into [lo, hi]; zero gradient outside the interval.
+Tensor clampT(const Tensor& a, double lo, double hi);
+
+Tensor softmaxRows(const Tensor& a);
+Tensor logSoftmaxRows(const Tensor& a);
+
+Tensor sum(const Tensor& a);   ///< 1x1
+Tensor mean(const Tensor& a);  ///< 1x1
+/// Column-wise mean over rows -> 1 x m (graph mean-pool readout).
+Tensor meanRows(const Tensor& a);
+Tensor transpose(const Tensor& a);
+/// Horizontal concatenation [a | b].
+Tensor concatCols(const Tensor& a, const Tensor& b);
+/// Select a[i, idx[i]] for every row -> n x 1 (categorical log-prob gather).
+Tensor gatherPerRow(const Tensor& a, const std::vector<int>& idx);
+/// Extract a contiguous block of rows [begin, begin+count).
+Tensor sliceRows(const Tensor& a, std::size_t begin, std::size_t count);
+/// Row-major reshape preserving the element count (e.g. 1 x 3M -> M x 3).
+Tensor reshape(const Tensor& a, std::size_t rows, std::size_t cols);
+
+}  // namespace crl::nn

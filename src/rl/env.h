@@ -1,0 +1,57 @@
+#pragma once
+// RL environment interface for circuit sizing (Sec. 3 of the paper).
+//
+// Observations carry both state modalities: the circuit-graph node features
+// (dynamic device parameters + types) and the normalized specification
+// vectors (intermediate + desired). Actions are per-parameter discrete
+// {-1, 0, +1} steps on the design grid.
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace crl::rl {
+
+struct Observation {
+  linalg::Mat nodeFeatures;         ///< [n x featureDim] circuit graph state
+  std::vector<double> specNow;      ///< normalized intermediate specs
+  std::vector<double> specTarget;   ///< normalized desired specs
+  std::vector<double> paramsNorm;   ///< normalized parameters (FCNN baselines)
+};
+
+struct StepResult {
+  Observation obs;
+  double reward = 0.0;
+  bool done = false;
+  bool success = false;  ///< all specs reached (P2S) — unused by FoM envs
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Begin an episode with a freshly sampled target and initial sizing.
+  virtual Observation reset(util::Rng& rng) = 0;
+  /// Begin an episode for a specific target spec group (deployment).
+  virtual Observation resetWithTarget(const std::vector<double>& target,
+                                      util::Rng& rng) = 0;
+  virtual StepResult step(const std::vector<int>& actions) = 0;
+
+  virtual std::size_t numParams() const = 0;
+  virtual std::size_t numSpecs() const = 0;
+  virtual int maxSteps() const = 0;
+
+  /// Graph constants for the policy network.
+  virtual const linalg::Mat& normalizedAdjacency() const = 0;
+  virtual const linalg::Mat& attentionMask() const = 0;
+  virtual std::size_t graphNodeCount() const = 0;
+  virtual std::size_t graphFeatureDim() const = 0;
+
+  /// Raw (unnormalized) target and intermediate specs of the current episode.
+  virtual const std::vector<double>& rawTarget() const = 0;
+  virtual const std::vector<double>& rawSpecs() const = 0;
+  virtual const std::vector<double>& currentParams() const = 0;
+};
+
+}  // namespace crl::rl

@@ -1,0 +1,69 @@
+#include "rl/policy.h"
+
+#include <cmath>
+
+namespace crl::rl {
+
+namespace {
+/// Row-wise softmax on plain values (no autograd needed for sampling).
+linalg::Mat softmaxValues(const linalg::Mat& logits) {
+  linalg::Mat p = logits;
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    double mx = p(r, 0);
+    for (std::size_t c = 1; c < p.cols(); ++c) mx = std::max(mx, p(r, c));
+    double total = 0.0;
+    for (std::size_t c = 0; c < p.cols(); ++c) {
+      p(r, c) = std::exp(p(r, c) - mx);
+      total += p(r, c);
+    }
+    for (std::size_t c = 0; c < p.cols(); ++c) p(r, c) /= total;
+  }
+  return p;
+}
+}  // namespace
+
+SampledAction sampleAction(const linalg::Mat& logits, util::Rng& rng) {
+  linalg::Mat p = softmaxValues(logits);
+  SampledAction out;
+  out.actions.resize(p.rows());
+  out.columns.resize(p.rows());
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    std::vector<double> w(p.cols());
+    for (std::size_t c = 0; c < p.cols(); ++c) w[c] = p(r, c);
+    std::size_t col = rng.categorical(w);
+    out.columns[r] = static_cast<int>(col);
+    out.actions[r] = static_cast<int>(col) - 1;
+    out.logProb += std::log(std::max(p(r, col), 1e-12));
+  }
+  return out;
+}
+
+SampledAction greedyAction(const linalg::Mat& logits) {
+  linalg::Mat p = softmaxValues(logits);
+  SampledAction out;
+  out.actions.resize(p.rows());
+  out.columns.resize(p.rows());
+  for (std::size_t r = 0; r < p.rows(); ++r) {
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < p.cols(); ++c)
+      if (p(r, c) > p(r, best)) best = c;
+    out.columns[r] = static_cast<int>(best);
+    out.actions[r] = static_cast<int>(best) - 1;
+    out.logProb += std::log(std::max(p(r, best), 1e-12));
+  }
+  return out;
+}
+
+nn::Tensor logProbOf(const nn::Tensor& logits, const std::vector<int>& columns) {
+  nn::Tensor ls = nn::logSoftmaxRows(logits);
+  return nn::sum(nn::gatherPerRow(ls, columns));
+}
+
+nn::Tensor entropyOf(const nn::Tensor& logits) {
+  nn::Tensor p = nn::softmaxRows(logits);
+  nn::Tensor lp = nn::logSoftmaxRows(logits);
+  // H = -sum p log p, averaged over parameter rows.
+  return nn::scale(nn::sum(nn::mul(p, lp)), -1.0 / static_cast<double>(logits.rows()));
+}
+
+}  // namespace crl::rl

@@ -1,0 +1,44 @@
+#pragma once
+// Actor-critic policy interface and the categorical action head shared by
+// every method (ours and the RL baselines): an M x 3 probability matrix,
+// one row per tunable parameter (Sec. 3 "Action Representation").
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "rl/env.h"
+
+namespace crl::rl {
+
+struct PolicyOutput {
+  nn::Tensor logits;  ///< [M x 3] unnormalized action scores
+  nn::Tensor value;   ///< [1 x 1] state-value estimate
+};
+
+class ActorCritic {
+ public:
+  virtual ~ActorCritic() = default;
+  /// Build the autograd graph for one observation.
+  virtual PolicyOutput forward(const Observation& obs) const = 0;
+  virtual std::vector<nn::Tensor> parameters() const = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Sample one action per parameter from the logits ({-1,0,+1} encoded as
+/// column indices 0,1,2 minus 1). Returns actions and the total log-prob.
+struct SampledAction {
+  std::vector<int> actions;     ///< in {-1, 0, +1}
+  std::vector<int> columns;     ///< in {0, 1, 2} (for PPO re-evaluation)
+  double logProb = 0.0;
+};
+
+SampledAction sampleAction(const linalg::Mat& logits, util::Rng& rng);
+/// Greedy (argmax) variant used at deployment time.
+SampledAction greedyAction(const linalg::Mat& logits);
+
+/// Log-probability tensor of given action columns under logits (for PPO).
+nn::Tensor logProbOf(const nn::Tensor& logits, const std::vector<int>& columns);
+/// Mean per-row entropy of the categorical distributions.
+nn::Tensor entropyOf(const nn::Tensor& logits);
+
+}  // namespace crl::rl

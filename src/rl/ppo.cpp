@@ -1,0 +1,136 @@
+#include "rl/ppo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace crl::rl {
+
+void computeGae(const std::vector<Transition>& steps, double gamma, double lambda,
+                std::vector<double>* advantages, std::vector<double>* returns) {
+  const std::size_t n = steps.size();
+  advantages->assign(n, 0.0);
+  returns->assign(n, 0.0);
+  double gae = 0.0;
+  for (std::size_t ii = n; ii-- > 0;) {
+    const bool terminal = steps[ii].terminal;
+    const double nextValue = (terminal || ii + 1 == n) ? 0.0 : steps[ii + 1].value;
+    const double delta = steps[ii].reward + gamma * nextValue - steps[ii].value;
+    gae = terminal ? delta : delta + gamma * lambda * gae;
+    // At a buffer boundary (ii+1==n) without terminal we bootstrap with 0;
+    // acceptable bias since buffers end at episode boundaries below.
+    (*advantages)[ii] = gae;
+    (*returns)[ii] = gae + steps[ii].value;
+  }
+}
+
+PpoTrainer::PpoTrainer(Env& env, ActorCritic& policy, PpoConfig cfg, util::Rng rng)
+    : env_(env),
+      policy_(policy),
+      cfg_(cfg),
+      rng_(rng),
+      optimizer_(policy.parameters(), {.lr = cfg.learningRate}) {}
+
+void PpoTrainer::train(int episodes,
+                       const std::function<void(const EpisodeStats&)>& onEpisode) {
+  std::vector<Transition> buffer;
+  buffer.reserve(static_cast<std::size_t>(cfg_.stepsPerUpdate) + 64);
+
+  for (int ep = 0; ep < episodes; ++ep) {
+    Observation obs = env_.reset(rng_);
+    double epReward = 0.0;
+    int epLen = 0;
+    bool epSuccess = false;
+
+    for (int t = 0; t < env_.maxSteps(); ++t) {
+      PolicyOutput out = policy_.forward(obs);
+      SampledAction act = sampleAction(out.logits.value(), rng_);
+
+      Transition tr;
+      tr.obs = obs;
+      tr.columns = act.columns;
+      tr.logProb = act.logProb;
+      tr.value = out.value.item();
+
+      StepResult res = env_.step(act.actions);
+      tr.reward = res.reward;
+      tr.terminal = res.done || (t + 1 == env_.maxSteps());
+      buffer.push_back(std::move(tr));
+
+      epReward += res.reward;
+      ++epLen;
+      obs = res.obs;
+      if (res.done) {
+        epSuccess = res.success;
+        break;
+      }
+    }
+
+    ++episodeCounter_;
+    if (onEpisode) onEpisode({episodeCounter_, epReward, epLen, epSuccess});
+
+    if (static_cast<int>(buffer.size()) >= cfg_.stepsPerUpdate) {
+      update(buffer);
+      buffer.clear();
+    }
+  }
+  if (buffer.size() > 8) update(buffer);
+}
+
+void PpoTrainer::update(std::vector<Transition>& buffer) {
+  std::vector<double> advantages, returns;
+  computeGae(buffer, cfg_.gamma, cfg_.gaeLambda, &advantages, &returns);
+
+  // Normalize advantages across the batch.
+  double m = 0.0, sq = 0.0;
+  for (double a : advantages) m += a;
+  m /= static_cast<double>(advantages.size());
+  for (double a : advantages) sq += (a - m) * (a - m);
+  const double sd = std::sqrt(sq / std::max<std::size_t>(advantages.size() - 1, 1)) + 1e-8;
+  for (double& a : advantages) a = (a - m) / sd;
+
+  const std::size_t n = buffer.size();
+  for (int epoch = 0; epoch < cfg_.updateEpochs; ++epoch) {
+    auto perm = rng_.permutation(n);
+    const std::size_t mb = static_cast<std::size_t>(cfg_.minibatchSize);
+    for (std::size_t start = 0; start < n; start += mb) {
+      const std::size_t end = std::min(start + mb, n);
+      optimizer_.zeroGrad();
+
+      nn::Tensor policyLoss = nn::Tensor::scalar(0.0);
+      nn::Tensor valueLoss = nn::Tensor::scalar(0.0);
+      nn::Tensor entropy = nn::Tensor::scalar(0.0);
+      const double invCount = 1.0 / static_cast<double>(end - start);
+
+      for (std::size_t k = start; k < end; ++k) {
+        const Transition& tr = buffer[perm[k]];
+        const double adv = advantages[perm[k]];
+        const double ret = returns[perm[k]];
+
+        PolicyOutput out = policy_.forward(tr.obs);
+        nn::Tensor logp = logProbOf(out.logits, tr.columns);
+        nn::Tensor ratio = nn::expT(nn::addScalar(logp, -tr.logProb));
+        nn::Tensor unclipped = nn::scale(ratio, adv);
+        nn::Tensor clipped =
+            nn::scale(nn::clampT(ratio, 1.0 - cfg_.clipEps, 1.0 + cfg_.clipEps), adv);
+        policyLoss = nn::add(policyLoss, nn::minT(unclipped, clipped));
+
+        nn::Tensor verr = nn::addScalar(out.value, -ret);
+        valueLoss = nn::add(valueLoss, nn::sum(nn::mul(verr, verr)));
+        entropy = nn::add(entropy, entropyOf(out.logits));
+      }
+
+      // Maximize surrogate + entropy, minimize value error.
+      nn::Tensor loss = nn::add(
+          nn::add(nn::scale(policyLoss, -invCount),
+                  nn::scale(valueLoss, cfg_.valueCoef * invCount)),
+          nn::scale(entropy, -cfg_.entropyCoef * invCount));
+      nn::backward(loss);
+      nn::clipGradNorm(optimizer_.parameters(), cfg_.maxGradNorm);
+      optimizer_.step();
+    }
+  }
+}
+
+}  // namespace crl::rl

@@ -1,0 +1,71 @@
+#pragma once
+// Proximal Policy Optimization (Algorithm 1 of the paper): collect episodes,
+// compute GAE advantages, maximize the clipped surrogate with Adam, fit the
+// value function by regression.
+
+#include <functional>
+#include <vector>
+
+#include "nn/optim.h"
+#include "rl/env.h"
+#include "rl/policy.h"
+
+namespace crl::rl {
+
+struct PpoConfig {
+  double gamma = 0.99;
+  double gaeLambda = 0.95;
+  double clipEps = 0.2;          ///< epsilon in Eq. (3)
+  double learningRate = 3e-4;
+  double valueCoef = 0.5;
+  double entropyCoef = 0.01;
+  double maxGradNorm = 0.5;
+  int updateEpochs = 4;
+  int minibatchSize = 64;
+  int stepsPerUpdate = 512;      ///< environment steps collected per update
+};
+
+/// Per-episode statistics streamed to the caller (training curves of Fig. 3).
+struct EpisodeStats {
+  int episode = 0;
+  double episodeReward = 0.0;
+  int episodeLength = 0;
+  bool success = false;
+};
+
+struct Transition {
+  Observation obs;
+  std::vector<int> columns;  ///< sampled action columns (0..2 per parameter)
+  double logProb = 0.0;
+  double value = 0.0;
+  double reward = 0.0;
+  bool terminal = false;     ///< episode ended at this step
+};
+
+/// Compute GAE advantages and discounted returns in place.
+void computeGae(const std::vector<Transition>& steps, double gamma, double lambda,
+                std::vector<double>* advantages, std::vector<double>* returns);
+
+class PpoTrainer {
+ public:
+  PpoTrainer(Env& env, ActorCritic& policy, PpoConfig cfg, util::Rng rng);
+
+  /// Run training for a number of episodes; invokes the callback after each
+  /// finished episode.
+  void train(int episodes, const std::function<void(const EpisodeStats&)>& onEpisode = {});
+
+  const PpoConfig& config() const { return cfg_; }
+  util::Rng& rng() { return rng_; }
+
+ private:
+  void update(std::vector<Transition>& buffer);
+
+  Env& env_;
+  ActorCritic& policy_;
+  PpoConfig cfg_;
+  util::Rng rng_;
+  nn::Adam optimizer_;
+  int episodeCounter_ = 0;
+};
+
+}  // namespace crl::rl

@@ -1,0 +1,106 @@
+#include "spice/ac.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/solve.h"
+
+namespace crl::spice {
+
+AcAnalysis::AcAnalysis(Netlist& net, linalg::Vec xop) : net_(net), xop_(std::move(xop)) {
+  if (!net_.finalized()) net_.finalize();
+  if (xop_.size() != net_.unknownCount())
+    throw std::invalid_argument("AcAnalysis: operating point size mismatch");
+}
+
+linalg::CVec AcAnalysis::solveAt(double freqHz) const {
+  const std::size_t n = net_.unknownCount();
+  linalg::CMat y(n, n);
+  linalg::CVec rhs(n);
+  ComplexStamper stamper(y, rhs);
+  AcContext ctx{xop_, 2.0 * std::numbers::pi * freqHz};
+  for (const auto& dev : net_.devices()) dev->stampAc(stamper, ctx);
+  return linalg::solveLinear(std::move(y), rhs);
+}
+
+std::complex<double> AcAnalysis::nodeVoltage(double freqHz, NodeId node) const {
+  if (node == kGround) return {0.0, 0.0};
+  linalg::CVec x = solveAt(freqHz);
+  return x[static_cast<std::size_t>(node) - 1];
+}
+
+std::vector<double> AcAnalysis::logspace(double f0, double f1, int pointsPerDecade) {
+  if (f0 <= 0.0 || f1 <= f0 || pointsPerDecade < 1)
+    throw std::invalid_argument("logspace: invalid range");
+  std::vector<double> freqs;
+  const double decades = std::log10(f1 / f0);
+  const int total = static_cast<int>(std::ceil(decades * pointsPerDecade)) + 1;
+  for (int i = 0; i < total; ++i) {
+    double f = f0 * std::pow(10.0, decades * i / (total - 1));
+    freqs.push_back(f);
+  }
+  return freqs;
+}
+
+std::vector<AcPoint> AcAnalysis::sweep(NodeId node, double f0, double f1,
+                                       int pointsPerDecade) const {
+  std::vector<AcPoint> out;
+  for (double f : logspace(f0, f1, pointsPerDecade)) {
+    AcPoint p;
+    p.freqHz = f;
+    p.value = nodeVoltage(f, node);
+    out.push_back(p);
+  }
+  return out;
+}
+
+FrequencyResponseMetrics analyzeResponse(const std::vector<AcPoint>& sweep) {
+  FrequencyResponseMetrics m;
+  if (sweep.size() < 2) return m;
+
+  m.dcGain = sweep.front().magnitude();
+
+  // Unwrap phase across the sweep so the phase margin is continuous.
+  std::vector<double> phase(sweep.size());
+  phase[0] = std::arg(sweep[0].value);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    double p = std::arg(sweep[i].value);
+    double prev = phase[i - 1];
+    while (p - prev > std::numbers::pi) p -= 2.0 * std::numbers::pi;
+    while (p - prev < -std::numbers::pi) p += 2.0 * std::numbers::pi;
+    phase[i] = p;
+  }
+  // Reference the phase to 0 at DC (an inverting amp starts at ±180).
+  const double phase0 = phase[0];
+  for (auto& p : phase) p -= phase0;
+
+  const double target3Db = m.dcGain / std::sqrt(2.0);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    const double m0 = sweep[i - 1].magnitude();
+    const double m1 = sweep[i].magnitude();
+    // 3 dB corner (first downward crossing).
+    if (m.bandwidth3Db == 0.0 && m0 >= target3Db && m1 < target3Db) {
+      const double t = (m0 - target3Db) / (m0 - m1);
+      m.bandwidth3Db =
+          sweep[i - 1].freqHz * std::pow(sweep[i].freqHz / sweep[i - 1].freqHz, t);
+    }
+    // Unity-gain crossing (log-magnitude interpolation).
+    if (m.unityGainFreq == 0.0 && m0 >= 1.0 && m1 < 1.0) {
+      const double l0 = std::log10(m0);
+      const double l1 = std::log10(m1);
+      const double t = l0 / (l0 - l1);
+      m.unityGainFreq =
+          sweep[i - 1].freqHz * std::pow(sweep[i].freqHz / sweep[i - 1].freqHz, t);
+      const double ph = phase[i - 1] + t * (phase[i] - phase[i - 1]);
+      m.phaseMarginDeg = 180.0 + ph * 180.0 / std::numbers::pi;
+      // Normalize into (-180, 180]: a stable amp reports its true margin.
+      while (m.phaseMarginDeg > 180.0) m.phaseMarginDeg -= 360.0;
+      while (m.phaseMarginDeg <= -180.0) m.phaseMarginDeg += 360.0;
+      m.valid = true;
+    }
+  }
+  return m;
+}
+
+}  // namespace crl::spice

@@ -1,0 +1,59 @@
+#pragma once
+// Small-signal AC analysis: complex MNA solve of the circuit linearized at a
+// DC operating point, swept over frequency.
+
+#include <vector>
+
+#include "spice/netlist.h"
+
+namespace crl::spice {
+
+/// One point of a frequency response at a probed node.
+struct AcPoint {
+  double freqHz = 0.0;
+  std::complex<double> value;  ///< complex node voltage (per unit AC drive)
+
+  double magnitude() const { return std::abs(value); }
+  double magnitudeDb() const { return 20.0 * std::log10(std::abs(value)); }
+  /// Phase in degrees, unwrapped by the sweep helper.
+  double phaseDeg() const { return std::arg(value) * 180.0 / 3.14159265358979323846; }
+};
+
+class AcAnalysis {
+ public:
+  /// xop is a converged DC solution from DcAnalysis.
+  AcAnalysis(Netlist& net, linalg::Vec xop);
+
+  /// Solve the full complex unknown vector at one frequency.
+  linalg::CVec solveAt(double freqHz) const;
+  /// Complex voltage at a node for the configured AC sources.
+  std::complex<double> nodeVoltage(double freqHz, NodeId node) const;
+
+  /// Logarithmic frequency grid.
+  static std::vector<double> logspace(double f0, double f1, int pointsPerDecade);
+
+  /// Sweep the response at a node over a log grid.
+  std::vector<AcPoint> sweep(NodeId node, double f0, double f1,
+                             int pointsPerDecade) const;
+
+  const linalg::Vec& operatingPoint() const { return xop_; }
+
+ private:
+  Netlist& net_;
+  linalg::Vec xop_;
+};
+
+/// Scalar measurements extracted from a swept response (the op-amp specs).
+struct FrequencyResponseMetrics {
+  double dcGain = 0.0;          ///< |H| at the lowest swept frequency
+  double unityGainFreq = 0.0;   ///< f where |H| crosses 1 (0 if never)
+  double phaseMarginDeg = 0.0;  ///< 180 + phase at the unity-gain frequency
+  double bandwidth3Db = 0.0;    ///< f where |H| falls to dcGain/sqrt(2)
+  bool valid = false;           ///< false if the sweep never crosses unity
+};
+
+/// Compute gain/UGBW/PM/3dB-BW from a swept response. Phases are unwrapped
+/// across sweep points before the margin is evaluated.
+FrequencyResponseMetrics analyzeResponse(const std::vector<AcPoint>& sweep);
+
+}  // namespace crl::spice

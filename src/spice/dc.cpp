@@ -1,0 +1,123 @@
+#include "spice/dc.h"
+
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "util/logging.h"
+
+namespace crl::spice {
+
+DcAnalysis::DcAnalysis(Netlist& net, DcOptions opt) : net_(net), opt_(opt) {
+  if (!net_.finalized()) net_.finalize();
+}
+
+std::optional<linalg::Vec> DcAnalysis::newton(linalg::Vec x, double gmin,
+                                              double srcScale, int* iterationsOut) {
+  const std::size_t n = net_.unknownCount();
+  const std::size_t nNodes = net_.nodeCount() - 1;
+  linalg::Mat a(n, n);
+  linalg::Vec rhs(n);
+
+  for (int iter = 0; iter < opt_.maxIterations; ++iter) {
+    ++*iterationsOut;
+    a.fill(0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    RealStamper stamper(a, rhs);
+    SimContext ctx{x};
+    ctx.srcScale = srcScale;
+    ctx.gmin = gmin;
+    for (const auto& dev : net_.devices()) dev->stampLarge(stamper, ctx);
+
+    linalg::Vec xNew;
+    try {
+      xNew = linalg::solveLinear(std::move(a), rhs);
+    } catch (const std::runtime_error&) {
+      return std::nullopt;  // singular Jacobian: let the homotopy ladder retry
+    }
+    a = linalg::Mat(n, n);  // solveLinear consumed the matrix
+
+    // Damping: limit node-voltage steps; branch currents move freely.
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      double delta = xNew[i] - x[i];
+      if (i < nNodes) {
+        if (delta > opt_.stepLimit) delta = opt_.stepLimit;
+        if (delta < -opt_.stepLimit) delta = -opt_.stepLimit;
+        const double tol = opt_.vAbsTol + opt_.vRelTol * std::fabs(x[i]);
+        if (std::fabs(delta) > tol) converged = false;
+      }
+      x[i] += delta;
+    }
+    if (converged && iter > 0) return x;
+  }
+  return std::nullopt;
+}
+
+DcResult DcAnalysis::solve() {
+  const std::size_t n = net_.unknownCount();
+  const std::size_t nNodes = net_.nodeCount() - 1;
+  linalg::Vec x0(n, 0.0);
+  for (std::size_t i = 0; i < nNodes; ++i) x0[i] = opt_.initialVoltage;
+  return solve(x0);
+}
+
+DcResult DcAnalysis::solve(const linalg::Vec& x0) {
+  DcResult result;
+  result.x = x0;
+
+  // Stage 1: direct Newton.
+  if (auto x = newton(x0, opt_.gmin, 1.0, &result.iterations)) {
+    result.x = std::move(*x);
+    result.converged = true;
+    result.strategy = "newton";
+    return result;
+  }
+
+  // Stage 2: gmin stepping — start with a heavily damped circuit and relax.
+  if (opt_.gminStepping) {
+    linalg::Vec x = x0;
+    bool ok = true;
+    for (double gmin = 1e-2; gmin >= opt_.gmin * 0.99; gmin *= 1e-2) {
+      auto step = newton(x, gmin, 1.0, &result.iterations);
+      if (!step) {
+        ok = false;
+        break;
+      }
+      x = std::move(*step);
+    }
+    if (ok) {
+      if (auto fin = newton(x, opt_.gmin, 1.0, &result.iterations)) {
+        result.x = std::move(*fin);
+        result.converged = true;
+        result.strategy = "gmin-stepping";
+        return result;
+      }
+    }
+  }
+
+  // Stage 3: source stepping — ramp all independent sources from 5% to 100%.
+  if (opt_.sourceStepping) {
+    linalg::Vec x = x0;
+    bool ok = true;
+    for (double scale : {0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9, 1.0}) {
+      auto step = newton(x, opt_.gmin, scale, &result.iterations);
+      if (!step) {
+        ok = false;
+        break;
+      }
+      x = std::move(*step);
+    }
+    if (ok) {
+      result.x = std::move(x);
+      result.converged = true;
+      result.strategy = "source-stepping";
+      return result;
+    }
+  }
+
+  util::logDebug() << "DcAnalysis: failed to converge after " << result.iterations
+                   << " iterations";
+  return result;
+}
+
+}  // namespace crl::spice

@@ -1,0 +1,52 @@
+#pragma once
+// DC operating-point analysis: damped Newton-Raphson on the MNA system with
+// gmin stepping and source stepping as homotopy fallbacks.
+
+#include <optional>
+
+#include "spice/netlist.h"
+
+namespace crl::spice {
+
+struct DcOptions {
+  int maxIterations = 150;
+  double vAbsTol = 1e-9;      ///< absolute voltage tolerance [V]
+  double vRelTol = 1e-6;      ///< relative voltage tolerance
+  double stepLimit = 0.6;     ///< max node-voltage change per Newton step [V]
+  double gmin = 1e-12;        ///< baseline convergence-aid conductance [S]
+  bool gminStepping = true;
+  bool sourceStepping = true;
+  double initialVoltage = 0.0;  ///< flat initial guess for node voltages [V]
+};
+
+struct DcResult {
+  linalg::Vec x;        ///< converged unknown vector (nodes then branches)
+  bool converged = false;
+  int iterations = 0;   ///< total Newton iterations across homotopy stages
+  const char* strategy = "newton";  ///< which homotopy stage succeeded
+};
+
+class DcAnalysis {
+ public:
+  explicit DcAnalysis(Netlist& net, DcOptions opt = {});
+
+  /// Solve from the flat initial guess.
+  DcResult solve();
+  /// Solve warm-started from a previous solution.
+  DcResult solve(const linalg::Vec& x0);
+
+  /// Voltage of a node in a result vector.
+  double voltage(const DcResult& r, NodeId n) const {
+    return Netlist::voltageOf(r.x, n);
+  }
+
+ private:
+  /// Plain Newton loop at fixed (gmin, srcScale); nullopt if not converged.
+  std::optional<linalg::Vec> newton(linalg::Vec x, double gmin, double srcScale,
+                                    int* iterationsOut);
+
+  Netlist& net_;
+  DcOptions opt_;
+};
+
+}  // namespace crl::spice

@@ -1,0 +1,125 @@
+#pragma once
+// Device base class and MNA stamping interfaces.
+//
+// Each device knows how to stamp itself into:
+//   * the large-signal Jacobian/RHS used by DC Newton and transient Newton
+//     (companion-model linearization around the current iterate), and
+//   * the complex small-signal admittance matrix used by AC analysis
+//     (linearized at a previously computed DC operating point).
+
+#include <complex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace crl::spice {
+
+using NodeId = int;
+constexpr NodeId kGround = 0;
+
+/// Assembly helper that hides the ground-row elimination: contributions that
+/// touch ground are dropped, everything else lands at (node-1) or at the
+/// branch-current rows that follow the node block.
+template <typename T>
+class Stamper {
+ public:
+  Stamper(linalg::Matrix<T>& a, std::vector<T>& rhs) : a_(a), rhs_(rhs) {}
+
+  /// Conductance-like stamp between two node voltages.
+  void addY(NodeId i, NodeId j, T val) {
+    if (i == kGround || j == kGround) return;
+    a_(static_cast<std::size_t>(i) - 1, static_cast<std::size_t>(j) - 1) += val;
+  }
+  /// RHS contribution at a node row.
+  void addNodeRhs(NodeId i, T val) {
+    if (i == kGround) return;
+    rhs_[static_cast<std::size_t>(i) - 1] += val;
+  }
+  /// Raw entry by unknown index (for branch rows/columns).
+  void addEntry(std::size_t row, std::size_t col, T val) { a_(row, col) += val; }
+  void addRhsEntry(std::size_t row, T val) { rhs_[row] += val; }
+
+  /// Unknown index of a non-ground node.
+  static std::size_t nodeIdx(NodeId n) { return static_cast<std::size_t>(n) - 1; }
+
+ private:
+  linalg::Matrix<T>& a_;
+  std::vector<T>& rhs_;
+};
+
+using RealStamper = Stamper<double>;
+using ComplexStamper = Stamper<std::complex<double>>;
+
+/// Context for large-signal (DC / transient) assembly.
+struct SimContext {
+  const linalg::Vec& x;            ///< current Newton iterate
+  double time = 0.0;               ///< transient time (sources)
+  double dt = 0.0;                 ///< step size; <= 0 means DC
+  bool transient = false;          ///< transient (companion C/L models) vs DC
+  double srcScale = 1.0;           ///< source-stepping homotopy scale
+  double gmin = 0.0;               ///< convergence aid conductance to ground
+  const double* state = nullptr;   ///< device's transient history slice
+};
+
+/// Context for small-signal AC assembly.
+struct AcContext {
+  const linalg::Vec& xop;  ///< DC operating point (unknown vector)
+  double omega = 0.0;      ///< angular frequency
+};
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const { return name_; }
+  virtual std::string_view kind() const = 0;
+  /// Circuit nets this device touches (used for graph extraction).
+  virtual std::vector<NodeId> terminals() const = 0;
+
+  /// Number of extra branch-current unknowns this device introduces.
+  virtual int branchCount() const { return 0; }
+  /// Number of transient-history doubles (previous voltages/currents).
+  virtual int tranStateSize() const { return 0; }
+
+  /// Unknown index of this device's first branch current (set by finalize()).
+  std::size_t branchIndex() const { return branchIndex_; }
+  void setBranchIndex(std::size_t idx) { branchIndex_ = idx; }
+  std::size_t stateOffset() const { return stateOffset_; }
+  void setStateOffset(std::size_t off) { stateOffset_ = off; }
+
+  /// Stamp the linearized large-signal model around ctx.x.
+  virtual void stampLarge(RealStamper& s, const SimContext& ctx) const = 0;
+  /// Stamp the small-signal model at the operating point.
+  virtual void stampAc(ComplexStamper& s, const AcContext& ctx) const = 0;
+  /// After a converged transient step, refresh integrator history in `state`.
+  virtual void updateTranState(const SimContext& ctx, double* state) const {
+    (void)ctx;
+    (void)state;
+  }
+  /// Initialize transient history from a DC operating point.
+  virtual void initTranState(const linalg::Vec& xop, double* state) const {
+    (void)xop;
+    (void)state;
+  }
+
+  /// One-line SPICE-like card for netlist dumps.
+  virtual std::string card() const { return name_; }
+
+ protected:
+  static double v(const linalg::Vec& x, NodeId n) {
+    return n == kGround ? 0.0 : x[static_cast<std::size_t>(n) - 1];
+  }
+
+ private:
+  std::string name_;
+  std::size_t branchIndex_ = 0;
+  std::size_t stateOffset_ = 0;
+};
+
+}  // namespace crl::spice

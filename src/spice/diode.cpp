@@ -1,0 +1,90 @@
+#include "spice/diode.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace crl::spice {
+
+DiodeEval evalDiode(const DiodeModel& m, double v) {
+  DiodeEval e;
+  const double nvt = m.n * m.vt;
+  if (v <= m.vExp) {
+    const double ex = std::exp(v / nvt);
+    e.id = m.is * (ex - 1.0);
+    e.gd = m.is * ex / nvt;
+  } else {
+    // Linear continuation of the exponential beyond vExp (overflow guard).
+    const double ex = std::exp(m.vExp / nvt);
+    const double idExp = m.is * (ex - 1.0);
+    const double gdExp = m.is * ex / nvt;
+    e.id = idExp + gdExp * (v - m.vExp);
+    e.gd = gdExp;
+  }
+  return e;
+}
+
+Diode::Diode(std::string name, NodeId a, NodeId c, DiodeModel model)
+    : Device(std::move(name)), a_(a), c_(c), model_(model) {
+  if (model_.is <= 0.0) throw std::invalid_argument("Diode: non-positive Is");
+  if (model_.n <= 0.0) throw std::invalid_argument("Diode: non-positive emission coeff");
+  if (model_.cj0 < 0.0) throw std::invalid_argument("Diode: negative junction cap");
+}
+
+void Diode::stampLarge(RealStamper& s, const SimContext& ctx) const {
+  const double v = vd(ctx.x);
+  const DiodeEval e = evalDiode(model_, v);
+  // Norton companion of the linearized junction: i = gd*v + (id - gd*v).
+  const double ieq = e.id - e.gd * v;
+  s.addY(a_, a_, e.gd);
+  s.addY(c_, c_, e.gd);
+  s.addY(a_, c_, -e.gd);
+  s.addY(c_, a_, -e.gd);
+  s.addNodeRhs(a_, -ieq);
+  s.addNodeRhs(c_, ieq);
+
+  if (ctx.transient && model_.cj0 > 0.0) {
+    // Trapezoidal companion of the junction capacitance.
+    const double geq = 2.0 * model_.cj0 / ctx.dt;
+    const double vPrev = ctx.state[0];
+    const double iPrev = ctx.state[1];
+    const double ic = geq * vPrev + iPrev;
+    s.addY(a_, a_, geq);
+    s.addY(c_, c_, geq);
+    s.addY(a_, c_, -geq);
+    s.addY(c_, a_, -geq);
+    s.addNodeRhs(a_, ic);
+    s.addNodeRhs(c_, -ic);
+  }
+}
+
+void Diode::stampAc(ComplexStamper& s, const AcContext& ctx) const {
+  const DiodeEval e = evalDiode(model_, vd(ctx.xop));
+  const std::complex<double> y(e.gd, ctx.omega * model_.cj0);
+  s.addY(a_, a_, y);
+  s.addY(c_, c_, y);
+  s.addY(a_, c_, -y);
+  s.addY(c_, a_, -y);
+}
+
+void Diode::updateTranState(const SimContext& ctx, double* state) const {
+  if (model_.cj0 <= 0.0) return;
+  const double vNew = vd(ctx.x);
+  const double geq = 2.0 * model_.cj0 / ctx.dt;
+  const double iNew = geq * (vNew - state[0]) - state[1];
+  state[0] = vNew;
+  state[1] = iNew;
+}
+
+void Diode::initTranState(const linalg::Vec& xop, double* state) const {
+  state[0] = vd(xop);
+  state[1] = 0.0;
+}
+
+std::string Diode::card() const {
+  std::ostringstream os;
+  os << name() << ' ' << a_ << ' ' << c_ << " D Is=" << model_.is << " n=" << model_.n;
+  return os.str();
+}
+
+}  // namespace crl::spice

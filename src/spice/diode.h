@@ -1,0 +1,59 @@
+#pragma once
+// Junction diode: exponential Shockley law with an overflow-safe linearized
+// tail above a critical forward voltage, a constant junction capacitance,
+// and trapezoidal companion integration in transient analysis.
+//
+//   id(v) = Is * (exp(v / (n Vt)) - 1)                for v <= vExp
+//   id(v) = id(vExp) + gd(vExp) * (v - vExp)          for v >  vExp
+//
+// The linear tail keeps Newton iterates finite when the solver overshoots;
+// converged operating points in sane circuits sit below vExp.
+
+#include "spice/device.h"
+
+namespace crl::spice {
+
+struct DiodeModel {
+  double is = 1e-14;    ///< saturation current [A]
+  double n = 1.0;       ///< emission coefficient
+  double vt = 0.02585;  ///< thermal voltage [V] (300 K)
+  double cj0 = 0.0;     ///< junction capacitance (bias-independent) [F]
+  double vExp = 0.8;    ///< start of the linearized overflow guard [V]
+};
+
+/// Current and conductance of the (guarded) Shockley law.
+struct DiodeEval {
+  double id = 0.0;
+  double gd = 0.0;  ///< d id / d v
+};
+
+DiodeEval evalDiode(const DiodeModel& m, double v);
+
+class Diode : public Device {
+ public:
+  /// Anode `a`, cathode `c`.
+  Diode(std::string name, NodeId a, NodeId c, DiodeModel model = {});
+
+  std::string_view kind() const override { return "diode"; }
+  std::vector<NodeId> terminals() const override { return {a_, c_}; }
+  int tranStateSize() const override { return 2; }  // junction-cap (v, i)
+  void stampLarge(RealStamper& s, const SimContext& ctx) const override;
+  void stampAc(ComplexStamper& s, const AcContext& ctx) const override;
+  void updateTranState(const SimContext& ctx, double* state) const override;
+  void initTranState(const linalg::Vec& xop, double* state) const override;
+  std::string card() const override;
+
+  const DiodeModel& model() const { return model_; }
+  NodeId anode() const { return a_; }
+  NodeId cathode() const { return c_; }
+  /// Diode current at a solved operating point.
+  double currentAt(const linalg::Vec& x) const { return evalDiode(model_, vd(x)).id; }
+
+ private:
+  double vd(const linalg::Vec& x) const { return v(x, a_) - v(x, c_); }
+
+  NodeId a_, c_;
+  DiodeModel model_;
+};
+
+}  // namespace crl::spice

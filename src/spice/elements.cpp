@@ -1,0 +1,240 @@
+#include "spice/elements.h"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace crl::spice {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+// ---------------------------------------------------------------- Resistor
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
+    : Device(std::move(name)), a_(a), b_(b), ohms_(ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("Resistor: non-positive resistance");
+}
+
+void Resistor::setResistance(double ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("Resistor: non-positive resistance");
+  ohms_ = ohms;
+}
+
+void Resistor::stampLarge(RealStamper& s, const SimContext&) const {
+  const double g = 1.0 / ohms_;
+  s.addY(a_, a_, g);
+  s.addY(b_, b_, g);
+  s.addY(a_, b_, -g);
+  s.addY(b_, a_, -g);
+}
+
+void Resistor::stampAc(ComplexStamper& s, const AcContext&) const {
+  const std::complex<double> g(1.0 / ohms_, 0.0);
+  s.addY(a_, a_, g);
+  s.addY(b_, b_, g);
+  s.addY(a_, b_, -g);
+  s.addY(b_, a_, -g);
+}
+
+std::string Resistor::card() const {
+  std::ostringstream os;
+  os << name() << ' ' << a_ << ' ' << b_ << ' ' << ohms_;
+  return os.str();
+}
+
+// --------------------------------------------------------------- Capacitor
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads)
+    : Device(std::move(name)), a_(a), b_(b), farads_(farads) {
+  if (farads <= 0.0) throw std::invalid_argument("Capacitor: non-positive capacitance");
+}
+
+void Capacitor::setCapacitance(double farads) {
+  if (farads <= 0.0) throw std::invalid_argument("Capacitor: non-positive capacitance");
+  farads_ = farads;
+}
+
+void Capacitor::stampLarge(RealStamper& s, const SimContext& ctx) const {
+  if (!ctx.transient) return;  // open circuit at DC
+  // Trapezoidal companion: i = Geq*v - (Geq*v_prev + i_prev).
+  const double geq = 2.0 * farads_ / ctx.dt;
+  const double vPrev = ctx.state[0];
+  const double iPrev = ctx.state[1];
+  const double ieq = geq * vPrev + iPrev;
+  s.addY(a_, a_, geq);
+  s.addY(b_, b_, geq);
+  s.addY(a_, b_, -geq);
+  s.addY(b_, a_, -geq);
+  s.addNodeRhs(a_, ieq);
+  s.addNodeRhs(b_, -ieq);
+}
+
+void Capacitor::stampAc(ComplexStamper& s, const AcContext& ctx) const {
+  const std::complex<double> y(0.0, ctx.omega * farads_);
+  s.addY(a_, a_, y);
+  s.addY(b_, b_, y);
+  s.addY(a_, b_, -y);
+  s.addY(b_, a_, -y);
+}
+
+void Capacitor::updateTranState(const SimContext& ctx, double* state) const {
+  const double vNew = v(ctx.x, a_) - v(ctx.x, b_);
+  const double geq = 2.0 * farads_ / ctx.dt;
+  const double iNew = geq * (vNew - state[0]) - state[1];
+  state[0] = vNew;
+  state[1] = iNew;
+}
+
+void Capacitor::initTranState(const linalg::Vec& xop, double* state) const {
+  state[0] = v(xop, a_) - v(xop, b_);
+  state[1] = 0.0;  // steady state: no capacitor current
+}
+
+std::string Capacitor::card() const {
+  std::ostringstream os;
+  os << name() << ' ' << a_ << ' ' << b_ << ' ' << farads_;
+  return os.str();
+}
+
+// ---------------------------------------------------------------- Inductor
+
+Inductor::Inductor(std::string name, NodeId a, NodeId b, double henries)
+    : Device(std::move(name)), a_(a), b_(b), henries_(henries) {
+  if (henries <= 0.0) throw std::invalid_argument("Inductor: non-positive inductance");
+}
+
+void Inductor::stampLarge(RealStamper& s, const SimContext& ctx) const {
+  const std::size_t br = branchIndex();
+  // KCL: branch current leaves node a, enters node b.
+  if (a_ != kGround) {
+    s.addEntry(RealStamper::nodeIdx(a_), br, 1.0);
+    s.addEntry(br, RealStamper::nodeIdx(a_), 1.0);
+  }
+  if (b_ != kGround) {
+    s.addEntry(RealStamper::nodeIdx(b_), br, -1.0);
+    s.addEntry(br, RealStamper::nodeIdx(b_), -1.0);
+  }
+  if (!ctx.transient) {
+    // DC: short circuit, v_a - v_b = 0 (branch row already has the voltages).
+    return;
+  }
+  // Trapezoidal companion: v = (2L/dt)(i - i_prev) - v_prev
+  //  => v_a - v_b - (2L/dt) i = -(2L/dt) i_prev - v_prev.
+  const double req = 2.0 * henries_ / ctx.dt;
+  const double iPrev = ctx.state[0];
+  const double vPrev = ctx.state[1];
+  s.addEntry(br, br, -req);
+  s.addRhsEntry(br, -(req * iPrev + vPrev));
+}
+
+void Inductor::stampAc(ComplexStamper& s, const AcContext& ctx) const {
+  const std::size_t br = branchIndex();
+  if (a_ != kGround) {
+    s.addEntry(ComplexStamper::nodeIdx(a_), br, {1.0, 0.0});
+    s.addEntry(br, ComplexStamper::nodeIdx(a_), {1.0, 0.0});
+  }
+  if (b_ != kGround) {
+    s.addEntry(ComplexStamper::nodeIdx(b_), br, {-1.0, 0.0});
+    s.addEntry(br, ComplexStamper::nodeIdx(b_), {-1.0, 0.0});
+  }
+  // v_a - v_b - jwL * i = 0.
+  s.addEntry(br, br, {0.0, -ctx.omega * henries_});
+}
+
+void Inductor::updateTranState(const SimContext& ctx, double* state) const {
+  const double iNew = ctx.x[branchIndex()];
+  const double vNew = v(ctx.x, a_) - v(ctx.x, b_);
+  state[0] = iNew;
+  state[1] = vNew;
+}
+
+void Inductor::initTranState(const linalg::Vec& xop, double* state) const {
+  state[0] = xop[branchIndex()];
+  state[1] = 0.0;  // steady state: no voltage across inductor
+}
+
+std::string Inductor::card() const {
+  std::ostringstream os;
+  os << name() << ' ' << a_ << ' ' << b_ << ' ' << henries_;
+  return os.str();
+}
+
+// ----------------------------------------------------------------- VSource
+
+VSource::VSource(std::string name, NodeId pos, NodeId neg, double dc)
+    : Device(std::move(name)), pos_(pos), neg_(neg), dc_(dc) {}
+
+void VSource::setSine(double amplitude, double freqHz, double phaseRad) {
+  sineAmp_ = amplitude;
+  sineFreq_ = freqHz;
+  sinePhase_ = phaseRad;
+}
+
+double VSource::valueAt(double time) const {
+  double val = dc_;
+  if (sineAmp_ != 0.0) val += sineAmp_ * std::sin(kTwoPi * sineFreq_ * time + sinePhase_);
+  return val;
+}
+
+void VSource::stampLarge(RealStamper& s, const SimContext& ctx) const {
+  const std::size_t br = branchIndex();
+  if (pos_ != kGround) {
+    s.addEntry(RealStamper::nodeIdx(pos_), br, 1.0);
+    s.addEntry(br, RealStamper::nodeIdx(pos_), 1.0);
+  }
+  if (neg_ != kGround) {
+    s.addEntry(RealStamper::nodeIdx(neg_), br, -1.0);
+    s.addEntry(br, RealStamper::nodeIdx(neg_), -1.0);
+  }
+  const double value = ctx.transient ? valueAt(ctx.time) : dc_;
+  s.addRhsEntry(br, value * ctx.srcScale);
+}
+
+void VSource::stampAc(ComplexStamper& s, const AcContext&) const {
+  const std::size_t br = branchIndex();
+  if (pos_ != kGround) {
+    s.addEntry(ComplexStamper::nodeIdx(pos_), br, {1.0, 0.0});
+    s.addEntry(br, ComplexStamper::nodeIdx(pos_), {1.0, 0.0});
+  }
+  if (neg_ != kGround) {
+    s.addEntry(ComplexStamper::nodeIdx(neg_), br, {-1.0, 0.0});
+    s.addEntry(br, ComplexStamper::nodeIdx(neg_), {-1.0, 0.0});
+  }
+  s.addRhsEntry(br, {acMag_, 0.0});
+}
+
+std::string VSource::card() const {
+  std::ostringstream os;
+  os << name() << ' ' << pos_ << ' ' << neg_ << " DC " << dc_;
+  if (acMag_ != 0.0) os << " AC " << acMag_;
+  if (sineAmp_ != 0.0) os << " SIN(" << sineAmp_ << ' ' << sineFreq_ << ')';
+  return os.str();
+}
+
+// ----------------------------------------------------------------- ISource
+
+ISource::ISource(std::string name, NodeId pos, NodeId neg, double dc)
+    : Device(std::move(name)), pos_(pos), neg_(neg), dc_(dc) {}
+
+void ISource::stampLarge(RealStamper& s, const SimContext& ctx) const {
+  // Pushes current out of pos into the circuit: KCL rhs at pos gets -I... by
+  // convention here the source drives current from neg to pos internally, so
+  // current I is injected into node pos and drawn from node neg.
+  s.addNodeRhs(pos_, dc_ * ctx.srcScale);
+  s.addNodeRhs(neg_, -dc_ * ctx.srcScale);
+}
+
+void ISource::stampAc(ComplexStamper&, const AcContext&) const {
+  // DC current source is an AC open circuit: no stamp.
+}
+
+std::string ISource::card() const {
+  std::ostringstream os;
+  os << name() << ' ' << pos_ << ' ' << neg_ << " DC " << dc_;
+  return os.str();
+}
+
+}  // namespace crl::spice

@@ -1,0 +1,134 @@
+#pragma once
+// Passive elements and independent sources: R, C, L, V source, I source.
+
+#include "spice/device.h"
+
+namespace crl::spice {
+
+class Resistor : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms);
+
+  std::string_view kind() const override { return "resistor"; }
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+  void stampLarge(RealStamper& s, const SimContext& ctx) const override;
+  void stampAc(ComplexStamper& s, const AcContext& ctx) const override;
+  std::string card() const override;
+
+  double resistance() const { return ohms_; }
+  void setResistance(double ohms);
+  NodeId nodeA() const { return a_; }
+  NodeId nodeB() const { return b_; }
+
+ private:
+  NodeId a_, b_;
+  double ohms_;
+};
+
+class Capacitor : public Device {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double farads);
+
+  std::string_view kind() const override { return "capacitor"; }
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+  int tranStateSize() const override { return 2; }  // prev voltage, prev current
+  void stampLarge(RealStamper& s, const SimContext& ctx) const override;
+  void stampAc(ComplexStamper& s, const AcContext& ctx) const override;
+  void updateTranState(const SimContext& ctx, double* state) const override;
+  void initTranState(const linalg::Vec& xop, double* state) const override;
+  std::string card() const override;
+
+  double capacitance() const { return farads_; }
+  void setCapacitance(double farads);
+  NodeId nodeA() const { return a_; }
+  NodeId nodeB() const { return b_; }
+
+ private:
+  NodeId a_, b_;
+  double farads_;
+};
+
+class Inductor : public Device {
+ public:
+  Inductor(std::string name, NodeId a, NodeId b, double henries);
+
+  std::string_view kind() const override { return "inductor"; }
+  std::vector<NodeId> terminals() const override { return {a_, b_}; }
+  int branchCount() const override { return 1; }
+  int tranStateSize() const override { return 2; }  // prev current, prev voltage
+  void stampLarge(RealStamper& s, const SimContext& ctx) const override;
+  void stampAc(ComplexStamper& s, const AcContext& ctx) const override;
+  void updateTranState(const SimContext& ctx, double* state) const override;
+  void initTranState(const linalg::Vec& xop, double* state) const override;
+  std::string card() const override;
+
+  double inductance() const { return henries_; }
+  NodeId nodeA() const { return a_; }
+  NodeId nodeB() const { return b_; }
+
+ private:
+  NodeId a_, b_;
+  double henries_;
+};
+
+/// Independent voltage source: DC value, AC magnitude (for small-signal
+/// excitation), and optional sinusoid for transient analysis
+///   v(t) = dc + sineAmp * sin(2*pi*sineFreq*t + sinePhase).
+class VSource : public Device {
+ public:
+  VSource(std::string name, NodeId pos, NodeId neg, double dc);
+
+  std::string_view kind() const override { return "vsource"; }
+  std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
+  int branchCount() const override { return 1; }
+  void stampLarge(RealStamper& s, const SimContext& ctx) const override;
+  void stampAc(ComplexStamper& s, const AcContext& ctx) const override;
+  std::string card() const override;
+
+  void setDc(double dc) { dc_ = dc; }
+  double dc() const { return dc_; }
+  void setAcMag(double mag) { acMag_ = mag; }
+  double acMag() const { return acMag_; }
+  void setSine(double amplitude, double freqHz, double phaseRad = 0.0);
+  double sineAmp() const { return sineAmp_; }
+  double sineFreq() const { return sineFreq_; }
+  double sinePhase() const { return sinePhase_; }
+  double valueAt(double time) const;
+
+  NodeId pos() const { return pos_; }
+  NodeId neg() const { return neg_; }
+  /// Branch current flows from pos through the source to neg.
+  std::size_t currentIndex() const { return branchIndex(); }
+
+ private:
+  NodeId pos_, neg_;
+  double dc_;
+  double acMag_ = 0.0;
+  double sineAmp_ = 0.0;
+  double sineFreq_ = 0.0;
+  double sinePhase_ = 0.0;
+};
+
+/// Independent current source (DC only); current flows pos -> neg externally,
+/// i.e. it pushes current out of `pos` into the circuit.
+class ISource : public Device {
+ public:
+  ISource(std::string name, NodeId pos, NodeId neg, double dc);
+
+  std::string_view kind() const override { return "isource"; }
+  std::vector<NodeId> terminals() const override { return {pos_, neg_}; }
+  void stampLarge(RealStamper& s, const SimContext& ctx) const override;
+  void stampAc(ComplexStamper& s, const AcContext& ctx) const override;
+  std::string card() const override;
+
+  void setDc(double dc) { dc_ = dc; }
+  double dc() const { return dc_; }
+  NodeId pos() const { return pos_; }
+  NodeId neg() const { return neg_; }
+
+ private:
+  NodeId pos_, neg_;
+  double dc_;
+};
+
+}  // namespace crl::spice

@@ -1,0 +1,155 @@
+#include "spice/gan.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace crl::spice {
+
+GanEval evalGan(const GanModel& m, double ipk, double vgs, double vds) {
+  const double psi = m.p1 * (vgs - m.vpk);
+  const double tpsi = std::tanh(psi);
+  const double sech2Psi = 1.0 - tpsi * tpsi;
+  const double tvds = std::tanh(m.alpha * vds);
+  const double sech2Vds = 1.0 - tvds * tvds;
+  const double clm = 1.0 + m.lambda * vds;
+
+  GanEval e;
+  e.id = ipk * (1.0 + tpsi) * tvds * clm;
+  e.gm = ipk * m.p1 * sech2Psi * tvds * clm;
+  e.gds = ipk * (1.0 + tpsi) * (m.alpha * sech2Vds * clm + tvds * m.lambda);
+  return e;
+}
+
+GanHemt::GanHemt(std::string name, NodeId d, NodeId g, NodeId s, GanModel model,
+                 double widthPerFinger, int fingers)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), model_(model) {
+  setGeometry(widthPerFinger, fingers);
+}
+
+void GanHemt::setGeometry(double widthPerFinger, int fingers) {
+  if (widthPerFinger <= 0.0) throw std::invalid_argument("GanHemt: non-positive width");
+  if (fingers < 1) throw std::invalid_argument("GanHemt: fingers must be >= 1");
+  w_ = widthPerFinger;
+  nf_ = fingers;
+  const double weff = effectiveWidth();
+  cgs_ = model_.cgsPerWidth * weff;
+  cgd_ = model_.cgdPerWidth * weff;
+}
+
+GanEval GanHemt::orientedEval(const linalg::Vec& x, NodeId& dEff, NodeId& sEff) const {
+  const double vd = v(x, d_);
+  const double vg = v(x, g_);
+  const double vs = v(x, s_);
+  const double ipk = model_.ipkPerWidth * effectiveWidth();
+  if (vd >= vs) {
+    dEff = d_;
+    sEff = s_;
+    return evalGan(model_, ipk, vg - vs, vd - vs);
+  }
+  dEff = s_;
+  sEff = d_;
+  return evalGan(model_, ipk, vg - vd, vs - vd);
+}
+
+GanEval GanHemt::evalAt(const linalg::Vec& x) const {
+  NodeId dEff, sEff;
+  return orientedEval(x, dEff, sEff);
+}
+
+void GanHemt::stampLarge(RealStamper& st, const SimContext& ctx) const {
+  NodeId dEff, sEff;
+  const GanEval e = orientedEval(ctx.x, dEff, sEff);
+
+  // NMOS-style partials: gate control is v(g) - v(sEff).
+  const double gd = e.gds;
+  const double gg = e.gm;
+  const double gs = -e.gm - e.gds;
+  const double ieq =
+      e.id - (gd * v(ctx.x, dEff) + gg * v(ctx.x, g_) + gs * v(ctx.x, sEff));
+
+  st.addY(dEff, dEff, gd);
+  st.addY(dEff, g_, gg);
+  st.addY(dEff, sEff, gs);
+  st.addNodeRhs(dEff, -ieq);
+
+  st.addY(sEff, dEff, -gd);
+  st.addY(sEff, g_, -gg);
+  st.addY(sEff, sEff, -gs);
+  st.addNodeRhs(sEff, ieq);
+
+  if (ctx.gmin > 0.0) {
+    st.addY(d_, d_, ctx.gmin);
+    st.addY(s_, s_, ctx.gmin);
+    st.addY(d_, s_, -ctx.gmin);
+    st.addY(s_, d_, -ctx.gmin);
+  }
+
+  if (ctx.transient) {
+    auto stampCap = [&](NodeId a, NodeId b, double c, const double* hist) {
+      const double geq = 2.0 * c / ctx.dt;
+      const double ieqc = geq * hist[0] + hist[1];
+      st.addY(a, a, geq);
+      st.addY(b, b, geq);
+      st.addY(a, b, -geq);
+      st.addY(b, a, -geq);
+      st.addNodeRhs(a, ieqc);
+      st.addNodeRhs(b, -ieqc);
+    };
+    stampCap(g_, s_, cgs_, ctx.state + 0);
+    stampCap(g_, d_, cgd_, ctx.state + 2);
+  }
+}
+
+void GanHemt::stampAc(ComplexStamper& st, const AcContext& ctx) const {
+  NodeId dEff, sEff;
+  const GanEval e = orientedEval(ctx.xop, dEff, sEff);
+  const double gd = e.gds;
+  const double gg = e.gm;
+  const double gs = -e.gm - e.gds;
+
+  st.addY(dEff, dEff, {gd, 0.0});
+  st.addY(dEff, g_, {gg, 0.0});
+  st.addY(dEff, sEff, {gs, 0.0});
+  st.addY(sEff, dEff, {-gd, 0.0});
+  st.addY(sEff, g_, {-gg, 0.0});
+  st.addY(sEff, sEff, {-gs, 0.0});
+
+  auto stampCap = [&](NodeId a, NodeId b, double c) {
+    const std::complex<double> y(0.0, ctx.omega * c);
+    st.addY(a, a, y);
+    st.addY(b, b, y);
+    st.addY(a, b, -y);
+    st.addY(b, a, -y);
+  };
+  stampCap(g_, s_, cgs_);
+  stampCap(g_, d_, cgd_);
+}
+
+void GanHemt::updateTranState(const SimContext& ctx, double* state) const {
+  auto update = [&](NodeId a, NodeId b, double c, double* hist) {
+    const double vNew = v(ctx.x, a) - v(ctx.x, b);
+    const double geq = 2.0 * c / ctx.dt;
+    const double iNew = geq * (vNew - hist[0]) - hist[1];
+    hist[0] = vNew;
+    hist[1] = iNew;
+  };
+  update(g_, s_, cgs_, state + 0);
+  update(g_, d_, cgd_, state + 2);
+}
+
+void GanHemt::initTranState(const linalg::Vec& xop, double* state) const {
+  state[0] = v(xop, g_) - v(xop, s_);
+  state[1] = 0.0;
+  state[2] = v(xop, g_) - v(xop, d_);
+  state[3] = 0.0;
+}
+
+std::string GanHemt::card() const {
+  std::ostringstream os;
+  os << name() << " d=" << d_ << " g=" << g_ << " s=" << s_ << " GaN W=" << w_
+     << " nf=" << nf_;
+  return os.str();
+}
+
+}  // namespace crl::spice

@@ -1,0 +1,73 @@
+#pragma once
+// Angelov-style behavioural GaN HEMT model for the RF power-amplifier
+// benchmark:
+//
+//   Id = Ipk * (1 + tanh(P1 * (Vgs - Vpk))) * tanh(alpha * Vds) * (1 + lambda Vds)
+//
+// with Ipk proportional to the effective gate width W * nf. This captures the
+// transfer-curve saturation and knee behaviour that set output power and
+// drain efficiency in the PA experiments. The device is symmetric (drain /
+// source swap for negative Vds) and has geometry-proportional Cgs / Cgd.
+
+#include "spice/device.h"
+
+namespace crl::spice {
+
+struct GanModel {
+  double ipkPerWidth = 500.0;  ///< peak-current scale per metre of gate width [A/m]
+  double vpk = -1.2;           ///< gate voltage of peak transconductance [V]
+  double p1 = 1.4;             ///< tanh steepness of the transfer curve [1/V]
+  double alpha = 1.1;          ///< knee sharpness of the output curve [1/V]
+  double lambda = 0.004;       ///< output-conductance slope [1/V]
+  double cgsPerWidth = 1.1e-9; ///< gate-source capacitance per width [F/m]
+  double cgdPerWidth = 0.15e-9;///< gate-drain capacitance per width [F/m]
+};
+
+struct GanEval {
+  double id = 0.0;
+  double gm = 0.0;   ///< d id / d vgs
+  double gds = 0.0;  ///< d id / d vds
+};
+
+GanEval evalGan(const GanModel& m, double ipk, double vgs, double vds);
+
+class GanHemt : public Device {
+ public:
+  GanHemt(std::string name, NodeId d, NodeId g, NodeId s, GanModel model,
+          double widthPerFinger, int fingers);
+
+  std::string_view kind() const override { return "ganhemt"; }
+  std::vector<NodeId> terminals() const override { return {d_, g_, s_}; }
+  int tranStateSize() const override { return 4; }
+  void stampLarge(RealStamper& s, const SimContext& ctx) const override;
+  void stampAc(ComplexStamper& s, const AcContext& ctx) const override;
+  void updateTranState(const SimContext& ctx, double* state) const override;
+  void initTranState(const linalg::Vec& xop, double* state) const override;
+  std::string card() const override;
+
+  void setGeometry(double widthPerFinger, int fingers);
+  double width() const { return w_; }
+  int fingers() const { return nf_; }
+  double effectiveWidth() const { return w_ * nf_; }
+  const GanModel& model() const { return model_; }
+
+  GanEval evalAt(const linalg::Vec& x) const;
+  double cgs() const { return cgs_; }
+  double cgd() const { return cgd_; }
+
+  NodeId drain() const { return d_; }
+  NodeId gate() const { return g_; }
+  NodeId source() const { return s_; }
+
+ private:
+  GanEval orientedEval(const linalg::Vec& x, NodeId& dEff, NodeId& sEff) const;
+
+  NodeId d_, g_, s_;
+  GanModel model_;
+  double w_;
+  int nf_;
+  double cgs_ = 0.0;
+  double cgd_ = 0.0;
+};
+
+}  // namespace crl::spice

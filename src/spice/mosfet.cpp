@@ -1,0 +1,226 @@
+#include "spice/mosfet.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace crl::spice {
+
+MosEval evalSquareLaw(const MosModel& m, double beta, double vgs, double vds) {
+  // Smooth max(vov, ~0) so gm never vanishes exactly in cutoff; keeps the
+  // Newton Jacobian non-singular around the subthreshold corner.
+  const double vov = vgs - m.vth;
+  const double delta = m.subthreshSmoothing;
+  const double root = std::sqrt(vov * vov + delta * delta);
+  const double vovEff = 0.5 * (vov + root);
+  const double dVov = 0.5 * (1.0 + vov / root);
+
+  MosEval e;
+  const double clm = 1.0 + m.lambda * vds;
+  if (vds < vovEff) {
+    // Triode region.
+    e.id = beta * (vovEff - 0.5 * vds) * vds * clm;
+    e.gm = beta * vds * clm * dVov;
+    e.gds = beta * (vovEff - vds) * clm + beta * (vovEff - 0.5 * vds) * vds * m.lambda;
+  } else {
+    // Saturation region.
+    const double idSat = 0.5 * beta * vovEff * vovEff;
+    e.id = idSat * clm;
+    e.gm = beta * vovEff * clm * dVov;
+    e.gds = idSat * m.lambda;
+  }
+  return e;
+}
+
+namespace {
+/// Partial derivatives of the oriented drain current (flowing dEff -> sEff)
+/// with respect to the voltages of (dEff, gate, sEff).
+struct NodePartials {
+  double gd = 0.0;
+  double gg = 0.0;
+  double gs = 0.0;
+};
+}  // namespace
+
+Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s, MosModel model,
+               double widthPerFinger, int fingers)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), model_(model) {
+  setGeometry(widthPerFinger, fingers);
+}
+
+void Mosfet::setGeometry(double widthPerFinger, int fingers) {
+  if (widthPerFinger <= 0.0) throw std::invalid_argument("Mosfet: non-positive width");
+  if (fingers < 1) throw std::invalid_argument("Mosfet: fingers must be >= 1");
+  w_ = widthPerFinger;
+  nf_ = fingers;
+  recomputeCaps();
+}
+
+void Mosfet::recomputeCaps() {
+  const double weff = effectiveWidth();
+  // Saturation Meyer capacitances: Cgs = 2/3 W L Cox + overlap, Cgd = overlap.
+  cgs_ = (2.0 / 3.0) * weff * model_.length * model_.coxArea + model_.covPerW * weff;
+  cgd_ = model_.covPerW * weff;
+}
+
+MosEval Mosfet::orientedEval(const linalg::Vec& x, NodeId& dEff, NodeId& sEff) const {
+  const double vd = v(x, d_);
+  const double vg = v(x, g_);
+  const double vs = v(x, s_);
+  const double beta = model_.kp * effectiveWidth() / model_.length;
+
+  double vgsEff, vdsEff;
+  if (model_.type == MosType::Nmos) {
+    // Symmetric device: swap drain/source when vds < 0.
+    if (vd >= vs) {
+      dEff = d_;
+      sEff = s_;
+      vgsEff = vg - vs;
+      vdsEff = vd - vs;
+    } else {
+      dEff = s_;
+      sEff = d_;
+      vgsEff = vg - vd;
+      vdsEff = vs - vd;
+    }
+  } else {
+    // PMOS mirrored into NMOS-style source-referenced quantities: the
+    // conducting current flows from the higher terminal (effective drain,
+    // normally the source) to the lower one; the controlling voltage is
+    // v(dEff) - v(gate).
+    if (vs >= vd) {
+      dEff = s_;
+      sEff = d_;
+      vgsEff = vs - vg;
+      vdsEff = vs - vd;
+    } else {
+      dEff = d_;
+      sEff = s_;
+      vgsEff = vd - vg;
+      vdsEff = vd - vs;
+    }
+  }
+  return evalSquareLaw(model_, beta, vgsEff, vdsEff);
+}
+
+void Mosfet::stampLarge(RealStamper& st, const SimContext& ctx) const {
+  NodeId dEff, sEff;
+  const MosEval e = orientedEval(ctx.x, dEff, sEff);
+
+  // Map (gm, gds) to partials w.r.t. the node voltages. For NMOS the gate
+  // control is v(g) - v(sEff); for PMOS it is v(dEff) - v(g).
+  NodePartials p;
+  if (model_.type == MosType::Nmos) {
+    p.gd = e.gds;
+    p.gg = e.gm;
+    p.gs = -e.gm - e.gds;
+  } else {
+    p.gd = e.gm + e.gds;
+    p.gg = -e.gm;
+    p.gs = -e.gds;
+  }
+
+  const double ieq =
+      e.id - (p.gd * v(ctx.x, dEff) + p.gg * v(ctx.x, g_) + p.gs * v(ctx.x, sEff));
+
+  // Current e.id leaves dEff and enters sEff.
+  st.addY(dEff, dEff, p.gd);
+  st.addY(dEff, g_, p.gg);
+  st.addY(dEff, sEff, p.gs);
+  st.addNodeRhs(dEff, -ieq);
+
+  st.addY(sEff, dEff, -p.gd);
+  st.addY(sEff, g_, -p.gg);
+  st.addY(sEff, sEff, -p.gs);
+  st.addNodeRhs(sEff, ieq);
+
+  // Convergence-aid conductance across the channel.
+  if (ctx.gmin > 0.0) {
+    st.addY(d_, d_, ctx.gmin);
+    st.addY(s_, s_, ctx.gmin);
+    st.addY(d_, s_, -ctx.gmin);
+    st.addY(s_, d_, -ctx.gmin);
+  }
+
+  if (ctx.transient) {
+    // Trapezoidal companions for Cgs (state[0..1]) and Cgd (state[2..3]).
+    auto stampCap = [&](NodeId a, NodeId b, double c, const double* hist) {
+      const double geq = 2.0 * c / ctx.dt;
+      const double ieqc = geq * hist[0] + hist[1];
+      st.addY(a, a, geq);
+      st.addY(b, b, geq);
+      st.addY(a, b, -geq);
+      st.addY(b, a, -geq);
+      st.addNodeRhs(a, ieqc);
+      st.addNodeRhs(b, -ieqc);
+    };
+    stampCap(g_, s_, cgs_, ctx.state + 0);
+    stampCap(g_, d_, cgd_, ctx.state + 2);
+  }
+}
+
+void Mosfet::stampAc(ComplexStamper& st, const AcContext& ctx) const {
+  NodeId dEff, sEff;
+  const MosEval e = orientedEval(ctx.xop, dEff, sEff);
+  NodePartials p;
+  if (model_.type == MosType::Nmos) {
+    p.gd = e.gds;
+    p.gg = e.gm;
+    p.gs = -e.gm - e.gds;
+  } else {
+    p.gd = e.gm + e.gds;
+    p.gg = -e.gm;
+    p.gs = -e.gds;
+  }
+
+  st.addY(dEff, dEff, {p.gd, 0.0});
+  st.addY(dEff, g_, {p.gg, 0.0});
+  st.addY(dEff, sEff, {p.gs, 0.0});
+  st.addY(sEff, dEff, {-p.gd, 0.0});
+  st.addY(sEff, g_, {-p.gg, 0.0});
+  st.addY(sEff, sEff, {-p.gs, 0.0});
+
+  auto stampCap = [&](NodeId a, NodeId b, double c) {
+    const std::complex<double> y(0.0, ctx.omega * c);
+    st.addY(a, a, y);
+    st.addY(b, b, y);
+    st.addY(a, b, -y);
+    st.addY(b, a, -y);
+  };
+  stampCap(g_, s_, cgs_);
+  stampCap(g_, d_, cgd_);
+}
+
+MosEval Mosfet::evalAt(const linalg::Vec& x) const {
+  NodeId dEff, sEff;
+  return orientedEval(x, dEff, sEff);
+}
+
+void Mosfet::updateTranState(const SimContext& ctx, double* state) const {
+  auto update = [&](NodeId a, NodeId b, double c, double* hist) {
+    const double vNew = v(ctx.x, a) - v(ctx.x, b);
+    const double geq = 2.0 * c / ctx.dt;
+    const double iNew = geq * (vNew - hist[0]) - hist[1];
+    hist[0] = vNew;
+    hist[1] = iNew;
+  };
+  update(g_, s_, cgs_, state + 0);
+  update(g_, d_, cgd_, state + 2);
+}
+
+void Mosfet::initTranState(const linalg::Vec& xop, double* state) const {
+  state[0] = v(xop, g_) - v(xop, s_);
+  state[1] = 0.0;
+  state[2] = v(xop, g_) - v(xop, d_);
+  state[3] = 0.0;
+}
+
+std::string Mosfet::card() const {
+  std::ostringstream os;
+  os << name() << " d=" << d_ << " g=" << g_ << " s=" << s_
+     << (model_.type == MosType::Nmos ? " NMOS" : " PMOS") << " W=" << w_
+     << " nf=" << nf_;
+  return os.str();
+}
+
+}  // namespace crl::spice

@@ -1,0 +1,86 @@
+#pragma once
+// Level-1 (square-law) MOSFET with channel-length modulation and a smoothed
+// subthreshold corner for Newton robustness. Bulk is tied to source.
+//
+// The device is symmetric: when v_ds goes negative during Newton iterations
+// the drain/source roles are swapped internally. Gate capacitances are
+// geometry-derived constants (saturation Meyer values) — adequate for the
+// pole/zero structure the op-amp experiments exercise and documented as a
+// simplification in DESIGN.md.
+
+#include "spice/device.h"
+
+namespace crl::spice {
+
+enum class MosType { Nmos, Pmos };
+
+/// Technology-level parameters; one shared instance per process corner.
+struct MosModel {
+  MosType type = MosType::Nmos;
+  double kp = 200e-6;      ///< transconductance parameter mu*Cox [A/V^2]
+  double vth = 0.4;        ///< threshold voltage magnitude [V]
+  double lambda = 0.1;     ///< channel-length modulation [1/V]
+  double length = 270e-9;  ///< channel length [m]
+  double coxArea = 8e-3;   ///< gate oxide capacitance per area [F/m^2]
+  double covPerW = 0.25e-9; ///< overlap capacitance per width [F/m]
+  double subthreshSmoothing = 0.02;  ///< overdrive smoothing delta [V]
+};
+
+/// Operating-point evaluation of the square-law equations (NMOS-style,
+/// source-referenced positive quantities).
+struct MosEval {
+  double id = 0.0;   ///< drain current [A]
+  double gm = 0.0;   ///< d id / d vgs [S]
+  double gds = 0.0;  ///< d id / d vds [S]
+};
+
+/// Evaluate the smoothed level-1 equations for vds >= 0.
+MosEval evalSquareLaw(const MosModel& m, double beta, double vgs, double vds);
+
+class Mosfet : public Device {
+ public:
+  Mosfet(std::string name, NodeId d, NodeId g, NodeId s, MosModel model,
+         double widthPerFinger, int fingers);
+
+  std::string_view kind() const override { return "mosfet"; }
+  std::vector<NodeId> terminals() const override { return {d_, g_, s_}; }
+  int tranStateSize() const override { return 4; }  // (v,i) history of Cgs, Cgd
+  void stampLarge(RealStamper& s, const SimContext& ctx) const override;
+  void stampAc(ComplexStamper& s, const AcContext& ctx) const override;
+  void updateTranState(const SimContext& ctx, double* state) const override;
+  void initTranState(const linalg::Vec& xop, double* state) const override;
+  std::string card() const override;
+
+  void setGeometry(double widthPerFinger, int fingers);
+  double width() const { return w_; }
+  int fingers() const { return nf_; }
+  double effectiveWidth() const { return w_ * nf_; }
+  const MosModel& model() const { return model_; }
+
+  /// Drain current and small-signal params at a given solution vector.
+  MosEval evalAt(const linalg::Vec& x) const;
+  /// Drain current magnitude (useful for power accounting in tests).
+  double drainCurrent(const linalg::Vec& x) const { return evalAt(x).id; }
+
+  double cgs() const { return cgs_; }
+  double cgd() const { return cgd_; }
+
+  NodeId drain() const { return d_; }
+  NodeId gate() const { return g_; }
+  NodeId source() const { return s_; }
+
+ private:
+  void recomputeCaps();
+  /// Oriented evaluation handling PMOS mirroring and drain/source swap.
+  /// Returns NMOS-style eval plus effective (drain, source) node roles.
+  MosEval orientedEval(const linalg::Vec& x, NodeId& dEff, NodeId& sEff) const;
+
+  NodeId d_, g_, s_;
+  MosModel model_;
+  double w_;
+  int nf_;
+  double cgs_ = 0.0;
+  double cgd_ = 0.0;
+};
+
+}  // namespace crl::spice

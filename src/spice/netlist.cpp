@@ -1,0 +1,76 @@
+#include "spice/netlist.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace crl::spice {
+
+Netlist::Netlist() {
+  names_.push_back("0");
+  byName_["0"] = kGround;
+  byName_["gnd"] = kGround;
+}
+
+NodeId Netlist::node(const std::string& name) {
+  std::string key = util::toLower(name);
+  auto it = byName_.find(key);
+  if (it != byName_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(names_.size());
+  names_.push_back(name);
+  byName_[key] = id;
+  return id;
+}
+
+NodeId Netlist::findNode(const std::string& name) const {
+  auto it = byName_.find(util::toLower(name));
+  if (it == byName_.end()) throw std::invalid_argument("Netlist: unknown node " + name);
+  return it->second;
+}
+
+const std::string& Netlist::nodeName(NodeId id) const {
+  return names_.at(static_cast<std::size_t>(id));
+}
+
+Device* Netlist::findDevice(const std::string& name) const {
+  for (const auto& d : devices_)
+    if (d->name() == name) return d.get();
+  return nullptr;
+}
+
+void Netlist::finalize() {
+  std::size_t branch = nodeCount() - 1;  // branch rows follow node rows
+  std::size_t stateOff = 0;
+  for (auto& d : devices_) {
+    if (d->branchCount() > 0) {
+      d->setBranchIndex(branch);
+      branch += static_cast<std::size_t>(d->branchCount());
+    }
+    if (d->tranStateSize() > 0) {
+      d->setStateOffset(stateOff);
+      stateOff += static_cast<std::size_t>(d->tranStateSize());
+    }
+  }
+  branchCount_ = branch - (nodeCount() - 1);
+  tranStateCount_ = stateOff;
+  finalized_ = true;
+}
+
+std::size_t Netlist::unknownCount() const {
+  return (nodeCount() - 1) + branchCount_;
+}
+
+std::size_t Netlist::nodeIndex(NodeId n) const {
+  if (n == kGround) throw std::invalid_argument("nodeIndex: ground has no unknown");
+  return static_cast<std::size_t>(n) - 1;
+}
+
+std::string Netlist::toString() const {
+  std::ostringstream os;
+  os << "* netlist (" << nodeCount() << " nodes, " << devices_.size() << " devices)\n";
+  for (const auto& d : devices_) os << d->card() << '\n';
+  return os.str();
+}
+
+}  // namespace crl::spice

@@ -1,0 +1,76 @@
+#pragma once
+// Netlist representation for the MNA circuit simulator.
+//
+// A Netlist owns a set of Devices connected between named nodes. Node 0 is
+// ground. Modified nodal analysis unknowns are the non-ground node voltages
+// followed by one branch current per voltage-source-like device (V sources,
+// inductors). finalize() freezes the topology and assigns branch indices.
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/device.h"
+
+namespace crl::spice {
+
+class Netlist {
+ public:
+  Netlist();
+
+  /// Get-or-create a node by name. "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+  /// Look up an existing node; throws if unknown.
+  NodeId findNode(const std::string& name) const;
+  const std::string& nodeName(NodeId id) const;
+
+  /// Number of nodes including ground.
+  std::size_t nodeCount() const { return names_.size(); }
+
+  /// Add a device; returns a non-owning pointer for later inspection.
+  template <typename D, typename... Args>
+  D* add(Args&&... args) {
+    static_assert(std::is_base_of_v<Device, D>);
+    auto dev = std::make_unique<D>(std::forward<Args>(args)...);
+    D* raw = dev.get();
+    devices_.push_back(std::move(dev));
+    finalized_ = false;
+    return raw;
+  }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const { return devices_; }
+  Device* device(std::size_t i) { return devices_[i].get(); }
+  Device* findDevice(const std::string& name) const;
+
+  /// Assign branch/state indices; must be called (or is called lazily by the
+  /// analyses) after the last device is added.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Total MNA unknowns: (nodeCount()-1) node voltages + branch currents.
+  std::size_t unknownCount() const;
+  std::size_t branchCount() const { return branchCount_; }
+  /// Total transient-history doubles across devices.
+  std::size_t tranStateCount() const { return tranStateCount_; }
+
+  /// Unknown index of a node voltage (node must not be ground).
+  std::size_t nodeIndex(NodeId n) const;
+  /// Voltage of a node given an unknown vector (0 for ground).
+  static double voltageOf(const linalg::Vec& x, NodeId n) {
+    return n == kGround ? 0.0 : x[static_cast<std::size_t>(n) - 1];
+  }
+
+  /// Human-readable netlist dump (SPICE-like cards).
+  std::string toString() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, NodeId> byName_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::size_t branchCount_ = 0;
+  std::size_t tranStateCount_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace crl::spice

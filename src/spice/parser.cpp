@@ -1,0 +1,701 @@
+#include "spice/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "spice/diode.h"
+#include "spice/elements.h"
+#include "util/strings.h"
+
+namespace crl::spice {
+namespace {
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// One logical deck line (after continuation merging), with its source line.
+struct LogicalLine {
+  std::string text;
+  int line = 0;
+};
+
+/// Strip inline comments (`;` or `$` start a comment to end of line).
+std::string stripInlineComment(const std::string& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == ';' || s[i] == '$') return s.substr(0, i);
+  }
+  return s;
+}
+
+std::vector<LogicalLine> assembleLines(const std::string& text, bool firstIsTitle,
+                                       std::string* title) {
+  std::vector<LogicalLine> out;
+  std::istringstream is(text);
+  std::string raw;
+  int lineNo = 0;
+  bool sawFirst = false;
+  while (std::getline(is, raw)) {
+    ++lineNo;
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
+    std::string s = stripInlineComment(raw);
+    // Trim; blank lines never consume the title slot.
+    std::size_t b = s.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    std::size_t e = s.find_last_not_of(" \t");
+    s = s.substr(b, e - b + 1);
+
+    if (!sawFirst && firstIsTitle) {
+      sawFirst = true;
+      // A first line that looks like a card/directive is still a title per
+      // SPICE convention; we follow that strictly.
+      *title = s;
+      continue;
+    }
+    sawFirst = true;
+    if (s[0] == '*') continue;  // comment line
+    if (s[0] == '+') {
+      if (out.empty()) throw ParseError("continuation line with nothing to continue", lineNo);
+      out.back().text += ' ' + s.substr(1);
+      continue;
+    }
+    out.push_back({s, lineNo});
+  }
+  return out;
+}
+
+/// Split a logical line into tokens, keeping (...), {...} and '...' groups
+/// intact and splitting stand-alone `key=value` pairs at the '='.
+std::vector<std::string> tokenize(const std::string& s, int line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  auto skipWs = [&] { while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i; };
+  while (true) {
+    skipWs();
+    if (i >= s.size()) break;
+    std::string tok;
+    int depth = 0;
+    char quote = '\0';
+    while (i < s.size()) {
+      char c = s[i];
+      if (quote) {
+        tok.push_back(c);
+        ++i;
+        if (c == quote) quote = '\0';
+        continue;
+      }
+      if (c == '\'') {
+        quote = c;
+        tok.push_back(c);
+        ++i;
+        continue;
+      }
+      if (c == '(' || c == '{') ++depth;
+      if (c == ')' || c == '}') {
+        if (depth == 0) throw ParseError("unbalanced ')' or '}'", line);
+        --depth;
+      }
+      if (depth == 0 && std::isspace(static_cast<unsigned char>(c))) break;
+      tok.push_back(c);
+      ++i;
+    }
+    if (depth != 0 || quote) throw ParseError("unbalanced bracket or quote", line);
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+/// Split "key=value" (returns true) vs a plain token (returns false).
+bool splitAssign(const std::string& tok, std::string* key, std::string* value) {
+  // Only split at a top-level '=' (not inside braces/quotes).
+  int depth = 0;
+  char quote = '\0';
+  for (std::size_t i = 0; i < tok.size(); ++i) {
+    char c = tok[i];
+    if (quote) {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'') quote = c;
+    if (c == '(' || c == '{') ++depth;
+    if (c == ')' || c == '}') --depth;
+    if (c == '=' && depth == 0) {
+      *key = lower(tok.substr(0, i));
+      *value = tok.substr(i + 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+class DeckBuilder {
+ public:
+  explicit DeckBuilder(const DeckOptions& opts) : opts_(opts) {
+    deck_.netlist = std::make_unique<Netlist>();
+    deck_.params = opts.params;
+  }
+
+  Deck run(const std::string& text) {
+    auto lines = assembleLines(text, opts_.firstLineIsTitle, &deck_.title);
+    for (const auto& ll : lines) dispatch(ll);
+    if (!pendingSubckt_.empty())
+      throw ParseError(".subckt '" + pendingSubckt_ + "' missing .ends", 0);
+    deck_.netlist->finalize();
+    return std::move(deck_);
+  }
+
+ private:
+  /// One `.subckt` definition: ports, default params, captured body lines.
+  struct Subckt {
+    std::vector<std::string> ports;
+    util::VarMap defaults;
+    std::vector<LogicalLine> body;
+  };
+
+  /// Instantiation scope while expanding an X card: node/parameter bindings
+  /// and the hierarchical name prefix. Scopes nest for subckts-in-subckts.
+  struct Scope {
+    std::string prefix;  ///< "x1." — prepended to device and internal nodes
+    std::unordered_map<std::string, std::string> portMap;  ///< formal -> actual net
+    util::VarMap params;  ///< deck params + subckt defaults + X overrides
+  };
+
+  const util::VarMap& activeParams() const {
+    return scopes_.empty() ? deck_.params : scopes_.back().params;
+  }
+
+  /// Resolve a node name in the active scope: ports map to the caller's
+  /// nets, ground stays global, everything else is prefixed (hierarchical).
+  NodeId nodeFor(const std::string& rawName) {
+    std::string name = lower(rawName);
+    if (scopes_.empty() || name == "0" || name == "gnd")
+      return deck_.netlist->node(name);
+    const auto& sc = scopes_.back();
+    if (auto it = sc.portMap.find(name); it != sc.portMap.end())
+      return deck_.netlist->node(it->second);
+    return deck_.netlist->node(sc.prefix + name);
+  }
+
+  /// Device name in the active scope (hierarchically prefixed).
+  std::string devName(const std::string& raw) const {
+    return scopes_.empty() ? raw : scopes_.back().prefix + raw;
+  }
+
+  double resolveValue(const std::string& token, int line) {
+    if (token.empty()) throw ParseError("empty value", line);
+    if (token.front() == '{' && token.back() == '}')
+      return evalOrThrow(token.substr(1, token.size() - 2), line);
+    if (token.front() == '\'' && token.back() == '\'' && token.size() >= 2)
+      return evalOrThrow(token.substr(1, token.size() - 2), line);
+    double v;
+    if (util::parseEngNumber(token, &v)) return v;
+    // Bare parameter reference.
+    const auto& params = activeParams();
+    if (auto it = params.find(lower(token)); it != params.end()) return it->second;
+    throw ParseError("cannot parse value '" + token + "'", line);
+  }
+
+  double evalOrThrow(const std::string& expr, int line) {
+    try {
+      return util::evalExpr(expr, activeParams());
+    } catch (const util::ExprError& e) {
+      throw ParseError(e.what(), line);
+    }
+  }
+
+  void dispatch(const LogicalLine& ll) {
+    auto tokens = tokenize(ll.text, ll.line);
+    if (tokens.empty()) return;
+    std::string head = lower(tokens[0]);
+    // Inside a .subckt definition, capture lines verbatim until .ends.
+    if (!pendingSubckt_.empty()) {
+      if (head == ".ends") {
+        subckts_[pendingSubckt_] = std::move(currentSubckt_);
+        pendingSubckt_.clear();
+        currentSubckt_ = {};
+        return;
+      }
+      if (head == ".subckt")
+        throw ParseError("nested .subckt definitions are not supported", ll.line);
+      currentSubckt_.body.push_back(ll);
+      return;
+    }
+    if (head[0] == '.') {
+      directive(head, tokens, ll);
+      return;
+    }
+    if (head[0] == 'x') {
+      instantiate(tokens, ll.line);
+      return;
+    }
+    switch (head[0]) {
+      case 'r': twoTerminal<Resistor>(tokens, ll.line); break;
+      case 'c': twoTerminal<Capacitor>(tokens, ll.line); break;
+      case 'l': twoTerminal<Inductor>(tokens, ll.line); break;
+      case 'v': vsource(tokens, ll.line); break;
+      case 'i': isource(tokens, ll.line); break;
+      case 'm': transistor(tokens, ll.line); break;
+      case 'd': diode(tokens, ll.line); break;
+      default:
+        throw ParseError("unsupported card '" + tokens[0] + "'", ll.line);
+    }
+  }
+
+  template <typename D>
+  void twoTerminal(const std::vector<std::string>& t, int line) {
+    if (t.size() != 4)
+      throw ParseError("expected: " + t[0] + " n1 n2 value", line);
+    NodeId a = nodeFor(t[1]);
+    NodeId b = nodeFor(t[2]);
+    double v = resolveValue(t[3], line);
+    try {
+      deck_.netlist->add<D>(devName(t[0]), a, b, v);
+    } catch (const std::invalid_argument& e) {
+      throw ParseError(e.what(), line);
+    }
+  }
+
+  void vsource(const std::vector<std::string>& t, int line) {
+    if (t.size() < 3) throw ParseError("expected: " + t[0] + " n+ n- [DC] value ...", line);
+    NodeId pos = nodeFor(t[1]);
+    NodeId neg = nodeFor(t[2]);
+    auto* src = deck_.netlist->add<VSource>(devName(t[0]), pos, neg, 0.0);
+    std::size_t i = 3;
+    bool haveDc = false;
+    while (i < t.size()) {
+      std::string kw = lower(t[i]);
+      if (kw == "dc") {
+        if (i + 1 >= t.size()) throw ParseError("DC needs a value", line);
+        src->setDc(resolveValue(t[i + 1], line));
+        haveDc = true;
+        i += 2;
+      } else if (kw == "ac") {
+        if (i + 1 >= t.size()) throw ParseError("AC needs a magnitude", line);
+        src->setAcMag(resolveValue(t[i + 1], line));
+        i += 2;
+      } else if (util::startsWith(kw, "sin(") && kw.back() == ')') {
+        auto inner = t[i].substr(4, t[i].size() - 5);
+        auto parts = tokenize(inner, line);
+        if (parts.size() < 2 || parts.size() > 3)
+          throw ParseError("SIN(amp freq [phase]) takes 2 or 3 arguments", line);
+        double amp = resolveValue(parts[0], line);
+        double freq = resolveValue(parts[1], line);
+        double phase = parts.size() == 3 ? resolveValue(parts[2], line) : 0.0;
+        src->setSine(amp, freq, phase);
+        ++i;
+      } else if (!haveDc) {
+        src->setDc(resolveValue(t[i], line));
+        haveDc = true;
+        ++i;
+      } else {
+        throw ParseError("unexpected token '" + t[i] + "' on V card", line);
+      }
+    }
+  }
+
+  void isource(const std::vector<std::string>& t, int line) {
+    if (t.size() < 4) throw ParseError("expected: " + t[0] + " n+ n- [DC] value", line);
+    NodeId pos = nodeFor(t[1]);
+    NodeId neg = nodeFor(t[2]);
+    std::size_t vi = 3;
+    if (lower(t[3]) == "dc") {
+      if (t.size() < 5) throw ParseError("DC needs a value", line);
+      vi = 4;
+    }
+    if (vi != t.size() - 1) throw ParseError("unexpected trailing tokens on I card", line);
+    deck_.netlist->add<ISource>(devName(t[0]), pos, neg, resolveValue(t[vi], line));
+  }
+
+  void transistor(const std::vector<std::string>& t, int line) {
+    // Mxxx d g s [b] model [W=..] [NF=..] — properties may appear in any order.
+    std::vector<std::string> positional;
+    double width = -1.0;
+    double nf = -1.0;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      std::string key, value;
+      if (splitAssign(t[i], &key, &value)) {
+        if (key == "w") width = resolveValue(value, line);
+        else if (key == "nf" || key == "m") nf = resolveValue(value, line);
+        else if (key == "l") deck_.warnings.push_back("M card L= ignored (length is a model parameter)");
+        else throw ParseError("unknown M-card property '" + key + "'", line);
+      } else {
+        positional.push_back(t[i]);
+      }
+    }
+    if (positional.size() != 4 && positional.size() != 5)
+      throw ParseError("expected: " + t[0] + " d g s [b] model", line);
+    std::string modelName = lower(positional.back());
+    NodeId d = nodeFor(positional[0]);
+    NodeId g = nodeFor(positional[1]);
+    NodeId s = nodeFor(positional[2]);
+    if (positional.size() == 5) {
+      NodeId b = nodeFor(positional[3]);
+      if (b != s)
+        throw ParseError("bulk node must equal source (model ties bulk to source)", line);
+    }
+    if (width <= 0.0) throw ParseError("M card needs W=<width>", line);
+    int fingers = nf > 0 ? static_cast<int>(nf + 0.5) : 1;
+
+    if (auto it = deck_.mosModels.find(modelName); it != deck_.mosModels.end()) {
+      deck_.netlist->add<Mosfet>(devName(t[0]), d, g, s, it->second, width, fingers);
+    } else if (auto gt = deck_.ganModels.find(modelName); gt != deck_.ganModels.end()) {
+      deck_.netlist->add<GanHemt>(devName(t[0]), d, g, s, gt->second, width, fingers);
+    } else {
+      throw ParseError("unknown model '" + modelName + "'", line);
+    }
+  }
+
+  void diode(const std::vector<std::string>& t, int line) {
+    if (t.size() != 4)
+      throw ParseError("expected: " + t[0] + " anode cathode model", line);
+    NodeId a = nodeFor(t[1]);
+    NodeId c = nodeFor(t[2]);
+    std::string modelName = lower(t[3]);
+    auto it = deck_.diodeModels.find(modelName);
+    if (it == deck_.diodeModels.end())
+      throw ParseError("unknown diode model '" + modelName + "'", line);
+    deck_.netlist->add<Diode>(devName(t[0]), a, c, it->second);
+  }
+
+  /// Expand `Xname n1 n2 ... subckt [param=val ...]` by re-dispatching the
+  /// definition's body inside a fresh scope: ports bind to the caller's
+  /// nets, internal nodes and device names gain the instance prefix, and
+  /// parameters resolve as deck < defaults < overrides.
+  void instantiate(const std::vector<std::string>& t, int line) {
+    if (scopes_.size() >= 8) throw ParseError("subckt nesting too deep", line);
+    std::vector<std::string> positional;
+    util::VarMap overrides;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+      std::string key, value;
+      if (splitAssign(t[i], &key, &value)) {
+        overrides[key] = resolveValue(value, line);
+      } else {
+        positional.push_back(t[i]);
+      }
+    }
+    if (positional.empty()) throw ParseError("X card needs nets and a subckt name", line);
+    const std::string subName = lower(positional.back());
+    positional.pop_back();
+    auto it = subckts_.find(subName);
+    if (it == subckts_.end())
+      throw ParseError("unknown subckt '" + subName + "'", line);
+    const Subckt& sub = it->second;
+    if (positional.size() != sub.ports.size())
+      throw ParseError("subckt '" + subName + "' has " +
+                           std::to_string(sub.ports.size()) + " ports, got " +
+                           std::to_string(positional.size()),
+                       line);
+
+    Scope sc;
+    sc.prefix = devName(lower(t[0])) + ".";
+    for (std::size_t i = 0; i < sub.ports.size(); ++i) {
+      // Bind the formal port to the *caller-resolved* net name.
+      NodeId actual = nodeFor(positional[i]);
+      sc.portMap[sub.ports[i]] = deck_.netlist->nodeName(actual);
+    }
+    sc.params = activeParams();
+    for (const auto& [k, v] : sub.defaults) sc.params[k] = v;
+    for (const auto& [k, v] : overrides) sc.params[k] = v;
+
+    scopes_.push_back(std::move(sc));
+    for (const auto& bodyLine : sub.body) dispatch(bodyLine);
+    scopes_.pop_back();
+  }
+
+  void directive(const std::string& head, const std::vector<std::string>& t,
+                 const LogicalLine& ll) {
+    if (head == ".end") return;
+    if (head == ".title") {
+      std::size_t at = ll.text.find_first_of(" \t");
+      deck_.title = at == std::string::npos ? "" : ll.text.substr(at + 1);
+      return;
+    }
+    if (head == ".param") {
+      for (std::size_t i = 1; i < t.size(); ++i) {
+        std::string key, value;
+        if (!splitAssign(t[i], &key, &value))
+          throw ParseError(".param expects name=value pairs", ll.line);
+        deck_.params[key] = resolveValue(value, ll.line);
+      }
+      return;
+    }
+    if (head == ".model") {
+      model(t, ll.line);
+      return;
+    }
+    if (head == ".subckt") {
+      if (t.size() < 2) throw ParseError(".subckt expects: .subckt name ports...", ll.line);
+      pendingSubckt_ = lower(t[1]);
+      currentSubckt_ = {};
+      for (std::size_t i = 2; i < t.size(); ++i) {
+        std::string key, value;
+        if (splitAssign(t[i], &key, &value)) {
+          currentSubckt_.defaults[key] = resolveValue(value, ll.line);
+        } else {
+          currentSubckt_.ports.push_back(lower(t[i]));
+        }
+      }
+      return;
+    }
+    if (head == ".ends")
+      throw ParseError(".ends without a matching .subckt", ll.line);
+    if (head == ".include") {
+      if (t.size() != 2) throw ParseError(".include expects one file", ll.line);
+      std::string file = t[1];
+      if (file.size() >= 2 && (file.front() == '"' || file.front() == '\''))
+        file = file.substr(1, file.size() - 2);
+      if (!opts_.includeDir.empty() && !file.empty() && file[0] != '/')
+        file = opts_.includeDir + "/" + file;
+      std::ifstream in(file);
+      if (!in) throw ParseError("cannot open include file '" + file + "'", ll.line);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      auto sub = assembleLines(ss.str(), /*firstIsTitle=*/false, &deck_.title);
+      for (const auto& sl : sub) dispatch(sl);
+      return;
+    }
+    deck_.warnings.push_back("ignored directive: " + t[0]);
+  }
+
+  void model(const std::vector<std::string>& t, int line) {
+    if (t.size() < 3) throw ParseError(".model expects: .model name TYPE (params)", line);
+    std::string name = lower(t[1]);
+    std::string type = lower(t[2]);
+    // Collect param assignments from the remaining tokens; a parenthesized
+    // group is re-tokenized.
+    util::VarMap kv;
+    for (std::size_t i = 3; i < t.size(); ++i) {
+      std::string group = t[i];
+      if (!group.empty() && group.front() == '(' && group.back() == ')')
+        group = group.substr(1, group.size() - 2);
+      for (const auto& tok : tokenize(group, line)) {
+        std::string key, value;
+        if (!splitAssign(tok, &key, &value))
+          throw ParseError(".model parameter '" + tok + "' is not name=value", line);
+        kv[key] = resolveValue(value, line);
+      }
+    }
+    auto take = [&](const char* k, double* dst) {
+      if (auto it = kv.find(k); it != kv.end()) {
+        *dst = it->second;
+        kv.erase(it);
+      }
+    };
+    if (type == "nmos" || type == "pmos") {
+      MosModel m;
+      m.type = type == "nmos" ? MosType::Nmos : MosType::Pmos;
+      take("kp", &m.kp);
+      take("vto", &m.vth);
+      take("vth", &m.vth);
+      take("lambda", &m.lambda);
+      take("l", &m.length);
+      take("cox", &m.coxArea);
+      take("cov", &m.covPerW);
+      take("delta", &m.subthreshSmoothing);
+      if (!kv.empty())
+        throw ParseError("unknown " + type + " model parameter '" + kv.begin()->first + "'",
+                         line);
+      deck_.mosModels[name] = m;
+    } else if (type == "gan") {
+      GanModel m;
+      take("ipk", &m.ipkPerWidth);
+      take("vpk", &m.vpk);
+      take("p1", &m.p1);
+      take("alpha", &m.alpha);
+      take("lambda", &m.lambda);
+      take("cgs", &m.cgsPerWidth);
+      take("cgd", &m.cgdPerWidth);
+      if (!kv.empty())
+        throw ParseError("unknown gan model parameter '" + kv.begin()->first + "'", line);
+      deck_.ganModels[name] = m;
+    } else if (type == "d") {
+      DiodeModel m;
+      take("is", &m.is);
+      take("n", &m.n);
+      take("vt", &m.vt);
+      take("cj0", &m.cj0);
+      take("vexp", &m.vExp);
+      if (!kv.empty())
+        throw ParseError("unknown diode model parameter '" + kv.begin()->first + "'", line);
+      deck_.diodeModels[name] = m;
+    } else {
+      throw ParseError("unsupported model type '" + type + "'", line);
+    }
+  }
+
+  DeckOptions opts_;
+  Deck deck_;
+  std::string pendingSubckt_;
+  Subckt currentSubckt_;
+  std::unordered_map<std::string, Subckt> subckts_;
+  std::vector<Scope> scopes_;
+};
+
+// --------------------------------------------------------------- writer
+
+std::string fmtValue(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+struct ModelKey {
+  std::string text;
+  bool operator<(const ModelKey& o) const { return text < o.text; }
+};
+
+ModelKey keyOf(const MosModel& m) {
+  std::ostringstream os;
+  os.precision(15);
+  os << (m.type == MosType::Nmos ? "nmos" : "pmos") << ' ' << m.kp << ' ' << m.vth << ' '
+     << m.lambda << ' ' << m.length << ' ' << m.coxArea << ' ' << m.covPerW << ' '
+     << m.subthreshSmoothing;
+  return {os.str()};
+}
+
+ModelKey keyOf(const DiodeModel& m) {
+  std::ostringstream os;
+  os.precision(15);
+  os << "d " << m.is << ' ' << m.n << ' ' << m.vt << ' ' << m.cj0 << ' ' << m.vExp;
+  return {os.str()};
+}
+
+ModelKey keyOf(const GanModel& m) {
+  std::ostringstream os;
+  os.precision(15);
+  os << "gan " << m.ipkPerWidth << ' ' << m.vpk << ' ' << m.p1 << ' ' << m.alpha << ' '
+     << m.lambda << ' ' << m.cgsPerWidth << ' ' << m.cgdPerWidth;
+  return {os.str()};
+}
+
+}  // namespace
+
+Deck parseDeck(const std::string& text, const DeckOptions& opts) {
+  return DeckBuilder(opts).run(text);
+}
+
+Deck parseDeckFile(const std::string& path, DeckOptions opts) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open deck file '" + path + "'", 0);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  if (opts.includeDir.empty()) {
+    auto slash = path.find_last_of('/');
+    if (slash != std::string::npos) opts.includeDir = path.substr(0, slash);
+  }
+  return parseDeck(ss.str(), opts);
+}
+
+double parseValue(const std::string& token) {
+  double v;
+  if (!util::parseEngNumber(token, &v))
+    throw ParseError("cannot parse value '" + token + "'", 0);
+  return v;
+}
+
+std::string writeDeck(const Netlist& net, const std::string& title) {
+  std::ostringstream os;
+  os << title << '\n';
+
+  // Deduplicate transistor/diode models.
+  std::map<ModelKey, std::string> mosNames;
+  std::map<ModelKey, std::string> ganNames;
+  std::map<ModelKey, std::string> diodeNames;
+  for (const auto& dev : net.devices()) {
+    if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+      auto key = keyOf(m->model());
+      if (!mosNames.count(key)) {
+        std::string name = (m->model().type == MosType::Nmos ? "nch" : "pch") +
+                           std::to_string(mosNames.size());
+        const auto& mm = m->model();
+        os << ".model " << name << ' ' << (mm.type == MosType::Nmos ? "NMOS" : "PMOS")
+           << " (kp=" << fmtValue(mm.kp) << " vth=" << fmtValue(mm.vth)
+           << " lambda=" << fmtValue(mm.lambda) << " l=" << fmtValue(mm.length)
+           << " cox=" << fmtValue(mm.coxArea) << " cov=" << fmtValue(mm.covPerW)
+           << " delta=" << fmtValue(mm.subthreshSmoothing) << ")\n";
+        mosNames[key] = name;
+      }
+    } else if (const auto* g = dynamic_cast<const GanHemt*>(dev.get())) {
+      auto key = keyOf(g->model());
+      if (!ganNames.count(key)) {
+        std::string name = "gan" + std::to_string(ganNames.size());
+        const auto& gm = g->model();
+        os << ".model " << name << " GAN (ipk=" << fmtValue(gm.ipkPerWidth)
+           << " vpk=" << fmtValue(gm.vpk) << " p1=" << fmtValue(gm.p1)
+           << " alpha=" << fmtValue(gm.alpha) << " lambda=" << fmtValue(gm.lambda)
+           << " cgs=" << fmtValue(gm.cgsPerWidth) << " cgd=" << fmtValue(gm.cgdPerWidth)
+           << ")\n";
+        ganNames[key] = name;
+      }
+    }
+  }
+
+  for (const auto& dev : net.devices()) {
+    if (const auto* d = dynamic_cast<const Diode*>(dev.get())) {
+      auto key = keyOf(d->model());
+      if (!diodeNames.count(key)) {
+        std::string name = "dio" + std::to_string(diodeNames.size());
+        const auto& dm = d->model();
+        os << ".model " << name << " D (is=" << fmtValue(dm.is) << " n=" << fmtValue(dm.n)
+           << " vt=" << fmtValue(dm.vt) << " cj0=" << fmtValue(dm.cj0)
+           << " vexp=" << fmtValue(dm.vExp) << ")\n";
+        diodeNames[key] = name;
+      }
+    }
+  }
+
+  auto nn = [&](NodeId n) { return net.nodeName(n); };
+  // Card names must start with the letter the parser dispatches on; rename
+  // on emit when the device was constructed with a different convention
+  // (e.g. the RF PA names its GaN drivers D1..DF after the paper's figure).
+  auto cardName = [](const std::string& name, char letter) {
+    if (!name.empty() &&
+        std::tolower(static_cast<unsigned char>(name[0])) == letter)
+      return name;
+    return std::string(1, letter) + "_" + name;
+  };
+  for (const auto& dev : net.devices()) {
+    if (const auto* r = dynamic_cast<const Resistor*>(dev.get())) {
+      os << r->name() << ' ' << nn(r->nodeA()) << ' ' << nn(r->nodeB()) << ' '
+         << fmtValue(r->resistance()) << '\n';
+    } else if (const auto* c = dynamic_cast<const Capacitor*>(dev.get())) {
+      os << c->name() << ' ' << nn(c->nodeA()) << ' ' << nn(c->nodeB()) << ' '
+         << fmtValue(c->capacitance()) << '\n';
+    } else if (const auto* l = dynamic_cast<const Inductor*>(dev.get())) {
+      os << l->name() << ' ' << nn(l->nodeA()) << ' ' << nn(l->nodeB()) << ' '
+         << fmtValue(l->inductance()) << '\n';
+    } else if (const auto* v = dynamic_cast<const VSource*>(dev.get())) {
+      os << v->name() << ' ' << nn(v->pos()) << ' ' << nn(v->neg()) << " DC "
+         << fmtValue(v->dc());
+      if (v->acMag() != 0.0) os << " AC " << fmtValue(v->acMag());
+      if (v->sineAmp() != 0.0)
+        os << " SIN(" << fmtValue(v->sineAmp()) << ' ' << fmtValue(v->sineFreq()) << ' '
+           << fmtValue(v->sinePhase()) << ')';
+      os << '\n';
+    } else if (const auto* i = dynamic_cast<const ISource*>(dev.get())) {
+      os << i->name() << ' ' << nn(i->pos()) << ' ' << nn(i->neg()) << " DC "
+         << fmtValue(i->dc()) << '\n';
+    } else if (const auto* m = dynamic_cast<const Mosfet*>(dev.get())) {
+      os << cardName(m->name(), 'm') << ' ' << nn(m->drain()) << ' ' << nn(m->gate()) << ' '
+         << nn(m->source()) << ' ' << mosNames[keyOf(m->model())]
+         << " W=" << fmtValue(m->width()) << " NF=" << m->fingers() << '\n';
+    } else if (const auto* g = dynamic_cast<const GanHemt*>(dev.get())) {
+      os << cardName(g->name(), 'm') << ' ' << nn(g->drain()) << ' ' << nn(g->gate()) << ' '
+         << nn(g->source()) << ' ' << ganNames[keyOf(g->model())]
+         << " W=" << fmtValue(g->width()) << " NF=" << g->fingers() << '\n';
+    } else if (const auto* d = dynamic_cast<const Diode*>(dev.get())) {
+      os << cardName(d->name(), 'd') << ' ' << nn(d->anode()) << ' ' << nn(d->cathode()) << ' '
+         << diodeNames[keyOf(d->model())] << '\n';
+    } else {
+      os << "* unsupported device omitted: " << dev->name() << '\n';
+    }
+  }
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace crl::spice

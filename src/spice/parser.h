@@ -1,0 +1,93 @@
+#pragma once
+// SPICE deck text parser and writer.
+//
+// The paper's design environment (Fig. 2) carries the circuit as a netlist
+// that the data-processing module rewrites after every agent action. This
+// module provides that textual substrate: it parses a SPICE-like deck into
+// a spice::Netlist and serializes a Netlist back into a parseable deck.
+//
+// Supported cards (case-insensitive, `*` comments, `;`/`$` inline comments,
+// `+` continuation lines):
+//
+//   Rxxx n1 n2 value
+//   Cxxx n1 n2 value
+//   Lxxx n1 n2 value
+//   Vxxx n+ n- [DC] value [AC mag] [SIN(amp freq [phase])]
+//   Ixxx n+ n- [DC] value
+//   Mxxx d g s [b] model [W=value] [NF=n]     (bulk, if given, must equal s)
+//   Dxxx anode cathode model
+//   Xxxx n1 n2 ... subcktname [param=value ...]
+//   .subckt name port1 port2 ... [param=default ...] / .ends
+//   .model name NMOS|PMOS|GAN|D ([param=value ...])
+//   .param name=expr [name=expr ...]
+//   .include "file"
+//   .title any text        (also taken from the first deck line)
+//   .end
+//
+// Values accept engineering suffixes ("2.5k", "10pF", "1meg") and `{expr}`
+// or 'expr' parameter expressions evaluated against the `.param` bindings.
+//
+// Subcircuits expand hierarchically at parse time: internal nodes and device
+// names gain an `xinst.` prefix, ports bind to the caller's nets, ground is
+// global, and parameters resolve deck < .subckt defaults < X-card overrides.
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/diode.h"
+#include "spice/gan.h"
+#include "spice/mosfet.h"
+#include "spice/netlist.h"
+#include "util/expr.h"
+
+namespace crl::spice {
+
+/// Error raised on malformed decks; carries the 1-based source line.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, int line)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+struct DeckOptions {
+  /// Standard SPICE treats the first line as the deck title.
+  bool firstLineIsTitle = true;
+  /// Base directory for `.include` resolution (empty: current directory).
+  std::string includeDir;
+  /// Pre-seeded `.param` bindings (callers can inject sweep variables).
+  util::VarMap params;
+};
+
+/// Result of parsing a deck: the netlist plus all named entities defined by
+/// directives, in deck order.
+struct Deck {
+  std::string title;
+  std::unique_ptr<Netlist> netlist;
+  util::VarMap params;
+  std::unordered_map<std::string, MosModel> mosModels;
+  std::unordered_map<std::string, GanModel> ganModels;
+  std::unordered_map<std::string, DiodeModel> diodeModels;
+  std::vector<std::string> warnings;
+};
+
+/// Parse a deck from text / from a file. Throws ParseError.
+Deck parseDeck(const std::string& text, const DeckOptions& opts = {});
+Deck parseDeckFile(const std::string& path, DeckOptions opts = {});
+
+/// Parse one engineering-notation value token ("2.5k", "10pF"). Throws
+/// ParseError with line 0 on malformed input.
+double parseValue(const std::string& token);
+
+/// Serialize a netlist into a deck that parseDeck() accepts and that
+/// reconstructs an equivalent circuit (same topology, same element values,
+/// shared .model cards for transistors with identical models).
+std::string writeDeck(const Netlist& net, const std::string& title = "crl deck");
+
+}  // namespace crl::spice

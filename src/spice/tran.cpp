@@ -1,0 +1,127 @@
+#include "spice/tran.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "linalg/solve.h"
+
+namespace crl::spice {
+
+TranAnalysis::TranAnalysis(Netlist& net, TranOptions opt) : net_(net), opt_(opt) {
+  if (!net_.finalized()) net_.finalize();
+}
+
+bool TranAnalysis::newtonStep(linalg::Vec& x, double time, double dt,
+                              const std::vector<double>& state, int* iterations) {
+  const std::size_t n = net_.unknownCount();
+  const std::size_t nNodes = net_.nodeCount() - 1;
+  linalg::Mat a(n, n);
+  linalg::Vec rhs(n);
+
+  for (int iter = 0; iter < opt_.maxNewtonIterations; ++iter) {
+    ++*iterations;
+    a.fill(0.0);
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    RealStamper stamper(a, rhs);
+    for (const auto& dev : net_.devices()) {
+      SimContext ctx{x};
+      ctx.time = time;
+      ctx.dt = dt;
+      ctx.transient = true;
+      ctx.gmin = opt_.gmin;
+      ctx.state = state.data() + dev->stateOffset();
+      dev->stampLarge(stamper, ctx);
+    }
+
+    linalg::Vec xNew;
+    try {
+      xNew = linalg::solveLinear(std::move(a), rhs);
+    } catch (const std::runtime_error&) {
+      return false;
+    }
+    a = linalg::Mat(n, n);
+
+    bool converged = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      double delta = xNew[i] - x[i];
+      if (i < nNodes) {
+        if (delta > opt_.stepLimit) delta = opt_.stepLimit;
+        if (delta < -opt_.stepLimit) delta = -opt_.stepLimit;
+        const double tol = opt_.vAbsTol + opt_.vRelTol * std::fabs(x[i]);
+        if (std::fabs(delta) > tol) converged = false;
+      }
+      x[i] += delta;
+    }
+    if (converged && iter > 0) return true;
+  }
+  return false;
+}
+
+TranResult TranAnalysis::run(double dt, double tStop,
+                             const std::function<void(double, const linalg::Vec&)>& callback,
+                             bool record) {
+  if (dt <= 0.0 || tStop <= 0.0) throw std::invalid_argument("TranAnalysis: bad times");
+  TranResult result;
+
+  DcAnalysis dc(net_, opt_.dcOptions);
+  DcResult op = dc.solve();
+  if (!op.converged) return result;
+
+  std::vector<double> state(net_.tranStateCount(), 0.0);
+  for (const auto& dev : net_.devices()) {
+    if (dev->tranStateSize() > 0) dev->initTranState(op.x, state.data() + dev->stateOffset());
+  }
+
+  linalg::Vec x = op.x;
+  if (record) {
+    result.time.push_back(0.0);
+    result.solution.push_back(x);
+  }
+  if (callback) callback(0.0, x);
+
+  const int steps = static_cast<int>(std::llround(tStop / dt));
+  for (int k = 1; k <= steps; ++k) {
+    const double t = k * dt;
+    if (!newtonStep(x, t, dt, state, &result.newtonIterations)) return result;
+    // Commit integrator history after a converged step.
+    for (const auto& dev : net_.devices()) {
+      if (dev->tranStateSize() > 0) {
+        SimContext ctx{x};
+        ctx.time = t;
+        ctx.dt = dt;
+        ctx.transient = true;
+        dev->updateTranState(ctx, state.data() + dev->stateOffset());
+      }
+    }
+    if (record) {
+      result.time.push_back(t);
+      result.solution.push_back(x);
+    }
+    if (callback) callback(t, x);
+  }
+  result.converged = true;
+  return result;
+}
+
+std::vector<std::complex<double>> fourierCoefficients(const std::vector<double>& samples,
+                                                      int nHarmonics) {
+  if (samples.empty() || nHarmonics < 1)
+    throw std::invalid_argument("fourierCoefficients: bad input");
+  const std::size_t n = samples.size();
+  std::vector<std::complex<double>> coeffs(static_cast<std::size_t>(nHarmonics) + 1);
+  for (int k = 0; k <= nHarmonics; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double angle = -2.0 * std::numbers::pi * k * static_cast<double>(i) /
+                           static_cast<double>(n);
+      acc += samples[i] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    acc /= static_cast<double>(n);
+    if (k >= 1) acc *= 2.0;  // one-sided peak amplitude
+    coeffs[static_cast<std::size_t>(k)] = acc;
+  }
+  return coeffs;
+}
+
+}  // namespace crl::spice

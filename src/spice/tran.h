@@ -1,0 +1,58 @@
+#pragma once
+// Transient analysis with fixed-step trapezoidal integration.
+//
+// The RF PA "fine" measurement runs this for several carrier periods and
+// extracts the periodic steady state via a DFT over the final period —
+// computing the same quantities a harmonic-balance engine would report.
+
+#include <functional>
+
+#include "spice/dc.h"
+#include "spice/netlist.h"
+
+namespace crl::spice {
+
+struct TranOptions {
+  int maxNewtonIterations = 60;
+  double vAbsTol = 1e-6;
+  double vRelTol = 1e-6;
+  double stepLimit = 2.0;  ///< per-step node-voltage clamp (RF swings are large)
+  double gmin = 1e-12;
+  DcOptions dcOptions;     ///< for the initial operating point
+};
+
+struct TranResult {
+  std::vector<double> time;
+  std::vector<linalg::Vec> solution;  ///< unknown vector per accepted step
+  bool converged = false;
+  int newtonIterations = 0;
+};
+
+class TranAnalysis {
+ public:
+  explicit TranAnalysis(Netlist& net, TranOptions opt = {});
+
+  /// Run from t=0 (DC operating point initial condition) to tStop with fixed
+  /// step dt. The callback, if given, observes every accepted step; solutions
+  /// are recorded in the result only when `record` is true (they can be
+  /// large).
+  TranResult run(double dt, double tStop,
+                 const std::function<void(double, const linalg::Vec&)>& callback = {},
+                 bool record = true);
+
+ private:
+  bool newtonStep(linalg::Vec& x, double time, double dt,
+                  const std::vector<double>& state, int* iterations);
+
+  Netlist& net_;
+  TranOptions opt_;
+};
+
+/// First `nHarmonics` complex Fourier coefficients of a uniformly sampled
+/// waveform covering exactly one period (coefficient k corresponds to k*f0;
+/// index 0 is the DC average). Amplitude convention: |c_k| is the peak
+/// amplitude of harmonic k for k >= 1.
+std::vector<std::complex<double>> fourierCoefficients(const std::vector<double>& samples,
+                                                      int nHarmonics);
+
+}  // namespace crl::spice

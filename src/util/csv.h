@@ -1,0 +1,46 @@
+#pragma once
+// CSV and fixed-width table writers used by the benchmark harnesses to emit
+// the rows/series corresponding to the paper's tables and figures.
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace crl::util {
+
+/// Streams rows to a CSV file. The header is written on construction.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void writeRow(const std::vector<double>& values);
+  void writeRow(const std::vector<std::string>& values);
+  void flush();
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Renders an aligned plain-text table (for terminal figure/table output).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void addRow(std::vector<std::string> row);
+  /// Format a double with the given precision for use in a cell.
+  static std::string num(double v, int precision = 4);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace crl::util

@@ -1,0 +1,281 @@
+#include "util/expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <vector>
+
+namespace crl::util {
+namespace {
+
+// SPICE engineering suffixes, longest match first ("meg" before "m").
+struct Suffix {
+  const char* text;
+  double scale;
+};
+constexpr Suffix kSuffixes[] = {
+    {"meg", 1e6}, {"mil", 25.4e-6}, {"t", 1e12}, {"g", 1e9}, {"k", 1e3},
+    {"m", 1e-3},  {"u", 1e-6},      {"n", 1e-9}, {"p", 1e-12}, {"f", 1e-15},
+};
+
+bool asciiPrefixMatches(const std::string& lower, std::size_t pos, const char* pat) {
+  for (const char* p = pat; *p; ++p, ++pos) {
+    if (pos >= lower.size() || lower[pos] != *p) return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(const std::string& src, const VarMap& vars) : src_(src), vars_(vars) {}
+
+  double parse() {
+    double v = expr();
+    skipWs();
+    if (pos_ != src_.size()) fail("unexpected trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ExprError("expression error at position " + std::to_string(pos_) + ": " + msg +
+                        " in \"" + src_ + "\"",
+                    pos_);
+  }
+
+  void skipWs() {
+    while (pos_ < src_.size() && std::isspace(static_cast<unsigned char>(src_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    skipWs();
+    if (pos_ < src_.size() && src_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skipWs();
+    return pos_ < src_.size() ? src_[pos_] : '\0';
+  }
+
+  double expr() {
+    double v = term();
+    for (;;) {
+      if (consume('+')) {
+        v += term();
+      } else if (consume('-')) {
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double term() {
+    double v = factor();
+    for (;;) {
+      if (consume('*')) {
+        v *= factor();
+      } else if (consume('/')) {
+        v /= factor();
+      } else if (consume('%')) {
+        v = std::fmod(v, factor());
+      } else {
+        return v;
+      }
+    }
+  }
+
+  // '^' binds tighter than unary minus (-2^2 == -4) and is right-associative.
+  double factor() { return unary(); }
+
+  double unary() {
+    int sign = 1;
+    for (;;) {
+      if (consume('-')) {
+        sign = -sign;
+      } else if (consume('+')) {
+        // no-op
+      } else {
+        break;
+      }
+    }
+    return sign * power();
+  }
+
+  double power() {
+    double base = primary();
+    if (consume('^')) return std::pow(base, unary());
+    return base;
+  }
+
+  double primary() {
+    skipWs();
+    if (pos_ >= src_.size()) fail("unexpected end of expression");
+    char c = src_[pos_];
+    if (c == '(') {
+      ++pos_;
+      double v = expr();
+      if (!consume(')')) fail("missing ')'");
+      return v;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') return number();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return identifier();
+    fail("unexpected character");
+  }
+
+  double number() {
+    std::size_t start = pos_;
+    // mantissa
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) || src_[pos_] == '.'))
+      ++pos_;
+    // exponent
+    if (pos_ < src_.size() && (src_[pos_] == 'e' || src_[pos_] == 'E')) {
+      std::size_t save = pos_;
+      ++pos_;
+      if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) ++pos_;
+      if (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        while (pos_ < src_.size() && std::isdigit(static_cast<unsigned char>(src_[pos_])))
+          ++pos_;
+      } else {
+        pos_ = save;  // 'e' was not an exponent (maybe a variable follows)
+      }
+    }
+    double v;
+    try {
+      v = std::stod(src_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    // optional engineering suffix (only when directly attached)
+    std::string lower;
+    lower.reserve(src_.size());
+    for (char ch : src_) lower.push_back(static_cast<char>(std::tolower(ch)));
+    for (const auto& s : kSuffixes) {
+      if (asciiPrefixMatches(lower, pos_, s.text)) {
+        // A suffix must not be followed by '(' (that would be a function call
+        // like m(...)), nor by an alphanumeric that extends an identifier —
+        // except we deliberately allow unit tails like "10pF" in eng numbers
+        // handled by parseEngNumber, not inside expressions.
+        std::size_t after = pos_ + std::string(s.text).size();
+        bool extends = after < src_.size() &&
+                       (std::isalnum(static_cast<unsigned char>(src_[after])) ||
+                        src_[after] == '_' || src_[after] == '(');
+        if (!extends) {
+          pos_ = after;
+          return v * s.scale;
+        }
+      }
+    }
+    return v;
+  }
+
+  double identifier() {
+    std::size_t start = pos_;
+    while (pos_ < src_.size() && (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                                  src_[pos_] == '_'))
+      ++pos_;
+    std::string name = src_.substr(start, pos_ - start);
+    std::string lower;
+    for (char ch : name) lower.push_back(static_cast<char>(std::tolower(ch)));
+
+    if (peek() == '(') return call(lower);
+
+    if (auto it = vars_.find(name); it != vars_.end()) return it->second;
+    if (auto it = vars_.find(lower); it != vars_.end()) return it->second;
+    if (lower == "pi") return 3.14159265358979323846;
+    if (lower == "e") return 2.71828182845904523536;
+    pos_ = start;
+    fail("unknown identifier '" + name + "'");
+  }
+
+  double call(const std::string& fn) {
+    if (!consume('(')) fail("expected '('");
+    std::vector<double> args;
+    if (peek() != ')') {
+      args.push_back(expr());
+      while (consume(',')) args.push_back(expr());
+    }
+    if (!consume(')')) fail("missing ')' in call to " + fn);
+
+    auto arity = [&](std::size_t n) {
+      if (args.size() != n)
+        fail(fn + " expects " + std::to_string(n) + " argument(s), got " +
+             std::to_string(args.size()));
+    };
+    if (fn == "sqrt") { arity(1); return std::sqrt(args[0]); }
+    if (fn == "exp") { arity(1); return std::exp(args[0]); }
+    if (fn == "ln" || fn == "log") { arity(1); return std::log(args[0]); }
+    if (fn == "log10") { arity(1); return std::log10(args[0]); }
+    if (fn == "abs") { arity(1); return std::fabs(args[0]); }
+    if (fn == "sin") { arity(1); return std::sin(args[0]); }
+    if (fn == "cos") { arity(1); return std::cos(args[0]); }
+    if (fn == "tan") { arity(1); return std::tan(args[0]); }
+    if (fn == "atan") { arity(1); return std::atan(args[0]); }
+    if (fn == "floor") { arity(1); return std::floor(args[0]); }
+    if (fn == "ceil") { arity(1); return std::ceil(args[0]); }
+    if (fn == "round") { arity(1); return std::round(args[0]); }
+    if (fn == "min") { arity(2); return std::min(args[0], args[1]); }
+    if (fn == "max") { arity(2); return std::max(args[0], args[1]); }
+    if (fn == "pow") { arity(2); return std::pow(args[0], args[1]); }
+    if (fn == "hypot") { arity(2); return std::hypot(args[0], args[1]); }
+    fail("unknown function '" + fn + "'");
+  }
+
+  const std::string& src_;
+  const VarMap& vars_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+double evalExpr(const std::string& expr, const VarMap& vars) {
+  return Parser(expr, vars).parse();
+}
+
+bool parseEngNumber(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  std::size_t pos = 0;
+  if (token[pos] == '+' || token[pos] == '-') ++pos;
+  if (pos >= token.size() ||
+      !(std::isdigit(static_cast<unsigned char>(token[pos])) || token[pos] == '.'))
+    return false;
+
+  char* end = nullptr;
+  double v = std::strtod(token.c_str(), &end);
+  std::size_t consumed = static_cast<std::size_t>(end - token.c_str());
+  if (consumed == 0) return false;
+
+  std::string rest;
+  for (std::size_t i = consumed; i < token.size(); ++i)
+    rest.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(token[i]))));
+
+  double scale = 1.0;
+  if (!rest.empty()) {
+    bool matched = false;
+    for (const auto& s : kSuffixes) {
+      std::string st(s.text);
+      if (rest.compare(0, st.size(), st) == 0) {
+        // The remainder after the suffix must be alphabetic (a unit tail
+        // like "F", "Hz", "ohm"), otherwise the token is malformed.
+        for (std::size_t i = st.size(); i < rest.size(); ++i)
+          if (!std::isalpha(static_cast<unsigned char>(rest[i]))) return false;
+        scale = s.scale;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      // No suffix: the tail must be purely a unit (alphabetic).
+      for (char c : rest)
+        if (!std::isalpha(static_cast<unsigned char>(c))) return false;
+    }
+  }
+  *out = v * scale;
+  return true;
+}
+
+}  // namespace crl::util

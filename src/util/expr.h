@@ -1,0 +1,47 @@
+#pragma once
+// Arithmetic expression evaluator for netlist `.param` directives and
+// parameterized card values ({...} / '...' expressions in SPICE decks).
+//
+// Grammar (recursive descent):
+//   expr    := term (('+' | '-') term)*
+//   term    := unary (('*' | '/' | '%') unary)*
+//   unary   := ('+' | '-')* power
+//   power   := primary ('^' unary)?      (right-associative, binds tighter
+//                                          than unary minus: -2^2 == -4)
+//   primary := number | ident | ident '(' args ')' | '(' expr ')'
+//
+// Numbers accept SPICE engineering suffixes (t, g, meg, k, m, u, n, p, f)
+// and an optional trailing unit string which is ignored ("10pF" == 10e-12).
+// Identifiers resolve against a caller-provided variable map; a fixed set of
+// math functions (sqrt, exp, ln, log10, abs, sin, cos, tan, atan, floor,
+// ceil, round, min, max, pow, hypot) is built in.
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace crl::util {
+
+/// Error raised on malformed expressions or unknown identifiers. `offset`
+/// is the character position within the expression where parsing failed.
+class ExprError : public std::runtime_error {
+ public:
+  ExprError(const std::string& what, std::size_t offset)
+      : std::runtime_error(what), offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+using VarMap = std::unordered_map<std::string, double>;
+
+/// Evaluate `expr` with the given variable bindings. Throws ExprError.
+double evalExpr(const std::string& expr, const VarMap& vars = {});
+
+/// Parse a number with an optional SPICE engineering suffix and trailing
+/// unit ("2.5k", "10pF", "1meg", "-3.3e-2"). The whole token must be
+/// consumed (ignoring the unit letters); returns false on mismatch.
+bool parseEngNumber(const std::string& token, double* out);
+
+}  // namespace crl::util

@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace crl::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+void initLogLevelFromEnv() {
+  const char* env = std::getenv("CRL_LOG");
+  if (!env) return;
+  std::string v(env);
+  if (v == "debug") g_level = LogLevel::Debug;
+  else if (v == "info") g_level = LogLevel::Info;
+  else if (v == "warn") g_level = LogLevel::Warn;
+  else if (v == "error") g_level = LogLevel::Error;
+  else if (v == "off") g_level = LogLevel::Off;
+}
+
+void logMessage(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::ostream& os = (level >= LogLevel::Warn) ? std::cerr : std::cout;
+  os << "[" << levelName(level) << "] " << msg << '\n';
+}
+
+}  // namespace crl::util

@@ -1,0 +1,43 @@
+#pragma once
+// Minimal leveled logger. Benches use it for progress lines; the library
+// itself logs only at Debug level so tests stay quiet by default.
+
+#include <sstream>
+#include <string>
+
+namespace crl::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Reads CRL_LOG (debug/info/warn/error/off) once at startup if set.
+void initLogLevelFromEnv();
+
+void logMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine logDebug() { return detail::LogLine(LogLevel::Debug); }
+inline detail::LogLine logInfo() { return detail::LogLine(LogLevel::Info); }
+inline detail::LogLine logWarn() { return detail::LogLine(LogLevel::Warn); }
+inline detail::LogLine logError() { return detail::LogLine(LogLevel::Error); }
+
+}  // namespace crl::util

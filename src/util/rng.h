@@ -1,0 +1,46 @@
+#pragma once
+// Seeded random number generation used across the library.
+//
+// Every stochastic component (RL training, GA/BO baselines, spec sampling,
+// weight init) takes an explicit Rng so experiments are reproducible per seed.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace crl::util {
+
+/// Thin deterministic wrapper around std::mt19937_64 with the sampling
+/// helpers the library needs. Copyable; copying forks the stream state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Standard normal (mean 0, std 1) scaled/shifted.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int randint(int lo, int hi);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Sample an index from an (unnormalized, non-negative) weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of an index range [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Fork a child RNG with a decorrelated seed (for parallel streams).
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace crl::util

@@ -1,0 +1,49 @@
+#pragma once
+// Small statistics helpers for experiment reporting and normalization.
+
+#include <cstddef>
+#include <vector>
+
+namespace crl::util {
+
+/// Welford running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double median(std::vector<double> xs);
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Exponential moving average smoother for training curves.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  double update(double x);
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace crl::util

@@ -1,0 +1,16 @@
+#pragma once
+// String helpers shared by netlist printing and harness output.
+
+#include <string>
+#include <vector>
+
+namespace crl::util {
+
+std::vector<std::string> split(const std::string& s, char delim);
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+std::string toLower(std::string s);
+bool startsWith(const std::string& s, const std::string& prefix);
+/// Engineering-notation formatting, e.g. 4.7e-12 -> "4.7p".
+std::string engFormat(double value, int significant = 3);
+
+}  // namespace crl::util

@@ -1,0 +1,95 @@
+#include "baselines/optimizers.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+
+namespace crl::baselines {
+namespace {
+
+TEST(Objectives, P2sObjectiveIsEq1Reward) {
+  circuit::TwoStageOpAmp amp;
+  std::vector<double> target{400.0, 1e7, 57.0, 5e-3};
+  auto obj = p2sObjective(amp.specSpace(), target);
+  std::vector<double> achieved{350.0, 2e7, 58.0, 4e-3};
+  EXPECT_NEAR(obj(achieved), amp.specSpace().reward(achieved, target), 1e-12);
+}
+
+TEST(Objectives, FomObjective) {
+  // Normalized FoM: zero at the reference point, monotone in both specs.
+  auto obj = fomObjective(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(obj({0.5, 2.0}), 0.0);
+  EXPECT_GT(obj({0.6, 2.0}), 0.0);
+  EXPECT_GT(obj({0.5, 3.0}), 0.0);
+  EXPECT_LT(obj({0.4, 1.5}), 0.0);
+}
+
+TEST(GeneticAlgorithm, ImprovesOverRandomAndRecordsCurve) {
+  circuit::TwoStageOpAmp amp;
+  util::Rng rng(3);
+  auto target = amp.specSpace().sample(rng);
+  GaConfig cfg;
+  cfg.population = 10;
+  cfg.generations = 4;
+  cfg.maxEvaluations = 60;
+  cfg.stopAtTarget = false;
+  GeneticAlgorithm ga(cfg);
+  auto res = ga.optimize(amp, circuit::Fidelity::Fine, p2sObjective(amp.specSpace(), target), rng);
+  ASSERT_GT(res.evaluations, 10);
+  ASSERT_EQ(res.curve.size(), static_cast<std::size_t>(res.evaluations));
+  // Best-so-far curve is monotone non-decreasing.
+  for (std::size_t i = 1; i < res.curve.size(); ++i)
+    EXPECT_GE(res.curve[i], res.curve[i - 1] - 1e-12);
+  // Should beat the first random individual.
+  EXPECT_GE(res.bestObjective, res.curve.front());
+  EXPECT_EQ(res.bestParams.size(), 15u);
+}
+
+TEST(GeneticAlgorithm, StopsAtTarget) {
+  circuit::TwoStageOpAmp amp;
+  util::Rng rng(5);
+  // Trivial target: any design meets it -> must stop almost immediately.
+  std::vector<double> easy{1.0, 1.0, -500.0, 10.0};
+  GaConfig cfg;
+  cfg.population = 10;
+  GeneticAlgorithm ga(cfg);
+  auto res = ga.optimize(amp, circuit::Fidelity::Fine, p2sObjective(amp.specSpace(), easy), rng);
+  EXPECT_TRUE(res.reachedTarget);
+  EXPECT_LE(res.stepsToTarget, 3);
+}
+
+TEST(BayesianOptimization, ImprovesWithFewEvaluations) {
+  circuit::TwoStageOpAmp amp;
+  util::Rng rng(7);
+  auto target = amp.specSpace().sample(rng);
+  BoConfig cfg;
+  cfg.initialSamples = 6;
+  cfg.iterations = 10;
+  cfg.candidatePool = 100;
+  cfg.stopAtTarget = false;
+  BayesianOptimization bo(cfg);
+  auto res = bo.optimize(amp, circuit::Fidelity::Fine, p2sObjective(amp.specSpace(), target), rng);
+  EXPECT_EQ(res.evaluations, 16);
+  EXPECT_GE(res.bestObjective, res.curve.front());
+  for (std::size_t i = 1; i < res.curve.size(); ++i)
+    EXPECT_GE(res.curve[i], res.curve[i - 1] - 1e-12);
+}
+
+TEST(BayesianOptimization, FomModeRaisesFom) {
+  circuit::GanRfPa pa;
+  util::Rng rng(9);
+  BoConfig cfg;
+  cfg.initialSamples = 6;
+  cfg.iterations = 12;
+  cfg.candidatePool = 100;
+  cfg.stopAtTarget = false;
+  BayesianOptimization bo(cfg);
+  auto res = bo.optimize(pa, circuit::Fidelity::Coarse, fomObjective(), rng);
+  // Normalized FoM of a random PA sizing averages well below zero (random
+  // designs sit under the references); a short BO should clear 0.3.
+  EXPECT_GT(res.bestObjective, 0.3);
+}
+
+}  // namespace
+}  // namespace crl::baselines

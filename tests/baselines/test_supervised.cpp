@@ -1,0 +1,42 @@
+#include "baselines/supervised.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/opamp.h"
+
+namespace crl::baselines {
+namespace {
+
+TEST(SupervisedSizer, TrainsAndPredictsInBounds) {
+  circuit::TwoStageOpAmp amp;
+  SupervisedConfig cfg;
+  cfg.datasetSize = 150;
+  cfg.epochs = 10;
+  SupervisedSizer sl(amp, cfg, util::Rng(3));
+  double loss = sl.train();
+  EXPECT_LT(loss, 0.5);
+  EXPECT_GE(sl.datasetSimulations(), 150);
+
+  util::Rng rng(5);
+  auto target = amp.specSpace().sample(rng);
+  auto p = sl.predict(target);
+  ASSERT_EQ(p.size(), 15u);
+  EXPECT_TRUE(amp.designSpace().contains(p));
+}
+
+TEST(SupervisedSizer, OneStepInference) {
+  circuit::TwoStageOpAmp amp;
+  SupervisedConfig cfg;
+  cfg.datasetSize = 100;
+  cfg.epochs = 5;
+  SupervisedSizer sl(amp, cfg, util::Rng(7));
+  sl.train();
+  // designMeets runs exactly one extra simulation (one-step deployment).
+  long before = amp.simCount(circuit::Fidelity::Fine);
+  util::Rng rng(9);
+  sl.designMeets(amp.specSpace().sample(rng));
+  EXPECT_EQ(amp.simCount(circuit::Fidelity::Fine), before + 1);
+}
+
+}  // namespace
+}  // namespace crl::baselines

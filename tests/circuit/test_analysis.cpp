@@ -1,0 +1,212 @@
+#include "circuit/analysis.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/opamp.h"
+
+namespace crl::circuit {
+namespace {
+
+// Spec indices of the op-amp benchmark.
+constexpr std::size_t kGain = 0;
+constexpr std::size_t kUgbw = 1;
+constexpr std::size_t kPm = 2;
+constexpr std::size_t kPower = 3;
+// Parameter indices: 2*i is W of fet i (M1..M7), 2*i+1 its finger count,
+// 14 is the compensation cap Cc.
+constexpr std::size_t kCc = 14;
+
+class AnalysisOpAmp : public ::testing::Test {
+ protected:
+  /// A moderate sizing in the Miller-dominated regime (the midpoint's very
+  /// large devices are parasitics-dominated and outside the power spec box).
+  std::vector<double> base() const {
+    auto p = amp_.designSpace().midpoint();
+    for (std::size_t i = 0; i < 7; ++i) {
+      p[2 * i] = 10.0;
+      p[2 * i + 1] = 4.0;
+    }
+    p[14] = 4.0;
+    return amp_.designSpace().clamp(p);
+  }
+
+  TwoStageOpAmp amp_;
+};
+
+TEST_F(AnalysisOpAmp, SensitivityValidAtMidpoint) {
+  auto res = specSensitivity(amp_, base());
+  ASSERT_TRUE(res.valid);
+  ASSERT_EQ(res.jacobian.rows(), amp_.specSpace().size());
+  ASSERT_EQ(res.jacobian.cols(), amp_.designSpace().size());
+  ASSERT_EQ(res.baseSpecs.size(), 4u);
+}
+
+TEST_F(AnalysisOpAmp, MillerCapSlowsTheAmplifier) {
+  // Increasing the compensation cap must reduce the unity-gain bandwidth
+  // (UGBW ~ gm1 / Cc) — the canonical Miller trade-off.
+  auto res = specSensitivity(amp_, base());
+  ASSERT_TRUE(res.valid);
+  EXPECT_LT(res.jacobian(kUgbw, kCc), 0.0);
+}
+
+TEST_F(AnalysisOpAmp, MillerCapImprovesPhaseMargin) {
+  auto res = specSensitivity(amp_, base());
+  ASSERT_TRUE(res.valid);
+  EXPECT_GT(res.jacobian(kPm, kCc), 0.0);
+}
+
+TEST_F(AnalysisOpAmp, WideningTheTailRaisesPower) {
+  // M5 is the first-stage tail current source: more width -> more bias
+  // current -> more power. W index of M5 (fets are M1..M7) is 2*4.
+  auto res = specSensitivity(amp_, base());
+  ASSERT_TRUE(res.valid);
+  EXPECT_GT(res.jacobian(kPower, 2 * 4), 0.0);
+}
+
+TEST_F(AnalysisOpAmp, ElasticityIsScaleFree) {
+  auto res = specSensitivity(amp_, base());
+  ASSERT_TRUE(res.valid);
+  // Elasticity = jacobian * p0 / s0 wherever both are nonzero.
+  for (std::size_t i = 0; i < res.jacobian.rows(); ++i) {
+    for (std::size_t j = 0; j < res.jacobian.cols(); ++j) {
+      if (std::fabs(res.baseSpecs[i]) < 1e-30) continue;
+      const double expected =
+          res.jacobian(i, j) * res.baseParams[j] / res.baseSpecs[i];
+      EXPECT_NEAR(res.elasticity(i, j), expected, 1e-9 * std::max(1.0, std::fabs(expected)));
+    }
+  }
+}
+
+TEST_F(AnalysisOpAmp, SensitivityRestoresBaseSizing) {
+  auto b = base();
+  specSensitivity(amp_, b);
+  EXPECT_EQ(amp_.currentParams(), b);
+}
+
+TEST_F(AnalysisOpAmp, GainSensitivityMatchesDirectMeasurement) {
+  // Cross-check one Jacobian entry against a direct two-point measurement.
+  auto mid = base();
+  SensitivityOptions opt;
+  opt.relStep = 0.05;
+  auto res = specSensitivity(amp_, mid, opt);
+  ASSERT_TRUE(res.valid);
+
+  const std::size_t j = kCc;
+  const auto& p = amp_.designSpace().param(j);
+  const double h = std::max(opt.relStep * (p.max - p.min), p.step);
+  auto up = mid, dn = mid;
+  up[j] = std::min(up[j] + h, p.max);
+  dn[j] = std::max(dn[j] - h, p.min);
+  up = amp_.designSpace().clamp(up);
+  dn = amp_.designSpace().clamp(dn);
+  auto mu = amp_.measureAt(up, Fidelity::Fine);
+  auto md = amp_.measureAt(dn, Fidelity::Fine);
+  ASSERT_TRUE(mu.valid && md.valid);
+  const double fd = (mu.specs[kGain] - md.specs[kGain]) / (up[j] - dn[j]);
+  EXPECT_NEAR(res.jacobian(kGain, j), fd, 1e-9 * std::max(1.0, std::fabs(fd)));
+}
+
+// ------------------------------------------------------------- Monte Carlo
+
+/// Targets with a little slack in the success direction of every spec, so
+/// the nominal design passes robustly (exact-equality targets are fragile
+/// against warm-start jitter in the DC solver).
+std::vector<double> slackedTargets(const SpecSpace& space, std::vector<double> specs) {
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const double slack = 0.05 * std::fabs(specs[i]);
+    specs[i] += space.spec(i).direction == SpecDirection::Maximize ? -slack : slack;
+  }
+  return specs;
+}
+
+TEST_F(AnalysisOpAmp, ZeroSigmaYieldIsAllOrNothing) {
+  auto mid = base();
+  auto m = amp_.measureAt(mid, Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  // Pick a target the sizing passes (its own specs with slack) and one it fails.
+  util::Rng rng(1);
+  YieldOptions opt;
+  opt.sigmaFrac = 0.0;
+  opt.samples = 10;
+  auto pass = monteCarloYield(amp_, mid, slackedTargets(amp_.specSpace(), m.specs), rng, opt);
+  EXPECT_EQ(pass.passCount, 10);
+  EXPECT_DOUBLE_EQ(pass.yield, 1.0);
+
+  auto hard = m.specs;
+  hard[kGain] *= 100.0;  // unreachable gain target
+  auto fail = monteCarloYield(amp_, mid, hard, rng, opt);
+  EXPECT_EQ(fail.passCount, 0);
+}
+
+TEST_F(AnalysisOpAmp, YieldIsDeterministicGivenSeed) {
+  auto mid = base();
+  auto m = amp_.measureAt(mid, Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  YieldOptions opt;
+  opt.sigmaFrac = 0.05;
+  opt.samples = 20;
+  util::Rng rngA(7), rngB(7);
+  auto a = monteCarloYield(amp_, mid, m.specs, rngA, opt);
+  auto b = monteCarloYield(amp_, mid, m.specs, rngB, opt);
+  EXPECT_EQ(a.passCount, b.passCount);
+  EXPECT_EQ(a.validCount, b.validCount);
+}
+
+TEST_F(AnalysisOpAmp, PerturbationSpreadsTheSpecDistribution) {
+  auto mid = base();
+  auto m = amp_.measureAt(mid, Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  YieldOptions opt;
+  opt.sigmaFrac = 0.05;
+  opt.samples = 30;
+  util::Rng rng(11);
+  auto res = monteCarloYield(amp_, mid, m.specs, rng, opt);
+  ASSERT_GT(res.validCount, 10);
+  // The gain distribution has nonzero spread under perturbation.
+  EXPECT_GT(res.specStats[kGain].stddev(), 0.0);
+}
+
+TEST_F(AnalysisOpAmp, YieldCountsAreConsistent) {
+  auto mid = base();
+  auto m = amp_.measureAt(mid, Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  YieldOptions opt;
+  opt.sigmaFrac = 0.03;
+  opt.samples = 25;
+  util::Rng rng(3);
+  auto res = monteCarloYield(amp_, mid, m.specs, rng, opt);
+  EXPECT_EQ(res.samples, 25);
+  EXPECT_LE(res.passCount, res.validCount);
+  EXPECT_LE(res.validCount, res.samples);
+  EXPECT_DOUBLE_EQ(res.yield, res.passCount / 25.0);
+}
+
+// ----------------------------------------------------------------- corners
+
+TEST_F(AnalysisOpAmp, CornerSweepCoversSlowNominalFast) {
+  auto res = cornerSweep(amp_, base(), 0.1);
+  ASSERT_EQ(res.size(), 3u);
+  EXPECT_EQ(res[0].name, "slow");
+  EXPECT_EQ(res[1].name, "nominal");
+  EXPECT_EQ(res[2].name, "fast");
+  EXPECT_LT(res[0].scale, res[1].scale);
+  EXPECT_LT(res[1].scale, res[2].scale);
+}
+
+TEST_F(AnalysisOpAmp, FastCornerBurnsMorePower) {
+  auto res = cornerSweep(amp_, base(), 0.1);
+  ASSERT_TRUE(res[0].valid && res[2].valid);
+  // Scaling all widths up raises bias currents, hence power.
+  EXPECT_GT(res[2].specs[kPower], res[0].specs[kPower]);
+}
+
+TEST_F(AnalysisOpAmp, CornerSweepRestoresNominal) {
+  auto b = base();
+  cornerSweep(amp_, b, 0.1);
+  EXPECT_EQ(amp_.currentParams(), b);
+}
+
+}  // namespace
+}  // namespace crl::circuit

@@ -1,0 +1,114 @@
+#include "circuit/design_space.h"
+
+#include <gtest/gtest.h>
+
+namespace crl::circuit {
+namespace {
+
+DesignSpace smallSpace() {
+  return DesignSpace({
+      {"w", 1.0, 10.0, 0.5, false},
+      {"nf", 2.0, 8.0, 1.0, true},
+  });
+}
+
+TEST(DesignSpace, RejectsBadSpecs) {
+  EXPECT_THROW(DesignSpace({{"x", 5.0, 1.0, 0.5, false}}), std::invalid_argument);
+  EXPECT_THROW(DesignSpace({{"x", 0.0, 1.0, 0.0, false}}), std::invalid_argument);
+}
+
+TEST(DesignSpace, SampleStaysOnGridAndInBounds) {
+  DesignSpace s = smallSpace();
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    auto x = s.sample(rng);
+    EXPECT_GE(x[0], 1.0);
+    EXPECT_LE(x[0], 10.0);
+    // Grid: value - min divisible by step.
+    double k = (x[0] - 1.0) / 0.5;
+    EXPECT_NEAR(k, std::round(k), 1e-9);
+    EXPECT_DOUBLE_EQ(x[1], std::round(x[1]));  // integer param
+  }
+}
+
+TEST(DesignSpace, MidpointSnapped) {
+  DesignSpace s = smallSpace();
+  auto m = s.midpoint();
+  EXPECT_NEAR(m[0], 5.5, 0.26);
+  EXPECT_NEAR(m[1], 5.0, 0.51);
+}
+
+TEST(DesignSpace, ClampPullsIntoBounds) {
+  DesignSpace s = smallSpace();
+  auto c = s.clamp({-5.0, 100.0});
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 8.0);
+}
+
+TEST(DesignSpace, ApplyActionsMovesOneStep) {
+  DesignSpace s = smallSpace();
+  std::vector<double> x{5.0, 4.0};
+  auto up = s.applyActions(x, {1, 1});
+  EXPECT_DOUBLE_EQ(up[0], 5.5);
+  EXPECT_DOUBLE_EQ(up[1], 5.0);
+  auto down = s.applyActions(x, {-1, 0});
+  EXPECT_DOUBLE_EQ(down[0], 4.5);
+  EXPECT_DOUBLE_EQ(down[1], 4.0);
+}
+
+TEST(DesignSpace, ApplyActionsClampsAtBounds) {
+  DesignSpace s = smallSpace();
+  auto x = s.applyActions({1.0, 2.0}, {-1, -1});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(DesignSpace, ApplyActionsValidatesInput) {
+  DesignSpace s = smallSpace();
+  EXPECT_THROW(s.applyActions({1.0, 2.0}, {2, 0}), std::invalid_argument);
+  EXPECT_THROW(s.applyActions({1.0, 2.0}, {0}), std::invalid_argument);
+}
+
+TEST(DesignSpace, NormalizeRoundTrip) {
+  DesignSpace s = smallSpace();
+  std::vector<double> x{5.5, 6.0};
+  auto u = s.normalize(x);
+  EXPECT_NEAR(u[0], 0.5, 1e-12);
+  auto back = s.denormalize(u);
+  EXPECT_DOUBLE_EQ(back[0], 5.5);
+  EXPECT_DOUBLE_EQ(back[1], 6.0);
+}
+
+TEST(DesignSpace, GridLevels) {
+  DesignSpace s = smallSpace();
+  EXPECT_EQ(s.gridLevels(0), 19);  // 1.0 .. 10.0 step 0.5
+  EXPECT_EQ(s.gridLevels(1), 7);   // 2 .. 8 step 1
+}
+
+TEST(DesignSpace, Contains) {
+  DesignSpace s = smallSpace();
+  EXPECT_TRUE(s.contains({5.0, 4.0}));
+  EXPECT_FALSE(s.contains({0.0, 4.0}));
+  EXPECT_FALSE(s.contains({5.0}));
+}
+
+class GridSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridSweep, ActionWalkStaysOnGrid) {
+  // Property: any sequence of actions keeps every parameter on its grid.
+  DesignSpace s = smallSpace();
+  util::Rng rng(GetParam());
+  auto x = s.sample(rng);
+  for (int step = 0; step < 100; ++step) {
+    std::vector<int> a{rng.randint(-1, 1), rng.randint(-1, 1)};
+    x = s.applyActions(x, a);
+    ASSERT_TRUE(s.contains(x));
+    double k = (x[0] - 1.0) / 0.5;
+    ASSERT_NEAR(k, std::round(k), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace crl::circuit

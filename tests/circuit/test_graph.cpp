@@ -1,0 +1,125 @@
+#include "circuit/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "spice/elements.h"
+
+namespace crl::circuit {
+namespace {
+
+TEST(CircuitGraph, AdjacencyAndDegrees) {
+  std::vector<GraphNode> nodes(3);
+  nodes[0] = {"a", GraphNodeType::Nmos, nullptr};
+  nodes[1] = {"b", GraphNodeType::Pmos, nullptr};
+  nodes[2] = {"c", GraphNodeType::Supply, nullptr};
+  CircuitGraph g(std::move(nodes), {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(CircuitGraph, RejectsBadEdges) {
+  std::vector<GraphNode> nodes(2);
+  nodes[0] = {"a", GraphNodeType::Nmos, nullptr};
+  nodes[1] = {"b", GraphNodeType::Nmos, nullptr};
+  EXPECT_THROW(CircuitGraph(std::move(nodes), {{0, 5}}), std::invalid_argument);
+}
+
+TEST(CircuitGraph, NormalizedAdjacencyRowsOfIsolatedNode) {
+  std::vector<GraphNode> nodes(2);
+  nodes[0] = {"a", GraphNodeType::Nmos, nullptr};
+  nodes[1] = {"b", GraphNodeType::Nmos, nullptr};
+  CircuitGraph g(std::move(nodes), {});
+  // With no edges, A* = I (self loops normalized by degree 1).
+  EXPECT_NEAR(g.normalizedAdjacency()(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(g.normalizedAdjacency()(0, 1), 0.0, 1e-12);
+}
+
+TEST(CircuitGraph, NormalizedAdjacencySymmetricAndScaled) {
+  std::vector<GraphNode> nodes(3);
+  for (int i = 0; i < 3; ++i) nodes[i] = {"n", GraphNodeType::Nmos, nullptr};
+  CircuitGraph g(std::move(nodes), {{0, 1}, {1, 2}});
+  const auto& a = g.normalizedAdjacency();
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(a(i, j), a(j, i), 1e-12);
+  // Node 1 has degree 3 (with self loop); nodes 0,2 degree 2.
+  EXPECT_NEAR(a(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(a(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(CircuitGraph, AttentionMask) {
+  std::vector<GraphNode> nodes(3);
+  for (int i = 0; i < 3; ++i) nodes[i] = {"n", GraphNodeType::Nmos, nullptr};
+  CircuitGraph g(std::move(nodes), {{0, 1}});
+  EXPECT_DOUBLE_EQ(g.attentionMask()(0, 0), 0.0);   // self loop allowed
+  EXPECT_DOUBLE_EQ(g.attentionMask()(0, 1), 0.0);   // edge
+  EXPECT_LT(g.attentionMask()(0, 2), -1e8);          // non-edge
+}
+
+TEST(CircuitGraph, FeaturesEncodeTypeAndParams) {
+  std::vector<GraphNode> nodes(2);
+  nodes[0] = {"m", GraphNodeType::Pmos, [](double* s) { s[0] = 0.25; s[1] = 0.75; }};
+  nodes[1] = {"vp", GraphNodeType::Supply, nullptr};
+  CircuitGraph g(std::move(nodes), {{0, 1}});
+  auto x = g.features();
+  ASSERT_EQ(x.rows(), 2u);
+  ASSERT_EQ(x.cols(), static_cast<std::size_t>(kNodeFeatureDim));
+  // Pmos = 1 -> binary 0001.
+  EXPECT_DOUBLE_EQ(x(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(x(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(x(0, 4), 0.25);
+  EXPECT_DOUBLE_EQ(x(0, 5), 0.75);
+  // Supply = 6 -> binary 0110; params zero-padded.
+  EXPECT_DOUBLE_EQ(x(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(x(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(x(1, 3), 0.0);
+  EXPECT_DOUBLE_EQ(x(1, 4), 0.0);
+}
+
+TEST(GraphBuilder, DerivesEdgesFromNetlist) {
+  spice::Netlist net;
+  auto vdd = net.node("vdd");
+  auto a = net.node("a");
+  auto b = net.node("b");
+  auto* r1 = net.add<spice::Resistor>("R1", vdd, a, 1e3);
+  auto* r2 = net.add<spice::Resistor>("R2", a, b, 1e3);
+  auto* r3 = net.add<spice::Resistor>("R3", b, spice::kGround, 1e3);
+
+  GraphBuilder builder(net);
+  builder.addDevice(r1, GraphNodeType::Resistor, nullptr);
+  builder.addDevice(r2, GraphNodeType::Resistor, nullptr);
+  builder.addDevice(r3, GraphNodeType::Resistor, nullptr);
+  builder.addNetNode(vdd, GraphNodeType::Supply, "VP", nullptr);
+  builder.addNetNode(spice::kGround, GraphNodeType::Ground, "GND", nullptr);
+  CircuitGraph g = builder.build();
+
+  ASSERT_EQ(g.nodeCount(), 5u);
+  EXPECT_TRUE(g.hasEdge(0, 1));   // share net a
+  EXPECT_TRUE(g.hasEdge(1, 2));   // share net b
+  EXPECT_FALSE(g.hasEdge(0, 2));  // no shared ordinary net
+  EXPECT_TRUE(g.hasEdge(0, 3));   // R1 touches vdd
+  EXPECT_FALSE(g.hasEdge(1, 3));
+  EXPECT_TRUE(g.hasEdge(2, 4));   // R3 touches ground
+}
+
+TEST(GraphBuilder, SpecialNetsDoNotShortDevicesTogether) {
+  // Two devices sharing only the supply net must not get a direct edge.
+  spice::Netlist net;
+  auto vdd = net.node("vdd");
+  auto a = net.node("a");
+  auto b = net.node("b");
+  auto* r1 = net.add<spice::Resistor>("R1", vdd, a, 1e3);
+  auto* r2 = net.add<spice::Resistor>("R2", vdd, b, 1e3);
+  GraphBuilder builder(net);
+  builder.addDevice(r1, GraphNodeType::Resistor, nullptr);
+  builder.addDevice(r2, GraphNodeType::Resistor, nullptr);
+  builder.addNetNode(vdd, GraphNodeType::Supply, "VP", nullptr);
+  CircuitGraph g = builder.build();
+  EXPECT_FALSE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(0, 2));
+  EXPECT_TRUE(g.hasEdge(1, 2));
+}
+
+}  // namespace
+}  // namespace crl::circuit

@@ -1,0 +1,140 @@
+#include "circuit/opamp.h"
+
+#include <gtest/gtest.h>
+
+namespace crl::circuit {
+namespace {
+
+class OpAmpTest : public ::testing::Test {
+ protected:
+  TwoStageOpAmp amp_;
+};
+
+TEST_F(OpAmpTest, DesignSpaceMatchesTable1) {
+  const auto& s = amp_.designSpace();
+  ASSERT_EQ(s.size(), 15u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(s.param(2 * i).min, 1.0);
+    EXPECT_DOUBLE_EQ(s.param(2 * i).max, 100.0);
+    EXPECT_DOUBLE_EQ(s.param(2 * i + 1).min, 2.0);
+    EXPECT_DOUBLE_EQ(s.param(2 * i + 1).max, 32.0);
+    EXPECT_TRUE(s.param(2 * i + 1).integer);
+  }
+  EXPECT_DOUBLE_EQ(s.param(14).min, 0.1);
+  EXPECT_DOUBLE_EQ(s.param(14).max, 10.0);
+}
+
+TEST_F(OpAmpTest, SpecSpaceMatchesTable1) {
+  const auto& s = amp_.specSpace();
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.spec(0).name, "gain");
+  EXPECT_DOUBLE_EQ(s.spec(0).sampleMin, 300.0);
+  EXPECT_DOUBLE_EQ(s.spec(0).sampleMax, 500.0);
+  EXPECT_DOUBLE_EQ(s.spec(1).sampleMin, 1e6);
+  EXPECT_DOUBLE_EQ(s.spec(1).sampleMax, 2.5e7);
+  EXPECT_DOUBLE_EQ(s.spec(2).sampleMin, 55.0);
+  EXPECT_DOUBLE_EQ(s.spec(2).sampleMax, 60.0);
+  EXPECT_EQ(s.spec(3).direction, SpecDirection::Minimize);
+}
+
+TEST_F(OpAmpTest, MidpointMeasurementIsValid) {
+  auto m = amp_.measure(Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  ASSERT_EQ(m.specs.size(), 4u);
+  EXPECT_GT(m.specs[0], 10.0);    // healthy gain
+  EXPECT_GT(m.specs[1], 1e6);     // some bandwidth
+  EXPECT_GT(m.specs[3], 1e-5);    // nonzero power
+  EXPECT_LT(m.specs[3], 1.0);
+}
+
+TEST_F(OpAmpTest, MeasurementIsDeterministic) {
+  auto p = amp_.designSpace().midpoint();
+  auto a = amp_.measureAt(p, Fidelity::Fine);
+  auto b = amp_.measureAt(p, Fidelity::Fine);
+  ASSERT_TRUE(a.valid && b.valid);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(a.specs[i], b.specs[i], 1e-6 * std::abs(a.specs[i]) + 1e-9);
+}
+
+TEST_F(OpAmpTest, PowerScalesWithCurrentSourceWidth) {
+  // Growing M5 (tail) and M7 (sink) raises the supply current.
+  auto p = amp_.designSpace().midpoint();
+  auto base = amp_.measureAt(p, Fidelity::Fine);
+  auto bigger = p;
+  bigger[8] = 100.0;  // M5.W
+  bigger[9] = 32.0;   // M5.nf
+  bigger[12] = 100.0; // M7.W
+  bigger[13] = 32.0;  // M7.nf
+  auto big = amp_.measureAt(bigger, Fidelity::Fine);
+  ASSERT_TRUE(base.valid && big.valid);
+  EXPECT_GT(big.specs[3], base.specs[3]);
+}
+
+TEST_F(OpAmpTest, BandwidthFallsWithBiggerCompCap) {
+  // Use a small sizing where the Miller capacitor (not device parasitics)
+  // sets the dominant pole; then UGBW ~ gm1 / (2 pi Cc).
+  std::vector<double> p(15);
+  for (int i = 0; i < 7; ++i) {
+    p[2 * i] = 1.0;
+    p[2 * i + 1] = 2.0;
+  }
+  p[14] = 0.43;
+  auto fast = amp_.measureAt(p, Fidelity::Fine);
+  p[14] = 10.0;
+  auto slow = amp_.measureAt(p, Fidelity::Fine);
+  ASSERT_TRUE(fast.valid && slow.valid);
+  EXPECT_GT(fast.specs[1], 2.0 * slow.specs[1]);
+}
+
+TEST_F(OpAmpTest, MinimumSizingReachesLowPowerCorner) {
+  std::vector<double> p(15);
+  for (int i = 0; i < 7; ++i) {
+    p[2 * i] = 1.0;
+    p[2 * i + 1] = 2.0;
+  }
+  p[14] = 10.0;
+  auto m = amp_.measureAt(p, Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  EXPECT_LT(m.specs[3], 1.2e-4);  // Table 1's lowest power target reachable
+  EXPECT_GT(m.specs[2], 55.0);    // with healthy phase margin
+}
+
+TEST_F(OpAmpTest, GraphHasFullTopology) {
+  const auto& g = amp_.graph();
+  // 7 FETs + Cc + CL + Rz + VP + GND + Vbias = 13 nodes.
+  EXPECT_EQ(g.nodeCount(), 13u);
+  int supply = 0, ground = 0, bias = 0;
+  for (std::size_t i = 0; i < g.nodeCount(); ++i) {
+    auto t = g.node(i).type;
+    supply += t == GraphNodeType::Supply;
+    ground += t == GraphNodeType::Ground;
+    bias += t == GraphNodeType::Bias;
+  }
+  EXPECT_EQ(supply, 1);
+  EXPECT_EQ(ground, 1);
+  EXPECT_EQ(bias, 1);
+}
+
+TEST_F(OpAmpTest, GraphFeaturesTrackParams) {
+  auto p = amp_.designSpace().midpoint();
+  p[0] = 1.0;  // M1.W at minimum
+  amp_.setParams(p);
+  auto x = amp_.graph().features();
+  EXPECT_NEAR(x(0, kTypeBits + 0), 0.0, 1e-9);
+  p[0] = 100.0;
+  amp_.setParams(p);
+  x = amp_.graph().features();
+  EXPECT_NEAR(x(0, kTypeBits + 0), 1.0, 1e-9);
+}
+
+TEST_F(OpAmpTest, InvalidParamCountThrows) {
+  EXPECT_THROW(amp_.setParams({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST_F(OpAmpTest, SimCountIncrements) {
+  long before = amp_.simCount(Fidelity::Fine);
+  amp_.measure(Fidelity::Fine);
+  EXPECT_EQ(amp_.simCount(Fidelity::Fine), before + 1);
+}
+
+}  // namespace
+}  // namespace crl::circuit

@@ -1,0 +1,118 @@
+#include "circuit/ota.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/analysis.h"
+#include "envs/sizing_env.h"
+#include "spice/parser.h"
+
+namespace crl::circuit {
+namespace {
+
+class OtaTest : public ::testing::Test {
+ protected:
+  FiveTransistorOta ota_;
+};
+
+TEST_F(OtaTest, ShapesMatchDeclaration) {
+  EXPECT_EQ(ota_.designSpace().size(), 10u);
+  EXPECT_EQ(ota_.specSpace().size(), 4u);
+  EXPECT_EQ(FiveTransistorOta::kNumParams, 10u);
+}
+
+TEST_F(OtaTest, MidpointSimulates) {
+  auto m = ota_.measureAt(ota_.designSpace().midpoint(), Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  EXPECT_GT(m.specs[0], 1.0);    // gain
+  EXPECT_GT(m.specs[1], 1e5);    // ugbw
+  EXPECT_GT(m.specs[3], 1e-9);   // power
+}
+
+TEST_F(OtaTest, SingleStageHasHealthyPhaseMargin) {
+  // No Miller pole splitting needed: a plain capacitive load gives a
+  // dominant single pole and PM well above 60 degrees.
+  auto m = ota_.measureAt(ota_.designSpace().midpoint(), Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  EXPECT_GT(m.specs[2], 60.0);
+}
+
+TEST_F(OtaTest, GainIsMirrorLimited) {
+  // Single-stage gain gm1/(gds2+gds4) stays within an order of magnitude of
+  // the sampling box — far below the two-stage amplifier's thousands.
+  auto m = ota_.measureAt(ota_.designSpace().midpoint(), Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  EXPECT_GT(m.specs[0], 5.0);
+  EXPECT_LT(m.specs[0], 300.0);
+}
+
+TEST_F(OtaTest, SamplingBoxIsReachable) {
+  // The easiest corner of the sampling box must be reachable from at least
+  // one sizing: a moderate design (the midpoint burns too much power).
+  auto p = ota_.designSpace().midpoint();
+  for (std::size_t i = 0; i < 5; ++i) {
+    p[2 * i] = 10.0;
+    p[2 * i + 1] = 4.0;
+  }
+  auto m = ota_.measureAt(ota_.designSpace().clamp(p), Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  const std::vector<double> easy{30.0, 2e8, 60.0, 1e-2};
+  EXPECT_TRUE(ota_.specSpace().satisfied(m.specs, easy));
+}
+
+TEST_F(OtaTest, WiderTailBurnsMorePowerAndLiftsUgbw) {
+  auto sens = specSensitivity(ota_, ota_.designSpace().midpoint());
+  ASSERT_TRUE(sens.valid);
+  // M5 (tail) W index is 2*4 = 8.
+  EXPECT_GT(sens.jacobian(3, 8), 0.0);  // power up
+  EXPECT_GT(sens.jacobian(1, 8), 0.0);  // ugbw up (more gm per load cap)
+}
+
+TEST_F(OtaTest, FullTopologyGraphNodeCount) {
+  // 5 FETs + CL + VP + GND + Vbias = 9 nodes.
+  EXPECT_EQ(ota_.graph().nodeCount(), 9u);
+}
+
+TEST_F(OtaTest, PartialTopologyDropsThreeNodes) {
+  OtaConfig cfg;
+  cfg.fullTopologyGraph = false;
+  FiveTransistorOta partial(cfg);
+  EXPECT_EQ(partial.graph().nodeCount(), ota_.graph().nodeCount() - 3);
+}
+
+TEST_F(OtaTest, BadParameterCountThrows) {
+  EXPECT_THROW(ota_.setParams(std::vector<double>(9, 1.0)), std::invalid_argument);
+}
+
+TEST_F(OtaTest, EnvIntegrationRunsAnEpisode) {
+  envs::SizingEnv env(ota_, {.maxSteps = 15});
+  util::Rng rng(3);
+  auto obs = env.reset(rng);
+  EXPECT_EQ(obs.nodeFeatures.rows(), ota_.graph().nodeCount());
+  EXPECT_EQ(obs.paramsNorm.size(), 10u);
+  int steps = 0;
+  for (; steps < 15; ++steps) {
+    auto res = env.step(std::vector<int>(10, 1));  // push everything up
+    if (res.done) break;
+  }
+  SUCCEED();  // the episode must terminate without throwing
+}
+
+TEST_F(OtaTest, NetlistRoundTripsThroughTheParser) {
+  auto text = spice::writeDeck(ota_.netlist(), "ota");
+  auto deck = spice::parseDeck(text);
+  EXPECT_EQ(deck.netlist->devices().size(), ota_.netlist().devices().size());
+}
+
+TEST_F(OtaTest, FailedSpecsAreWorstCase) {
+  auto worst = FiveTransistorOta::failedSpecs();
+  auto m = ota_.measureAt(ota_.designSpace().midpoint(), Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  // Any real measurement beats the failure sentinel on every axis.
+  EXPECT_GT(m.specs[0], worst[0]);
+  EXPECT_GT(m.specs[1], worst[1]);
+  EXPECT_GT(m.specs[2], worst[2]);
+  EXPECT_LT(m.specs[3], worst[3]);
+}
+
+}  // namespace
+}  // namespace crl::circuit

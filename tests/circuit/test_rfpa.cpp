@@ -1,0 +1,125 @@
+#include "circuit/rfpa.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace crl::circuit {
+namespace {
+
+class RfPaTest : public ::testing::Test {
+ protected:
+  GanRfPa pa_;
+};
+
+TEST_F(RfPaTest, DesignSpaceMatchesTable1) {
+  const auto& s = pa_.designSpace();
+  ASSERT_EQ(s.size(), 14u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_DOUBLE_EQ(s.param(2 * i).min, 16.0);
+    EXPECT_DOUBLE_EQ(s.param(2 * i).max, 100.0);
+    EXPECT_DOUBLE_EQ(s.param(2 * i + 1).min, 1.0);
+    EXPECT_DOUBLE_EQ(s.param(2 * i + 1).max, 16.0);
+    EXPECT_TRUE(s.param(2 * i + 1).integer);
+  }
+}
+
+TEST_F(RfPaTest, SpecSpaceMatchesTable1) {
+  const auto& s = pa_.specSpace();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.spec(0).sampleMin, 0.50);
+  EXPECT_DOUBLE_EQ(s.spec(0).sampleMax, 0.60);
+  EXPECT_DOUBLE_EQ(s.spec(1).sampleMin, 2.0);
+  EXPECT_DOUBLE_EQ(s.spec(1).sampleMax, 3.0);
+}
+
+TEST_F(RfPaTest, FineMeasurementAtMidpoint) {
+  auto m = pa_.measure(Fidelity::Fine);
+  ASSERT_TRUE(m.valid);
+  EXPECT_GT(m.specs[0], 0.01);  // some efficiency
+  EXPECT_LT(m.specs[0], 0.99);
+  EXPECT_GT(m.specs[1], 0.1);   // some output power
+}
+
+TEST_F(RfPaTest, CoarseTracksFineWithinTolerance) {
+  // The paper's transfer-learning contract: coarse rewards within ~+-10%
+  // of fine. Verify on a handful of random sizings (allowing outliers).
+  util::Rng rng(21);
+  int checked = 0, close = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto p = pa_.designSpace().sample(rng);
+    auto fine = pa_.measureAt(p, Fidelity::Fine);
+    auto coarse = pa_.measureAt(p, Fidelity::Coarse);
+    if (!fine.valid || !coarse.valid || fine.specs[1] < 0.3) continue;
+    ++checked;
+    double ratio = coarse.specs[0] / fine.specs[0];
+    if (ratio > 0.75 && ratio < 1.3) ++close;
+  }
+  ASSERT_GE(checked, 5);
+  EXPECT_GE(static_cast<double>(close) / checked, 0.7);
+}
+
+TEST_F(RfPaTest, CoarseIsMuchCheaperThanFine) {
+  // Wall-clock contract behind the paper's transfer-learning speedup.
+  auto p = pa_.designSpace().midpoint();
+  pa_.setParams(p);
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) pa_.measure(Fidelity::Coarse);
+  auto t1 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) pa_.measure(Fidelity::Fine);
+  auto t2 = std::chrono::steady_clock::now();
+  auto coarseUs = std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+  auto fineUs = std::chrono::duration_cast<std::chrono::microseconds>(t2 - t1).count();
+  EXPECT_LT(coarseUs * 5, fineUs);  // at least 5x cheaper
+}
+
+TEST_F(RfPaTest, BiggerPowerDeviceRaisesOutputPower) {
+  auto p = pa_.designSpace().midpoint();
+  p[12] = 30.0;  // M1.W
+  p[13] = 4.0;   // M1.nf
+  auto small = pa_.measureAt(p, Fidelity::Fine);
+  p[12] = 100.0;
+  p[13] = 16.0;
+  auto big = pa_.measureAt(p, Fidelity::Fine);
+  ASSERT_TRUE(small.valid && big.valid);
+  EXPECT_GT(big.specs[1], small.specs[1]);
+}
+
+TEST_F(RfPaTest, SimCountersSeparateFidelities) {
+  long f = pa_.simCount(Fidelity::Fine);
+  long c = pa_.simCount(Fidelity::Coarse);
+  pa_.measure(Fidelity::Coarse);
+  EXPECT_EQ(pa_.simCount(Fidelity::Fine), f);
+  EXPECT_EQ(pa_.simCount(Fidelity::Coarse), c + 1);
+}
+
+TEST_F(RfPaTest, GraphHasFullTopologyWithTwoBiasNodes) {
+  const auto& g = pa_.graph();
+  // 7 FETs + VP + VP1 + GND + Vbias1 + Vbias2 = 12 nodes.
+  EXPECT_EQ(g.nodeCount(), 12u);
+  int bias = 0, supply = 0;
+  for (std::size_t i = 0; i < g.nodeCount(); ++i) {
+    bias += g.node(i).type == GraphNodeType::Bias;
+    supply += g.node(i).type == GraphNodeType::Supply;
+  }
+  EXPECT_EQ(bias, 2);
+  EXPECT_EQ(supply, 2);
+}
+
+TEST_F(RfPaTest, ParallelStageDevicesShareEdges) {
+  // D3/D4 share drain+gate+source nets: must be adjacent in the graph.
+  const auto& g = pa_.graph();
+  EXPECT_TRUE(g.hasEdge(2, 3));   // D3 - D4
+  EXPECT_TRUE(g.hasEdge(4, 5));   // D5 - DF
+  EXPECT_FALSE(g.hasEdge(5, 6));  // DF - M1 only meet through the coupling cap
+}
+
+TEST_F(RfPaTest, InvalidParamCountThrows) {
+  EXPECT_THROW(pa_.setParams({1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace crl::circuit

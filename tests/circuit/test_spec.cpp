@@ -1,0 +1,128 @@
+#include "circuit/spec.h"
+
+#include <gtest/gtest.h>
+
+namespace crl::circuit {
+namespace {
+
+SpecSpace opampLike() {
+  return SpecSpace({
+      {"gain", 300.0, 500.0, SpecDirection::Maximize, false},
+      {"bw", 1e6, 2.5e7, SpecDirection::Maximize, true},
+      {"power", 1e-4, 1e-2, SpecDirection::Minimize, true},
+  });
+}
+
+TEST(SpecSpace, RejectsBadRanges) {
+  EXPECT_THROW(SpecSpace({{"x", 2.0, 1.0, SpecDirection::Maximize, false}}),
+               std::invalid_argument);
+  EXPECT_THROW(SpecSpace({{"x", -1.0, 1.0, SpecDirection::Maximize, true}}),
+               std::invalid_argument);
+}
+
+TEST(SpecSpace, SampleInRange) {
+  SpecSpace s = opampLike();
+  util::Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    auto g = s.sample(rng);
+    EXPECT_GE(g[0], 300.0);
+    EXPECT_LE(g[0], 500.0);
+    EXPECT_GE(g[1], 1e6);
+    EXPECT_LE(g[1], 2.5e7);
+    EXPECT_GE(g[2], 1e-4);
+    EXPECT_LE(g[2], 1e-2);
+  }
+}
+
+TEST(SpecSpace, LogSamplingCoversDecades) {
+  // A log-scaled spec should place a fair share of samples in the bottom
+  // decade (uniform sampling would put ~4% there; log-uniform ~50%).
+  SpecSpace s = opampLike();
+  util::Rng rng(7);
+  int lowDecade = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    auto g = s.sample(rng);
+    if (g[2] < 1e-3) ++lowDecade;
+  }
+  EXPECT_GT(lowDecade, n / 3);
+}
+
+TEST(SpecSpace, SampleUnseenIsOutsideBox) {
+  SpecSpace s = opampLike();
+  util::Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    auto g = s.sampleUnseen(rng);
+    for (std::size_t k = 0; k < s.size(); ++k) {
+      const auto& d = s.spec(k);
+      EXPECT_TRUE(g[k] < d.sampleMin || g[k] > d.sampleMax)
+          << "spec " << k << " inside sampling box";
+      EXPECT_GT(g[k], 0.0);
+    }
+  }
+}
+
+TEST(SpecSpace, RewardZeroWhenAllSatisfied) {
+  SpecSpace s = opampLike();
+  // gain above, bw above, power below target: all satisfied.
+  EXPECT_DOUBLE_EQ(s.reward({400.0, 2e7, 1e-3}, {350.0, 1e7, 5e-3}), 0.0);
+  EXPECT_TRUE(s.satisfied({400.0, 2e7, 1e-3}, {350.0, 1e7, 5e-3}));
+}
+
+TEST(SpecSpace, RewardNegativeWhenShort) {
+  SpecSpace s = opampLike();
+  double r = s.reward({300.0, 2e7, 1e-3}, {350.0, 1e7, 5e-3});
+  EXPECT_LT(r, 0.0);
+  // Only the gain term contributes: (300-350)/(300+350).
+  EXPECT_NEAR(r, (300.0 - 350.0) / (300.0 + 350.0), 1e-12);
+}
+
+TEST(SpecSpace, MinimizeDirectionFlips) {
+  SpecSpace s = opampLike();
+  // Power above target hurts.
+  double r = s.reward({400.0, 2e7, 8e-3}, {350.0, 1e7, 5e-3});
+  EXPECT_NEAR(r, -(8e-3 - 5e-3) / (8e-3 + 5e-3), 1e-12);
+  EXPECT_FALSE(s.satisfied({400.0, 2e7, 8e-3}, {350.0, 1e7, 5e-3}));
+}
+
+TEST(SpecSpace, RewardIsBoundedPerSpec) {
+  SpecSpace s = opampLike();
+  // Each normalized-difference term lies in [-1, 0].
+  double r = s.reward({1e-6, 1.0, 1.0}, {500.0, 2.5e7, 1e-4});
+  EXPECT_LE(r, 0.0);
+  EXPECT_GE(r, -3.0);
+}
+
+TEST(SpecSpace, RewardNoOverOptimizationCredit) {
+  // Exceeding targets hugely gives no more than zero (Eq. 1's upper bound).
+  SpecSpace s = opampLike();
+  EXPECT_DOUBLE_EQ(s.reward({1e6, 1e9, 1e-9}, {350.0, 1e7, 5e-3}), 0.0);
+}
+
+TEST(SpecSpace, NormalizeCentersSamplingBox) {
+  SpecSpace s = opampLike();
+  auto lo = s.normalize({300.0, 1e6, 1e-4});
+  auto hi = s.normalize({500.0, 2.5e7, 1e-2});
+  for (double v : lo) EXPECT_NEAR(v, -1.0, 1e-9);
+  for (double v : hi) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(SpecSpace, NormalizeClipsExtremes) {
+  SpecSpace s = opampLike();
+  auto v = s.normalize({1e9, 1e12, 1e3});
+  for (double x : v) {
+    EXPECT_LE(x, 3.0);
+    EXPECT_GE(x, -3.0);
+  }
+}
+
+TEST(SpecSpace, ContributionMatchesRewardSum) {
+  SpecSpace s = opampLike();
+  std::vector<double> a{320.0, 5e6, 3e-3}, t{400.0, 1e7, 1e-3};
+  double sum = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) sum += s.contribution(i, a[i], t[i]);
+  EXPECT_NEAR(sum, s.reward(a, t), 1e-12);
+}
+
+}  // namespace
+}  // namespace crl::circuit

@@ -1,0 +1,113 @@
+// Deployment-loop tests: greedy determinism, trajectory recording, accuracy
+// accounting, and cross-policy parameter save/load.
+#include "core/deploy.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "circuit/opamp.h"
+#include "core/policies.h"
+#include "envs/sizing_env.h"
+#include "nn/serialize.h"
+
+namespace crl::core {
+namespace {
+
+class DeployTest : public ::testing::Test {
+ protected:
+  DeployTest() : env_(amp_, {.maxSteps = 12}) {}
+
+  circuit::TwoStageOpAmp amp_;
+  envs::SizingEnv env_;
+  const std::vector<double> target_{350.0, 1.8e7, 55.0, 4e-3};
+};
+
+TEST_F(DeployTest, GreedyDeploymentIsDeterministic) {
+  util::Rng initRng(1);
+  auto policy = makePolicy(PolicyKind::GcnFc, env_, initRng);
+  util::Rng a(9), b(9);
+  auto r1 = runDeployment(env_, *policy, target_, a);
+  auto r2 = runDeployment(env_, *policy, target_, b);
+  EXPECT_EQ(r1.success, r2.success);
+  EXPECT_EQ(r1.steps, r2.steps);
+  EXPECT_EQ(r1.finalParams, r2.finalParams);
+}
+
+TEST_F(DeployTest, TrajectoryStartsAtInitialStateAndTracksSteps) {
+  util::Rng initRng(2);
+  auto policy = makePolicy(PolicyKind::BaselineA, env_, initRng);
+  util::Rng rng(5);
+  auto r = runDeployment(env_, *policy, target_, rng, {.recordTrajectory = true});
+  ASSERT_FALSE(r.specTrajectory.empty());
+  // Trajectory holds the initial specs plus one entry per step taken.
+  EXPECT_EQ(r.specTrajectory.size(), static_cast<std::size_t>(r.steps) + 1);
+  for (const auto& specs : r.specTrajectory) EXPECT_EQ(specs.size(), 4u);
+}
+
+TEST_F(DeployTest, StepsNeverExceedEnvBudget) {
+  util::Rng initRng(3);
+  auto policy = makePolicy(PolicyKind::GatFc, env_, initRng);
+  util::Rng rng(6);
+  auto r = runDeployment(env_, *policy, target_, rng);
+  EXPECT_LE(r.steps, env_.maxSteps());
+  EXPECT_EQ(r.finalParams.size(), 15u);
+  EXPECT_EQ(r.finalSpecs.size(), 4u);
+}
+
+TEST_F(DeployTest, EvaluateAccuracyCountsAndBounds) {
+  util::Rng initRng(4);
+  auto policy = makePolicy(PolicyKind::GcnFc, env_, initRng);
+  util::Rng rng(7);
+  auto rep = evaluateAccuracy(env_, *policy, /*episodes=*/6, rng);
+  EXPECT_EQ(rep.episodes, 6);
+  EXPECT_GE(rep.accuracy, 0.0);
+  EXPECT_LE(rep.accuracy, 1.0);
+  EXPECT_GE(rep.meanSteps, 1.0);
+  EXPECT_LE(rep.meanSteps, static_cast<double>(env_.maxSteps()));
+}
+
+/// Every policy kind must round-trip its parameters bit-exactly through the
+/// artifact format used by the figure harnesses.
+class PolicySerialization : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicySerialization, SaveLoadPreservesForwardPass) {
+  circuit::TwoStageOpAmp amp;
+  envs::SizingEnv env(amp, {.maxSteps = 5});
+  util::Rng rngA(10), rngB(77);
+  auto a = makePolicy(GetParam(), env, rngA);
+  auto b = makePolicy(GetParam(), env, rngB);  // different init
+
+  util::Rng obsRng(3);
+  auto obs = env.reset(obsRng);
+  const auto ya = a->forward(obs).logits.value();
+  const auto yb0 = b->forward(obs).logits.value();
+
+  // Different initializations should differ somewhere (sanity).
+  bool anyDiff = false;
+  for (std::size_t i = 0; i < ya.rows() && !anyDiff; ++i)
+    for (std::size_t j = 0; j < ya.cols() && !anyDiff; ++j)
+      anyDiff = std::fabs(ya(i, j) - yb0(i, j)) > 1e-12;
+  EXPECT_TRUE(anyDiff);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "crl_policy_rt.bin").string();
+  auto pa = a->parameters();
+  nn::saveParameters(path, pa);
+  auto pb = b->parameters();
+  ASSERT_TRUE(nn::loadParameters(path, pb));
+
+  const auto yb = b->forward(obs).logits.value();
+  for (std::size_t i = 0; i < ya.rows(); ++i)
+    for (std::size_t j = 0; j < ya.cols(); ++j) EXPECT_DOUBLE_EQ(ya(i, j), yb(i, j));
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PolicySerialization,
+                         ::testing::Values(PolicyKind::GatFc, PolicyKind::GcnFc,
+                                           PolicyKind::BaselineA, PolicyKind::BaselineB,
+                                           PolicyKind::BaselineBGat));
+
+}  // namespace
+}  // namespace crl::core

@@ -1,0 +1,130 @@
+#include "core/policies.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/opamp.h"
+#include "core/deploy.h"
+#include "envs/sizing_env.h"
+
+namespace crl::core {
+namespace {
+
+class PoliciesTest : public ::testing::Test {
+ protected:
+  circuit::TwoStageOpAmp amp_;
+  envs::SizingEnv env_{amp_, {.maxSteps = 10}};
+  util::Rng rng_{3};
+};
+
+class PolicyKindSweep : public PoliciesTest,
+                        public ::testing::WithParamInterface<PolicyKind> {};
+
+TEST_P(PolicyKindSweep, ForwardShapesAndBackward) {
+  auto policy = makePolicy(GetParam(), env_, rng_);
+  auto obs = env_.reset(rng_);
+  auto out = policy->forward(obs);
+  EXPECT_EQ(out.logits.rows(), 15u);   // M x 3 action matrix
+  EXPECT_EQ(out.logits.cols(), 3u);
+  EXPECT_EQ(out.value.rows(), 1u);
+  EXPECT_EQ(out.value.cols(), 1u);
+  // Gradients flow end to end.
+  nn::Tensor loss = nn::add(nn::sum(out.logits), out.value);
+  nn::backward(loss);
+  bool anyGrad = false;
+  for (const auto& p : policy->parameters()) {
+    for (double g : p.grad().raw())
+      if (g != 0.0) anyGrad = true;
+  }
+  EXPECT_TRUE(anyGrad);
+}
+
+TEST_P(PolicyKindSweep, DeterministicForward) {
+  auto policy = makePolicy(GetParam(), env_, rng_);
+  auto obs = env_.reset(rng_);
+  auto a = policy->forward(obs).logits.value();
+  auto b = policy->forward(obs).logits.value();
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    EXPECT_DOUBLE_EQ(a.raw()[i], b.raw()[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PolicyKindSweep,
+                         ::testing::Values(PolicyKind::GatFc, PolicyKind::GcnFc,
+                                           PolicyKind::BaselineA, PolicyKind::BaselineB,
+                                           PolicyKind::BaselineBGat));
+
+TEST_F(PoliciesTest, KindNames) {
+  EXPECT_STREQ(policyKindName(PolicyKind::GatFc), "GAT-FC");
+  EXPECT_STREQ(policyKindName(PolicyKind::BaselineA), "Baseline-A");
+}
+
+TEST_F(PoliciesTest, OursRespondsToTargetChangesButBaselineBDoesNot) {
+  // The defining ablation: Baseline B has no specification pathway, so its
+  // action distribution cannot depend on the desired specs.
+  auto ours = makePolicy(PolicyKind::GcnFc, env_, rng_);
+  auto baselineB = makePolicy(PolicyKind::BaselineB, env_, rng_);
+
+  auto obs = env_.reset(rng_);
+  auto obs2 = obs;
+  for (auto& v : obs2.specTarget) v += 0.5;  // different design goals
+
+  auto oursA = ours->forward(obs).logits.value();
+  auto oursB = ours->forward(obs2).logits.value();
+  double oursDiff = 0.0;
+  for (std::size_t i = 0; i < oursA.raw().size(); ++i)
+    oursDiff += std::fabs(oursA.raw()[i] - oursB.raw()[i]);
+  EXPECT_GT(oursDiff, 1e-6);
+
+  auto bA = baselineB->forward(obs).logits.value();
+  auto bB = baselineB->forward(obs2).logits.value();
+  double bDiff = 0.0;
+  for (std::size_t i = 0; i < bA.raw().size(); ++i)
+    bDiff += std::fabs(bA.raw()[i] - bB.raw()[i]);
+  EXPECT_NEAR(bDiff, 0.0, 1e-12);
+}
+
+TEST_F(PoliciesTest, BaselineAIgnoresGraphFeatures) {
+  auto policy = makePolicy(PolicyKind::BaselineA, env_, rng_);
+  auto obs = env_.reset(rng_);
+  auto obs2 = obs;
+  obs2.nodeFeatures(0, 4) += 0.3;  // perturb the graph only
+  auto a = policy->forward(obs).logits.value();
+  auto b = policy->forward(obs2).logits.value();
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    EXPECT_DOUBLE_EQ(a.raw()[i], b.raw()[i]);
+}
+
+TEST_F(PoliciesTest, ParameterCountsAreComparableAcrossMethods) {
+  // The paper: "equal amount of network parameters" for fair comparison.
+  auto gat = makePolicy(PolicyKind::GatFc, env_, rng_);
+  auto gcn = makePolicy(PolicyKind::GcnFc, env_, rng_);
+  auto a = makePolicy(PolicyKind::BaselineA, env_, rng_);
+  std::size_t nGat = nn::parameterCount(gat->parameters());
+  std::size_t nGcn = nn::parameterCount(gcn->parameters());
+  std::size_t nA = nn::parameterCount(a->parameters());
+  EXPECT_LT(std::fabs(double(nGat) - double(nGcn)) / double(nGcn), 0.6);
+  EXPECT_LT(std::fabs(double(nA) - double(nGcn)) / double(nGcn), 0.6);
+}
+
+TEST_F(PoliciesTest, DeploymentRunsAndRecordsTrajectory) {
+  auto policy = makePolicy(PolicyKind::GcnFc, env_, rng_);
+  auto target = amp_.specSpace().sample(rng_);
+  auto r = runDeployment(env_, *policy, target, rng_, {.recordTrajectory = true});
+  EXPECT_GT(r.steps, 0);
+  EXPECT_LE(r.steps, env_.maxSteps());
+  EXPECT_EQ(r.specTrajectory.size(), static_cast<std::size_t>(r.steps) + 1);
+  EXPECT_EQ(r.finalParams.size(), 15u);
+  EXPECT_EQ(r.finalSpecs.size(), 4u);
+}
+
+TEST_F(PoliciesTest, EvaluateAccuracyBounds) {
+  auto policy = makePolicy(PolicyKind::GcnFc, env_, rng_);
+  util::Rng evalRng(9);
+  auto rep = evaluateAccuracy(env_, *policy, 5, evalRng);
+  EXPECT_GE(rep.accuracy, 0.0);
+  EXPECT_LE(rep.accuracy, 1.0);
+  EXPECT_EQ(rep.episodes, 5);
+  EXPECT_GT(rep.meanSteps, 0.0);
+}
+
+}  // namespace
+}  // namespace crl::core

@@ -1,0 +1,71 @@
+#include "envs/fom_env.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/rfpa.h"
+
+namespace crl::envs {
+namespace {
+
+TEST(FomOf, MatchesDefinition) {
+  // Normalized form with explicit references.
+  EXPECT_DOUBLE_EQ(fomOf({0.5, 2.0}, 2.0, 0.5), 0.0);  // at the references
+  EXPECT_GT(fomOf({0.6, 3.0}, 2.0, 0.5), 0.0);
+  EXPECT_LT(fomOf({0.4, 1.0}, 2.0, 0.5), 0.0);
+  EXPECT_THROW(fomOf({0.5}), std::invalid_argument);
+}
+
+class FomEnvTest : public ::testing::Test {
+ protected:
+  circuit::GanRfPa pa_;
+  FomEnv env_{pa_, {.maxSteps = 10, .fidelity = circuit::Fidelity::Coarse}};
+  util::Rng rng_{5};
+};
+
+TEST_F(FomEnvTest, EpisodeRunsFixedLength) {
+  env_.reset(rng_);
+  int steps = 0;
+  rl::StepResult res;
+  do {
+    res = env_.step(std::vector<int>(14, 0));
+    ++steps;
+  } while (!res.done);
+  EXPECT_EQ(steps, 10);
+  EXPECT_FALSE(res.success);  // FoM episodes have no success flag
+}
+
+TEST_F(FomEnvTest, RewardCenteredAtReferences) {
+  // If the measured specs equal the references, the reward is exactly 0.
+  FomEnvConfig cfg;
+  const double p = 2.2, e = 0.43;
+  double r = (p - cfg.pRef) / (p + cfg.pRef) + 3.0 * (e - cfg.eRef) / (e + cfg.eRef);
+  EXPECT_LT(r, 0.0);  // below both references -> negative
+  double r0 = (cfg.pRef - cfg.pRef) / (2 * cfg.pRef) +
+              3.0 * (cfg.eRef - cfg.eRef) / (2 * cfg.eRef);
+  EXPECT_DOUBLE_EQ(r0, 0.0);
+}
+
+TEST_F(FomEnvTest, TracksBestFom) {
+  env_.reset(rng_);
+  double best = -1e18;
+  for (int t = 0; t < 10; ++t) {
+    auto res = env_.step(std::vector<int>(14, t % 2 == 0 ? 1 : 0));
+    best = std::max(best, fomOf(env_.rawSpecs()));
+    if (res.done) break;
+  }
+  EXPECT_NEAR(env_.bestFom(), best, 1e-9);
+  EXPECT_EQ(env_.bestParams().size(), 14u);
+}
+
+TEST_F(FomEnvTest, ResetClearsBest) {
+  env_.reset(rng_);
+  env_.step(std::vector<int>(14, 1));
+  double bestBefore = env_.bestFom();
+  EXPECT_GT(bestBefore, -1e18);
+  env_.reset(rng_);
+  // Best is re-seeded from the fresh initial measurement only.
+  EXPECT_GT(env_.bestFom(), -1e18);
+}
+
+}  // namespace
+}  // namespace crl::envs

@@ -1,0 +1,115 @@
+// Tests of the reward-shaping variants: the paper's Eq. (1) (per-spec
+// clipping + success bonus) versus the raw signed ablation, plus the
+// partial-topology graph switch used by bench/ablation_topology.
+#include <gtest/gtest.h>
+
+#include "circuit/opamp.h"
+#include "envs/sizing_env.h"
+
+namespace crl::envs {
+namespace {
+
+class RewardShapeTest : public ::testing::Test {
+ protected:
+  circuit::TwoStageOpAmp amp_;
+};
+
+TEST_F(RewardShapeTest, Eq1RewardIsClippedAtZero) {
+  SizingEnv env(amp_, {.maxSteps = 5});
+  util::Rng rng(1);
+  env.reset(rng);
+  std::vector<int> hold(15, 0);
+  auto res = env.step(hold);
+  if (!res.success) {
+    EXPECT_LE(res.reward, 0.0);
+  } else {
+    EXPECT_DOUBLE_EQ(res.reward, 10.0);
+  }
+}
+
+TEST_F(RewardShapeTest, RawRewardCanBePositive) {
+  // Deploy against a trivially easy target: every spec overshoots, so the
+  // raw signed reward is positive while Eq. (1) would pay exactly the bonus.
+  SizingEnvConfig cfg{.maxSteps = 5};
+  cfg.rewardShape = RewardShape::Raw;
+  SizingEnv env(amp_, cfg);
+  util::Rng rng(2);
+  // An easy target: minimal gain/ugbw/pm, generous power budget.
+  env.resetWithTarget({5.0, 1e5, 5.0, 0.5}, rng);
+  std::vector<int> hold(15, 0);
+  auto res = env.step(hold);
+  ASSERT_TRUE(res.success);  // such a target is met by any valid sizing
+  EXPECT_GT(res.reward, 0.0);
+  EXPECT_NE(res.reward, 10.0);
+}
+
+TEST_F(RewardShapeTest, BothShapesAgreeOnSuccessDetection) {
+  for (auto shape : {RewardShape::Eq1, RewardShape::Raw}) {
+    SizingEnvConfig cfg{.maxSteps = 3};
+    cfg.rewardShape = shape;
+    cfg.randomInitialParams = false;
+    SizingEnv env(amp_, cfg);
+    util::Rng rng(3);
+    env.resetWithTarget({5.0, 1e5, 5.0, 0.5}, rng);
+    auto res = env.step(std::vector<int>(15, 0));
+    EXPECT_TRUE(res.success) << "shape " << static_cast<int>(shape);
+    EXPECT_TRUE(res.done);
+  }
+}
+
+TEST_F(RewardShapeTest, RawRewardMatchesSignedSum) {
+  SizingEnvConfig cfg{.maxSteps = 5};
+  cfg.rewardShape = RewardShape::Raw;
+  cfg.randomInitialParams = false;
+  SizingEnv env(amp_, cfg);
+  util::Rng rng(4);
+  env.resetWithTarget({480.0, 2.4e7, 60.0, 2e-4}, rng);  // hard target
+  auto res = env.step(std::vector<int>(15, 0));
+  const double expected = amp_.specSpace().signedReward(env.rawSpecs(), env.rawTarget());
+  EXPECT_DOUBLE_EQ(res.reward, expected);
+}
+
+// --------------------------------------------------------------- topology
+
+TEST(PartialTopologyTest, DropsSupplyGroundBiasNodes) {
+  circuit::OpAmpConfig full;
+  circuit::OpAmpConfig partial;
+  partial.fullTopologyGraph = false;
+  circuit::TwoStageOpAmp ampFull(full);
+  circuit::TwoStageOpAmp ampPartial(partial);
+  EXPECT_EQ(ampFull.graph().nodeCount(), ampPartial.graph().nodeCount() + 3);
+  for (std::size_t i = 0; i < ampPartial.graph().nodeCount(); ++i) {
+    auto t = ampPartial.graph().node(i).type;
+    EXPECT_NE(t, circuit::GraphNodeType::Supply);
+    EXPECT_NE(t, circuit::GraphNodeType::Ground);
+    EXPECT_NE(t, circuit::GraphNodeType::Bias);
+  }
+}
+
+TEST(PartialTopologyTest, MeasurementIsUnaffectedByGraphChoice) {
+  // The graph is a *state representation*; the circuit physics must not
+  // change when the ablation drops net nodes.
+  circuit::OpAmpConfig partialCfg;
+  partialCfg.fullTopologyGraph = false;
+  circuit::TwoStageOpAmp full;
+  circuit::TwoStageOpAmp partial(partialCfg);
+  auto p = full.designSpace().midpoint();
+  auto mf = full.measureAt(p, circuit::Fidelity::Fine);
+  auto mp = partial.measureAt(p, circuit::Fidelity::Fine);
+  ASSERT_TRUE(mf.valid && mp.valid);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(mf.specs[i], mp.specs[i]);
+}
+
+TEST(PartialTopologyTest, EnvExposesTheSmallerGraph) {
+  circuit::OpAmpConfig cfg;
+  cfg.fullTopologyGraph = false;
+  circuit::TwoStageOpAmp amp(cfg);
+  SizingEnv env(amp, {.maxSteps = 10});
+  EXPECT_EQ(env.graphNodeCount(), amp.graph().nodeCount());
+  util::Rng rng(5);
+  auto obs = env.reset(rng);
+  EXPECT_EQ(obs.nodeFeatures.rows(), amp.graph().nodeCount());
+}
+
+}  // namespace
+}  // namespace crl::envs

@@ -1,0 +1,121 @@
+#include "envs/sizing_env.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+
+namespace crl::envs {
+namespace {
+
+class SizingEnvTest : public ::testing::Test {
+ protected:
+  circuit::TwoStageOpAmp amp_;
+  SizingEnv env_{amp_, {.maxSteps = 50}};
+  util::Rng rng_{3};
+};
+
+TEST_F(SizingEnvTest, ShapesMatchBenchmark) {
+  EXPECT_EQ(env_.numParams(), 15u);
+  EXPECT_EQ(env_.numSpecs(), 4u);
+  EXPECT_EQ(env_.maxSteps(), 50);
+  EXPECT_EQ(env_.graphNodeCount(), amp_.graph().nodeCount());
+  EXPECT_EQ(env_.graphFeatureDim(), 6u);
+}
+
+TEST_F(SizingEnvTest, ResetProducesConsistentObservation) {
+  auto obs = env_.reset(rng_);
+  EXPECT_EQ(obs.nodeFeatures.rows(), env_.graphNodeCount());
+  EXPECT_EQ(obs.nodeFeatures.cols(), env_.graphFeatureDim());
+  EXPECT_EQ(obs.specNow.size(), 4u);
+  EXPECT_EQ(obs.specTarget.size(), 4u);
+  EXPECT_EQ(obs.paramsNorm.size(), 15u);
+  for (double v : obs.paramsNorm) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  // Target must be within the Table 1 sampling box.
+  const auto& t = env_.rawTarget();
+  EXPECT_GE(t[0], 300.0);
+  EXPECT_LE(t[0], 500.0);
+}
+
+TEST_F(SizingEnvTest, StepMovesParametersOnGrid) {
+  env_.reset(rng_);
+  auto before = env_.currentParams();
+  std::vector<int> actions(15, 0);
+  actions[0] = 1;
+  env_.step(actions);
+  auto after = env_.currentParams();
+  // Either moved one step or clamped at the upper bound.
+  if (before[0] < 100.0 - 1e-9) {
+    EXPECT_NEAR(after[0] - before[0], amp_.designSpace().param(0).step, 1e-9);
+  } else {
+    EXPECT_NEAR(after[0], before[0], 1e-9);
+  }
+  for (std::size_t i = 1; i < 15; ++i) EXPECT_NEAR(after[i], before[i], 1e-9);
+}
+
+TEST_F(SizingEnvTest, RewardIsNonPositiveUntilSuccess) {
+  env_.reset(rng_);
+  std::vector<int> keep(15, 0);
+  auto res = env_.step(keep);
+  if (!res.success) {
+    EXPECT_LE(res.reward, 0.0);
+  } else {
+    EXPECT_DOUBLE_EQ(res.reward, 10.0);
+  }
+}
+
+TEST_F(SizingEnvTest, SuccessGivesBonusAndTerminates) {
+  // Force success with an absurdly easy target.
+  std::vector<double> easy{1.0, 1.0, -500.0, 10.0};  // any gain/bw/pm, power<10
+  env_.resetWithTarget(easy, rng_);
+  auto res = env_.step(std::vector<int>(15, 0));
+  EXPECT_TRUE(res.success);
+  EXPECT_TRUE(res.done);
+  EXPECT_DOUBLE_EQ(res.reward, 10.0);
+}
+
+TEST_F(SizingEnvTest, EpisodeTerminatesAtMaxSteps) {
+  // Impossible target: must run exactly maxSteps then report done.
+  std::vector<double> impossible{1e9, 1e12, 179.0, 1e-9};
+  env_.resetWithTarget(impossible, rng_);
+  rl::StepResult res;
+  int steps = 0;
+  do {
+    res = env_.step(std::vector<int>(15, 0));
+    ++steps;
+  } while (!res.done && steps < 1000);
+  EXPECT_EQ(steps, 50);
+  EXPECT_FALSE(res.success);
+}
+
+TEST_F(SizingEnvTest, GraphFeaturesTrackEnvParams) {
+  env_.reset(rng_);
+  std::vector<int> up(15, 1);
+  auto res = env_.step(up);
+  auto u = amp_.designSpace().normalize(env_.currentParams());
+  // Node 0 = M1: feature slots must equal the normalized (W, nf).
+  EXPECT_NEAR(res.obs.nodeFeatures(0, circuit::kTypeBits + 0), u[0], 1e-9);
+  EXPECT_NEAR(res.obs.nodeFeatures(0, circuit::kTypeBits + 1), u[1], 1e-9);
+}
+
+TEST_F(SizingEnvTest, TargetDimValidation) {
+  EXPECT_THROW(env_.resetWithTarget({1.0}, rng_), std::invalid_argument);
+}
+
+TEST(SizingEnvRfPa, CoarseFidelityUsesCoarseCounter) {
+  circuit::GanRfPa pa;
+  SizingEnv env(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Coarse});
+  util::Rng rng(1);
+  long coarseBefore = pa.simCount(circuit::Fidelity::Coarse);
+  long fineBefore = pa.simCount(circuit::Fidelity::Fine);
+  env.reset(rng);
+  env.step(std::vector<int>(14, 0));
+  EXPECT_GT(pa.simCount(circuit::Fidelity::Coarse), coarseBefore);
+  EXPECT_EQ(pa.simCount(circuit::Fidelity::Fine), fineBefore);
+}
+
+}  // namespace
+}  // namespace crl::envs

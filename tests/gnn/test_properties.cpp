@@ -1,0 +1,217 @@
+// Property tests for the GNN layers: permutation equivariance/invariance,
+// attention-mask locality, and head structure — the invariants that make a
+// GNN a faithful encoder of circuit topology.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "circuit/graph.h"
+#include "gnn/layers.h"
+
+namespace crl::gnn {
+namespace {
+
+using circuit::CircuitGraph;
+using circuit::GraphNode;
+using circuit::GraphNodeType;
+
+CircuitGraph makeGraph(int n, std::vector<std::pair<int, int>> edges) {
+  std::vector<GraphNode> nodes(static_cast<std::size_t>(n));
+  for (auto& nd : nodes) nd = {"n", GraphNodeType::Nmos, nullptr};
+  return CircuitGraph(std::move(nodes), std::move(edges));
+}
+
+CircuitGraph permutedGraph(int n, const std::vector<std::pair<int, int>>& edges,
+                           const std::vector<int>& perm) {
+  std::vector<std::pair<int, int>> pe;
+  pe.reserve(edges.size());
+  for (auto [a, b] : edges) pe.push_back({perm[static_cast<std::size_t>(a)],
+                                          perm[static_cast<std::size_t>(b)]});
+  return makeGraph(n, std::move(pe));
+}
+
+linalg::Mat randomFeatures(std::size_t n, std::size_t m, util::Rng& rng) {
+  linalg::Mat x(n, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+  return x;
+}
+
+linalg::Mat permuteRows(const linalg::Mat& x, const std::vector<int>& perm) {
+  linalg::Mat out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.cols(); ++j)
+      out(static_cast<std::size_t>(perm[i]), j) = x(i, j);
+  return out;
+}
+
+const std::vector<std::pair<int, int>> kEdges{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {1, 4}};
+const std::vector<int> kPerm{2, 0, 4, 1, 3};
+
+/// The pooled graph embedding must be invariant to node relabeling: encode
+/// the same circuit with permuted node order and identical per-node features.
+class EncoderPermutation
+    : public ::testing::TestWithParam<GraphEncoder::Variant> {};
+
+TEST_P(EncoderPermutation, PooledEmbeddingIsPermutationInvariant) {
+  util::Rng rng(11);
+  GraphEncoder::Config cfg;
+  cfg.variant = GetParam();
+  cfg.inFeatures = 3;
+  cfg.hidden = 8;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  GraphEncoder enc(cfg, rng);
+
+  auto g = makeGraph(5, kEdges);
+  auto gp = permutedGraph(5, kEdges, kPerm);
+  util::Rng frng(5);
+  auto x = randomFeatures(5, 3, frng);
+  auto xp = permuteRows(x, kPerm);
+
+  auto e1 = enc.encode(x, g.normalizedAdjacency(), g.attentionMask()).value();
+  auto e2 = enc.encode(xp, gp.normalizedAdjacency(), gp.attentionMask()).value();
+  ASSERT_EQ(e1.cols(), e2.cols());
+  for (std::size_t j = 0; j < e1.cols(); ++j)
+    EXPECT_NEAR(e1(0, j), e2(0, j), 1e-9) << "variant " << static_cast<int>(GetParam());
+}
+
+TEST_P(EncoderPermutation, NodeEmbeddingsArePermutationEquivariant) {
+  util::Rng rng(13);
+  GraphEncoder::Config cfg;
+  cfg.variant = GetParam();
+  cfg.inFeatures = 3;
+  cfg.hidden = 8;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  GraphEncoder enc(cfg, rng);
+
+  auto g = makeGraph(5, kEdges);
+  auto gp = permutedGraph(5, kEdges, kPerm);
+  util::Rng frng(7);
+  auto x = randomFeatures(5, 3, frng);
+  auto xp = permuteRows(x, kPerm);
+
+  auto h = enc.nodeEmbeddings(x, g.normalizedAdjacency(), g.attentionMask()).value();
+  auto hp = enc.nodeEmbeddings(xp, gp.normalizedAdjacency(), gp.attentionMask()).value();
+  for (std::size_t i = 0; i < h.rows(); ++i)
+    for (std::size_t j = 0; j < h.cols(); ++j)
+      EXPECT_NEAR(hp(static_cast<std::size_t>(kPerm[i]), j), h(i, j), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothVariants, EncoderPermutation,
+                         ::testing::Values(GraphEncoder::Variant::Gcn,
+                                           GraphEncoder::Variant::Gat));
+
+// ------------------------------------------------------------ GAT locality
+
+TEST(GatProperties, AttentionRowsAreDistributions) {
+  util::Rng rng(3);
+  GatLayer layer(3, 4, 2, rng);
+  auto g = makeGraph(5, kEdges);
+  util::Rng frng(9);
+  auto x = randomFeatures(5, 3, frng);
+  for (std::size_t head = 0; head < 2; ++head) {
+    auto att = layer.attention(x, g.attentionMask(), head);
+    for (std::size_t i = 0; i < att.rows(); ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < att.cols(); ++j) {
+        EXPECT_GE(att(i, j), 0.0);
+        sum += att(i, j);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(GatProperties, AttentionIsZeroOffNeighbourhood) {
+  util::Rng rng(4);
+  GatLayer layer(3, 4, 1, rng);
+  auto g = makeGraph(5, kEdges);
+  util::Rng frng(10);
+  auto x = randomFeatures(5, 3, frng);
+  auto att = layer.attention(x, g.attentionMask(), 0);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      const bool neighbour = i == j || g.hasEdge(static_cast<int>(i), static_cast<int>(j));
+      if (!neighbour) EXPECT_LT(att(i, j), 1e-12) << i << "," << j;
+    }
+  }
+}
+
+TEST(GatProperties, IsolatedPairDoesNotMix) {
+  // Two disconnected components: perturbing a node in one component must not
+  // change embeddings in the other, at any depth.
+  util::Rng rng(5);
+  GraphEncoder::Config cfg;
+  cfg.variant = GraphEncoder::Variant::Gat;
+  cfg.inFeatures = 2;
+  cfg.hidden = 4;
+  cfg.layers = 3;
+  cfg.heads = 2;
+  GraphEncoder enc(cfg, rng);
+
+  auto g = makeGraph(4, {{0, 1}, {2, 3}});
+  linalg::Mat x(4, 2, 0.3);
+  auto h0 = enc.nodeEmbeddings(x, g.normalizedAdjacency(), g.attentionMask()).value();
+  x(0, 0) = -0.9;  // perturb component {0,1}
+  auto h1 = enc.nodeEmbeddings(x, g.normalizedAdjacency(), g.attentionMask()).value();
+  for (std::size_t j = 0; j < h0.cols(); ++j) {
+    EXPECT_NEAR(h1(2, j), h0(2, j), 1e-12);
+    EXPECT_NEAR(h1(3, j), h0(3, j), 1e-12);
+  }
+  // Sanity: the perturbed component did change.
+  double diff = 0.0;
+  for (std::size_t j = 0; j < h0.cols(); ++j) diff += std::fabs(h1(0, j) - h0(0, j));
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(GatProperties, HeadCountSetsOutputWidth) {
+  util::Rng rng(6);
+  for (std::size_t heads : {1u, 2u, 4u}) {
+    GatLayer layer(3, 4, heads, rng);
+    EXPECT_EQ(layer.heads(), heads);
+    EXPECT_EQ(layer.outFeatures(), heads * 4);
+    auto g = makeGraph(3, {{0, 1}, {1, 2}});
+    linalg::Mat x(3, 3, 0.2);
+    auto out = layer.forward(nn::Tensor(x), g.attentionMask());
+    EXPECT_EQ(out.cols(), heads * 4);
+  }
+}
+
+// ----------------------------------------------------------- GCN vs Eq. (2)
+
+TEST(GcnProperties, MatchesEquationTwoByHand) {
+  // One GCN layer on a 2-node path must compute tanh(A* X W + b) exactly.
+  util::Rng rng(8);
+  GcnLayer layer(1, 1, rng);
+  auto g = makeGraph(2, {{0, 1}});
+  linalg::Mat x(2, 1);
+  x(0, 0) = 0.7;
+  x(1, 0) = -0.4;
+  auto out = layer.forward(nn::Tensor(x), g.normalizedAdjacency()).value();
+
+  const auto w = layer.parameters()[0].value()(0, 0);
+  const auto b = layer.parameters()[1].value()(0, 0);
+  const auto& a = g.normalizedAdjacency();
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double agg = a(i, 0) * x(0, 0) + a(i, 1) * x(1, 0);
+    EXPECT_NEAR(out(i, 0), std::tanh(agg * w + b), 1e-12);
+  }
+}
+
+TEST(GcnProperties, NormalizedAdjacencyRowsOfRegularGraphSumToOne) {
+  // For a k-regular graph with self loops, D^-1/2 (A+I) D^-1/2 rows sum to 1.
+  auto ring = makeGraph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const auto& a = ring.normalizedAdjacency();
+  for (std::size_t i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 4; ++j) sum += a(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace crl::gnn

@@ -1,0 +1,109 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace crl::linalg {
+namespace {
+
+TEST(Matrix, ConstructAndAccess) {
+  Mat m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 0), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Mat m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitThrows) {
+  auto make = [] { return Mat{{1.0, 2.0}, {3.0}}; };
+  EXPECT_THROW(make(), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  Mat i = Mat::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Arithmetic) {
+  Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  Mat b{{10.0, 20.0}, {30.0, 40.0}};
+  Mat sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 44.0);
+  Mat diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 9.0);
+  Mat scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Mat a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Matrix, Transposed) {
+  Mat a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Mat t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MatmulKnownResult) {
+  Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  Mat b{{5.0, 6.0}, {7.0, 8.0}};
+  Mat c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulIdentity) {
+  Mat a{{1.0, -2.0}, {0.5, 3.0}};
+  Mat c = matmul(a, Mat::identity(2));
+  EXPECT_DOUBLE_EQ(c(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 0.5);
+}
+
+TEST(Matrix, MatmulDimMismatchThrows) {
+  Mat a(2, 3), b(2, 2);
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Matrix, MatvecKnownResult) {
+  Mat a{{1.0, 2.0}, {3.0, 4.0}};
+  Vec y = matvec(a, Vec{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vec{1.0, 2.0, 3.0}, Vec{4.0, 5.0, 6.0}), 32.0);
+  EXPECT_THROW(dot(Vec{1.0}, Vec{1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Matrix, ComplexMatmul) {
+  using C = std::complex<double>;
+  CMat a{{C(0.0, 1.0)}};
+  CMat b{{C(0.0, 1.0)}};
+  CMat c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0).real(), -1.0);
+  EXPECT_NEAR(c(0, 0).imag(), 0.0, 1e-15);
+}
+
+TEST(Matrix, Norms) {
+  Vec v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norminf(v), 4.0);
+}
+
+}  // namespace
+}  // namespace crl::linalg

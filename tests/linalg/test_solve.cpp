@@ -1,0 +1,151 @@
+#include "linalg/solve.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace crl::linalg {
+namespace {
+
+TEST(Lu, Solves2x2) {
+  Mat a{{2.0, 1.0}, {1.0, 3.0}};
+  Vec x = solveLinear(a, Vec{5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Mat a{{0.0, 1.0}, {1.0, 0.0}};
+  Vec x = solveLinear(a, Vec{2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  Mat a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW((Lu<double>{a}), std::runtime_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+  Mat a(2, 3);
+  EXPECT_THROW((Lu<double>{a}), std::invalid_argument);
+}
+
+TEST(Lu, RandomRoundTrip) {
+  std::mt19937 gen(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + trial % 12;
+    Mat a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(gen);
+      a(i, i) += 2.0;  // keep it comfortably nonsingular
+    }
+    Vec xTrue(n);
+    for (auto& v : xTrue) v = dist(gen);
+    Vec b = matvec(a, xTrue);
+    Vec x = solveLinear(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+  }
+}
+
+TEST(Lu, MultipleRhsReuseFactorization) {
+  Mat a{{4.0, 1.0}, {1.0, 3.0}};
+  Lu<double> lu(a);
+  Vec x1 = lu.solve(Vec{1.0, 0.0});
+  Vec x2 = lu.solve(Vec{0.0, 1.0});
+  // Columns of the inverse: A^{-1} = 1/11 * [[3,-1],[-1,4]].
+  EXPECT_NEAR(x1[0], 3.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x1[1], -1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x2[0], -1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x2[1], 4.0 / 11.0, 1e-12);
+}
+
+TEST(Lu, Determinant) {
+  Mat a{{2.0, 0.0}, {0.0, 3.0}};
+  EXPECT_NEAR(Lu<double>(a).determinant(), 6.0, 1e-12);
+  Mat b{{0.0, 1.0}, {1.0, 0.0}};  // permutation, det = -1
+  EXPECT_NEAR(Lu<double>(b).determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, ComplexSolve) {
+  using C = std::complex<double>;
+  // (1+j) x = 2  =>  x = 1 - j.
+  CMat a{{C(1.0, 1.0)}};
+  CVec x = solveLinear(a, CVec{C(2.0, 0.0)});
+  EXPECT_NEAR(x[0].real(), 1.0, 1e-12);
+  EXPECT_NEAR(x[0].imag(), -1.0, 1e-12);
+}
+
+TEST(Lu, ComplexRandomRoundTrip) {
+  using C = std::complex<double>;
+  std::mt19937 gen(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 8;
+  CMat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = C(dist(gen), dist(gen));
+    a(i, i) += C(3.0, 0.0);
+  }
+  CVec xTrue(n);
+  for (auto& v : xTrue) v = C(dist(gen), dist(gen));
+  CVec b = matvec(a, xTrue);
+  CVec x = solveLinear(a, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x[i].real(), xTrue[i].real(), 1e-9);
+    EXPECT_NEAR(x[i].imag(), xTrue[i].imag(), 1e-9);
+  }
+}
+
+TEST(Cholesky, SolvesSpd) {
+  Mat a{{4.0, 2.0}, {2.0, 3.0}};
+  Cholesky chol(a);
+  Vec x = chol.solve(Vec{8.0, 7.0});
+  // Verify A x = b.
+  Vec b = matvec(a, x);
+  EXPECT_NEAR(b[0], 8.0, 1e-12);
+  EXPECT_NEAR(b[1], 7.0, 1e-12);
+}
+
+TEST(Cholesky, LowerTriangularFactor) {
+  Mat a{{4.0, 2.0}, {2.0, 3.0}};
+  Cholesky chol(a);
+  const Mat& l = chol.lower();
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+  Mat llt = matmul(l, l.transposed());
+  EXPECT_NEAR(llt(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(llt(1, 0), 2.0, 1e-12);
+  EXPECT_NEAR(llt(1, 1), 3.0, 1e-12);
+}
+
+TEST(Cholesky, NotSpdThrows) {
+  Mat a{{1.0, 2.0}, {2.0, 1.0}};  // indefinite
+  EXPECT_THROW(Cholesky{a}, std::runtime_error);
+}
+
+TEST(Cholesky, HalfLogDet) {
+  Mat a{{4.0, 0.0}, {0.0, 9.0}};
+  // det = 36, log det = log 36, half = log 6.
+  EXPECT_NEAR(Cholesky(a).halfLogDet(), std::log(6.0), 1e-12);
+}
+
+TEST(Cholesky, LargeRandomSpd) {
+  std::mt19937 gen(3);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 30;
+  Mat m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = dist(gen);
+  // A = M M^T + n I is SPD.
+  Mat a = matmul(m, m.transposed());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  Vec xTrue(n);
+  for (auto& v : xTrue) v = dist(gen);
+  Vec b = matvec(a, xTrue);
+  Vec x = Cholesky(a).solve(b);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-8);
+}
+
+}  // namespace
+}  // namespace crl::linalg

@@ -1,0 +1,125 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/optim.h"
+
+namespace crl::nn {
+namespace {
+
+TEST(Linear, ShapesAndParameterCount) {
+  util::Rng rng(1);
+  Linear l(4, 3, rng);
+  Tensor x(linalg::Mat(2, 4, 0.5));
+  Tensor y = l.forward(x);
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_EQ(y.cols(), 3u);
+  EXPECT_EQ(parameterCount(l.parameters()), 4u * 3u + 3u);
+}
+
+TEST(Mlp, ForwardShapesAndParams) {
+  util::Rng rng(2);
+  Mlp net({6, 16, 16, 2}, rng);
+  Tensor x(linalg::Mat(1, 6, 0.1));
+  Tensor y = net.forward(x);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_EQ(net.layerCount(), 3u);
+  EXPECT_EQ(parameterCount(net.parameters()),
+            (6u * 16 + 16) + (16u * 16 + 16) + (16u * 2 + 2));
+}
+
+TEST(Mlp, RejectsDegenerateDims) {
+  util::Rng rng(1);
+  EXPECT_THROW(Mlp({4}, rng), std::invalid_argument);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize (x - 3)^2 by gradient descent: x should approach 3.
+  Tensor x(linalg::Mat{{0.0}}, true);
+  Adam opt({x}, {.lr = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    opt.zeroGrad();
+    Tensor diff = addScalar(x, -3.0);
+    Tensor loss = sum(mul(diff, diff));
+    backward(loss);
+    opt.step();
+  }
+  EXPECT_NEAR(x.value()(0, 0), 3.0, 1e-3);
+}
+
+TEST(Adam, LearnsXorWithMlp) {
+  // The classic nonlinear sanity check: a small MLP must fit XOR.
+  util::Rng rng(7);
+  Mlp net({2, 8, 1}, rng, Activation::Tanh, Activation::Sigmoid);
+  Adam opt(net.parameters(), {.lr = 0.05});
+  linalg::Mat inputs{{0.0, 0.0}, {0.0, 1.0}, {1.0, 0.0}, {1.0, 1.0}};
+  linalg::Mat targets{{0.0}, {1.0}, {1.0}, {0.0}};
+  double finalLoss = 1.0;
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    opt.zeroGrad();
+    Tensor y = net.forward(Tensor(inputs));
+    Tensor diff = sub(y, Tensor(targets));
+    Tensor loss = mean(mul(diff, diff));
+    backward(loss);
+    opt.step();
+    finalLoss = loss.item();
+  }
+  EXPECT_LT(finalLoss, 0.02);
+  auto y = net.forward(Tensor(inputs)).value();
+  EXPECT_LT(y(0, 0), 0.3);
+  EXPECT_GT(y(1, 0), 0.7);
+  EXPECT_GT(y(2, 0), 0.7);
+  EXPECT_LT(y(3, 0), 0.3);
+}
+
+TEST(Adam, ZeroGradClearsAccumulation) {
+  Tensor x(linalg::Mat{{1.0}}, true);
+  Adam opt({x});
+  Tensor loss = sum(mul(x, x));
+  backward(loss);
+  EXPECT_NE(x.grad()(0, 0), 0.0);
+  opt.zeroGrad();
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), 0.0);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Tensor x(linalg::Mat{{1.0, 1.0}}, true);
+  Tensor loss = sum(scale(mul(x, x), 50.0));
+  backward(loss);
+  double norm = clipGradNorm({x}, 1.0);
+  EXPECT_GT(norm, 1.0);
+  double sq = 0.0;
+  for (double g : x.grad().raw()) sq += g * g;
+  EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-9);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Tensor x(linalg::Mat{{0.01}}, true);
+  Tensor loss = sum(mul(x, x));
+  backward(loss);
+  double before = x.grad()(0, 0);
+  clipGradNorm({x}, 10.0);
+  EXPECT_DOUBLE_EQ(x.grad()(0, 0), before);
+}
+
+class ActivationSweep : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationSweep, ForwardIsFiniteAndBackwardRuns) {
+  util::Rng rng(3);
+  Tensor x(linalg::Mat{{-2.0, -0.5, 0.0, 0.5, 2.0}}, true);
+  Tensor y = activate(x, GetParam());
+  Tensor loss = sum(y);
+  backward(loss);
+  for (double v : y.value().raw()) EXPECT_TRUE(std::isfinite(v));
+  if (GetParam() != Activation::None) {
+    for (double g : x.grad().raw()) EXPECT_TRUE(std::isfinite(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationSweep,
+                         ::testing::Values(Activation::None, Activation::Tanh,
+                                           Activation::Relu, Activation::LeakyRelu,
+                                           Activation::Sigmoid));
+
+}  // namespace
+}  // namespace crl::nn

@@ -1,0 +1,216 @@
+#include "nn/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crl::nn {
+namespace {
+
+TEST(Tensor, ConstructionAndItem) {
+  Tensor s = Tensor::scalar(3.5);
+  EXPECT_DOUBLE_EQ(s.item(), 3.5);
+  Tensor r = Tensor::row({1.0, 2.0, 3.0});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  EXPECT_THROW(r.item(), std::logic_error);
+}
+
+TEST(Tensor, XavierBoundsAndGradFlag) {
+  util::Rng rng(1);
+  Tensor w = Tensor::xavier(10, 20, rng);
+  EXPECT_TRUE(w.requiresGrad());
+  double bound = std::sqrt(6.0 / 30.0);
+  for (double v : w.value().raw()) {
+    EXPECT_LE(std::fabs(v), bound);
+  }
+}
+
+TEST(Autograd, AddAndSum) {
+  Tensor a(linalg::Mat{{1.0, 2.0}}, true);
+  Tensor b(linalg::Mat{{3.0, 4.0}}, true);
+  Tensor loss = sum(add(a, b));
+  EXPECT_DOUBLE_EQ(loss.item(), 10.0);
+  backward(loss);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.grad()(0, 1), 1.0);
+}
+
+TEST(Autograd, MulChainRule) {
+  Tensor a(linalg::Mat{{2.0}}, true);
+  Tensor b(linalg::Mat{{5.0}}, true);
+  Tensor loss = sum(mul(a, b));
+  backward(loss);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(b.grad()(0, 0), 2.0);
+}
+
+TEST(Autograd, MatmulGradients) {
+  Tensor a(linalg::Mat{{1.0, 2.0}}, true);         // 1x2
+  Tensor w(linalg::Mat{{3.0}, {4.0}}, true);       // 2x1
+  Tensor loss = sum(matmul(a, w));                 // = 11
+  EXPECT_DOUBLE_EQ(loss.item(), 11.0);
+  backward(loss);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(w.grad()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w.grad()(1, 0), 2.0);
+}
+
+TEST(Autograd, ReusedNodeAccumulates) {
+  // loss = sum(a + a): grad wrt a should be 2.
+  Tensor a(linalg::Mat{{1.5}}, true);
+  Tensor loss = sum(add(a, a));
+  backward(loss);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 2.0);
+}
+
+TEST(Autograd, NoGradThroughConstants) {
+  Tensor a(linalg::Mat{{1.0}}, true);
+  Tensor c(linalg::Mat{{2.0}}, false);
+  Tensor loss = sum(mul(a, c));
+  backward(loss);
+  EXPECT_DOUBLE_EQ(a.grad()(0, 0), 2.0);
+  EXPECT_FALSE(c.requiresGrad());
+}
+
+TEST(Autograd, BackwardRequiresScalar) {
+  Tensor a(linalg::Mat{{1.0, 2.0}}, true);
+  EXPECT_THROW(backward(a), std::invalid_argument);
+}
+
+// Finite-difference check harness: loss = sum(f(x)) for a matrix input.
+template <typename F>
+void checkGradient(linalg::Mat x0, F f, double tol = 1e-5) {
+  Tensor x(x0, true);
+  Tensor loss = f(x);
+  backward(loss);
+  linalg::Mat analytic = x.grad();
+
+  const double h = 1e-6;
+  for (std::size_t i = 0; i < x0.raw().size(); ++i) {
+    linalg::Mat xp = x0, xm = x0;
+    xp.raw()[i] += h;
+    xm.raw()[i] -= h;
+    double fp = f(Tensor(xp)).item();
+    double fm = f(Tensor(xm)).item();
+    double fd = (fp - fm) / (2.0 * h);
+    EXPECT_NEAR(analytic.raw()[i], fd, tol * std::max(1.0, std::fabs(fd)))
+        << "element " << i;
+  }
+}
+
+TEST(GradCheck, Tanh) {
+  checkGradient(linalg::Mat{{0.3, -1.2}, {2.0, 0.0}},
+                [](const Tensor& x) { return sum(tanhT(x)); });
+}
+
+TEST(GradCheck, SigmoidAndExpLog) {
+  checkGradient(linalg::Mat{{0.5, -0.7}},
+                [](const Tensor& x) { return sum(sigmoid(x)); });
+  checkGradient(linalg::Mat{{0.5, -0.7}},
+                [](const Tensor& x) { return sum(expT(x)); });
+  checkGradient(linalg::Mat{{0.5, 0.7}},
+                [](const Tensor& x) { return sum(logT(x)); });
+}
+
+TEST(GradCheck, LeakyReluAwayFromKink) {
+  checkGradient(linalg::Mat{{0.5, -0.7, 1.2, -2.0}},
+                [](const Tensor& x) { return sum(leakyRelu(x)); });
+}
+
+TEST(GradCheck, SoftmaxRows) {
+  checkGradient(linalg::Mat{{0.1, 0.9, -0.4}, {2.0, -1.0, 0.3}},
+                [](const Tensor& x) {
+                  // Weighted sum to make the loss sensitive to all entries.
+                  Tensor w(linalg::Mat{{1.0, 2.0, 3.0}, {-1.0, 0.5, 1.5}});
+                  return sum(mul(softmaxRows(x), w));
+                });
+}
+
+TEST(GradCheck, LogSoftmaxRows) {
+  checkGradient(linalg::Mat{{0.1, 0.9, -0.4}},
+                [](const Tensor& x) {
+                  Tensor w(linalg::Mat{{1.0, -2.0, 0.5}});
+                  return sum(mul(logSoftmaxRows(x), w));
+                });
+}
+
+TEST(GradCheck, MatmulAndBroadcast) {
+  checkGradient(linalg::Mat{{0.3, -0.2}, {0.7, 1.1}}, [](const Tensor& x) {
+    Tensor w(linalg::Mat{{0.5, -1.0}, {2.0, 0.3}});
+    Tensor b(linalg::Mat{{0.1, -0.1}});
+    return sum(tanhT(addRowBroadcast(matmul(x, w), b)));
+  });
+}
+
+TEST(GradCheck, MeanRowsAndConcat) {
+  checkGradient(linalg::Mat{{1.0, 2.0}, {3.0, 4.0}}, [](const Tensor& x) {
+    Tensor pooled = meanRows(x);                 // 1x2
+    Tensor both = concatCols(pooled, pooled);    // 1x4
+    Tensor w(linalg::Mat{{1.0}, {2.0}, {3.0}, {4.0}});
+    return sum(matmul(both, w));
+  });
+}
+
+TEST(GradCheck, MinAndClamp) {
+  checkGradient(linalg::Mat{{0.5, -0.7, 2.0}}, [](const Tensor& x) {
+    Tensor other(linalg::Mat{{1.0, -1.0, 1.0}});
+    return sum(minT(x, other));
+  });
+  checkGradient(linalg::Mat{{0.5, -0.7, 2.0}}, [](const Tensor& x) {
+    return sum(clampT(x, -1.0, 1.0));
+  });
+}
+
+TEST(GradCheck, GatherPerRow) {
+  checkGradient(linalg::Mat{{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}}, [](const Tensor& x) {
+    return sum(gatherPerRow(x, {2, 0}));
+  });
+}
+
+TEST(GradCheck, SliceRows) {
+  checkGradient(linalg::Mat{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}},
+                [](const Tensor& x) { return sum(sliceRows(x, 1, 2)); });
+}
+
+TEST(GradCheck, MatmulConstLeft) {
+  linalg::Mat a{{0.5, 0.5}, {0.25, 0.75}};
+  checkGradient(linalg::Mat{{1.0, -1.0}, {2.0, 0.5}}, [a](const Tensor& x) {
+    return sum(tanhT(matmulConstLeft(a, x)));
+  });
+}
+
+TEST(Ops, GatherValidatesIndices) {
+  Tensor a(linalg::Mat{{1.0, 2.0}});
+  EXPECT_THROW(gatherPerRow(a, {5}), std::out_of_range);
+  EXPECT_THROW(gatherPerRow(a, {0, 1}), std::invalid_argument);
+}
+
+TEST(Ops, ShapeValidation) {
+  Tensor a(linalg::Mat{{1.0, 2.0}});
+  Tensor b(linalg::Mat{{1.0}, {2.0}});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  EXPECT_THROW(mul(a, b), std::invalid_argument);
+  EXPECT_THROW(concatCols(a, b), std::invalid_argument);
+  EXPECT_THROW(matmul(a, a), std::invalid_argument);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Tensor a(linalg::Mat{{100.0, 100.5, 99.5}, {-300.0, -299.0, -301.0}});
+  auto s = softmaxRows(a).value();
+  for (std::size_t r = 0; r < 2; ++r) {
+    double total = s(r, 0) + s(r, 1) + s(r, 2);
+    EXPECT_NEAR(total, 1.0, 1e-12);  // stable under large offsets
+  }
+}
+
+TEST(Ops, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor a(linalg::Mat{{0.3, -0.8, 1.2}});
+  auto ls = logSoftmaxRows(a).value();
+  auto s = softmaxRows(a).value();
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(ls(0, c), std::log(s(0, c)), 1e-12);
+}
+
+}  // namespace
+}  // namespace crl::nn

@@ -1,0 +1,194 @@
+// Property tests of the categorical action head and GAE: distribution
+// consistency, entropy bounds, log-prob agreement between the sampling path
+// and the autograd re-evaluation path used by PPO.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rl/policy.h"
+#include "rl/ppo.h"
+
+namespace crl::rl {
+namespace {
+
+linalg::Mat logitsOf(std::initializer_list<std::initializer_list<double>> rows) {
+  linalg::Mat m(rows.size(), rows.begin()->size());
+  std::size_t i = 0;
+  for (const auto& r : rows) {
+    std::size_t j = 0;
+    for (double v : r) m(i, j++) = v;
+    ++i;
+  }
+  return m;
+}
+
+std::vector<double> rowSoftmax(const linalg::Mat& logits, std::size_t row) {
+  double mx = -1e300;
+  for (std::size_t j = 0; j < 3; ++j) mx = std::max(mx, logits(row, j));
+  double z = 0.0;
+  std::vector<double> p(3);
+  for (std::size_t j = 0; j < 3; ++j) z += std::exp(logits(row, j) - mx);
+  for (std::size_t j = 0; j < 3; ++j) p[j] = std::exp(logits(row, j) - mx) / z;
+  return p;
+}
+
+TEST(ActionProps, ActionsEncodeColumnsMinusOne) {
+  auto logits = logitsOf({{0.3, -0.1, 0.8}, {1.0, 0.0, -1.0}, {0.0, 0.0, 0.0}});
+  util::Rng rng(1);
+  for (int k = 0; k < 50; ++k) {
+    auto a = sampleAction(logits, rng);
+    ASSERT_EQ(a.actions.size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(a.actions[i], a.columns[i] - 1);
+      EXPECT_GE(a.columns[i], 0);
+      EXPECT_LE(a.columns[i], 2);
+    }
+  }
+}
+
+TEST(ActionProps, LogProbMatchesSoftmaxProduct) {
+  auto logits = logitsOf({{0.5, -0.2, 0.1}, {2.0, 0.0, -2.0}});
+  util::Rng rng(2);
+  auto a = sampleAction(logits, rng);
+  double expected = 0.0;
+  for (std::size_t i = 0; i < 2; ++i)
+    expected += std::log(rowSoftmax(logits, i)[static_cast<std::size_t>(a.columns[i])]);
+  EXPECT_NEAR(a.logProb, expected, 1e-12);
+}
+
+TEST(ActionProps, GreedyPicksTheArgmaxEveryRow) {
+  auto logits = logitsOf({{0.5, -0.2, 0.1}, {-3.0, 7.0, 0.0}, {0.0, 0.1, 0.2}});
+  auto a = greedyAction(logits);
+  EXPECT_EQ(a.columns, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(a.actions, (std::vector<int>{-1, 0, 1}));
+}
+
+TEST(ActionProps, SamplingFollowsTheDistribution) {
+  // One row with strongly asymmetric probabilities; empirical frequencies
+  // over many draws must approximate the softmax.
+  auto logits = logitsOf({{2.0, 0.0, -2.0}});
+  auto p = rowSoftmax(logits, 0);
+  util::Rng rng(3);
+  int counts[3] = {0, 0, 0};
+  const int n = 20000;
+  for (int k = 0; k < n; ++k) {
+    auto a = sampleAction(logits, rng);
+    ++counts[a.columns[0]];
+  }
+  for (std::size_t j = 0; j < 3; ++j)
+    EXPECT_NEAR(static_cast<double>(counts[j]) / n, p[j], 0.02) << "column " << j;
+}
+
+TEST(ActionProps, LogProbTensorAgreesWithSampler) {
+  auto logits = logitsOf({{0.4, 0.2, -0.6}, {1.5, -1.5, 0.0}});
+  util::Rng rng(4);
+  auto a = sampleAction(logits, rng);
+  nn::Tensor lt(logits, /*requiresGrad=*/false);
+  auto lp = logProbOf(lt, a.columns);
+  EXPECT_NEAR(lp.value()(0, 0), a.logProb, 1e-12);
+}
+
+TEST(ActionProps, EntropyOfUniformIsLogThree) {
+  auto logits = logitsOf({{0.0, 0.0, 0.0}, {5.0, 5.0, 5.0}});
+  nn::Tensor lt(logits);
+  EXPECT_NEAR(entropyOf(lt).value()(0, 0), std::log(3.0), 1e-9);
+}
+
+TEST(ActionProps, EntropyOfPeakedDistributionIsNearZero) {
+  auto logits = logitsOf({{30.0, 0.0, 0.0}});
+  nn::Tensor lt(logits);
+  EXPECT_LT(entropyOf(lt).value()(0, 0), 1e-6);
+  EXPECT_GE(entropyOf(lt).value()(0, 0), 0.0);
+}
+
+TEST(ActionProps, EntropyIsBounded) {
+  util::Rng rng(5);
+  for (int k = 0; k < 20; ++k) {
+    linalg::Mat logits(4, 3);
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t j = 0; j < 3; ++j) logits(i, j) = rng.uniform(-4.0, 4.0);
+    const double h = entropyOf(nn::Tensor(logits)).value()(0, 0);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, std::log(3.0) + 1e-12);
+  }
+}
+
+// ------------------------------------------------------------------- GAE
+
+std::vector<Transition> makeSteps(std::initializer_list<double> rewards,
+                                  std::initializer_list<double> values,
+                                  bool lastTerminal = true) {
+  std::vector<Transition> steps;
+  auto v = values.begin();
+  for (double r : rewards) {
+    Transition t;
+    t.reward = r;
+    t.value = *v++;
+    steps.push_back(t);
+  }
+  if (lastTerminal && !steps.empty()) steps.back().terminal = true;
+  return steps;
+}
+
+TEST(GaeProps, MonteCarloLimitMatchesReturnMinusValue) {
+  // gamma = lambda = 1 on a terminal episode: advantage_t = G_t - V_t.
+  auto steps = makeSteps({-1.0, -0.5, 10.0}, {0.2, 0.1, 0.05});
+  std::vector<double> adv, ret;
+  computeGae(steps, 1.0, 1.0, &adv, &ret);
+  const double g2 = 10.0;
+  const double g1 = -0.5 + g2;
+  const double g0 = -1.0 + g1;
+  EXPECT_NEAR(adv[0], g0 - 0.2, 1e-12);
+  EXPECT_NEAR(adv[1], g1 - 0.1, 1e-12);
+  EXPECT_NEAR(adv[2], g2 - 0.05, 1e-12);
+}
+
+TEST(GaeProps, ReturnsAreAdvantagePlusValue) {
+  auto steps = makeSteps({-0.3, -0.2, -0.1, 10.0}, {1.0, 0.8, 0.5, 0.2});
+  std::vector<double> adv, ret;
+  computeGae(steps, 0.99, 0.95, &adv, &ret);
+  ASSERT_EQ(adv.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(ret[i], adv[i] + steps[i].value, 1e-12);
+}
+
+TEST(GaeProps, PerfectValueFunctionZeroLambdaGivesZeroAdvantage) {
+  // With lambda = 0, A_t = r_t + gamma V_{t+1} - V_t; pick values solving
+  // that recursion exactly so every advantage vanishes.
+  const double gamma = 0.9;
+  std::vector<double> rewards{-1.0, -1.0, 2.0};
+  std::vector<double> values(3);
+  values[2] = rewards[2];
+  values[1] = rewards[1] + gamma * values[2];
+  values[0] = rewards[0] + gamma * values[1];
+  auto steps = makeSteps({rewards[0], rewards[1], rewards[2]},
+                         {values[0], values[1], values[2]});
+  std::vector<double> adv, ret;
+  computeGae(steps, gamma, 0.0, &adv, &ret);
+  for (double a : adv) EXPECT_NEAR(a, 0.0, 1e-12);
+}
+
+TEST(GaeProps, TerminalBoundaryStopsBootstrapping) {
+  // Two episodes in one buffer: the second episode's rewards must not leak
+  // into the first episode's advantages.
+  std::vector<Transition> steps;
+  for (double r : {-1.0, -1.0}) {
+    Transition t;
+    t.reward = r;
+    t.value = 0.0;
+    steps.push_back(t);
+  }
+  steps.back().terminal = true;
+  Transition big;
+  big.reward = 100.0;
+  big.value = 0.0;
+  big.terminal = true;
+  steps.push_back(big);
+
+  std::vector<double> adv, ret;
+  computeGae(steps, 1.0, 1.0, &adv, &ret);
+  EXPECT_NEAR(adv[0], -2.0, 1e-12);  // untouched by the +100 after the boundary
+  EXPECT_NEAR(adv[2], 100.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace crl::rl

@@ -1,0 +1,73 @@
+#include "rl/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace crl::rl {
+namespace {
+
+linalg::Mat peakedLogits() {
+  // Row 0 prefers column 2 (+1), row 1 prefers column 0 (-1).
+  return linalg::Mat{{-5.0, -5.0, 5.0}, {5.0, -5.0, -5.0}};
+}
+
+TEST(Policy, GreedyPicksArgmax) {
+  auto act = greedyAction(peakedLogits());
+  ASSERT_EQ(act.actions.size(), 2u);
+  EXPECT_EQ(act.actions[0], 1);
+  EXPECT_EQ(act.actions[1], -1);
+  EXPECT_EQ(act.columns[0], 2);
+  EXPECT_EQ(act.columns[1], 0);
+  EXPECT_NEAR(act.logProb, 0.0, 1e-3);  // nearly deterministic
+}
+
+TEST(Policy, SampleFollowsDistribution) {
+  util::Rng rng(3);
+  linalg::Mat logits{{0.0, 0.0, 0.0}};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) {
+    auto act = sampleAction(logits, rng);
+    counts[act.columns[0]]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c / 3000.0, 1.0 / 3.0, 0.05);
+}
+
+TEST(Policy, SampleLogProbMatchesSoftmax) {
+  util::Rng rng(5);
+  linalg::Mat logits{{1.0, 2.0, 0.5}, {0.0, -1.0, 1.5}};
+  auto act = sampleAction(logits, rng);
+  // Recompute: log prob = sum over rows of log softmax at chosen column.
+  double expected = 0.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    double mx = std::max({logits(r, 0), logits(r, 1), logits(r, 2)});
+    double z = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) z += std::exp(logits(r, c) - mx);
+    expected += logits(r, static_cast<std::size_t>(act.columns[r])) - mx - std::log(z);
+  }
+  EXPECT_NEAR(act.logProb, expected, 1e-9);
+}
+
+TEST(Policy, LogProbTensorMatchesSampledValue) {
+  util::Rng rng(7);
+  linalg::Mat logits{{0.4, -0.3, 1.2}, {2.0, 0.1, -0.5}, {0.0, 0.0, 0.0}};
+  auto act = sampleAction(logits, rng);
+  nn::Tensor lt(logits, true);
+  nn::Tensor lp = logProbOf(lt, act.columns);
+  EXPECT_NEAR(lp.item(), act.logProb, 1e-9);
+  nn::backward(lp);  // gradients must flow
+  EXPECT_TRUE(std::isfinite(lt.grad()(0, 0)));
+}
+
+TEST(Policy, EntropyOfUniformIsLog3) {
+  nn::Tensor logits(linalg::Mat(4, 3, 0.0));
+  EXPECT_NEAR(entropyOf(logits).item(), std::log(3.0), 1e-9);
+}
+
+TEST(Policy, EntropyOfPeakedIsNearZero) {
+  nn::Tensor logits(peakedLogits());
+  EXPECT_LT(entropyOf(logits).item(), 0.01);
+}
+
+}  // namespace
+}  // namespace crl::rl

@@ -1,0 +1,171 @@
+#include "spice/ac.h"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/mosfet.h"
+
+namespace crl::spice {
+namespace {
+
+TEST(Ac, RcLowPassMagnitudeAndPhase) {
+  // R = 1k, C = 1n -> f3dB = 1/(2 pi RC) ~ 159.15 kHz.
+  Netlist net;
+  NodeId in = net.node("in");
+  NodeId out = net.node("out");
+  auto* v1 = net.add<VSource>("V1", in, kGround, 0.0);
+  v1->setAcMag(1.0);
+  net.add<Resistor>("R1", in, out, 1e3);
+  net.add<Capacitor>("C1", out, kGround, 1e-9);
+  DcAnalysis dc(net);
+  DcResult op = dc.solve();
+  ASSERT_TRUE(op.converged);
+  AcAnalysis ac(net, op.x);
+
+  const double f3 = 1.0 / (2.0 * std::numbers::pi * 1e3 * 1e-9);
+  auto h = ac.nodeVoltage(f3, out);
+  EXPECT_NEAR(std::abs(h), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_NEAR(std::arg(h) * 180.0 / std::numbers::pi, -45.0, 1e-3);
+
+  // Passband and far stopband.
+  EXPECT_NEAR(std::abs(ac.nodeVoltage(f3 / 1000.0, out)), 1.0, 1e-5);
+  EXPECT_NEAR(std::abs(ac.nodeVoltage(f3 * 100.0, out)), 0.01, 1e-3);
+}
+
+TEST(Ac, RlHighPass) {
+  // L/R high-pass: corner at R/(2 pi L).
+  Netlist net;
+  NodeId in = net.node("in");
+  NodeId out = net.node("out");
+  auto* v1 = net.add<VSource>("V1", in, kGround, 0.0);
+  v1->setAcMag(1.0);
+  net.add<Resistor>("R1", in, out, 100.0);
+  net.add<Inductor>("L1", out, kGround, 1e-3);
+  DcAnalysis dc(net);
+  DcResult op = dc.solve();
+  ASSERT_TRUE(op.converged);
+  AcAnalysis ac(net, op.x);
+  const double fc = 100.0 / (2.0 * std::numbers::pi * 1e-3);
+  EXPECT_NEAR(std::abs(ac.nodeVoltage(fc, out)), 1.0 / std::sqrt(2.0), 1e-6);
+  EXPECT_LT(std::abs(ac.nodeVoltage(fc / 100.0, out)), 0.02);
+  EXPECT_GT(std::abs(ac.nodeVoltage(fc * 100.0, out)), 0.99);
+}
+
+TEST(Ac, SeriesRlcResonance) {
+  // Series RLC driven across R: |V_R| peaks at f0 = 1/(2 pi sqrt(LC)).
+  Netlist net;
+  NodeId in = net.node("in");
+  NodeId a = net.node("a");
+  NodeId b = net.node("b");
+  auto* v1 = net.add<VSource>("V1", in, kGround, 0.0);
+  v1->setAcMag(1.0);
+  net.add<Inductor>("L1", in, a, 1e-6);
+  net.add<Capacitor>("C1", a, b, 1e-9);
+  net.add<Resistor>("R1", b, kGround, 10.0);
+  DcAnalysis dc(net);
+  DcResult op = dc.solve();
+  ASSERT_TRUE(op.converged);
+  AcAnalysis ac(net, op.x);
+  const double f0 = 1.0 / (2.0 * std::numbers::pi * std::sqrt(1e-6 * 1e-9));
+  // At resonance the reactances cancel: all drive appears across R.
+  EXPECT_NEAR(std::abs(ac.nodeVoltage(f0, b)), 1.0, 1e-4);
+  EXPECT_LT(std::abs(ac.nodeVoltage(f0 / 10.0, b)), 0.2);
+  EXPECT_LT(std::abs(ac.nodeVoltage(f0 * 10.0, b)), 0.2);
+}
+
+TEST(Ac, CommonSourceGainMatchesGmRout) {
+  // CS stage with resistive load: |A| = gm * (Rd || ro) at low frequency.
+  MosModel nm;
+  nm.kp = 200e-6;
+  nm.vth = 0.4;
+  nm.lambda = 0.1;
+  nm.length = 270e-9;
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId in = net.node("in");
+  NodeId out = net.node("out");
+  net.add<VSource>("Vdd", vdd, kGround, 1.2);
+  auto* vin = net.add<VSource>("Vin", in, kGround, 0.7);
+  vin->setAcMag(1.0);
+  net.add<Resistor>("Rd", vdd, out, 10e3);
+  auto* m1 = net.add<Mosfet>("M1", out, in, kGround, nm, 10e-6, 2);
+  DcAnalysis dc(net);
+  DcResult op = dc.solve();
+  ASSERT_TRUE(op.converged);
+  MosEval e = m1->evalAt(op.x);
+  AcAnalysis ac(net, op.x);
+  double expected = e.gm * 1.0 / (1.0 / 10e3 + e.gds);
+  double measured = std::abs(ac.nodeVoltage(1e3, out));
+  EXPECT_NEAR(measured, expected, expected * 0.01);
+  // Inverting stage: ~180 degrees at low frequency.
+  double phase = std::arg(ac.nodeVoltage(1e3, out)) * 180.0 / std::numbers::pi;
+  EXPECT_NEAR(std::abs(phase), 180.0, 1.0);
+}
+
+TEST(Ac, LogspaceGrid) {
+  auto f = AcAnalysis::logspace(1e3, 1e6, 10);
+  EXPECT_NEAR(f.front(), 1e3, 1e-9);
+  EXPECT_NEAR(f.back(), 1e6, 1e-3);
+  EXPECT_EQ(f.size(), 31u);
+  for (std::size_t i = 1; i < f.size(); ++i) EXPECT_GT(f[i], f[i - 1]);
+}
+
+TEST(Ac, LogspaceRejectsBadRange) {
+  EXPECT_THROW(AcAnalysis::logspace(0.0, 1e3, 10), std::invalid_argument);
+  EXPECT_THROW(AcAnalysis::logspace(1e6, 1e3, 10), std::invalid_argument);
+}
+
+TEST(Ac, AnalyzeResponseSinglePole) {
+  // Synthetic one-pole response H = A / (1 + j f/fp): check extracted specs.
+  std::vector<AcPoint> sweep;
+  const double a0 = 100.0, fp = 1e4;
+  for (double f : AcAnalysis::logspace(1e2, 1e8, 24)) {
+    AcPoint p;
+    p.freqHz = f;
+    p.value = a0 / std::complex<double>(1.0, f / fp);
+    sweep.push_back(p);
+  }
+  auto m = analyzeResponse(sweep);
+  ASSERT_TRUE(m.valid);
+  EXPECT_NEAR(m.dcGain, a0, a0 * 1e-3);
+  EXPECT_NEAR(m.bandwidth3Db, fp, fp * 0.02);
+  EXPECT_NEAR(m.unityGainFreq, a0 * fp, a0 * fp * 0.02);  // GBW product
+  EXPECT_NEAR(m.phaseMarginDeg, 90.0, 2.0);               // one pole -> 90 deg
+}
+
+TEST(Ac, AnalyzeResponseTwoPole) {
+  // Two-pole response: PM = 180 - atan(fu/fp1) - atan(fu/fp2).
+  std::vector<AcPoint> sweep;
+  const double a0 = 1000.0, fp1 = 1e3, fp2 = 1e6;
+  for (double f : AcAnalysis::logspace(1e1, 1e9, 32)) {
+    AcPoint p;
+    p.freqHz = f;
+    p.value = a0 / (std::complex<double>(1.0, f / fp1) * std::complex<double>(1.0, f / fp2));
+    sweep.push_back(p);
+  }
+  auto m = analyzeResponse(sweep);
+  ASSERT_TRUE(m.valid);
+  // Analytic crossover: u(1+u) = 1 with u = (f/1e6)^2 -> f = sqrt(golden-1),
+  // i.e. ~7.862e5 Hz; PM = 180 - atan(786) - atan(0.786) ~ 51.9 deg.
+  EXPECT_NEAR(m.unityGainFreq, 7.862e5, 2e4);
+  EXPECT_NEAR(m.phaseMarginDeg, 51.9, 2.5);
+}
+
+TEST(Ac, AnalyzeResponseNeverCrossingIsInvalid) {
+  std::vector<AcPoint> sweep;
+  for (double f : AcAnalysis::logspace(1e2, 1e4, 10)) {
+    AcPoint p;
+    p.freqHz = f;
+    p.value = {0.5, 0.0};  // gain < 1 everywhere
+    sweep.push_back(p);
+  }
+  auto m = analyzeResponse(sweep);
+  EXPECT_FALSE(m.valid);
+  EXPECT_DOUBLE_EQ(m.unityGainFreq, 0.0);
+}
+
+}  // namespace
+}  // namespace crl::spice

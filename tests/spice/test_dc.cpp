@@ -1,0 +1,190 @@
+#include "spice/dc.h"
+
+#include <gtest/gtest.h>
+
+#include "spice/elements.h"
+#include "spice/mosfet.h"
+#include "spice/netlist.h"
+
+namespace crl::spice {
+namespace {
+
+MosModel nmosModel() {
+  MosModel m;
+  m.type = MosType::Nmos;
+  m.kp = 200e-6;
+  m.vth = 0.4;
+  m.lambda = 0.0;  // exact square law for hand checks
+  m.length = 270e-9;
+  return m;
+}
+
+TEST(DcNonlinear, DiodeConnectedNmosCurrent) {
+  // Vdd -> R -> diode-connected NMOS. Check KCL: I_R == I_D at the solution.
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId d = net.node("d");
+  net.add<VSource>("V1", vdd, kGround, 1.2);
+  net.add<Resistor>("R1", vdd, d, 10e3);
+  auto* m1 = net.add<Mosfet>("M1", d, d, kGround, nmosModel(), 2e-6, 1);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  double vd = dc.voltage(r, d);
+  EXPECT_GT(vd, 0.4);  // above threshold
+  EXPECT_LT(vd, 1.2);
+  double iR = (1.2 - vd) / 10e3;
+  double iD = m1->evalAt(r.x).id;
+  EXPECT_NEAR(iR, iD, 1e-9);
+}
+
+TEST(DcNonlinear, SquareLawSaturationCurrent) {
+  // Gate driven directly: in saturation Id = beta/2 * vov^2 (lambda = 0).
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId g = net.node("g");
+  NodeId d = net.node("d");
+  net.add<VSource>("Vdd", vdd, kGround, 1.2);
+  net.add<VSource>("Vg", g, kGround, 0.8);
+  net.add<Resistor>("Rd", vdd, d, 500.0);
+  auto* m1 = net.add<Mosfet>("M1", d, g, kGround, nmosModel(), 2e-6, 1);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  double beta = 200e-6 * 2e-6 / 270e-9;
+  // Smoothed overdrive is within ~delta of the ideal 0.4 V.
+  double idealId = 0.5 * beta * 0.4 * 0.4;
+  double id = m1->evalAt(r.x).id;
+  EXPECT_NEAR(id, idealId, idealId * 0.06);
+  // Drain sits at Vdd - Id * Rd.
+  EXPECT_NEAR(dc.voltage(r, d), 1.2 - id * 500.0, 1e-6);
+}
+
+TEST(DcNonlinear, CutoffLeavesDrainHigh) {
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId d = net.node("d");
+  net.add<VSource>("Vdd", vdd, kGround, 1.2);
+  net.add<Resistor>("Rd", vdd, d, 1e3);
+  net.add<Mosfet>("M1", d, kGround, kGround, nmosModel(), 10e-6, 1);  // vgs = 0
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(dc.voltage(r, d), 1.2, 1e-2);  // tiny smoothed leakage only
+}
+
+TEST(DcNonlinear, NmosInverterTransfersLowHigh) {
+  // Resistive-load inverter: high input -> low output and vice versa.
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId in = net.node("in");
+  NodeId out = net.node("out");
+  net.add<VSource>("Vdd", vdd, kGround, 1.2);
+  auto* vin = net.add<VSource>("Vin", in, kGround, 1.2);
+  net.add<Resistor>("Rl", vdd, out, 50e3);
+  net.add<Mosfet>("M1", out, in, kGround, nmosModel(), 20e-6, 4);
+  DcAnalysis dc(net);
+  DcResult rHigh = dc.solve();
+  ASSERT_TRUE(rHigh.converged);
+  EXPECT_LT(dc.voltage(rHigh, out), 0.1);
+
+  vin->setDc(0.0);
+  DcResult rLow = dc.solve();
+  ASSERT_TRUE(rLow.converged);
+  EXPECT_GT(dc.voltage(rLow, out), 1.1);
+}
+
+TEST(DcNonlinear, PmosSourceFollowsSupply) {
+  // PMOS with gate low conducts: drain pulled toward the supply.
+  MosModel pm = nmosModel();
+  pm.type = MosType::Pmos;
+  pm.kp = 100e-6;
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId out = net.node("out");
+  net.add<VSource>("Vdd", vdd, kGround, 1.2);
+  net.add<Mosfet>("M1", out, kGround, vdd, pm, 20e-6, 4);  // gate at 0: on
+  net.add<Resistor>("Rl", out, kGround, 50e3);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(dc.voltage(r, out), 1.1);
+}
+
+TEST(DcNonlinear, CurrentMirrorCopies) {
+  // Classic NMOS mirror: reference current through diode device M1 is
+  // mirrored into M2 with ratio of effective widths.
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId ref = net.node("ref");
+  NodeId out = net.node("out");
+  net.add<VSource>("Vdd", vdd, kGround, 1.2);
+  net.add<ISource>("Iref", ref, kGround, 50e-6);  // injects 50 uA into ref
+  net.add<Mosfet>("M1", ref, ref, kGround, nmosModel(), 5e-6, 2);
+  auto* m2 = net.add<Mosfet>("M2", out, ref, kGround, nmosModel(), 5e-6, 4);
+  net.add<Resistor>("Rl", vdd, out, 2e3);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  // M2 has 2x the width of M1 -> ~100 uA (lambda = 0 so quite exact).
+  EXPECT_NEAR(m2->evalAt(r.x).id, 100e-6, 5e-6);
+}
+
+TEST(DcNonlinear, DrainSourceSwapHandled) {
+  // Bias the device "backwards" (drain below source): current must reverse.
+  Netlist net;
+  NodeId a = net.node("a");
+  NodeId g = net.node("g");
+  net.add<VSource>("Va", a, kGround, -0.5);  // "drain" terminal below ground
+  net.add<VSource>("Vg", g, kGround, 0.8);
+  auto* m1 = net.add<Mosfet>("M1", a, g, kGround, nmosModel(), 10e-6, 1);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  // With vd < vs the oriented current flows source->drain; evalAt reports the
+  // oriented (positive) magnitude.
+  EXPECT_GT(m1->evalAt(r.x).id, 0.0);
+}
+
+TEST(DcHomotopy, ColdStartHighGainCircuitConverges) {
+  // A two-transistor high-gain stage that is hard for plain Newton from a
+  // flat 0 V guess; the homotopy ladder must still land it.
+  MosModel nm = nmosModel();
+  nm.lambda = 0.05;
+  MosModel pm = nm;
+  pm.type = MosType::Pmos;
+  pm.kp = 100e-6;
+
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId bias = net.node("bias");
+  NodeId in = net.node("in");
+  NodeId out = net.node("out");
+  net.add<VSource>("Vdd", vdd, kGround, 1.2);
+  net.add<VSource>("Vb", bias, kGround, 0.5);
+  net.add<VSource>("Vin", in, kGround, 0.55);
+  net.add<Mosfet>("M1", out, in, kGround, nm, 40e-6, 8);    // CS amp
+  net.add<Mosfet>("M2", out, bias, vdd, pm, 40e-6, 8);      // active load
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  double vout = dc.voltage(r, out);
+  EXPECT_GT(vout, 0.0);
+  EXPECT_LT(vout, 1.2);
+}
+
+TEST(DcOptions, WarmStartReusesSolution) {
+  Netlist net;
+  NodeId a = net.node("a");
+  net.add<VSource>("V1", a, kGround, 3.0);
+  net.add<Resistor>("R1", a, kGround, 1e3);
+  DcAnalysis dc(net);
+  DcResult first = dc.solve();
+  ASSERT_TRUE(first.converged);
+  DcResult warm = dc.solve(first.x);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, first.iterations);
+}
+
+}  // namespace
+}  // namespace crl::spice

@@ -1,0 +1,275 @@
+#include "spice/diode.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/netlist.h"
+#include "spice/tran.h"
+
+namespace crl::spice {
+namespace {
+
+// ------------------------------------------------------------ evalDiode
+
+TEST(DiodeEvalTest, ReverseBiasSaturates) {
+  DiodeModel m;
+  auto e = evalDiode(m, -5.0);
+  EXPECT_NEAR(e.id, -m.is, 1e-18);
+  EXPECT_GE(e.gd, 0.0);
+}
+
+TEST(DiodeEvalTest, ZeroBiasZeroCurrent) {
+  DiodeModel m;
+  auto e = evalDiode(m, 0.0);
+  EXPECT_DOUBLE_EQ(e.id, 0.0);
+  EXPECT_NEAR(e.gd, m.is / (m.n * m.vt), 1e-18);
+}
+
+TEST(DiodeEvalTest, ForwardBiasExponential) {
+  DiodeModel m;
+  const double v = 0.6;
+  auto e = evalDiode(m, v);
+  EXPECT_NEAR(e.id, m.is * (std::exp(v / (m.n * m.vt)) - 1.0), 1e-12);
+}
+
+TEST(DiodeEvalTest, GuardIsContinuousInValueAndSlope) {
+  DiodeModel m;
+  const double eps = 1e-7;
+  auto below = evalDiode(m, m.vExp - eps);
+  auto above = evalDiode(m, m.vExp + eps);
+  EXPECT_NEAR(below.id, above.id, std::max(1e-9, 1e-4 * std::fabs(below.id)));
+  EXPECT_NEAR(below.gd, above.gd, 1e-3 * below.gd);
+}
+
+TEST(DiodeEvalTest, GuardKeepsCurrentFiniteFarAboveVexp) {
+  DiodeModel m;
+  auto e = evalDiode(m, 100.0);  // would overflow the raw exponential
+  EXPECT_TRUE(std::isfinite(e.id));
+  EXPECT_TRUE(std::isfinite(e.gd));
+  EXPECT_GT(e.id, 0.0);
+}
+
+TEST(DiodeEvalTest, EmissionCoefficientScalesSlope) {
+  DiodeModel m1, m2;
+  m2.n = 2.0;
+  // At the same forward voltage the n=2 diode conducts much less.
+  EXPECT_GT(evalDiode(m1, 0.6).id, 10.0 * evalDiode(m2, 0.6).id);
+}
+
+/// gd must match the numerical derivative of id across the full range,
+/// including the guard region.
+class DiodeDerivative : public ::testing::TestWithParam<double> {};
+
+TEST_P(DiodeDerivative, MatchesFiniteDifference) {
+  DiodeModel m;
+  const double v = GetParam();
+  const double h = 1e-6;
+  auto lo = evalDiode(m, v - h);
+  auto hi = evalDiode(m, v + h);
+  auto mid = evalDiode(m, v);
+  const double fd = (hi.id - lo.id) / (2 * h);
+  EXPECT_NEAR(mid.gd, fd, 1e-4 * std::max(1e-12, std::fabs(fd)));
+}
+
+INSTANTIATE_TEST_SUITE_P(VoltageSweep, DiodeDerivative,
+                         ::testing::Values(-2.0, -0.5, 0.0, 0.3, 0.55, 0.7, 0.79, 0.81,
+                                           1.0, 3.0));
+
+TEST(DiodeModelTest, RejectsBadParameters) {
+  DiodeModel bad;
+  bad.is = 0.0;
+  EXPECT_THROW(Diode("D1", 1, 0, bad), std::invalid_argument);
+  DiodeModel badN;
+  badN.n = -1.0;
+  EXPECT_THROW(Diode("D1", 1, 0, badN), std::invalid_argument);
+  DiodeModel badC;
+  badC.cj0 = -1e-12;
+  EXPECT_THROW(Diode("D1", 1, 0, badC), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ DC
+
+TEST(DiodeDcTest, SeriesResistorForwardDrop) {
+  // 5 V -> 1 kOhm -> diode: I = (5 - Vd)/R and I = Is exp(Vd/nVt) must agree.
+  Netlist net;
+  NodeId vin = net.node("vin");
+  NodeId a = net.node("a");
+  net.add<VSource>("V1", vin, kGround, 5.0);
+  net.add<Resistor>("R1", vin, a, 1e3);
+  auto* d = net.add<Diode>("D1", a, kGround);
+  DcAnalysis dc(net);
+  auto r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  const double vd = Netlist::voltageOf(r.x, a);
+  EXPECT_GT(vd, 0.5);
+  EXPECT_LT(vd, 0.8);
+  const double iR = (5.0 - vd) / 1e3;
+  EXPECT_NEAR(d->currentAt(r.x), iR, 1e-9);
+}
+
+TEST(DiodeDcTest, ReverseBiasBlocksCurrent) {
+  Netlist net;
+  NodeId vin = net.node("vin");
+  NodeId a = net.node("a");
+  net.add<VSource>("V1", vin, kGround, -5.0);
+  net.add<Resistor>("R1", vin, a, 1e3);
+  net.add<Diode>("D1", a, kGround);
+  DcAnalysis dc(net);
+  auto r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  // Node a sits at ~-5 V: only the saturation current flows.
+  EXPECT_NEAR(Netlist::voltageOf(r.x, a), -5.0, 1e-3);
+}
+
+TEST(DiodeDcTest, TwoSeriesDiodesSplitTheDrop) {
+  Netlist net;
+  NodeId vin = net.node("vin");
+  NodeId a = net.node("a");
+  NodeId b = net.node("b");
+  net.add<VSource>("V1", vin, kGround, 5.0);
+  net.add<Resistor>("R1", vin, a, 1e3);
+  auto* d1 = net.add<Diode>("D1", a, b);
+  auto* d2 = net.add<Diode>("D2", b, kGround);
+  DcAnalysis dc(net);
+  auto r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  const double va = Netlist::voltageOf(r.x, a);
+  const double vb = Netlist::voltageOf(r.x, b);
+  // Identical devices carry the same current and share the drop equally.
+  EXPECT_NEAR(va - vb, vb, 1e-6);
+  EXPECT_NEAR(d1->currentAt(r.x), d2->currentAt(r.x), 1e-12);
+}
+
+TEST(DiodeDcTest, BridgeOfDiodesConverges) {
+  // Full-wave bridge with a resistive load; a classic Newton stress test.
+  Netlist net;
+  NodeId p = net.node("p"), n = net.node("n"), lp = net.node("lp"), ln = net.node("ln");
+  net.add<VSource>("V1", p, n, 3.0);
+  net.add<Diode>("D1", p, lp);
+  net.add<Diode>("D2", n, lp);
+  net.add<Diode>("D3", ln, p);
+  net.add<Diode>("D4", ln, n);
+  net.add<Resistor>("RL", lp, ln, 1e3);
+  // Reference the floating source side.
+  net.add<Resistor>("Rref", n, kGround, 1e6);
+  DcAnalysis dc(net);
+  auto r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  const double vload =
+      Netlist::voltageOf(r.x, lp) - Netlist::voltageOf(r.x, ln);
+  // Load sees the source minus two forward drops.
+  EXPECT_NEAR(vload, 3.0 - 2.0 * 0.68, 0.1);
+}
+
+// ------------------------------------------------------------------ AC
+
+TEST(DiodeAcTest, SmallSignalPoleOfDiodeRC) {
+  // Current-biased diode with a parallel cap: pole at gd/(2 pi C).
+  Netlist net;
+  NodeId a = net.node("a");
+  auto* ib = net.add<ISource>("I1", a, kGround, 1e-3);  // injects 1 mA into a
+  (void)ib;
+  DiodeModel m;
+  m.cj0 = 0.0;
+  auto* d = net.add<Diode>("D1", a, kGround, m);
+  net.add<Capacitor>("C1", a, kGround, 1e-9);
+  // AC drive through a large resistor from an AC source.
+  NodeId src = net.node("src");
+  auto* vs = net.add<VSource>("Vs", src, kGround, 0.0);
+  vs->setAcMag(1.0);
+  net.add<Resistor>("Rs", src, a, 1e6);
+
+  DcAnalysis dc(net);
+  auto op = dc.solve();
+  ASSERT_TRUE(op.converged);
+  const double gd = evalDiode(m, Netlist::voltageOf(op.x, a)).gd;
+
+  AcAnalysis ac(net, op.x);
+  const double f3db = gd / (2 * 3.14159265358979323846 * 1e-9);
+  const double magLow = std::abs(ac.nodeVoltage(f3db / 100.0, a));
+  const double magPole = std::abs(ac.nodeVoltage(f3db, a));
+  EXPECT_NEAR(magPole / magLow, 1.0 / std::sqrt(2.0), 0.02);
+}
+
+TEST(DiodeAcTest, JunctionCapAddsToTheLoad) {
+  // Same circuit, junction cap doubles C: the pole halves.
+  for (double cj : {0.0, 1e-9}) {
+    Netlist net;
+    NodeId a = net.node("a");
+    net.add<ISource>("I1", a, kGround, 1e-3);
+    DiodeModel m;
+    m.cj0 = cj;
+    net.add<Diode>("D1", a, kGround, m);
+    net.add<Capacitor>("C1", a, kGround, 1e-9);
+    NodeId src = net.node("src");
+    auto* vs = net.add<VSource>("Vs", src, kGround, 0.0);
+    vs->setAcMag(1.0);
+    net.add<Resistor>("Rs", src, a, 1e6);
+    DcAnalysis dc(net);
+    auto op = dc.solve();
+    ASSERT_TRUE(op.converged);
+    const double gd = evalDiode(m, Netlist::voltageOf(op.x, a)).gd;
+    AcAnalysis ac(net, op.x);
+    const double ctot = 1e-9 + cj;
+    const double f3db = gd / (2 * 3.14159265358979323846 * ctot);
+    const double ratio = std::abs(ac.nodeVoltage(f3db, a)) /
+                         std::abs(ac.nodeVoltage(f3db / 100.0, a));
+    EXPECT_NEAR(ratio, 1.0 / std::sqrt(2.0), 0.02) << "cj0=" << cj;
+  }
+}
+
+// ------------------------------------------------------------- transient
+
+TEST(DiodeTranTest, HalfWaveRectifierChargesTheCap) {
+  Netlist net;
+  NodeId in = net.node("in");
+  NodeId out = net.node("out");
+  auto* vs = net.add<VSource>("Vs", in, kGround, 0.0);
+  vs->setSine(5.0, 1e3);
+  net.add<Resistor>("Rs", in, out, 10.0);
+  // Move the diode after the series R so the cap holds the peak.
+  NodeId mid = net.node("mid");
+  net.add<Diode>("D1", out, mid);
+  net.add<Capacitor>("CL", mid, kGround, 10e-6);
+  net.add<Resistor>("RL", mid, kGround, 100e3);
+
+  DcAnalysis dcPre(net);
+  auto op = dcPre.solve();
+  ASSERT_TRUE(op.converged);
+
+  double vPeak = -1e9;
+  spice::TranAnalysis tran(net);
+  auto res = tran.run(1e-6, 3e-3,
+                      [&](double t, const linalg::Vec& x) {
+                        if (t > 2e-3) vPeak = std::max(vPeak, Netlist::voltageOf(x, mid));
+                      },
+                      /*record=*/false);
+  ASSERT_TRUE(res.converged);
+  // After a couple of cycles the cap holds roughly the peak minus one drop.
+  EXPECT_GT(vPeak, 3.5);
+  EXPECT_LT(vPeak, 5.0);
+}
+
+TEST(DiodeTranTest, JunctionCapStateIsStable) {
+  // A diode with a junction cap in a driven loop must not derail transient
+  // Newton: run and check convergence only.
+  Netlist net;
+  NodeId in = net.node("in");
+  NodeId a = net.node("a");
+  auto* vs = net.add<VSource>("Vs", in, kGround, 0.0);
+  vs->setSine(1.0, 1e6);
+  net.add<Resistor>("Rs", in, a, 1e3);
+  DiodeModel m;
+  m.cj0 = 5e-12;
+  net.add<Diode>("D1", a, kGround, m);
+  spice::TranAnalysis tran(net);
+  auto res = tran.run(1e-9, 3e-6, {}, /*record=*/false);
+  EXPECT_TRUE(res.converged);
+}
+
+}  // namespace
+}  // namespace crl::spice

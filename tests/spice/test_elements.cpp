@@ -1,0 +1,173 @@
+#include "spice/elements.h"
+
+#include <gtest/gtest.h>
+
+#include "spice/dc.h"
+#include "spice/netlist.h"
+
+namespace crl::spice {
+namespace {
+
+TEST(Netlist, GroundAliases) {
+  Netlist net;
+  EXPECT_EQ(net.node("0"), kGround);
+  EXPECT_EQ(net.node("gnd"), kGround);
+  EXPECT_EQ(net.node("GND"), kGround);
+}
+
+TEST(Netlist, NodeCreationIsIdempotent) {
+  Netlist net;
+  NodeId a = net.node("out");
+  EXPECT_EQ(net.node("out"), a);
+  EXPECT_EQ(net.node("OUT"), a);  // case-insensitive
+  EXPECT_EQ(net.nodeCount(), 2u); // ground + out
+}
+
+TEST(Netlist, FindNodeThrowsOnUnknown) {
+  Netlist net;
+  EXPECT_THROW(net.findNode("nope"), std::invalid_argument);
+}
+
+TEST(Netlist, BranchIndicesFollowNodes) {
+  Netlist net;
+  NodeId a = net.node("a");
+  NodeId b = net.node("b");
+  auto* v1 = net.add<VSource>("V1", a, kGround, 1.0);
+  net.add<Resistor>("R1", a, b, 1e3);
+  auto* l1 = net.add<Inductor>("L1", b, kGround, 1e-6);
+  net.finalize();
+  // Two non-ground nodes -> unknowns 0,1; branches at 2,3 in device order.
+  EXPECT_EQ(net.unknownCount(), 4u);
+  EXPECT_EQ(v1->branchIndex(), 2u);
+  EXPECT_EQ(l1->branchIndex(), 3u);
+}
+
+TEST(Netlist, FindDeviceByName) {
+  Netlist net;
+  net.add<Resistor>("R1", net.node("a"), kGround, 10.0);
+  EXPECT_NE(net.findDevice("R1"), nullptr);
+  EXPECT_EQ(net.findDevice("R2"), nullptr);
+}
+
+TEST(Netlist, ToStringListsDevices) {
+  Netlist net;
+  net.add<Resistor>("R1", net.node("a"), kGround, 10.0);
+  std::string dump = net.toString();
+  EXPECT_NE(dump.find("R1"), std::string::npos);
+}
+
+TEST(Elements, RejectNonPositiveValues) {
+  Netlist net;
+  NodeId a = net.node("a");
+  EXPECT_THROW(net.add<Resistor>("R", a, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add<Resistor>("R", a, kGround, -5.0), std::invalid_argument);
+  EXPECT_THROW(net.add<Capacitor>("C", a, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(net.add<Inductor>("L", a, kGround, -1.0), std::invalid_argument);
+}
+
+TEST(Dc, VoltageDividerExact) {
+  Netlist net;
+  NodeId in = net.node("in");
+  NodeId mid = net.node("mid");
+  net.add<VSource>("V1", in, kGround, 10.0);
+  net.add<Resistor>("R1", in, mid, 1e3);
+  net.add<Resistor>("R2", mid, kGround, 3e3);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(dc.voltage(r, mid), 7.5, 1e-9);
+}
+
+TEST(Dc, VSourceBranchCurrent) {
+  Netlist net;
+  NodeId in = net.node("in");
+  auto* v1 = net.add<VSource>("V1", in, kGround, 5.0);
+  net.add<Resistor>("R1", in, kGround, 1e3);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  // Current through the source flows pos -> neg internally: -5 mA out of V+.
+  EXPECT_NEAR(r.x[v1->currentIndex()], -5e-3, 1e-9);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+  Netlist net;
+  NodeId a = net.node("a");
+  net.add<ISource>("I1", a, kGround, 2e-3);  // injects 2 mA into node a
+  net.add<Resistor>("R1", a, kGround, 1e3);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(dc.voltage(r, a), 2.0, 1e-9);
+}
+
+TEST(Dc, CapacitorIsOpenAtDc) {
+  Netlist net;
+  NodeId in = net.node("in");
+  NodeId mid = net.node("mid");
+  net.add<VSource>("V1", in, kGround, 1.0);
+  net.add<Resistor>("R1", in, mid, 1e3);
+  net.add<Capacitor>("C1", mid, kGround, 1e-9);
+  net.add<Resistor>("R2", mid, kGround, 1e6);  // keep node non-floating
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  // No DC current into C: divider of 1k/1M.
+  EXPECT_NEAR(dc.voltage(r, mid), 1e6 / (1e6 + 1e3), 1e-9);
+}
+
+TEST(Dc, InductorIsShortAtDc) {
+  Netlist net;
+  NodeId in = net.node("in");
+  NodeId mid = net.node("mid");
+  net.add<VSource>("V1", in, kGround, 2.0);
+  net.add<Inductor>("L1", in, mid, 1e-3);
+  net.add<Resistor>("R1", mid, kGround, 1e3);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(dc.voltage(r, mid), 2.0, 1e-9);
+}
+
+TEST(Dc, SeriesVoltageSourcesStack) {
+  Netlist net;
+  NodeId a = net.node("a");
+  NodeId b = net.node("b");
+  net.add<VSource>("V1", a, kGround, 1.5);
+  net.add<VSource>("V2", b, a, 2.5);
+  net.add<Resistor>("R1", b, kGround, 1e3);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(dc.voltage(r, b), 4.0, 1e-9);
+}
+
+TEST(Dc, WheatstoneBridge) {
+  // Balanced bridge: zero differential voltage.
+  Netlist net;
+  NodeId top = net.node("top");
+  NodeId l = net.node("l");
+  NodeId rgt = net.node("r");
+  net.add<VSource>("V1", top, kGround, 10.0);
+  net.add<Resistor>("R1", top, l, 1e3);
+  net.add<Resistor>("R2", l, kGround, 2e3);
+  net.add<Resistor>("R3", top, rgt, 2e3);
+  net.add<Resistor>("R4", rgt, kGround, 4e3);
+  net.add<Resistor>("Rbridge", l, rgt, 5e2);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(dc.voltage(r, l), dc.voltage(r, rgt), 1e-9);
+}
+
+TEST(VSource, SineWaveform) {
+  Netlist net;
+  auto* v = net.add<VSource>("V1", net.node("a"), kGround, 1.0);
+  v->setSine(2.0, 1e6);
+  EXPECT_NEAR(v->valueAt(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(v->valueAt(0.25e-6), 3.0, 1e-9);   // peak
+  EXPECT_NEAR(v->valueAt(0.75e-6), -1.0, 1e-9);  // trough
+}
+
+}  // namespace
+}  // namespace crl::spice

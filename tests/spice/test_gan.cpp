@@ -1,0 +1,89 @@
+#include "spice/gan.h"
+
+#include <gtest/gtest.h>
+
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/netlist.h"
+
+namespace crl::spice {
+namespace {
+
+GanModel model() { return GanModel{}; }
+
+TEST(GanEval, PinchOffBelowVpk) {
+  // Far below Vpk the channel is pinched off.
+  GanEval e = evalGan(model(), 1.0, -5.0, 10.0);
+  EXPECT_LT(e.id, 1e-3);
+}
+
+TEST(GanEval, SaturatesAboveVpk) {
+  // Far above Vpk the (1 + tanh) factor approaches 2.
+  GanModel m = model();
+  GanEval e = evalGan(m, 1.0, 2.0, 20.0);
+  EXPECT_NEAR(e.id, 2.0 * (1.0 + m.lambda * 20.0), 0.05);
+}
+
+TEST(GanEval, KneeRegionRampsWithVds) {
+  GanModel m = model();
+  GanEval lo = evalGan(m, 1.0, 0.0, 0.2);
+  GanEval hi = evalGan(m, 1.0, 0.0, 5.0);
+  EXPECT_LT(lo.id, hi.id);
+  EXPECT_GT(lo.gds, hi.gds);  // knee has high output conductance
+}
+
+TEST(GanEval, DerivativesMatchFiniteDifference) {
+  GanModel m = model();
+  const double ipk = 0.5;
+  const double h = 1e-7;
+  for (double vgs : {-3.0, -1.5, -0.5, 1.0}) {
+    for (double vds : {0.1, 1.0, 10.0, 25.0}) {
+      GanEval e = evalGan(m, ipk, vgs, vds);
+      double gmFd = (evalGan(m, ipk, vgs + h, vds).id - evalGan(m, ipk, vgs - h, vds).id) / (2 * h);
+      double gdsFd = (evalGan(m, ipk, vgs, vds + h).id - evalGan(m, ipk, vgs, vds - h).id) / (2 * h);
+      EXPECT_NEAR(e.gm, gmFd, std::max(1e-8, std::fabs(gmFd) * 1e-4));
+      EXPECT_NEAR(e.gds, gdsFd, std::max(1e-8, std::fabs(gdsFd) * 1e-4));
+    }
+  }
+}
+
+TEST(GanHemt, CurrentScalesWithWidth) {
+  GanEval narrow = evalGan(model(), model().ipkPerWidth * 100e-6, 0.0, 20.0);
+  GanEval wide = evalGan(model(), model().ipkPerWidth * 400e-6, 0.0, 20.0);
+  EXPECT_NEAR(wide.id / narrow.id, 4.0, 1e-9);
+}
+
+TEST(GanHemt, DcCommonSourceStage) {
+  // 28 V supply, resistive drain load, class-AB-ish gate bias: the stage
+  // must bias with the drain somewhere inside the supply rails.
+  Netlist net;
+  NodeId vdd = net.node("vdd");
+  NodeId g = net.node("g");
+  NodeId d = net.node("d");
+  net.add<VSource>("Vdd", vdd, kGround, 28.0);
+  net.add<VSource>("Vg", g, kGround, -1.6);
+  net.add<Resistor>("Rd", vdd, d, 60.0);
+  auto* m1 = net.add<GanHemt>("M1", d, g, kGround, model(), 50e-6, 8);
+  DcAnalysis dc(net);
+  DcResult r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  double vds = dc.voltage(r, d);
+  EXPECT_GT(vds, 1.0);
+  EXPECT_LT(vds, 27.5);
+  EXPECT_GT(m1->evalAt(r.x).id, 1e-3);
+}
+
+TEST(GanHemt, GeometryValidation) {
+  EXPECT_THROW(GanHemt("G", 1, 2, 0, model(), 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(GanHemt("G", 1, 2, 0, model(), 1e-6, -2), std::invalid_argument);
+}
+
+TEST(GanHemt, CapsProportionalToWidth) {
+  GanHemt a("G", 1, 2, 0, model(), 50e-6, 2);
+  GanHemt b("G", 1, 2, 0, model(), 50e-6, 6);
+  EXPECT_NEAR(b.cgs() / a.cgs(), 3.0, 1e-12);
+  EXPECT_NEAR(b.cgd() / a.cgd(), 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace crl::spice

@@ -1,0 +1,108 @@
+#include "spice/mosfet.h"
+
+#include <gtest/gtest.h>
+
+namespace crl::spice {
+namespace {
+
+MosModel model(double lambda = 0.0) {
+  MosModel m;
+  m.kp = 200e-6;
+  m.vth = 0.4;
+  m.lambda = lambda;
+  m.length = 270e-9;
+  m.subthreshSmoothing = 0.02;
+  return m;
+}
+
+TEST(SquareLaw, SaturationCurrent) {
+  // Well above threshold the smoothing is negligible.
+  const double beta = 1e-3;
+  MosEval e = evalSquareLaw(model(), beta, 1.0, 1.0);  // vov = 0.6, vds = 1.0
+  EXPECT_NEAR(e.id, 0.5 * beta * 0.36, 0.5 * beta * 0.36 * 0.01);
+  EXPECT_NEAR(e.gm, beta * 0.6, beta * 0.6 * 0.01);
+  EXPECT_NEAR(e.gds, 0.0, 1e-12);  // lambda = 0
+}
+
+TEST(SquareLaw, TriodeCurrent) {
+  const double beta = 1e-3;
+  // vov = 0.6, vds = 0.1 -> triode.
+  MosEval e = evalSquareLaw(model(), beta, 1.0, 0.1);
+  double expected = beta * (0.6 - 0.05) * 0.1;
+  EXPECT_NEAR(e.id, expected, expected * 0.02);
+  // gds in deep triode ~ beta * vov.
+  EXPECT_NEAR(e.gds, beta * 0.5, beta * 0.1);
+}
+
+TEST(SquareLaw, CutoffIsNearZeroButSmooth) {
+  const double beta = 1e-3;
+  MosEval below = evalSquareLaw(model(), beta, 0.0, 1.0);  // vov = -0.4
+  EXPECT_LT(below.id, 1e-7);
+  EXPECT_GT(below.gm, 0.0);  // smoothing keeps a tiny slope
+}
+
+TEST(SquareLaw, ContinuousAcrossRegionBoundary) {
+  const double beta = 1e-3;
+  const double vgs = 1.0;  // vov ~ 0.6
+  MosEval lo = evalSquareLaw(model(0.1), beta, vgs, 0.6 - 1e-9);
+  MosEval hi = evalSquareLaw(model(0.1), beta, vgs, 0.6 + 1e-9);
+  EXPECT_NEAR(lo.id, hi.id, 1e-9);
+  EXPECT_NEAR(lo.gm, hi.gm, 1e-6);
+}
+
+TEST(SquareLaw, LambdaIncreasesSaturationCurrent) {
+  const double beta = 1e-3;
+  MosEval flat = evalSquareLaw(model(0.0), beta, 1.0, 1.0);
+  MosEval clm = evalSquareLaw(model(0.2), beta, 1.0, 1.0);
+  EXPECT_GT(clm.id, flat.id);
+  EXPECT_GT(clm.gds, 0.0);
+}
+
+TEST(SquareLaw, DerivativesMatchFiniteDifference) {
+  const double beta = 2.3e-3;
+  const MosModel m = model(0.15);
+  const double h = 1e-7;
+  for (double vgs : {0.3, 0.5, 0.8, 1.1}) {
+    for (double vds : {0.05, 0.3, 0.8, 1.2}) {
+      MosEval e = evalSquareLaw(m, beta, vgs, vds);
+      double gmFd =
+          (evalSquareLaw(m, beta, vgs + h, vds).id - evalSquareLaw(m, beta, vgs - h, vds).id) /
+          (2.0 * h);
+      double gdsFd =
+          (evalSquareLaw(m, beta, vgs, vds + h).id - evalSquareLaw(m, beta, vgs, vds - h).id) /
+          (2.0 * h);
+      EXPECT_NEAR(e.gm, gmFd, std::max(1e-9, std::fabs(gmFd) * 1e-4))
+          << "vgs=" << vgs << " vds=" << vds;
+      EXPECT_NEAR(e.gds, gdsFd, std::max(1e-9, std::fabs(gdsFd) * 1e-4))
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST(Mosfet, GeometryValidation) {
+  EXPECT_THROW(Mosfet("M", 1, 2, 0, model(), -1e-6, 1), std::invalid_argument);
+  EXPECT_THROW(Mosfet("M", 1, 2, 0, model(), 1e-6, 0), std::invalid_argument);
+}
+
+TEST(Mosfet, EffectiveWidthScalesWithFingers) {
+  Mosfet m("M", 1, 2, 0, model(), 2e-6, 8);
+  EXPECT_DOUBLE_EQ(m.effectiveWidth(), 16e-6);
+}
+
+TEST(Mosfet, CapsScaleWithGeometry) {
+  Mosfet small("M", 1, 2, 0, model(), 2e-6, 1);
+  Mosfet large("M", 1, 2, 0, model(), 2e-6, 4);
+  EXPECT_NEAR(large.cgs() / small.cgs(), 4.0, 1e-9);
+  EXPECT_NEAR(large.cgd() / small.cgd(), 4.0, 1e-9);
+  EXPECT_GT(small.cgs(), small.cgd());  // Cgs dominated by channel charge
+}
+
+TEST(Mosfet, SetGeometryUpdatesCaps) {
+  Mosfet m("M", 1, 2, 0, model(), 2e-6, 1);
+  double before = m.cgs();
+  m.setGeometry(4e-6, 1);
+  EXPECT_NEAR(m.cgs(), 2.0 * before, 1e-15);
+}
+
+}  // namespace
+}  // namespace crl::spice

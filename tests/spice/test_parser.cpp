@@ -1,0 +1,353 @@
+#include "spice/parser.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+
+namespace crl::spice {
+namespace {
+
+// ------------------------------------------------------------- basics
+
+TEST(DeckParser, RcDividerRoundValues) {
+  auto deck = parseDeck(
+      "rc divider\n"
+      "V1 in 0 DC 1\n"
+      "R1 in out 1k\n"
+      "R2 out 0 1k\n"
+      "C1 out 0 10pF\n"
+      ".end\n");
+  EXPECT_EQ(deck.title, "rc divider");
+  ASSERT_EQ(deck.netlist->devices().size(), 4u);
+  auto* r1 = dynamic_cast<Resistor*>(deck.netlist->findDevice("R1"));
+  ASSERT_NE(r1, nullptr);
+  EXPECT_DOUBLE_EQ(r1->resistance(), 1e3);
+  auto* c1 = dynamic_cast<Capacitor*>(deck.netlist->findDevice("C1"));
+  ASSERT_NE(c1, nullptr);
+  EXPECT_DOUBLE_EQ(c1->capacitance(), 10e-12);
+}
+
+TEST(DeckParser, FirstLineIsAlwaysTitle) {
+  // Even a card-looking first line is the title, per SPICE convention.
+  auto deck = parseDeck("R1 a b 1k\nR2 a b 2k\n");
+  EXPECT_EQ(deck.title, "R1 a b 1k");
+  EXPECT_EQ(deck.netlist->devices().size(), 1u);
+}
+
+TEST(DeckParser, TitleDirectiveOverrides) {
+  auto deck = parseDeck("first\n.title my circuit\nR1 a 0 1\n");
+  EXPECT_EQ(deck.title, "my circuit");
+}
+
+TEST(DeckParser, NoTitleOption) {
+  DeckOptions opts;
+  opts.firstLineIsTitle = false;
+  auto deck = parseDeck("R1 a b 1k\n", opts);
+  EXPECT_EQ(deck.netlist->devices().size(), 1u);
+}
+
+TEST(DeckParser, CommentsAndContinuations) {
+  auto deck = parseDeck(
+      "title\n"
+      "* a full-line comment\n"
+      "R1 a b\n"
+      "+ 2k ; inline comment\n"
+      "C1 a 0 1p $ another inline\n");
+  auto* r1 = dynamic_cast<Resistor*>(deck.netlist->findDevice("R1"));
+  ASSERT_NE(r1, nullptr);
+  EXPECT_DOUBLE_EQ(r1->resistance(), 2e3);
+  ASSERT_NE(deck.netlist->findDevice("C1"), nullptr);
+}
+
+TEST(DeckParser, GroundAliases) {
+  auto deck = parseDeck("t\nR1 a 0 1\nR2 b gnd 1\n");
+  auto* r1 = dynamic_cast<Resistor*>(deck.netlist->findDevice("R1"));
+  auto* r2 = dynamic_cast<Resistor*>(deck.netlist->findDevice("R2"));
+  EXPECT_EQ(r1->nodeB(), kGround);
+  EXPECT_EQ(r2->nodeB(), kGround);
+}
+
+TEST(DeckParser, NodeNamesAreCaseInsensitive) {
+  auto deck = parseDeck("t\nR1 OUT 0 1\nR2 out 0 1\n");
+  auto* r1 = dynamic_cast<Resistor*>(deck.netlist->findDevice("R1"));
+  auto* r2 = dynamic_cast<Resistor*>(deck.netlist->findDevice("R2"));
+  EXPECT_EQ(r1->nodeA(), r2->nodeA());
+}
+
+// ------------------------------------------------------------ sources
+
+TEST(DeckParser, VsourceBareValue) {
+  auto deck = parseDeck("t\nV1 p 0 3.3\n");
+  auto* v = dynamic_cast<VSource*>(deck.netlist->findDevice("V1"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->dc(), 3.3);
+}
+
+TEST(DeckParser, VsourceDcAcSin) {
+  auto deck = parseDeck("t\nV1 p 0 DC 1.2 AC 0.5 SIN(0.1 1meg 0.25)\n");
+  auto* v = dynamic_cast<VSource*>(deck.netlist->findDevice("V1"));
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(v->dc(), 1.2);
+  EXPECT_DOUBLE_EQ(v->acMag(), 0.5);
+  EXPECT_DOUBLE_EQ(v->sineAmp(), 0.1);
+  EXPECT_DOUBLE_EQ(v->sineFreq(), 1e6);
+  EXPECT_DOUBLE_EQ(v->sinePhase(), 0.25);
+}
+
+TEST(DeckParser, VsourceSinTwoArgs) {
+  auto deck = parseDeck("t\nV1 p 0 DC 0 SIN(1 2.4g)\n");
+  auto* v = dynamic_cast<VSource*>(deck.netlist->findDevice("V1"));
+  EXPECT_DOUBLE_EQ(v->sineFreq(), 2.4e9);
+  EXPECT_DOUBLE_EQ(v->sinePhase(), 0.0);
+}
+
+TEST(DeckParser, IsourceWithAndWithoutDcKeyword) {
+  auto deck = parseDeck("t\nI1 a 0 DC 1m\nI2 b 0 2m\n");
+  auto* i1 = dynamic_cast<ISource*>(deck.netlist->findDevice("I1"));
+  auto* i2 = dynamic_cast<ISource*>(deck.netlist->findDevice("I2"));
+  EXPECT_DOUBLE_EQ(i1->dc(), 1e-3);
+  EXPECT_DOUBLE_EQ(i2->dc(), 2e-3);
+}
+
+// ------------------------------------------------------ params / exprs
+
+TEST(DeckParser, ParamAndBraceExpressions) {
+  auto deck = parseDeck(
+      "t\n"
+      ".param rload=2k gain=4\n"
+      "R1 a 0 {rload}\n"
+      "R2 a 0 {rload*gain}\n"
+      "R3 a 0 rload\n");
+  EXPECT_DOUBLE_EQ(dynamic_cast<Resistor*>(deck.netlist->findDevice("R1"))->resistance(), 2e3);
+  EXPECT_DOUBLE_EQ(dynamic_cast<Resistor*>(deck.netlist->findDevice("R2"))->resistance(), 8e3);
+  EXPECT_DOUBLE_EQ(dynamic_cast<Resistor*>(deck.netlist->findDevice("R3"))->resistance(), 2e3);
+}
+
+TEST(DeckParser, ParamChainsAndQuotedExpr) {
+  auto deck = parseDeck(
+      "t\n"
+      ".param w=2u\n"
+      ".param weff={w*4}\n"
+      "C1 a 0 'weff/2'\n");
+  EXPECT_DOUBLE_EQ(deck.params.at("weff"), 8e-6);
+  EXPECT_DOUBLE_EQ(dynamic_cast<Capacitor*>(deck.netlist->findDevice("C1"))->capacitance(),
+                   4e-6);
+}
+
+TEST(DeckParser, InjectedParams) {
+  DeckOptions opts;
+  opts.params["sweep_r"] = 42.0;
+  auto deck = parseDeck("t\nR1 a 0 {sweep_r}\n", opts);
+  EXPECT_DOUBLE_EQ(dynamic_cast<Resistor*>(deck.netlist->findDevice("R1"))->resistance(),
+                   42.0);
+}
+
+TEST(DeckParser, ParamExpressionWithSpacesInsideBraces) {
+  auto deck = parseDeck("t\n.param x={1 + 2}\nR1 a 0 {x * 3}\n");
+  EXPECT_DOUBLE_EQ(dynamic_cast<Resistor*>(deck.netlist->findDevice("R1"))->resistance(),
+                   9.0);
+}
+
+// ---------------------------------------------------------- transistors
+
+constexpr const char* kMosDeck =
+    "mos deck\n"
+    ".model nch0 NMOS (kp=200u vth=0.4 lambda=0.1 l=150n)\n"
+    ".model pch0 PMOS (kp=100u vth=0.45)\n"
+    "M1 d g 0 nch0 W=2u NF=4\n"
+    "M2 d g vdd pch0 W=4u NF=2\n";
+
+TEST(DeckParser, MosfetCards) {
+  auto deck = parseDeck(kMosDeck);
+  auto* m1 = dynamic_cast<Mosfet*>(deck.netlist->findDevice("M1"));
+  ASSERT_NE(m1, nullptr);
+  EXPECT_EQ(m1->model().type, MosType::Nmos);
+  EXPECT_DOUBLE_EQ(m1->model().kp, 200e-6);
+  EXPECT_DOUBLE_EQ(m1->model().vth, 0.4);
+  EXPECT_DOUBLE_EQ(m1->model().lambda, 0.1);
+  EXPECT_DOUBLE_EQ(m1->model().length, 150e-9);
+  EXPECT_DOUBLE_EQ(m1->width(), 2e-6);
+  EXPECT_EQ(m1->fingers(), 4);
+  auto* m2 = dynamic_cast<Mosfet*>(deck.netlist->findDevice("M2"));
+  ASSERT_NE(m2, nullptr);
+  EXPECT_EQ(m2->model().type, MosType::Pmos);
+  EXPECT_EQ(m2->fingers(), 2);
+}
+
+TEST(DeckParser, MosfetDefaultFingerCount) {
+  auto deck = parseDeck("t\n.model n NMOS ()\nM1 d g 0 n W=1u\n");
+  EXPECT_EQ(dynamic_cast<Mosfet*>(deck.netlist->findDevice("M1"))->fingers(), 1);
+}
+
+TEST(DeckParser, MosfetBulkTiedToSourceAccepted) {
+  auto deck = parseDeck("t\n.model n NMOS ()\nM1 d g s s n W=1u\n");
+  EXPECT_NE(deck.netlist->findDevice("M1"), nullptr);
+}
+
+TEST(DeckParser, GanModelAndDevice) {
+  auto deck = parseDeck(
+      "t\n"
+      ".model g150 GAN (ipk=480 vpk=-1.1 p1=1.3 alpha=1.0 lambda=5m cgs=1n cgd=0.2n)\n"
+      "M1 d g 0 g150 W=50u NF=8\n");
+  auto* m = dynamic_cast<GanHemt*>(deck.netlist->findDevice("M1"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->model().ipkPerWidth, 480.0);
+  EXPECT_DOUBLE_EQ(m->model().vpk, -1.1);
+  EXPECT_DOUBLE_EQ(m->model().lambda, 5e-3);
+  EXPECT_DOUBLE_EQ(m->effectiveWidth(), 50e-6 * 8);
+}
+
+TEST(DeckParser, ModelParamsSeparateTokens) {
+  // Params may appear outside parentheses, space-separated.
+  auto deck = parseDeck("t\n.model n NMOS kp=150u vth=0.35\nM1 d g 0 n W=1u\n");
+  EXPECT_DOUBLE_EQ(dynamic_cast<Mosfet*>(deck.netlist->findDevice("M1"))->model().kp,
+                   150e-6);
+}
+
+// -------------------------------------------------------------- errors
+
+struct BadDeck {
+  const char* text;
+  const char* why;
+};
+
+class DeckErrors : public ::testing::TestWithParam<BadDeck> {};
+
+TEST_P(DeckErrors, Throws) {
+  EXPECT_THROW(parseDeck(std::string("title\n") + GetParam().text), ParseError)
+      << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, DeckErrors,
+    ::testing::Values(
+        BadDeck{"R1 a b\n", "missing value"},
+        BadDeck{"R1 a b 1k extra\n", "trailing token"},
+        BadDeck{"R1 a b -1\n", "negative resistance rejected by device"},
+        BadDeck{"Q1 a b c\n", "unsupported card letter"},
+        BadDeck{"+ continué\n", "continuation with nothing to continue"},
+        BadDeck{"R1 a b {1+\n", "unbalanced brace"},
+        BadDeck{"M1 d g 0 nomodel W=1u\n", "unknown model"},
+        BadDeck{".model n NMOS (bogus=1)\nM1 d g 0 n W=1u\n", "unknown model param"},
+        BadDeck{".model n NMOS ()\nM1 d g 0 n\n", "missing W"},
+        BadDeck{".model n NMOS ()\nM1 d g s b n W=1u\n", "bulk != source"},
+        BadDeck{".model n BJT ()\n", "unsupported model type"},
+        BadDeck{".param oops\n", "param without value"},
+        BadDeck{"V1 p 0 DC\n", "DC without value"},
+        BadDeck{"V1 p 0 SIN(1)\n", "SIN arity"},
+        BadDeck{"I1 a 0 DC 1 junk\n", "trailing I-card token"},
+        BadDeck{"R1 a 0 {unknown_param}\n", "unknown identifier"},
+        BadDeck{".include \"/nonexistent/file.sp\"\n", "missing include"}));
+
+TEST(DeckErrors, ReportsLineNumber) {
+  try {
+    parseDeck("title\nR1 a 0 1\nbogus card here\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST(DeckParser, UnknownDirectiveIsWarningNotError) {
+  auto deck = parseDeck("t\n.options reltol=1e-4\nR1 a 0 1\n");
+  ASSERT_EQ(deck.warnings.size(), 1u);
+  EXPECT_NE(deck.warnings[0].find(".options"), std::string::npos);
+}
+
+// ------------------------------------------------------------- include
+
+TEST(DeckParser, IncludeFile) {
+  std::string incPath = ::testing::TempDir() + "/crl_models.inc";
+  {
+    std::ofstream out(incPath);
+    out << ".model nch NMOS (kp=222u)\n.param rbig=9k\n";
+  }
+  auto deck = parseDeck(
+      "t\n.include \"" + incPath + "\"\nM1 d g 0 nch W=1u\nR1 a 0 {rbig}\n");
+  EXPECT_DOUBLE_EQ(dynamic_cast<Mosfet*>(deck.netlist->findDevice("M1"))->model().kp,
+                   222e-6);
+  EXPECT_DOUBLE_EQ(dynamic_cast<Resistor*>(deck.netlist->findDevice("R1"))->resistance(),
+                   9e3);
+  std::remove(incPath.c_str());
+}
+
+// ----------------------------------------------------------- round-trip
+
+TEST(DeckWriter, RoundTripPreservesDevicesAndValues) {
+  auto deck = parseDeck(std::string(kMosDeck) +
+                        "V1 vdd 0 DC 1.2 AC 1\n"
+                        "R1 d vdd 10k\n"
+                        "C1 d 0 100f\n"
+                        "L1 g 0 2n\n"
+                        "I1 vdd d DC 50u\n");
+  std::string text = writeDeck(*deck.netlist, "round trip");
+  auto again = parseDeck(text);
+  ASSERT_EQ(again.netlist->devices().size(), deck.netlist->devices().size());
+  auto* m1 = dynamic_cast<Mosfet*>(again.netlist->findDevice("M1"));
+  ASSERT_NE(m1, nullptr);
+  EXPECT_DOUBLE_EQ(m1->model().kp, 200e-6);
+  EXPECT_EQ(m1->fingers(), 4);
+  auto* v1 = dynamic_cast<VSource*>(again.netlist->findDevice("V1"));
+  EXPECT_DOUBLE_EQ(v1->dc(), 1.2);
+  EXPECT_DOUBLE_EQ(v1->acMag(), 1.0);
+  auto* l1 = dynamic_cast<Inductor*>(again.netlist->findDevice("L1"));
+  EXPECT_DOUBLE_EQ(l1->inductance(), 2e-9);
+}
+
+TEST(DeckWriter, SharedModelsAreDeduplicated) {
+  auto deck = parseDeck(
+      "t\n.model n NMOS (kp=200u)\nM1 a b 0 n W=1u\nM2 c d 0 n W=2u\n");
+  std::string text = writeDeck(*deck.netlist);
+  // Exactly one .model card for the shared model.
+  std::size_t count = 0, at = 0;
+  while ((at = text.find(".model", at)) != std::string::npos) {
+    ++count;
+    at += 6;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(DeckWriter, RoundTripMatchesDcSolution) {
+  // Parse a nonlinear deck, solve DC; write/reparse; DC again must agree.
+  auto deck = parseDeck(
+      "bias chain\n"
+      ".model nch NMOS (kp=300u vth=0.35 lambda=0.25 l=150n)\n"
+      "V1 vdd 0 DC 1.2\n"
+      "R1 vdd d 20k\n"
+      "M1 d d 0 nch W=4u NF=2\n");
+  DcAnalysis dc1(*deck.netlist);
+  auto r1 = dc1.solve();
+  ASSERT_TRUE(r1.converged);
+  double vd1 = Netlist::voltageOf(r1.x, deck.netlist->findNode("d"));
+
+  auto again = parseDeck(writeDeck(*deck.netlist));
+  DcAnalysis dc2(*again.netlist);
+  auto r2 = dc2.solve();
+  ASSERT_TRUE(r2.converged);
+  double vd2 = Netlist::voltageOf(r2.x, again.netlist->findNode("d"));
+  EXPECT_NEAR(vd1, vd2, 1e-9);
+}
+
+TEST(DeckParsedCircuit, AcOfParsedRcMatchesAnalytic) {
+  auto deck = parseDeck(
+      "rc lowpass\n"
+      "V1 in 0 DC 0 AC 1\n"
+      "R1 in out 1k\n"
+      "C1 out 0 1u\n");
+  DcAnalysis dc(*deck.netlist);
+  auto op = dc.solve();
+  ASSERT_TRUE(op.converged);
+  AcAnalysis ac(*deck.netlist, op.x);
+  NodeId out = deck.netlist->findNode("out");
+  double fc = 1.0 / (2 * 3.14159265358979323846 * 1e3 * 1e-6);
+  auto v = ac.nodeVoltage(fc, out);
+  EXPECT_NEAR(std::abs(v), 1.0 / std::sqrt(2.0), 1e-3);
+}
+
+}  // namespace
+}  // namespace crl::spice

@@ -1,0 +1,210 @@
+// Hierarchical subcircuit tests: .subckt/.ends definitions, X-card
+// expansion, port binding, parameter scoping, and nesting.
+#include <gtest/gtest.h>
+
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "spice/parser.h"
+
+namespace crl::spice {
+namespace {
+
+TEST(Subckt, ExpandsDevicesWithInstancePrefix) {
+  auto deck = parseDeck(
+      "t\n"
+      ".subckt divider top bot\n"
+      "R1 top mid 1k\n"
+      "R2 mid bot 1k\n"
+      ".ends\n"
+      "V1 in 0 DC 2\n"
+      "X1 in 0 divider\n");
+  EXPECT_NE(deck.netlist->findDevice("x1.R1"), nullptr);
+  EXPECT_NE(deck.netlist->findDevice("x1.R2"), nullptr);
+  // The internal node is hierarchical; the ports are the caller's nets.
+  EXPECT_NO_THROW(deck.netlist->findNode("x1.mid"));
+  EXPECT_NO_THROW(deck.netlist->findNode("in"));
+}
+
+TEST(Subckt, PortBindingProducesTheRightDcSolution) {
+  auto deck = parseDeck(
+      "t\n"
+      ".subckt divider top bot\n"
+      "R1 top mid 1k\n"
+      "R2 mid bot 1k\n"
+      ".ends\n"
+      "V1 in 0 DC 2\n"
+      "X1 in 0 divider\n");
+  DcAnalysis dc(*deck.netlist);
+  auto r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(Netlist::voltageOf(r.x, deck.netlist->findNode("x1.mid")), 1.0, 1e-9);
+}
+
+TEST(Subckt, TwoInstancesAreIndependent) {
+  auto deck = parseDeck(
+      "t\n"
+      ".subckt load n\n"
+      "R1 n 0 2k\n"
+      ".ends\n"
+      "V1 a 0 DC 1\n"
+      "X1 a load\n"
+      "X2 a load\n");
+  auto* r1 = dynamic_cast<Resistor*>(deck.netlist->findDevice("x1.R1"));
+  auto* r2 = dynamic_cast<Resistor*>(deck.netlist->findDevice("x2.R1"));
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r2, nullptr);
+  // Both hang off net "a": total load 1k; check via the source current.
+  DcAnalysis dc(*deck.netlist);
+  auto r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  auto* v1 = dynamic_cast<VSource*>(deck.netlist->findDevice("V1"));
+  EXPECT_NEAR(std::fabs(r.x[v1->currentIndex()]), 1.0 / 1e3, 1e-9);
+}
+
+TEST(Subckt, DefaultAndOverrideParameters) {
+  auto deck = parseDeck(
+      "t\n"
+      ".subckt rload n rval=1k\n"
+      "R1 n 0 {rval}\n"
+      ".ends\n"
+      "X1 a rload\n"
+      "X2 a rload rval=5k\n");
+  EXPECT_DOUBLE_EQ(
+      dynamic_cast<Resistor*>(deck.netlist->findDevice("x1.R1"))->resistance(), 1e3);
+  EXPECT_DOUBLE_EQ(
+      dynamic_cast<Resistor*>(deck.netlist->findDevice("x2.R1"))->resistance(), 5e3);
+}
+
+TEST(Subckt, DeckParamsVisibleInsideAndShadowedByDefaults) {
+  auto deck = parseDeck(
+      "t\n"
+      ".param big=9k small=1\n"
+      ".subckt cell n small=2\n"
+      "R1 n 0 {big}\n"
+      "R2 n 0 {small * 1k}\n"
+      ".ends\n"
+      "X1 a cell\n");
+  EXPECT_DOUBLE_EQ(
+      dynamic_cast<Resistor*>(deck.netlist->findDevice("x1.R1"))->resistance(), 9e3);
+  // The subckt default shadows the deck-level binding.
+  EXPECT_DOUBLE_EQ(
+      dynamic_cast<Resistor*>(deck.netlist->findDevice("x1.R2"))->resistance(), 2e3);
+}
+
+TEST(Subckt, GroundStaysGlobalInsideSubckts) {
+  auto deck = parseDeck(
+      "t\n"
+      ".subckt cell n\n"
+      "R1 n gnd 1k\n"
+      ".ends\n"
+      "V1 a 0 DC 1\n"
+      "X1 a cell\n");
+  auto* r1 = dynamic_cast<Resistor*>(deck.netlist->findDevice("x1.R1"));
+  EXPECT_EQ(r1->nodeB(), kGround);
+}
+
+TEST(Subckt, NestedInstantiation) {
+  auto deck = parseDeck(
+      "t\n"
+      ".subckt unit n\n"
+      "R1 n 0 1k\n"
+      ".ends\n"
+      ".subckt pair n\n"
+      "X1 n unit\n"
+      "Xb n unit\n"
+      ".ends\n"
+      "V1 a 0 DC 1\n"
+      "Xtop a pair\n");
+  EXPECT_NE(deck.netlist->findDevice("xtop.x1.R1"), nullptr);
+  EXPECT_NE(deck.netlist->findDevice("xtop.xb.R1"), nullptr);
+  DcAnalysis dc(*deck.netlist);
+  auto r = dc.solve();
+  ASSERT_TRUE(r.converged);
+  auto* v1 = dynamic_cast<VSource*>(deck.netlist->findDevice("V1"));
+  EXPECT_NEAR(std::fabs(r.x[v1->currentIndex()]), 2.0 / 1e3, 1e-9);
+}
+
+TEST(Subckt, TransistorsInsideSubcktsSeeGlobalModels) {
+  auto deck = parseDeck(
+      "t\n"
+      ".model nch NMOS (kp=300u vth=0.35)\n"
+      ".subckt stage in out vdd w=2u\n"
+      "Rd vdd out 15k\n"
+      "M1 out in 0 nch W={w}\n"
+      ".ends\n"
+      "Vdd vdd 0 DC 1.2\n"
+      "Vin in 0 DC 0.45 AC 1\n"
+      "X1 in out vdd stage w=4u\n");
+  auto* m = dynamic_cast<Mosfet*>(deck.netlist->findDevice("x1.M1"));
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->width(), 4e-6);
+  DcAnalysis dc(*deck.netlist);
+  auto r = dc.solve();
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Subckt, CascadedStagesMultiplyGain) {
+  // Two identical common-source stages through a subckt: AC gain of the
+  // cascade is roughly the square of one stage's gain.
+  const char* deckText =
+      "t\n"
+      ".model nch NMOS (kp=300u vth=0.35 lambda=0.25 l=150n)\n"
+      ".subckt cs in out vdd\n"
+      "Rd vdd out 15k\n"
+      "M1 out in 0 nch W=2u NF=2\n"
+      ".ends\n"
+      "Vdd vdd 0 DC 1.2\n"
+      "Vin in 0 DC 0.45 AC 1\n"
+      "X1 in mid vdd cs\n"
+      "Cc mid in2 1u\n"
+      "Rb in2 bias 1meg\n"
+      "Vb bias 0 DC 0.45\n"
+      "X2 in2 out vdd cs\n";
+  auto deck = parseDeck(deckText);
+  DcAnalysis dc(*deck.netlist);
+  auto op = dc.solve();
+  ASSERT_TRUE(op.converged);
+  AcAnalysis ac(*deck.netlist, op.x);
+  const double g1 = std::abs(ac.nodeVoltage(10e3, deck.netlist->findNode("mid")));
+  const double g2 = std::abs(ac.nodeVoltage(10e3, deck.netlist->findNode("out")));
+  EXPECT_GT(g1, 5.0);
+  EXPECT_NEAR(g2 / g1, g1, 0.35 * g1);  // loading shifts it a little
+}
+
+// -------------------------------------------------------------- errors
+
+struct BadSub {
+  const char* text;
+  const char* why;
+};
+
+class SubcktErrors : public ::testing::TestWithParam<BadSub> {};
+
+TEST_P(SubcktErrors, Throws) {
+  EXPECT_THROW(parseDeck(std::string("title\n") + GetParam().text), ParseError)
+      << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, SubcktErrors,
+    ::testing::Values(
+        BadSub{"X1 a nosuch\n", "unknown subckt"},
+        BadSub{".subckt s a\nR1 a 0 1\n", "missing .ends"},
+        BadSub{".ends\n", ".ends without .subckt"},
+        BadSub{".subckt s a\n.subckt t b\n.ends\n.ends\n", "nested definitions"},
+        BadSub{".subckt s a b\nR1 a b 1\n.ends\nX1 n s\n", "port count mismatch"},
+        BadSub{".subckt\n", "missing name"}));
+
+TEST(SubcktErrors, RecursionIsBounded) {
+  // Self-instantiating subckt must hit the depth limit, not hang.
+  EXPECT_THROW(parseDeck("t\n"
+                         ".subckt loop n\n"
+                         "X1 n loop\n"
+                         ".ends\n"
+                         "Xtop a loop\n"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace crl::spice

@@ -1,0 +1,77 @@
+// Integration: the benchmark circuits' netlists serialize through
+// writeDeck() and re-parse into circuits with identical DC solutions —
+// the paper's DPM contract (netlist out == netlist in).
+#include <gtest/gtest.h>
+
+#include "circuit/opamp.h"
+#include "circuit/ota.h"
+#include "circuit/rfpa.h"
+#include "spice/dc.h"
+#include "spice/parser.h"
+
+namespace crl::spice {
+namespace {
+
+/// Solve DC on both netlists and compare every shared node voltage.
+void expectSameDc(Netlist& a, Netlist& b, double tol) {
+  DcOptions opt;
+  opt.initialVoltage = 0.6;
+  DcAnalysis dcA(a, opt), dcB(b, opt);
+  auto ra = dcA.solve();
+  auto rb = dcB.solve();
+  ASSERT_TRUE(ra.converged);
+  ASSERT_TRUE(rb.converged);
+  for (std::size_t n = 1; n < a.nodeCount(); ++n) {
+    const auto& name = a.nodeName(static_cast<NodeId>(n));
+    NodeId nb = b.findNode(name);
+    EXPECT_NEAR(Netlist::voltageOf(ra.x, static_cast<NodeId>(n)),
+                Netlist::voltageOf(rb.x, nb), tol)
+        << "node " << name;
+  }
+}
+
+TEST(WriterIntegration, TwoStageOpAmpRoundTripsWithSameDc) {
+  circuit::TwoStageOpAmp amp;
+  // Move off the default sizing so values are non-trivial.
+  auto p = amp.designSpace().midpoint();
+  p[0] = 23.1;
+  p[14] = 2.41;
+  amp.setParams(amp.designSpace().clamp(p));
+  auto text = writeDeck(amp.netlist(), "opamp");
+  auto deck = parseDeck(text);
+  ASSERT_EQ(deck.netlist->devices().size(), amp.netlist().devices().size());
+  expectSameDc(amp.netlist(), *deck.netlist, 1e-6);
+}
+
+TEST(WriterIntegration, OtaRoundTripsWithSameDc) {
+  circuit::FiveTransistorOta ota;
+  auto text = writeDeck(ota.netlist(), "ota");
+  auto deck = parseDeck(text);
+  ASSERT_EQ(deck.netlist->devices().size(), ota.netlist().devices().size());
+  expectSameDc(ota.netlist(), *deck.netlist, 1e-6);
+}
+
+TEST(WriterIntegration, RfPaDeckReparsesWithAllDevices) {
+  circuit::GanRfPa pa;
+  auto text = writeDeck(pa.netlist(), "rfpa");
+  auto deck = parseDeck(text);
+  // The PA testbench has an inductor branch and GaN models; everything must
+  // survive the round trip (transient equivalence is covered elsewhere).
+  ASSERT_EQ(deck.netlist->devices().size(), pa.netlist().devices().size());
+  EXPECT_EQ(deck.ganModels.size(), 1u);
+}
+
+TEST(WriterIntegration, EmittedDecksCarrySharedModels) {
+  circuit::TwoStageOpAmp amp;
+  auto text = writeDeck(amp.netlist(), "opamp");
+  // 7 transistors, 2 distinct models (NMOS + PMOS): exactly two .model cards.
+  std::size_t count = 0, at = 0;
+  while ((at = text.find(".model", at)) != std::string::npos) {
+    ++count;
+    at += 6;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace crl::spice

@@ -1,0 +1,62 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace crl::util {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/crl_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.writeRow(std::vector<double>{1.0, 2.5});
+    w.writeRow(std::vector<std::string>{"x", "y"});
+  }
+  EXPECT_EQ(readFile(path_), "a,b\n1,2.5\nx,y\n");
+}
+
+TEST_F(CsvWriterTest, RejectsWrongWidth) {
+  CsvWriter w(path_, {"a", "b", "c"});
+  EXPECT_THROW(w.writeRow(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(TextTable, FormatsAligned) {
+  TextTable t({"name", "value"});
+  t.addRow({"gain", "350"});
+  t.addRow({"pm", "55"});
+  std::ostringstream os;
+  t.print(os);
+  std::string s = os.str();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| gain"), std::string::npos);
+  EXPECT_NE(s.find("| 350"), std::string::npos);
+}
+
+TEST(TextTable, RejectsRaggedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumFormatsPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 3), "3.14");
+  EXPECT_EQ(TextTable::num(1000000.0, 4), "1e+06");
+}
+
+}  // namespace
+}  // namespace crl::util

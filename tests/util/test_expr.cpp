@@ -1,0 +1,143 @@
+#include "util/expr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace crl::util {
+namespace {
+
+// ------------------------------------------------------------ evalExpr
+
+struct ExprCase {
+  const char* expr;
+  double expected;
+};
+
+class ExprEval : public ::testing::TestWithParam<ExprCase> {};
+
+TEST_P(ExprEval, Evaluates) {
+  const auto& c = GetParam();
+  EXPECT_NEAR(evalExpr(c.expr), c.expected, 1e-12 * std::max(1.0, std::fabs(c.expected)))
+      << c.expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, ExprEval,
+    ::testing::Values(ExprCase{"1+2", 3.0}, ExprCase{"2*3+4", 10.0},
+                      ExprCase{"2+3*4", 14.0}, ExprCase{"(2+3)*4", 20.0},
+                      ExprCase{"10/4", 2.5}, ExprCase{"7%3", 1.0},
+                      ExprCase{"-5+3", -2.0}, ExprCase{"--5", 5.0},
+                      ExprCase{"-(2+3)", -5.0}, ExprCase{"2^10", 1024.0},
+                      ExprCase{"2^3^2", 512.0},  // right-associative
+                      ExprCase{"-2^2", -4.0},    // unary binds the power result
+                      ExprCase{"1.5e3 + 0.5e3", 2000.0},
+                      ExprCase{"  1 +\t2 ", 3.0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    EngineeringSuffixes, ExprEval,
+    ::testing::Values(ExprCase{"2k", 2e3}, ExprCase{"1meg", 1e6},
+                      ExprCase{"3u", 3e-6}, ExprCase{"10p", 10e-12},
+                      ExprCase{"5n*2", 10e-9}, ExprCase{"1g/1meg", 1e3},
+                      ExprCase{"2.2m", 2.2e-3}, ExprCase{"4f", 4e-15},
+                      ExprCase{"1t", 1e12}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, ExprEval,
+    ::testing::Values(ExprCase{"sqrt(16)", 4.0}, ExprCase{"exp(0)", 1.0},
+                      ExprCase{"ln(1)", 0.0}, ExprCase{"log10(1000)", 3.0},
+                      ExprCase{"abs(-3.5)", 3.5}, ExprCase{"min(2, 5)", 2.0},
+                      ExprCase{"max(2, 5)", 5.0}, ExprCase{"pow(3, 4)", 81.0},
+                      ExprCase{"hypot(3, 4)", 5.0}, ExprCase{"floor(2.9)", 2.0},
+                      ExprCase{"ceil(2.1)", 3.0}, ExprCase{"round(2.5)", 3.0},
+                      ExprCase{"sqrt(2)*sqrt(2)", 2.0},
+                      ExprCase{"sin(0)", 0.0}, ExprCase{"cos(0)", 1.0}));
+
+TEST(ExprVariables, ResolvesBindings) {
+  VarMap vars{{"w", 2e-6}, {"nf", 4.0}};
+  EXPECT_DOUBLE_EQ(evalExpr("w*nf", vars), 8e-6);
+  EXPECT_DOUBLE_EQ(evalExpr("w + w", vars), 4e-6);
+}
+
+TEST(ExprVariables, CaseInsensitiveLookup) {
+  VarMap vars{{"vdd", 1.2}};
+  EXPECT_DOUBLE_EQ(evalExpr("VDD/2", vars), 0.6);
+}
+
+TEST(ExprVariables, BuiltinConstants) {
+  EXPECT_NEAR(evalExpr("2*pi"), 6.283185307179586, 1e-12);
+  EXPECT_NEAR(evalExpr("ln(e)"), 1.0, 1e-12);
+}
+
+TEST(ExprVariables, UserBindingShadowsConstant) {
+  VarMap vars{{"pi", 3.0}};
+  EXPECT_DOUBLE_EQ(evalExpr("pi", vars), 3.0);
+}
+
+struct BadExpr {
+  const char* expr;
+};
+
+class ExprErrors : public ::testing::TestWithParam<BadExpr> {};
+
+TEST_P(ExprErrors, Throws) {
+  EXPECT_THROW(evalExpr(GetParam().expr), ExprError) << GetParam().expr;
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, ExprErrors,
+                         ::testing::Values(BadExpr{""}, BadExpr{"1+"}, BadExpr{"(1+2"},
+                                           BadExpr{"1+2)"}, BadExpr{"foo"},
+                                           BadExpr{"sqrt()"}, BadExpr{"sqrt(1,2)"},
+                                           BadExpr{"min(1)"}, BadExpr{"nosuchfn(1)"},
+                                           BadExpr{"1 2"}, BadExpr{"*3"}));
+
+TEST(ExprErrors, ReportsOffset) {
+  try {
+    evalExpr("1 + @");
+    FAIL() << "expected ExprError";
+  } catch (const ExprError& e) {
+    EXPECT_GE(e.offset(), 3u);
+  }
+}
+
+// ------------------------------------------------------- parseEngNumber
+
+struct EngCase {
+  const char* token;
+  double expected;
+};
+
+class EngNumber : public ::testing::TestWithParam<EngCase> {};
+
+TEST_P(EngNumber, Parses) {
+  double v = 0.0;
+  ASSERT_TRUE(parseEngNumber(GetParam().token, &v)) << GetParam().token;
+  EXPECT_NEAR(v, GetParam().expected,
+              1e-12 * std::max(1.0, std::fabs(GetParam().expected)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suffixes, EngNumber,
+    ::testing::Values(EngCase{"1", 1.0}, EngCase{"2.5k", 2.5e3}, EngCase{"1meg", 1e6},
+                      EngCase{"1MEG", 1e6}, EngCase{"10pF", 10e-12},
+                      EngCase{"4.7uF", 4.7e-6}, EngCase{"100nH", 100e-9},
+                      EngCase{"3.3kohm", 3.3e3}, EngCase{"-2m", -2e-3},
+                      EngCase{"+5u", 5e-6}, EngCase{"1e-3", 1e-3},
+                      EngCase{"1.5e3k", 1.5e6},  // exponent then suffix
+                      EngCase{"2f", 2e-15}, EngCase{"7t", 7e12},
+                      EngCase{"5Hz", 5.0}, EngCase{"12V", 12.0},
+                      EngCase{"1mil", 25.4e-6}));
+
+class EngNumberBad : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngNumberBad, Rejects) {
+  double v = 0.0;
+  EXPECT_FALSE(parseEngNumber(GetParam(), &v)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Malformed, EngNumberBad,
+                         ::testing::Values("", "k", "abc", "1.2.3k4", "3k3", "1u2",
+                                           "--1", "{1+2}"));
+
+}  // namespace
+}  // namespace crl::util

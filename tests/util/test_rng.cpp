@@ -1,0 +1,132 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace crl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(0.0, 1.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sumSq += x * x;
+  }
+  double mean = sum / n;
+  double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.4);
+}
+
+TEST(Rng, RandintInclusiveBounds) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int x = rng.randint(1, 3);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all values hit
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(13);
+  std::vector<double> w{0.0, 10.0, 0.0};
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(rng.categorical(w), 1u);
+}
+
+TEST(Rng, CategoricalProportions) {
+  Rng rng(17);
+  std::vector<double> w{1.0, 3.0};
+  int count1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.categorical(w) == 1) ++count1;
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalThrowsOnEmpty) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({}), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalZeroWeightsFallsBackToUniform) {
+  Rng rng(1);
+  std::vector<double> w{0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.categorical(w));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(23);
+  auto p = rng.permutation(20);
+  ASSERT_EQ(p.size(), 20u);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng(1);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  auto p = rng.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(99);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.uniform() == child.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace crl::util

@@ -1,0 +1,44 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace crl::util {
+namespace {
+
+TEST(Strings, SplitBasic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  std::vector<std::string> parts{"vdd", "gnd", "out"};
+  EXPECT_EQ(join(parts, "-"), "vdd-gnd-out");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(toLower("VddA1"), "vdda1"); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("fig3_opamp", "fig3"));
+  EXPECT_FALSE(startsWith("fig", "fig3"));
+}
+
+TEST(Strings, EngFormatScales) {
+  EXPECT_EQ(engFormat(0.0), "0");
+  EXPECT_EQ(engFormat(4.7e-12), "4.7p");
+  EXPECT_EQ(engFormat(1.8e7, 3), "18M");
+  EXPECT_EQ(engFormat(-2.5e-3, 2), "-2.5m");
+}
+
+}  // namespace
+}  // namespace crl::util
