@@ -1,0 +1,160 @@
+// Rollout-engine throughput: the parallel batched VecEnv collection loop vs.
+// the sequential one-env-at-a-time reference, at N in {1, 2, 4, 8} lanes.
+//
+// Two workloads bracket the engine's operating range:
+//   * opamp-fine  — the two-stage op-amp P2S env at Fine fidelity, where a
+//     full AC/DC SPICE solve dominates each step (simulation-bound);
+//   * rfpa-coarse — the GaN RF PA P2S env at Coarse fidelity, the paper's
+//     fast training environment, where the GNN policy forward dominates
+//     (inference-bound) and batching the forward pays the most.
+//
+// The sequential baseline reproduces PpoTrainer's classic collection loop:
+// one grad-recording single-row forward per step. The engine runs the
+// batched no-grad forward and steps all lanes through the thread pool.
+//
+//   CRL_BENCH_STEPS — env-steps per measurement (default 2000)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+#include "core/policies.h"
+#include "envs/sizing_env.h"
+#include "rl/vec_env.h"
+#include "util/thread_pool.h"
+
+using namespace crl;
+
+namespace {
+
+constexpr int kMaxSteps = 30;
+
+enum class Workload { OpAmpFine, RfPaCoarse };
+
+const char* workloadName(Workload w) {
+  return w == Workload::OpAmpFine ? "opamp-fine" : "rfpa-coarse";
+}
+
+rl::EnvLane makeLane(Workload w) {
+  rl::EnvLane lane;
+  if (w == Workload::OpAmpFine) {
+    auto amp = std::make_shared<circuit::TwoStageOpAmp>();
+    lane.env = std::make_unique<envs::SizingEnv>(
+        *amp, envs::SizingEnvConfig{.maxSteps = kMaxSteps});
+    lane.keepAlive = amp;
+  } else {
+    auto pa = std::make_shared<circuit::GanRfPa>();
+    lane.env = std::make_unique<envs::SizingEnv>(
+        *pa, envs::SizingEnvConfig{.maxSteps = kMaxSteps,
+                                   .fidelity = circuit::Fidelity::Coarse});
+    lane.keepAlive = pa;
+  }
+  return lane;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// PpoTrainer's historical collection loop: grad-recording single-row
+/// forward, sample, step, auto-reset.
+double sequentialStepsPerSec(Workload w, const core::MultimodalPolicy& policy,
+                             int steps) {
+  rl::EnvLane lane = makeLane(w);
+  util::Rng envRng(7), actRng(13);
+  rl::Observation obs = lane.env->reset(envRng);
+  int t = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < steps; ++s) {
+    rl::PolicyOutput out = policy.forward(obs);
+    rl::SampledAction act = rl::sampleAction(out.logits.value(), actRng);
+    (void)out.value.item();
+    rl::StepResult res = lane.env->step(act.actions);
+    ++t;
+    if (res.done || t >= kMaxSteps) {
+      obs = lane.env->reset(envRng);
+      t = 0;
+    } else {
+      obs = std::move(res.obs);
+    }
+  }
+  return steps / secondsSince(t0);
+}
+
+/// The engine: batched no-grad forward + pooled lane stepping.
+double vectorizedStepsPerSec(Workload w, const core::MultimodalPolicy& policy,
+                             std::size_t lanes, int steps, util::ThreadPool& pool) {
+  rl::VecEnv vec(lanes, [w](std::size_t) { return makeLane(w); }, 7, &pool);
+  std::vector<util::Rng> actRng;
+  for (std::size_t i = 0; i < lanes; ++i) actRng.emplace_back(13 + 17 * i);
+  std::vector<rl::Observation> obs = vec.resetAll();
+  std::vector<int> age(lanes, 0);
+  const int vectorSteps = std::max(1, steps / static_cast<int>(lanes));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < vectorSteps; ++s) {
+    std::vector<rl::PolicyOutput> outs;
+    {
+      nn::NoGradGuard inference;
+      outs = policy.forwardBatch(obs);
+    }
+    std::vector<std::vector<int>> actions(lanes);
+    for (std::size_t i = 0; i < lanes; ++i)
+      actions[i] = rl::sampleAction(outs[i].logits.value(), actRng[i]).actions;
+    auto results = vec.stepAll(actions);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      ++age[i];
+      if (results[i].done || age[i] >= kMaxSteps) {
+        obs[i] = vec.resetLane(i);
+        age[i] = 0;
+      } else {
+        obs[i] = std::move(results[i].obs);
+      }
+    }
+  }
+  return vectorSteps * static_cast<double>(lanes) / secondsSince(t0);
+}
+
+void runWorkload(Workload w, int steps) {
+  rl::EnvLane proto = makeLane(w);
+  util::Rng initRng(3);
+  auto policy = core::makePolicy(core::PolicyKind::GcnFc, *proto.env, initRng);
+
+  std::printf("\n== %s (policy: %s, %d env-steps per point) ==\n",
+              workloadName(w), policy->name(), steps);
+  std::printf("%-12s %14s %10s\n", "config", "steps/sec", "speedup");
+
+  const double seq = sequentialStepsPerSec(w, *policy, steps);
+  std::printf("%-12s %14.1f %9.2fx\n", "sequential", seq, 1.0);
+
+  for (std::size_t lanes : {1u, 2u, 4u, 8u}) {
+    util::ThreadPool pool(std::min<std::size_t>(lanes, util::ThreadPool::defaultWorkerCount()));
+    const double vecRate = vectorizedStepsPerSec(w, *policy, lanes, steps, pool);
+    std::printf("N=%-10zu %14.1f %9.2fx\n", lanes, vecRate, vecRate / seq);
+  }
+}
+
+}  // namespace
+
+int main() {
+  int steps = 2000;
+  if (const char* v = std::getenv("CRL_BENCH_STEPS")) steps = std::atoi(v);
+  steps = std::max(steps, 1);
+  std::printf("parallel rollout engine benchmark\n");
+  const std::size_t hw = util::ThreadPool::defaultWorkerCount();
+  std::printf("hardware threads: %zu\n", hw);
+  if (hw < 4)
+    std::printf(
+        "note: lane stepping parallelizes across cores, so N-lane scaling is\n"
+        "bounded by min(N, %zu) here; only the batched no-grad forward gain\n"
+        "is visible on this machine. Run on >= 4 cores for the full curve.\n",
+        hw);
+  runWorkload(Workload::RfPaCoarse, steps);
+  runWorkload(Workload::OpAmpFine, steps);
+  return 0;
+}

@@ -14,8 +14,10 @@ DesignSpace makeOpAmpSpace() {
   // steps are the paper's "smallest tuning unit": ~32 levels per parameter.
   std::vector<ParamSpec> params;
   for (int i = 1; i <= 7; ++i) {
-    params.push_back({"M" + std::to_string(i) + ".W", 1.0, 100.0, 3.3, false});
-    params.push_back({"M" + std::to_string(i) + ".nf", 2.0, 32.0, 1.0, true});
+    std::string fet = "M";
+    fet += std::to_string(i);
+    params.push_back({fet + ".W", 1.0, 100.0, 3.3, false});
+    params.push_back({fet + ".nf", 2.0, 32.0, 1.0, true});
   }
   params.push_back({"Cc", 0.1, 10.0, 0.33, false});
   return DesignSpace(std::move(params));

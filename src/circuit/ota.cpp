@@ -11,8 +11,10 @@ constexpr double kMicron = 1e-6;
 DesignSpace makeOtaSpace() {
   std::vector<ParamSpec> params;
   for (int i = 1; i <= 5; ++i) {
-    params.push_back({"M" + std::to_string(i) + ".W", 1.0, 100.0, 3.3, false});
-    params.push_back({"M" + std::to_string(i) + ".nf", 2.0, 32.0, 1.0, true});
+    std::string fet = "M";
+    fet += std::to_string(i);
+    params.push_back({fet + ".W", 1.0, 100.0, 3.3, false});
+    params.push_back({fet + ".nf", 2.0, 32.0, 1.0, true});
   }
   return DesignSpace(std::move(params));
 }

@@ -27,6 +27,103 @@ DeploymentResult runDeployment(rl::Env& env, const rl::ActorCritic& policy,
   return result;
 }
 
+std::vector<DeploymentResult> runDeploymentBatch(
+    rl::VecEnv& envs, const rl::ActorCritic& policy,
+    const std::vector<std::vector<double>>& targets, DeployOptions opt) {
+  std::vector<DeploymentResult> results(targets.size());
+  const std::size_t lanes = envs.size();
+
+  for (std::size_t wave = 0; wave * lanes < targets.size(); ++wave) {
+    // laneTarget[k]: index into targets handled by lane k this wave.
+    std::vector<std::size_t> laneTarget;
+    for (std::size_t k = 0; k < lanes && wave * lanes + k < targets.size(); ++k)
+      laneTarget.push_back(wave * lanes + k);
+
+    std::vector<rl::Observation> obs(laneTarget.size());
+    std::vector<char> active(laneTarget.size(), 1);
+    for (std::size_t k = 0; k < laneTarget.size(); ++k) {
+      obs[k] = envs.resetLaneWithTarget(k, targets[laneTarget[k]]);
+      if (opt.recordTrajectory)
+        results[laneTarget[k]].specTrajectory.push_back(envs.lane(k).rawSpecs());
+    }
+
+    std::size_t remaining = laneTarget.size();
+    while (remaining > 0) {
+      // Batch the policy over the still-active lanes only.
+      std::vector<std::size_t> ids;
+      std::vector<rl::Observation> batchObs;
+      for (std::size_t k = 0; k < laneTarget.size(); ++k) {
+        if (!active[k]) continue;
+        ids.push_back(k);
+        batchObs.push_back(obs[k]);
+      }
+      std::vector<rl::PolicyOutput> outs;
+      {
+        nn::NoGradGuard inference;
+        outs = policy.forwardBatch(batchObs);
+      }
+      std::vector<std::vector<int>> actions(ids.size());
+      for (std::size_t j = 0; j < ids.size(); ++j) {
+        rl::SampledAction act =
+            opt.greedy ? rl::greedyAction(outs[j].logits.value())
+                       : rl::sampleAction(outs[j].logits.value(), envs.laneRng(ids[j]));
+        actions[j] = act.actions;
+      }
+
+      std::vector<rl::StepResult> stepped = envs.stepLanes(ids, actions);
+
+      for (std::size_t j = 0; j < ids.size(); ++j) {
+        const std::size_t k = ids[j];
+        DeploymentResult& r = results[laneTarget[k]];
+        ++r.steps;
+        if (opt.recordTrajectory)
+          r.specTrajectory.push_back(envs.lane(k).rawSpecs());
+        obs[k] = std::move(stepped[j].obs);
+        const bool retire =
+            stepped[j].done || r.steps >= envs.lane(k).maxSteps();
+        if (retire) {
+          r.success = stepped[j].done && stepped[j].success;
+          r.finalParams = envs.lane(k).currentParams();
+          r.finalSpecs = envs.lane(k).rawSpecs();
+          active[k] = 0;
+          --remaining;
+        }
+      }
+    }
+  }
+  return results;
+}
+
+AccuracyReport evaluateAccuracyBatch(rl::VecEnv& envs, const rl::ActorCritic& policy,
+                                     int episodes) {
+  // Sample `episodes` targets round-robin from the lanes' own streams (a
+  // reset draws a fresh target spec group), then deploy them in waves.
+  std::vector<std::vector<double>> targets;
+  targets.reserve(static_cast<std::size_t>(episodes));
+  for (int i = 0; i < episodes; ++i) {
+    envs.resetLane(static_cast<std::size_t>(i) % envs.size());
+    targets.push_back(envs.lane(static_cast<std::size_t>(i) % envs.size()).rawTarget());
+  }
+  std::vector<DeploymentResult> results = runDeploymentBatch(envs, policy, targets);
+
+  AccuracyReport report;
+  report.episodes = episodes;
+  long successSteps = 0, allSteps = 0;
+  int successes = 0;
+  for (const DeploymentResult& r : results) {
+    allSteps += r.steps;
+    if (r.success) {
+      ++successes;
+      successSteps += r.steps;
+    }
+  }
+  report.accuracy = static_cast<double>(successes) / episodes;
+  report.meanSteps = static_cast<double>(allSteps) / episodes;
+  report.meanStepsSuccess =
+      successes > 0 ? static_cast<double>(successSteps) / successes : 0.0;
+  return report;
+}
+
 AccuracyReport evaluateAccuracy(rl::Env& env, const rl::ActorCritic& policy,
                                 int episodes, util::Rng& rng) {
   AccuracyReport report;

@@ -7,6 +7,7 @@
 
 #include "rl/env.h"
 #include "rl/policy.h"
+#include "rl/vec_env.h"
 
 namespace crl::core {
 
@@ -39,5 +40,19 @@ struct AccuracyReport {
 /// Deploy against `episodes` freshly sampled target spec groups.
 AccuracyReport evaluateAccuracy(rl::Env& env, const rl::ActorCritic& policy,
                                 int episodes, util::Rng& rng);
+
+/// Batched deployment: one target per rollout lane, processed in waves of
+/// envs.size(). In-flight lanes share one batched policy forward per step
+/// and their SPICE steps run through the VecEnv's thread pool; retired
+/// lanes drop out of the batch. Results align with `targets`. Sampling mode
+/// (greedy=false) draws from each lane's own RNG stream.
+std::vector<DeploymentResult> runDeploymentBatch(
+    rl::VecEnv& envs, const rl::ActorCritic& policy,
+    const std::vector<std::vector<double>>& targets, DeployOptions opt = {});
+
+/// Batched counterpart of evaluateAccuracy. Targets are sampled from each
+/// lane's own RNG stream (`episodes` of them in total).
+AccuracyReport evaluateAccuracyBatch(rl::VecEnv& envs, const rl::ActorCritic& policy,
+                                     int episodes);
 
 }  // namespace crl::core

@@ -66,6 +66,43 @@ nn::Tensor GnnFcTower::forward(const rl::Observation& obs, const linalg::Mat& no
   return trunk_->forward(features);
 }
 
+nn::Tensor GnnFcTower::forwardBatch(const std::vector<rl::Observation>& obs,
+                                    const linalg::Mat& blockAdj,
+                                    const linalg::Mat& blockMask,
+                                    const linalg::Mat& poolMat) const {
+  const std::size_t batch = obs.size();
+  nn::Tensor features;
+  if (useGraph_) {
+    const std::size_t nodes = obs[0].nodeFeatures.rows();
+    const std::size_t dim = obs[0].nodeFeatures.cols();
+    linalg::Mat stacked(batch * nodes, dim);
+    for (std::size_t i = 0; i < batch; ++i)
+      for (std::size_t r = 0; r < nodes; ++r)
+        for (std::size_t c = 0; c < dim; ++c)
+          stacked(i * nodes + r, c) = obs[i].nodeFeatures(r, c);
+    features = graphEnc_->encodeBatch(stacked, blockAdj, blockMask, poolMat);
+  } else {
+    const std::size_t numParams = obs[0].paramsNorm.size();
+    linalg::Mat params(batch, numParams);
+    for (std::size_t i = 0; i < batch; ++i)
+      for (std::size_t c = 0; c < numParams; ++c) params(i, c) = obs[i].paramsNorm[c];
+    features = paramNet_->forward(nn::Tensor(std::move(params)));
+  }
+  if (useSpecs_) {
+    const std::size_t numSpecs = obs[0].specNow.size();
+    linalg::Mat specs(batch, 2 * numSpecs);
+    for (std::size_t i = 0; i < batch; ++i) {
+      for (std::size_t c = 0; c < numSpecs; ++c) {
+        specs(i, c) = obs[i].specNow[c];
+        specs(i, numSpecs + c) = obs[i].specTarget[c];
+      }
+    }
+    nn::Tensor specEmb = specNet_->forward(nn::Tensor(std::move(specs)));
+    features = nn::concatCols(features, specEmb);
+  }
+  return trunk_->forward(features);
+}
+
 std::vector<nn::Tensor> GnnFcTower::parameters() const {
   std::vector<nn::Tensor> out;
   auto append = [&out](const std::vector<nn::Tensor>& ps) {
@@ -99,6 +136,54 @@ rl::PolicyOutput MultimodalPolicy::forward(const rl::Observation& obs) const {
   nn::Tensor flat = actor_->forward(obs, normAdj_, mask_);  // 1 x 3M
   out.logits = nn::reshape(flat, cfg_.numParams, 3);
   out.value = critic_->forward(obs, normAdj_, mask_);
+  return out;
+}
+
+const MultimodalPolicy::BatchPlan& MultimodalPolicy::batchPlan(
+    std::size_t batchSize) const {
+  std::lock_guard<std::mutex> lock(plansMutex_);
+  auto it = plans_.find(batchSize);
+  if (it != plans_.end()) return it->second;
+
+  const std::size_t n = normAdj_.rows();
+  BatchPlan plan;
+  plan.blockAdj = linalg::Mat(batchSize * n, batchSize * n);
+  plan.blockMask = linalg::Mat(batchSize * n, batchSize * n, -1e9);
+  plan.poolMat = linalg::Mat(batchSize, batchSize * n, 0.0);
+  const double invN = 1.0 / static_cast<double>(n);
+  for (std::size_t b = 0; b < batchSize; ++b) {
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        plan.blockAdj(b * n + r, b * n + c) = normAdj_(r, c);
+        plan.blockMask(b * n + r, b * n + c) = mask_(r, c);
+      }
+      plan.poolMat(b, b * n + r) = invN;
+    }
+  }
+  return plans_.emplace(batchSize, std::move(plan)).first->second;
+}
+
+std::vector<rl::PolicyOutput> MultimodalPolicy::forwardBatch(
+    const std::vector<rl::Observation>& obs) const {
+  if (obs.empty()) return {};
+  if (obs.size() == 1) return {forward(obs[0])};
+
+  // Graph-free policies (Baseline A) never touch the block matrices; skip
+  // building and caching a plan for them.
+  static const BatchPlan kEmptyPlan{};
+  const BatchPlan& plan =
+      kind_ == PolicyKind::BaselineA ? kEmptyPlan : batchPlan(obs.size());
+  nn::Tensor actorFlat =
+      actor_->forwardBatch(obs, plan.blockAdj, plan.blockMask, plan.poolMat);
+  nn::Tensor values =
+      critic_->forwardBatch(obs, plan.blockAdj, plan.blockMask, plan.poolMat);
+
+  std::vector<rl::PolicyOutput> out(obs.size());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    out[i].logits =
+        nn::reshape(nn::sliceRows(actorFlat, i, 1), cfg_.numParams, 3);
+    out[i].value = nn::sliceRows(values, i, 1);
+  }
   return out;
 }
 

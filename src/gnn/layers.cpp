@@ -108,6 +108,14 @@ Tensor GraphEncoder::encode(const linalg::Mat& features, const linalg::Mat& norm
   return nn::meanRows(nodeEmbeddings(features, normAdj, mask));
 }
 
+Tensor GraphEncoder::encodeBatch(const linalg::Mat& stackedFeatures,
+                                 const linalg::Mat& blockAdj,
+                                 const linalg::Mat& blockMask,
+                                 const linalg::Mat& poolMat) const {
+  return nn::matmulConstLeft(poolMat,
+                             nodeEmbeddings(stackedFeatures, blockAdj, blockMask));
+}
+
 std::vector<Tensor> GraphEncoder::parameters() const {
   std::vector<Tensor> out;
   for (const auto& l : gcn_)

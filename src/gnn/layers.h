@@ -81,6 +81,15 @@ class GraphEncoder {
   Tensor encode(const linalg::Mat& features, const linalg::Mat& normAdj,
                 const linalg::Mat& mask) const;
 
+  /// Batched encode: N stacked copies of the same topology in one pass.
+  /// `stackedFeatures` is the [N*n x in] row-stack of per-graph node
+  /// features, `blockAdj`/`blockMask` the block-diagonal adjacency and
+  /// attention mask (off-block mask entries at the usual -1e9), and
+  /// `poolMat` the [N x N*n] per-graph mean-pool weights. Returns the
+  /// [N x hidden] matrix of graph embeddings.
+  Tensor encodeBatch(const linalg::Mat& stackedFeatures, const linalg::Mat& blockAdj,
+                     const linalg::Mat& blockMask, const linalg::Mat& poolMat) const;
+
   std::vector<Tensor> parameters() const;
   const Config& config() const { return cfg_; }
 

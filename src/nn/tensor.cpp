@@ -9,21 +9,35 @@ namespace crl::nn {
 namespace {
 using detail::Node;
 
+thread_local int tlInferenceDepth = 0;
+
+// The backward callable is taken as a template parameter so the std::function
+// (and its heap allocation) is only materialized when the graph is actually
+// recorded — in inference mode ops pay for the value computation alone.
+template <typename F>
 std::shared_ptr<Node> makeNode(Mat value, std::vector<std::shared_ptr<Node>> parents,
-                               std::function<void(Node&)> backward) {
+                               F&& backward) {
   auto n = std::make_shared<Node>();
   n->value = std::move(value);
+  if (tlInferenceDepth > 0) return n;
   bool needsGrad = false;
   for (const auto& p : parents) needsGrad = needsGrad || p->requiresGrad;
   n->requiresGrad = needsGrad;
   if (needsGrad) {
     n->parents = std::move(parents);
-    n->backward = std::move(backward);
+    n->backward = std::forward<F>(backward);
   }
   return n;
 }
 
 Tensor wrap(std::shared_ptr<Node> n) { return Tensor(std::move(n)); }
+
+/// Inference-mode node: value only, no graph.
+std::shared_ptr<Node> makeValueNode(Mat value) {
+  auto n = std::make_shared<Node>();
+  n->value = std::move(value);
+  return n;
+}
 
 void accumulate(Node& target, const Mat& delta) {
   if (!target.requiresGrad) return;
@@ -41,6 +55,7 @@ template <typename F, typename DF>
 Tensor pointwise(const Tensor& a, F f, DF dfda) {
   Mat out = a.value();
   for (auto& v : out.raw()) v = f(v);
+  if (tlInferenceDepth > 0) return wrap(makeValueNode(std::move(out)));
   auto pa = a.node();
   Mat in = a.value();
   return wrap(makeNode(std::move(out), {pa}, [pa, in, dfda](Node& self) {
@@ -89,6 +104,11 @@ void Tensor::zeroGrad() {
   }
 }
 
+NoGradGuard::NoGradGuard() { ++tlInferenceDepth; }
+NoGradGuard::~NoGradGuard() { --tlInferenceDepth; }
+
+bool inferenceMode() { return tlInferenceDepth > 0; }
+
 void backward(const Tensor& root) {
   if (root.rows() != 1 || root.cols() != 1)
     throw std::invalid_argument("backward: root must be scalar");
@@ -135,6 +155,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmulConstLeft(const Mat& a, const Tensor& b) {
+  if (tlInferenceDepth > 0) return wrap(makeValueNode(linalg::matmul(a, b.value())));
   auto pb = b.node();
   Mat aT = a.transposed();
   return wrap(makeNode(linalg::matmul(a, b.value()), {pb}, [pb, aT](Node& self) {

@@ -75,6 +75,22 @@ class Tensor {
 /// Reverse accumulation from a scalar (1x1) root.
 void backward(const Tensor& root);
 
+/// Scoped inference mode (thread-local): while a guard is alive, ops compute
+/// values only — no parents, no backward closures — so intermediate nodes
+/// free as temporaries die and forward passes skip all graph bookkeeping.
+/// Used on the rollout hot path, where PPO re-builds the graph at update
+/// time anyway. Guards nest.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+};
+
+/// True while a NoGradGuard is alive on the calling thread.
+bool inferenceMode();
+
 // ---- graph-building ops -------------------------------------------------
 
 Tensor matmul(const Tensor& a, const Tensor& b);

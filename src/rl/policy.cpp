@@ -22,6 +22,14 @@ linalg::Mat softmaxValues(const linalg::Mat& logits) {
 }
 }  // namespace
 
+std::vector<PolicyOutput> ActorCritic::forwardBatch(
+    const std::vector<Observation>& obs) const {
+  std::vector<PolicyOutput> out;
+  out.reserve(obs.size());
+  for (const Observation& o : obs) out.push_back(forward(o));
+  return out;
+}
+
 SampledAction sampleAction(const linalg::Mat& logits, util::Rng& rng) {
   linalg::Mat p = softmaxValues(logits);
   SampledAction out;

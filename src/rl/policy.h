@@ -20,6 +20,11 @@ class ActorCritic {
   virtual ~ActorCritic() = default;
   /// Build the autograd graph for one observation.
   virtual PolicyOutput forward(const Observation& obs) const = 0;
+  /// Evaluate a batch of observations, one PolicyOutput per lane. The base
+  /// implementation loops forward(); policies that can batch the whole pass
+  /// into one matrix sweep (MultimodalPolicy) override it.
+  virtual std::vector<PolicyOutput> forwardBatch(
+      const std::vector<Observation>& obs) const;
   virtual std::vector<nn::Tensor> parameters() const = 0;
   virtual const char* name() const = 0;
 };

@@ -32,8 +32,24 @@ PpoTrainer::PpoTrainer(Env& env, ActorCritic& policy, PpoConfig cfg, util::Rng r
       rng_(rng),
       optimizer_(policy.parameters(), {.lr = cfg.learningRate}) {}
 
+PpoTrainer::PpoTrainer(VecEnv& envs, ActorCritic& policy, PpoConfig cfg, util::Rng rng)
+    : env_(envs.lane(0)),
+      vecEnv_(&envs),
+      policy_(policy),
+      cfg_(cfg),
+      rng_(rng),
+      optimizer_(policy.parameters(), {.lr = cfg.learningRate}) {}
+
 void PpoTrainer::train(int episodes,
                        const std::function<void(const EpisodeStats&)>& onEpisode) {
+  if (vecEnv_ && vecEnv_->size() > 1)
+    trainVectorized(episodes, onEpisode);
+  else
+    trainSequential(episodes, onEpisode);
+}
+
+void PpoTrainer::trainSequential(int episodes,
+                                 const std::function<void(const EpisodeStats&)>& onEpisode) {
   std::vector<Transition> buffer;
   buffer.reserve(static_cast<std::size_t>(cfg_.stepsPerUpdate) + 64);
 
@@ -69,6 +85,86 @@ void PpoTrainer::train(int episodes,
 
     ++episodeCounter_;
     if (onEpisode) onEpisode({episodeCounter_, epReward, epLen, epSuccess});
+
+    if (static_cast<int>(buffer.size()) >= cfg_.stepsPerUpdate) {
+      update(buffer);
+      buffer.clear();
+    }
+  }
+  if (buffer.size() > 8) update(buffer);
+}
+
+void PpoTrainer::trainVectorized(int episodes,
+                                 const std::function<void(const EpisodeStats&)>& onEpisode) {
+  VecEnv& vec = *vecEnv_;
+  const std::size_t lanes = vec.size();
+
+  // Per-lane action-sampling streams forked deterministically from the
+  // trainer RNG, so lane trajectories do not depend on each other.
+  std::vector<util::Rng> actionRng;
+  actionRng.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) actionRng.push_back(rng_.fork());
+
+  // In-flight episode per lane; finished episodes flush contiguously into
+  // the update buffer so GAE sees whole episodes, exactly as in the
+  // sequential path.
+  struct LaneEpisode {
+    std::vector<Transition> steps;
+    double reward = 0.0;
+    int length = 0;
+  };
+  std::vector<LaneEpisode> inflight(lanes);
+  std::vector<Observation> obs = vec.resetAll();
+
+  std::vector<Transition> buffer;
+  buffer.reserve(static_cast<std::size_t>(cfg_.stepsPerUpdate) + 64);
+
+  int episodesDone = 0;
+  while (episodesDone < episodes) {
+    // One matrix pass over all lanes; collection needs values only, so the
+    // autograd graph is skipped (update re-builds it per minibatch).
+    std::vector<PolicyOutput> outs;
+    std::vector<SampledAction> acts(lanes);
+    std::vector<std::vector<int>> actions(lanes);
+    {
+      nn::NoGradGuard inference;
+      outs = policy_.forwardBatch(obs);
+    }
+    for (std::size_t i = 0; i < lanes; ++i) {
+      acts[i] = sampleAction(outs[i].logits.value(), actionRng[i]);
+      actions[i] = acts[i].actions;
+    }
+
+    std::vector<StepResult> results = vec.stepAll(actions);
+
+    for (std::size_t i = 0; i < lanes; ++i) {
+      LaneEpisode& ep = inflight[i];
+      Transition tr;
+      tr.obs = std::move(obs[i]);
+      tr.columns = std::move(acts[i].columns);
+      tr.logProb = acts[i].logProb;
+      tr.value = outs[i].value.item();
+      tr.reward = results[i].reward;
+      ep.reward += results[i].reward;
+      ++ep.length;
+      const bool terminal =
+          results[i].done || ep.length >= vec.lane(i).maxSteps();
+      tr.terminal = terminal;
+      ep.steps.push_back(std::move(tr));
+
+      if (terminal) {
+        for (Transition& t : ep.steps) buffer.push_back(std::move(t));
+        ++episodeCounter_;
+        ++episodesDone;
+        if (onEpisode)
+          onEpisode({episodeCounter_, ep.reward, ep.length,
+                     results[i].done && results[i].success});
+        ep = LaneEpisode{};
+        obs[i] = vec.resetLane(i);
+      } else {
+        obs[i] = std::move(results[i].obs);
+      }
+    }
 
     if (static_cast<int>(buffer.size()) >= cfg_.stepsPerUpdate) {
       update(buffer);

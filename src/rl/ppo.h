@@ -9,6 +9,7 @@
 #include "nn/optim.h"
 #include "rl/env.h"
 #include "rl/policy.h"
+#include "rl/vec_env.h"
 
 namespace crl::rl {
 
@@ -50,17 +51,31 @@ class PpoTrainer {
  public:
   PpoTrainer(Env& env, ActorCritic& policy, PpoConfig cfg, util::Rng rng);
 
+  /// Vectorized trainer over N parallel rollout lanes. Collection gathers
+  /// transitions across all lanes, evaluating the policy with one batched
+  /// forward per vector-step; the update rule is unchanged. A single-lane
+  /// VecEnv falls back to the sequential collection path, so numEnvs=1 is
+  /// bit-for-bit identical to the Env& constructor with the same seed.
+  PpoTrainer(VecEnv& envs, ActorCritic& policy, PpoConfig cfg, util::Rng rng);
+
   /// Run training for a number of episodes; invokes the callback after each
   /// finished episode.
   void train(int episodes, const std::function<void(const EpisodeStats&)>& onEpisode = {});
 
   const PpoConfig& config() const { return cfg_; }
   util::Rng& rng() { return rng_; }
+  /// Number of rollout lanes (1 in sequential mode).
+  std::size_t numEnvs() const { return vecEnv_ ? vecEnv_->size() : 1; }
 
  private:
+  void trainSequential(int episodes,
+                       const std::function<void(const EpisodeStats&)>& onEpisode);
+  void trainVectorized(int episodes,
+                       const std::function<void(const EpisodeStats&)>& onEpisode);
   void update(std::vector<Transition>& buffer);
 
   Env& env_;
+  VecEnv* vecEnv_ = nullptr;
   ActorCritic& policy_;
   PpoConfig cfg_;
   util::Rng rng_;

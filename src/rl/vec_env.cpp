@@ -1,0 +1,85 @@
+#include "rl/vec_env.h"
+
+#include <exception>
+#include <stdexcept>
+
+namespace crl::rl {
+
+VecEnv::VecEnv(std::size_t numEnvs, const LaneFactory& factory,
+               std::uint64_t baseSeed, util::ThreadPool* pool)
+    : pool_(pool) {
+  if (numEnvs == 0) throw std::invalid_argument("VecEnv: need at least one lane");
+  lanes_.reserve(numEnvs);
+  for (std::size_t i = 0; i < numEnvs; ++i) {
+    EnvLane lane = factory(i);
+    if (!lane.env) throw std::invalid_argument("VecEnv: factory returned null env");
+    lane.rng = util::Rng(laneSeed(baseSeed, i));
+    lanes_.push_back(std::move(lane));
+  }
+}
+
+void VecEnv::forEachLane(const std::function<void(std::size_t)>& fn) {
+  // A single worker (or lane) gains nothing from dispatch; skip the queue.
+  if (!pool_ || pool_->workerCount() < 2 || lanes_.size() == 1) {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(lanes_.size());
+  for (std::size_t i = 0; i < lanes_.size(); ++i)
+    futs.push_back(pool_->submit([&fn, i]() { fn(i); }));
+  // Wait for every lane before surfacing the first failure, so no task is
+  // still touching lane state when an exception unwinds the caller.
+  for (auto& f : futs) f.wait();
+  for (auto& f : futs) f.get();
+}
+
+std::vector<Observation> VecEnv::resetAll() {
+  std::vector<Observation> obs(lanes_.size());
+  forEachLane([this, &obs](std::size_t i) {
+    obs[i] = lanes_[i].env->reset(lanes_[i].rng);
+  });
+  return obs;
+}
+
+Observation VecEnv::resetLane(std::size_t i) {
+  return lanes_[i].env->reset(lanes_[i].rng);
+}
+
+Observation VecEnv::resetLaneWithTarget(std::size_t i,
+                                        const std::vector<double>& target) {
+  return lanes_[i].env->resetWithTarget(target, lanes_[i].rng);
+}
+
+std::vector<StepResult> VecEnv::stepAll(const std::vector<std::vector<int>>& actions) {
+  if (actions.size() != lanes_.size())
+    throw std::invalid_argument("VecEnv::stepAll: one action vector per lane");
+  std::vector<StepResult> results(lanes_.size());
+  forEachLane([this, &actions, &results](std::size_t i) {
+    results[i] = lanes_[i].env->step(actions[i]);
+  });
+  return results;
+}
+
+std::vector<StepResult> VecEnv::stepLanes(const std::vector<std::size_t>& laneIds,
+                                          const std::vector<std::vector<int>>& actions) {
+  if (actions.size() != laneIds.size())
+    throw std::invalid_argument("VecEnv::stepLanes: one action vector per lane id");
+  std::vector<StepResult> results(laneIds.size());
+  if (!pool_ || pool_->workerCount() < 2 || laneIds.size() == 1) {
+    for (std::size_t k = 0; k < laneIds.size(); ++k)
+      results[k] = lanes_[laneIds[k]].env->step(actions[k]);
+    return results;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(laneIds.size());
+  for (std::size_t k = 0; k < laneIds.size(); ++k)
+    futs.push_back(pool_->submit([this, &laneIds, &actions, &results, k]() {
+      results[k] = lanes_[laneIds[k]].env->step(actions[k]);
+    }));
+  for (auto& f : futs) f.wait();
+  for (auto& f : futs) f.get();
+  return results;
+}
+
+}  // namespace crl::rl

@@ -1,0 +1,78 @@
+#pragma once
+// Vectorized environment: N independent rollout lanes stepped concurrently.
+//
+// Each lane owns its environment, the mutable simulator state behind it (a
+// circuit::Benchmark copy, kept alive through a type-erased handle so this
+// layer stays independent of circuit/), and a private RNG stream. Lanes never
+// share state, so stepping them in parallel through a util::ThreadPool is
+// race-free; per-lane trajectories are bit-for-bit identical to running the
+// same lane alone with the same seed, whatever N or worker count is used.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "rl/env.h"
+#include "util/thread_pool.h"
+
+namespace crl::rl {
+
+/// One rollout lane produced by a VecEnv factory. `keepAlive` owns whatever
+/// the env references (typically the benchmark); `env` is stepped; `rng`
+/// drives the lane's episode sampling (reseeded by VecEnv, see laneSeed).
+struct EnvLane {
+  std::unique_ptr<Env> env;
+  std::shared_ptr<void> keepAlive;
+  util::Rng rng{0};
+};
+
+class VecEnv {
+ public:
+  using LaneFactory = std::function<EnvLane(std::size_t laneIndex)>;
+
+  /// Builds numEnvs lanes via the factory and seeds lane i's RNG with
+  /// laneSeed(baseSeed, i). With a null pool (or a single lane) every
+  /// operation runs serially on the calling thread.
+  VecEnv(std::size_t numEnvs, const LaneFactory& factory, std::uint64_t baseSeed,
+         util::ThreadPool* pool = nullptr);
+
+  /// Deterministic per-lane seed: lane 0 keeps baseSeed itself (so numEnvs=1
+  /// reproduces a plain Rng(baseSeed) run), later lanes are spread with a
+  /// golden-ratio stride to decorrelate the streams.
+  static std::uint64_t laneSeed(std::uint64_t baseSeed, std::size_t lane) {
+    return baseSeed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(lane);
+  }
+
+  std::size_t size() const { return lanes_.size(); }
+  Env& lane(std::size_t i) { return *lanes_[i].env; }
+  const Env& lane(std::size_t i) const { return *lanes_[i].env; }
+  util::Rng& laneRng(std::size_t i) { return lanes_[i].rng; }
+
+  /// Reset every lane with its own RNG stream (parallel).
+  std::vector<Observation> resetAll();
+  /// Reset one lane (on the calling thread).
+  Observation resetLane(std::size_t i);
+  Observation resetLaneWithTarget(std::size_t i, const std::vector<double>& target);
+
+  /// Step every lane with its own action vector (parallel). actions.size()
+  /// must equal size(). Episode-lifecycle handling (auto-reset) is left to
+  /// the caller so trajectories stay externally controlled.
+  std::vector<StepResult> stepAll(const std::vector<std::vector<int>>& actions);
+
+  /// Step only the listed lanes (parallel); results align with `laneIds`.
+  /// Used by batched deployment, where lanes retire at different times.
+  std::vector<StepResult> stepLanes(const std::vector<std::size_t>& laneIds,
+                                    const std::vector<std::vector<int>>& actions);
+
+  util::ThreadPool* pool() { return pool_; }
+
+ private:
+  /// Run fn(i) for every lane, through the pool when one is attached.
+  void forEachLane(const std::function<void(std::size_t)>& fn);
+
+  std::vector<EnvLane> lanes_;
+  util::ThreadPool* pool_;
+};
+
+}  // namespace crl::rl

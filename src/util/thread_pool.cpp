@@ -1,0 +1,41 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace crl::util {
+
+std::size_t ThreadPool::defaultWorkerCount() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) workers = defaultWorkerCount();
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ set and no work left
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task captures any exception into the future
+  }
+}
+
+}  // namespace crl::util

@@ -1,0 +1,64 @@
+#pragma once
+// Fixed-size worker pool for the parallel rollout engine.
+//
+// Tasks are submitted as callables and return std::futures; exceptions thrown
+// inside a task are captured in its future and rethrown at get(). The pool is
+// deliberately minimal: no work stealing, no priorities — the workloads here
+// are N identical SPICE environment steps per batch, which a plain FIFO queue
+// load-balances well enough.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace crl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1; defaultWorkerCount() if 0).
+  explicit ThreadPool(std::size_t workers = 0);
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a callable; the returned future yields its result (or rethrows
+  /// the exception it raised).
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task]() { (*task)(); });
+    }
+    wake_.notify_one();
+    return fut;
+  }
+
+  std::size_t workerCount() const { return workers_.size(); }
+
+  /// Hardware concurrency with a floor of 1 (hardware_concurrency may be 0).
+  static std::size_t defaultWorkerCount();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace crl::util

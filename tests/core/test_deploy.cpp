@@ -68,6 +68,70 @@ TEST_F(DeployTest, EvaluateAccuracyCountsAndBounds) {
   EXPECT_LE(rep.meanSteps, static_cast<double>(env_.maxSteps()));
 }
 
+TEST_F(DeployTest, BatchedDeploymentMatchesSerialPerLane) {
+  util::Rng initRng(8);
+  auto policy = makePolicy(PolicyKind::GcnFc, env_, initRng);
+
+  // Four targets over two lanes: lane k serves targets k and k+2.
+  const std::vector<std::vector<double>> targets{
+      {350.0, 1.8e7, 55.0, 4e-3},
+      {420.0, 2.2e7, 57.0, 6e-3},
+      {380.0, 1.2e7, 56.0, 3e-3},
+      {330.0, 2.4e7, 58.0, 8e-3},
+  };
+  constexpr std::uint64_t kBaseSeed = 77;
+
+  util::ThreadPool pool(2);
+  auto factory = [](std::size_t) {
+    rl::EnvLane lane;
+    auto amp = std::make_shared<circuit::TwoStageOpAmp>();
+    lane.env = std::make_unique<envs::SizingEnv>(
+        *amp, envs::SizingEnvConfig{.maxSteps = 12});
+    lane.keepAlive = amp;
+    return lane;
+  };
+  rl::VecEnv vec(2, factory, kBaseSeed, &pool);
+  auto batched = runDeploymentBatch(vec, *policy, targets, {.recordTrajectory = true});
+  ASSERT_EQ(batched.size(), targets.size());
+
+  // Serial reference: each lane replayed alone with the same RNG stream.
+  for (std::size_t lane = 0; lane < 2; ++lane) {
+    circuit::TwoStageOpAmp amp;
+    envs::SizingEnv env(amp, {.maxSteps = 12});
+    util::Rng rng(rl::VecEnv::laneSeed(kBaseSeed, lane));
+    for (std::size_t w = 0; w < 2; ++w) {
+      const std::size_t tix = w * 2 + lane;
+      auto ref = runDeployment(env, *policy, targets[tix], rng,
+                               {.recordTrajectory = true});
+      EXPECT_EQ(ref.success, batched[tix].success) << "target " << tix;
+      EXPECT_EQ(ref.steps, batched[tix].steps) << "target " << tix;
+      EXPECT_EQ(ref.finalParams, batched[tix].finalParams) << "target " << tix;
+      EXPECT_EQ(ref.specTrajectory.size(), batched[tix].specTrajectory.size());
+    }
+  }
+}
+
+TEST_F(DeployTest, EvaluateAccuracyBatchCountsAndBounds) {
+  util::Rng initRng(4);
+  auto policy = makePolicy(PolicyKind::GcnFc, env_, initRng);
+  util::ThreadPool pool(2);
+  auto factory = [](std::size_t) {
+    rl::EnvLane lane;
+    auto amp = std::make_shared<circuit::TwoStageOpAmp>();
+    lane.env = std::make_unique<envs::SizingEnv>(
+        *amp, envs::SizingEnvConfig{.maxSteps = 12});
+    lane.keepAlive = amp;
+    return lane;
+  };
+  rl::VecEnv vec(3, factory, 5, &pool);
+  auto rep = evaluateAccuracyBatch(vec, *policy, /*episodes=*/7);
+  EXPECT_EQ(rep.episodes, 7);
+  EXPECT_GE(rep.accuracy, 0.0);
+  EXPECT_LE(rep.accuracy, 1.0);
+  EXPECT_GE(rep.meanSteps, 1.0);
+  EXPECT_LE(rep.meanSteps, 12.0);
+}
+
 /// Every policy kind must round-trip its parameters bit-exactly through the
 /// artifact format used by the figure harnesses.
 class PolicySerialization : public ::testing::TestWithParam<PolicyKind> {};

@@ -136,7 +136,9 @@ TEST(GatProperties, AttentionIsZeroOffNeighbourhood) {
   for (std::size_t i = 0; i < 5; ++i) {
     for (std::size_t j = 0; j < 5; ++j) {
       const bool neighbour = i == j || g.hasEdge(static_cast<int>(i), static_cast<int>(j));
-      if (!neighbour) EXPECT_LT(att(i, j), 1e-12) << i << "," << j;
+      if (!neighbour) {
+        EXPECT_LT(att(i, j), 1e-12) << i << "," << j;
+      }
     }
   }
 }

@@ -154,6 +154,95 @@ TEST(Ppo, LearnsLineWalking) {
   EXPECT_GT(static_cast<double>(recentSuccess) / recentCount, 0.8);
 }
 
+TEST(Ppo, VectorizedTrainingLearnsLineWalking) {
+  util::ThreadPool pool(2);
+  auto factory = [](std::size_t) {
+    EnvLane lane;
+    lane.env = std::make_unique<LineEnv>();
+    return lane;
+  };
+  VecEnv vec(4, factory, 21, &pool);
+  util::Rng rng(11);
+  ToyPolicy policy(rng);
+  PpoConfig cfg;
+  cfg.stepsPerUpdate = 256;
+  cfg.learningRate = 1e-3;
+  PpoTrainer trainer(vec, policy, cfg, util::Rng(5));
+  EXPECT_EQ(trainer.numEnvs(), 4u);
+
+  int recentSuccess = 0, recentCount = 0;
+  trainer.train(800, [&](const EpisodeStats& s) {
+    if (s.episode > 600) {
+      recentCount++;
+      recentSuccess += s.success ? 1 : 0;
+    }
+  });
+  ASSERT_GT(recentCount, 0);
+  EXPECT_GT(static_cast<double>(recentSuccess) / recentCount, 0.8);
+}
+
+TEST(Ppo, VectorizedEpisodeStatsAreStreamed) {
+  auto factory = [](std::size_t) {
+    EnvLane lane;
+    lane.env = std::make_unique<LineEnv>();
+    return lane;
+  };
+  VecEnv vec(3, factory, 9);
+  util::Rng rng(1);
+  ToyPolicy policy(rng);
+  PpoConfig cfg;
+  cfg.stepsPerUpdate = 1 << 20;  // never update: pure rollout bookkeeping
+  PpoTrainer trainer(vec, policy, cfg, util::Rng(2));
+  int count = 0, lastEpisode = 0;
+  trainer.train(10, [&](const EpisodeStats& s) {
+    ++count;
+    EXPECT_EQ(s.episode, lastEpisode + 1);
+    lastEpisode = s.episode;
+    EXPECT_GT(s.episodeLength, 0);
+    EXPECT_LE(s.episodeLength, 20);
+  });
+  // Lanes finish concurrently, so the last vector-step may complete a few
+  // extra episodes beyond the requested count.
+  EXPECT_GE(count, 10);
+  EXPECT_LE(count, 10 + 2);
+}
+
+TEST(Ppo, SingleLaneVecEnvMatchesSequentialTrainerExactly) {
+  // numEnvs=1 must reproduce the Env& path bit for bit: same policy init,
+  // same trainer seed -> identical episode stats stream.
+  std::vector<EpisodeStats> seqStats, vecStats;
+  {
+    LineEnv env;
+    util::Rng rng(11);
+    ToyPolicy policy(rng);
+    PpoConfig cfg;
+    cfg.stepsPerUpdate = 128;
+    PpoTrainer trainer(env, policy, cfg, util::Rng(5));
+    trainer.train(60, [&](const EpisodeStats& s) { seqStats.push_back(s); });
+  }
+  {
+    auto factory = [](std::size_t) {
+      EnvLane lane;
+      lane.env = std::make_unique<LineEnv>();
+      return lane;
+    };
+    VecEnv vec(1, factory, 999);  // lane seed is irrelevant on the serial path
+    util::Rng rng(11);
+    ToyPolicy policy(rng);
+    PpoConfig cfg;
+    cfg.stepsPerUpdate = 128;
+    PpoTrainer trainer(vec, policy, cfg, util::Rng(5));
+    trainer.train(60, [&](const EpisodeStats& s) { vecStats.push_back(s); });
+  }
+  ASSERT_EQ(seqStats.size(), vecStats.size());
+  for (std::size_t i = 0; i < seqStats.size(); ++i) {
+    EXPECT_EQ(seqStats[i].episode, vecStats[i].episode);
+    EXPECT_DOUBLE_EQ(seqStats[i].episodeReward, vecStats[i].episodeReward);
+    EXPECT_EQ(seqStats[i].episodeLength, vecStats[i].episodeLength);
+    EXPECT_EQ(seqStats[i].success, vecStats[i].success);
+  }
+}
+
 TEST(Ppo, EpisodeStatsAreStreamed) {
   LineEnv env;
   util::Rng rng(1);

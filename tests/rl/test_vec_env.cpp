@@ -1,0 +1,207 @@
+#include "rl/vec_env.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "circuit/opamp.h"
+#include "envs/sizing_env.h"
+
+namespace crl::rl {
+namespace {
+
+// ------------------------------------------------------------- toy plumbing
+
+// Deterministic counter env: state advances by the summed action; done every
+// `period` steps. Cheap enough to exercise the pool with many lanes.
+class CounterEnv : public Env {
+ public:
+  explicit CounterEnv(int period) : period_(period) {}
+
+  Observation reset(util::Rng& rng) override {
+    state_ = rng.randint(0, 100);
+    steps_ = 0;
+    return makeObs();
+  }
+  Observation resetWithTarget(const std::vector<double>& t, util::Rng&) override {
+    state_ = static_cast<int>(t[0]);
+    steps_ = 0;
+    return makeObs();
+  }
+  StepResult step(const std::vector<int>& actions) override {
+    if (throwOnStep) throw std::runtime_error("CounterEnv: injected failure");
+    state_ += actions[0];
+    ++steps_;
+    StepResult r;
+    r.obs = makeObs();
+    r.reward = static_cast<double>(state_);
+    r.done = steps_ % period_ == 0;
+    return r;
+  }
+  std::size_t numParams() const override { return 1; }
+  std::size_t numSpecs() const override { return 1; }
+  int maxSteps() const override { return period_; }
+  const linalg::Mat& normalizedAdjacency() const override { return adj_; }
+  const linalg::Mat& attentionMask() const override { return mask_; }
+  std::size_t graphNodeCount() const override { return 1; }
+  std::size_t graphFeatureDim() const override { return 1; }
+  const std::vector<double>& rawTarget() const override { return raw_; }
+  const std::vector<double>& rawSpecs() const override { return raw_; }
+  const std::vector<double>& currentParams() const override { return raw_; }
+
+  bool throwOnStep = false;
+
+ private:
+  Observation makeObs() {
+    Observation o;
+    o.nodeFeatures = linalg::Mat(1, 1, static_cast<double>(state_));
+    o.specNow = {static_cast<double>(state_)};
+    o.specTarget = {0.0};
+    o.paramsNorm = {0.0};
+    raw_ = {static_cast<double>(state_)};
+    return o;
+  }
+  int period_, state_ = 0, steps_ = 0;
+  linalg::Mat adj_{1, 1, 1.0};
+  linalg::Mat mask_{1, 1, 0.0};
+  std::vector<double> raw_;
+};
+
+VecEnv::LaneFactory counterFactory(int period) {
+  return [period](std::size_t) {
+    EnvLane lane;
+    lane.env = std::make_unique<CounterEnv>(period);
+    return lane;
+  };
+}
+
+TEST(VecEnv, ShapesAndLaneAccess) {
+  util::ThreadPool pool(2);
+  VecEnv vec(3, counterFactory(5), 7, &pool);
+  EXPECT_EQ(vec.size(), 3u);
+  auto obs = vec.resetAll();
+  ASSERT_EQ(obs.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(obs[i].specNow.size(), 1u);
+}
+
+TEST(VecEnv, RejectsZeroLanesAndActionMismatch) {
+  EXPECT_THROW(VecEnv(0, counterFactory(5), 1), std::invalid_argument);
+  VecEnv vec(2, counterFactory(5), 1);
+  vec.resetAll();
+  EXPECT_THROW(vec.stepAll({{1}}), std::invalid_argument);
+}
+
+TEST(VecEnv, LaneSeedsAreDecorrelatedAndLaneZeroMatchesBase) {
+  EXPECT_EQ(VecEnv::laneSeed(42, 0), 42u);
+  EXPECT_NE(VecEnv::laneSeed(42, 1), VecEnv::laneSeed(42, 2));
+  VecEnv vec(2, counterFactory(5), 42);
+  util::Rng reference(42);
+  EXPECT_DOUBLE_EQ(vec.laneRng(0).uniform(), reference.uniform());
+}
+
+TEST(VecEnv, StepExceptionPropagatesThroughPool) {
+  util::ThreadPool pool(2);
+  auto factory = [](std::size_t i) {
+    EnvLane lane;
+    auto env = std::make_unique<CounterEnv>(5);
+    env->throwOnStep = (i == 1);
+    lane.env = std::move(env);
+    return lane;
+  };
+  VecEnv vec(3, factory, 3, &pool);
+  vec.resetAll();
+  EXPECT_THROW(vec.stepAll({{1}, {1}, {1}}), std::runtime_error);
+}
+
+// ------------------------------------------- batched == sequential (SPICE)
+
+// Roll one standalone sizing env for `steps` env-steps with auto-reset,
+// recording rewards, done flags and parameter vectors. Actions come from a
+// dedicated per-lane stream, mirroring what the vectorized run uses.
+struct Trace {
+  std::vector<double> rewards;
+  std::vector<char> dones;
+  std::vector<std::vector<double>> params;
+};
+
+std::vector<int> drawActions(std::size_t n, util::Rng& rng) {
+  std::vector<int> a(n);
+  for (auto& v : a) v = rng.randint(-1, 1);
+  return a;
+}
+
+constexpr int kMaxSteps = 6;  // short episodes: the rollout crosses resets
+
+Trace sequentialTrace(std::uint64_t envSeed, std::uint64_t actionSeed, int steps) {
+  circuit::TwoStageOpAmp amp;
+  envs::SizingEnv env(amp, {.maxSteps = kMaxSteps});
+  util::Rng envRng(envSeed), actionRng(actionSeed);
+  Trace trace;
+  env.reset(envRng);
+  for (int t = 0; t < steps; ++t) {
+    StepResult r = env.step(drawActions(env.numParams(), actionRng));
+    trace.rewards.push_back(r.reward);
+    trace.dones.push_back(r.done ? 1 : 0);
+    trace.params.push_back(env.currentParams());
+    if (r.done) env.reset(envRng);
+  }
+  return trace;
+}
+
+TEST(VecEnv, BatchedTrajectoriesMatchSequentialLanes) {
+  constexpr std::size_t kLanes = 3;
+  constexpr std::uint64_t kBaseSeed = 2022;
+  constexpr int kSteps = 14;
+
+  // Vectorized rollout: each lane owns a private op-amp benchmark copy.
+  util::ThreadPool pool(kLanes);
+  auto factory = [](std::size_t) {
+    EnvLane lane;
+    auto amp = std::make_shared<circuit::TwoStageOpAmp>();
+    lane.env = std::make_unique<envs::SizingEnv>(
+        *amp, envs::SizingEnvConfig{.maxSteps = kMaxSteps});
+    lane.keepAlive = amp;
+    return lane;
+  };
+  VecEnv vec(kLanes, factory, kBaseSeed, &pool);
+
+  std::vector<util::Rng> actionRngs;
+  for (std::size_t i = 0; i < kLanes; ++i)
+    actionRngs.emplace_back(9000 + 31 * i);
+
+  std::vector<Trace> traces(kLanes);
+  vec.resetAll();
+  for (int t = 0; t < kSteps; ++t) {
+    std::vector<std::vector<int>> actions;
+    for (std::size_t i = 0; i < kLanes; ++i)
+      actions.push_back(drawActions(vec.lane(i).numParams(), actionRngs[i]));
+    auto results = vec.stepAll(actions);
+    for (std::size_t i = 0; i < kLanes; ++i) {
+      traces[i].rewards.push_back(results[i].reward);
+      traces[i].dones.push_back(results[i].done ? 1 : 0);
+      traces[i].params.push_back(vec.lane(i).currentParams());
+      if (results[i].done) vec.resetLane(i);
+    }
+  }
+
+  // Sequential reference: one lane at a time, seeded identically.
+  for (std::size_t i = 0; i < kLanes; ++i) {
+    Trace ref = sequentialTrace(VecEnv::laneSeed(kBaseSeed, i), 9000 + 31 * i, kSteps);
+    ASSERT_EQ(ref.rewards.size(), traces[i].rewards.size());
+    for (std::size_t t = 0; t < ref.rewards.size(); ++t) {
+      EXPECT_DOUBLE_EQ(ref.rewards[t], traces[i].rewards[t])
+          << "lane " << i << " step " << t;
+      EXPECT_EQ(ref.dones[t], traces[i].dones[t]) << "lane " << i << " step " << t;
+      ASSERT_EQ(ref.params[t].size(), traces[i].params[t].size());
+      for (std::size_t p = 0; p < ref.params[t].size(); ++p)
+        EXPECT_DOUBLE_EQ(ref.params[t][p], traces[i].params[t][p])
+            << "lane " << i << " step " << t << " param " << p;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crl::rl

@@ -175,7 +175,7 @@ TEST(DiodeAcTest, SmallSignalPoleOfDiodeRC) {
   (void)ib;
   DiodeModel m;
   m.cj0 = 0.0;
-  auto* d = net.add<Diode>("D1", a, kGround, m);
+  net.add<Diode>("D1", a, kGround, m);
   net.add<Capacitor>("C1", a, kGround, 1e-9);
   // AC drive through a large resistor from an AC source.
   NodeId src = net.node("src");

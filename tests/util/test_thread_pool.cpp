@@ -1,0 +1,69 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace crl::util {
+namespace {
+
+TEST(ThreadPool, RunsSingleTask) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() { return 6 * 7; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, CompletesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i)
+    futs.push_back(pool.submit([&counter]() { counter.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, ReturnsPerTaskResults) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 50; ++i)
+    futs.push_back(pool.submit([i]() { return i * i; }));
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([]() { return 1; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool must survive a throwing task and keep serving.
+  auto after = pool.submit([]() { return 2; });
+  EXPECT_EQ(after.get(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i)
+      pool.submit([&counter]() {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ZeroRequestsDefaultWorkerCount) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.workerCount(), 1u);
+  EXPECT_EQ(pool.workerCount(), ThreadPool::defaultWorkerCount());
+}
+
+}  // namespace
+}  // namespace crl::util
