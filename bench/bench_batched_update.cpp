@@ -1,0 +1,185 @@
+// Update-path throughput: the batched PPO update (one autograd graph per
+// minibatch, PpoConfig::batchedUpdate) vs the sequential per-transition
+// reference, at minibatch sizes {1, 8, 32, 64}.
+//
+// Both modes run the full PpoTrainer::update — GAE, advantage
+// normalization, shuffled minibatches, backward, gradient clipping, Adam —
+// over the same pre-collected transition buffer with identically seeded
+// policies, so the measured difference is purely the graph-construction
+// strategy. The parity suite (ctest -L parity) guarantees the two modes
+// produce the same gradients to 1e-9.
+//
+//   CRL_BENCH_TRANSITIONS — buffer size per update (default 256)
+//   CRL_BENCH_REPS        — timed update() calls per point (default 3)
+//   --json                — machine-readable output (bench/harness.h)
+//
+// What to expect (single core): the FCNN baseline's sequential update is
+// dominated by per-transition graph-building overhead, so batching it wins
+// big (~2.1x at minibatch 32). The GNN towers pay a large cost floor that
+// batching cannot remove because both modes run the identical kernels on
+// the identical element count: std::tanh over the [B*n x hidden] node
+// embeddings (~0.5 ms of a ~3 ms minibatch iteration at B=32 on the
+// op-amp) plus the vectorized weight matmuls. That floor caps GCN-FC at
+// ~1.5x and GAT-FC at ~1.7x at minibatch 32, rising with B as the
+// remaining per-op overhead amortizes.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+#include "harness.h"
+
+using namespace crl;
+
+namespace {
+
+constexpr int kMaxSteps = 30;
+
+/// Human-table destination; main() points it at stderr in --json mode.
+std::FILE* tout = stdout;
+
+struct Workload {
+  const char* name;
+  core::PolicyKind kind;
+  bool opamp;  ///< two-stage op-amp at Fine vs GaN RF PA at Coarse
+};
+
+std::unique_ptr<envs::SizingEnv> makeEnv(const Workload& w,
+                                         std::shared_ptr<void>* keepAlive) {
+  if (w.opamp) {
+    auto amp = std::make_shared<circuit::TwoStageOpAmp>();
+    *keepAlive = amp;
+    return std::make_unique<envs::SizingEnv>(
+        *amp, envs::SizingEnvConfig{.maxSteps = kMaxSteps});
+  }
+  auto pa = std::make_shared<circuit::GanRfPa>();
+  *keepAlive = pa;
+  return std::make_unique<envs::SizingEnv>(
+      *pa, envs::SizingEnvConfig{.maxSteps = kMaxSteps,
+                                 .fidelity = circuit::Fidelity::Coarse});
+}
+
+/// Roll the policy in the env (inference mode) to fill a transition buffer.
+std::vector<rl::Transition> collectBuffer(rl::Env& env,
+                                          const core::MultimodalPolicy& policy,
+                                          int transitions) {
+  std::vector<rl::Transition> buffer;
+  buffer.reserve(static_cast<std::size_t>(transitions));
+  util::Rng envRng(7), actRng(13);
+  rl::Observation obs = env.reset(envRng);
+  int age = 0;
+  while (static_cast<int>(buffer.size()) < transitions) {
+    rl::Transition tr;
+    rl::SampledAction act;
+    {
+      nn::NoGradGuard inference;
+      rl::PolicyOutput out = policy.forward(obs);
+      act = rl::sampleAction(out.logits.value(), actRng);
+      tr.obs = obs;
+      tr.columns = act.columns;
+      tr.logProb = act.logProb;
+      tr.value = out.value.item();
+    }
+    rl::StepResult res = env.step(act.actions);
+    ++age;
+    tr.reward = res.reward;
+    const bool terminal = res.done || age >= kMaxSteps;
+    tr.terminal = terminal;
+    buffer.push_back(std::move(tr));
+    if (terminal) {
+      obs = env.reset(envRng);
+      age = 0;
+    } else {
+      obs = std::move(res.obs);
+    }
+  }
+  return buffer;
+}
+
+/// Seconds per update() call over `reps` repetitions (after one warmup
+/// update that builds and caches the batch plans).
+double secondsPerUpdate(rl::Env& env, const Workload& w,
+                        std::vector<rl::Transition>& buffer, int minibatch,
+                        bool batched, int reps) {
+  util::Rng initRng(3);
+  auto policy = core::makePolicy(w.kind, env, initRng);
+  rl::PpoConfig cfg;
+  cfg.minibatchSize = minibatch;
+  cfg.updateEpochs = 2;
+  cfg.batchedUpdate = batched;
+  rl::PpoTrainer trainer(env, *policy, cfg, util::Rng(11));
+  trainer.update(buffer);  // warmup: plan caches, allocator steady state
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) trainer.update(buffer);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return dt / reps;
+}
+
+void runWorkload(const Workload& w, int transitions, int reps,
+                 bench::BenchJson& json) {
+  std::shared_ptr<void> keepAlive;
+  auto env = makeEnv(w, &keepAlive);
+  util::Rng initRng(3);
+  auto policy = core::makePolicy(w.kind, *env, initRng);
+  std::vector<rl::Transition> buffer = collectBuffer(*env, *policy, transitions);
+
+  std::fprintf(tout, "\n== %s (policy: %s, %d transitions, %d epochs per update) ==\n",
+              w.name, policy->name(), transitions, 2);
+  std::fprintf(tout, "%-10s %16s %16s %10s\n", "minibatch", "sequential s/upd",
+              "batched s/upd", "speedup");
+
+  for (int mb : {1, 8, 32, 64}) {
+    const double seq = secondsPerUpdate(*env, w, buffer, mb, false, reps);
+    const double bat = secondsPerUpdate(*env, w, buffer, mb, true, reps);
+    std::fprintf(tout, "%-10d %16.4f %16.4f %9.2fx\n", mb, seq, bat, seq / bat);
+    const std::string mbs = std::to_string(mb);
+    json.record({{"bench", "batched_update"},
+                 {"workload", w.name},
+                 {"config", "mb" + mbs + "-sequential"},
+                 {"unit", "seconds_per_update"}},
+                seq);
+    json.record({{"bench", "batched_update"},
+                 {"workload", w.name},
+                 {"config", "mb" + mbs + "-batched"},
+                 {"unit", "seconds_per_update"}},
+                bat);
+    json.record({{"bench", "batched_update"},
+                 {"workload", w.name},
+                 {"config", "mb" + mbs + "-speedup"},
+                 {"unit", "ratio"}},
+                seq / bat);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int transitions = 256;
+  if (const char* v = std::getenv("CRL_BENCH_TRANSITIONS")) transitions = std::atoi(v);
+  transitions = std::max(transitions, 64);
+  int reps = 3;
+  if (const char* v = std::getenv("CRL_BENCH_REPS")) reps = std::atoi(v);
+  reps = std::max(reps, 1);
+
+  bench::BenchJson json(bench::BenchJson::flagged(argc, argv));
+  tout = json.tableStream();
+  std::fprintf(tout, "batched PPO update benchmark\n");
+  // Three update-path profiles: the FCNN baseline is per-op-overhead bound
+  // (batching pays the most), the GCN/GAT towers add the shared libm/matmul
+  // kernel floor both modes pay equally (see README "Batched PPO update").
+  runWorkload({"opamp-fcnn", core::PolicyKind::BaselineA, true}, transitions, reps,
+              json);
+  runWorkload({"opamp-fine", core::PolicyKind::GcnFc, true}, transitions, reps,
+              json);
+  runWorkload({"rfpa-coarse", core::PolicyKind::GatFc, false}, transitions, reps,
+              json);
+  json.flush();
+  return 0;
+}

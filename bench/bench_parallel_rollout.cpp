@@ -13,6 +13,7 @@
 // batched no-grad forward and steps all lanes through the thread pool.
 //
 //   CRL_BENCH_STEPS — env-steps per measurement (default 2000)
+//   --json          — machine-readable output (bench/harness.h)
 
 #include <algorithm>
 #include <chrono>
@@ -26,6 +27,7 @@
 #include "circuit/rfpa.h"
 #include "core/policies.h"
 #include "envs/sizing_env.h"
+#include "harness.h"
 #include "rl/vec_env.h"
 #include "util/thread_pool.h"
 
@@ -34,6 +36,9 @@ using namespace crl;
 namespace {
 
 constexpr int kMaxSteps = 30;
+
+/// Human-table destination; main() points it at stderr in --json mode.
+std::FILE* tout = stdout;
 
 enum class Workload { OpAmpFine, RfPaCoarse };
 
@@ -120,41 +125,56 @@ double vectorizedStepsPerSec(Workload w, const core::MultimodalPolicy& policy,
   return vectorSteps * static_cast<double>(lanes) / secondsSince(t0);
 }
 
-void runWorkload(Workload w, int steps) {
+void runWorkload(Workload w, int steps, bench::BenchJson& json) {
   rl::EnvLane proto = makeLane(w);
   util::Rng initRng(3);
   auto policy = core::makePolicy(core::PolicyKind::GcnFc, *proto.env, initRng);
 
-  std::printf("\n== %s (policy: %s, %d env-steps per point) ==\n",
+  std::fprintf(tout, "\n== %s (policy: %s, %d env-steps per point) ==\n",
               workloadName(w), policy->name(), steps);
-  std::printf("%-12s %14s %10s\n", "config", "steps/sec", "speedup");
+  std::fprintf(tout, "%-12s %14s %10s\n", "config", "steps/sec", "speedup");
 
   const double seq = sequentialStepsPerSec(w, *policy, steps);
-  std::printf("%-12s %14.1f %9.2fx\n", "sequential", seq, 1.0);
+  std::fprintf(tout, "%-12s %14.1f %9.2fx\n", "sequential", seq, 1.0);
+  json.record({{"bench", "parallel_rollout"},
+               {"workload", workloadName(w)},
+               {"config", "sequential"},
+               {"unit", "steps_per_sec"}},
+              seq);
 
   for (std::size_t lanes : {1u, 2u, 4u, 8u}) {
     util::ThreadPool pool(std::min<std::size_t>(lanes, util::ThreadPool::defaultWorkerCount()));
     const double vecRate = vectorizedStepsPerSec(w, *policy, lanes, steps, pool);
-    std::printf("N=%-10zu %14.1f %9.2fx\n", lanes, vecRate, vecRate / seq);
+    std::fprintf(tout, "N=%-10zu %14.1f %9.2fx\n", lanes, vecRate, vecRate / seq);
+    std::string config = "N";
+    config += std::to_string(lanes);
+    json.record({{"bench", "parallel_rollout"},
+                 {"workload", workloadName(w)},
+                 {"config", config},
+                 {"unit", "steps_per_sec"}},
+                vecRate);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   int steps = 2000;
   if (const char* v = std::getenv("CRL_BENCH_STEPS")) steps = std::atoi(v);
   steps = std::max(steps, 1);
-  std::printf("parallel rollout engine benchmark\n");
+  bench::BenchJson json(bench::BenchJson::flagged(argc, argv));
+  tout = json.tableStream();
+  std::fprintf(tout, "parallel rollout engine benchmark\n");
   const std::size_t hw = util::ThreadPool::defaultWorkerCount();
-  std::printf("hardware threads: %zu\n", hw);
+  std::fprintf(tout, "hardware threads: %zu\n", hw);
   if (hw < 4)
-    std::printf(
+    std::fprintf(tout, 
         "note: lane stepping parallelizes across cores, so N-lane scaling is\n"
         "bounded by min(N, %zu) here; only the batched no-grad forward gain\n"
         "is visible on this machine. Run on >= 4 cores for the full curve.\n",
         hw);
-  runWorkload(Workload::RfPaCoarse, steps);
-  runWorkload(Workload::OpAmpFine, steps);
+  runWorkload(Workload::RfPaCoarse, steps, json);
+  runWorkload(Workload::OpAmpFine, steps, json);
+  json.flush();
   return 0;
 }

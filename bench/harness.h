@@ -9,10 +9,13 @@
 //   CRL_OUT    — output directory for CSV series + policy artifacts
 //                (default ./crl_artifacts).
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <initializer_list>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/deploy.h"
@@ -24,6 +27,69 @@
 #include "util/stats.h"
 
 namespace crl::bench {
+
+/// Machine-readable bench output (`--json` flag): benches record flat
+/// string-field + value rows while printing their human tables, and a JSON
+/// array is emitted to stdout at the end, so the perf trajectory
+/// (bench_batched_update, bench_parallel_rollout, ...) can be collected by
+/// scripts/CI without scraping the tables. In `--json` mode the human
+/// tables go to stderr (write them to `tableStream()`), keeping stdout
+/// pipeable straight into `jq`.
+class BenchJson {
+ public:
+  /// True when `--json` appears in the arguments.
+  static bool flagged(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i)
+      if (std::string(argv[i]) == "--json") return true;
+    return false;
+  }
+
+  explicit BenchJson(bool enabled) : enabled_(enabled) {}
+  ~BenchJson() { flush(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Where the human-readable tables belong: stderr in --json mode (stdout
+  /// stays valid JSON), stdout otherwise.
+  std::FILE* tableStream() const { return enabled_ ? stderr : stdout; }
+
+  /// Append one record: string fields plus the measured value.
+  void record(std::initializer_list<std::pair<const char*, std::string>> fields,
+              double value) {
+    if (!enabled_) return;
+    std::string row = "  {";
+    for (const auto& f : fields) {
+      row += '"';
+      row += f.first;
+      row += "\": \"";
+      row += f.second;
+      row += "\", ";
+    }
+    char num[64];
+    std::snprintf(num, sizeof num, "%.9g", value);
+    row += "\"value\": ";
+    row += num;
+    row += '}';
+    rows_.push_back(std::move(row));
+  }
+
+  /// Print the accumulated array once (also called by the destructor).
+  void flush() {
+    if (!enabled_ || flushed_) return;
+    flushed_ = true;
+    std::printf("[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      std::printf("%s%s\n", rows_[i].c_str(), i + 1 == rows_.size() ? "" : ",");
+    std::printf("]\n");
+  }
+
+ private:
+  bool enabled_ = false;
+  bool flushed_ = false;
+  std::vector<std::string> rows_;
+};
 
 struct Scale {
   double scale = 1.0;

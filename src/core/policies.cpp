@@ -67,9 +67,8 @@ nn::Tensor GnnFcTower::forward(const rl::Observation& obs, const linalg::Mat& no
 }
 
 nn::Tensor GnnFcTower::forwardBatch(const std::vector<rl::Observation>& obs,
-                                    const linalg::Mat& blockAdj,
-                                    const linalg::Mat& blockMask,
-                                    const linalg::Mat& poolMat) const {
+                                    const linalg::Mat& normAdj,
+                                    const linalg::Mat& mask) const {
   const std::size_t batch = obs.size();
   nn::Tensor features;
   if (useGraph_) {
@@ -80,7 +79,7 @@ nn::Tensor GnnFcTower::forwardBatch(const std::vector<rl::Observation>& obs,
       for (std::size_t r = 0; r < nodes; ++r)
         for (std::size_t c = 0; c < dim; ++c)
           stacked(i * nodes + r, c) = obs[i].nodeFeatures(r, c);
-    features = graphEnc_->encodeBatch(stacked, blockAdj, blockMask, poolMat);
+    features = graphEnc_->encodeBatch(stacked, batch, normAdj, mask);
   } else {
     const std::size_t numParams = obs[0].paramsNorm.size();
     linalg::Mat params(batch, numParams);
@@ -139,28 +138,10 @@ rl::PolicyOutput MultimodalPolicy::forward(const rl::Observation& obs) const {
   return out;
 }
 
-const MultimodalPolicy::BatchPlan& MultimodalPolicy::batchPlan(
-    std::size_t batchSize) const {
-  std::lock_guard<std::mutex> lock(plansMutex_);
-  auto it = plans_.find(batchSize);
-  if (it != plans_.end()) return it->second;
-
-  const std::size_t n = normAdj_.rows();
-  BatchPlan plan;
-  plan.blockAdj = linalg::Mat(batchSize * n, batchSize * n);
-  plan.blockMask = linalg::Mat(batchSize * n, batchSize * n, -1e9);
-  plan.poolMat = linalg::Mat(batchSize, batchSize * n, 0.0);
-  const double invN = 1.0 / static_cast<double>(n);
-  for (std::size_t b = 0; b < batchSize; ++b) {
-    for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t c = 0; c < n; ++c) {
-        plan.blockAdj(b * n + r, b * n + c) = normAdj_(r, c);
-        plan.blockMask(b * n + r, b * n + c) = mask_(r, c);
-      }
-      plan.poolMat(b, b * n + r) = invN;
-    }
-  }
-  return plans_.emplace(batchSize, std::move(plan)).first->second;
+void MultimodalPolicy::towerOutputs(const std::vector<rl::Observation>& obs,
+                                    nn::Tensor* actorFlat, nn::Tensor* values) const {
+  *actorFlat = actor_->forwardBatch(obs, normAdj_, mask_);
+  *values = critic_->forwardBatch(obs, normAdj_, mask_);
 }
 
 std::vector<rl::PolicyOutput> MultimodalPolicy::forwardBatch(
@@ -168,15 +149,8 @@ std::vector<rl::PolicyOutput> MultimodalPolicy::forwardBatch(
   if (obs.empty()) return {};
   if (obs.size() == 1) return {forward(obs[0])};
 
-  // Graph-free policies (Baseline A) never touch the block matrices; skip
-  // building and caching a plan for them.
-  static const BatchPlan kEmptyPlan{};
-  const BatchPlan& plan =
-      kind_ == PolicyKind::BaselineA ? kEmptyPlan : batchPlan(obs.size());
-  nn::Tensor actorFlat =
-      actor_->forwardBatch(obs, plan.blockAdj, plan.blockMask, plan.poolMat);
-  nn::Tensor values =
-      critic_->forwardBatch(obs, plan.blockAdj, plan.blockMask, plan.poolMat);
+  nn::Tensor actorFlat, values;
+  towerOutputs(obs, &actorFlat, &values);
 
   std::vector<rl::PolicyOutput> out(obs.size());
   for (std::size_t i = 0; i < obs.size(); ++i) {
@@ -184,6 +158,27 @@ std::vector<rl::PolicyOutput> MultimodalPolicy::forwardBatch(
         nn::reshape(nn::sliceRows(actorFlat, i, 1), cfg_.numParams, 3);
     out[i].value = nn::sliceRows(values, i, 1);
   }
+  return out;
+}
+
+rl::BatchedPolicyOutput MultimodalPolicy::forwardBatchStacked(
+    const std::vector<rl::Observation>& obs) const {
+  if (obs.empty())
+    throw std::invalid_argument("forwardBatchStacked: empty batch");
+  rl::BatchedPolicyOutput out;
+  if (obs.size() == 1) {
+    rl::PolicyOutput one = forward(obs[0]);
+    out.logits = one.logits;
+    out.values = one.value;
+    return out;
+  }
+  nn::Tensor actorFlat, values;
+  towerOutputs(obs, &actorFlat, &values);
+  // Row-major reshape: [B x 3M] -> [B*M x 3], observation i on rows
+  // [i*M, (i+1)*M) — the same layout forward()'s per-observation reshape
+  // produces.
+  out.logits = nn::reshape(actorFlat, obs.size() * cfg_.numParams, 3);
+  out.values = values;
   return out;
 }
 

@@ -14,9 +14,7 @@
 //    and dynamic parameters as node features) but no specification pathway,
 //    i.e. no knowledge of the design target couplings.
 
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "gnn/layers.h"
@@ -55,11 +53,12 @@ class GnnFcTower {
   nn::Tensor forward(const rl::Observation& obs, const linalg::Mat& normAdj,
                      const linalg::Mat& mask) const;
   /// One matrix pass over N observations: graph pathway through the
-  /// block-diagonal batch structures, spec/param pathways as [N x d] row
-  /// stacks. Returns the [N x outDim] tower output.
+  /// batched encoder (block-diagonal GCN propagation / block-local GAT
+  /// attention against the shared single-graph matrices), spec/param
+  /// pathways as [N x d] row stacks. Returns the [N x outDim] tower output.
   nn::Tensor forwardBatch(const std::vector<rl::Observation>& obs,
-                          const linalg::Mat& blockAdj, const linalg::Mat& blockMask,
-                          const linalg::Mat& poolMat) const;
+                          const linalg::Mat& normAdj,
+                          const linalg::Mat& mask) const;
   std::vector<nn::Tensor> parameters() const;
 
  private:
@@ -79,22 +78,24 @@ class MultimodalPolicy : public rl::ActorCritic {
 
   rl::PolicyOutput forward(const rl::Observation& obs) const override;
   /// Batched evaluation in one matrix pass per tower (vs N single-row
-  /// passes): node features are row-stacked against a cached block-diagonal
-  /// adjacency/mask, spec inputs become one [N x 2S] matrix.
+  /// passes): node features are row-stacked against the shared single-graph
+  /// adjacency/mask (applied block-wise), spec inputs become one [N x 2S]
+  /// matrix.
   std::vector<rl::PolicyOutput> forwardBatch(
+      const std::vector<rl::Observation>& obs) const override;
+  /// Same one-pass sweep, keeping the whole minibatch stacked in two
+  /// tensors for the batched PPO update (gradients recorded unless a
+  /// NoGradGuard is alive).
+  rl::BatchedPolicyOutput forwardBatchStacked(
       const std::vector<rl::Observation>& obs) const override;
   std::vector<nn::Tensor> parameters() const override;
   const char* name() const override { return name_.c_str(); }
   PolicyKind kind() const { return kind_; }
 
  private:
-  /// Precomputed batch structures for one batch size N (cached per N).
-  struct BatchPlan {
-    linalg::Mat blockAdj;   ///< [N*n x N*n] block-diagonal A*
-    linalg::Mat blockMask;  ///< [N*n x N*n] attention mask, -1e9 off-block
-    linalg::Mat poolMat;    ///< [N x N*n] per-graph mean-pool weights
-  };
-  const BatchPlan& batchPlan(std::size_t batchSize) const;
+  /// Shared batched tower sweep: actor logits [N x 3M] + values [N x 1].
+  void towerOutputs(const std::vector<rl::Observation>& obs, nn::Tensor* actorFlat,
+                    nn::Tensor* values) const;
 
   PolicyKind kind_;
   PolicyConfig cfg_;
@@ -103,8 +104,6 @@ class MultimodalPolicy : public rl::ActorCritic {
   linalg::Mat mask_;
   std::unique_ptr<GnnFcTower> actor_;
   std::unique_ptr<GnnFcTower> critic_;
-  mutable std::mutex plansMutex_;  ///< forwardBatch is const but caches plans
-  mutable std::map<std::size_t, BatchPlan> plans_;
 };
 
 /// Factory: build the policy matching an environment's shapes.

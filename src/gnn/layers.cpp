@@ -17,6 +17,13 @@ Tensor GcnLayer::forward(const Tensor& h, const linalg::Mat& normAdj) const {
   return nn::activate(z, act_);
 }
 
+Tensor GcnLayer::forwardBatch(const Tensor& h, const linalg::Mat& normAdj,
+                              std::size_t count) const {
+  Tensor agg = nn::matmulBlockDiagConstLeft(normAdj, count, h);  // diag(A*) H
+  Tensor z = nn::addRowBroadcast(nn::matmul(agg, w_), b_);
+  return nn::activate(z, act_);
+}
+
 GatLayer::GatLayer(std::size_t in, std::size_t headDim, std::size_t heads,
                    util::Rng& rng, nn::Activation act)
     : headDim_(headDim), act_(act) {
@@ -48,6 +55,32 @@ Tensor GatLayer::forward(const Tensor& h, const linalg::Mat& mask) const {
   Tensor out = headForward(h, mask, 0);
   for (std::size_t k = 1; k < wPerHead_.size(); ++k)
     out = nn::concatCols(out, headForward(h, mask, k));
+  return nn::activate(out, act_);
+}
+
+Tensor GatLayer::headForwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
+                                  std::size_t n, std::size_t count,
+                                  std::size_t k) const {
+  Tensor hw = nn::matmul(h, wPerHead_[k]);         // count*n x d
+  Tensor src = nn::matmul(hw, aSrc_[k]);           // count*n x 1
+  Tensor dst = nn::matmul(hw, aDst_[k]);           // count*n x 1
+  // Block-local e: row g*n+i holds e_ij = src_i + dst_j over graph g's own
+  // nodes j — [count*n x n] instead of a dense [count*n x count*n].
+  Tensor onesRow(linalg::Mat(1, n, 1.0));
+  Tensor e = nn::add(nn::matmul(src, onesRow),
+                     nn::repeatRows(nn::reshape(dst, count, n), n));
+  e = nn::leakyRelu(e, 0.2);
+  e = nn::addConst(e, tiledMask);
+  Tensor alpha = nn::softmaxRows(e);               // per-node over its graph
+  return nn::matmulBlocks(alpha, hw, count);       // alpha_g * hw_g
+}
+
+Tensor GatLayer::forwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
+                              std::size_t count) const {
+  const std::size_t n = tiledMask.cols();
+  Tensor out = headForwardBatch(h, tiledMask, n, count, 0);
+  for (std::size_t k = 1; k < wPerHead_.size(); ++k)
+    out = nn::concatCols(out, headForwardBatch(h, tiledMask, n, count, k));
   return nn::activate(out, act_);
 }
 
@@ -109,11 +142,21 @@ Tensor GraphEncoder::encode(const linalg::Mat& features, const linalg::Mat& norm
 }
 
 Tensor GraphEncoder::encodeBatch(const linalg::Mat& stackedFeatures,
-                                 const linalg::Mat& blockAdj,
-                                 const linalg::Mat& blockMask,
-                                 const linalg::Mat& poolMat) const {
-  return nn::matmulConstLeft(poolMat,
-                             nodeEmbeddings(stackedFeatures, blockAdj, blockMask));
+                                 std::size_t count, const linalg::Mat& normAdj,
+                                 const linalg::Mat& mask) const {
+  Tensor h(stackedFeatures);
+  if (cfg_.variant == Variant::Gcn) {
+    for (const auto& layer : gcn_) h = layer.forwardBatch(h, normAdj, count);
+  } else {
+    // Tile the constant mask once for all layers.
+    const std::size_t n = mask.rows();
+    linalg::Mat tiledMask(count * n, n);
+    for (std::size_t g = 0; g < count; ++g)
+      for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c) tiledMask(g * n + r, c) = mask(r, c);
+    for (const auto& layer : gat_) h = layer.forwardBatch(h, tiledMask, count);
+  }
+  return nn::meanPoolGroups(h, count);
 }
 
 std::vector<Tensor> GraphEncoder::parameters() const {

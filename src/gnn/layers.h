@@ -24,6 +24,11 @@ class GcnLayer {
 
   /// normAdj is CircuitGraph::normalizedAdjacency().
   Tensor forward(const Tensor& h, const linalg::Mat& normAdj) const;
+  /// Batched forward over `count` stacked graphs sharing one topology:
+  /// propagation multiplies by diag(normAdj, ..., normAdj) block-wise, so
+  /// cost (and backward cost) stays linear in the batch size.
+  Tensor forwardBatch(const Tensor& h, const linalg::Mat& normAdj,
+                      std::size_t count) const;
   std::vector<Tensor> parameters() const { return {w_, b_}; }
   std::size_t outFeatures() const { return w_.cols(); }
 
@@ -41,6 +46,16 @@ class GatLayer {
 
   /// mask is CircuitGraph::attentionMask() (0 on edges/self, -1e9 elsewhere).
   Tensor forward(const Tensor& h, const linalg::Mat& mask) const;
+  /// Batched forward over `count` stacked graphs sharing one topology.
+  /// `tiledMask` is the single-graph n x n attention mask tiled vertically
+  /// `count` times ([count*n x n], see GraphEncoder::encodeBatch, which
+  /// builds it once for all layers). Attention is computed block-locally as
+  /// [count*n x n] matrices — row i holds node i's coefficients over its
+  /// own graph's n nodes — so cost (and backward cost) scales linearly with
+  /// the batch instead of quadratically as a dense [count*n x count*n]
+  /// attention would.
+  Tensor forwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
+                      std::size_t count) const;
   std::vector<Tensor> parameters() const;
   std::size_t heads() const { return wPerHead_.size(); }
   std::size_t outFeatures() const { return heads() * headDim_; }
@@ -51,6 +66,8 @@ class GatLayer {
 
  private:
   Tensor headForward(const Tensor& h, const linalg::Mat& mask, std::size_t k) const;
+  Tensor headForwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
+                          std::size_t n, std::size_t count, std::size_t k) const;
 
   std::size_t headDim_;
   std::vector<Tensor> wPerHead_;
@@ -83,12 +100,15 @@ class GraphEncoder {
 
   /// Batched encode: N stacked copies of the same topology in one pass.
   /// `stackedFeatures` is the [N*n x in] row-stack of per-graph node
-  /// features, `blockAdj`/`blockMask` the block-diagonal adjacency and
-  /// attention mask (off-block mask entries at the usual -1e9), and
-  /// `poolMat` the [N x N*n] per-graph mean-pool weights. Returns the
-  /// [N x hidden] matrix of graph embeddings.
-  Tensor encodeBatch(const linalg::Mat& stackedFeatures, const linalg::Mat& blockAdj,
-                     const linalg::Mat& blockMask, const linalg::Mat& poolMat) const;
+  /// features; `normAdj` and `mask` are the single-graph n x n propagation
+  /// matrix and attention mask — GCN layers apply normAdj block-diagonally
+  /// and GAT layers keep attention block-local, so no [N*n x N*n] matrix is
+  /// ever materialized and cost stays linear in N. Readout mean-pools each
+  /// graph's node rows. Returns the [N x hidden] matrix of graph
+  /// embeddings; gradients are recorded unless a NoGradGuard is alive, so
+  /// the batched PPO update can backpropagate through the whole minibatch.
+  Tensor encodeBatch(const linalg::Mat& stackedFeatures, std::size_t count,
+                     const linalg::Mat& normAdj, const linalg::Mat& mask) const;
 
   std::vector<Tensor> parameters() const;
   const Config& config() const { return cfg_; }

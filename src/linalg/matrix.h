@@ -104,16 +104,49 @@ using CMat = Matrix<std::complex<double>>;
 using Vec = std::vector<double>;
 using CVec = std::vector<std::complex<double>>;
 
-/// Dense matmul C = A * B.
+/// Dense matmul C = A * B. The saxpy-style inner loop runs on raw row
+/// pointers so the compiler can vectorize it; accumulation order (and the
+/// sparse zero-skip) is unchanged, so results are bit-identical to the
+/// classic indexed loop.
 template <typename T>
 Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
-  Matrix<T> c(a.rows(), b.cols());
+  const std::size_t kk = a.cols(), n = b.cols();
+  Matrix<T> c(a.rows(), n);
+  const T* ap = a.data();
+  const T* bp = b.data();
+  T* cp = c.data();
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      T aik = a(i, k);
+    const T* arow = ap + i * kk;
+    T* crow = cp + i * n;
+    for (std::size_t k = 0; k < kk; ++k) {
+      const T aik = arow[k];
       if (aik == T{}) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+      const T* brow = bp + k * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+/// C = A^T * B without materializing the transpose: c(k,j) = sum_i a(i,k) b(i,j).
+/// Summation order over i matches matmul(a.transposed(), b) exactly.
+template <typename T>
+Matrix<T> matmulAtB(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("matmulAtB: dim mismatch");
+  const std::size_t kk = a.cols(), n = b.cols();
+  Matrix<T> c(kk, n);
+  const T* ap = a.data();
+  const T* bp = b.data();
+  T* cp = c.data();
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const T* arow = ap + i * kk;
+    const T* brow = bp + i * n;
+    for (std::size_t k = 0; k < kk; ++k) {
+      const T aik = arow[k];
+      if (aik == T{}) continue;
+      T* crow = cp + k * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
     }
   }
   return c;

@@ -39,9 +39,17 @@ std::shared_ptr<Node> makeValueNode(Mat value) {
   return n;
 }
 
-void accumulate(Node& target, const Mat& delta) {
+// Taken by value so callers hand over freshly computed deltas by move; the
+// first accumulation into an unallocated grad buffer adopts the delta
+// outright (0 + x == x), skipping the zero-fill and add pass the general
+// case needs.
+void accumulate(Node& target, Mat delta) {
   if (!target.requiresGrad) return;
-  target.ensureGrad();
+  if (target.grad.rows() != target.value.rows() ||
+      target.grad.cols() != target.value.cols()) {
+    target.grad = std::move(delta);
+    return;
+  }
   target.grad += delta;
 }
 
@@ -51,18 +59,20 @@ void checkSameShape(const Tensor& a, const Tensor& b, const char* op) {
 }
 
 /// Pointwise unary op helper: value = f(a), backward: da += dfda .* dout.
+/// The backward reads the input values back through the parent node (kept
+/// alive by the graph edge) instead of copying the input matrix.
 template <typename F, typename DF>
 Tensor pointwise(const Tensor& a, F f, DF dfda) {
   Mat out = a.value();
   for (auto& v : out.raw()) v = f(v);
   if (tlInferenceDepth > 0) return wrap(makeValueNode(std::move(out)));
   auto pa = a.node();
-  Mat in = a.value();
-  return wrap(makeNode(std::move(out), {pa}, [pa, in, dfda](Node& self) {
+  return wrap(makeNode(std::move(out), {pa}, [pa, dfda](Node& self) {
+    const Mat& in = pa->value;
     Mat delta(in.rows(), in.cols());
     for (std::size_t i = 0; i < in.raw().size(); ++i)
       delta.raw()[i] = dfda(in.raw()[i], self.value.raw()[i]) * self.grad.raw()[i];
-    accumulate(*pa, delta);
+    accumulate(*pa, std::move(delta));
   }));
 }
 }  // namespace
@@ -134,10 +144,11 @@ void backward(const Tensor& root) {
       if (p->requiresGrad && p->visitMark == 0) stack.push_back(p.get());
   }
 
-  for (Node* n : order) {
-    n->ensureGrad();
-    n->visitMark = 0;  // reset for future passes
-  }
+  // Grad buffers allocate lazily on first accumulation (every non-root node
+  // in `order` receives one from a child closure before its own runs); only
+  // the root needs its buffer up front.
+  for (Node* n : order) n->visitMark = 0;  // reset for future passes
+  root.node()->ensureGrad();
   root.node()->grad(0, 0) = 1.0;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     if ((*it)->backward) (*it)->backward(**it);
@@ -148,18 +159,108 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   auto pa = a.node(), pb = b.node();
   Mat out = linalg::matmul(a.value(), b.value());
   return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb](Node& self) {
-    // dA += dOut * B^T ; dB += A^T * dOut.
-    accumulate(*pa, linalg::matmul(self.grad, pb->value.transposed()));
-    accumulate(*pb, linalg::matmul(pa->value.transposed(), self.grad));
+    // dA += dOut * B^T ; dB += A^T * dOut. The guards skip the whole product
+    // when an operand is constant (e.g. stacked input features), and the
+    // A^T side uses the transpose-free kernel (same summation order).
+    if (pa->requiresGrad)
+      accumulate(*pa, linalg::matmul(self.grad, pb->value.transposed()));
+    if (pb->requiresGrad) accumulate(*pb, linalg::matmulAtB(pa->value, self.grad));
   }));
 }
 
 Tensor matmulConstLeft(const Mat& a, const Tensor& b) {
   if (tlInferenceDepth > 0) return wrap(makeValueNode(linalg::matmul(a, b.value())));
   auto pb = b.node();
-  Mat aT = a.transposed();
-  return wrap(makeNode(linalg::matmul(a, b.value()), {pb}, [pb, aT](Node& self) {
-    accumulate(*pb, linalg::matmul(aT, self.grad));
+  return wrap(makeNode(linalg::matmul(a, b.value()), {pb}, [pb, a](Node& self) {
+    accumulate(*pb, linalg::matmulAtB(a, self.grad));
+  }));
+}
+
+Tensor matmulBlockDiagConstLeft(const Mat& block, std::size_t repeat, const Tensor& b) {
+  const std::size_t n = block.rows();
+  if (block.cols() != n)
+    throw std::invalid_argument("matmulBlockDiagConstLeft: block must be square");
+  if (b.rows() != repeat * n)
+    throw std::invalid_argument("matmulBlockDiagConstLeft: row count mismatch");
+  const std::size_t m = b.cols();
+  auto applyBlocks = [n, m, repeat](const Mat& blk, const Mat& x) {
+    Mat y(repeat * n, m);
+    const double* xp = x.data();
+    double* yp = y.data();
+    for (std::size_t g = 0; g < repeat; ++g)
+      for (std::size_t r = 0; r < n; ++r) {
+        double* yrow = yp + (g * n + r) * m;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double w = blk(r, k);
+          if (w == 0.0) continue;  // adjacency blocks are sparse
+          const double* xrow = xp + (g * n + k) * m;
+          for (std::size_t c = 0; c < m; ++c) yrow[c] += w * xrow[c];
+        }
+      }
+    return y;
+  };
+  if (tlInferenceDepth > 0) return wrap(makeValueNode(applyBlocks(block, b.value())));
+  auto pb = b.node();
+  Mat blockT = block.transposed();
+  return wrap(makeNode(applyBlocks(block, b.value()), {pb},
+                       [pb, blockT, applyBlocks](Node& self) {
+                         accumulate(*pb, applyBlocks(blockT, self.grad));
+                       }));
+}
+
+Tensor matmulBlocks(const Tensor& a, const Tensor& b, std::size_t blocks) {
+  if (blocks == 0 || a.rows() % blocks != 0 || b.rows() % blocks != 0)
+    throw std::invalid_argument("matmulBlocks: rows must divide into blocks");
+  const std::size_t r = a.rows() / blocks;
+  const std::size_t k = b.rows() / blocks;
+  const std::size_t m = b.cols();
+  if (a.cols() != k) throw std::invalid_argument("matmulBlocks: inner dim mismatch");
+  auto pa = a.node(), pb = b.node();
+  Mat out(blocks * r, m);
+  {
+    const double* bpv = pb->value.data();
+    double* op = out.data();
+    for (std::size_t g = 0; g < blocks; ++g)
+      for (std::size_t i = 0; i < r; ++i) {
+        double* orow = op + (g * r + i) * m;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const double aik = pa->value(g * r + i, kk);
+          if (aik == 0.0) continue;
+          const double* brow = bpv + (g * k + kk) * m;
+          for (std::size_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
+        }
+      }
+  }
+  return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb, blocks, r, k, m](Node& self) {
+    // da_g += dout_g * b_g^T ; db_g += a_g^T * dout_g, per block. da rows
+    // are dot products of contiguous grad/b rows; db accumulates row-saxpy
+    // style like matmulAtB. Both sum over the same ascending index order as
+    // the plain per-element formulation.
+    Mat da(pa->value.rows(), pa->value.cols());
+    Mat db(pb->value.rows(), pb->value.cols());
+    const double* av = pa->value.data();
+    const double* bv = pb->value.data();
+    const double* gv = self.grad.data();
+    double* dav = da.data();
+    double* dbv = db.data();
+    for (std::size_t g = 0; g < blocks; ++g)
+      for (std::size_t i = 0; i < r; ++i) {
+        const double* grow = gv + (g * r + i) * m;
+        const double* arow = av + (g * r + i) * k;
+        double* darow = dav + (g * r + i) * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const double* brow = bv + (g * k + kk) * m;
+          double acc = 0.0;
+          for (std::size_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
+          darow[kk] = acc;
+          const double aik = arow[kk];
+          if (aik == 0.0) continue;
+          double* dbrow = dbv + (g * k + kk) * m;
+          for (std::size_t j = 0; j < m; ++j) dbrow[j] += aik * grow[j];
+        }
+      }
+    accumulate(*pa, std::move(da));
+    accumulate(*pb, std::move(db));
   }));
 }
 
@@ -208,8 +309,8 @@ Tensor mul(const Tensor& a, const Tensor& b) {
       da.raw()[i] *= pb->value.raw()[i];
       db.raw()[i] *= pa->value.raw()[i];
     }
-    accumulate(*pa, da);
-    accumulate(*pb, db);
+    accumulate(*pa, std::move(da));
+    accumulate(*pb, std::move(db));
   }));
 }
 
@@ -282,8 +383,8 @@ Tensor minT(const Tensor& a, const Tensor& b) {
       else
         db.raw()[i] = self.grad.raw()[i];
     }
-    accumulate(*pa, da);
-    accumulate(*pb, db);
+    accumulate(*pa, std::move(da));
+    accumulate(*pb, std::move(db));
   }));
 }
 
@@ -315,7 +416,7 @@ Tensor softmaxRows(const Tensor& a) {
       for (std::size_t c = 0; c < self.value.cols(); ++c)
         delta(r, c) = self.value(r, c) * (self.grad(r, c) - dotProd);
     }
-    accumulate(*pa, delta);
+    accumulate(*pa, std::move(delta));
   }));
 }
 
@@ -339,7 +440,7 @@ Tensor logSoftmaxRows(const Tensor& a) {
       for (std::size_t c = 0; c < self.value.cols(); ++c)
         delta(r, c) = self.grad(r, c) - std::exp(self.value(r, c)) * rowSum;
     }
-    accumulate(*pa, delta);
+    accumulate(*pa, std::move(delta));
   }));
 }
 
@@ -349,7 +450,7 @@ Tensor sum(const Tensor& a) {
   for (double v : a.value().raw()) s += v;
   return wrap(makeNode(Mat(1, 1, s), {pa}, [pa](Node& self) {
     Mat delta(pa->value.rows(), pa->value.cols(), self.grad(0, 0));
-    accumulate(*pa, delta);
+    accumulate(*pa, std::move(delta));
   }));
 }
 
@@ -368,7 +469,41 @@ Tensor meanRows(const Tensor& a) {
     Mat delta(pa->value.rows(), pa->value.cols());
     for (std::size_t r = 0; r < delta.rows(); ++r)
       for (std::size_t c = 0; c < delta.cols(); ++c) delta(r, c) = self.grad(0, c) / n;
-    accumulate(*pa, delta);
+    accumulate(*pa, std::move(delta));
+  }));
+}
+
+Tensor sumRows(const Tensor& a) {
+  auto pa = a.node();
+  Mat out(a.rows(), 1);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, 0) += a.value()(r, c);
+  return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
+    Mat delta(pa->value.rows(), pa->value.cols());
+    for (std::size_t r = 0; r < delta.rows(); ++r)
+      for (std::size_t c = 0; c < delta.cols(); ++c) delta(r, c) = self.grad(r, 0);
+    accumulate(*pa, std::move(delta));
+  }));
+}
+
+Tensor meanPoolGroups(const Tensor& a, std::size_t groups) {
+  if (groups == 0 || a.rows() % groups != 0)
+    throw std::invalid_argument("meanPoolGroups: rows must divide into groups");
+  const std::size_t g = a.rows() / groups;
+  const double invG = 1.0 / static_cast<double>(g);
+  auto pa = a.node();
+  Mat out(groups, a.cols());
+  for (std::size_t k = 0; k < groups; ++k)
+    for (std::size_t r = 0; r < g; ++r)
+      for (std::size_t c = 0; c < a.cols(); ++c)
+        out(k, c) += a.value()(k * g + r, c) * invG;
+  return wrap(makeNode(std::move(out), {pa}, [pa, g, invG](Node& self) {
+    Mat delta(pa->value.rows(), pa->value.cols());
+    for (std::size_t k = 0; k < self.grad.rows(); ++k)
+      for (std::size_t r = 0; r < g; ++r)
+        for (std::size_t c = 0; c < delta.cols(); ++c)
+          delta(k * g + r, c) = self.grad(k, c) * invG;
+    accumulate(*pa, std::move(delta));
   }));
 }
 
@@ -395,8 +530,63 @@ Tensor concatCols(const Tensor& a, const Tensor& b) {
       for (std::size_t c = 0; c < aCols; ++c) da(r, c) = self.grad(r, c);
       for (std::size_t c = 0; c < db.cols(); ++c) db(r, c) = self.grad(r, aCols + c);
     }
-    accumulate(*pa, da);
-    accumulate(*pb, db);
+    accumulate(*pa, std::move(da));
+    accumulate(*pb, std::move(db));
+  }));
+}
+
+Tensor concatRows(const Tensor& a, const Tensor& b) {
+  if (a.cols() != b.cols()) throw std::invalid_argument("concatRows: column mismatch");
+  auto pa = a.node(), pb = b.node();
+  Mat out(a.rows() + b.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a.value()(r, c);
+  for (std::size_t r = 0; r < b.rows(); ++r)
+    for (std::size_t c = 0; c < b.cols(); ++c) out(a.rows() + r, c) = b.value()(r, c);
+  const std::size_t aRows = a.rows();
+  return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb, aRows](Node& self) {
+    Mat da(pa->value.rows(), pa->value.cols());
+    Mat db(pb->value.rows(), pb->value.cols());
+    for (std::size_t r = 0; r < aRows; ++r)
+      for (std::size_t c = 0; c < da.cols(); ++c) da(r, c) = self.grad(r, c);
+    for (std::size_t r = 0; r < db.rows(); ++r)
+      for (std::size_t c = 0; c < db.cols(); ++c) db(r, c) = self.grad(aRows + r, c);
+    accumulate(*pa, std::move(da));
+    accumulate(*pb, std::move(db));
+  }));
+}
+
+Tensor concatRowsAll(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concatRowsAll: empty input");
+  std::size_t totalRows = 0;
+  const std::size_t cols = parts.front().cols();
+  for (const Tensor& p : parts) {
+    if (p.cols() != cols) throw std::invalid_argument("concatRowsAll: column mismatch");
+    totalRows += p.rows();
+  }
+  Mat out(totalRows, cols);
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(parts.size());
+  std::size_t row = 0;
+  for (const Tensor& p : parts) {
+    for (std::size_t r = 0; r < p.rows(); ++r)
+      for (std::size_t c = 0; c < cols; ++c) out(row + r, c) = p.value()(r, c);
+    row += p.rows();
+    parents.push_back(p.node());
+  }
+  return wrap(makeNode(std::move(out), std::move(parents), [](Node& self) {
+    std::size_t begin = 0;
+    for (const auto& parent : self.parents) {
+      const std::size_t rows = parent->value.rows();
+      if (parent->requiresGrad) {
+        Mat delta(rows, parent->value.cols());
+        for (std::size_t r = 0; r < rows; ++r)
+          for (std::size_t c = 0; c < delta.cols(); ++c)
+            delta(r, c) = self.grad(begin + r, c);
+        accumulate(*parent, std::move(delta));
+      }
+      begin += rows;
+    }
   }));
 }
 
@@ -414,7 +604,7 @@ Tensor gatherPerRow(const Tensor& a, const std::vector<int>& idx) {
     Mat delta(pa->value.rows(), pa->value.cols());
     for (std::size_t r = 0; r < delta.rows(); ++r)
       delta(r, static_cast<std::size_t>(idx[r])) = self.grad(r, 0);
-    accumulate(*pa, delta);
+    accumulate(*pa, std::move(delta));
   }));
 }
 
@@ -429,7 +619,25 @@ Tensor sliceRows(const Tensor& a, std::size_t begin, std::size_t count) {
     for (std::size_t r = 0; r < count; ++r)
       for (std::size_t c = 0; c < delta.cols(); ++c)
         delta(begin + r, c) = self.grad(r, c);
-    accumulate(*pa, delta);
+    accumulate(*pa, std::move(delta));
+  }));
+}
+
+Tensor repeatRows(const Tensor& a, std::size_t times) {
+  if (times == 0) throw std::invalid_argument("repeatRows: times must be positive");
+  auto pa = a.node();
+  Mat out(a.rows() * times, a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t t = 0; t < times; ++t)
+      for (std::size_t c = 0; c < a.cols(); ++c)
+        out(r * times + t, c) = a.value()(r, c);
+  return wrap(makeNode(std::move(out), {pa}, [pa, times](Node& self) {
+    Mat delta(pa->value.rows(), pa->value.cols());
+    for (std::size_t r = 0; r < delta.rows(); ++r)
+      for (std::size_t t = 0; t < times; ++t)
+        for (std::size_t c = 0; c < delta.cols(); ++c)
+          delta(r, c) += self.grad(r * times + t, c);
+    accumulate(*pa, std::move(delta));
   }));
 }
 
@@ -442,7 +650,7 @@ Tensor reshape(const Tensor& a, std::size_t rows, std::size_t cols) {
   return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
     Mat delta(pa->value.rows(), pa->value.cols());
     delta.raw() = self.grad.raw();
-    accumulate(*pa, delta);
+    accumulate(*pa, std::move(delta));
   }));
 }
 

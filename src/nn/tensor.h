@@ -97,6 +97,18 @@ Tensor matmul(const Tensor& a, const Tensor& b);
 /// Constant (non-differentiable) left operand — e.g. the GCN propagation
 /// matrix A* of Eq. (2).
 Tensor matmulConstLeft(const Mat& a, const Tensor& b);
+/// diag(block, ..., block) * b with `repeat` copies of the constant n x n
+/// `block` along the diagonal; b is [repeat*n x m]. Equivalent to
+/// matmulConstLeft with the dense block-diagonal matrix, but value and
+/// gradient cost O(repeat * n^2 * m) instead of O(repeat^2 * n^2 * m) — the
+/// batched-minibatch GCN propagation of the PPO update path.
+Tensor matmulBlockDiagConstLeft(const Mat& block, std::size_t repeat, const Tensor& b);
+/// Block-paired matmul: a is [blocks*r x k], b is [blocks*k x m]; block g of
+/// the [blocks*r x m] result is a_g * b_g. This is the attention-mixing step
+/// of batched GAT (alpha_g [n x n] times the transformed features hw_g),
+/// where both operands carry gradients; backward routes each block's
+/// gradient to its own operand blocks.
+Tensor matmulBlocks(const Tensor& a, const Tensor& b, std::size_t blocks);
 Tensor add(const Tensor& a, const Tensor& b);
 /// a (n x m) + row (1 x m), broadcast over rows (bias addition).
 Tensor addRowBroadcast(const Tensor& a, const Tensor& row);
@@ -126,13 +138,32 @@ Tensor sum(const Tensor& a);   ///< 1x1
 Tensor mean(const Tensor& a);  ///< 1x1
 /// Column-wise mean over rows -> 1 x m (graph mean-pool readout).
 Tensor meanRows(const Tensor& a);
+/// Row-wise sum -> n x 1 (per-observation log-prob totals in the batched
+/// PPO loss).
+Tensor sumRows(const Tensor& a);
+/// Mean over each contiguous group of rows: a is [groups*g x m] and the
+/// result [groups x m] averages rows [k*g, (k+1)*g) into row k. This is the
+/// batched per-graph mean-pool readout; the backward pass scatters each
+/// group's gradient back to its rows (grad / g).
+Tensor meanPoolGroups(const Tensor& a, std::size_t groups);
 Tensor transpose(const Tensor& a);
 /// Horizontal concatenation [a | b].
 Tensor concatCols(const Tensor& a, const Tensor& b);
+/// Vertical concatenation [a ; b] (row-stacking minibatch outputs).
+Tensor concatRows(const Tensor& a, const Tensor& b);
+/// N-way vertical concatenation in one graph node — linear in the total row
+/// count, where a fold over concatRows would copy the growing prefix again
+/// for every operand (quadratic in the batch).
+Tensor concatRowsAll(const std::vector<Tensor>& parts);
 /// Select a[i, idx[i]] for every row -> n x 1 (categorical log-prob gather).
 Tensor gatherPerRow(const Tensor& a, const std::vector<int>& idx);
 /// Extract a contiguous block of rows [begin, begin+count).
 Tensor sliceRows(const Tensor& a, std::size_t begin, std::size_t count);
+/// Repeat each row `times` times consecutively: [n x m] -> [n*times x m]
+/// with rows [r*times, (r+1)*times) all equal to row r. Backward sums each
+/// output group's gradient back into its source row (batched GAT uses this
+/// to broadcast per-graph attention destinations).
+Tensor repeatRows(const Tensor& a, std::size_t times);
 /// Row-major reshape preserving the element count (e.g. 1 x 3M -> M x 3).
 Tensor reshape(const Tensor& a, std::size_t rows, std::size_t cols);
 

@@ -1,6 +1,7 @@
 #include "rl/policy.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace crl::rl {
 
@@ -27,6 +28,23 @@ std::vector<PolicyOutput> ActorCritic::forwardBatch(
   std::vector<PolicyOutput> out;
   out.reserve(obs.size());
   for (const Observation& o : obs) out.push_back(forward(o));
+  return out;
+}
+
+BatchedPolicyOutput ActorCritic::forwardBatchStacked(
+    const std::vector<Observation>& obs) const {
+  if (obs.empty()) throw std::invalid_argument("forwardBatchStacked: empty batch");
+  std::vector<nn::Tensor> logits, values;
+  logits.reserve(obs.size());
+  values.reserve(obs.size());
+  for (const Observation& o : obs) {
+    PolicyOutput one = forward(o);
+    logits.push_back(one.logits);
+    values.push_back(one.value);
+  }
+  BatchedPolicyOutput out;
+  out.logits = nn::concatRowsAll(logits);
+  out.values = nn::concatRowsAll(values);
   return out;
 }
 
@@ -72,6 +90,27 @@ nn::Tensor entropyOf(const nn::Tensor& logits) {
   nn::Tensor lp = nn::logSoftmaxRows(logits);
   // H = -sum p log p, averaged over parameter rows.
   return nn::scale(nn::sum(nn::mul(p, lp)), -1.0 / static_cast<double>(logits.rows()));
+}
+
+nn::Tensor logProbBatch(const nn::Tensor& stackedLogits,
+                        const std::vector<int>& columns, std::size_t batch) {
+  if (batch == 0 || stackedLogits.rows() % batch != 0)
+    throw std::invalid_argument("logProbBatch: rows must divide into batch");
+  const std::size_t numParams = stackedLogits.rows() / batch;
+  nn::Tensor ls = nn::logSoftmaxRows(stackedLogits);
+  nn::Tensor picked = nn::gatherPerRow(ls, columns);       // B*M x 1
+  return nn::sumRows(nn::reshape(picked, batch, numParams));  // B x 1
+}
+
+nn::Tensor entropyBatch(const nn::Tensor& stackedLogits, std::size_t batch) {
+  if (batch == 0 || stackedLogits.rows() % batch != 0)
+    throw std::invalid_argument("entropyBatch: rows must divide into batch");
+  const std::size_t numParams = stackedLogits.rows() / batch;
+  nn::Tensor p = nn::softmaxRows(stackedLogits);
+  nn::Tensor lp = nn::logSoftmaxRows(stackedLogits);
+  // Each observation contributes -sum(p log p) / M; rows are disjoint, so
+  // the batch total is the all-rows sum scaled once.
+  return nn::scale(nn::sum(nn::mul(p, lp)), -1.0 / static_cast<double>(numParams));
 }
 
 }  // namespace crl::rl

@@ -15,6 +15,14 @@ struct PolicyOutput {
   nn::Tensor value;   ///< [1 x 1] state-value estimate
 };
 
+/// Whole-minibatch policy evaluation kept in two tensors, so the batched PPO
+/// update can build one autograd graph per minibatch instead of one per
+/// transition. Logits of observation i occupy rows [i*M, (i+1)*M).
+struct BatchedPolicyOutput {
+  nn::Tensor logits;  ///< [B*M x 3] row-stacked per-observation logits
+  nn::Tensor values;  ///< [B x 1] state-value estimates
+};
+
 class ActorCritic {
  public:
   virtual ~ActorCritic() = default;
@@ -24,6 +32,12 @@ class ActorCritic {
   /// implementation loops forward(); policies that can batch the whole pass
   /// into one matrix sweep (MultimodalPolicy) override it.
   virtual std::vector<PolicyOutput> forwardBatch(
+      const std::vector<Observation>& obs) const;
+  /// Evaluate a batch of observations keeping the results stacked (for the
+  /// batched PPO update). Gradients are recorded unless a NoGradGuard is
+  /// alive. The base implementation loops forward() and row-stacks;
+  /// MultimodalPolicy overrides it with the one-pass block-diagonal sweep.
+  virtual BatchedPolicyOutput forwardBatchStacked(
       const std::vector<Observation>& obs) const;
   virtual std::vector<nn::Tensor> parameters() const = 0;
   virtual const char* name() const = 0;
@@ -45,5 +59,16 @@ SampledAction greedyAction(const linalg::Mat& logits);
 nn::Tensor logProbOf(const nn::Tensor& logits, const std::vector<int>& columns);
 /// Mean per-row entropy of the categorical distributions.
 nn::Tensor entropyOf(const nn::Tensor& logits);
+
+// ---- batched PPO losses (whole minibatch in one graph) -------------------
+
+/// Per-observation total log-prob of the chosen columns: stackedLogits is
+/// BatchedPolicyOutput::logits ([B*M x 3]), columns the B*M flattened column
+/// choices; returns [B x 1], row b matching logProbOf on observation b.
+nn::Tensor logProbBatch(const nn::Tensor& stackedLogits,
+                        const std::vector<int>& columns, std::size_t batch);
+/// Sum over the minibatch of per-observation mean-row entropies (1x1),
+/// matching the sum of entropyOf over the B observations.
+nn::Tensor entropyBatch(const nn::Tensor& stackedLogits, std::size_t batch);
 
 }  // namespace crl::rl

@@ -193,40 +193,91 @@ void PpoTrainer::update(std::vector<Transition>& buffer) {
     for (std::size_t start = 0; start < n; start += mb) {
       const std::size_t end = std::min(start + mb, n);
       optimizer_.zeroGrad();
-
-      nn::Tensor policyLoss = nn::Tensor::scalar(0.0);
-      nn::Tensor valueLoss = nn::Tensor::scalar(0.0);
-      nn::Tensor entropy = nn::Tensor::scalar(0.0);
-      const double invCount = 1.0 / static_cast<double>(end - start);
-
-      for (std::size_t k = start; k < end; ++k) {
-        const Transition& tr = buffer[perm[k]];
-        const double adv = advantages[perm[k]];
-        const double ret = returns[perm[k]];
-
-        PolicyOutput out = policy_.forward(tr.obs);
-        nn::Tensor logp = logProbOf(out.logits, tr.columns);
-        nn::Tensor ratio = nn::expT(nn::addScalar(logp, -tr.logProb));
-        nn::Tensor unclipped = nn::scale(ratio, adv);
-        nn::Tensor clipped =
-            nn::scale(nn::clampT(ratio, 1.0 - cfg_.clipEps, 1.0 + cfg_.clipEps), adv);
-        policyLoss = nn::add(policyLoss, nn::minT(unclipped, clipped));
-
-        nn::Tensor verr = nn::addScalar(out.value, -ret);
-        valueLoss = nn::add(valueLoss, nn::sum(nn::mul(verr, verr)));
-        entropy = nn::add(entropy, entropyOf(out.logits));
-      }
-
-      // Maximize surrogate + entropy, minimize value error.
-      nn::Tensor loss = nn::add(
-          nn::add(nn::scale(policyLoss, -invCount),
-                  nn::scale(valueLoss, cfg_.valueCoef * invCount)),
-          nn::scale(entropy, -cfg_.entropyCoef * invCount));
+      nn::Tensor loss =
+          cfg_.batchedUpdate
+              ? minibatchLossBatched(buffer, perm, start, end, advantages, returns)
+              : minibatchLossSequential(buffer, perm, start, end, advantages,
+                                        returns);
       nn::backward(loss);
       nn::clipGradNorm(optimizer_.parameters(), cfg_.maxGradNorm);
       optimizer_.step();
     }
   }
+}
+
+nn::Tensor PpoTrainer::minibatchLossSequential(
+    const std::vector<Transition>& buffer, const std::vector<std::size_t>& perm,
+    std::size_t start, std::size_t end, const std::vector<double>& advantages,
+    const std::vector<double>& returns) {
+  nn::Tensor policyLoss = nn::Tensor::scalar(0.0);
+  nn::Tensor valueLoss = nn::Tensor::scalar(0.0);
+  nn::Tensor entropy = nn::Tensor::scalar(0.0);
+  const double invCount = 1.0 / static_cast<double>(end - start);
+
+  for (std::size_t k = start; k < end; ++k) {
+    const Transition& tr = buffer[perm[k]];
+    const double adv = advantages[perm[k]];
+    const double ret = returns[perm[k]];
+
+    PolicyOutput out = policy_.forward(tr.obs);
+    nn::Tensor logp = logProbOf(out.logits, tr.columns);
+    nn::Tensor ratio = nn::expT(nn::addScalar(logp, -tr.logProb));
+    nn::Tensor unclipped = nn::scale(ratio, adv);
+    nn::Tensor clipped =
+        nn::scale(nn::clampT(ratio, 1.0 - cfg_.clipEps, 1.0 + cfg_.clipEps), adv);
+    policyLoss = nn::add(policyLoss, nn::minT(unclipped, clipped));
+
+    nn::Tensor verr = nn::addScalar(out.value, -ret);
+    valueLoss = nn::add(valueLoss, nn::sum(nn::mul(verr, verr)));
+    entropy = nn::add(entropy, entropyOf(out.logits));
+  }
+
+  // Maximize surrogate + entropy, minimize value error.
+  return nn::add(nn::add(nn::scale(policyLoss, -invCount),
+                         nn::scale(valueLoss, cfg_.valueCoef * invCount)),
+                 nn::scale(entropy, -cfg_.entropyCoef * invCount));
+}
+
+nn::Tensor PpoTrainer::minibatchLossBatched(
+    const std::vector<Transition>& buffer, const std::vector<std::size_t>& perm,
+    std::size_t start, std::size_t end, const std::vector<double>& advantages,
+    const std::vector<double>& returns) {
+  const std::size_t count = end - start;
+  const double invCount = 1.0 / static_cast<double>(count);
+
+  std::vector<Observation> obs;
+  obs.reserve(count);
+  std::vector<int> columns;
+  linalg::Mat negOldLogp(count, 1);
+  linalg::Mat adv(count, 1);
+  linalg::Mat negRet(count, 1);
+  for (std::size_t k = start; k < end; ++k) {
+    const Transition& tr = buffer[perm[k]];
+    obs.push_back(tr.obs);
+    columns.insert(columns.end(), tr.columns.begin(), tr.columns.end());
+    negOldLogp(k - start, 0) = -tr.logProb;
+    adv(k - start, 0) = advantages[perm[k]];
+    negRet(k - start, 0) = -returns[perm[k]];
+  }
+
+  // One graph for the whole minibatch: stacked forward, then batched
+  // surrogate / value / entropy terms over [B x 1] columns.
+  BatchedPolicyOutput out = policy_.forwardBatchStacked(obs);
+  nn::Tensor logp = logProbBatch(out.logits, columns, count);
+  nn::Tensor ratio = nn::expT(nn::addConst(logp, negOldLogp));
+  nn::Tensor advT(adv);  // constant: no gradient flows into advantages
+  nn::Tensor unclipped = nn::mul(ratio, advT);
+  nn::Tensor clipped =
+      nn::mul(nn::clampT(ratio, 1.0 - cfg_.clipEps, 1.0 + cfg_.clipEps), advT);
+  nn::Tensor policyLoss = nn::sum(nn::minT(unclipped, clipped));
+
+  nn::Tensor verr = nn::addConst(out.values, negRet);
+  nn::Tensor valueLoss = nn::sum(nn::mul(verr, verr));
+  nn::Tensor entropy = entropyBatch(out.logits, count);
+
+  return nn::add(nn::add(nn::scale(policyLoss, -invCount),
+                         nn::scale(valueLoss, cfg_.valueCoef * invCount)),
+                 nn::scale(entropy, -cfg_.entropyCoef * invCount));
 }
 
 }  // namespace crl::rl

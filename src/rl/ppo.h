@@ -24,6 +24,13 @@ struct PpoConfig {
   int updateEpochs = 4;
   int minibatchSize = 64;
   int stepsPerUpdate = 512;      ///< environment steps collected per update
+  /// Build one autograd graph per minibatch (batched forward + batched
+  /// log-prob/entropy/value losses) instead of one per transition. The
+  /// losses are mathematically identical and gradients agree to ~1e-12
+  /// (floating-point summation order differs), but not bit-for-bit — the
+  /// sequential path (false, the default) is the reproducibility baseline
+  /// the golden-curve tests lock in.
+  bool batchedUpdate = false;
 };
 
 /// Per-episode statistics streamed to the caller (training curves of Fig. 3).
@@ -67,12 +74,30 @@ class PpoTrainer {
   /// Number of rollout lanes (1 in sequential mode).
   std::size_t numEnvs() const { return vecEnv_ ? vecEnv_->size() : 1; }
 
+  /// Run one PPO update (epochs x shuffled minibatches) from a collected
+  /// transition buffer. train() calls this internally; it is public so
+  /// offline updates can be driven (and benchmarked) from a pre-collected
+  /// buffer. The buffer is consumed read-only but non-const for historical
+  /// reasons (train() hands over its own buffer).
+  void update(std::vector<Transition>& buffer);
+
  private:
   void trainSequential(int episodes,
                        const std::function<void(const EpisodeStats&)>& onEpisode);
   void trainVectorized(int episodes,
                        const std::function<void(const EpisodeStats&)>& onEpisode);
-  void update(std::vector<Transition>& buffer);
+  /// Per-transition loss accumulation (the bit-for-bit sequential path).
+  nn::Tensor minibatchLossSequential(const std::vector<Transition>& buffer,
+                                     const std::vector<std::size_t>& perm,
+                                     std::size_t start, std::size_t end,
+                                     const std::vector<double>& advantages,
+                                     const std::vector<double>& returns);
+  /// One stacked forward + batched losses over the whole minibatch.
+  nn::Tensor minibatchLossBatched(const std::vector<Transition>& buffer,
+                                  const std::vector<std::size_t>& perm,
+                                  std::size_t start, std::size_t end,
+                                  const std::vector<double>& advantages,
+                                  const std::vector<double>& returns);
 
   Env& env_;
   VecEnv* vecEnv_ = nullptr;

@@ -15,13 +15,19 @@ ThreadPool::ThreadPool(std::size_t workers) {
     workers_.emplace_back([this]() { workerLoop(); });
 }
 
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stopping_ = true;
-  }
-  wake_.notify_all();
-  for (auto& w : workers_) w.join();
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  // call_once serializes concurrent shutdown()/destructor races: join() on
+  // the same std::thread from two callers is undefined behavior.
+  std::call_once(shutdownOnce_, [this]() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_) w.join();
+  });
 }
 
 void ThreadPool::workerLoop() {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -32,7 +33,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueue a callable; the returned future yields its result (or rethrows
-  /// the exception it raised).
+  /// the exception it raised). Throws std::runtime_error if shutdown has
+  /// begun: a task enqueued after the workers start draining the final queue
+  /// may never run, which would silently swallow both its result and any
+  /// exception it would have raised — failing loudly at the submit site is
+  /// the only place that information still exists.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -40,11 +45,20 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_)
+        throw std::runtime_error("ThreadPool: submit after shutdown");
       queue_.push([task]() { (*task)(); });
     }
     wake_.notify_one();
     return fut;
   }
+
+  /// Drain outstanding tasks and join all workers. Idempotent and safe to
+  /// call from multiple threads (later callers block until the first
+  /// finishes); called by the destructor. Futures obtained before shutdown
+  /// stay valid — a drained task's result or captured exception is still
+  /// delivered through get() after shutdown returns.
+  void shutdown();
 
   std::size_t workerCount() const { return workers_.size(); }
 
@@ -58,6 +72,7 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
+  std::once_flag shutdownOnce_;
   bool stopping_ = false;
 };
 

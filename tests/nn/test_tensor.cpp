@@ -181,6 +181,140 @@ TEST(GradCheck, MatmulConstLeft) {
   });
 }
 
+TEST(GradCheck, SumRows) {
+  checkGradient(linalg::Mat{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}}, [](const Tensor& x) {
+    Tensor w(linalg::Mat{{2.0}, {-1.0}});
+    return sum(mul(sumRows(x), w));
+  });
+}
+
+TEST(GradCheck, ConcatRows) {
+  checkGradient(linalg::Mat{{1.0, 2.0}, {3.0, 4.0}}, [](const Tensor& x) {
+    Tensor top = sliceRows(x, 0, 1);
+    Tensor bottom = sliceRows(x, 1, 1);
+    Tensor stacked = concatRows(tanhT(top), bottom);  // 2x2
+    return sum(mul(stacked, stacked));
+  });
+}
+
+TEST(GradCheck, ConcatRowsAll) {
+  checkGradient(linalg::Mat{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}},
+                [](const Tensor& x) {
+                  std::vector<Tensor> parts{sliceRows(x, 0, 1), sliceRows(x, 1, 2),
+                                            tanhT(sliceRows(x, 0, 2))};
+                  Tensor stacked = concatRowsAll(parts);  // 5x2
+                  return sum(mul(stacked, stacked));
+                });
+}
+
+TEST(Ops, ConcatRowsAllMatchesPairwise) {
+  Tensor a(linalg::Mat{{1.0, 2.0}});
+  Tensor b(linalg::Mat{{3.0, 4.0}, {5.0, 6.0}});
+  Tensor c(linalg::Mat{{7.0, 8.0}});
+  Tensor all = concatRowsAll({a, b, c});
+  Tensor pairwise = concatRows(concatRows(a, b), c);
+  ASSERT_EQ(all.rows(), 4u);
+  for (std::size_t i = 0; i < all.value().raw().size(); ++i)
+    EXPECT_DOUBLE_EQ(all.value().raw()[i], pairwise.value().raw()[i]);
+  EXPECT_THROW(concatRowsAll({}), std::invalid_argument);
+  EXPECT_THROW(concatRowsAll({a, Tensor(linalg::Mat{{1.0}})}),
+               std::invalid_argument);
+}
+
+TEST(GradCheck, MeanPoolGroups) {
+  checkGradient(linalg::Mat{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}, {7.0, 8.0}},
+                [](const Tensor& x) {
+                  Tensor pooled = meanPoolGroups(x, 2);  // 2x2
+                  return sum(mul(pooled, pooled));
+                });
+}
+
+TEST(GradCheck, MatmulBlockDiagConstLeft) {
+  linalg::Mat block{{0.5, 0.5}, {0.25, 0.75}};
+  checkGradient(
+      linalg::Mat{{1.0, -1.0}, {2.0, 0.5}, {0.3, 0.9}, {-0.4, 1.2}},
+      [block](const Tensor& x) {
+        return sum(tanhT(matmulBlockDiagConstLeft(block, 2, x)));
+      });
+}
+
+TEST(GradCheck, RepeatRows) {
+  checkGradient(linalg::Mat{{1.0, 2.0}, {3.0, 4.0}}, [](const Tensor& x) {
+    Tensor rep = repeatRows(x, 3);  // 6x2
+    return sum(mul(rep, rep));
+  });
+}
+
+TEST(GradCheck, MatmulBlocksBothOperands) {
+  // x feeds both operands (alpha-like left block and feature-like right
+  // block), so the check covers both backward routes at once.
+  checkGradient(linalg::Mat{{0.3, -0.2}, {0.7, 1.1}, {0.4, 0.6}, {-0.5, 0.8}},
+                [](const Tensor& x) {
+                  Tensor left = tanhT(x);                   // 4x2 = 2 blocks of 2x2
+                  return sum(matmulBlocks(left, x, 2));
+                });
+}
+
+TEST(Ops, MatmulBlocksMatchesPerBlockMatmul) {
+  linalg::Mat a{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}, {7.0, 8.0}};
+  linalg::Mat b{{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}, {0.7, 0.8, 0.9}, {1.0, 1.1, 1.2}};
+  Tensor out = matmulBlocks(Tensor(a), Tensor(b), 2);
+  ASSERT_EQ(out.rows(), 4u);
+  ASSERT_EQ(out.cols(), 3u);
+  for (std::size_t g = 0; g < 2; ++g) {
+    Tensor blockOut = matmul(sliceRows(Tensor(a), g * 2, 2),
+                             sliceRows(Tensor(b), g * 2, 2));
+    for (std::size_t r = 0; r < 2; ++r)
+      for (std::size_t c = 0; c < 3; ++c)
+        EXPECT_DOUBLE_EQ(out.value()(g * 2 + r, c), blockOut.value()(r, c));
+  }
+}
+
+TEST(Ops, BlockDiagMatchesDenseBlockDiagonal) {
+  // diag(block, block) * x must equal the dense block-diagonal product.
+  linalg::Mat block{{0.5, -0.3}, {1.0, 0.2}};
+  linalg::Mat x{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}, {7.0, 8.0}};
+  linalg::Mat dense(4, 4);
+  for (std::size_t b = 0; b < 2; ++b)
+    for (std::size_t r = 0; r < 2; ++r)
+      for (std::size_t c = 0; c < 2; ++c) dense(b * 2 + r, b * 2 + c) = block(r, c);
+  Tensor sparse = matmulBlockDiagConstLeft(block, 2, Tensor(x));
+  Tensor full = matmulConstLeft(dense, Tensor(x));
+  for (std::size_t i = 0; i < sparse.value().raw().size(); ++i)
+    EXPECT_DOUBLE_EQ(sparse.value().raw()[i], full.value().raw()[i]);
+}
+
+TEST(Ops, MeanPoolGroupsMatchesPerGroupMeanRows) {
+  linalg::Mat x{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}, {7.0, 8.0}, {9.0, 10.0},
+                {11.0, 12.0}};
+  Tensor pooled = meanPoolGroups(Tensor(x), 3);
+  ASSERT_EQ(pooled.rows(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    Tensor group = meanRows(sliceRows(Tensor(x), k * 2, 2));
+    for (std::size_t c = 0; c < 2; ++c)
+      EXPECT_DOUBLE_EQ(pooled.value()(k, c), group.value()(0, c));
+  }
+}
+
+TEST(Ops, NewOpsValidateShapes) {
+  Tensor a(linalg::Mat{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_THROW(meanPoolGroups(a, 2), std::invalid_argument);
+  EXPECT_THROW(concatRows(a, Tensor(linalg::Mat{{1.0}})), std::invalid_argument);
+  linalg::Mat rect(2, 3, 1.0);
+  EXPECT_THROW(matmulBlockDiagConstLeft(rect, 1, a), std::invalid_argument);
+  EXPECT_THROW(matmulBlockDiagConstLeft(linalg::Mat(2, 2, 1.0), 2, a),
+               std::invalid_argument);
+}
+
+TEST(Ops, NewOpsRespectInferenceMode) {
+  Tensor a(linalg::Mat{{1.0, 2.0}, {3.0, 4.0}}, true);
+  NoGradGuard guard;
+  EXPECT_FALSE(sumRows(a).requiresGrad());
+  EXPECT_FALSE(meanPoolGroups(a, 2).requiresGrad());
+  EXPECT_FALSE(concatRows(a, a).requiresGrad());
+  EXPECT_FALSE(matmulBlockDiagConstLeft(linalg::Mat(2, 2, 0.5), 1, a).requiresGrad());
+}
+
 TEST(Ops, GatherValidatesIndices) {
   Tensor a(linalg::Mat{{1.0, 2.0}});
   EXPECT_THROW(gatherPerRow(a, {5}), std::out_of_range);

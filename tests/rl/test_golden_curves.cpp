@@ -1,0 +1,134 @@
+// Golden-trajectory regression tests (CTest labels: golden, slow).
+//
+// These lock in short seeded training curves on the sequential PPO path —
+// the documented bit-for-bit reproducibility baseline. Any change that
+// perturbs the sequential path's arithmetic (op reordering, RNG stream
+// changes, loss refactors) trips these tests; the batched update path is
+// exercised separately by the parity suite and must NOT affect them, since
+// batchedUpdate defaults to off.
+//
+// Regenerating (after an *intentional* contract change, or on a platform
+// whose libm rounds differently):
+//   CRL_REGEN_GOLDEN=1 ./build/test_rl_golden_curves
+// prints fresh golden arrays to paste into this file.
+//
+// The golden values are exact on the toolchain/libm they were recorded
+// with; a different libm may round std::exp/std::tanh a final ulp apart.
+// Portability escape hatch for such environments (CI uses it): set
+// CRL_GOLDEN_TOL to a relative tolerance (e.g. 1e-9) to compare within it
+// instead of bit-for-bit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+#include "core/policies.h"
+#include "envs/sizing_env.h"
+#include "rl/ppo.h"
+
+namespace crl::rl {
+namespace {
+
+struct CurveSample {
+  double reward;
+  int length;
+};
+
+constexpr int kEpisodes = 10;
+
+/// Train a freshly-initialized policy for kEpisodes on the sequential path
+/// and return the exact per-episode curve.
+template <typename Bench>
+std::vector<CurveSample> runCurve(core::PolicyKind kind,
+                                  circuit::Fidelity fidelity, int maxSteps) {
+  Bench bench;
+  envs::SizingEnv env(bench, envs::SizingEnvConfig{.maxSteps = maxSteps,
+                                                   .fidelity = fidelity});
+  util::Rng initRng(2022);
+  auto policy = core::makePolicy(kind, env, initRng);
+  PpoConfig cfg;
+  cfg.stepsPerUpdate = 96;
+  cfg.minibatchSize = 32;
+  cfg.updateEpochs = 2;
+  PpoTrainer trainer(env, *policy, cfg, util::Rng(7));
+
+  std::vector<CurveSample> curve;
+  trainer.train(kEpisodes, [&](const EpisodeStats& s) {
+    curve.push_back({s.episodeReward, s.episodeLength});
+  });
+  return curve;
+}
+
+void checkOrRegen(const char* name, const std::vector<CurveSample>& curve,
+                  const std::vector<CurveSample>& golden) {
+  if (std::getenv("CRL_REGEN_GOLDEN")) {
+    std::printf("const std::vector<CurveSample> %s{\n", name);
+    for (const CurveSample& s : curve)
+      std::printf("    {%.17g, %d},\n", s.reward, s.length);
+    std::printf("};\n");
+    GTEST_SKIP() << "regenerated golden curve printed above";
+  }
+  const char* tolEnv = std::getenv("CRL_GOLDEN_TOL");
+  const double tol = tolEnv ? std::atof(tolEnv) : 0.0;
+  ASSERT_EQ(curve.size(), golden.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (tol > 0.0) {
+      EXPECT_NEAR(curve[i].reward, golden[i].reward,
+                  tol * std::max(1.0, std::fabs(golden[i].reward)))
+          << name << " episode " << i + 1;
+    } else {
+      EXPECT_DOUBLE_EQ(curve[i].reward, golden[i].reward)
+          << name << " episode " << i + 1;
+    }
+    EXPECT_EQ(curve[i].length, golden[i].length) << name << " episode " << i + 1;
+  }
+}
+
+// Golden values recorded with CRL_REGEN_GOLDEN=1 (see file header).
+
+const std::vector<CurveSample> kGoldenOpAmpFine{
+    {-43.470017930324872, 30},
+    {-26.599179190153915, 30},
+    {-49.140404173608701, 30},
+    {-29.533230856638095, 30},
+    {-31.356730300648032, 30},
+    {-17.206632849016373, 30},
+    {-30.140112359014697, 30},
+    {-49.330082101639015, 30},
+    {-31.583242493165358, 30},
+    {-53.928294538476649, 30},
+};
+
+const std::vector<CurveSample> kGoldenRfPaCoarse{
+    {-33.863966009276758, 30},
+    {-15.134957756858118, 30},
+    {-47.749826854857837, 30},
+    {9.9224357131028782, 3},
+    {-29.575127636534571, 30},
+    {10, 1},
+    {-18.538609271171634, 30},
+    {10, 1},
+    {-55.266771692134334, 30},
+    {-25.117464543460795, 30},
+};
+
+TEST(GoldenCurves, OpAmpFineSequentialPathIsLockedIn) {
+  auto curve = runCurve<circuit::TwoStageOpAmp>(core::PolicyKind::GcnFc,
+                                                circuit::Fidelity::Fine, 30);
+  checkOrRegen("kGoldenOpAmpFine", curve, kGoldenOpAmpFine);
+}
+
+TEST(GoldenCurves, RfPaCoarseSequentialPathIsLockedIn) {
+  auto curve = runCurve<circuit::GanRfPa>(core::PolicyKind::GatFc,
+                                          circuit::Fidelity::Coarse, 30);
+  checkOrRegen("kGoldenRfPaCoarse", curve, kGoldenRfPaCoarse);
+}
+
+}  // namespace
+}  // namespace crl::rl

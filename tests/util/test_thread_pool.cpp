@@ -59,6 +59,38 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 20);
 }
 
+TEST(ThreadPool, ShutdownIsIdempotentAndDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i)
+    futs.push_back(pool.submit([&counter]() { counter.fetch_add(1); }));
+  pool.shutdown();
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(counter.load(), 50);
+  for (auto& f : futs) f.get();
+}
+
+TEST(ThreadPool, ExceptionsSurviveShutdownDrain) {
+  // A throwing task still queued when shutdown begins must deliver its
+  // exception through the future — the drain must not swallow it.
+  ThreadPool pool(1);
+  auto blocker = pool.submit(
+      []() { std::this_thread::sleep_for(std::chrono::milliseconds(20)); });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("late failure"); });
+  pool.shutdown();
+  blocker.get();
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  // Before this was rejected, a task enqueued after the workers' final
+  // queue check would never run and its exception would vanish with it.
+  ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([]() { return 1; }), std::runtime_error);
+}
+
 TEST(ThreadPool, ZeroRequestsDefaultWorkerCount) {
   ThreadPool pool(0);
   EXPECT_GE(pool.workerCount(), 1u);
