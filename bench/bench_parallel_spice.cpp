@@ -1,0 +1,167 @@
+// Simulation-session benchmark: what parallelism INSIDE one evaluation buys.
+//
+// Two workload families, each at serial (no session) and 1/2/4/8-worker
+// sessions:
+//   * measure   — full TwoStageOpAmp::measure() latency, where the pooled AC
+//     sweep (~65 frequency points) is the dominant cost;
+//   * sensitivity / yield / corner — analysis-toolkit throughput, where
+//     independent measureAt probes fan out over BenchmarkPool lanes.
+//
+// Results are bit-identical across all configurations (the session layer's
+// parity contract — see tests/spice/test_session_parity.cpp); only the wall
+// clock changes. Single-worker sessions must not be slower than the serial
+// path beyond noise: they run the same loop through the same workspaces.
+//
+//   CRL_BENCH_MEASURES   — measure() calls per configuration (default 12)
+//   CRL_BENCH_MC_SAMPLES — Monte-Carlo samples per yield run (default 32)
+//   --json               — machine-readable output (bench/harness.h)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "circuit/analysis.h"
+#include "circuit/opamp.h"
+#include "harness.h"
+#include "spice/session.h"
+#include "util/rng.h"
+
+using namespace crl;
+
+namespace {
+
+using bench::secondsSince;
+
+/// Human-table destination; main() points it at stderr in --json mode.
+std::FILE* tout = stdout;
+
+std::vector<double> moderateSizing(const circuit::TwoStageOpAmp& amp) {
+  auto p = amp.designSpace().midpoint();
+  for (std::size_t i = 0; i < 7; ++i) {
+    p[2 * i] = 10.0;
+    p[2 * i + 1] = 4.0;
+  }
+  p[14] = 4.0;
+  return amp.designSpace().clamp(p);
+}
+
+/// Full measure() latency [ms] over a fixed random sizing sequence.
+double measureLatencyMs(spice::SimSession* session, int measures) {
+  circuit::TwoStageOpAmp amp;
+  amp.setSession(session);
+  util::Rng rng(5);
+  std::vector<std::vector<double>> sizings;
+  sizings.reserve(static_cast<std::size_t>(measures));
+  for (int i = 0; i < measures; ++i) sizings.push_back(amp.designSpace().sample(rng));
+
+  amp.measureAt(sizings[0], circuit::Fidelity::Fine);  // warm the workspaces
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& s : sizings) {
+    amp.resetSolverState();
+    amp.measureAt(s, circuit::Fidelity::Fine);
+  }
+  return 1e3 * secondsSince(t0) / measures;
+}
+
+struct ToolkitRates {
+  double sensitivityProbesPerSec = 0.0;
+  double yieldSamplesPerSec = 0.0;
+  double cornersPerSec = 0.0;
+};
+
+ToolkitRates toolkitThroughput(spice::SimSession* session, int mcSamples) {
+  circuit::TwoStageOpAmp amp;
+  const auto sizing = moderateSizing(amp);
+
+  ToolkitRates rates;
+  {
+    circuit::SensitivityOptions opt;
+    opt.session = session;
+    auto t0 = std::chrono::steady_clock::now();
+    auto res = circuit::specSensitivity(amp, sizing, opt);
+    const double probes = 1.0 + 2.0 * static_cast<double>(amp.designSpace().size());
+    rates.sensitivityProbesPerSec = res.valid ? probes / secondsSince(t0) : 0.0;
+  }
+  {
+    circuit::YieldOptions opt;
+    opt.samples = mcSamples;
+    opt.sigmaFrac = 0.03;
+    opt.session = session;
+    util::Rng rng(42);
+    auto m = amp.measureAt(sizing, circuit::Fidelity::Fine);
+    auto t0 = std::chrono::steady_clock::now();
+    circuit::monteCarloYield(amp, sizing, m.specs, rng, opt);
+    rates.yieldSamplesPerSec = mcSamples / secondsSince(t0);
+  }
+  {
+    constexpr int kReps = 4;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kReps; ++r)
+      circuit::cornerSweep(amp, sizing, 0.1, circuit::Fidelity::Fine, session);
+    rates.cornersPerSec = 3.0 * kReps / secondsSince(t0);
+  }
+  return rates;
+}
+
+void recordRate(bench::BenchJson& json, const char* workload, const std::string& config,
+                const char* unit, double value) {
+  json.record({{"bench", "parallel_spice"},
+               {"workload", workload},
+               {"config", config},
+               {"unit", unit}},
+              value);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int measures = 12;
+  int mcSamples = 32;
+  if (const char* v = std::getenv("CRL_BENCH_MEASURES")) measures = std::atoi(v);
+  if (const char* v = std::getenv("CRL_BENCH_MC_SAMPLES")) mcSamples = std::atoi(v);
+  measures = std::max(measures, 1);
+  mcSamples = std::max(mcSamples, 1);
+
+  bench::BenchJson json(bench::BenchJson::flagged(argc, argv));
+  tout = json.tableStream();
+  std::fprintf(tout, "parallel simulation-session benchmark\n");
+  std::fprintf(tout, "hardware threads: %zu; %d measures, %d MC samples per point\n",
+               util::ThreadPool::defaultWorkerCount(), measures, mcSamples);
+  std::fprintf(tout,
+               "(results are bit-identical across configs; workers only move the "
+               "wall clock.\n On a single-core container the pooled configs show "
+               "dispatch overhead, not speedup.)\n");
+
+  std::fprintf(tout, "\n%-8s %14s %10s | %16s %14s %12s\n", "config", "measure ms",
+               "speedup", "sens probes/s", "yield smp/s", "corners/s");
+
+  double serialMs = 0.0;
+  for (int w = 0; w <= 8; w = w == 0 ? 1 : 2 * w) {
+    // w == 0 encodes the serial (sessionless) baseline.
+    spice::SimSession session(std::max(w, 1));
+    spice::SimSession* sp = w == 0 ? nullptr : &session;
+    std::string config = "serial";
+    if (w != 0) {
+      config = "W";
+      config += std::to_string(w);
+    }
+
+    const double ms = measureLatencyMs(sp, measures);
+    if (w == 0) serialMs = ms;
+    const ToolkitRates rates = toolkitThroughput(sp, mcSamples);
+
+    std::fprintf(tout, "%-8s %14.2f %9.2fx | %16.1f %14.1f %12.1f\n", config.c_str(),
+                 ms, serialMs / ms, rates.sensitivityProbesPerSec,
+                 rates.yieldSamplesPerSec, rates.cornersPerSec);
+    recordRate(json, "measure", config, "ms_per_measure", ms);
+    recordRate(json, "sensitivity", config, "probes_per_sec",
+               rates.sensitivityProbesPerSec);
+    recordRate(json, "yield", config, "samples_per_sec", rates.yieldSamplesPerSec);
+    recordRate(json, "corner", config, "corners_per_sec", rates.cornersPerSec);
+  }
+
+  json.flush();
+  return 0;
+}

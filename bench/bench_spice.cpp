@@ -1,7 +1,16 @@
-// Micro-benchmarks of the simulation substrate (google-benchmark): these
-// quantify the coarse/fine cost asymmetry behind the paper's transfer
-// learning, plus raw solver throughput.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks of the simulation substrate: these quantify the
+// coarse/fine cost asymmetry behind the paper's transfer learning, plus raw
+// solver latency. A plain harness (no google-benchmark dependency) so the
+// `--json` flag (bench/harness.h) can feed the cross-PR perf trajectory.
+//
+//   CRL_BENCH_REPS — repetitions per workload (default 20; rf-pa fine uses
+//                    a quarter of this, it is deliberately the slow path)
+//   --json         — machine-readable output
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "circuit/opamp.h"
 #include "circuit/rfpa.h"
@@ -9,55 +18,64 @@
 #include "spice/dc.h"
 #include "util/rng.h"
 
+#include "harness.h"
+
 using namespace crl;
 
-static void BM_OpAmpDcOperatingPoint(benchmark::State& state) {
+namespace {
+
+using bench::secondsSince;
+
+std::FILE* tout = stdout;
+
+void report(bench::BenchJson& json, const char* workload, int reps, double totalSec) {
+  const double ms = 1e3 * totalSec / reps;
+  std::fprintf(tout, "%-22s %10.3f ms  (%d reps)\n", workload, ms, reps);
+  json.record({{"bench", "spice"}, {"workload", workload}, {"unit", "ms_per_op"}}, ms);
+}
+
+void benchOpAmpDcOperatingPoint(bench::BenchJson& json, int reps) {
   circuit::TwoStageOpAmp amp;
   auto& net = amp.netlist();
   spice::DcOptions opt;
   opt.initialVoltage = 0.6;
-  for (auto _ : state) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
     spice::DcAnalysis dc(net, opt);
-    auto r = dc.solve();
-    benchmark::DoNotOptimize(r.x.data());
+    auto res = dc.solve();
+    if (!res.converged) std::fprintf(tout, "warning: DC did not converge\n");
   }
+  report(json, "opamp-dc-op", reps, secondsSince(t0));
 }
-BENCHMARK(BM_OpAmpDcOperatingPoint);
 
-static void BM_OpAmpFullMeasurement(benchmark::State& state) {
+void benchOpAmpFullMeasurement(bench::BenchJson& json, int reps) {
   circuit::TwoStageOpAmp amp;
   util::Rng rng(1);
   auto p = amp.designSpace().sample(rng);
-  for (auto _ : state) {
-    auto m = amp.measureAt(p, circuit::Fidelity::Fine);
-    benchmark::DoNotOptimize(m.specs.data());
-  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) amp.measureAt(p, circuit::Fidelity::Fine);
+  report(json, "opamp-measure-fine", reps, secondsSince(t0));
 }
-BENCHMARK(BM_OpAmpFullMeasurement);
 
-static void BM_RfPaCoarseMeasurement(benchmark::State& state) {
+void benchRfPaCoarse(bench::BenchJson& json, int reps) {
   circuit::GanRfPa pa;
   util::Rng rng(2);
   auto p = pa.designSpace().sample(rng);
-  for (auto _ : state) {
-    auto m = pa.measureAt(p, circuit::Fidelity::Coarse);
-    benchmark::DoNotOptimize(m.specs.data());
-  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) pa.measureAt(p, circuit::Fidelity::Coarse);
+  report(json, "rfpa-measure-coarse", reps, secondsSince(t0));
 }
-BENCHMARK(BM_RfPaCoarseMeasurement);
 
-static void BM_RfPaFineMeasurement(benchmark::State& state) {
+void benchRfPaFine(bench::BenchJson& json, int reps) {
   circuit::GanRfPa pa;
   util::Rng rng(3);
   auto p = pa.designSpace().sample(rng);
-  for (auto _ : state) {
-    auto m = pa.measureAt(p, circuit::Fidelity::Fine);
-    benchmark::DoNotOptimize(m.specs.data());
-  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) pa.measureAt(p, circuit::Fidelity::Fine);
+  report(json, "rfpa-measure-fine", reps, secondsSince(t0));
 }
-BENCHMARK(BM_RfPaFineMeasurement);
 
-static void BM_AcSinglePoint(benchmark::State& state) {
+void benchAcSinglePoint(bench::BenchJson& json, int reps) {
   circuit::TwoStageOpAmp amp;
   auto& net = amp.netlist();
   spice::DcOptions opt;
@@ -66,11 +84,31 @@ static void BM_AcSinglePoint(benchmark::State& state) {
   auto op = dc.solve();
   spice::AcAnalysis ac(net, op.x);
   spice::NodeId out = net.findNode("nout");
-  for (auto _ : state) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
     auto h = ac.nodeVoltage(1e6, out);
-    benchmark::DoNotOptimize(h);
+    (void)h;
   }
+  report(json, "ac-single-point", reps, secondsSince(t0));
 }
-BENCHMARK(BM_AcSinglePoint);
 
-BENCHMARK_MAIN();
+}  // namespace
+
+int main(int argc, char** argv) {
+  int reps = 20;
+  if (const char* v = std::getenv("CRL_BENCH_REPS")) reps = std::atoi(v);
+  reps = std::max(reps, 1);
+
+  bench::BenchJson json(bench::BenchJson::flagged(argc, argv));
+  tout = json.tableStream();
+  std::fprintf(tout, "SPICE substrate latency (%d reps per workload)\n\n", reps);
+
+  benchOpAmpDcOperatingPoint(json, reps);
+  benchOpAmpFullMeasurement(json, reps);
+  benchRfPaCoarse(json, reps);
+  benchRfPaFine(json, std::max(reps / 4, 1));
+  benchAcSinglePoint(json, 10 * reps);
+
+  json.flush();
+  return 0;
+}

@@ -3,51 +3,86 @@
 // GAT-FC, GCN-FC, Baseline A (AutoCkt-style FCNN) and Baseline B
 // (GCN-RL-style, no spec pathway). Also saves the trained GAT-FC/GCN-FC
 // policies for the downstream Fig. 5/6 and Table 2 harnesses.
+//
+// Seeds are independent runs: CRL_SEED_WORKERS > 1 trains them concurrently
+// with per-seed results (curves, CSVs, accuracies) identical to the serial
+// loop. When seeds run serially, CRL_SPICE_WORKERS > 1 instead parallelizes
+// inside each SPICE evaluation (bit-identical results either way).
+// `--json` emits the final per-seed metrics as machine-readable rows.
 #include "harness.h"
 
 #include "circuit/opamp.h"
 
 using namespace crl;
 
-int main() {
+int main(int argc, char** argv) {
   auto scale = bench::Scale::fromEnv();
+  bench::BenchJson json(bench::BenchJson::flagged(argc, argv));
+  std::FILE* tout = json.tableStream();
   const int episodes = scale.episodes(1800);
   const int evalEvery = std::max(100, episodes / 5);
-  std::printf("== Fig. 3 (two-stage Op-Amp): %d episodes x %d seed(s) ==\n", episodes,
-              scale.seeds);
-  std::printf("(paper scale: 3.5e4 episodes, 6 seeds; max episode length 50)\n\n");
+  // Seed fan-out only exists with >1 seed; otherwise the seed-worker knob is
+  // moot and the in-evaluation session keeps its workers.
+  const std::size_t seedWorkers =
+      scale.seeds > 1 ? bench::seedWorkersFromEnv() : 1;
+  const std::size_t spiceWorkers =
+      seedWorkers > 1 ? 1 : spice::SimSession::workersFromEnv();
+  std::fprintf(tout, "== Fig. 3 (two-stage Op-Amp): %d episodes x %d seed(s) ==\n",
+               episodes, scale.seeds);
+  std::fprintf(tout, "(paper scale: 3.5e4 episodes, 6 seeds; max episode length 50;\n"
+                     " seed workers: %zu, spice workers: %zu)\n\n",
+               seedWorkers, spiceWorkers);
 
   util::TextTable table({"method", "seed", "final mean reward", "final mean length",
                          "deploy accuracy"});
   for (auto kind : bench::fig3Methods()) {
-    for (int seed = 0; seed < scale.seeds; ++seed) {
+    const std::string method = core::policyKindName(kind);
+    std::vector<bench::TrainOutcome> outs(static_cast<std::size_t>(scale.seeds));
+    bench::forEachSeed(scale.seeds, seedWorkers, [&](int seed) {
       circuit::TwoStageOpAmp amp;
+      spice::SimSession session(spiceWorkers);
+      amp.setSession(&session);
       envs::SizingEnv env(amp, {.maxSteps = 50});
       util::Rng initRng(100 + static_cast<std::uint64_t>(seed));
       auto policy = core::makePolicy(kind, env, initRng);
       auto out = bench::trainWithCurves(env, env, *policy, episodes, evalEvery,
                                         /*evalEpisodes=*/25,
                                         /*seed=*/static_cast<std::uint64_t>(seed));
-      std::string method = core::policyKindName(kind);
       bench::writeCurveCsv(
           scale.path("fig3_opamp_" + method + "_s" + std::to_string(seed) + ".csv"),
           method, seed, out.curve);
-      table.addRow({method, std::to_string(seed),
-                    util::TextTable::num(out.curve.back().meanReward, 4),
-                    util::TextTable::num(out.curve.back().meanLength, 4),
-                    util::TextTable::num(out.finalAccuracy.accuracy, 4)});
-      std::printf("%-12s seed %d: accuracy %.3f, mean steps (succ) %.1f\n",
-                  method.c_str(), seed, out.finalAccuracy.accuracy,
-                  out.finalAccuracy.meanStepsSuccess);
-      std::fflush(stdout);
       if (seed == 0 && (kind == core::PolicyKind::GcnFc || kind == core::PolicyKind::GatFc)) {
         nn::saveParameters(scale.path(std::string("policy_opamp_") + method + ".bin"),
                            policy->parameters());
       }
+      outs[static_cast<std::size_t>(seed)] = std::move(out);
+    });
+    for (int seed = 0; seed < scale.seeds; ++seed) {
+      const auto& out = outs[static_cast<std::size_t>(seed)];
+      table.addRow({method, std::to_string(seed),
+                    util::TextTable::num(out.curve.back().meanReward, 4),
+                    util::TextTable::num(out.curve.back().meanLength, 4),
+                    util::TextTable::num(out.finalAccuracy.accuracy, 4)});
+      std::fprintf(tout, "%-12s seed %d: accuracy %.3f, mean steps (succ) %.1f\n",
+                   method.c_str(), seed, out.finalAccuracy.accuracy,
+                   out.finalAccuracy.meanStepsSuccess);
+      std::fflush(tout);
+      json.record({{"bench", "fig3_opamp"},
+                   {"method", method},
+                   {"seed", std::to_string(seed)},
+                   {"unit", "deploy_accuracy"}},
+                  out.finalAccuracy.accuracy);
+      json.record({{"bench", "fig3_opamp"},
+                   {"method", method},
+                   {"seed", std::to_string(seed)},
+                   {"unit", "final_mean_reward"}},
+                  out.curve.back().meanReward);
     }
   }
-  std::printf("\n");
-  table.print(std::cout);
-  std::printf("\nSeries CSVs written to %s/fig3_opamp_*.csv\n", scale.outDir.c_str());
+  std::fprintf(tout, "\n");
+  table.print(json.enabled() ? std::cerr : std::cout);
+  std::fprintf(tout, "\nSeries CSVs written to %s/fig3_opamp_*.csv\n",
+               scale.outDir.c_str());
+  json.flush();
   return 0;
 }

@@ -2,25 +2,39 @@
 // agents train in the COARSE (fast DC) environment — the paper's transfer-
 // learning setup — while deployment accuracy is evaluated in the FINE
 // (harmonic-balance-equivalent transient) environment.
+//
+// Seeds are independent runs: CRL_SEED_WORKERS > 1 trains them concurrently
+// with per-seed results identical to the serial loop. `--json` emits the
+// final per-seed metrics as machine-readable rows. (The RF PA's coarse and
+// fine paths are DC/transient — no AC sweep — so CRL_SPICE_WORKERS has
+// nothing to parallelize here.)
 #include "harness.h"
 
 #include "circuit/rfpa.h"
 
 using namespace crl;
 
-int main() {
+int main(int argc, char** argv) {
   auto scale = bench::Scale::fromEnv();
+  bench::BenchJson json(bench::BenchJson::flagged(argc, argv));
+  std::FILE* tout = json.tableStream();
   const int episodes = scale.episodes(1000);
   const int evalEvery = std::max(100, episodes / 4);
-  std::printf("== Fig. 3 (GaN RF PA): %d episodes x %d seed(s) ==\n", episodes,
-              scale.seeds);
-  std::printf("(paper scale: 3.5e3 episodes, 6 seeds; max episode length 30;\n"
-              " training fidelity: coarse; deployment fidelity: fine)\n\n");
+  const std::size_t seedWorkers =
+      scale.seeds > 1 ? bench::seedWorkersFromEnv() : 1;
+  std::fprintf(tout, "== Fig. 3 (GaN RF PA): %d episodes x %d seed(s) ==\n", episodes,
+               scale.seeds);
+  std::fprintf(tout, "(paper scale: 3.5e3 episodes, 6 seeds; max episode length 30;\n"
+                     " training fidelity: coarse; deployment fidelity: fine;"
+                     " seed workers: %zu)\n\n",
+               seedWorkers);
 
   util::TextTable table({"method", "seed", "final mean reward", "final mean length",
                          "deploy accuracy (fine)"});
   for (auto kind : bench::fig3Methods()) {
-    for (int seed = 0; seed < scale.seeds; ++seed) {
+    const std::string method = core::policyKindName(kind);
+    std::vector<bench::TrainOutcome> outs(static_cast<std::size_t>(scale.seeds));
+    bench::forEachSeed(scale.seeds, seedWorkers, [&](int seed) {
       circuit::GanRfPa pa;
       envs::SizingEnv trainEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Coarse});
       envs::SizingEnv evalEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Fine});
@@ -29,26 +43,40 @@ int main() {
       auto out = bench::trainWithCurves(trainEnv, evalEnv, *policy, episodes, evalEvery,
                                         /*evalEpisodes=*/15,
                                         /*seed=*/17 + static_cast<std::uint64_t>(seed));
-      std::string method = core::policyKindName(kind);
       bench::writeCurveCsv(
           scale.path("fig3_rfpa_" + method + "_s" + std::to_string(seed) + ".csv"),
           method, seed, out.curve);
-      table.addRow({method, std::to_string(seed),
-                    util::TextTable::num(out.curve.back().meanReward, 4),
-                    util::TextTable::num(out.curve.back().meanLength, 4),
-                    util::TextTable::num(out.finalAccuracy.accuracy, 4)});
-      std::printf("%-12s seed %d: fine-env accuracy %.3f, mean steps (succ) %.1f\n",
-                  method.c_str(), seed, out.finalAccuracy.accuracy,
-                  out.finalAccuracy.meanStepsSuccess);
-      std::fflush(stdout);
       if (seed == 0 && (kind == core::PolicyKind::GcnFc || kind == core::PolicyKind::GatFc)) {
         nn::saveParameters(scale.path(std::string("policy_rfpa_") + method + ".bin"),
                            policy->parameters());
       }
+      outs[static_cast<std::size_t>(seed)] = std::move(out);
+    });
+    for (int seed = 0; seed < scale.seeds; ++seed) {
+      const auto& out = outs[static_cast<std::size_t>(seed)];
+      table.addRow({method, std::to_string(seed),
+                    util::TextTable::num(out.curve.back().meanReward, 4),
+                    util::TextTable::num(out.curve.back().meanLength, 4),
+                    util::TextTable::num(out.finalAccuracy.accuracy, 4)});
+      std::fprintf(tout, "%-12s seed %d: fine-env accuracy %.3f, mean steps (succ) %.1f\n",
+                   method.c_str(), seed, out.finalAccuracy.accuracy,
+                   out.finalAccuracy.meanStepsSuccess);
+      std::fflush(tout);
+      json.record({{"bench", "fig3_rfpa"},
+                   {"method", method},
+                   {"seed", std::to_string(seed)},
+                   {"unit", "deploy_accuracy_fine"}},
+                  out.finalAccuracy.accuracy);
+      json.record({{"bench", "fig3_rfpa"},
+                   {"method", method},
+                   {"seed", std::to_string(seed)},
+                   {"unit", "final_mean_reward"}},
+                  out.curve.back().meanReward);
     }
   }
-  std::printf("\n");
-  table.print(std::cout);
-  std::printf("\nSeries CSVs written to %s/fig3_rfpa_*.csv\n", scale.outDir.c_str());
+  std::fprintf(tout, "\n");
+  table.print(json.enabled() ? std::cerr : std::cout);
+  std::fprintf(tout, "\nSeries CSVs written to %s/fig3_rfpa_*.csv\n", scale.outDir.c_str());
+  json.flush();
   return 0;
 }

@@ -8,7 +8,15 @@
 //   CRL_SEEDS  — number of random seeds per RL method (default 1; paper: 6).
 //   CRL_OUT    — output directory for CSV series + policy artifacts
 //                (default ./crl_artifacts).
+//   CRL_SEED_WORKERS — run independent seeds concurrently across a thread
+//                pool (default 1 = serial). Per-seed results are identical
+//                to a serial run for any worker count.
+//   CRL_SPICE_WORKERS — workers for the in-evaluation simulation session
+//                (spice::SimSession::workersFromEnv; default 1). Harnesses
+//                only attach sessions when seeds run serially — the two
+//                parallelism axes do not nest.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -23,8 +31,10 @@
 #include "envs/sizing_env.h"
 #include "nn/serialize.h"
 #include "rl/ppo.h"
+#include "spice/session.h"
 #include "util/csv.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace crl::bench {
 
@@ -107,6 +117,34 @@ struct Scale {
   int episodes(int base) const { return std::max(50, static_cast<int>(base * scale)); }
   std::string path(const std::string& file) const { return outDir + "/" + file; }
 };
+
+/// Wall-clock seconds since t0 (shared bench timing helper).
+inline double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// CRL_SEED_WORKERS knob (see header comment).
+inline std::size_t seedWorkersFromEnv() {
+  return util::ThreadPool::workersFromEnv("CRL_SEED_WORKERS");
+}
+
+/// Run fn(seed) for seeds [0, n) — in order on the calling thread, or fanned
+/// across a thread pool when workers > 1. Each seed's work must be fully
+/// self-contained (own benchmark, env, policy, RNGs) and deposit its results
+/// into per-seed slots; then the outcome is identical to the serial loop for
+/// any worker count, and the multi-seed sweep is embarrassingly parallel.
+inline void forEachSeed(int n, std::size_t workers, const std::function<void(int)>& fn) {
+  if (workers < 2 || n < 2) {
+    for (int s = 0; s < n; ++s) fn(s);
+    return;
+  }
+  util::ThreadPool pool(std::min<std::size_t>(workers, static_cast<std::size_t>(n)));
+  std::vector<std::future<void>> futs;
+  futs.reserve(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) futs.push_back(pool.submit([&fn, s]() { fn(s); }));
+  for (auto& f : futs) f.wait();
+  for (auto& f : futs) f.get();
+}
 
 /// Training-curve sample points (Fig. 3 / Fig. 7 columns).
 struct CurvePoint {

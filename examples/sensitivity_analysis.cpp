@@ -2,20 +2,25 @@
 // of the "design trade-offs" a human designer (and the paper's FCNN spec
 // pathway) reasons about.
 //
-//   $ ./build/examples/sensitivity_analysis
+//   $ ./build/sensitivity_analysis
+//   $ CRL_SPICE_WORKERS=4 ./build/sensitivity_analysis   # pooled probes
 //
 // Prints the spec/parameter elasticity matrix, a Monte-Carlo yield estimate
 // under mismatch-style parameter perturbations, and slow/nominal/fast
-// corner specs.
+// corner specs. With CRL_SPICE_WORKERS > 1 every probe batch fans out over
+// BenchmarkPool lanes — the numbers are bit-identical either way.
 #include <cstdio>
 
 #include "circuit/analysis.h"
 #include "circuit/opamp.h"
+#include "spice/session.h"
 
 using namespace crl;
 
 int main() {
   circuit::TwoStageOpAmp amp;
+  spice::SimSession session(spice::SimSession::workersFromEnv());
+  std::printf("simulation session: %zu worker(s)\n", session.workerCount());
 
   // A moderate sizing in the Miller-dominated regime.
   auto sizing = amp.designSpace().midpoint();
@@ -31,7 +36,9 @@ int main() {
               m.specs[0], m.specs[1], m.specs[2], m.specs[3]);
 
   // 1. Elasticity matrix: % spec change per % parameter change.
-  auto sens = circuit::specSensitivity(amp, sizing);
+  circuit::SensitivityOptions sopt;
+  sopt.session = &session;
+  auto sens = circuit::specSensitivity(amp, sizing, sopt);
   if (!sens.valid) {
     std::printf("sensitivity failed to simulate\n");
     return 1;
@@ -54,6 +61,7 @@ int main() {
   circuit::YieldOptions yopt;
   yopt.sigmaFrac = 0.03;
   yopt.samples = 60;
+  yopt.session = &session;
   auto yld = circuit::monteCarloYield(amp, sizing, target, rng, yopt);
   std::printf("\nMonte-Carlo (sigma = 3%% of range, %d samples): yield %.0f%%"
               " (%d/%d valid)\n",
@@ -65,7 +73,8 @@ int main() {
 
   // 3. Corners.
   std::printf("\ncorners (all parameters scaled together):\n");
-  for (const auto& c : circuit::cornerSweep(amp, sizing, 0.1)) {
+  for (const auto& c :
+       circuit::cornerSweep(amp, sizing, 0.1, circuit::Fidelity::Fine, &session)) {
     if (!c.valid) {
       std::printf("  %-8s did not converge\n", c.name.c_str());
       continue;

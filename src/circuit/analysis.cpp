@@ -2,8 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 namespace crl::circuit {
+
+namespace {
+
+/// Measure every parameter set with cold solver state per item — through
+/// BenchmarkPool lanes when a multi-worker session is given, serially on the
+/// caller's benchmark otherwise. Both paths measure each item identically
+/// (params -> reset -> measure), so results are bit-identical at any worker
+/// count.
+std::vector<Measurement> measureBatch(Benchmark& bench,
+                                      const std::vector<std::vector<double>>& items,
+                                      Fidelity fidelity, spice::SimSession* session) {
+  if (session && session->workerCount() > 1) {
+    BenchmarkPool pool(bench, *session);
+    return pool.measureAll(items, fidelity);
+  }
+  std::vector<Measurement> out(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    bench.setParams(items[i]);
+    bench.resetSolverState();
+    out[i] = bench.measure(fidelity);
+  }
+  return out;
+}
+
+}  // namespace
 
 SensitivityResult specSensitivity(Benchmark& bench, const std::vector<double>& params,
                                   SensitivityOptions opt) {
@@ -11,7 +37,9 @@ SensitivityResult specSensitivity(Benchmark& bench, const std::vector<double>& p
   const auto& space = bench.designSpace();
   res.baseParams = space.clamp(params);
 
-  auto base = bench.measureAt(res.baseParams, opt.fidelity);
+  bench.setParams(res.baseParams);
+  bench.resetSolverState();
+  auto base = bench.measure(opt.fidelity);
   if (!base.valid) return res;
   res.baseSpecs = base.specs;
 
@@ -20,6 +48,18 @@ SensitivityResult specSensitivity(Benchmark& bench, const std::vector<double>& p
   res.jacobian = linalg::Mat(nSpecs, nParams);
   res.elasticity = linalg::Mat(nSpecs, nParams);
 
+  // One up/down probe pair per non-degenerate parameter; the pairs are
+  // independent, so they fan out as one flat batch.
+  struct Column {
+    std::size_t j = 0;
+    std::size_t up = 0;  ///< probe indices into the batch
+    std::size_t dn = 0;
+    double dh = 0.0;
+  };
+  std::vector<Column> columns;
+  std::vector<std::vector<double>> probes;
+  columns.reserve(nParams);
+  probes.reserve(2 * nParams);
   for (std::size_t j = 0; j < nParams; ++j) {
     const auto& p = space.param(j);
     double h = std::max(opt.relStep * (p.max - p.min), p.step);
@@ -32,19 +72,31 @@ SensitivityResult specSensitivity(Benchmark& bench, const std::vector<double>& p
     up = space.clamp(up);
     dn = space.clamp(dn);
     const double dh = up[j] - dn[j];
-    if (dh <= 0.0) continue;  // degenerate range
+    if (dh <= 0.0) continue;  // degenerate range: leave the column at 0
 
-    auto mu = bench.measureAt(up, opt.fidelity);
-    auto md = bench.measureAt(dn, opt.fidelity);
+    Column col;
+    col.j = j;
+    col.up = probes.size();
+    probes.push_back(std::move(up));
+    col.dn = probes.size();
+    probes.push_back(std::move(dn));
+    col.dh = dh;
+    columns.push_back(col);
+  }
+
+  const auto measurements = measureBatch(bench, probes, opt.fidelity, opt.session);
+
+  for (const auto& col : columns) {
+    const auto& mu = measurements[col.up];
+    const auto& md = measurements[col.dn];
     if (!mu.valid || !md.valid) continue;  // leave the column at 0
-
     for (std::size_t i = 0; i < nSpecs; ++i) {
-      const double d = (mu.specs[i] - md.specs[i]) / dh;
-      res.jacobian(i, j) = d;
+      const double d = (mu.specs[i] - md.specs[i]) / col.dh;
+      res.jacobian(i, col.j) = d;
       const double s0 = res.baseSpecs[i];
-      const double p0 = res.baseParams[j];
+      const double p0 = res.baseParams[col.j];
       if (std::fabs(s0) > 1e-30 && std::fabs(p0) > 1e-30)
-        res.elasticity(i, j) = d * p0 / s0;
+        res.elasticity(i, col.j) = d * p0 / s0;
     }
   }
   // Restore the benchmark to the base sizing for the caller.
@@ -63,14 +115,31 @@ YieldResult monteCarloYield(Benchmark& bench, const std::vector<double>& nominal
   res.specStats.resize(specs.size());
 
   const auto base = space.clamp(nominal);
+  if (opt.samples <= 0) {
+    bench.setParams(base);
+    return res;
+  }
+
+  // Per-sample RNG substreams: one draw from the caller's stream seeds a
+  // deterministic family, so sample s's perturbation is a pure function of
+  // (caller seed, s) — independent of worker count and of the other samples.
+  const std::uint64_t streamBase = rng.engine()();
+  std::vector<std::vector<double>> items;
+  items.reserve(static_cast<std::size_t>(opt.samples));
   for (int s = 0; s < opt.samples; ++s) {
+    util::Rng srng(util::substreamSeed(streamBase, static_cast<std::uint64_t>(s)));
     auto p = base;
     for (std::size_t j = 0; j < p.size(); ++j) {
       const auto& ps = space.param(j);
-      p[j] += rng.normal(0.0, opt.sigmaFrac * (ps.max - ps.min));
+      p[j] += srng.normal(0.0, opt.sigmaFrac * (ps.max - ps.min));
     }
-    p = space.clamp(p);
-    auto m = bench.measureAt(p, opt.fidelity);
+    items.push_back(space.clamp(p));
+  }
+
+  const auto measurements = measureBatch(bench, items, opt.fidelity, opt.session);
+
+  // Accumulate in sample order so the running statistics are deterministic.
+  for (const auto& m : measurements) {
     if (!m.valid) continue;
     ++res.validCount;
     for (std::size_t i = 0; i < specs.size(); ++i) res.specStats[i].add(m.specs[i]);
@@ -82,7 +151,8 @@ YieldResult monteCarloYield(Benchmark& bench, const std::vector<double>& nominal
 }
 
 std::vector<CornerResult> cornerSweep(Benchmark& bench, const std::vector<double>& nominal,
-                                      double spread, Fidelity fidelity) {
+                                      double spread, Fidelity fidelity,
+                                      spice::SimSession* session) {
   const auto& space = bench.designSpace();
   const auto base = space.clamp(nominal);
 
@@ -91,17 +161,24 @@ std::vector<CornerResult> cornerSweep(Benchmark& bench, const std::vector<double
     double scale;
   } corners[] = {{"slow", 1.0 - spread}, {"nominal", 1.0}, {"fast", 1.0 + spread}};
 
-  std::vector<CornerResult> out;
+  std::vector<std::vector<double>> items;
+  items.reserve(3);
   for (const auto& c : corners) {
     auto p = base;
     for (double& v : p) v *= c.scale;
-    p = space.clamp(p);
-    auto m = bench.measureAt(p, fidelity);
+    items.push_back(space.clamp(p));
+  }
+
+  const auto measurements = measureBatch(bench, items, fidelity, session);
+
+  std::vector<CornerResult> out;
+  out.reserve(3);
+  for (std::size_t k = 0; k < 3; ++k) {
     CornerResult r;
-    r.name = c.name;
-    r.scale = c.scale;
-    r.valid = m.valid;
-    r.specs = m.specs;
+    r.name = corners[k].name;
+    r.scale = corners[k].scale;
+    r.valid = measurements[k].valid;
+    r.specs = measurements[k].specs;
     out.push_back(std::move(r));
   }
   bench.setParams(base);

@@ -13,11 +13,19 @@
 //
 // Everything works through Benchmark::measureAt, so the toolkit applies to
 // any circuit benchmark (op-amp, RF PA, or user-defined).
+//
+// Every routine is a fan-out of independent probes: pass a SimSession in the
+// options to spread them across BenchmarkPool lanes. Probes are measured
+// from a reset solver state in all paths, so serial and pooled runs are
+// bit-identical at any worker count (Monte-Carlo samples additionally draw
+// from per-sample RNG substreams for the same reason).
 
 #include <vector>
 
+#include "circuit/bench_pool.h"
 #include "circuit/benchmark.h"
 #include "linalg/matrix.h"
+#include "spice/session.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -29,6 +37,9 @@ struct SensitivityOptions {
   /// probe is snapped to the design grid and falls back to one-sided
   /// differences at the bounds.
   double relStep = 0.05;
+  /// Fan the probe measurements out over this session's workers (null or
+  /// single-worker: serial, same results).
+  spice::SimSession* session = nullptr;
 };
 
 struct SensitivityResult {
@@ -51,6 +62,8 @@ struct YieldOptions {
   /// Gaussian perturbation sigma as a fraction of each parameter's range.
   double sigmaFrac = 0.02;
   int samples = 100;
+  /// Fan the sample measurements out over this session's workers.
+  spice::SimSession* session = nullptr;
 };
 
 struct YieldResult {
@@ -79,6 +92,7 @@ struct CornerResult {
 /// sizing (clamped to the design space).
 std::vector<CornerResult> cornerSweep(Benchmark& bench, const std::vector<double>& nominal,
                                       double spread = 0.1,
-                                      Fidelity fidelity = Fidelity::Fine);
+                                      Fidelity fidelity = Fidelity::Fine,
+                                      spice::SimSession* session = nullptr);
 
 }  // namespace crl::circuit

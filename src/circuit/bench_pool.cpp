@@ -1,0 +1,50 @@
+#include "circuit/bench_pool.h"
+
+namespace crl::circuit {
+
+BenchmarkPool::BenchmarkPool(Benchmark& proto, spice::SimSession& session)
+    : session_(session), proto_(proto) {
+  // One slot per session worker; the clones are built lazily on first use so
+  // a 3-item corner sweep on an 8-worker session does not pay for 8 netlist
+  // builds. Each slot is only ever touched by its own chunk task, and
+  // clone() reads the (const) prototype, so concurrent lazy construction is
+  // race-free.
+  lanes_.resize(session.workerCount());
+}
+
+Benchmark& BenchmarkPool::lane(std::size_t i) {
+  if (!lanes_[i]) lanes_[i] = proto_.clone();
+  return *lanes_[i];
+}
+
+std::vector<Measurement> BenchmarkPool::measureAll(
+    const std::vector<std::vector<double>>& paramSets, Fidelity fidelity) {
+  // Benchmarks may alias both fidelities onto one counter (the op-amp's
+  // AC/DC path serves coarse and fine alike), so only the measured
+  // fidelity's counter is tracked and credited.
+  std::vector<long> before(lanes_.size());
+  for (std::size_t l = 0; l < lanes_.size(); ++l)
+    before[l] = lanes_[l] ? lanes_[l]->simCount(fidelity) : 0;
+
+  std::vector<Measurement> out(paramSets.size());
+  session_.parallelChunks(
+      paramSets.size(),
+      [&](std::size_t first, std::size_t last, std::size_t slot) {
+        Benchmark& target = lane(slot);
+        for (std::size_t i = first; i < last; ++i) {
+          target.setParams(paramSets[i]);
+          target.resetSolverState();
+          out[i] = target.measure(fidelity);
+        }
+      });
+
+  // Credit the prototype with the simulations the lanes ran on its behalf.
+  for (std::size_t l = 0; l < lanes_.size(); ++l) {
+    if (!lanes_[l]) continue;
+    const long delta = lanes_[l]->simCount(fidelity) - before[l];
+    if (delta > 0) proto_.addSimCount(fidelity, delta);
+  }
+  return out;
+}
+
+}  // namespace crl::circuit

@@ -1,0 +1,47 @@
+#pragma once
+// BenchmarkPool: N independent benchmark lanes (clones of one prototype),
+// mirroring rl::VecEnv one layer down — where VecEnv fans environment steps
+// across lanes, BenchmarkPool fans independent measureAt probes (Jacobian
+// columns, Monte-Carlo samples, process corners) across benchmark clones.
+//
+// Determinism contract: items are split into contiguous chunks, one lane per
+// SimSession worker slot, and every item is measured from a reset solver
+// state — so a result depends only on the item's parameters, never on lane
+// count, worker count, or scheduling. Pooled results are bit-identical to a
+// serial loop that resets solver state before each probe.
+
+#include <memory>
+#include <vector>
+
+#include "circuit/benchmark.h"
+#include "spice/session.h"
+
+namespace crl::circuit {
+
+class BenchmarkPool {
+ public:
+  /// One lane (clone of `proto`) per session worker slot. The session
+  /// provides the threads; lanes never attach it themselves (the outer
+  /// fan-out owns the workers — nesting pooled sweeps inside pooled lanes
+  /// would oversubscribe and race on the session workspaces).
+  BenchmarkPool(Benchmark& proto, spice::SimSession& session);
+
+  /// Number of lane slots (== session worker count); the clone behind a
+  /// slot is created on first use.
+  std::size_t laneCount() const { return lanes_.size(); }
+  Benchmark& lane(std::size_t i);
+
+  /// Measure every parameter set, cold solver state per item; results align
+  /// with paramSets and are identical for any worker count. Lane simulation
+  /// counts are folded back into the prototype, so its simCount bookkeeping
+  /// matches the serial loop's.
+  std::vector<Measurement> measureAll(const std::vector<std::vector<double>>& paramSets,
+                                      Fidelity fidelity);
+
+ private:
+  spice::SimSession& session_;
+  Benchmark& proto_;
+  std::vector<std::unique_ptr<Benchmark>> lanes_;
+};
+
+}  // namespace crl::circuit

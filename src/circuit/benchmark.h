@@ -2,12 +2,17 @@
 // Common interface of the sizable circuit benchmarks (two-stage Op-Amp and
 // GaN RF PA). Environments talk to circuits exclusively through this.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "circuit/design_space.h"
 #include "circuit/graph.h"
 #include "circuit/spec.h"
+
+namespace crl::spice {
+class SimSession;
+}
 
 namespace crl::circuit {
 
@@ -48,8 +53,35 @@ class Benchmark {
   /// "# of simulation steps" bookkeeping.
   virtual long simCount(Fidelity fidelity) const = 0;
 
+  /// Fold externally-performed simulations into this benchmark's counters:
+  /// pooled fan-outs measure on clone lanes, then credit the prototype so
+  /// simCount bookkeeping stays invariant to worker count.
+  virtual void addSimCount(Fidelity fidelity, long n) = 0;
+
   /// Worst-case spec vector reported when simulation fails.
   virtual std::vector<double> worstSpecs() const = 0;
+
+  /// Deep copy with the same configuration and current sizing but fresh
+  /// solver state: no warm starts, zeroed sim counters, no attached session.
+  /// Clones share nothing with the original, so they can be measured from
+  /// other threads (BenchmarkPool lanes).
+  virtual std::unique_ptr<Benchmark> clone() const = 0;
+
+  /// Drop cached solver state (DC warm starts and the like) so the next
+  /// measure() depends only on the current parameters — the determinism hook
+  /// behind schedule-independent pooled fan-outs.
+  virtual void resetSolverState() {}
+
+  /// Attach (or detach, with nullptr) a simulation session: benchmarks whose
+  /// measure() runs an AC sweep fan the frequency points out over the
+  /// session's workers. Results are bit-identical with or without a session.
+  /// The session must outlive the benchmark's use of it and must not be
+  /// shared across threads.
+  void setSession(spice::SimSession* session) { session_ = session; }
+  spice::SimSession* session() const { return session_; }
+
+ protected:
+  spice::SimSession* session_ = nullptr;
 };
 
 }  // namespace crl::circuit

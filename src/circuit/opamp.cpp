@@ -141,6 +141,12 @@ void TwoStageOpAmp::buildGraph() {
   graph_ = std::make_unique<CircuitGraph>(builder.build());
 }
 
+std::unique_ptr<Benchmark> TwoStageOpAmp::clone() const {
+  auto copy = std::make_unique<TwoStageOpAmp>(cfg_);
+  copy->setParams(params_);
+  return copy;
+}
+
 void TwoStageOpAmp::setParams(const std::vector<double>& params) {
   if (params.size() != kNumParams)
     throw std::invalid_argument("TwoStageOpAmp: expected 15 parameters");
@@ -197,7 +203,8 @@ Measurement TwoStageOpAmp::measure(Fidelity) {
   rz_->setResistance(1.0 / std::max(e6.gm, 1e-6));
 
   spice::AcAnalysis ac(net_, op.x);
-  auto sweep = ac.sweep(outNode_, cfg_.fSweepLo, cfg_.fSweepHi, cfg_.pointsPerDecade);
+  auto sweep =
+      ac.sweep(outNode_, cfg_.fSweepLo, cfg_.fSweepHi, cfg_.pointsPerDecade, session_);
   auto metrics = spice::analyzeResponse(sweep);
   if (!metrics.valid) {
     // No unity crossing: report DC gain and power, floor the rest.

@@ -72,6 +72,17 @@ class TwoStageOpAmp : public Benchmark {
   void setParams(const std::vector<double>& params) override;
   Measurement measure(Fidelity fidelity) override;
   long simCount(Fidelity fidelity) const override;
+  void addSimCount(Fidelity, long n) override { fineSims_ += n; }
+  std::unique_ptr<Benchmark> clone() const override;
+  /// Clears the DC warm start and re-parks the gm-tracking Rz at its config
+  /// value: Rz is retuned from each solved operating point, and its stale
+  /// value is stamped into the next DC Newton matrix — harmless physically
+  /// (Rz carries no DC current) but an ulp-level history dependence the
+  /// pooled toolkit's schedule-independence contract cannot afford.
+  void resetSolverState() override {
+    lastOp_.reset();
+    rz_->setResistance(cfg_.rZero);
+  }
 
   /// Worst-case spec vector used when the solver fails.
   static std::vector<double> failedSpecs();

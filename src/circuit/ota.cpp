@@ -112,6 +112,12 @@ void FiveTransistorOta::buildGraph() {
   graph_ = std::make_unique<CircuitGraph>(builder.build());
 }
 
+std::unique_ptr<Benchmark> FiveTransistorOta::clone() const {
+  auto copy = std::make_unique<FiveTransistorOta>(cfg_);
+  copy->setParams(params_);
+  return copy;
+}
+
 void FiveTransistorOta::setParams(const std::vector<double>& params) {
   if (params.size() != kNumParams)
     throw std::invalid_argument("FiveTransistorOta: expected 10 parameters");
@@ -150,7 +156,8 @@ Measurement FiveTransistorOta::measure(Fidelity) {
   const double power = cfg_.vdd * std::fabs(op.x[vddSrc_->currentIndex()]);
 
   spice::AcAnalysis ac(net_, op.x);
-  auto sweep = ac.sweep(outNode_, cfg_.fSweepLo, cfg_.fSweepHi, cfg_.pointsPerDecade);
+  auto sweep =
+      ac.sweep(outNode_, cfg_.fSweepLo, cfg_.fSweepHi, cfg_.pointsPerDecade, session_);
   auto metrics = spice::analyzeResponse(sweep);
   if (!metrics.valid) {
     out.specs = {std::max(metrics.dcGain, 1.0), 1e4, 1.0, std::max(power, 1e-6)};

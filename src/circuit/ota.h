@@ -63,6 +63,9 @@ class FiveTransistorOta : public Benchmark {
   void setParams(const std::vector<double>& params) override;
   Measurement measure(Fidelity fidelity) override;
   long simCount(Fidelity fidelity) const override;
+  void addSimCount(Fidelity, long n) override { fineSims_ += n; }
+  std::unique_ptr<Benchmark> clone() const override;
+  void resetSolverState() override { lastOp_.reset(); }
 
   static std::vector<double> failedSpecs();
   std::vector<double> worstSpecs() const override { return failedSpecs(); }

@@ -126,6 +126,12 @@ void GanRfPa::buildGraph() {
   graph_ = std::make_unique<CircuitGraph>(builder.build());
 }
 
+std::unique_ptr<Benchmark> GanRfPa::clone() const {
+  auto copy = std::make_unique<GanRfPa>(cfg_);
+  copy->setParams(params_);
+  return copy;
+}
+
 void GanRfPa::setParams(const std::vector<double>& params) {
   if (params.size() != kNumParams)
     throw std::invalid_argument("GanRfPa: expected 14 parameters");

@@ -73,6 +73,10 @@ class GanRfPa : public Benchmark {
   void setParams(const std::vector<double>& params) override;
   Measurement measure(Fidelity fidelity) override;
   long simCount(Fidelity fidelity) const override;
+  void addSimCount(Fidelity fidelity, long n) override {
+    (fidelity == Fidelity::Fine ? fineSims_ : coarseSims_) += n;
+  }
+  std::unique_ptr<Benchmark> clone() const override;
 
   static std::vector<double> failedSpecs();
   std::vector<double> worstSpecs() const override { return failedSpecs(); }

@@ -58,6 +58,9 @@ class FomEnv : public rl::Env {
 
   circuit::Benchmark& benchmark() { return bench_; }
   void setFidelity(circuit::Fidelity f) { cfg_.fidelity = f; }
+  /// Attach a simulation session to the underlying benchmark (see
+  /// SizingEnv::setSession).
+  void setSession(spice::SimSession* session) { bench_.setSession(session); }
 
  private:
   rl::Observation makeObservation() const;

@@ -55,6 +55,10 @@ class SizingEnv : public rl::Env {
   const SizingEnvConfig& config() const { return cfg_; }
   /// Override the simulation fidelity (transfer learning switches this).
   void setFidelity(circuit::Fidelity f) { cfg_.fidelity = f; }
+  /// Attach a simulation session to the underlying benchmark so measure()
+  /// fans its AC sweep out over the session's workers (results are
+  /// bit-identical with or without a session).
+  void setSession(spice::SimSession* session) { bench_.setSession(session); }
 
  private:
   rl::Observation makeObservation() const;

@@ -11,10 +11,18 @@ inline double magnitude(const std::complex<double>& v) { return std::abs(v); }
 }  // namespace
 
 template <typename T>
-Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
+Lu<T>::Lu(Matrix<T> a) {
+  factor(std::move(a));
+}
+
+template <typename T>
+void Lu<T>::factor(Matrix<T> a) {
+  lu_ = std::move(a);
+  factored_ = false;
   if (lu_.rows() != lu_.cols()) throw std::invalid_argument("Lu: matrix not square");
   const std::size_t n = lu_.rows();
   perm_.resize(n);
+  permSign_ = 1;
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
   for (std::size_t k = 0; k < n; ++k) {
@@ -42,13 +50,32 @@ Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
       for (std::size_t j = k + 1; j < n; ++j) lu_(i, j) -= factor * lu_(k, j);
     }
   }
+  factored_ = true;
+}
+
+template <typename T>
+void Lu<T>::refactor(const Matrix<T>& a) {
+  // Copy-assign reuses lu_'s existing buffer when the capacity fits, so a
+  // Newton loop refactoring the same-sized system every iteration never
+  // reallocates.
+  lu_ = a;
+  Matrix<T> staged = std::move(lu_);
+  factor(std::move(staged));
 }
 
 template <typename T>
 std::vector<T> Lu<T>::solve(const std::vector<T>& b) const {
+  std::vector<T> x;
+  solveInto(b, x);
+  return x;
+}
+
+template <typename T>
+void Lu<T>::solveInto(const std::vector<T>& b, std::vector<T>& x) const {
+  if (!factored_) throw std::logic_error("Lu::solve: not factored");
   const std::size_t n = lu_.rows();
   if (b.size() != n) throw std::invalid_argument("Lu::solve: dim mismatch");
-  std::vector<T> x(n);
+  x.resize(n);
   // Apply permutation, then forward substitution (unit lower triangular).
   for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
   for (std::size_t i = 1; i < n; ++i) {
@@ -62,7 +89,21 @@ std::vector<T> Lu<T>::solve(const std::vector<T>& b) const {
     for (std::size_t j = ii + 1; j < n; ++j) s -= lu_(ii, j) * x[j];
     x[ii] = s / lu_(ii, ii);
   }
-  return x;
+}
+
+template <typename T>
+Matrix<T> Lu<T>::solve(const Matrix<T>& b) const {
+  if (!factored_) throw std::logic_error("Lu::solve: not factored");
+  const std::size_t n = lu_.rows();
+  if (b.rows() != n) throw std::invalid_argument("Lu::solve: dim mismatch");
+  Matrix<T> out(n, b.cols());
+  std::vector<T> rhs(n), x;
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < n; ++i) rhs[i] = b(i, j);
+    solveInto(rhs, x);
+    for (std::size_t i = 0; i < n; ++i) out(i, j) = x[i];
+  }
+  return out;
 }
 
 template <typename T>

@@ -9,14 +9,36 @@
 namespace crl::linalg {
 
 /// LU factorization with partial pivoting; factors are stored in-place.
-/// Throws std::runtime_error on (numerical) singularity.
+///
+/// The factor/solve split lets hot solver loops (DC Newton, transient Newton,
+/// AC sweeps) reuse one object's buffers across many systems: refactor()
+/// copies into the existing storage, solveInto() writes into a caller-owned
+/// vector, so the steady state is allocation-free. Factoring throws
+/// std::runtime_error on (numerical) singularity and leaves the object
+/// unfactored.
 template <typename T>
 class Lu {
  public:
+  /// Empty object: call factor()/refactor() before solving.
+  Lu() = default;
+  /// Factor immediately (ctor form of factor(std::move(a))).
   explicit Lu(Matrix<T> a);
+
+  /// Factor A, taking ownership of its buffer.
+  void factor(Matrix<T> a);
+  /// Factor a copy of A, reusing this object's existing storage (no
+  /// allocation once warm). Results are identical to factor(A).
+  void refactor(const Matrix<T>& a);
+  bool factored() const { return factored_; }
 
   /// Solve A x = b for one right-hand side.
   std::vector<T> solve(const std::vector<T>& b) const;
+  /// Solve into a caller-owned vector (resized; allocation-free when warm).
+  /// b and x must be distinct objects.
+  void solveInto(const std::vector<T>& b, std::vector<T>& x) const;
+  /// Multi-RHS solve: the columns of B are independent right-hand sides.
+  /// Column j of the result is exactly solve(column j of B).
+  Matrix<T> solve(const Matrix<T>& b) const;
 
   /// log|det(A)| sign-less magnitude check helper; determinant itself can
   /// overflow for large systems so callers should prefer isSingular().
@@ -28,6 +50,7 @@ class Lu {
   Matrix<T> lu_;
   std::vector<std::size_t> perm_;
   int permSign_ = 1;
+  bool factored_ = false;
 };
 
 /// Convenience one-shot solve.

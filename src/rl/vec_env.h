@@ -41,7 +41,7 @@ class VecEnv {
   /// reproduces a plain Rng(baseSeed) run), later lanes are spread with a
   /// golden-ratio stride to decorrelate the streams.
   static std::uint64_t laneSeed(std::uint64_t baseSeed, std::size_t lane) {
-    return baseSeed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(lane);
+    return util::substreamSeed(baseSeed, static_cast<std::uint64_t>(lane));
   }
 
   std::size_t size() const { return lanes_.size(); }

@@ -14,20 +14,24 @@ AcAnalysis::AcAnalysis(Netlist& net, linalg::Vec xop) : net_(net), xop_(std::mov
     throw std::invalid_argument("AcAnalysis: operating point size mismatch");
 }
 
-linalg::CVec AcAnalysis::solveAt(double freqHz) const {
-  const std::size_t n = net_.unknownCount();
-  linalg::CMat y(n, n);
-  linalg::CVec rhs(n);
-  ComplexStamper stamper(y, rhs);
+void AcAnalysis::solveInto(double freqHz, AcWorkspace& ws) const {
+  ws.beginAssembly(net_.unknownCount());
+  ComplexStamper stamper(ws.y, ws.rhs);
   AcContext ctx{xop_, 2.0 * std::numbers::pi * freqHz};
   for (const auto& dev : net_.devices()) dev->stampAc(stamper, ctx);
-  return linalg::solveLinear(std::move(y), rhs);
+  ws.lu.refactor(ws.y);
+  ws.lu.solveInto(ws.rhs, ws.x);
+}
+
+linalg::CVec AcAnalysis::solveAt(double freqHz) const {
+  solveInto(freqHz, ws_);
+  return ws_.x;
 }
 
 std::complex<double> AcAnalysis::nodeVoltage(double freqHz, NodeId node) const {
   if (node == kGround) return {0.0, 0.0};
-  linalg::CVec x = solveAt(freqHz);
-  return x[static_cast<std::size_t>(node) - 1];
+  solveInto(freqHz, ws_);
+  return ws_.x[static_cast<std::size_t>(node) - 1];
 }
 
 std::vector<double> AcAnalysis::logspace(double f0, double f1, int pointsPerDecade) {
@@ -44,14 +48,27 @@ std::vector<double> AcAnalysis::logspace(double f0, double f1, int pointsPerDeca
 }
 
 std::vector<AcPoint> AcAnalysis::sweep(NodeId node, double f0, double f1,
-                                       int pointsPerDecade) const {
-  std::vector<AcPoint> out;
-  for (double f : logspace(f0, f1, pointsPerDecade)) {
-    AcPoint p;
-    p.freqHz = f;
-    p.value = nodeVoltage(f, node);
-    out.push_back(p);
+                                       int pointsPerDecade,
+                                       SimSession* session) const {
+  const std::vector<double> freqs = logspace(f0, f1, pointsPerDecade);
+  std::vector<AcPoint> out(freqs.size());
+  auto solveRange = [&](std::size_t first, std::size_t last, AcWorkspace& ws) {
+    for (std::size_t i = first; i < last; ++i) {
+      solveInto(freqs[i], ws);
+      out[i].freqHz = freqs[i];
+      out[i].value = node == kGround
+                         ? std::complex<double>{}
+                         : ws.x[static_cast<std::size_t>(node) - 1];
+    }
+  };
+  if (!session || session->workerCount() < 2) {
+    solveRange(0, freqs.size(), ws_);
+    return out;
   }
+  session->parallelChunks(freqs.size(),
+                          [&](std::size_t first, std::size_t last, std::size_t slot) {
+                            solveRange(first, last, session->acWorkspace(slot));
+                          });
   return out;
 }
 

@@ -1,10 +1,17 @@
 #pragma once
 // Small-signal AC analysis: complex MNA solve of the circuit linearized at a
 // DC operating point, swept over frequency.
+//
+// Sweeps solve one independent complex system per frequency point, so they
+// fan out over a SimSession's workers; per-point assembly and solve order are
+// identical to the serial path, making pooled sweeps bit-identical to serial
+// ones at any worker count.
 
+#include <numbers>
 #include <vector>
 
 #include "spice/netlist.h"
+#include "spice/session.h"
 
 namespace crl::spice {
 
@@ -16,9 +23,14 @@ struct AcPoint {
   double magnitude() const { return std::abs(value); }
   double magnitudeDb() const { return 20.0 * std::log10(std::abs(value)); }
   /// Phase in degrees, unwrapped by the sweep helper.
-  double phaseDeg() const { return std::arg(value) * 180.0 / 3.14159265358979323846; }
+  double phaseDeg() const { return std::arg(value) * 180.0 / std::numbers::pi; }
 };
 
+/// One AcAnalysis is a single-thread-of-control object: solveAt, nodeVoltage
+/// and sessionless sweeps share one internal workspace (they are const only
+/// in the logical sense), so concurrent calls on the same instance race.
+/// Pooled sweeps hand each worker a SimSession-owned workspace instead and
+/// are safe; for concurrent point probes, use one AcAnalysis per thread.
 class AcAnalysis {
  public:
   /// xop is a converged DC solution from DcAnalysis.
@@ -26,21 +38,30 @@ class AcAnalysis {
 
   /// Solve the full complex unknown vector at one frequency.
   linalg::CVec solveAt(double freqHz) const;
-  /// Complex voltage at a node for the configured AC sources.
+  /// Assemble and solve at one frequency into a caller-owned workspace
+  /// (allocation-free once the workspace is warm); the solution is ws.x.
+  void solveInto(double freqHz, AcWorkspace& ws) const;
+  /// Complex voltage at a node for the configured AC sources. Reuses the
+  /// sweep path's workspace, so repeated probes do not allocate.
   std::complex<double> nodeVoltage(double freqHz, NodeId node) const;
 
   /// Logarithmic frequency grid.
   static std::vector<double> logspace(double f0, double f1, int pointsPerDecade);
 
-  /// Sweep the response at a node over a log grid.
+  /// Sweep the response at a node over a log grid. With a session the
+  /// frequency points are solved across its workers (bit-identical to the
+  /// serial sweep); null or single-worker sessions run serially.
   std::vector<AcPoint> sweep(NodeId node, double f0, double f1,
-                             int pointsPerDecade) const;
+                             int pointsPerDecade,
+                             SimSession* session = nullptr) const;
 
   const linalg::Vec& operatingPoint() const { return xop_; }
 
  private:
   Netlist& net_;
   linalg::Vec xop_;
+  /// Serial-path workspace (sweeps without a session, nodeVoltage, solveAt).
+  mutable AcWorkspace ws_;
 };
 
 /// Scalar measurements extracted from a swept response (the op-amp specs).

@@ -15,31 +15,30 @@ std::optional<linalg::Vec> DcAnalysis::newton(linalg::Vec x, double gmin,
                                               double srcScale, int* iterationsOut) {
   const std::size_t n = net_.unknownCount();
   const std::size_t nNodes = net_.nodeCount() - 1;
-  linalg::Mat a(n, n);
-  linalg::Vec rhs(n);
+  if (a_.rows() != n || a_.cols() != n) a_ = linalg::Mat(n, n);
+  rhs_.resize(n);
 
   for (int iter = 0; iter < opt_.maxIterations; ++iter) {
     ++*iterationsOut;
-    a.fill(0.0);
-    std::fill(rhs.begin(), rhs.end(), 0.0);
-    RealStamper stamper(a, rhs);
+    a_.fill(0.0);
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+    RealStamper stamper(a_, rhs_);
     SimContext ctx{x};
     ctx.srcScale = srcScale;
     ctx.gmin = gmin;
     for (const auto& dev : net_.devices()) dev->stampLarge(stamper, ctx);
 
-    linalg::Vec xNew;
     try {
-      xNew = linalg::solveLinear(std::move(a), rhs);
+      lu_.refactor(a_);
     } catch (const std::runtime_error&) {
       return std::nullopt;  // singular Jacobian: let the homotopy ladder retry
     }
-    a = linalg::Mat(n, n);  // solveLinear consumed the matrix
+    lu_.solveInto(rhs_, xNew_);
 
     // Damping: limit node-voltage steps; branch currents move freely.
     bool converged = true;
     for (std::size_t i = 0; i < n; ++i) {
-      double delta = xNew[i] - x[i];
+      double delta = xNew_[i] - x[i];
       if (i < nNodes) {
         if (delta > opt_.stepLimit) delta = opt_.stepLimit;
         if (delta < -opt_.stepLimit) delta = -opt_.stepLimit;

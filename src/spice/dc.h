@@ -4,6 +4,7 @@
 
 #include <optional>
 
+#include "linalg/solve.h"
 #include "spice/netlist.h"
 
 namespace crl::spice {
@@ -47,6 +48,12 @@ class DcAnalysis {
 
   Netlist& net_;
   DcOptions opt_;
+  // Assembly/factorization workspaces reused across Newton iterations and
+  // homotopy stages (allocation-free after the first iteration).
+  linalg::Mat a_;
+  linalg::Vec rhs_;
+  linalg::Vec xNew_;
+  linalg::Lu<double> lu_;
 };
 
 }  // namespace crl::spice

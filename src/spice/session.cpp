@@ -1,0 +1,57 @@
+#include "spice/session.h"
+
+#include <future>
+
+namespace crl::spice {
+
+SimSession::SimSession(std::size_t workers) {
+  workers_ = workers == 0 ? util::ThreadPool::defaultWorkerCount() : workers;
+  if (workers_ > 1) {
+    ownedPool_ = std::make_unique<util::ThreadPool>(workers_);
+    pool_ = ownedPool_.get();
+  }
+  workspaces_.resize(workers_);
+}
+
+SimSession::SimSession(util::ThreadPool& pool) {
+  workers_ = pool.workerCount();
+  if (workers_ > 1) pool_ = &pool;
+  workspaces_.resize(workers_ == 0 ? 1 : workers_);
+  if (workers_ == 0) workers_ = 1;
+}
+
+SimSession::~SimSession() = default;
+
+std::size_t SimSession::workersFromEnv() {
+  return util::ThreadPool::workersFromEnv("CRL_SPICE_WORKERS");
+}
+
+void SimSession::parallelChunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t w = workers_;
+  auto chunk = [n, w](std::size_t slot) {
+    return std::pair<std::size_t, std::size_t>{n * slot / w, n * (slot + 1) / w};
+  };
+  if (!pool_ || w < 2 || n < 2) {
+    for (std::size_t s = 0; s < w; ++s) {
+      auto [b, e] = chunk(s);
+      if (b < e) fn(b, e, s);
+    }
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(w);
+  for (std::size_t s = 0; s < w; ++s) {
+    auto [b, e] = chunk(s);
+    if (b >= e) continue;
+    futs.push_back(pool_->submit([&fn, b = b, e = e, s]() { fn(b, e, s); }));
+  }
+  // Wait for every chunk before surfacing the first failure, so no task is
+  // still touching shared output when an exception unwinds the caller.
+  for (auto& f : futs) f.wait();
+  for (auto& f : futs) f.get();
+}
+
+}  // namespace crl::spice

@@ -1,0 +1,90 @@
+#pragma once
+// Parallel simulation sessions: reusable per-worker solve workspaces plus a
+// deterministic fan-out helper, so the inside of one circuit evaluation (an
+// AC sweep, a sensitivity Jacobian, a Monte-Carlo batch) can spread its
+// independent solve points across a thread pool without allocating per point.
+//
+// Determinism contract: work is split into one contiguous chunk of items per
+// worker slot (the split depends only on the item count and the worker
+// count), results land in caller-indexed slots, and every item is computed
+// exactly as the serial path computes it — same assembly, same factorization,
+// same summation order — so pooled results are bit-identical to serial
+// results at any worker count.
+//
+// A session is a single-thread-of-control object: two threads must not drive
+// the same session concurrently (the per-slot workspaces would be shared).
+// Outer fan-outs (BenchmarkPool lanes, multi-seed harnesses) therefore run
+// their inner evaluations serially, or give each outer worker its own
+// session.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "util/thread_pool.h"
+
+namespace crl::spice {
+
+/// Reusable complex MNA workspace for one worker slot: assembly matrix/RHS,
+/// the factorization, and the solution buffer. Everything is sized once and
+/// reused across sweep points.
+struct AcWorkspace {
+  linalg::CMat y;
+  linalg::CVec rhs;
+  linalg::CVec x;
+  linalg::Lu<std::complex<double>> lu;
+
+  /// Size the assembly slots for an n-unknown system and zero them.
+  void beginAssembly(std::size_t n) {
+    if (y.rows() != n || y.cols() != n) {
+      y = linalg::CMat(n, n);
+    } else {
+      y.fill({});
+    }
+    rhs.assign(n, {});
+  }
+};
+
+class SimSession {
+ public:
+  /// workers == 1 runs everything on the calling thread (no pool); workers
+  /// == 0 uses the hardware concurrency; workers > 1 spawns an owned pool.
+  explicit SimSession(std::size_t workers = 1);
+  /// Borrow an external pool (not owned, not shut down by the session); the
+  /// session exposes one worker slot per pool worker.
+  explicit SimSession(util::ThreadPool& pool);
+  ~SimSession();
+
+  SimSession(const SimSession&) = delete;
+  SimSession& operator=(const SimSession&) = delete;
+
+  std::size_t workerCount() const { return workers_; }
+  /// The dispatch pool; null when the session is serial.
+  util::ThreadPool* pool() { return pool_; }
+
+  /// Worker-count knob for harnesses: CRL_SPICE_WORKERS (default 1).
+  static std::size_t workersFromEnv();
+
+  /// Run fn(first, last, slot) over a deterministic contiguous partition of
+  /// [0, n): slot s covers [n*s/W, n*(s+1)/W). Chunks run concurrently
+  /// through the pool (serially in slot order when serial); a slot never
+  /// runs two chunks at once, so per-slot state — acWorkspace(slot) — is
+  /// race-free. Exceptions from chunks are rethrown after all chunks finish.
+  void parallelChunks(
+      std::size_t n,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// Per-slot solve workspace; slot < workerCount().
+  AcWorkspace& acWorkspace(std::size_t slot) { return workspaces_[slot]; }
+
+ private:
+  std::unique_ptr<util::ThreadPool> ownedPool_;
+  util::ThreadPool* pool_ = nullptr;  // null when serial
+  std::size_t workers_ = 1;
+  std::vector<AcWorkspace> workspaces_;
+};
+
+}  // namespace crl::spice

@@ -7,6 +7,7 @@
 
 #include <functional>
 
+#include "linalg/solve.h"
 #include "spice/dc.h"
 #include "spice/netlist.h"
 
@@ -46,6 +47,12 @@ class TranAnalysis {
 
   Netlist& net_;
   TranOptions opt_;
+  // Assembly/factorization workspaces reused across Newton iterations and
+  // time steps (allocation-free after the first step).
+  linalg::Mat a_;
+  linalg::Vec rhs_;
+  linalg::Vec xNew_;
+  linalg::Lu<double> lu_;
 };
 
 /// First `nHarmonics` complex Fourier coefficients of a uniformly sampled

@@ -10,6 +10,13 @@
 
 namespace crl::util {
 
+/// Deterministic decorrelated substream seed: index 0 keeps `base` itself,
+/// later indices are spread with a golden-ratio stride. The one seeding
+/// recipe shared by VecEnv rollout lanes and Monte-Carlo sample streams.
+inline std::uint64_t substreamSeed(std::uint64_t base, std::uint64_t index) {
+  return base + 0x9E3779B97F4A7C15ull * index;
+}
+
 /// Thin deterministic wrapper around std::mt19937_64 with the sampling
 /// helpers the library needs. Copyable; copying forks the stream state.
 class Rng {

@@ -1,11 +1,22 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace crl::util {
 
 std::size_t ThreadPool::defaultWorkerCount() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::size_t ThreadPool::workersFromEnv(const char* envVar, std::size_t fallback) {
+  const char* v = std::getenv(envVar);
+  if (!v || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long w = std::strtol(v, &end, 10);
+  if (end == v) return fallback;  // unparsable: keep the default, don't fan out
+  if (w <= 0) return defaultWorkerCount();
+  return static_cast<std::size_t>(w);
 }
 
 ThreadPool::ThreadPool(std::size_t workers) {

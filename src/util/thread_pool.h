@@ -65,6 +65,11 @@ class ThreadPool {
   /// Hardware concurrency with a floor of 1 (hardware_concurrency may be 0).
   static std::size_t defaultWorkerCount();
 
+  /// Shared parser for worker-count env knobs (CRL_SPICE_WORKERS,
+  /// CRL_SEED_WORKERS, ...): unset or unparsable returns `fallback`, an
+  /// explicit non-positive value means "use the hardware concurrency".
+  static std::size_t workersFromEnv(const char* envVar, std::size_t fallback = 1);
+
  private:
   void workerLoop();
 

@@ -1,0 +1,185 @@
+// Parity contract of the pooled analysis toolkit: sensitivity, Monte-Carlo
+// yield and corner sweeps report bit-identical results at any worker count,
+// and Benchmark::clone() produces independent, equivalent lanes.
+#include "circuit/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/bench_pool.h"
+#include "circuit/opamp.h"
+#include "circuit/ota.h"
+#include "circuit/rfpa.h"
+#include "util/rng.h"
+
+namespace crl::circuit {
+namespace {
+
+std::vector<double> moderateSizing(const TwoStageOpAmp& amp) {
+  auto p = amp.designSpace().midpoint();
+  for (std::size_t i = 0; i < 7; ++i) {
+    p[2 * i] = 10.0;
+    p[2 * i + 1] = 4.0;
+  }
+  p[14] = 4.0;
+  return amp.designSpace().clamp(p);
+}
+
+TEST(ToolkitParity, SensitivityIsWorkerCountInvariant) {
+  TwoStageOpAmp amp;
+  const auto sizing = moderateSizing(amp);
+
+  SensitivityOptions serialOpt;
+  const auto ref = specSensitivity(amp, sizing, serialOpt);
+  ASSERT_TRUE(ref.valid);
+
+  for (std::size_t workers : {2u, 4u}) {
+    spice::SimSession session(workers);
+    SensitivityOptions opt;
+    opt.session = &session;
+    TwoStageOpAmp pooledAmp;
+    const auto got = specSensitivity(pooledAmp, sizing, opt);
+    ASSERT_TRUE(got.valid) << "workers=" << workers;
+    EXPECT_EQ(got.baseParams, ref.baseParams);
+    EXPECT_EQ(got.baseSpecs, ref.baseSpecs);
+    ASSERT_EQ(got.jacobian.raw().size(), ref.jacobian.raw().size());
+    EXPECT_EQ(got.jacobian.raw(), ref.jacobian.raw()) << "workers=" << workers;
+    EXPECT_EQ(got.elasticity.raw(), ref.elasticity.raw()) << "workers=" << workers;
+    // Pooled probes run on clone lanes but are credited back to the
+    // prototype: simCount bookkeeping is worker-count invariant too.
+    EXPECT_EQ(pooledAmp.simCount(Fidelity::Fine), amp.simCount(Fidelity::Fine))
+        << "workers=" << workers;
+  }
+}
+
+TEST(ToolkitParity, YieldIsWorkerCountInvariant) {
+  TwoStageOpAmp amp;
+  const auto sizing = moderateSizing(amp);
+  const auto base = amp.measureAt(sizing, Fidelity::Fine);
+  ASSERT_TRUE(base.valid);
+
+  YieldOptions opt;
+  opt.sigmaFrac = 0.04;
+  opt.samples = 12;
+
+  util::Rng refRng(99);
+  const auto ref = monteCarloYield(amp, sizing, base.specs, refRng, opt);
+
+  for (std::size_t workers : {2u, 4u}) {
+    spice::SimSession session(workers);
+    YieldOptions popt = opt;
+    popt.session = &session;
+    TwoStageOpAmp pooledAmp;
+    util::Rng rng(99);
+    const auto got = monteCarloYield(pooledAmp, sizing, base.specs, rng, popt);
+    EXPECT_EQ(got.validCount, ref.validCount) << "workers=" << workers;
+    EXPECT_EQ(got.passCount, ref.passCount) << "workers=" << workers;
+    EXPECT_EQ(got.yield, ref.yield) << "workers=" << workers;
+    ASSERT_EQ(got.specStats.size(), ref.specStats.size());
+    for (std::size_t i = 0; i < ref.specStats.size(); ++i) {
+      EXPECT_EQ(got.specStats[i].mean(), ref.specStats[i].mean()) << "spec=" << i;
+      EXPECT_EQ(got.specStats[i].stddev(), ref.specStats[i].stddev()) << "spec=" << i;
+    }
+  }
+}
+
+TEST(ToolkitParity, CornerSweepIsWorkerCountInvariant) {
+  TwoStageOpAmp amp;
+  const auto sizing = moderateSizing(amp);
+  const auto ref = cornerSweep(amp, sizing, 0.1);
+
+  for (std::size_t workers : {2u, 4u}) {
+    spice::SimSession session(workers);
+    TwoStageOpAmp pooledAmp;
+    const auto got = cornerSweep(pooledAmp, sizing, 0.1, Fidelity::Fine, &session);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t k = 0; k < ref.size(); ++k) {
+      EXPECT_EQ(got[k].name, ref[k].name);
+      EXPECT_EQ(got[k].valid, ref[k].valid);
+      EXPECT_EQ(got[k].specs, ref[k].specs) << "corner=" << ref[k].name;
+    }
+  }
+}
+
+TEST(ToolkitParity, ToolkitRestoresBaseSizingInPooledMode) {
+  TwoStageOpAmp amp;
+  const auto sizing = moderateSizing(amp);
+  spice::SimSession session(2);
+  SensitivityOptions opt;
+  opt.session = &session;
+  specSensitivity(amp, sizing, opt);
+  EXPECT_EQ(amp.currentParams(), sizing);
+}
+
+// ----------------------------------------------------------------- clone()
+
+TEST(ToolkitParity, CloneMeasuresIdenticallyFromColdState) {
+  TwoStageOpAmp amp;
+  const auto sizing = moderateSizing(amp);
+  amp.setParams(sizing);
+
+  auto copy = amp.clone();
+  EXPECT_EQ(copy->currentParams(), amp.currentParams());
+  EXPECT_EQ(copy->simCount(Fidelity::Fine), 0);
+
+  amp.resetSolverState();
+  const auto a = amp.measure(Fidelity::Fine);
+  const auto b = copy->measure(Fidelity::Fine);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.specs, b.specs);
+}
+
+TEST(ToolkitParity, CloneIsIndependentOfTheOriginal) {
+  TwoStageOpAmp amp;
+  const auto before = amp.currentParams();
+  auto copy = amp.clone();
+  auto shifted = before;
+  shifted[0] = amp.designSpace().param(0).max;
+  copy->setParams(shifted);
+  EXPECT_NE(copy->currentParams(), amp.currentParams());
+  EXPECT_EQ(amp.currentParams(), before);
+}
+
+TEST(ToolkitParity, RfPaAndOtaClone) {
+  GanRfPa pa;
+  auto paCopy = pa.clone();
+  EXPECT_EQ(paCopy->currentParams(), pa.currentParams());
+  const auto a = paCopy->measure(Fidelity::Coarse);
+  GanRfPa fresh;
+  const auto b = fresh.measure(Fidelity::Coarse);
+  EXPECT_EQ(a.specs, b.specs);
+
+  FiveTransistorOta ota;
+  auto otaCopy = ota.clone();
+  EXPECT_EQ(otaCopy->currentParams(), ota.currentParams());
+}
+
+TEST(ToolkitParity, BenchmarkPoolMeasureAllMatchesSerialLoop) {
+  TwoStageOpAmp amp;
+  util::Rng rng(5);
+  std::vector<std::vector<double>> items;
+  for (int k = 0; k < 6; ++k) items.push_back(amp.designSpace().sample(rng));
+
+  // Serial reference: cold measure per item on a scratch clone.
+  auto scratch = amp.clone();
+  std::vector<Measurement> ref;
+  for (const auto& p : items) {
+    scratch->setParams(p);
+    scratch->resetSolverState();
+    ref.push_back(scratch->measure(Fidelity::Fine));
+  }
+
+  for (std::size_t workers : {1u, 3u}) {
+    spice::SimSession session(workers);
+    BenchmarkPool pool(amp, session);
+    EXPECT_EQ(pool.laneCount(), session.workerCount());
+    const auto got = pool.measureAll(items, Fidelity::Fine);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].valid, ref[i].valid) << "workers=" << workers << " i=" << i;
+      EXPECT_EQ(got[i].specs, ref[i].specs) << "workers=" << workers << " i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace crl::circuit

@@ -62,6 +62,99 @@ TEST(Lu, MultipleRhsReuseFactorization) {
   EXPECT_NEAR(x2[1], 4.0 / 11.0, 1e-12);
 }
 
+TEST(Lu, FactorSolveSplitMatchesCtorPath) {
+  Mat a{{2.0, 1.0}, {1.0, 3.0}};
+  Lu<double> eager(a);
+  Lu<double> lazy;
+  EXPECT_FALSE(lazy.factored());
+  lazy.factor(a);
+  EXPECT_TRUE(lazy.factored());
+  const Vec b{5.0, 10.0};
+  EXPECT_EQ(lazy.solve(b), eager.solve(b));
+}
+
+TEST(Lu, SolveBeforeFactorThrows) {
+  Lu<double> lu;
+  EXPECT_THROW(lu.solve(Vec{1.0}), std::logic_error);
+  Mat b(1, 1, 1.0);
+  EXPECT_THROW(lu.solve(b), std::logic_error);
+}
+
+TEST(Lu, SingularFactorThrowsAndLeavesUnfactored) {
+  Lu<double> lu;
+  Mat good{{4.0, 1.0}, {1.0, 3.0}};
+  lu.factor(good);
+  Mat singular{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(lu.refactor(singular), std::runtime_error);
+  EXPECT_FALSE(lu.factored());
+  EXPECT_THROW(lu.solve(Vec{1.0, 2.0}), std::logic_error);
+  // The object recovers on the next successful factorization.
+  lu.refactor(good);
+  EXPECT_TRUE(lu.factored());
+  EXPECT_EQ(lu.solve(Vec{5.0, 4.0}), Lu<double>(good).solve(Vec{5.0, 4.0}));
+}
+
+TEST(Lu, RefactorReusesBuffersAndMatchesFresh) {
+  std::mt19937 gen(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Lu<double> reused;
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 9;
+    Mat a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(gen);
+      a(i, i) += 3.0;
+    }
+    Vec b(n);
+    for (auto& v : b) v = dist(gen);
+    reused.refactor(a);
+    // Bit-identical to a one-shot factorization of the same matrix.
+    EXPECT_EQ(reused.solve(b), Lu<double>(a).solve(b));
+  }
+}
+
+TEST(Lu, MultiRhsMatchesRepeatedSingleRhs) {
+  std::mt19937 gen(23);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  const std::size_t n = 7, k = 5;
+  Mat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(gen);
+    a(i, i) += 3.0;
+  }
+  Mat b(n, k);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < k; ++j) b(i, j) = dist(gen);
+
+  Lu<double> lu(a);
+  const Mat x = lu.solve(b);
+  ASSERT_EQ(x.rows(), n);
+  ASSERT_EQ(x.cols(), k);
+  for (std::size_t j = 0; j < k; ++j) {
+    Vec col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = b(i, j);
+    const Vec xj = lu.solve(col);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x(i, j), xj[i]) << "col=" << j;
+  }
+}
+
+TEST(Lu, MultiRhsDimMismatchThrows) {
+  Mat a{{2.0, 1.0}, {1.0, 3.0}};
+  Lu<double> lu(a);
+  Mat b(3, 2, 1.0);
+  EXPECT_THROW(lu.solve(b), std::invalid_argument);
+}
+
+TEST(Lu, SolveIntoIsAllocationFriendlyAndExact) {
+  Mat a{{4.0, 1.0}, {1.0, 3.0}};
+  Lu<double> lu(a);
+  Vec x;
+  lu.solveInto(Vec{1.0, 0.0}, x);
+  EXPECT_EQ(x, lu.solve(Vec{1.0, 0.0}));
+  lu.solveInto(Vec{0.0, 1.0}, x);  // reuse the same output buffer
+  EXPECT_EQ(x, lu.solve(Vec{0.0, 1.0}));
+}
+
 TEST(Lu, Determinant) {
   Mat a{{2.0, 0.0}, {0.0, 3.0}};
   EXPECT_NEAR(Lu<double>(a).determinant(), 6.0, 1e-12);

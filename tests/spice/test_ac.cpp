@@ -165,6 +165,105 @@ TEST(Ac, AnalyzeResponseNeverCrossingIsInvalid) {
   auto m = analyzeResponse(sweep);
   EXPECT_FALSE(m.valid);
   EXPECT_DOUBLE_EQ(m.unityGainFreq, 0.0);
+  // The DC gain is still reported even without a crossing.
+  EXPECT_DOUBLE_EQ(m.dcGain, 0.5);
+}
+
+TEST(Ac, AnalyzeResponseAlwaysBelowUnityNeverSetsBandwidth) {
+  // Decaying response that starts below unity: no 3 dB corner is ever found
+  // downward-crossing from above, and the sweep stays invalid.
+  std::vector<AcPoint> sweep;
+  double mag = 0.9;
+  for (double f : AcAnalysis::logspace(1e2, 1e5, 8)) {
+    AcPoint p;
+    p.freqHz = f;
+    p.value = {mag, 0.0};
+    sweep.push_back(p);
+    mag *= 0.8;
+  }
+  auto m = analyzeResponse(sweep);
+  EXPECT_FALSE(m.valid);
+  EXPECT_DOUBLE_EQ(m.unityGainFreq, 0.0);
+  EXPECT_DOUBLE_EQ(m.phaseMarginDeg, 0.0);
+}
+
+TEST(Ac, AnalyzeResponseFewerThanTwoPoints) {
+  // Degenerate sweeps must report an invalid, all-default result instead of
+  // reading out of bounds.
+  auto empty = analyzeResponse({});
+  EXPECT_FALSE(empty.valid);
+  EXPECT_DOUBLE_EQ(empty.dcGain, 0.0);
+  EXPECT_DOUBLE_EQ(empty.unityGainFreq, 0.0);
+
+  AcPoint only;
+  only.freqHz = 1e3;
+  only.value = {100.0, 0.0};
+  auto single = analyzeResponse({only});
+  EXPECT_FALSE(single.valid);
+  EXPECT_DOUBLE_EQ(single.dcGain, 0.0);
+  EXPECT_DOUBLE_EQ(single.unityGainFreq, 0.0);
+}
+
+TEST(Ac, AnalyzeResponseUnwrapsThroughMinus180) {
+  // Three coincident poles: the phase passes straight through -180 deg well
+  // before the unity crossing, so the margin is only correct if the unwrap
+  // keeps the phase continuous (std::arg alone would jump to +pi).
+  std::vector<AcPoint> sweep;
+  const double a0 = 1000.0, fp = 1e3;
+  for (double f : AcAnalysis::logspace(1e1, 1e7, 32)) {
+    AcPoint p;
+    p.freqHz = f;
+    const std::complex<double> pole(1.0, f / fp);
+    p.value = a0 / (pole * pole * pole);
+    sweep.push_back(p);
+  }
+  auto m = analyzeResponse(sweep);
+  ASSERT_TRUE(m.valid);
+  // |H| = 1 at (1 + u^2)^{3/2} = a0 -> u = sqrt(a0^{2/3} - 1) ~ 9.9499;
+  // phase there is -3 atan(u) ~ -252.8 deg, i.e. PM ~ -72.8 deg. A naive
+  // wrapped phase would report the complementary +107 deg margin instead.
+  const double u = std::sqrt(std::cbrt(a0 * a0) - 1.0);
+  EXPECT_NEAR(m.unityGainFreq, fp * u, fp * u * 0.03);
+  const double expectedPm =
+      180.0 - 3.0 * std::atan(u) * 180.0 / std::numbers::pi;
+  EXPECT_NEAR(m.phaseMarginDeg, expectedPm, 3.0);
+  EXPECT_LT(m.phaseMarginDeg, 0.0);
+  EXPECT_GT(m.phaseMarginDeg, -180.0);
+}
+
+TEST(Ac, AnalyzeResponseInvertingAmpMatchesNonInverting) {
+  // An inverting amplifier's raw phase starts at +-180 deg and crosses the
+  // +-180 wrap boundary immediately; referencing the unwrapped phase to DC
+  // must give the same margin as the non-inverted response.
+  const double a0 = 1000.0, fp1 = 1e3, fp2 = 1e6;
+  std::vector<AcPoint> plain, inverted;
+  for (double f : AcAnalysis::logspace(1e1, 1e9, 32)) {
+    const std::complex<double> h =
+        a0 / (std::complex<double>(1.0, f / fp1) * std::complex<double>(1.0, f / fp2));
+    AcPoint p;
+    p.freqHz = f;
+    p.value = h;
+    plain.push_back(p);
+    p.value = -h;
+    inverted.push_back(p);
+  }
+  auto mp = analyzeResponse(plain);
+  auto mi = analyzeResponse(inverted);
+  ASSERT_TRUE(mp.valid);
+  ASSERT_TRUE(mi.valid);
+  EXPECT_DOUBLE_EQ(mi.unityGainFreq, mp.unityGainFreq);
+  EXPECT_NEAR(mi.phaseMarginDeg, mp.phaseMarginDeg, 1e-9);
+  // Both land in the normalized (-180, 180] window.
+  EXPECT_GT(mi.phaseMarginDeg, -180.0);
+  EXPECT_LE(mi.phaseMarginDeg, 180.0);
+}
+
+TEST(Ac, AcPointPhaseUsesStdNumbersPi) {
+  AcPoint p;
+  p.value = {0.0, 1.0};  // arg = pi/2
+  EXPECT_DOUBLE_EQ(p.phaseDeg(), 90.0);
+  p.value = {-1.0, 0.0};  // arg = pi exactly
+  EXPECT_DOUBLE_EQ(p.phaseDeg(), 180.0);
 }
 
 }  // namespace

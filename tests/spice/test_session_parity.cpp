@@ -1,0 +1,137 @@
+// Parity contract of the simulation-session layer: pooled AC sweeps are
+// bit-identical to serial ones at any worker count, and the workspace-based
+// solve path matches the one-shot path exactly.
+#include "spice/session.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "circuit/opamp.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/elements.h"
+#include "util/rng.h"
+
+namespace crl::spice {
+namespace {
+
+/// RC ladder with enough nodes to make the sweep non-trivial.
+void buildLadder(Netlist& net, NodeId* outNode) {
+  NodeId in = net.node("in");
+  auto* v1 = net.add<VSource>("V1", in, kGround, 0.0);
+  v1->setAcMag(1.0);
+  NodeId prev = in;
+  for (int k = 0; k < 6; ++k) {
+    const std::string tag = std::to_string(k);
+    NodeId nk = net.node(std::string("n") + tag);
+    net.add<Resistor>(std::string("R") + tag, prev, nk, 1e3 * (k + 1));
+    net.add<Capacitor>(std::string("C") + tag, nk, kGround, 1e-9 / (k + 1));
+    prev = nk;
+  }
+  *outNode = prev;
+}
+
+TEST(SessionParity, PooledSweepIsBitIdenticalToSerial) {
+  Netlist net;
+  NodeId out = kGround;
+  buildLadder(net, &out);
+  DcAnalysis dc(net);
+  DcResult op = dc.solve();
+  ASSERT_TRUE(op.converged);
+  AcAnalysis ac(net, op.x);
+
+  const auto serial = ac.sweep(out, 1e2, 1e8, 12);
+  for (std::size_t workers : {1u, 2u, 4u, 8u}) {
+    SimSession session(workers);
+    const auto pooled = ac.sweep(out, 1e2, 1e8, 12, &session);
+    ASSERT_EQ(pooled.size(), serial.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(pooled[i].freqHz, serial[i].freqHz) << "workers=" << workers;
+      EXPECT_EQ(pooled[i].value.real(), serial[i].value.real())
+          << "workers=" << workers << " i=" << i;
+      EXPECT_EQ(pooled[i].value.imag(), serial[i].value.imag())
+          << "workers=" << workers << " i=" << i;
+    }
+  }
+}
+
+TEST(SessionParity, NodeVoltageMatchesSweepPath) {
+  Netlist net;
+  NodeId out = kGround;
+  buildLadder(net, &out);
+  DcAnalysis dc(net);
+  DcResult op = dc.solve();
+  ASSERT_TRUE(op.converged);
+  AcAnalysis ac(net, op.x);
+
+  const auto sweep = ac.sweep(out, 1e3, 1e6, 6);
+  for (const auto& p : sweep) {
+    const auto v = ac.nodeVoltage(p.freqHz, out);
+    EXPECT_EQ(v.real(), p.value.real());
+    EXPECT_EQ(v.imag(), p.value.imag());
+  }
+  // solveAt returns the same full vector the workspace path produced.
+  const auto x = ac.solveAt(1e4);
+  EXPECT_EQ(x[static_cast<std::size_t>(out) - 1], ac.nodeVoltage(1e4, out));
+}
+
+TEST(SessionParity, BenchmarkMeasureWithSessionIsBitIdentical) {
+  // The golden-path guarantee at benchmark level: a full measure() with a
+  // pooled session reports exactly the specs of the serial measure().
+  circuit::TwoStageOpAmp serialAmp;
+  util::Rng rng(21);
+  const auto sizing = serialAmp.designSpace().sample(rng);
+  const auto ref = serialAmp.measureAt(sizing, circuit::Fidelity::Fine);
+
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    SimSession session(workers);
+    circuit::TwoStageOpAmp amp;
+    amp.setSession(&session);
+    const auto got = amp.measureAt(sizing, circuit::Fidelity::Fine);
+    EXPECT_EQ(got.valid, ref.valid) << "workers=" << workers;
+    ASSERT_EQ(got.specs.size(), ref.specs.size());
+    for (std::size_t i = 0; i < ref.specs.size(); ++i)
+      EXPECT_EQ(got.specs[i], ref.specs[i]) << "workers=" << workers << " spec=" << i;
+  }
+}
+
+TEST(SessionParity, ParallelChunksCoversEveryIndexOnce) {
+  for (std::size_t workers : {1u, 2u, 3u, 8u}) {
+    SimSession session(workers);
+    for (std::size_t n : {0u, 1u, 2u, 7u, 64u}) {
+      std::vector<std::atomic<int>> hits(n);
+      session.parallelChunks(n, [&](std::size_t b, std::size_t e, std::size_t slot) {
+        ASSERT_LT(slot, session.workerCount());
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+      });
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "workers=" << workers << " n=" << n;
+    }
+  }
+}
+
+TEST(SessionParity, ChunkPartitionIsDeterministic) {
+  // The chunk layout must depend only on (n, workerCount): record it twice.
+  SimSession session(4);
+  auto layout = [&session](std::size_t n) {
+    std::vector<std::pair<std::size_t, std::size_t>> chunks(session.workerCount(),
+                                                            {0, 0});
+    session.parallelChunks(n, [&](std::size_t b, std::size_t e, std::size_t slot) {
+      chunks[slot] = {b, e};
+    });
+    return chunks;
+  };
+  EXPECT_EQ(layout(13), layout(13));
+  EXPECT_EQ(layout(64), layout(64));
+}
+
+TEST(SessionParity, WorkersFromEnvDefaultsToOne) {
+  if (std::getenv("CRL_SPICE_WORKERS") == nullptr) {
+    EXPECT_EQ(SimSession::workersFromEnv(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace crl::spice
