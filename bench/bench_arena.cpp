@@ -1,0 +1,146 @@
+// Tape-arena A/B: the batched PPO update with PpoConfig::arenaUpdate on vs
+// off, per policy kind, at the benched minibatch size. The two modes run
+// identical arithmetic (the parity suites assert bit-equality); the measured
+// difference is purely the allocation strategy — slab nodes + pooled Mat
+// buffers + O(minibatch-node-count) reset vs make_shared/malloc/free churn.
+// Reported per mode: seconds per update, allocations per minibatch, bytes
+// per minibatch (the harness's operator-new hook), plus arena pool
+// statistics and process peak RSS.
+//
+//   CRL_BENCH_TRANSITIONS — buffer size per update (default 256)
+//   CRL_BENCH_REPS        — timed update() calls per point (default 3)
+//   --json                — machine-readable output (bench/harness.h)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/opamp.h"
+#include "circuit/rfpa.h"
+#include "harness.h"
+#include "nn/arena.h"
+
+using namespace crl;
+
+namespace {
+
+constexpr int kMaxSteps = 30;
+constexpr int kMinibatch = 32;
+
+std::FILE* tout = stdout;
+
+struct Workload {
+  const char* name;
+  core::PolicyKind kind;
+  bool opamp;
+};
+
+std::unique_ptr<envs::SizingEnv> makeEnv(const Workload& w,
+                                         std::shared_ptr<void>* keepAlive) {
+  if (w.opamp) {
+    auto amp = std::make_shared<circuit::TwoStageOpAmp>();
+    *keepAlive = amp;
+    return std::make_unique<envs::SizingEnv>(
+        *amp, envs::SizingEnvConfig{.maxSteps = kMaxSteps});
+  }
+  auto pa = std::make_shared<circuit::GanRfPa>();
+  *keepAlive = pa;
+  return std::make_unique<envs::SizingEnv>(
+      *pa, envs::SizingEnvConfig{.maxSteps = kMaxSteps,
+                                 .fidelity = circuit::Fidelity::Coarse});
+}
+
+/// Heap-vs-arena point at the benched minibatch — thin wrapper over the
+/// shared bench::measureUpdateCost plumbing.
+bench::UpdateCost measure(rl::Env& env, const Workload& w,
+                          std::vector<rl::Transition>& buffer, bool arena,
+                          int reps) {
+  rl::PpoConfig cfg;
+  cfg.minibatchSize = kMinibatch;
+  cfg.updateEpochs = 2;
+  cfg.batchedUpdate = true;
+  cfg.arenaUpdate = arena;
+  return bench::measureUpdateCost(env, w.kind, buffer, cfg, reps);
+}
+
+void runWorkload(const Workload& w, int transitions, int reps,
+                 bench::BenchJson& json) {
+  std::shared_ptr<void> keepAlive;
+  auto env = makeEnv(w, &keepAlive);
+  util::Rng initRng(3);
+  auto policy = core::makePolicy(w.kind, *env, initRng);
+  std::vector<rl::Transition> buffer =
+      bench::collectTransitions(*env, *policy, transitions, kMaxSteps);
+
+  const bench::UpdateCost heap = measure(*env, w, buffer, /*arena=*/false, reps);
+  const bench::UpdateCost arena = measure(*env, w, buffer, /*arena=*/true, reps);
+  std::fprintf(tout,
+               "%-12s heap:  %8.4f s/upd %10.1f allocs/mb %10.1f KiB/mb\n"
+               "%-12s arena: %8.4f s/upd %10.1f allocs/mb %10.1f KiB/mb"
+               "  (%.2fx faster, %.1fx fewer allocs)\n",
+               w.name, heap.seconds, heap.allocsPerMinibatch,
+               heap.bytesPerMinibatch / 1024.0, "", arena.seconds,
+               arena.allocsPerMinibatch, arena.bytesPerMinibatch / 1024.0,
+               heap.seconds / arena.seconds,
+               heap.allocsPerMinibatch /
+                   std::max(arena.allocsPerMinibatch, 1.0));
+  for (bool isArena : {false, true}) {
+    const bench::UpdateCost& c = isArena ? arena : heap;
+    const std::string mode = isArena ? "arena" : "heap";
+    json.record({{"bench", "arena"},
+                 {"workload", w.name},
+                 {"config", mode},
+                 {"unit", "seconds_per_update"}},
+                c.seconds);
+    json.record({{"bench", "arena"},
+                 {"workload", w.name},
+                 {"config", mode},
+                 {"unit", "allocs_per_minibatch"}},
+                c.allocsPerMinibatch);
+    json.record({{"bench", "arena"},
+                 {"workload", w.name},
+                 {"config", mode},
+                 {"unit", "bytes_per_minibatch"}},
+                c.bytesPerMinibatch);
+  }
+  json.record({{"bench", "arena"},
+               {"workload", w.name},
+               {"config", "arena-vs-heap"},
+               {"unit", "alloc_reduction_ratio"}},
+              heap.allocsPerMinibatch / std::max(arena.allocsPerMinibatch, 1.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int transitions = 256;
+  if (const char* v = std::getenv("CRL_BENCH_TRANSITIONS")) transitions = std::atoi(v);
+  transitions = std::max(transitions, 64);
+  int reps = 3;
+  if (const char* v = std::getenv("CRL_BENCH_REPS")) reps = std::atoi(v);
+  reps = std::max(reps, 1);
+
+  bench::BenchJson json(bench::BenchJson::flagged(argc, argv));
+  tout = json.tableStream();
+  std::fprintf(tout,
+               "tape arena benchmark (batched update, minibatch %d, %d "
+               "transitions, %d reps)\n\n",
+               kMinibatch, transitions, reps);
+  runWorkload({"opamp-fcnn", core::PolicyKind::BaselineA, true}, transitions,
+              reps, json);
+  runWorkload({"opamp-gcn", core::PolicyKind::GcnFc, true}, transitions, reps,
+              json);
+  runWorkload({"rfpa-gat", core::PolicyKind::GatFc, false}, transitions, reps,
+              json);
+  std::fprintf(tout, "\npeak RSS: %.1f MiB\n", bench::peakRssMib());
+  json.record({{"bench", "arena"},
+               {"workload", "all"},
+               {"config", "process"},
+               {"unit", "peak_rss_mib"}},
+              bench::peakRssMib());
+  json.flush();
+  return 0;
+}

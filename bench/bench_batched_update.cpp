@@ -13,15 +13,16 @@
 //   CRL_BENCH_REPS        — timed update() calls per point (default 3)
 //   --json                — machine-readable output (bench/harness.h)
 //
-// What to expect (single core): the FCNN baseline's sequential update is
-// dominated by per-transition graph-building overhead, so batching it wins
-// big (~2.1x at minibatch 32). The GNN towers pay a large cost floor that
-// batching cannot remove because both modes run the identical kernels on
-// the identical element count: std::tanh over the [B*n x hidden] node
-// embeddings (~0.5 ms of a ~3 ms minibatch iteration at B=32 on the
-// op-amp) plus the vectorized weight matmuls. That floor caps GCN-FC at
-// ~1.5x and GAT-FC at ~1.7x at minibatch 32, rising with B as the
-// remaining per-op overhead amortizes.
+// What to expect (single core, arena + fused kernels + SIMD cores — see
+// README "Update-path arena and fused kernels"): the FCNN baseline's
+// sequential update is dominated by per-transition graph-building overhead,
+// so batching it wins big (~1.9-2x at minibatch 32). The GNN towers pay the
+// shared kernel floor both modes run — the SIMD-dispatched matmul/attention
+// cores plus the scalar softmax exp — leaving GCN-FC at ~1.5x and GAT-FC at
+// ~1.5-1.8x at minibatch 32, rising with B as per-op overhead amortizes.
+// Against the PR 2 binary (same bench, old substrate), the batched update
+// itself is ~1.4x (GCN) / ~1.5x (GAT) faster at minibatch 32, with
+// allocations per minibatch down ~45x (bench_arena has the exact A/B).
 
 #include <algorithm>
 #include <chrono>
@@ -65,61 +66,18 @@ std::unique_ptr<envs::SizingEnv> makeEnv(const Workload& w,
                                  .fidelity = circuit::Fidelity::Coarse});
 }
 
-/// Roll the policy in the env (inference mode) to fill a transition buffer.
-std::vector<rl::Transition> collectBuffer(rl::Env& env,
-                                          const core::MultimodalPolicy& policy,
-                                          int transitions) {
-  std::vector<rl::Transition> buffer;
-  buffer.reserve(static_cast<std::size_t>(transitions));
-  util::Rng envRng(7), actRng(13);
-  rl::Observation obs = env.reset(envRng);
-  int age = 0;
-  while (static_cast<int>(buffer.size()) < transitions) {
-    rl::Transition tr;
-    rl::SampledAction act;
-    {
-      nn::NoGradGuard inference;
-      rl::PolicyOutput out = policy.forward(obs);
-      act = rl::sampleAction(out.logits.value(), actRng);
-      tr.obs = obs;
-      tr.columns = act.columns;
-      tr.logProb = act.logProb;
-      tr.value = out.value.item();
-    }
-    rl::StepResult res = env.step(act.actions);
-    ++age;
-    tr.reward = res.reward;
-    const bool terminal = res.done || age >= kMaxSteps;
-    tr.terminal = terminal;
-    buffer.push_back(std::move(tr));
-    if (terminal) {
-      obs = env.reset(envRng);
-      age = 0;
-    } else {
-      obs = std::move(res.obs);
-    }
-  }
-  return buffer;
-}
-
-/// Seconds per update() call over `reps` repetitions (after one warmup
-/// update that builds and caches the batch plans).
-double secondsPerUpdate(rl::Env& env, const Workload& w,
-                        std::vector<rl::Transition>& buffer, int minibatch,
-                        bool batched, int reps) {
-  util::Rng initRng(3);
-  auto policy = core::makePolicy(w.kind, env, initRng);
+/// Cost per update() call for one (minibatch, mode) point — thin wrapper
+/// over the shared bench::measureUpdateCost plumbing.
+bench::UpdateCost measureUpdate(rl::Env& env, const Workload& w,
+                                std::vector<rl::Transition>& buffer,
+                                int minibatch, bool batched, bool arena,
+                                int reps) {
   rl::PpoConfig cfg;
   cfg.minibatchSize = minibatch;
   cfg.updateEpochs = 2;
   cfg.batchedUpdate = batched;
-  rl::PpoTrainer trainer(env, *policy, cfg, util::Rng(11));
-  trainer.update(buffer);  // warmup: plan caches, allocator steady state
-  const auto t0 = std::chrono::steady_clock::now();
-  for (int r = 0; r < reps; ++r) trainer.update(buffer);
-  const double dt =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  return dt / reps;
+  cfg.arenaUpdate = arena;
+  return bench::measureUpdateCost(env, w.kind, buffer, cfg, reps);
 }
 
 void runWorkload(const Workload& w, int transitions, int reps,
@@ -128,33 +86,47 @@ void runWorkload(const Workload& w, int transitions, int reps,
   auto env = makeEnv(w, &keepAlive);
   util::Rng initRng(3);
   auto policy = core::makePolicy(w.kind, *env, initRng);
-  std::vector<rl::Transition> buffer = collectBuffer(*env, *policy, transitions);
+  std::vector<rl::Transition> buffer =
+      bench::collectTransitions(*env, *policy, transitions, kMaxSteps);
 
   std::fprintf(tout, "\n== %s (policy: %s, %d transitions, %d epochs per update) ==\n",
               w.name, policy->name(), transitions, 2);
-  std::fprintf(tout, "%-10s %16s %16s %10s\n", "minibatch", "sequential s/upd",
-              "batched s/upd", "speedup");
+  std::fprintf(tout, "%-10s %16s %16s %10s %12s %12s\n", "minibatch",
+              "sequential s/upd", "batched s/upd", "speedup", "allocs/mb",
+              "KiB/mb");
 
   for (int mb : {1, 8, 32, 64}) {
-    const double seq = secondsPerUpdate(*env, w, buffer, mb, false, reps);
-    const double bat = secondsPerUpdate(*env, w, buffer, mb, true, reps);
-    std::fprintf(tout, "%-10d %16.4f %16.4f %9.2fx\n", mb, seq, bat, seq / bat);
+    const bench::UpdateCost seq = measureUpdate(*env, w, buffer, mb, false, true, reps);
+    const bench::UpdateCost bat = measureUpdate(*env, w, buffer, mb, true, true, reps);
+    std::fprintf(tout, "%-10d %16.4f %16.4f %9.2fx %12.1f %12.1f\n", mb,
+                seq.seconds, bat.seconds, seq.seconds / bat.seconds,
+                bat.allocsPerMinibatch, bat.bytesPerMinibatch / 1024.0);
     const std::string mbs = std::to_string(mb);
     json.record({{"bench", "batched_update"},
                  {"workload", w.name},
                  {"config", "mb" + mbs + "-sequential"},
                  {"unit", "seconds_per_update"}},
-                seq);
+                seq.seconds);
     json.record({{"bench", "batched_update"},
                  {"workload", w.name},
                  {"config", "mb" + mbs + "-batched"},
                  {"unit", "seconds_per_update"}},
-                bat);
+                bat.seconds);
     json.record({{"bench", "batched_update"},
                  {"workload", w.name},
                  {"config", "mb" + mbs + "-speedup"},
                  {"unit", "ratio"}},
-                seq / bat);
+                seq.seconds / bat.seconds);
+    json.record({{"bench", "batched_update"},
+                 {"workload", w.name},
+                 {"config", "mb" + mbs + "-batched"},
+                 {"unit", "allocs_per_minibatch"}},
+                bat.allocsPerMinibatch);
+    json.record({{"bench", "batched_update"},
+                 {"workload", w.name},
+                 {"config", "mb" + mbs + "-batched"},
+                 {"unit", "bytes_per_minibatch"}},
+                bat.bytesPerMinibatch);
   }
 }
 
@@ -180,6 +152,12 @@ int main(int argc, char** argv) {
               json);
   runWorkload({"rfpa-coarse", core::PolicyKind::GatFc, false}, transitions, reps,
               json);
+  std::fprintf(tout, "\npeak RSS: %.1f MiB\n", bench::peakRssMib());
+  json.record({{"bench", "batched_update"},
+               {"workload", "all"},
+               {"config", "process"},
+               {"unit", "peak_rss_mib"}},
+              bench::peakRssMib());
   json.flush();
   return 0;
 }

@@ -45,9 +45,17 @@ int main(int argc, char** argv) {
       envs::SizingEnv env(amp, {.maxSteps = 50});
       util::Rng initRng(100 + static_cast<std::uint64_t>(seed));
       auto policy = core::makePolicy(kind, env, initRng);
+      // Batched PPO update (default since the arena/fused-kernel PR): one
+      // autograd graph per minibatch instead of one per transition. Curves
+      // differ from the sequential path only by float summation order; the
+      // batched golden tests (test_golden_curves) pin this path, and the
+      // sequential goldens keep pinning the old one.
+      rl::PpoConfig ppo;
+      ppo.batchedUpdate = true;
       auto out = bench::trainWithCurves(env, env, *policy, episodes, evalEvery,
                                         /*evalEpisodes=*/25,
-                                        /*seed=*/static_cast<std::uint64_t>(seed));
+                                        /*seed=*/static_cast<std::uint64_t>(seed),
+                                        ppo);
       bench::writeCurveCsv(
           scale.path("fig3_opamp_" + method + "_s" + std::to_string(seed) + ".csv"),
           method, seed, out.curve);

@@ -40,9 +40,13 @@ int main(int argc, char** argv) {
       envs::SizingEnv evalEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Fine});
       util::Rng initRng(200 + static_cast<std::uint64_t>(seed));
       auto policy = core::makePolicy(kind, trainEnv, initRng);
+      // Batched PPO update by default (see fig3_opamp_training.cpp).
+      rl::PpoConfig ppo;
+      ppo.batchedUpdate = true;
       auto out = bench::trainWithCurves(trainEnv, evalEnv, *policy, episodes, evalEvery,
                                         /*evalEpisodes=*/15,
-                                        /*seed=*/17 + static_cast<std::uint64_t>(seed));
+                                        /*seed=*/17 + static_cast<std::uint64_t>(seed),
+                                        ppo);
       bench::writeCurveCsv(
           scale.path("fig3_rfpa_" + method + "_s" + std::to_string(seed) + ".csv"),
           method, seed, out.curve);

@@ -16,15 +16,21 @@
 //                only attach sessions when seeds run serially — the two
 //                parallelism axes do not nest.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <initializer_list>
 #include <iostream>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
+
+#if defined(__unix__)
+#include <sys/resource.h>
+#endif
 
 #include "core/deploy.h"
 #include "core/policies.h"
@@ -37,6 +43,54 @@
 #include "util/thread_pool.h"
 
 namespace crl::bench {
+
+// ---- allocation accounting ------------------------------------------------
+//
+// Every bench binary that includes this header replaces the global operator
+// new/delete with counting wrappers (each bench target is a single TU, so
+// the replacement is well-formed and applies to the whole binary, static
+// library included). The counters feed the bytes/allocs-per-minibatch rows
+// of bench_batched_update and bench_arena; define CRL_BENCH_NO_ALLOC_HOOK
+// before including harness.h to opt a bench out.
+
+namespace alloc_detail {
+inline std::atomic<std::uint64_t> gAllocCount{0};
+inline std::atomic<std::uint64_t> gAllocBytes{0};
+}  // namespace alloc_detail
+
+/// Cumulative allocation counters since process start.
+struct AllocCounters {
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+};
+
+inline AllocCounters allocSnapshot() {
+  return {alloc_detail::gAllocCount.load(std::memory_order_relaxed),
+          alloc_detail::gAllocBytes.load(std::memory_order_relaxed)};
+}
+
+/// Allocations/bytes between construction and delta().
+class AllocScope {
+ public:
+  AllocScope() : start_(allocSnapshot()) {}
+  AllocCounters delta() const {
+    AllocCounters now = allocSnapshot();
+    return {now.allocs - start_.allocs, now.bytes - start_.bytes};
+  }
+
+ private:
+  AllocCounters start_;
+};
+
+/// Peak resident set size in MiB (0 where unsupported).
+inline double peakRssMib() {
+#if defined(__unix__)
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0)
+    return static_cast<double>(ru.ru_maxrss) / 1024.0;  // ru_maxrss is KiB on Linux
+#endif
+  return 0.0;
+}
 
 /// Machine-readable bench output (`--json` flag): benches record flat
 /// string-field + value rows while printing their human tables, and a JSON
@@ -117,6 +171,82 @@ struct Scale {
   int episodes(int base) const { return std::max(50, static_cast<int>(base * scale)); }
   std::string path(const std::string& file) const { return outDir + "/" + file; }
 };
+
+// ---- update-path bench plumbing ------------------------------------------
+// Shared by bench_batched_update and bench_arena so their buffers, warmup
+// policy, and per-minibatch cost accounting cannot drift apart.
+
+/// Roll `policy` in `env` under a NoGradGuard until `transitions` transitions
+/// are buffered (fixed env/action RNG streams, so every bench sees the same
+/// buffer for a given policy).
+inline std::vector<rl::Transition> collectTransitions(
+    rl::Env& env, const core::MultimodalPolicy& policy, int transitions,
+    int maxSteps) {
+  std::vector<rl::Transition> buffer;
+  buffer.reserve(static_cast<std::size_t>(transitions));
+  util::Rng envRng(7), actRng(13);
+  rl::Observation obs = env.reset(envRng);
+  int age = 0;
+  while (static_cast<int>(buffer.size()) < transitions) {
+    rl::Transition tr;
+    rl::SampledAction act;
+    {
+      nn::NoGradGuard inference;
+      rl::PolicyOutput out = policy.forward(obs);
+      act = rl::sampleAction(out.logits.value(), actRng);
+      tr.obs = obs;
+      tr.columns = act.columns;
+      tr.logProb = act.logProb;
+      tr.value = out.value.item();
+    }
+    rl::StepResult res = env.step(act.actions);
+    ++age;
+    tr.reward = res.reward;
+    const bool terminal = res.done || age >= maxSteps;
+    tr.terminal = terminal;
+    buffer.push_back(std::move(tr));
+    if (terminal) {
+      obs = env.reset(envRng);
+      age = 0;
+    } else {
+      obs = std::move(res.obs);
+    }
+  }
+  return buffer;
+}
+
+struct UpdateCost {
+  double seconds = 0.0;  ///< per update() call
+  double allocsPerMinibatch = 0.0;
+  double bytesPerMinibatch = 0.0;
+};
+
+/// Cost per PpoTrainer::update over `reps` repetitions with a freshly
+/// initialized policy of `kind`, after one warmup update (plan caches,
+/// arena pool steady state). Allocation counters come from the harness's
+/// global operator-new hook.
+inline UpdateCost measureUpdateCost(rl::Env& env, core::PolicyKind kind,
+                                    std::vector<rl::Transition>& buffer,
+                                    rl::PpoConfig cfg, int reps) {
+  util::Rng initRng(3);
+  auto policy = core::makePolicy(kind, env, initRng);
+  rl::PpoTrainer trainer(env, *policy, cfg, util::Rng(11));
+  trainer.update(buffer);  // warmup
+  const std::size_t mb = static_cast<std::size_t>(cfg.minibatchSize);
+  const std::size_t minibatchesPerUpdate =
+      static_cast<std::size_t>(cfg.updateEpochs) *
+      ((buffer.size() + mb - 1) / mb);
+  AllocScope allocs;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) trainer.update(buffer);
+  const double dt =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const AllocCounters d = allocs.delta();
+  const double mbCount =
+      static_cast<double>(minibatchesPerUpdate) * static_cast<double>(reps);
+  return {dt / reps, static_cast<double>(d.allocs) / mbCount,
+          static_cast<double>(d.bytes) / mbCount};
+}
 
 /// Wall-clock seconds since t0 (shared bench timing helper).
 inline double secondsSince(std::chrono::steady_clock::time_point t0) {
@@ -238,3 +368,26 @@ inline const std::vector<core::PolicyKind>& fig3Methods() {
 }
 
 }  // namespace crl::bench
+
+#ifndef CRL_BENCH_NO_ALLOC_HOOK
+// Counting global allocator (see "allocation accounting" above). The
+// replacements live at global scope; each bench executable is one TU, so
+// these definitions are the binary's operator new/delete. The nothrow forms
+// forward to these via the standard library; the align_val_t forms do NOT
+// (libstdc++ implements them over aligned_alloc directly), so over-aligned
+// types would escape the counters — none exist on the update path today,
+// and the buffers that matter (Mat = std::vector<double>) all route here.
+inline void* crlBenchCountedAlloc(std::size_t n) {
+  crl::bench::alloc_detail::gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  crl::bench::alloc_detail::gAllocBytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n) { return crlBenchCountedAlloc(n); }
+void* operator new[](std::size_t n) { return crlBenchCountedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // CRL_BENCH_NO_ALLOC_HOOK

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/arena.h"
+
 namespace crl::core {
 
 const char* policyKindName(PolicyKind kind) {
@@ -74,22 +76,25 @@ nn::Tensor GnnFcTower::forwardBatch(const std::vector<rl::Observation>& obs,
   if (useGraph_) {
     const std::size_t nodes = obs[0].nodeFeatures.rows();
     const std::size_t dim = obs[0].nodeFeatures.cols();
-    linalg::Mat stacked(batch * nodes, dim);
+    // Staging buffers come from the update's tape arena when one is
+    // recording (pooledMat is a fresh Mat otherwise); encodeBatch moves
+    // them into graph nodes, which reclaim them at the arena reset.
+    linalg::Mat stacked = nn::pooledMat(batch * nodes, dim);
     for (std::size_t i = 0; i < batch; ++i)
       for (std::size_t r = 0; r < nodes; ++r)
         for (std::size_t c = 0; c < dim; ++c)
           stacked(i * nodes + r, c) = obs[i].nodeFeatures(r, c);
-    features = graphEnc_->encodeBatch(stacked, batch, normAdj, mask);
+    features = graphEnc_->encodeBatch(std::move(stacked), batch, normAdj, mask);
   } else {
     const std::size_t numParams = obs[0].paramsNorm.size();
-    linalg::Mat params(batch, numParams);
+    linalg::Mat params = nn::pooledMat(batch, numParams);
     for (std::size_t i = 0; i < batch; ++i)
       for (std::size_t c = 0; c < numParams; ++c) params(i, c) = obs[i].paramsNorm[c];
     features = paramNet_->forward(nn::Tensor(std::move(params)));
   }
   if (useSpecs_) {
     const std::size_t numSpecs = obs[0].specNow.size();
-    linalg::Mat specs(batch, 2 * numSpecs);
+    linalg::Mat specs = nn::pooledMat(batch, 2 * numSpecs);
     for (std::size_t i = 0; i < batch; ++i) {
       for (std::size_t c = 0; c < numSpecs; ++c) {
         specs(i, c) = obs[i].specNow[c];

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "nn/arena.h"
+
 namespace crl::gnn {
 
 using nn::Tensor;
@@ -12,16 +14,14 @@ GcnLayer::GcnLayer(std::size_t in, std::size_t out, util::Rng& rng, nn::Activati
       act_(act) {}
 
 Tensor GcnLayer::forward(const Tensor& h, const linalg::Mat& normAdj) const {
-  Tensor agg = nn::matmulConstLeft(normAdj, h);         // A* H
-  Tensor z = nn::addRowBroadcast(nn::matmul(agg, w_), b_);  // A* H W + b
-  return nn::activate(z, act_);
+  // act(A* H W + b) as one fused tape node (bit-identical to the unfused
+  // matmulConstLeft + matmul + bias + activation chain).
+  return nn::fusedGcnLayer(normAdj, 1, h, w_, b_, act_);
 }
 
 Tensor GcnLayer::forwardBatch(const Tensor& h, const linalg::Mat& normAdj,
                               std::size_t count) const {
-  Tensor agg = nn::matmulBlockDiagConstLeft(normAdj, count, h);  // diag(A*) H
-  Tensor z = nn::addRowBroadcast(nn::matmul(agg, w_), b_);
-  return nn::activate(z, act_);
+  return nn::fusedGcnLayer(normAdj, count, h, w_, b_, act_);  // diag(A*) H W + b
 }
 
 GatLayer::GatLayer(std::size_t in, std::size_t headDim, std::size_t heads,
@@ -37,51 +37,40 @@ GatLayer::GatLayer(std::size_t in, std::size_t headDim, std::size_t heads,
 
 Tensor GatLayer::headForward(const Tensor& h, const linalg::Mat& mask,
                              std::size_t k) const {
-  const std::size_t n = h.rows();
+  // Three tape nodes per head: hw = h W, the fused attention-logit chain
+  // (src/dst projections + src_i + dst_j + leakyRelu + mask), and the fused
+  // row-softmax + attention mixing — all bit-identical to the unfused op
+  // chains (tests/nn/test_fused.cpp).
   Tensor hw = nn::matmul(h, wPerHead_[k]);         // n x d
-  Tensor src = nn::matmul(hw, aSrc_[k]);           // n x 1
-  Tensor dst = nn::matmul(hw, aDst_[k]);           // n x 1
-  // e_ij = src_i + dst_j via rank-1 broadcasts with constant one-vectors.
-  Tensor onesRow(linalg::Mat(1, n, 1.0));
-  Tensor onesCol(linalg::Mat(n, 1, 1.0));
-  Tensor e = nn::add(nn::matmul(src, onesRow), nn::matmul(onesCol, nn::transpose(dst)));
-  e = nn::leakyRelu(e, 0.2);
-  e = nn::addConst(e, mask);                       // -1e9 off-neighbourhood
-  Tensor alpha = nn::softmaxRows(e);
-  return nn::matmul(alpha, hw);
+  Tensor e = nn::fusedGatLogits(hw, aSrc_[k], aDst_[k], mask, 1, 0.2);
+  return nn::fusedSoftmaxMatmulBlocks(e, hw, 1);
 }
 
 Tensor GatLayer::forward(const Tensor& h, const linalg::Mat& mask) const {
-  Tensor out = headForward(h, mask, 0);
-  for (std::size_t k = 1; k < wPerHead_.size(); ++k)
-    out = nn::concatCols(out, headForward(h, mask, k));
-  return nn::activate(out, act_);
+  std::vector<Tensor> heads;
+  heads.reserve(wPerHead_.size());
+  for (std::size_t k = 0; k < wPerHead_.size(); ++k)
+    heads.push_back(headForward(h, mask, k));
+  return nn::activate(nn::concatColsAll(heads), act_);
 }
 
 Tensor GatLayer::headForwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
-                                  std::size_t n, std::size_t count,
-                                  std::size_t k) const {
+                                  std::size_t count, std::size_t k) const {
+  // Block-local attention: e is [count*n x n] — row g*n+i holds node i's
+  // logits over graph g's own n nodes — instead of a dense
+  // [count*n x count*n], so cost stays linear in the batch.
   Tensor hw = nn::matmul(h, wPerHead_[k]);         // count*n x d
-  Tensor src = nn::matmul(hw, aSrc_[k]);           // count*n x 1
-  Tensor dst = nn::matmul(hw, aDst_[k]);           // count*n x 1
-  // Block-local e: row g*n+i holds e_ij = src_i + dst_j over graph g's own
-  // nodes j — [count*n x n] instead of a dense [count*n x count*n].
-  Tensor onesRow(linalg::Mat(1, n, 1.0));
-  Tensor e = nn::add(nn::matmul(src, onesRow),
-                     nn::repeatRows(nn::reshape(dst, count, n), n));
-  e = nn::leakyRelu(e, 0.2);
-  e = nn::addConst(e, tiledMask);
-  Tensor alpha = nn::softmaxRows(e);               // per-node over its graph
-  return nn::matmulBlocks(alpha, hw, count);       // alpha_g * hw_g
+  Tensor e = nn::fusedGatLogits(hw, aSrc_[k], aDst_[k], tiledMask, count, 0.2);
+  return nn::fusedSoftmaxMatmulBlocks(e, hw, count);
 }
 
 Tensor GatLayer::forwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
                               std::size_t count) const {
-  const std::size_t n = tiledMask.cols();
-  Tensor out = headForwardBatch(h, tiledMask, n, count, 0);
-  for (std::size_t k = 1; k < wPerHead_.size(); ++k)
-    out = nn::concatCols(out, headForwardBatch(h, tiledMask, n, count, k));
-  return nn::activate(out, act_);
+  std::vector<Tensor> heads;
+  heads.reserve(wPerHead_.size());
+  for (std::size_t k = 0; k < wPerHead_.size(); ++k)
+    heads.push_back(headForwardBatch(h, tiledMask, count, k));
+  return nn::activate(nn::concatColsAll(heads), act_);
 }
 
 std::vector<Tensor> GatLayer::parameters() const {
@@ -141,20 +130,23 @@ Tensor GraphEncoder::encode(const linalg::Mat& features, const linalg::Mat& norm
   return nn::meanRows(nodeEmbeddings(features, normAdj, mask));
 }
 
-Tensor GraphEncoder::encodeBatch(const linalg::Mat& stackedFeatures,
-                                 std::size_t count, const linalg::Mat& normAdj,
+Tensor GraphEncoder::encodeBatch(linalg::Mat stackedFeatures, std::size_t count,
+                                 const linalg::Mat& normAdj,
                                  const linalg::Mat& mask) const {
-  Tensor h(stackedFeatures);
+  Tensor h(std::move(stackedFeatures));
   if (cfg_.variant == Variant::Gcn) {
     for (const auto& layer : gcn_) h = layer.forwardBatch(h, normAdj, count);
   } else {
-    // Tile the constant mask once for all layers.
+    // Tile the constant mask once for all layers (pooled under an arena —
+    // the layers copy it into their masked-logit nodes, so it can go back
+    // to the pool as soon as the forward sweep is done).
     const std::size_t n = mask.rows();
-    linalg::Mat tiledMask(count * n, n);
+    linalg::Mat tiledMask = nn::pooledMat(count * n, n);
     for (std::size_t g = 0; g < count; ++g)
       for (std::size_t r = 0; r < n; ++r)
         for (std::size_t c = 0; c < n; ++c) tiledMask(g * n + r, c) = mask(r, c);
     for (const auto& layer : gat_) h = layer.forwardBatch(h, tiledMask, count);
+    nn::reclaimPooledMat(std::move(tiledMask));
   }
   return nn::meanPoolGroups(h, count);
 }

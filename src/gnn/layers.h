@@ -22,7 +22,9 @@ class GcnLayer {
   GcnLayer(std::size_t in, std::size_t out, util::Rng& rng,
            nn::Activation act = nn::Activation::Tanh);
 
-  /// normAdj is CircuitGraph::normalizedAdjacency().
+  /// normAdj is CircuitGraph::normalizedAdjacency(). It is captured by
+  /// reference into the recorded graph (nn::fusedGcnLayer) and must outlive
+  /// the backward pass — pass the policy-owned matrix, never a temporary.
   Tensor forward(const Tensor& h, const linalg::Mat& normAdj) const;
   /// Batched forward over `count` stacked graphs sharing one topology:
   /// propagation multiplies by diag(normAdj, ..., normAdj) block-wise, so
@@ -67,7 +69,7 @@ class GatLayer {
  private:
   Tensor headForward(const Tensor& h, const linalg::Mat& mask, std::size_t k) const;
   Tensor headForwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
-                          std::size_t n, std::size_t count, std::size_t k) const;
+                          std::size_t count, std::size_t k) const;
 
   std::size_t headDim_;
   std::vector<Tensor> wPerHead_;
@@ -107,7 +109,9 @@ class GraphEncoder {
   /// graph's node rows. Returns the [N x hidden] matrix of graph
   /// embeddings; gradients are recorded unless a NoGradGuard is alive, so
   /// the batched PPO update can backpropagate through the whole minibatch.
-  Tensor encodeBatch(const linalg::Mat& stackedFeatures, std::size_t count,
+  /// Takes the stacked features by value: the buffer moves into the input
+  /// graph node (arena-pooled staging buffers stay pooled).
+  Tensor encodeBatch(linalg::Mat stackedFeatures, std::size_t count,
                      const linalg::Mat& normAdj, const linalg::Mat& mask) const;
 
   std::vector<Tensor> parameters() const;

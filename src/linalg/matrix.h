@@ -11,7 +11,10 @@
 #include <cstddef>
 #include <initializer_list>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
+
+#include "linalg/simd_kernels.h"
 
 namespace crl::linalg {
 
@@ -21,6 +24,13 @@ class Matrix {
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols, T fill = T{})
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Adopt an existing buffer (the arena pool recycles vectors this way).
+  Matrix(std::size_t rows, std::size_t cols, std::vector<T>&& data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    if (data_.size() != rows_ * cols_)
+      throw std::invalid_argument("Matrix: adopted buffer size mismatch");
+  }
 
   /// Construct from nested initializer list: Matrix<double>{{1,2},{3,4}}.
   Matrix(std::initializer_list<std::initializer_list<T>> init) {
@@ -62,16 +72,28 @@ class Matrix {
 
   Matrix& operator+=(const Matrix& o) {
     checkSameShape(o);
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    if constexpr (std::is_same_v<T, double>) {
+      simd::addInPlaceKernel(data_.data(), o.data_.data(), data_.size());
+    } else {
+      for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    }
     return *this;
   }
   Matrix& operator-=(const Matrix& o) {
     checkSameShape(o);
-    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    if constexpr (std::is_same_v<T, double>) {
+      simd::subInPlaceKernel(data_.data(), o.data_.data(), data_.size());
+    } else {
+      for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    }
     return *this;
   }
   Matrix& operator*=(T s) {
-    for (auto& v : data_) v *= s;
+    if constexpr (std::is_same_v<T, double>) {
+      simd::scaleInPlaceKernel(data_.data(), s, data_.size());
+    } else {
+      for (auto& v : data_) v *= s;
+    }
     return *this;
   }
 
@@ -104,51 +126,80 @@ using CMat = Matrix<std::complex<double>>;
 using Vec = std::vector<double>;
 using CVec = std::vector<std::complex<double>>;
 
-/// Dense matmul C = A * B. The saxpy-style inner loop runs on raw row
-/// pointers so the compiler can vectorize it; accumulation order (and the
-/// sparse zero-skip) is unchanged, so results are bit-identical to the
-/// classic indexed loop.
+/// Dense matmul C += A * B into a caller-provided zero-filled C (the arena
+/// pool hands out recycled zeroed buffers, keeping the autograd hot path
+/// allocation-free). The double case runs the runtime-dispatched SIMD core
+/// (simd_kernels.h) — identical saxpy loop nest and accumulation order (and
+/// sparse zero-skip), so results are bit-identical to the classic indexed
+/// loop at every vector width.
 template <typename T>
-Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+void matmulInto(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   if (a.cols() != b.rows()) throw std::invalid_argument("matmul: inner dim mismatch");
+  if (c.rows() != a.rows() || c.cols() != b.cols())
+    throw std::invalid_argument("matmulInto: output shape mismatch");
   const std::size_t kk = a.cols(), n = b.cols();
-  Matrix<T> c(a.rows(), n);
-  const T* ap = a.data();
-  const T* bp = b.data();
-  T* cp = c.data();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const T* arow = ap + i * kk;
-    T* crow = cp + i * n;
-    for (std::size_t k = 0; k < kk; ++k) {
-      const T aik = arow[k];
-      if (aik == T{}) continue;
-      const T* brow = bp + k * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  if constexpr (std::is_same_v<T, double>) {
+    simd::matmulKernel(c.data(), a.data(), b.data(), a.rows(), kk, n);
+    return;
+  } else {
+    const T* ap = a.data();
+    const T* bp = b.data();
+    T* cp = c.data();
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const T* arow = ap + i * kk;
+      T* crow = cp + i * n;
+      for (std::size_t k = 0; k < kk; ++k) {
+        const T aik = arow[k];
+        if (aik == T{}) continue;
+        const T* brow = bp + k * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
     }
   }
+}
+
+/// Dense matmul C = A * B.
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c(a.rows(), b.cols());
+  matmulInto(c, a, b);
   return c;
 }
 
-/// C = A^T * B without materializing the transpose: c(k,j) = sum_i a(i,k) b(i,j).
-/// Summation order over i matches matmul(a.transposed(), b) exactly.
+/// C += A^T * B without materializing the transpose: c(k,j) = sum_i a(i,k)
+/// b(i,j), into a caller-provided zero-filled C. Summation order over i
+/// matches matmul(a.transposed(), b) exactly.
 template <typename T>
-Matrix<T> matmulAtB(const Matrix<T>& a, const Matrix<T>& b) {
+void matmulAtBInto(Matrix<T>& c, const Matrix<T>& a, const Matrix<T>& b) {
   if (a.rows() != b.rows()) throw std::invalid_argument("matmulAtB: dim mismatch");
+  if (c.rows() != a.cols() || c.cols() != b.cols())
+    throw std::invalid_argument("matmulAtBInto: output shape mismatch");
   const std::size_t kk = a.cols(), n = b.cols();
-  Matrix<T> c(kk, n);
-  const T* ap = a.data();
-  const T* bp = b.data();
-  T* cp = c.data();
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const T* arow = ap + i * kk;
-    const T* brow = bp + i * n;
-    for (std::size_t k = 0; k < kk; ++k) {
-      const T aik = arow[k];
-      if (aik == T{}) continue;
-      T* crow = cp + k * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  if constexpr (std::is_same_v<T, double>) {
+    simd::matmulAtBKernel(c.data(), a.data(), b.data(), a.rows(), kk, n);
+    return;
+  } else {
+    const T* ap = a.data();
+    const T* bp = b.data();
+    T* cp = c.data();
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      const T* arow = ap + i * kk;
+      const T* brow = bp + i * n;
+      for (std::size_t k = 0; k < kk; ++k) {
+        const T aik = arow[k];
+        if (aik == T{}) continue;
+        T* crow = cp + k * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
     }
   }
+}
+
+/// C = A^T * B.
+template <typename T>
+Matrix<T> matmulAtB(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> c(a.cols(), b.cols());
+  matmulAtBInto(c, a, b);
   return c;
 }
 

@@ -1,0 +1,103 @@
+#pragma once
+// Runtime-dispatched SIMD cores for the double-precision hot loops.
+//
+// The autograd update path spends ~70% of a batched minibatch inside a
+// handful of dense loop nests (matmul, A^T B, block-diagonal propagation,
+// block-local attention mixing, Adam). Compiled into the generic library
+// TUs they target baseline x86-64 (16-byte vectors); this TU compiles each
+// core once per ISA via `target_clones` (AVX-512 / AVX2 / baseline) and
+// glibc's ifunc machinery picks the widest supported at load time.
+//
+// Bit-identity contract: every kernel runs the EXACT loop structure and
+// per-element accumulation order of the scalar code it replaces — lanes of
+// a vectorized element-independent loop are separate IEEE op chains, so
+// widening the vectors cannot change results. The TU is compiled with
+// `-ffp-contract=off` (no FMA contraction — a fused multiply-add rounds
+// once, not twice) and `-fno-math-errno` (lets sqrt lower to vsqrtpd;
+// errno is never inspected and the rounding is unchanged). The golden
+// suites (`ctest -L golden`) pin this: they were recorded before this TU
+// existed and still match bit-for-bit.
+
+#include <cstddef>
+
+namespace crl::linalg::simd {
+
+/// C += A * B (row-major, C pre-zeroed by the caller): the saxpy i/k/j nest
+/// of linalg::matmulInto, including its sparse zero-skip.
+void matmulKernel(double* c, const double* a, const double* b,
+                  std::size_t rows, std::size_t kk, std::size_t n);
+
+/// C += A^T * B without materializing the transpose: the i/k/j nest of
+/// linalg::matmulAtBInto (per-element accumulation ascends over i).
+void matmulAtBKernel(double* c, const double* a, const double* b,
+                     std::size_t rows, std::size_t kk, std::size_t n);
+
+/// y += diag(blk, ..., blk) x with `repeat` copies of the n x n block along
+/// the diagonal; x/y are [repeat*n x m]. `transposed` reads blk(k, r)
+/// instead of blk(r, k) (the backward pass), in the same element order as a
+/// materialized transpose.
+void blockDiagKernel(double* y, const double* blk, std::size_t n,
+                     std::size_t repeat, const double* x, std::size_t m,
+                     bool transposed);
+
+/// out += a_g * b_g per block (a [blocks*r x k], b [blocks*k x m], out
+/// pre-zeroed): the value kernel of matmulBlocks / the fused GAT mixing op.
+void blocksMatmulKernel(double* out, const double* a, const double* b,
+                        std::size_t blocks, std::size_t r, std::size_t k,
+                        std::size_t m);
+
+/// The backward of the block-local attention mix: da(g*r+i, kk) is the dot
+/// of grad row g*r+i with b row g*k+kk (da fully overwritten), and
+/// db += alpha^T-routed grad saxpy (db pre-zeroed) — loop order identical
+/// to the in-line scalar version in fusedSoftmaxMatmulBlocks.
+void gatMixBackwardKernel(double* da, double* db, const double* alpha,
+                          const double* b, const double* g, std::size_t blocks,
+                          std::size_t r, std::size_t k, std::size_t m);
+
+/// The GAT attention-logit assembly: e(g*n+i, j) = leakyRelu(src[g*n+i] +
+/// dst[g*n+j]) + mask(g*n+i, j), with the pre-activation values saved for
+/// the backward pass. Element arithmetic matches the unfused
+/// outer-product + repeatRows + add + leakyRelu + addConst chain exactly
+/// (the 0.0 + src term reproduces the outer product's zeroed accumulator).
+void gatLogitsKernel(double* e, double* pre, const double* src,
+                     const double* dst, const double* mask, std::size_t blocks,
+                     std::size_t n, double slope);
+
+/// Backward of gatLogitsKernel: dpre = leakyRelu'(pre) .* grad, dsrc row
+/// sums (k-ascending with the matmul zero-skip), ddst per-block column sums
+/// (i-ascending, no skip — repeatRows backward has none).
+void gatLogitsBackwardKernel(double* dsrc, double* ddst, double* dpre,
+                             const double* pre, const double* grad,
+                             std::size_t blocks, std::size_t n, double slope);
+
+/// One Adam update over a parameter buffer: the exact per-element update of
+/// Adam::step (m/v decay, bias-corrected divide, sqrt) — vectorized sqrt
+/// and divide are correctly-rounded IEEE ops, so results match the scalar
+/// loop bit-for-bit.
+void adamStepKernel(double* value, double* m, double* v, const double* grad,
+                    std::size_t count, double beta1, double beta2, double lr,
+                    double eps, double bc1, double bc2);
+
+/// dz[i] = actBackward(y[i]) * g[i] for the output-recoverable activations
+/// of the fused layer kernels. `kind` indexes {tanh, relu, leakyRelu(0.2),
+/// sigmoid} — per-element expressions identical to the unfused pointwise
+/// backward ops.
+enum class ActKind { Tanh, Relu, LeakyRelu, Sigmoid };
+void activationBackwardKernel(double* dz, const double* y, const double* g,
+                              std::size_t count, ActKind kind);
+
+/// out[c] += column sums of g ([rows x cols], r-ascending per column) — the
+/// bias gradient of the fused linear/GCN layers.
+void biasRowSumKernel(double* out, const double* g, std::size_t rows,
+                      std::size_t cols);
+
+/// a[i] += b[i] (gradient accumulation).
+void addInPlaceKernel(double* a, const double* b, std::size_t count);
+
+/// a[i] -= b[i].
+void subInPlaceKernel(double* a, const double* b, std::size_t count);
+
+/// a[i] *= s (gradient clipping / sign flips).
+void scaleInPlaceKernel(double* a, double s, std::size_t count);
+
+}  // namespace crl::linalg::simd

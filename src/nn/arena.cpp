@@ -1,0 +1,84 @@
+#include "nn/arena.h"
+
+namespace crl::nn {
+
+namespace {
+thread_local GraphArena* tlArena = nullptr;
+}  // namespace
+
+struct GraphArena::NodeSlab {
+  static constexpr std::size_t kNodes = 256;
+  alignas(detail::Node) unsigned char storage[kNodes * sizeof(detail::Node)];
+
+  detail::Node* at(std::size_t i) {
+    return reinterpret_cast<detail::Node*>(storage + i * sizeof(detail::Node));
+  }
+};
+
+std::shared_ptr<detail::Node> GraphArena::allocateNode() {
+  const std::size_t slab = used_ / NodeSlab::kNodes;
+  const std::size_t offset = used_ % NodeSlab::kNodes;
+  if (slab == slabs_.size()) slabs_.push_back(std::make_shared<NodeSlab>());
+  detail::Node* n = new (slabs_[slab]->at(offset)) detail::Node();
+  ++used_;
+  // Aliasing constructor: the handle shares the slab's control block, so no
+  // per-node allocation happens and outstanding handles keep the slab's raw
+  // memory alive even across reset()/arena destruction.
+  return std::shared_ptr<detail::Node>(slabs_[slab], n);
+}
+
+linalg::Mat GraphArena::acquireMat(std::size_t rows, std::size_t cols, bool zeroed) {
+  const std::size_t n = rows * cols;
+  auto it = pool_.find(n);
+  if (it != pool_.end() && !it->second.empty()) {
+    std::vector<double> buf = std::move(it->second.back());
+    it->second.pop_back();
+    if (zeroed)
+      buf.assign(n, 0.0);
+    else
+      buf.resize(n);
+    ++poolHits_;
+    return linalg::Mat(rows, cols, std::move(buf));
+  }
+  ++poolMisses_;
+  return linalg::Mat(rows, cols);
+}
+
+void GraphArena::reclaimMat(linalg::Mat&& m) {
+  std::vector<double> buf = std::move(m.raw());
+  if (buf.capacity() == 0) return;
+  pool_[buf.capacity()].push_back(std::move(buf));
+}
+
+void GraphArena::reset() {
+  for (std::size_t i = 0; i < used_; ++i) {
+    detail::Node* n = slabs_[i / NodeSlab::kNodes]->at(i % NodeSlab::kNodes);
+    reclaimMat(std::move(n->value));
+    reclaimMat(std::move(n->grad));
+    reclaimMat(std::move(n->ctx));
+    n->~Node();
+  }
+  used_ = 0;
+}
+
+std::size_t GraphArena::pooledBuffers() const {
+  std::size_t total = 0;
+  for (const auto& [size, bucket] : pool_) total += bucket.size();
+  return total;
+}
+
+ArenaScope::ArenaScope(GraphArena& arena) : prev_(tlArena) { tlArena = &arena; }
+ArenaScope::~ArenaScope() { tlArena = prev_; }
+
+GraphArena* activeArena() { return tlArena; }
+
+linalg::Mat pooledMat(std::size_t rows, std::size_t cols) {
+  if (tlArena && !inferenceMode()) return tlArena->acquireMat(rows, cols);
+  return linalg::Mat(rows, cols);
+}
+
+void reclaimPooledMat(linalg::Mat&& m) {
+  if (tlArena && !inferenceMode()) tlArena->reclaimMat(std::move(m));
+}
+
+}  // namespace crl::nn

@@ -1,0 +1,113 @@
+#pragma once
+// Tape arena for the autograd substrate.
+//
+// The PPO update builds and frees one whole computation graph per minibatch.
+// On the heap path every op pays a `make_shared<Node>` (control block + node),
+// a fresh value `Mat`, fresh backward deltas, and the matching frees when the
+// tape unwinds — the memory-pass overhead that dominates the batched update
+// once the kernels themselves are vectorized. `GraphArena` removes all of it:
+//
+//  * Nodes are placement-new'd into slabs; handles are aliased
+//    `shared_ptr<Node>`s that share the slab's control block, so no per-node
+//    control-block allocation and no per-node free.
+//  * Value/grad/ctx buffers come from a size-bucketed pool of recycled
+//    `std::vector<double>` buffers (zero-filled on reuse, so pooled buffers
+//    are indistinguishable from freshly constructed `Mat`s — results are
+//    bit-identical to the heap path).
+//  * `reset()` destroys every node in the slabs, reclaims their buffers into
+//    the pool, and rewinds the bump pointer — after the first minibatch the
+//    update loop's steady state performs no heap allocation for the tape.
+//
+// Scope rules (see README "Update-path arena and fused kernels"): a
+// thread-local `ArenaScope` routes every recorded op into the arena, exactly
+// mirroring how `NoGradGuard` routes ops into inference mode (a `NoGradGuard`
+// inside an arena scope wins: value-only nodes are heap-allocated and the
+// arena records nothing). Only objects created *outside* the scope —
+// parameters, detached `Mat` copies of outputs — may outlive `reset()`;
+// tensors built inside the scope dangle after it. Arenas are single-threaded
+// by design: one arena per trainer, installed only on the thread running the
+// update (per-seed trainers under CRL_SEED_WORKERS each own an independent
+// arena).
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace crl::nn {
+
+class GraphArena {
+ public:
+  GraphArena() = default;
+  ~GraphArena() { reset(); }
+  GraphArena(const GraphArena&) = delete;
+  GraphArena& operator=(const GraphArena&) = delete;
+
+  /// Placement-new a Node in the current slab and hand out an aliased
+  /// shared_ptr (shares the slab's control block — no allocation after the
+  /// slab exists). The node is destroyed at the next reset(); handles may
+  /// outlive the reset (the slab stays alive) but must not be dereferenced.
+  std::shared_ptr<detail::Node> allocateNode();
+
+  /// A rows x cols Mat backed by a pooled buffer when one of the right size
+  /// is free (zero-filled, so indistinguishable from a fresh Mat). With
+  /// zeroed=false the contents are unspecified — callers must overwrite
+  /// every element.
+  linalg::Mat acquireMat(std::size_t rows, std::size_t cols, bool zeroed = true);
+
+  /// Return a Mat's buffer to the pool. Only hand back buffers no live
+  /// tensor can reach (backward deltas after accumulation, buffers of nodes
+  /// being reset) — the pool re-issues them from acquireMat.
+  void reclaimMat(linalg::Mat&& m);
+
+  /// Destroy all nodes recorded since the last reset, recycling their
+  /// value/grad/ctx buffers into the pool, and rewind the slab bump pointer.
+  /// No slab or pool memory is released — the next tape reuses all of it.
+  void reset();
+
+  // ---- introspection (tests and bench_arena) ----
+  std::size_t liveNodes() const { return used_; }
+  std::size_t slabCount() const { return slabs_.size(); }
+  std::size_t pooledBuffers() const;
+  std::uint64_t poolHits() const { return poolHits_; }
+  std::uint64_t poolMisses() const { return poolMisses_; }
+
+ private:
+  struct NodeSlab;
+
+  std::vector<std::shared_ptr<NodeSlab>> slabs_;
+  std::size_t used_ = 0;  ///< nodes live in slabs [0, used_)
+  std::unordered_map<std::size_t, std::vector<std::vector<double>>> pool_;
+  std::uint64_t poolHits_ = 0;
+  std::uint64_t poolMisses_ = 0;
+};
+
+/// Thread-local recording scope: while alive, every op that records a graph
+/// node allocates the node and its buffers from `arena` (inference-mode ops
+/// under a NoGradGuard are unaffected). Scopes nest; the previous arena is
+/// restored on destruction.
+class ArenaScope {
+ public:
+  explicit ArenaScope(GraphArena& arena);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  GraphArena* prev_;
+};
+
+/// The arena installed on the calling thread, or nullptr outside any scope.
+GraphArena* activeArena();
+
+/// A zero-filled rows x cols Mat from the calling thread's recording arena
+/// (no-op fallback to a fresh Mat outside a scope or in inference mode).
+/// For graph-input staging buffers built by layer code (stacked features,
+/// tiled masks): either move the Mat into a Tensor — the node reclaims it at
+/// reset — or hand it back via reclaimPooledMat when done.
+linalg::Mat pooledMat(std::size_t rows, std::size_t cols);
+void reclaimPooledMat(linalg::Mat&& m);
+
+}  // namespace crl::nn

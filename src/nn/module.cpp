@@ -18,8 +18,8 @@ Tensor activate(const Tensor& x, Activation act) {
 Linear::Linear(std::size_t in, std::size_t out, util::Rng& rng)
     : w_(Tensor::xavier(in, out, rng)), b_(Tensor::zeros(1, out, /*requiresGrad=*/true)) {}
 
-Tensor Linear::forward(const Tensor& x) const {
-  return addRowBroadcast(matmul(x, w_), b_);
+Tensor Linear::forward(const Tensor& x, Activation act) const {
+  return fusedLinear(x, w_, b_, act);
 }
 
 Mlp::Mlp(const std::vector<std::size_t>& dims, util::Rng& rng, Activation hidden,
@@ -32,10 +32,8 @@ Mlp::Mlp(const std::vector<std::size_t>& dims, util::Rng& rng, Activation hidden
 
 Tensor Mlp::forward(const Tensor& x) const {
   Tensor h = x;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].forward(h);
-    h = activate(h, i + 1 < layers_.size() ? hidden_ : output_);
-  }
+  for (std::size_t i = 0; i < layers_.size(); ++i)
+    h = layers_[i].forward(h, i + 1 < layers_.size() ? hidden_ : output_);
   return h;
 }
 

@@ -7,16 +7,19 @@
 
 namespace crl::nn {
 
-enum class Activation { None, Tanh, Relu, LeakyRelu, Sigmoid };
+// Activation lives in tensor.h (the fused tape ops take it); module.h keeps
+// re-exporting it for its historical users.
 
 Tensor activate(const Tensor& x, Activation act);
 
-/// Fully connected layer y = x W + b with Xavier-initialized weights.
+/// Fully connected layer y = act(x W + b) with Xavier-initialized weights,
+/// emitted as one fused tape node (nn::fusedLinear) — bit-identical to the
+/// unfused matmul + bias + activation chain.
 class Linear {
  public:
   Linear(std::size_t in, std::size_t out, util::Rng& rng);
 
-  Tensor forward(const Tensor& x) const;
+  Tensor forward(const Tensor& x, Activation act = Activation::None) const;
   std::vector<Tensor> parameters() const { return {w_, b_}; }
   std::size_t inFeatures() const { return w_.rows(); }
   std::size_t outFeatures() const { return w_.cols(); }

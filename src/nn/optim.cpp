@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/simd_kernels.h"
+
 namespace crl::nn {
 
 Adam::Adam(std::vector<Tensor> params, AdamOptions opt)
@@ -17,19 +19,15 @@ void Adam::step() {
   ++t_;
   const double bc1 = 1.0 - std::pow(opt_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(opt_.beta2, static_cast<double>(t_));
+  // Per-element update in the SIMD-dispatched core (vectorized sqrt/divide
+  // round identically to the scalar loop — the optimizer runs once per
+  // minibatch over every parameter, a fixed cost worth vectorizing).
   for (std::size_t i = 0; i < params_.size(); ++i) {
     auto& value = params_[i].mutableValue();
-    const auto& grad = params_[i].grad();
-    auto& m = m_[i];
-    auto& v = v_[i];
-    for (std::size_t k = 0; k < value.raw().size(); ++k) {
-      const double g = grad.raw()[k];
-      m.raw()[k] = opt_.beta1 * m.raw()[k] + (1.0 - opt_.beta1) * g;
-      v.raw()[k] = opt_.beta2 * v.raw()[k] + (1.0 - opt_.beta2) * g * g;
-      const double mHat = m.raw()[k] / bc1;
-      const double vHat = v.raw()[k] / bc2;
-      value.raw()[k] -= opt_.lr * mHat / (std::sqrt(vHat) + opt_.eps);
-    }
+    linalg::simd::adamStepKernel(value.data(), m_[i].data(), v_[i].data(),
+                                 params_[i].grad().data(), value.raw().size(),
+                                 opt_.beta1, opt_.beta2, opt_.lr, opt_.eps, bc1,
+                                 bc2);
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/arena.h"
+
 namespace crl::nn {
 
 namespace {
@@ -11,13 +13,62 @@ using detail::Node;
 
 thread_local int tlInferenceDepth = 0;
 
-// The backward callable is taken as a template parameter so the std::function
-// (and its heap allocation) is only materialized when the graph is actually
-// recorded — in inference mode ops pay for the value computation alone.
+/// The arena receiving this thread's recorded graph, if any. Inference-mode
+/// ops never touch the arena: a NoGradGuard inside an ArenaScope records
+/// nothing (value-only temporaries come from the heap and die normally).
+GraphArena* recordingArena() {
+  return tlInferenceDepth > 0 ? nullptr : activeArena();
+}
+
+std::shared_ptr<Node> allocNode() {
+  if (GraphArena* a = recordingArena()) return a->allocateNode();
+  return std::make_shared<Node>();
+}
+
+/// Zero-filled rows x cols Mat — pooled under an arena, fresh otherwise.
+/// Bit-identical either way (fresh Mats are zero-filled too).
+Mat newMat(std::size_t rows, std::size_t cols) {
+  if (GraphArena* a = recordingArena()) return a->acquireMat(rows, cols);
+  return Mat(rows, cols);
+}
+
+/// Like newMat but with unspecified contents — for ops that overwrite every
+/// element before the buffer is read.
+Mat newMatUninit(std::size_t rows, std::size_t cols) {
+  if (GraphArena* a = recordingArena()) return a->acquireMat(rows, cols, false);
+  return Mat(rows, cols);
+}
+
+/// A copy of src in a pooled buffer (or a plain copy without an arena).
+Mat copyMat(const Mat& src) {
+  if (GraphArena* a = recordingArena()) {
+    Mat out = a->acquireMat(src.rows(), src.cols(), false);
+    std::copy(src.raw().begin(), src.raw().end(), out.raw().begin());
+    return out;
+  }
+  return src;
+}
+
+/// Hand a scratch buffer back to the pool (no-op without an arena).
+void releaseMat(Mat&& m) {
+  if (GraphArena* a = recordingArena()) a->reclaimMat(std::move(m));
+}
+
+/// src^T in a pooled buffer (backward passes transpose weight matrices).
+Mat transposedPooled(const Mat& src) {
+  Mat t = newMatUninit(src.cols(), src.rows());
+  for (std::size_t r = 0; r < src.rows(); ++r)
+    for (std::size_t c = 0; c < src.cols(); ++c) t(c, r) = src(r, c);
+  return t;
+}
+
+// The backward callable is taken as a template parameter so the BackwardFn
+// wrapper is only materialized when the graph is actually recorded — in
+// inference mode ops pay for the value computation alone.
 template <typename F>
-std::shared_ptr<Node> makeNode(Mat value, std::vector<std::shared_ptr<Node>> parents,
+std::shared_ptr<Node> makeNode(Mat value, detail::ParentList parents,
                                F&& backward) {
-  auto n = std::make_shared<Node>();
+  auto n = allocNode();
   n->value = std::move(value);
   if (tlInferenceDepth > 0) return n;
   bool needsGrad = false;
@@ -34,7 +85,7 @@ Tensor wrap(std::shared_ptr<Node> n) { return Tensor(std::move(n)); }
 
 /// Inference-mode node: value only, no graph.
 std::shared_ptr<Node> makeValueNode(Mat value) {
-  auto n = std::make_shared<Node>();
+  auto n = allocNode();
   n->value = std::move(value);
   return n;
 }
@@ -42,15 +93,19 @@ std::shared_ptr<Node> makeValueNode(Mat value) {
 // Taken by value so callers hand over freshly computed deltas by move; the
 // first accumulation into an unallocated grad buffer adopts the delta
 // outright (0 + x == x), skipping the zero-fill and add pass the general
-// case needs.
+// case needs. Deltas that are not adopted return to the arena pool.
 void accumulate(Node& target, Mat delta) {
-  if (!target.requiresGrad) return;
+  if (!target.requiresGrad) {
+    releaseMat(std::move(delta));
+    return;
+  }
   if (target.grad.rows() != target.value.rows() ||
       target.grad.cols() != target.value.cols()) {
     target.grad = std::move(delta);
     return;
   }
   target.grad += delta;
+  releaseMat(std::move(delta));
 }
 
 void checkSameShape(const Tensor& a, const Tensor& b, const char* op) {
@@ -63,34 +118,130 @@ void checkSameShape(const Tensor& a, const Tensor& b, const char* op) {
 /// alive by the graph edge) instead of copying the input matrix.
 template <typename F, typename DF>
 Tensor pointwise(const Tensor& a, F f, DF dfda) {
-  Mat out = a.value();
+  Mat out = copyMat(a.value());
   for (auto& v : out.raw()) v = f(v);
   if (tlInferenceDepth > 0) return wrap(makeValueNode(std::move(out)));
   auto pa = a.node();
   return wrap(makeNode(std::move(out), {pa}, [pa, dfda](Node& self) {
     const Mat& in = pa->value;
-    Mat delta(in.rows(), in.cols());
+    Mat delta = newMatUninit(in.rows(), in.cols());
     for (std::size_t i = 0; i < in.raw().size(); ++i)
       delta.raw()[i] = dfda(in.raw()[i], self.value.raw()[i]) * self.grad.raw()[i];
     accumulate(*pa, std::move(delta));
   }));
 }
+
+// ---- fused-kernel helpers ----------------------------------------------
+
+/// y += diag(block, ..., block) x with `repeat` copies of blk along the
+/// diagonal; y must be zero-filled. Loop structure (and sparse zero-skip)
+/// identical to linalg::matmul restricted to the blocks, so repeat == 1 is
+/// bit-identical to matmul(blk, x). Runs the SIMD-dispatched core.
+void blockDiagApplyInto(Mat& y, const Mat& blk, std::size_t repeat, const Mat& x) {
+  linalg::simd::blockDiagKernel(y.data(), blk.data(), blk.rows(), repeat,
+                                x.data(), x.cols(), /*transposed=*/false);
+}
+
+/// y += diag(blk^T, ..., blk^T) x without materializing the transpose —
+/// reads blk(k, r) in the same order blockDiagApplyInto reads a materialized
+/// transpose, so results are bit-identical to it.
+void blockDiagApplyTransposedInto(Mat& y, const Mat& blk, std::size_t repeat,
+                                  const Mat& x) {
+  linalg::simd::blockDiagKernel(y.data(), blk.data(), blk.rows(), repeat,
+                                x.data(), x.cols(), /*transposed=*/true);
+}
+
+/// Row-wise softmax in place — the exact loops of softmaxRows' forward.
+void softmaxRowsInPlace(Mat& out) {
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    double mx = out(r, 0);
+    for (std::size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
+    double total = 0.0;
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = std::exp(out(r, c) - mx);
+      total += out(r, c);
+    }
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= total;
+  }
+}
+
+/// The matmulBlocks value kernel: out += a_g * b_g per block, out zero-filled.
+void blocksMatmulInto(Mat& out, const Mat& a, const Mat& b, std::size_t blocks,
+                      std::size_t r, std::size_t k, std::size_t m) {
+  linalg::simd::blocksMatmulKernel(out.data(), a.data(), b.data(), blocks, r, k,
+                                   m);
+}
+
+/// Pointwise activation in place — per-element functions identical to the
+/// tanhT/relu/leakyRelu/sigmoid ops.
+void applyActivationInPlace(Mat& m, Activation act) {
+  switch (act) {
+    case Activation::None: return;
+    case Activation::Tanh:
+      for (auto& v : m.raw()) v = std::tanh(v);
+      return;
+    case Activation::Relu:
+      for (auto& v : m.raw()) v = v > 0.0 ? v : 0.0;
+      return;
+    case Activation::LeakyRelu:
+      for (auto& v : m.raw()) v = v > 0.0 ? v : 0.2 * v;
+      return;
+    case Activation::Sigmoid:
+      for (auto& v : m.raw()) v = 1.0 / (1.0 + std::exp(-v));
+      return;
+  }
+  throw std::logic_error("applyActivationInPlace: unknown activation");
+}
+
+/// dz = act'(y) .* g, matching the pointwise ops' dfda * grad products
+/// exactly. For this activation set the derivative is recoverable from the
+/// output alone (relu/leakyRelu: y > 0 iff x > 0, with the x == 0
+/// subgradient agreeing on both formulations).
+void activationBackwardInto(Mat& dz, const Mat& y, const Mat& g, Activation act) {
+  using linalg::simd::ActKind;
+  switch (act) {
+    case Activation::None:
+      std::copy(g.raw().begin(), g.raw().end(), dz.raw().begin());
+      return;
+    case Activation::Tanh:
+      linalg::simd::activationBackwardKernel(dz.data(), y.data(), g.data(),
+                                             g.raw().size(), ActKind::Tanh);
+      return;
+    case Activation::Relu:
+      linalg::simd::activationBackwardKernel(dz.data(), y.data(), g.data(),
+                                             g.raw().size(), ActKind::Relu);
+      return;
+    case Activation::LeakyRelu:
+      linalg::simd::activationBackwardKernel(dz.data(), y.data(), g.data(),
+                                             g.raw().size(), ActKind::LeakyRelu);
+      return;
+    case Activation::Sigmoid:
+      linalg::simd::activationBackwardKernel(dz.data(), y.data(), g.data(),
+                                             g.raw().size(), ActKind::Sigmoid);
+      return;
+  }
+  throw std::logic_error("activationBackwardInto: unknown activation");
+}
 }  // namespace
 
 Tensor::Tensor(Mat value, bool requiresGrad) {
-  node_ = std::make_shared<detail::Node>();
+  node_ = allocNode();
   node_->value = std::move(value);
   node_->requiresGrad = requiresGrad;
 }
 
 Tensor Tensor::zeros(std::size_t rows, std::size_t cols, bool requiresGrad) {
-  return Tensor(Mat(rows, cols), requiresGrad);
+  return Tensor(newMat(rows, cols), requiresGrad);
 }
 
-Tensor Tensor::scalar(double v) { return Tensor(Mat(1, 1, v)); }
+Tensor Tensor::scalar(double v) {
+  Mat m = newMatUninit(1, 1);
+  m(0, 0) = v;
+  return Tensor(std::move(m));
+}
 
 Tensor Tensor::row(const std::vector<double>& v) {
-  Mat m(1, v.size());
+  Mat m = newMatUninit(1, v.size());
   for (std::size_t i = 0; i < v.size(); ++i) m(0, i) = v[i];
   return Tensor(std::move(m));
 }
@@ -103,6 +254,7 @@ Tensor Tensor::xavier(std::size_t rows, std::size_t cols, util::Rng& rng) {
 }
 
 double Tensor::item() const {
+  if (!node_) throw std::logic_error("Tensor::item: undefined tensor");
   if (rows() != 1 || cols() != 1) throw std::logic_error("Tensor::item: not scalar");
   return node_->value(0, 0);
 }
@@ -124,9 +276,14 @@ void backward(const Tensor& root) {
     throw std::invalid_argument("backward: root must be scalar");
   if (!root.requiresGrad()) return;
 
-  // Iterative topological sort (graphs can be deep for long episodes).
-  std::vector<Node*> order;
-  std::vector<Node*> stack{root.node().get()};
+  // Iterative topological sort (graphs can be deep for long episodes). The
+  // scratch vectors are thread-local so per-minibatch backward passes don't
+  // reallocate them.
+  static thread_local std::vector<Node*> order;
+  static thread_local std::vector<Node*> stack;
+  order.clear();
+  stack.clear();
+  stack.push_back(root.node().get());
   while (!stack.empty()) {
     Node* n = stack.back();
     if (n->visitMark == 2) {
@@ -157,22 +314,36 @@ void backward(const Tensor& root) {
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   auto pa = a.node(), pb = b.node();
-  Mat out = linalg::matmul(a.value(), b.value());
+  Mat out = newMat(a.rows(), b.cols());
+  linalg::matmulInto(out, a.value(), b.value());
   return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb](Node& self) {
     // dA += dOut * B^T ; dB += A^T * dOut. The guards skip the whole product
     // when an operand is constant (e.g. stacked input features), and the
     // A^T side uses the transpose-free kernel (same summation order).
-    if (pa->requiresGrad)
-      accumulate(*pa, linalg::matmul(self.grad, pb->value.transposed()));
-    if (pb->requiresGrad) accumulate(*pb, linalg::matmulAtB(pa->value, self.grad));
+    if (pa->requiresGrad) {
+      Mat bT = transposedPooled(pb->value);
+      Mat da = newMat(pa->value.rows(), pa->value.cols());
+      linalg::matmulInto(da, self.grad, bT);
+      releaseMat(std::move(bT));
+      accumulate(*pa, std::move(da));
+    }
+    if (pb->requiresGrad) {
+      Mat db = newMat(pb->value.rows(), pb->value.cols());
+      linalg::matmulAtBInto(db, pa->value, self.grad);
+      accumulate(*pb, std::move(db));
+    }
   }));
 }
 
 Tensor matmulConstLeft(const Mat& a, const Tensor& b) {
-  if (tlInferenceDepth > 0) return wrap(makeValueNode(linalg::matmul(a, b.value())));
+  Mat out = newMat(a.rows(), b.cols());
+  linalg::matmulInto(out, a, b.value());
+  if (tlInferenceDepth > 0) return wrap(makeValueNode(std::move(out)));
   auto pb = b.node();
-  return wrap(makeNode(linalg::matmul(a, b.value()), {pb}, [pb, a](Node& self) {
-    accumulate(*pb, linalg::matmulAtB(a, self.grad));
+  return wrap(makeNode(std::move(out), {pb}, [pb, a](Node& self) {
+    Mat db = newMat(a.cols(), self.grad.cols());
+    linalg::matmulAtBInto(db, a, self.grad);
+    accumulate(*pb, std::move(db));
   }));
 }
 
@@ -183,29 +354,15 @@ Tensor matmulBlockDiagConstLeft(const Mat& block, std::size_t repeat, const Tens
   if (b.rows() != repeat * n)
     throw std::invalid_argument("matmulBlockDiagConstLeft: row count mismatch");
   const std::size_t m = b.cols();
-  auto applyBlocks = [n, m, repeat](const Mat& blk, const Mat& x) {
-    Mat y(repeat * n, m);
-    const double* xp = x.data();
-    double* yp = y.data();
-    for (std::size_t g = 0; g < repeat; ++g)
-      for (std::size_t r = 0; r < n; ++r) {
-        double* yrow = yp + (g * n + r) * m;
-        for (std::size_t k = 0; k < n; ++k) {
-          const double w = blk(r, k);
-          if (w == 0.0) continue;  // adjacency blocks are sparse
-          const double* xrow = xp + (g * n + k) * m;
-          for (std::size_t c = 0; c < m; ++c) yrow[c] += w * xrow[c];
-        }
-      }
-    return y;
-  };
-  if (tlInferenceDepth > 0) return wrap(makeValueNode(applyBlocks(block, b.value())));
+  Mat out = newMat(repeat * n, m);
+  blockDiagApplyInto(out, block, repeat, b.value());
+  if (tlInferenceDepth > 0) return wrap(makeValueNode(std::move(out)));
   auto pb = b.node();
-  Mat blockT = block.transposed();
-  return wrap(makeNode(applyBlocks(block, b.value()), {pb},
-                       [pb, blockT, applyBlocks](Node& self) {
-                         accumulate(*pb, applyBlocks(blockT, self.grad));
-                       }));
+  return wrap(makeNode(std::move(out), {pb}, [pb, block, repeat, n, m](Node& self) {
+    Mat db = newMat(repeat * n, m);
+    blockDiagApplyTransposedInto(db, block, repeat, self.grad);
+    accumulate(*pb, std::move(db));
+  }));
 }
 
 Tensor matmulBlocks(const Tensor& a, const Tensor& b, std::size_t blocks) {
@@ -216,49 +373,18 @@ Tensor matmulBlocks(const Tensor& a, const Tensor& b, std::size_t blocks) {
   const std::size_t m = b.cols();
   if (a.cols() != k) throw std::invalid_argument("matmulBlocks: inner dim mismatch");
   auto pa = a.node(), pb = b.node();
-  Mat out(blocks * r, m);
-  {
-    const double* bpv = pb->value.data();
-    double* op = out.data();
-    for (std::size_t g = 0; g < blocks; ++g)
-      for (std::size_t i = 0; i < r; ++i) {
-        double* orow = op + (g * r + i) * m;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const double aik = pa->value(g * r + i, kk);
-          if (aik == 0.0) continue;
-          const double* brow = bpv + (g * k + kk) * m;
-          for (std::size_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
-        }
-      }
-  }
+  Mat out = newMat(blocks * r, m);
+  blocksMatmulInto(out, pa->value, pb->value, blocks, r, k, m);
   return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb, blocks, r, k, m](Node& self) {
     // da_g += dout_g * b_g^T ; db_g += a_g^T * dout_g, per block. da rows
     // are dot products of contiguous grad/b rows; db accumulates row-saxpy
     // style like matmulAtB. Both sum over the same ascending index order as
     // the plain per-element formulation.
-    Mat da(pa->value.rows(), pa->value.cols());
-    Mat db(pb->value.rows(), pb->value.cols());
-    const double* av = pa->value.data();
-    const double* bv = pb->value.data();
-    const double* gv = self.grad.data();
-    double* dav = da.data();
-    double* dbv = db.data();
-    for (std::size_t g = 0; g < blocks; ++g)
-      for (std::size_t i = 0; i < r; ++i) {
-        const double* grow = gv + (g * r + i) * m;
-        const double* arow = av + (g * r + i) * k;
-        double* darow = dav + (g * r + i) * k;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-          const double* brow = bv + (g * k + kk) * m;
-          double acc = 0.0;
-          for (std::size_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
-          darow[kk] = acc;
-          const double aik = arow[kk];
-          if (aik == 0.0) continue;
-          double* dbrow = dbv + (g * k + kk) * m;
-          for (std::size_t j = 0; j < m; ++j) dbrow[j] += aik * grow[j];
-        }
-      }
+    Mat da = newMatUninit(pa->value.rows(), pa->value.cols());
+    Mat db = newMat(pb->value.rows(), pb->value.cols());
+    linalg::simd::gatMixBackwardKernel(da.data(), db.data(), pa->value.data(),
+                                       pb->value.data(), self.grad.data(),
+                                       blocks, r, k, m);
     accumulate(*pa, std::move(da));
     accumulate(*pb, std::move(db));
   }));
@@ -267,9 +393,11 @@ Tensor matmulBlocks(const Tensor& a, const Tensor& b, std::size_t blocks) {
 Tensor add(const Tensor& a, const Tensor& b) {
   checkSameShape(a, b, "add");
   auto pa = a.node(), pb = b.node();
-  return wrap(makeNode(a.value() + b.value(), {pa, pb}, [pa, pb](Node& self) {
-    accumulate(*pa, self.grad);
-    accumulate(*pb, self.grad);
+  Mat out = copyMat(a.value());
+  out += b.value();
+  return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb](Node& self) {
+    accumulate(*pa, copyMat(self.grad));
+    accumulate(*pb, copyMat(self.grad));
   }));
 }
 
@@ -277,34 +405,38 @@ Tensor addRowBroadcast(const Tensor& a, const Tensor& row) {
   if (row.rows() != 1 || row.cols() != a.cols())
     throw std::invalid_argument("addRowBroadcast: bias shape mismatch");
   auto pa = a.node(), pr = row.node();
-  Mat out = a.value();
+  Mat out = copyMat(a.value());
   for (std::size_t r = 0; r < out.rows(); ++r)
     for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += row.value()(0, c);
   return wrap(makeNode(std::move(out), {pa, pr}, [pa, pr](Node& self) {
-    accumulate(*pa, self.grad);
-    Mat rowGrad(1, self.grad.cols());
-    for (std::size_t r = 0; r < self.grad.rows(); ++r)
-      for (std::size_t c = 0; c < self.grad.cols(); ++c) rowGrad(0, c) += self.grad(r, c);
-    accumulate(*pr, rowGrad);
+    accumulate(*pa, copyMat(self.grad));
+    Mat rowGrad = newMat(1, self.grad.cols());
+    linalg::simd::biasRowSumKernel(rowGrad.data(), self.grad.data(),
+                                   self.grad.rows(), self.grad.cols());
+    accumulate(*pr, std::move(rowGrad));
   }));
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   checkSameShape(a, b, "sub");
   auto pa = a.node(), pb = b.node();
-  return wrap(makeNode(a.value() - b.value(), {pa, pb}, [pa, pb](Node& self) {
-    accumulate(*pa, self.grad);
-    accumulate(*pb, self.grad * -1.0);
+  Mat out = copyMat(a.value());
+  out -= b.value();
+  return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb](Node& self) {
+    accumulate(*pa, copyMat(self.grad));
+    Mat db = copyMat(self.grad);
+    db *= -1.0;
+    accumulate(*pb, std::move(db));
   }));
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   checkSameShape(a, b, "mul");
   auto pa = a.node(), pb = b.node();
-  Mat out = a.value();
+  Mat out = copyMat(a.value());
   for (std::size_t i = 0; i < out.raw().size(); ++i) out.raw()[i] *= b.value().raw()[i];
   return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb](Node& self) {
-    Mat da = self.grad, db = self.grad;
+    Mat da = copyMat(self.grad), db = copyMat(self.grad);
     for (std::size_t i = 0; i < da.raw().size(); ++i) {
       da.raw()[i] *= pb->value.raw()[i];
       db.raw()[i] *= pa->value.raw()[i];
@@ -316,25 +448,31 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 
 Tensor scale(const Tensor& a, double s) {
   auto pa = a.node();
-  return wrap(makeNode(a.value() * s, {pa}, [pa, s](Node& self) {
-    accumulate(*pa, self.grad * s);
+  Mat out = copyMat(a.value());
+  out *= s;
+  return wrap(makeNode(std::move(out), {pa}, [pa, s](Node& self) {
+    Mat da = copyMat(self.grad);
+    da *= s;
+    accumulate(*pa, std::move(da));
   }));
 }
 
 Tensor addScalar(const Tensor& a, double s) {
   auto pa = a.node();
-  Mat out = a.value();
+  Mat out = copyMat(a.value());
   for (auto& v : out.raw()) v += s;
   return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
-    accumulate(*pa, self.grad);
+    accumulate(*pa, copyMat(self.grad));
   }));
 }
 
 Tensor addConst(const Tensor& a, const Mat& c) {
   if (!a.value().sameShape(c)) throw std::invalid_argument("addConst: shape mismatch");
   auto pa = a.node();
-  return wrap(makeNode(a.value() + c, {pa}, [pa](Node& self) {
-    accumulate(*pa, self.grad);
+  Mat out = copyMat(a.value());
+  out += c;
+  return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
+    accumulate(*pa, copyMat(self.grad));
   }));
 }
 
@@ -371,12 +509,12 @@ Tensor logT(const Tensor& a, double eps) {
 Tensor minT(const Tensor& a, const Tensor& b) {
   checkSameShape(a, b, "minT");
   auto pa = a.node(), pb = b.node();
-  Mat out = a.value();
+  Mat out = copyMat(a.value());
   for (std::size_t i = 0; i < out.raw().size(); ++i)
     out.raw()[i] = std::min(out.raw()[i], b.value().raw()[i]);
   return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb](Node& self) {
-    Mat da(self.grad.rows(), self.grad.cols());
-    Mat db(self.grad.rows(), self.grad.cols());
+    Mat da = newMat(self.grad.rows(), self.grad.cols());
+    Mat db = newMat(self.grad.rows(), self.grad.cols());
     for (std::size_t i = 0; i < self.grad.raw().size(); ++i) {
       if (pa->value.raw()[i] <= pb->value.raw()[i])
         da.raw()[i] = self.grad.raw()[i];
@@ -395,20 +533,11 @@ Tensor clampT(const Tensor& a, double lo, double hi) {
 
 Tensor softmaxRows(const Tensor& a) {
   auto pa = a.node();
-  Mat out = a.value();
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    double mx = out(r, 0);
-    for (std::size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
-    double total = 0.0;
-    for (std::size_t c = 0; c < out.cols(); ++c) {
-      out(r, c) = std::exp(out(r, c) - mx);
-      total += out(r, c);
-    }
-    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= total;
-  }
+  Mat out = copyMat(a.value());
+  softmaxRowsInPlace(out);
   return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
     // dx_rc = y_rc * (dout_rc - sum_k dout_rk y_rk) per row.
-    Mat delta(self.value.rows(), self.value.cols());
+    Mat delta = newMatUninit(self.value.rows(), self.value.cols());
     for (std::size_t r = 0; r < self.value.rows(); ++r) {
       double dotProd = 0.0;
       for (std::size_t c = 0; c < self.value.cols(); ++c)
@@ -422,7 +551,7 @@ Tensor softmaxRows(const Tensor& a) {
 
 Tensor logSoftmaxRows(const Tensor& a) {
   auto pa = a.node();
-  Mat out = a.value();
+  Mat out = copyMat(a.value());
   for (std::size_t r = 0; r < out.rows(); ++r) {
     double mx = out(r, 0);
     for (std::size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
@@ -433,7 +562,7 @@ Tensor logSoftmaxRows(const Tensor& a) {
   }
   return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
     // dx_rc = dout_rc - softmax_rc * sum_k dout_rk.
-    Mat delta(self.value.rows(), self.value.cols());
+    Mat delta = newMatUninit(self.value.rows(), self.value.cols());
     for (std::size_t r = 0; r < self.value.rows(); ++r) {
       double rowSum = 0.0;
       for (std::size_t c = 0; c < self.value.cols(); ++c) rowSum += self.grad(r, c);
@@ -448,8 +577,11 @@ Tensor sum(const Tensor& a) {
   auto pa = a.node();
   double s = 0.0;
   for (double v : a.value().raw()) s += v;
-  return wrap(makeNode(Mat(1, 1, s), {pa}, [pa](Node& self) {
-    Mat delta(pa->value.rows(), pa->value.cols(), self.grad(0, 0));
+  Mat out = newMatUninit(1, 1);
+  out(0, 0) = s;
+  return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
+    Mat delta = newMatUninit(pa->value.rows(), pa->value.cols());
+    std::fill(delta.raw().begin(), delta.raw().end(), self.grad(0, 0));
     accumulate(*pa, std::move(delta));
   }));
 }
@@ -462,11 +594,11 @@ Tensor mean(const Tensor& a) {
 Tensor meanRows(const Tensor& a) {
   auto pa = a.node();
   const double n = static_cast<double>(a.rows());
-  Mat out(1, a.cols());
+  Mat out = newMat(1, a.cols());
   for (std::size_t r = 0; r < a.rows(); ++r)
     for (std::size_t c = 0; c < a.cols(); ++c) out(0, c) += a.value()(r, c) / n;
   return wrap(makeNode(std::move(out), {pa}, [pa, n](Node& self) {
-    Mat delta(pa->value.rows(), pa->value.cols());
+    Mat delta = newMatUninit(pa->value.rows(), pa->value.cols());
     for (std::size_t r = 0; r < delta.rows(); ++r)
       for (std::size_t c = 0; c < delta.cols(); ++c) delta(r, c) = self.grad(0, c) / n;
     accumulate(*pa, std::move(delta));
@@ -475,11 +607,11 @@ Tensor meanRows(const Tensor& a) {
 
 Tensor sumRows(const Tensor& a) {
   auto pa = a.node();
-  Mat out(a.rows(), 1);
+  Mat out = newMat(a.rows(), 1);
   for (std::size_t r = 0; r < a.rows(); ++r)
     for (std::size_t c = 0; c < a.cols(); ++c) out(r, 0) += a.value()(r, c);
   return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
-    Mat delta(pa->value.rows(), pa->value.cols());
+    Mat delta = newMatUninit(pa->value.rows(), pa->value.cols());
     for (std::size_t r = 0; r < delta.rows(); ++r)
       for (std::size_t c = 0; c < delta.cols(); ++c) delta(r, c) = self.grad(r, 0);
     accumulate(*pa, std::move(delta));
@@ -492,13 +624,13 @@ Tensor meanPoolGroups(const Tensor& a, std::size_t groups) {
   const std::size_t g = a.rows() / groups;
   const double invG = 1.0 / static_cast<double>(g);
   auto pa = a.node();
-  Mat out(groups, a.cols());
+  Mat out = newMat(groups, a.cols());
   for (std::size_t k = 0; k < groups; ++k)
     for (std::size_t r = 0; r < g; ++r)
       for (std::size_t c = 0; c < a.cols(); ++c)
         out(k, c) += a.value()(k * g + r, c) * invG;
   return wrap(makeNode(std::move(out), {pa}, [pa, g, invG](Node& self) {
-    Mat delta(pa->value.rows(), pa->value.cols());
+    Mat delta = newMatUninit(pa->value.rows(), pa->value.cols());
     for (std::size_t k = 0; k < self.grad.rows(); ++k)
       for (std::size_t r = 0; r < g; ++r)
         for (std::size_t c = 0; c < delta.cols(); ++c)
@@ -509,23 +641,23 @@ Tensor meanPoolGroups(const Tensor& a, std::size_t groups) {
 
 Tensor transpose(const Tensor& a) {
   auto pa = a.node();
-  return wrap(makeNode(a.value().transposed(), {pa}, [pa](Node& self) {
-    accumulate(*pa, self.grad.transposed());
+  return wrap(makeNode(transposedPooled(a.value()), {pa}, [pa](Node& self) {
+    accumulate(*pa, transposedPooled(self.grad));
   }));
 }
 
 Tensor concatCols(const Tensor& a, const Tensor& b) {
   if (a.rows() != b.rows()) throw std::invalid_argument("concatCols: row mismatch");
   auto pa = a.node(), pb = b.node();
-  Mat out(a.rows(), a.cols() + b.cols());
+  Mat out = newMatUninit(a.rows(), a.cols() + b.cols());
   for (std::size_t r = 0; r < a.rows(); ++r) {
     for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a.value()(r, c);
     for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b.value()(r, c);
   }
   const std::size_t aCols = a.cols();
   return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb, aCols](Node& self) {
-    Mat da(pa->value.rows(), pa->value.cols());
-    Mat db(pb->value.rows(), pb->value.cols());
+    Mat da = newMatUninit(pa->value.rows(), pa->value.cols());
+    Mat db = newMatUninit(pb->value.rows(), pb->value.cols());
     for (std::size_t r = 0; r < self.grad.rows(); ++r) {
       for (std::size_t c = 0; c < aCols; ++c) da(r, c) = self.grad(r, c);
       for (std::size_t c = 0; c < db.cols(); ++c) db(r, c) = self.grad(r, aCols + c);
@@ -538,15 +670,15 @@ Tensor concatCols(const Tensor& a, const Tensor& b) {
 Tensor concatRows(const Tensor& a, const Tensor& b) {
   if (a.cols() != b.cols()) throw std::invalid_argument("concatRows: column mismatch");
   auto pa = a.node(), pb = b.node();
-  Mat out(a.rows() + b.rows(), a.cols());
+  Mat out = newMatUninit(a.rows() + b.rows(), a.cols());
   for (std::size_t r = 0; r < a.rows(); ++r)
     for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a.value()(r, c);
   for (std::size_t r = 0; r < b.rows(); ++r)
     for (std::size_t c = 0; c < b.cols(); ++c) out(a.rows() + r, c) = b.value()(r, c);
   const std::size_t aRows = a.rows();
   return wrap(makeNode(std::move(out), {pa, pb}, [pa, pb, aRows](Node& self) {
-    Mat da(pa->value.rows(), pa->value.cols());
-    Mat db(pb->value.rows(), pb->value.cols());
+    Mat da = newMatUninit(pa->value.rows(), pa->value.cols());
+    Mat db = newMatUninit(pb->value.rows(), pb->value.cols());
     for (std::size_t r = 0; r < aRows; ++r)
       for (std::size_t c = 0; c < da.cols(); ++c) da(r, c) = self.grad(r, c);
     for (std::size_t r = 0; r < db.rows(); ++r)
@@ -564,7 +696,7 @@ Tensor concatRowsAll(const std::vector<Tensor>& parts) {
     if (p.cols() != cols) throw std::invalid_argument("concatRowsAll: column mismatch");
     totalRows += p.rows();
   }
-  Mat out(totalRows, cols);
+  Mat out = newMatUninit(totalRows, cols);
   std::vector<std::shared_ptr<Node>> parents;
   parents.reserve(parts.size());
   std::size_t row = 0;
@@ -579,7 +711,7 @@ Tensor concatRowsAll(const std::vector<Tensor>& parts) {
     for (const auto& parent : self.parents) {
       const std::size_t rows = parent->value.rows();
       if (parent->requiresGrad) {
-        Mat delta(rows, parent->value.cols());
+        Mat delta = newMatUninit(rows, parent->value.cols());
         for (std::size_t r = 0; r < rows; ++r)
           for (std::size_t c = 0; c < delta.cols(); ++c)
             delta(r, c) = self.grad(begin + r, c);
@@ -593,7 +725,7 @@ Tensor concatRowsAll(const std::vector<Tensor>& parts) {
 Tensor gatherPerRow(const Tensor& a, const std::vector<int>& idx) {
   if (idx.size() != a.rows()) throw std::invalid_argument("gatherPerRow: index count");
   auto pa = a.node();
-  Mat out(a.rows(), 1);
+  Mat out = newMatUninit(a.rows(), 1);
   for (std::size_t r = 0; r < a.rows(); ++r) {
     int c = idx[r];
     if (c < 0 || static_cast<std::size_t>(c) >= a.cols())
@@ -601,7 +733,7 @@ Tensor gatherPerRow(const Tensor& a, const std::vector<int>& idx) {
     out(r, 0) = a.value()(r, static_cast<std::size_t>(c));
   }
   return wrap(makeNode(std::move(out), {pa}, [pa, idx](Node& self) {
-    Mat delta(pa->value.rows(), pa->value.cols());
+    Mat delta = newMat(pa->value.rows(), pa->value.cols());
     for (std::size_t r = 0; r < delta.rows(); ++r)
       delta(r, static_cast<std::size_t>(idx[r])) = self.grad(r, 0);
     accumulate(*pa, std::move(delta));
@@ -611,11 +743,11 @@ Tensor gatherPerRow(const Tensor& a, const std::vector<int>& idx) {
 Tensor sliceRows(const Tensor& a, std::size_t begin, std::size_t count) {
   if (begin + count > a.rows()) throw std::out_of_range("sliceRows: out of range");
   auto pa = a.node();
-  Mat out(count, a.cols());
+  Mat out = newMatUninit(count, a.cols());
   for (std::size_t r = 0; r < count; ++r)
     for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a.value()(begin + r, c);
   return wrap(makeNode(std::move(out), {pa}, [pa, begin, count](Node& self) {
-    Mat delta(pa->value.rows(), pa->value.cols());
+    Mat delta = newMat(pa->value.rows(), pa->value.cols());
     for (std::size_t r = 0; r < count; ++r)
       for (std::size_t c = 0; c < delta.cols(); ++c)
         delta(begin + r, c) = self.grad(r, c);
@@ -626,13 +758,13 @@ Tensor sliceRows(const Tensor& a, std::size_t begin, std::size_t count) {
 Tensor repeatRows(const Tensor& a, std::size_t times) {
   if (times == 0) throw std::invalid_argument("repeatRows: times must be positive");
   auto pa = a.node();
-  Mat out(a.rows() * times, a.cols());
+  Mat out = newMatUninit(a.rows() * times, a.cols());
   for (std::size_t r = 0; r < a.rows(); ++r)
     for (std::size_t t = 0; t < times; ++t)
       for (std::size_t c = 0; c < a.cols(); ++c)
         out(r * times + t, c) = a.value()(r, c);
   return wrap(makeNode(std::move(out), {pa}, [pa, times](Node& self) {
-    Mat delta(pa->value.rows(), pa->value.cols());
+    Mat delta = newMat(pa->value.rows(), pa->value.cols());
     for (std::size_t r = 0; r < delta.rows(); ++r)
       for (std::size_t t = 0; t < times; ++t)
         for (std::size_t c = 0; c < delta.cols(); ++c)
@@ -645,13 +777,286 @@ Tensor reshape(const Tensor& a, std::size_t rows, std::size_t cols) {
   if (rows * cols != a.value().size())
     throw std::invalid_argument("reshape: element count mismatch");
   auto pa = a.node();
-  Mat out(rows, cols);
-  out.raw() = a.value().raw();
+  Mat out = newMatUninit(rows, cols);
+  std::copy(a.value().raw().begin(), a.value().raw().end(), out.raw().begin());
   return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
-    Mat delta(pa->value.rows(), pa->value.cols());
-    delta.raw() = self.grad.raw();
+    Mat delta = newMatUninit(pa->value.rows(), pa->value.cols());
+    std::copy(self.grad.raw().begin(), self.grad.raw().end(), delta.raw().begin());
     accumulate(*pa, std::move(delta));
   }));
+}
+
+// ---- fused layer kernels ------------------------------------------------
+
+Tensor fusedLinear(const Tensor& x, const Tensor& w, const Tensor& b,
+                   Activation act) {
+  if (x.cols() != w.rows())
+    throw std::invalid_argument("fusedLinear: inner dim mismatch");
+  if (b.rows() != 1 || b.cols() != w.cols())
+    throw std::invalid_argument("fusedLinear: bias shape mismatch");
+  Mat out = newMat(x.rows(), w.cols());
+  linalg::matmulInto(out, x.value(), w.value());
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += b.value()(0, c);
+  applyActivationInPlace(out, act);
+  if (tlInferenceDepth > 0) return wrap(makeValueNode(std::move(out)));
+  auto px = x.node(), pw = w.node(), pb = b.node();
+  return wrap(makeNode(std::move(out), {px, pw, pb}, [px, pw, pb, act](Node& self) {
+    // dz = act'(y) .* dout, then the bias/matmul backward of the unfused
+    // chain: db += rowsum(dz), dW += x^T dz, dx += dz W^T.
+    Mat dzStore;
+    const Mat* dz = &self.grad;
+    if (act != Activation::None) {
+      dzStore = newMatUninit(self.grad.rows(), self.grad.cols());
+      activationBackwardInto(dzStore, self.value, self.grad, act);
+      dz = &dzStore;
+    }
+    if (pb->requiresGrad) {
+      Mat rowGrad = newMat(1, dz->cols());
+      linalg::simd::biasRowSumKernel(rowGrad.data(), dz->data(), dz->rows(),
+                                     dz->cols());
+      accumulate(*pb, std::move(rowGrad));
+    }
+    if (pw->requiresGrad) {
+      Mat dw = newMat(pw->value.rows(), pw->value.cols());
+      linalg::matmulAtBInto(dw, px->value, *dz);
+      accumulate(*pw, std::move(dw));
+    }
+    if (px->requiresGrad) {
+      Mat wT = transposedPooled(pw->value);
+      Mat dx = newMat(px->value.rows(), px->value.cols());
+      linalg::matmulInto(dx, *dz, wT);
+      releaseMat(std::move(wT));
+      accumulate(*px, std::move(dx));
+    }
+    releaseMat(std::move(dzStore));
+  }));
+}
+
+Tensor fusedGcnLayer(const Mat& block, std::size_t repeat, const Tensor& h,
+                     const Tensor& w, const Tensor& b, Activation act) {
+  // NOTE: `block` is captured by pointer (it is the environment's constant
+  // propagation matrix, owned by the policy) — it must outlive the backward
+  // pass of the graph this op records.
+  const std::size_t n = block.rows();
+  if (block.cols() != n)
+    throw std::invalid_argument("fusedGcnLayer: block must be square");
+  if (h.rows() != repeat * n)
+    throw std::invalid_argument("fusedGcnLayer: row count mismatch");
+  if (h.cols() != w.rows())
+    throw std::invalid_argument("fusedGcnLayer: inner dim mismatch");
+  if (b.rows() != 1 || b.cols() != w.cols())
+    throw std::invalid_argument("fusedGcnLayer: bias shape mismatch");
+  Mat agg = newMat(h.rows(), h.cols());
+  blockDiagApplyInto(agg, block, repeat, h.value());
+  Mat out = newMat(h.rows(), w.cols());
+  linalg::matmulInto(out, agg, w.value());
+  for (std::size_t r = 0; r < out.rows(); ++r)
+    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) += b.value()(0, c);
+  applyActivationInPlace(out, act);
+  if (tlInferenceDepth > 0) {
+    releaseMat(std::move(agg));
+    return wrap(makeValueNode(std::move(out)));
+  }
+  auto ph = h.node(), pw = w.node(), pb = b.node();
+  auto node = makeNode(
+      std::move(out), {ph, pw, pb},
+      [ph, pw, pb, blockPtr = &block, repeat, act](Node& self) {
+        const Mat& agg = self.ctx;
+        Mat dzStore;
+        const Mat* dz = &self.grad;
+        if (act != Activation::None) {
+          dzStore = newMatUninit(self.grad.rows(), self.grad.cols());
+          activationBackwardInto(dzStore, self.value, self.grad, act);
+          dz = &dzStore;
+        }
+        if (pb->requiresGrad) {
+          Mat rowGrad = newMat(1, dz->cols());
+          linalg::simd::biasRowSumKernel(rowGrad.data(), dz->data(),
+                                         dz->rows(), dz->cols());
+          accumulate(*pb, std::move(rowGrad));
+        }
+        if (pw->requiresGrad) {
+          Mat dw = newMat(pw->value.rows(), pw->value.cols());
+          linalg::matmulAtBInto(dw, agg, *dz);
+          accumulate(*pw, std::move(dw));
+        }
+        if (ph->requiresGrad) {
+          Mat wT = transposedPooled(pw->value);
+          Mat dAgg = newMat(agg.rows(), agg.cols());
+          linalg::matmulInto(dAgg, *dz, wT);
+          releaseMat(std::move(wT));
+          Mat dh = newMat(ph->value.rows(), ph->value.cols());
+          blockDiagApplyTransposedInto(dh, *blockPtr, repeat, dAgg);
+          releaseMat(std::move(dAgg));
+          accumulate(*ph, std::move(dh));
+        }
+        releaseMat(std::move(dzStore));
+      });
+  node->ctx = std::move(agg);
+  return wrap(std::move(node));
+}
+
+Tensor fusedGatLogits(const Tensor& hw, const Tensor& aSrc, const Tensor& aDst,
+                      const Mat& mask, std::size_t blocks, double slope) {
+  const std::size_t n = mask.cols();
+  const std::size_t rows = blocks * n;
+  const std::size_t d = hw.cols();
+  if (mask.rows() != rows)
+    throw std::invalid_argument("fusedGatLogits: mask must be [blocks*n x n]");
+  if (hw.rows() != rows)
+    throw std::invalid_argument("fusedGatLogits: hw row count mismatch");
+  if (aSrc.rows() != d || aSrc.cols() != 1 || aDst.rows() != d || aDst.cols() != 1)
+    throw std::invalid_argument("fusedGatLogits: projection shape mismatch");
+  // src = hw aSrc, dst = hw aDst (the unfused chain's matmul nodes), then
+  // the per-block logit assembly in one pass.
+  Mat src = newMat(rows, 1);
+  linalg::simd::matmulKernel(src.data(), hw.value().data(), aSrc.value().data(),
+                             rows, d, 1);
+  Mat dst = newMat(rows, 1);
+  linalg::simd::matmulKernel(dst.data(), hw.value().data(), aDst.value().data(),
+                             rows, d, 1);
+  Mat pre = newMatUninit(rows, n);
+  Mat e = newMatUninit(rows, n);
+  linalg::simd::gatLogitsKernel(e.data(), pre.data(), src.data(), dst.data(),
+                                mask.data(), blocks, n, slope);
+  releaseMat(std::move(src));
+  releaseMat(std::move(dst));
+  if (tlInferenceDepth > 0) {
+    releaseMat(std::move(pre));
+    return wrap(makeValueNode(std::move(e)));
+  }
+  auto phw = hw.node(), pas = aSrc.node(), pad = aDst.node();
+  auto node = makeNode(
+      std::move(e), {phw, pas, pad},
+      [phw, pas, pad, blocks, n, d, slope](Node& self) {
+        // dPre = leakyRelu'(pre) .* dE, then the projection backwards in the
+        // unfused chain's reverse-topological order: src side into hw/aSrc
+        // first, dst side second (accumulation order is part of the
+        // bit-identity contract).
+        const std::size_t rows = blocks * n;
+        const Mat& pre = self.ctx;
+        Mat dpre = newMatUninit(rows, n);
+        Mat dsrc = newMatUninit(rows, 1);
+        Mat ddst = newMatUninit(rows, 1);
+        linalg::simd::gatLogitsBackwardKernel(dsrc.data(), ddst.data(),
+                                              dpre.data(), pre.data(),
+                                              self.grad.data(), blocks, n, slope);
+        releaseMat(std::move(dpre));
+        if (phw->requiresGrad) {
+          Mat dhw = newMat(rows, d);
+          linalg::simd::matmulKernel(dhw.data(), dsrc.data(),
+                                     pas->value.data(), rows, 1, d);
+          accumulate(*phw, std::move(dhw));
+        }
+        if (pas->requiresGrad) {
+          Mat da = newMat(d, 1);
+          linalg::simd::matmulAtBKernel(da.data(), phw->value.data(),
+                                        dsrc.data(), rows, d, 1);
+          accumulate(*pas, std::move(da));
+        }
+        if (phw->requiresGrad) {
+          Mat dhw = newMat(rows, d);
+          linalg::simd::matmulKernel(dhw.data(), ddst.data(),
+                                     pad->value.data(), rows, 1, d);
+          accumulate(*phw, std::move(dhw));
+        }
+        if (pad->requiresGrad) {
+          Mat da = newMat(d, 1);
+          linalg::simd::matmulAtBKernel(da.data(), phw->value.data(),
+                                        ddst.data(), rows, d, 1);
+          accumulate(*pad, std::move(da));
+        }
+        releaseMat(std::move(dsrc));
+        releaseMat(std::move(ddst));
+      });
+  node->ctx = std::move(pre);
+  return wrap(std::move(node));
+}
+
+Tensor concatColsAll(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concatColsAll: no parts");
+  if (parts.size() == 1) return parts[0];
+  const std::size_t rows = parts[0].rows();
+  std::size_t totalCols = 0;
+  for (const auto& p : parts) {
+    if (p.rows() != rows) throw std::invalid_argument("concatColsAll: row mismatch");
+    totalCols += p.cols();
+  }
+  Mat out = newMatUninit(rows, totalCols);
+  std::vector<std::shared_ptr<Node>> parents;
+  parents.reserve(parts.size());
+  std::size_t off = 0;
+  for (const auto& p : parts) {
+    const Mat& v = p.value();
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < v.cols(); ++c) out(r, off + c) = v(r, c);
+    off += v.cols();
+    parents.push_back(p.node());
+  }
+  return wrap(makeNode(std::move(out), std::move(parents), [](Node& self) {
+    std::size_t begin = 0;
+    for (const auto& parent : self.parents) {
+      const std::size_t cols = parent->value.cols();
+      if (parent->requiresGrad) {
+        Mat delta = newMatUninit(parent->value.rows(), cols);
+        for (std::size_t r = 0; r < delta.rows(); ++r)
+          for (std::size_t c = 0; c < cols; ++c)
+            delta(r, c) = self.grad(r, begin + c);
+        accumulate(*parent, std::move(delta));
+      }
+      begin += cols;
+    }
+  }));
+}
+
+Tensor fusedSoftmaxMatmulBlocks(const Tensor& e, const Tensor& hw,
+                                std::size_t blocks) {
+  if (blocks == 0 || e.rows() % blocks != 0 || hw.rows() % blocks != 0)
+    throw std::invalid_argument(
+        "fusedSoftmaxMatmulBlocks: rows must divide into blocks");
+  const std::size_t r = e.rows() / blocks;
+  const std::size_t k = hw.rows() / blocks;
+  const std::size_t m = hw.cols();
+  if (e.cols() != k)
+    throw std::invalid_argument("fusedSoftmaxMatmulBlocks: inner dim mismatch");
+  Mat alpha = copyMat(e.value());
+  softmaxRowsInPlace(alpha);
+  Mat out = newMat(blocks * r, m);
+  blocksMatmulInto(out, alpha, hw.value(), blocks, r, k, m);
+  if (tlInferenceDepth > 0) {
+    releaseMat(std::move(alpha));
+    return wrap(makeValueNode(std::move(out)));
+  }
+  auto pe = e.node(), phw = hw.node();
+  auto node = makeNode(
+      std::move(out), {pe, phw}, [pe, phw, blocks, r, k, m](Node& self) {
+        // matmulBlocks backward against the saved attention coefficients
+        // (dAlpha per block is a row-dot sweep, dHw the row-saxpy
+        // accumulation), then the softmax backward folds dAlpha into de —
+        // all in the unfused chain's summation order.
+        const Mat& alpha = self.ctx;
+        Mat da = newMatUninit(alpha.rows(), alpha.cols());
+        Mat db = newMat(phw->value.rows(), phw->value.cols());
+        linalg::simd::gatMixBackwardKernel(da.data(), db.data(), alpha.data(),
+                                           phw->value.data(), self.grad.data(),
+                                           blocks, r, k, m);
+        accumulate(*phw, std::move(db));
+        if (pe->requiresGrad) {
+          Mat de = newMatUninit(alpha.rows(), alpha.cols());
+          for (std::size_t row = 0; row < alpha.rows(); ++row) {
+            double dotProd = 0.0;
+            for (std::size_t c = 0; c < alpha.cols(); ++c)
+              dotProd += da(row, c) * alpha(row, c);
+            for (std::size_t c = 0; c < alpha.cols(); ++c)
+              de(row, c) = alpha(row, c) * (da(row, c) - dotProd);
+          }
+          accumulate(*pe, std::move(de));
+        }
+        releaseMat(std::move(da));
+      });
+  node->ctx = std::move(alpha);
+  return wrap(std::move(node));
 }
 
 }  // namespace crl::nn

@@ -11,8 +11,12 @@
 // (log-)softmax, reductions, concatenation, clipping, elementwise min, and
 // per-row gather.
 
-#include <functional>
+#include <cstddef>
+#include <initializer_list>
 #include <memory>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "linalg/matrix.h"
@@ -23,12 +27,148 @@ namespace crl::nn {
 using linalg::Mat;
 
 namespace detail {
+struct Node;
+
+/// Move-only callable holding a backward closure. std::function's inline
+/// buffer is 16 bytes on libstdc++ — virtually every backward closure
+/// captures at least one shared_ptr plus extras and would heap-allocate per
+/// recorded op. This wrapper's 120-byte inline buffer fits every closure the
+/// op set emits, so recording a node performs no closure allocation.
+class BackwardFn {
+ public:
+  BackwardFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, BackwardFn>>>
+  BackwardFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      new (buf_) Fn(std::forward<F>(f));
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+    }
+    vt_ = &kVTable<Fn, (sizeof(Fn) <= kInlineSize &&
+                        alignof(Fn) <= alignof(std::max_align_t))>;
+  }
+
+  BackwardFn(BackwardFn&& o) noexcept { moveFrom(std::move(o)); }
+  BackwardFn& operator=(BackwardFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      moveFrom(std::move(o));
+    }
+    return *this;
+  }
+  BackwardFn(const BackwardFn&) = delete;
+  BackwardFn& operator=(const BackwardFn&) = delete;
+  ~BackwardFn() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+  void operator()(Node& n) { vt_->invoke(target(), n); }
+
+ private:
+  static constexpr std::size_t kInlineSize = 120;
+
+  struct VTable {
+    void (*invoke)(void* self, Node& n);
+    void (*destroy)(void* self);
+    void (*relocate)(void* from, unsigned char* toBuf);
+    bool inlineStored;
+  };
+
+  template <typename Fn, bool Inline>
+  static constexpr VTable kVTable{
+      [](void* self, Node& n) { (*static_cast<Fn*>(self))(n); },
+      [](void* self) {
+        if constexpr (Inline)
+          static_cast<Fn*>(self)->~Fn();
+        else
+          delete static_cast<Fn*>(self);
+      },
+      [](void* from, unsigned char* toBuf) {
+        if constexpr (Inline) {
+          Fn* src = static_cast<Fn*>(from);
+          new (toBuf) Fn(std::move(*src));
+          src->~Fn();
+        } else {
+          (void)from;
+          (void)toBuf;
+        }
+      },
+      Inline};
+
+  void* target() { return vt_->inlineStored ? static_cast<void*>(buf_) : heap_; }
+  void reset() {
+    if (vt_) {
+      vt_->destroy(target());
+      vt_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+  void moveFrom(BackwardFn&& o) {
+    vt_ = o.vt_;
+    if (vt_) {
+      if (vt_->inlineStored)
+        vt_->relocate(o.buf_, buf_);
+      else
+        heap_ = o.heap_;
+    }
+    o.vt_ = nullptr;
+    o.heap_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  void* heap_ = nullptr;
+  const VTable* vt_ = nullptr;
+};
+
+/// Parent edges with inline storage for the common arity (every op except
+/// concatRowsAll has <= 4 parents), so recording a node performs no
+/// parent-vector allocation.
+class ParentList {
+ public:
+  ParentList() = default;
+  ParentList(std::initializer_list<std::shared_ptr<Node>> init) {
+    if (init.size() <= kInline) {
+      for (const auto& p : init) inline_[size_++] = p;
+    } else {
+      overflow_.assign(init.begin(), init.end());
+      size_ = overflow_.size();
+    }
+  }
+  ParentList(std::vector<std::shared_ptr<Node>>&& v) {  // NOLINT
+    if (v.size() <= kInline) {
+      for (auto& p : v) inline_[size_++] = std::move(p);
+    } else {
+      overflow_ = std::move(v);
+      size_ = overflow_.size();
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  const std::shared_ptr<Node>* begin() const {
+    return size_ <= kInline ? inline_ : overflow_.data();
+  }
+  const std::shared_ptr<Node>* end() const { return begin() + size_; }
+  const std::shared_ptr<Node>& operator[](std::size_t i) const { return begin()[i]; }
+
+ private:
+  static constexpr std::size_t kInline = 4;
+  std::shared_ptr<Node> inline_[kInline];
+  std::vector<std::shared_ptr<Node>> overflow_;
+  std::size_t size_ = 0;
+};
+
 struct Node {
   Mat value;
   Mat grad;                     ///< allocated lazily on first accumulation
+  Mat ctx;                      ///< fused-op saved intermediate (e.g. GCN agg,
+                                ///< GAT attention coefficients); pooled like
+                                ///< value/grad when the node lives in an arena
   bool requiresGrad = false;
-  std::vector<std::shared_ptr<Node>> parents;
-  std::function<void(Node&)> backward;  ///< pushes this->grad into parents
+  ParentList parents;
+  BackwardFn backward;          ///< pushes this->grad into parents
   int visitMark = 0;            ///< scratch for topological sort
 
   void ensureGrad() {
@@ -37,6 +177,10 @@ struct Node {
   }
 };
 }  // namespace detail
+
+/// Pointwise nonlinearity selector, shared by the layer modules and the
+/// fused tape ops below (which is why it lives here rather than module.h).
+enum class Activation { None, Tanh, Relu, LeakyRelu, Sigmoid };
 
 class Tensor {
  public:
@@ -53,22 +197,34 @@ class Tensor {
   static Tensor xavier(std::size_t rows, std::size_t cols, util::Rng& rng);
 
   bool defined() const { return node_ != nullptr; }
-  const Mat& value() const { return node_->value; }
-  Mat& mutableValue() { return node_->value; }
-  const Mat& grad() const { return node_->grad; }
+  // Every accessor that dereferences the node throws logic_error on a
+  // default-constructed (undefined) Tensor instead of crashing; the branch
+  // is perfectly predicted on the hot path.
+  const Mat& value() const { return checked()->value; }
+  Mat& mutableValue() { return checked()->value; }
+  const Mat& grad() const { return checked()->grad; }
   bool requiresGrad() const { return node_ && node_->requiresGrad; }
-  std::size_t rows() const { return node_->value.rows(); }
-  std::size_t cols() const { return node_->value.cols(); }
+  std::size_t rows() const { return checked()->value.rows(); }
+  std::size_t cols() const { return checked()->value.cols(); }
   double item() const;  ///< value of a 1x1 tensor
 
   void zeroGrad();
   /// Ensure the grad buffer exists (used by the optimizer).
-  void ensureGrad() { node_->ensureGrad(); }
-  Mat& mutableGrad() { node_->ensureGrad(); return node_->grad; }
+  void ensureGrad() { checked()->ensureGrad(); }
+  Mat& mutableGrad() {
+    detail::Node* n = checked();
+    n->ensureGrad();
+    return n->grad;
+  }
 
   std::shared_ptr<detail::Node> node() const { return node_; }
 
  private:
+  detail::Node* checked() const {
+    if (!node_) throw std::logic_error("Tensor: undefined tensor");
+    return node_.get();
+  }
+
   std::shared_ptr<detail::Node> node_;
 };
 
@@ -166,5 +322,53 @@ Tensor sliceRows(const Tensor& a, std::size_t begin, std::size_t count);
 Tensor repeatRows(const Tensor& a, std::size_t times);
 /// Row-major reshape preserving the element count (e.g. 1 x 3M -> M x 3).
 Tensor reshape(const Tensor& a, std::size_t rows, std::size_t cols);
+
+// ---- fused layer kernels ------------------------------------------------
+//
+// Each fuses a hot per-layer op chain into ONE tape node, eliminating the
+// intermediate nodes' allocations and full-matrix copy passes. The fused
+// value and backward computations run the identical kernels in the identical
+// summation order as the unfused chains, so results (and the sequential
+// golden curves) are bit-for-bit unchanged — enforced by
+// tests/nn/test_fused.cpp (label: parity).
+
+/// act(x W + b): matmul + row-broadcast bias + pointwise activation (the
+/// FCNN/encoder MLP layer) in one node instead of three.
+Tensor fusedLinear(const Tensor& x, const Tensor& w, const Tensor& b,
+                   Activation act);
+
+/// act(diag(block, ..., block) h W + b): the whole GCN layer — block-diagonal
+/// propagation, weight matmul, bias, activation — in one node instead of
+/// four. `repeat` = 1 is the single-graph forward (block = A*), > 1 the
+/// batched forward over stacked graphs.
+///
+/// LIFETIME: unlike matmulConstLeft / matmulBlockDiagConstLeft (which copy
+/// their constant operand into the closure), the backward captures `block`
+/// by reference — it must outlive every backward() over the recorded graph.
+/// The intended operand is the environment's propagation matrix, owned by
+/// the policy for its whole life; do not pass a temporary.
+Tensor fusedGcnLayer(const Mat& block, std::size_t repeat, const Tensor& h,
+                     const Tensor& w, const Tensor& b, Activation act);
+
+/// softmaxRows(e) block-multiplied with hw: the GAT attention-weighted
+/// aggregation (row-softmax + matmulBlocks) in one node instead of two.
+/// `blocks` = 1 is the single-graph head, > 1 the batched block-local head.
+Tensor fusedSoftmaxMatmulBlocks(const Tensor& e, const Tensor& hw,
+                                std::size_t blocks);
+
+/// The GAT attention-logit chain — src/dst projections (hw aSrc, hw aDst),
+/// the per-block src_i + dst_j outer sum, leakyRelu, and the additive mask —
+/// in one node instead of seven. `mask` is the [blocks*n x n] (tiled)
+/// attention mask; `blocks` = 1 is the single-graph head. Values and
+/// gradients are bit-identical to the unfused chain (the backward
+/// accumulates hw's src-side before its dst-side, matching the unfused
+/// graph's reverse-topological order).
+Tensor fusedGatLogits(const Tensor& hw, const Tensor& aSrc, const Tensor& aDst,
+                      const Mat& mask, std::size_t blocks, double slope = 0.2);
+
+/// N-way horizontal concatenation in one graph node (multi-head outputs) —
+/// a fold over concatCols re-copies the growing prefix per operand; this
+/// copies each part once. Pure data movement, so bit-identity is trivial.
+Tensor concatColsAll(const std::vector<Tensor>& parts);
 
 }  // namespace crl::nn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "util/logging.h"
 
@@ -193,12 +194,22 @@ void PpoTrainer::update(std::vector<Transition>& buffer) {
     for (std::size_t start = 0; start < n; start += mb) {
       const std::size_t end = std::min(start + mb, n);
       optimizer_.zeroGrad();
-      nn::Tensor loss =
-          cfg_.batchedUpdate
-              ? minibatchLossBatched(buffer, perm, start, end, advantages, returns)
-              : minibatchLossSequential(buffer, perm, start, end, advantages,
-                                        returns);
-      nn::backward(loss);
+      {
+        // The minibatch tape lives in the arena: graph nodes and their
+        // buffers are recycled across minibatches instead of reallocated.
+        // Parameter gradients are heap-owned (Adam pre-allocates them), so
+        // resetting the tape before the optimizer step is safe.
+        std::optional<nn::ArenaScope> tape;
+        if (cfg_.arenaUpdate) tape.emplace(arena_);
+        nn::Tensor loss =
+            cfg_.batchedUpdate
+                ? minibatchLossBatched(buffer, perm, start, end, advantages,
+                                       returns)
+                : minibatchLossSequential(buffer, perm, start, end, advantages,
+                                          returns);
+        nn::backward(loss);
+      }
+      if (cfg_.arenaUpdate) arena_.reset();
       nn::clipGradNorm(optimizer_.parameters(), cfg_.maxGradNorm);
       optimizer_.step();
     }
@@ -245,16 +256,19 @@ nn::Tensor PpoTrainer::minibatchLossBatched(
   const std::size_t count = end - start;
   const double invCount = 1.0 / static_cast<double>(count);
 
-  std::vector<Observation> obs;
-  obs.reserve(count);
-  std::vector<int> columns;
-  linalg::Mat negOldLogp(count, 1);
-  linalg::Mat adv(count, 1);
-  linalg::Mat negRet(count, 1);
+  // Staged into trainer-owned scratch: slot assignment reuses the previous
+  // minibatch's Observation buffers (shapes are constant), and the index /
+  // target Mats are pooled, so steady-state staging does not allocate.
+  obsScratch_.resize(count);
+  columnsScratch_.clear();
+  linalg::Mat negOldLogp = nn::pooledMat(count, 1);
+  linalg::Mat adv = nn::pooledMat(count, 1);
+  linalg::Mat negRet = nn::pooledMat(count, 1);
   for (std::size_t k = start; k < end; ++k) {
     const Transition& tr = buffer[perm[k]];
-    obs.push_back(tr.obs);
-    columns.insert(columns.end(), tr.columns.begin(), tr.columns.end());
+    obsScratch_[k - start] = tr.obs;
+    columnsScratch_.insert(columnsScratch_.end(), tr.columns.begin(),
+                           tr.columns.end());
     negOldLogp(k - start, 0) = -tr.logProb;
     adv(k - start, 0) = advantages[perm[k]];
     negRet(k - start, 0) = -returns[perm[k]];
@@ -262,10 +276,10 @@ nn::Tensor PpoTrainer::minibatchLossBatched(
 
   // One graph for the whole minibatch: stacked forward, then batched
   // surrogate / value / entropy terms over [B x 1] columns.
-  BatchedPolicyOutput out = policy_.forwardBatchStacked(obs);
-  nn::Tensor logp = logProbBatch(out.logits, columns, count);
+  BatchedPolicyOutput out = policy_.forwardBatchStacked(obsScratch_);
+  nn::Tensor logp = logProbBatch(out.logits, columnsScratch_, count);
   nn::Tensor ratio = nn::expT(nn::addConst(logp, negOldLogp));
-  nn::Tensor advT(adv);  // constant: no gradient flows into advantages
+  nn::Tensor advT(std::move(adv));  // constant: no gradient into advantages
   nn::Tensor unclipped = nn::mul(ratio, advT);
   nn::Tensor clipped =
       nn::mul(nn::clampT(ratio, 1.0 - cfg_.clipEps, 1.0 + cfg_.clipEps), advT);
@@ -274,6 +288,8 @@ nn::Tensor PpoTrainer::minibatchLossBatched(
   nn::Tensor verr = nn::addConst(out.values, negRet);
   nn::Tensor valueLoss = nn::sum(nn::mul(verr, verr));
   nn::Tensor entropy = entropyBatch(out.logits, count);
+  nn::reclaimPooledMat(std::move(negOldLogp));
+  nn::reclaimPooledMat(std::move(negRet));
 
   return nn::add(nn::add(nn::scale(policyLoss, -invCount),
                          nn::scale(valueLoss, cfg_.valueCoef * invCount)),

@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "nn/arena.h"
 #include "nn/optim.h"
 #include "rl/env.h"
 #include "rl/policy.h"
@@ -31,6 +32,14 @@ struct PpoConfig {
   /// sequential path (false, the default) is the reproducibility baseline
   /// the golden-curve tests lock in.
   bool batchedUpdate = false;
+  /// Record each minibatch's autograd graph in the trainer's tape arena
+  /// (nn::GraphArena): nodes come from slabs, value/grad buffers from a
+  /// recycled pool, and the whole tape is reset after the optimizer step
+  /// instead of churning shared_ptr refcounts and malloc. Results are
+  /// bit-identical to the heap path for both update modes (pooled buffers
+  /// are zero-filled like fresh ones) — tests/nn/test_arena.cpp locks that
+  /// in; the off switch exists for A/B benchmarking (bench_arena).
+  bool arenaUpdate = true;
 };
 
 /// Per-episode statistics streamed to the caller (training curves of Fig. 3).
@@ -105,6 +114,15 @@ class PpoTrainer {
   PpoConfig cfg_;
   util::Rng rng_;
   nn::Adam optimizer_;
+  /// Per-trainer minibatch tape (see PpoConfig::arenaUpdate). Trainers on
+  /// different threads (CRL_SEED_WORKERS fan-out) each own an independent
+  /// arena; the scope installs it thread-locally only while updating.
+  nn::GraphArena arena_;
+  /// Minibatch staging reused across minibatches by minibatchLossBatched —
+  /// Observation assignment reuses each slot's buffers, so the steady state
+  /// stages a minibatch without allocating.
+  std::vector<Observation> obsScratch_;
+  std::vector<int> columnsScratch_;
   int episodeCounter_ = 0;
 };
 

@@ -1,0 +1,206 @@
+// GraphArena contract suite (CTest label: parity). The arena promises:
+//  * reset-and-reuse across updates is BIT-identical to fresh heap
+//    allocation (pooled buffers are zero-filled like fresh Mats),
+//  * pool buffers never alias live tensors (parameters, detached copies),
+//  * a NoGradGuard inside an arena scope records nothing,
+//  * per-thread arenas are independent under a CRL_SEED_WORKERS-style
+//    fan-out: concurrent per-thread training is bitwise equal to serial.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "nn/arena.h"
+#include "nn/module.h"
+#include "nn/optim.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace crl::nn {
+namespace {
+
+Mat randomMat(std::size_t rows, std::size_t cols, util::Rng& rng) {
+  Mat m(rows, cols);
+  for (auto& v : m.raw()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+void expectSameMat(const Mat& a, const Mat& b, const char* what) {
+  ASSERT_TRUE(a.sameShape(b)) << what;
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    EXPECT_EQ(a.raw()[i], b.raw()[i]) << what << " element " << i;
+}
+
+/// One optimizer step over a small MLP: forward a fixed input, backprop a
+/// sum loss, Adam-step. Returns the parameter values after `steps` steps.
+std::vector<Mat> trainMlp(std::uint64_t seed, int steps, GraphArena* arena) {
+  util::Rng rng(seed);
+  Mlp net({4, 8, 8, 2}, rng, Activation::Tanh, Activation::Sigmoid);
+  Adam opt(net.parameters(), {.lr = 1e-2});
+  util::Rng dataRng(seed + 100);
+  for (int s = 0; s < steps; ++s) {
+    Mat in = randomMat(3, 4, dataRng);
+    opt.zeroGrad();
+    {
+      std::optional<ArenaScope> scope;
+      if (arena) scope.emplace(*arena);
+      Tensor loss = sum(net.forward(Tensor(std::move(in))));
+      backward(loss);
+    }
+    if (arena) arena->reset();
+    opt.step();
+  }
+  std::vector<Mat> params;
+  for (const Tensor& p : net.parameters()) params.push_back(p.value());
+  return params;
+}
+
+TEST(GraphArena, ResetAndReuseIsBitIdenticalToFreshAllocation) {
+  // >= 3 updates so the second and third run entirely on recycled buffers.
+  std::vector<Mat> heap = trainMlp(9, 4, nullptr);
+  GraphArena arena;
+  std::vector<Mat> pooled = trainMlp(9, 4, &arena);
+  ASSERT_EQ(heap.size(), pooled.size());
+  for (std::size_t i = 0; i < heap.size(); ++i)
+    expectSameMat(heap[i], pooled[i], "parameter");
+  EXPECT_GT(arena.poolHits(), 0u) << "later updates should reuse pooled buffers";
+  EXPECT_EQ(arena.liveNodes(), 0u) << "every update must end reset";
+}
+
+TEST(GraphArena, PoolBuffersNeverAliasLiveTensors) {
+  util::Rng rng(3);
+  Mlp net({4, 8, 2}, rng, Activation::Tanh, Activation::None);
+  for (Tensor p : net.parameters()) p.zeroGrad();  // materialize grads
+
+  GraphArena arena;
+  Mat detached;
+  {
+    ArenaScope scope(arena);
+    util::Rng dataRng(5);
+    Tensor out = net.forward(Tensor(randomMat(2, 4, dataRng)));
+    detached = out.value();  // detached copy may outlive the reset
+    backward(sum(out));
+  }
+  const Mat detachedBefore = detached;
+  arena.reset();
+
+  // The pool holds recycled buffers of exactly the parameter-gradient
+  // shapes (backward deltas of those shapes were accumulated and
+  // reclaimed). Acquire several of each shape and check nothing the arena
+  // hands out aliases a parameter value, a parameter gradient, or the
+  // detached copy.
+  std::set<const double*> liveBuffers;
+  for (const Tensor& p : net.parameters()) {
+    liveBuffers.insert(p.value().data());
+    liveBuffers.insert(p.grad().data());
+  }
+  liveBuffers.insert(detached.data());
+  EXPECT_GT(arena.pooledBuffers(), 0u);
+  std::vector<Mat> drained;
+  for (const Tensor& p : net.parameters()) {
+    for (int i = 0; i < 2; ++i) {
+      Mat m = arena.acquireMat(p.value().rows(), p.value().cols());
+      EXPECT_EQ(liveBuffers.count(m.data()), 0u)
+          << "pool handed out a buffer aliasing a live tensor";
+      drained.push_back(std::move(m));
+    }
+  }
+  for (Mat& m : drained) arena.reclaimMat(std::move(m));
+
+  // A second tape over the recycled buffers must leave the detached copy
+  // untouched.
+  {
+    ArenaScope scope(arena);
+    util::Rng dataRng(6);
+    backward(sum(net.forward(Tensor(randomMat(2, 4, dataRng)))));
+  }
+  arena.reset();
+  expectSameMat(detachedBefore, detached, "detached output");
+}
+
+TEST(GraphArena, NoGradGuardInsideArenaScopeRecordsNothing) {
+  util::Rng rng(4);
+  Mlp net({4, 8, 2}, rng, Activation::Tanh, Activation::None);
+  GraphArena arena;
+  ArenaScope scope(arena);
+  const std::size_t pooledBefore = arena.pooledBuffers();
+  {
+    NoGradGuard inference;
+    util::Rng dataRng(5);
+    Tensor out = net.forward(Tensor(randomMat(2, 4, dataRng)));
+    EXPECT_FALSE(out.requiresGrad());
+  }
+  EXPECT_EQ(arena.liveNodes(), 0u)
+      << "inference-mode ops must not record arena nodes";
+  EXPECT_EQ(arena.pooledBuffers(), pooledBefore)
+      << "inference-mode ops must not touch the buffer pool";
+}
+
+TEST(GraphArena, PerThreadArenasAreIndependentUnderFanOut) {
+  // CRL_SEED_WORKERS-style fan-out: per-seed trainers with per-trainer
+  // arenas running concurrently must produce exactly the serial results.
+  constexpr int kSeeds = 4;
+  std::vector<std::vector<Mat>> serial(kSeeds);
+  for (int s = 0; s < kSeeds; ++s) {
+    GraphArena arena;
+    serial[static_cast<std::size_t>(s)] =
+        trainMlp(1000 + static_cast<std::uint64_t>(s), 3, &arena);
+  }
+
+  std::vector<std::vector<Mat>> parallel(kSeeds);
+  {
+    util::ThreadPool pool(kSeeds);
+    std::vector<std::future<void>> futs;
+    for (int s = 0; s < kSeeds; ++s) {
+      futs.push_back(pool.submit([s, &parallel]() {
+        GraphArena arena;  // thread-owned, installed thread-locally
+        parallel[static_cast<std::size_t>(s)] =
+            trainMlp(1000 + static_cast<std::uint64_t>(s), 3, &arena);
+      }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  for (int s = 0; s < kSeeds; ++s) {
+    ASSERT_EQ(serial[s].size(), parallel[s].size());
+    for (std::size_t i = 0; i < serial[s].size(); ++i)
+      expectSameMat(serial[s][i], parallel[s][i], "fan-out parameter");
+  }
+}
+
+TEST(GraphArena, ScopesNestAndRestore) {
+  GraphArena outer, inner;
+  EXPECT_EQ(activeArena(), nullptr);
+  {
+    ArenaScope a(outer);
+    EXPECT_EQ(activeArena(), &outer);
+    {
+      ArenaScope b(inner);
+      EXPECT_EQ(activeArena(), &inner);
+    }
+    EXPECT_EQ(activeArena(), &outer);
+  }
+  EXPECT_EQ(activeArena(), nullptr);
+}
+
+TEST(GraphArena, SlabsGrowAndSurviveReset) {
+  GraphArena arena;
+  ArenaScope scope(arena);
+  // More nodes than one slab holds (256): slabs must chain.
+  Tensor t = Tensor::scalar(0.0);
+  Tensor one = Tensor::scalar(1.0);
+  for (int i = 0; i < 600; ++i) t = add(t, one);
+  EXPECT_GT(arena.liveNodes(), 600u);
+  EXPECT_GE(arena.slabCount(), 2u);
+  const std::size_t slabs = arena.slabCount();
+  arena.reset();
+  EXPECT_EQ(arena.liveNodes(), 0u);
+  EXPECT_EQ(arena.slabCount(), slabs) << "reset must not release slabs";
+}
+
+}  // namespace
+}  // namespace crl::nn

@@ -1,0 +1,314 @@
+// Fused-kernel parity suite (CTest label: parity). The fused layer ops
+// (fusedLinear, fusedGcnLayer, fusedSoftmaxMatmulBlocks) promise BIT-IDENTICAL
+// values and gradients to the unfused op chains they replace — same kernels,
+// same summation order — which is what lets the sequential golden curves
+// survive the fusion. These tests compose both formulations over identical
+// inputs and compare with exact equality, on the heap path and inside a
+// recording arena.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nn/arena.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+
+namespace crl::nn {
+namespace {
+
+Mat randomMat(std::size_t rows, std::size_t cols, util::Rng& rng,
+              double lo = -1.5, double hi = 1.5) {
+  Mat m(rows, cols);
+  for (auto& v : m.raw()) v = rng.uniform(lo, hi);
+  return m;
+}
+
+void expectSameMat(const Mat& a, const Mat& b, const char* what) {
+  ASSERT_TRUE(a.sameShape(b)) << what;
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    EXPECT_EQ(a.raw()[i], b.raw()[i]) << what << " element " << i;
+}
+
+struct Evaluated {
+  Mat value;
+  std::vector<Mat> grads;
+};
+
+/// Run fn to build a graph over the given leaf tensors, backprop a sum loss,
+/// and capture output value + leaf gradients.
+template <typename BuildFn>
+Evaluated evaluate(std::vector<Tensor>& leaves, BuildFn&& fn) {
+  for (Tensor& t : leaves) t.zeroGrad();
+  Tensor out = fn();
+  backward(sum(out));
+  Evaluated e;
+  e.value = out.value();
+  for (const Tensor& t : leaves) e.grads.push_back(t.grad());
+  return e;
+}
+
+void expectSameEval(const Evaluated& a, const Evaluated& b) {
+  expectSameMat(a.value, b.value, "value");
+  ASSERT_EQ(a.grads.size(), b.grads.size());
+  for (std::size_t i = 0; i < a.grads.size(); ++i)
+    expectSameMat(a.grads[i], b.grads[i], "grad");
+}
+
+class FusedParity : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(FusedParity, LinearMatchesUnfusedChainBitwise) {
+  const Activation act = GetParam();
+  util::Rng rng(42);
+  Tensor x(randomMat(5, 4, rng), /*requiresGrad=*/true);
+  Tensor w(randomMat(4, 3, rng), /*requiresGrad=*/true);
+  Tensor b(randomMat(1, 3, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves{x, w, b};
+
+  Evaluated unfused = evaluate(leaves, [&] {
+    return activate(addRowBroadcast(matmul(x, w), b), act);
+  });
+  Evaluated fused = evaluate(leaves, [&] { return fusedLinear(x, w, b, act); });
+  expectSameEval(unfused, fused);
+
+  GraphArena arena;
+  ArenaScope scope(arena);
+  Evaluated fusedArena =
+      evaluate(leaves, [&] { return fusedLinear(x, w, b, act); });
+  expectSameEval(unfused, fusedArena);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, FusedParity,
+                         ::testing::Values(Activation::None, Activation::Tanh,
+                                           Activation::Relu,
+                                           Activation::LeakyRelu,
+                                           Activation::Sigmoid),
+                         [](const ::testing::TestParamInfo<Activation>& info) {
+                           switch (info.param) {
+                             case Activation::None: return "None";
+                             case Activation::Tanh: return "Tanh";
+                             case Activation::Relu: return "Relu";
+                             case Activation::LeakyRelu: return "LeakyRelu";
+                             case Activation::Sigmoid: return "Sigmoid";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(FusedGcnLayer, SingleGraphMatchesUnfusedChainBitwise) {
+  util::Rng rng(7);
+  const std::size_t n = 4, in = 3, out = 5;
+  Mat adj = randomMat(n, n, rng, 0.0, 1.0);
+  adj(0, 2) = adj(2, 0) = 0.0;  // exercise the sparse zero-skip
+  Tensor h(randomMat(n, in, rng), /*requiresGrad=*/true);
+  Tensor w(randomMat(in, out, rng), /*requiresGrad=*/true);
+  Tensor b(randomMat(1, out, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves{h, w, b};
+
+  Evaluated unfused = evaluate(leaves, [&] {
+    return activate(addRowBroadcast(matmul(matmulConstLeft(adj, h), w), b),
+                    Activation::Tanh);
+  });
+  Evaluated fused = evaluate(
+      leaves, [&] { return fusedGcnLayer(adj, 1, h, w, b, Activation::Tanh); });
+  expectSameEval(unfused, fused);
+}
+
+TEST(FusedGcnLayer, BatchedMatchesUnfusedChainBitwise) {
+  util::Rng rng(11);
+  const std::size_t n = 3, in = 4, out = 6, repeat = 5;
+  Mat adj = randomMat(n, n, rng, 0.0, 1.0);
+  adj(1, 2) = adj(2, 1) = 0.0;
+  Tensor h(randomMat(repeat * n, in, rng), /*requiresGrad=*/true);
+  Tensor w(randomMat(in, out, rng), /*requiresGrad=*/true);
+  Tensor b(randomMat(1, out, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves{h, w, b};
+
+  Evaluated unfused = evaluate(leaves, [&] {
+    return activate(
+        addRowBroadcast(matmul(matmulBlockDiagConstLeft(adj, repeat, h), w), b),
+        Activation::Tanh);
+  });
+  Evaluated fused = evaluate(leaves, [&] {
+    return fusedGcnLayer(adj, repeat, h, w, b, Activation::Tanh);
+  });
+  expectSameEval(unfused, fused);
+
+  GraphArena arena;
+  ArenaScope scope(arena);
+  Evaluated fusedArena = evaluate(leaves, [&] {
+    return fusedGcnLayer(adj, repeat, h, w, b, Activation::Tanh);
+  });
+  expectSameEval(unfused, fusedArena);
+}
+
+TEST(FusedSoftmaxMatmulBlocks, SingleBlockMatchesUnfusedChainBitwise) {
+  util::Rng rng(13);
+  const std::size_t n = 6, d = 4;
+  Tensor e(randomMat(n, n, rng, -3.0, 3.0), /*requiresGrad=*/true);
+  Tensor hw(randomMat(n, d, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves{e, hw};
+
+  Evaluated unfused =
+      evaluate(leaves, [&] { return matmul(softmaxRows(e), hw); });
+  Evaluated fused =
+      evaluate(leaves, [&] { return fusedSoftmaxMatmulBlocks(e, hw, 1); });
+  expectSameEval(unfused, fused);
+}
+
+TEST(FusedSoftmaxMatmulBlocks, BlockLocalMatchesUnfusedChainBitwise) {
+  util::Rng rng(17);
+  const std::size_t n = 4, d = 3, blocks = 6;
+  Tensor e(randomMat(blocks * n, n, rng, -3.0, 3.0), /*requiresGrad=*/true);
+  Tensor hw(randomMat(blocks * n, d, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves{e, hw};
+
+  Evaluated unfused = evaluate(
+      leaves, [&] { return matmulBlocks(softmaxRows(e), hw, blocks); });
+  Evaluated fused = evaluate(
+      leaves, [&] { return fusedSoftmaxMatmulBlocks(e, hw, blocks); });
+  expectSameEval(unfused, fused);
+
+  GraphArena arena;
+  ArenaScope scope(arena);
+  Evaluated fusedArena = evaluate(
+      leaves, [&] { return fusedSoftmaxMatmulBlocks(e, hw, blocks); });
+  expectSameEval(unfused, fusedArena);
+}
+
+/// The unfused batched attention-logit chain fusedGatLogits replaces:
+/// outer-product src broadcast + repeatRows dst broadcast + add + leakyRelu
+/// + mask (block-local, [blocks*n x n]).
+Tensor unfusedGatLogits(const Tensor& hw, const Tensor& aSrc, const Tensor& aDst,
+                        const Mat& mask, std::size_t blocks) {
+  const std::size_t n = mask.cols();
+  Tensor src = matmul(hw, aSrc);
+  Tensor dst = matmul(hw, aDst);
+  Tensor onesRow(Mat(1, n, 1.0));
+  Tensor e = add(matmul(src, onesRow), repeatRows(reshape(dst, blocks, n), n));
+  e = leakyRelu(e, 0.2);
+  return addConst(e, mask);
+}
+
+TEST(FusedGatLogits, SingleGraphMatchesUnfusedChainBitwise) {
+  util::Rng rng(31);
+  const std::size_t n = 5, d = 4;
+  Mat mask(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) mask(r, c) = ((r + c) % 2) ? -1e9 : 0.0;
+  Tensor hw(randomMat(n, d, rng), /*requiresGrad=*/true);
+  Tensor aSrc(randomMat(d, 1, rng), /*requiresGrad=*/true);
+  Tensor aDst(randomMat(d, 1, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves{hw, aSrc, aDst};
+
+  Evaluated unfused = evaluate(
+      leaves, [&] { return unfusedGatLogits(hw, aSrc, aDst, mask, 1); });
+  Evaluated fused =
+      evaluate(leaves, [&] { return fusedGatLogits(hw, aSrc, aDst, mask, 1); });
+  expectSameEval(unfused, fused);
+}
+
+TEST(FusedGatLogits, BatchedMatchesUnfusedChainBitwise) {
+  util::Rng rng(37);
+  const std::size_t n = 4, d = 3, blocks = 5;
+  Mat mask(blocks * n, n);
+  for (std::size_t r = 0; r < blocks * n; ++r)
+    for (std::size_t c = 0; c < n; ++c) mask(r, c) = ((r + c) % 3) ? -1e9 : 0.0;
+  Tensor hw(randomMat(blocks * n, d, rng), /*requiresGrad=*/true);
+  Tensor aSrc(randomMat(d, 1, rng), /*requiresGrad=*/true);
+  Tensor aDst(randomMat(d, 1, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves{hw, aSrc, aDst};
+
+  Evaluated unfused = evaluate(
+      leaves, [&] { return unfusedGatLogits(hw, aSrc, aDst, mask, blocks); });
+  Evaluated fused = evaluate(
+      leaves, [&] { return fusedGatLogits(hw, aSrc, aDst, mask, blocks); });
+  expectSameEval(unfused, fused);
+
+  GraphArena arena;
+  ArenaScope scope(arena);
+  Evaluated fusedArena = evaluate(
+      leaves, [&] { return fusedGatLogits(hw, aSrc, aDst, mask, blocks); });
+  expectSameEval(unfused, fusedArena);
+}
+
+TEST(FusedGatLogits, WholeHeadMatchesUnfusedChainBitwise) {
+  // Compose the full head — hw shared by the logits and the mixing node —
+  // so hw's gradient accumulates from all three sources in the unfused
+  // chain's reverse-topological order.
+  util::Rng rng(41);
+  const std::size_t n = 4, in = 5, d = 3, blocks = 3;
+  Mat mask(blocks * n, n);
+  for (std::size_t r = 0; r < blocks * n; ++r)
+    for (std::size_t c = 0; c < n; ++c) mask(r, c) = ((r * c) % 2) ? -1e9 : 0.0;
+  Tensor h(randomMat(blocks * n, in, rng), /*requiresGrad=*/true);
+  Tensor w(randomMat(in, d, rng), /*requiresGrad=*/true);
+  Tensor aSrc(randomMat(d, 1, rng), /*requiresGrad=*/true);
+  Tensor aDst(randomMat(d, 1, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves{h, w, aSrc, aDst};
+
+  Evaluated unfused = evaluate(leaves, [&] {
+    Tensor hw = matmul(h, w);
+    Tensor e = unfusedGatLogits(hw, aSrc, aDst, mask, blocks);
+    return fusedSoftmaxMatmulBlocks(e, hw, blocks);
+  });
+  Evaluated fused = evaluate(leaves, [&] {
+    Tensor hw = matmul(h, w);
+    Tensor e = fusedGatLogits(hw, aSrc, aDst, mask, blocks);
+    return fusedSoftmaxMatmulBlocks(e, hw, blocks);
+  });
+  expectSameEval(unfused, fused);
+}
+
+TEST(ConcatColsAll, MatchesFoldedConcatColsBitwise) {
+  util::Rng rng(43);
+  std::vector<Tensor> parts;
+  for (std::size_t k = 0; k < 4; ++k)
+    parts.emplace_back(randomMat(6, 2 + k, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves = parts;
+
+  Evaluated folded = evaluate(leaves, [&] {
+    Tensor out = parts[0];
+    for (std::size_t k = 1; k < parts.size(); ++k)
+      out = concatCols(out, parts[k]);
+    return out;
+  });
+  Evaluated nway = evaluate(leaves, [&] { return concatColsAll(parts); });
+  expectSameEval(folded, nway);
+}
+
+TEST(FusedKernels, ConstantInputSkipsInputGradient) {
+  // First-layer node features are constants: the fused backward must not
+  // record a gradient for them (and must still match the unfused chain).
+  util::Rng rng(23);
+  Mat adj = randomMat(3, 3, rng, 0.0, 1.0);
+  Tensor h(randomMat(6, 4, rng));  // no grad
+  Tensor w(randomMat(4, 5, rng), /*requiresGrad=*/true);
+  Tensor b(randomMat(1, 5, rng), /*requiresGrad=*/true);
+  std::vector<Tensor> leaves{w, b};
+
+  Evaluated unfused = evaluate(leaves, [&] {
+    return activate(
+        addRowBroadcast(matmul(matmulBlockDiagConstLeft(adj, 2, h), w), b),
+        Activation::Tanh);
+  });
+  Evaluated fused = evaluate(
+      leaves, [&] { return fusedGcnLayer(adj, 2, h, w, b, Activation::Tanh); });
+  expectSameEval(unfused, fused);
+}
+
+TEST(FusedKernels, InferenceModeRecordsNothing) {
+  util::Rng rng(29);
+  Tensor x(randomMat(3, 4, rng), /*requiresGrad=*/true);
+  Tensor w(randomMat(4, 2, rng), /*requiresGrad=*/true);
+  Tensor b(randomMat(1, 2, rng), /*requiresGrad=*/true);
+  Tensor grad = fusedLinear(x, w, b, Activation::Tanh);
+  Mat expected = grad.value();
+  NoGradGuard guard;
+  Tensor out = fusedLinear(x, w, b, Activation::Tanh);
+  EXPECT_FALSE(out.requiresGrad());
+  for (std::size_t i = 0; i < expected.raw().size(); ++i)
+    EXPECT_EQ(out.value().raw()[i], expected.raw()[i]);
+}
+
+}  // namespace
+}  // namespace crl::nn

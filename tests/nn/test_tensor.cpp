@@ -16,6 +16,23 @@ TEST(Tensor, ConstructionAndItem) {
   EXPECT_THROW(r.item(), std::logic_error);
 }
 
+TEST(Tensor, DefaultConstructedAccessorsThrowInsteadOfCrashing) {
+  // Node-dereferencing accessors on a default-constructed Tensor used to
+  // dereference a null node; they must all fail with a defined error.
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.item(), std::logic_error);
+  EXPECT_THROW(t.value(), std::logic_error);
+  EXPECT_THROW(t.mutableValue(), std::logic_error);
+  EXPECT_THROW(t.grad(), std::logic_error);
+  EXPECT_THROW(t.mutableGrad(), std::logic_error);
+  EXPECT_THROW(t.rows(), std::logic_error);
+  EXPECT_THROW(t.cols(), std::logic_error);
+  EXPECT_THROW(t.ensureGrad(), std::logic_error);
+  EXPECT_FALSE(t.requiresGrad());   // null-tolerant by design
+  EXPECT_NO_THROW(t.zeroGrad());    // no-op on undefined tensors
+}
+
 TEST(Tensor, XavierBoundsAndGradFlag) {
   util::Rng rng(1);
   Tensor w = Tensor::xavier(10, 20, rng);

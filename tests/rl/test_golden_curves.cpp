@@ -1,11 +1,19 @@
 // Golden-trajectory regression tests (CTest labels: golden, slow).
 //
-// These lock in short seeded training curves on the sequential PPO path —
-// the documented bit-for-bit reproducibility baseline. Any change that
-// perturbs the sequential path's arithmetic (op reordering, RNG stream
-// changes, loss refactors) trips these tests; the batched update path is
-// exercised separately by the parity suite and must NOT affect them, since
-// batchedUpdate defaults to off.
+// These lock in short seeded training curves on BOTH PPO update paths:
+//
+//  * The sequential path is the original bit-for-bit reproducibility
+//    baseline (PpoConfig::batchedUpdate = false). It stays pinned even
+//    though the fig3 harnesses now train batched, so the old path cannot
+//    rot silently.
+//  * The batched path (batchedUpdate = true, the fig3 harnesses' default
+//    since the arena/fused-kernel PR) differs from sequential only by
+//    float summation order; its curves are pinned separately.
+//
+// Any change that perturbs either path's arithmetic (op reordering, RNG
+// stream changes, loss refactors) trips the corresponding test. The
+// arena/fused-kernel substrate is bit-neutral by contract (ctest -L
+// parity), so it must trip NEITHER.
 //
 // Regenerating (after an *intentional* contract change, or on a platform
 // whose libm rounds differently):
@@ -42,11 +50,12 @@ struct CurveSample {
 
 constexpr int kEpisodes = 10;
 
-/// Train a freshly-initialized policy for kEpisodes on the sequential path
-/// and return the exact per-episode curve.
+/// Train a freshly-initialized policy for kEpisodes on the requested update
+/// path and return the exact per-episode curve.
 template <typename Bench>
 std::vector<CurveSample> runCurve(core::PolicyKind kind,
-                                  circuit::Fidelity fidelity, int maxSteps) {
+                                  circuit::Fidelity fidelity, int maxSteps,
+                                  bool batched = false) {
   Bench bench;
   envs::SizingEnv env(bench, envs::SizingEnvConfig{.maxSteps = maxSteps,
                                                    .fidelity = fidelity});
@@ -56,6 +65,7 @@ std::vector<CurveSample> runCurve(core::PolicyKind kind,
   cfg.stepsPerUpdate = 96;
   cfg.minibatchSize = 32;
   cfg.updateEpochs = 2;
+  cfg.batchedUpdate = batched;
   PpoTrainer trainer(env, *policy, cfg, util::Rng(7));
 
   std::vector<CurveSample> curve;
@@ -118,6 +128,40 @@ const std::vector<CurveSample> kGoldenRfPaCoarse{
     {-25.117464543460795, 30},
 };
 
+// Batched-path golden values (batchedUpdate = true, the fig3 harnesses'
+// default), recorded with CRL_REGEN_GOLDEN=1.
+
+// At this curve length the batched values coincide with the sequential ones:
+// the two paths' parameters differ only in final ulps after three updates,
+// not enough to flip any sampled action. The tests stay separate — they pin
+// different code paths, and either can drift independently.
+
+const std::vector<CurveSample> kGoldenOpAmpFineBatched{
+    {-43.470017930324872, 30},
+    {-26.599179190153915, 30},
+    {-49.140404173608701, 30},
+    {-29.533230856638095, 30},
+    {-31.356730300648032, 30},
+    {-17.206632849016373, 30},
+    {-30.140112359014697, 30},
+    {-49.330082101639015, 30},
+    {-31.583242493165358, 30},
+    {-53.928294538476649, 30},
+};
+
+const std::vector<CurveSample> kGoldenRfPaCoarseBatched{
+    {-33.863966009276758, 30},
+    {-15.134957756858118, 30},
+    {-47.749826854857837, 30},
+    {9.9224357131028782, 3},
+    {-29.575127636534571, 30},
+    {10, 1},
+    {-18.538609271171634, 30},
+    {10, 1},
+    {-55.266771692134334, 30},
+    {-25.117464543460795, 30},
+};
+
 TEST(GoldenCurves, OpAmpFineSequentialPathIsLockedIn) {
   auto curve = runCurve<circuit::TwoStageOpAmp>(core::PolicyKind::GcnFc,
                                                 circuit::Fidelity::Fine, 30);
@@ -128,6 +172,18 @@ TEST(GoldenCurves, RfPaCoarseSequentialPathIsLockedIn) {
   auto curve = runCurve<circuit::GanRfPa>(core::PolicyKind::GatFc,
                                           circuit::Fidelity::Coarse, 30);
   checkOrRegen("kGoldenRfPaCoarse", curve, kGoldenRfPaCoarse);
+}
+
+TEST(GoldenCurves, OpAmpFineBatchedPathIsLockedIn) {
+  auto curve = runCurve<circuit::TwoStageOpAmp>(
+      core::PolicyKind::GcnFc, circuit::Fidelity::Fine, 30, /*batched=*/true);
+  checkOrRegen("kGoldenOpAmpFineBatched", curve, kGoldenOpAmpFineBatched);
+}
+
+TEST(GoldenCurves, RfPaCoarseBatchedPathIsLockedIn) {
+  auto curve = runCurve<circuit::GanRfPa>(
+      core::PolicyKind::GatFc, circuit::Fidelity::Coarse, 30, /*batched=*/true);
+  checkOrRegen("kGoldenRfPaCoarseBatched", curve, kGoldenRfPaCoarseBatched);
 }
 
 }  // namespace
