@@ -1,0 +1,194 @@
+// Sparse-vs-dense MNA solve cost on the generated ladder/mesh fixtures, plus
+// the sparse factor-vs-refactor split that the Newton / AC hot loops ride.
+//
+//   CRL_BENCH_REPS — timed repetitions per point, best-of (default 5)
+//   --json         — machine-readable output (bench/harness.h)
+//
+// What to expect (single core): below the CRL_SPICE_SPARSE_THRESHOLD default
+// of 64 unknowns the dense path wins — the paper circuits (10-25 unknowns)
+// stay dense, which is why Auto keeps them there. From ~200 unknowns the
+// O(n^3) dense factor loses by an order of magnitude, and the sparse
+// refactor (numeric-only, reusing the symbolic analysis) runs ~2x faster
+// than a cold sparse factor with zero allocations per pass.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+#include "harness.h"
+#include "linalg/sparse_lu.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/gen.h"
+#include "spice/parser.h"
+
+using namespace crl;
+
+namespace {
+
+std::FILE* tout = stdout;
+
+int repsFromEnv() {
+  if (const char* v = std::getenv("CRL_BENCH_REPS")) return std::max(1, std::atoi(v));
+  return 5;
+}
+
+/// Best-of-reps wall time of fn, in seconds.
+double timeBest(int reps, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct Fixture {
+  const char* topology;  // "ladder" | "mesh"
+  int n;                 // grid nodes (unknowns = n + 2)
+  std::string deck;
+};
+
+void benchDcAndAc(const Fixture& f, int reps, bench::BenchJson& json) {
+  const std::string size = std::to_string(f.n);
+  auto run = [&](linalg::SolverChoice choice, const char* backend) {
+    auto deck = spice::parseDeck(f.deck);
+    spice::Netlist& net = *deck.netlist;
+    spice::DcOptions opt;
+    opt.solver = choice;
+    spice::DcAnalysis dc(net, opt);
+    const double dcSec = timeBest(reps, [&] {
+      if (!dc.solve().converged) std::abort();
+    });
+    spice::DcResult op = dc.solve();
+    spice::AcAnalysis ac(net, op.x, choice);
+    const double acSec = timeBest(reps, [&] {
+      ac.sweep(net.findNode(f.topology[0] == 'l' ? "n1" : "n0_0"), 1e3, 1e7, 3);
+    });
+    json.record({{"bench", "sparse_mna"},
+                 {"workload", std::string(f.topology) + size},
+                 {"config", std::string("dc-") + backend},
+                 {"unit", "seconds_per_solve"}},
+                dcSec);
+    json.record({{"bench", "sparse_mna"},
+                 {"workload", std::string(f.topology) + size},
+                 {"config", std::string("ac-") + backend},
+                 {"unit", "seconds_per_sweep"}},
+                acSec);
+    return std::pair<double, double>(dcSec, acSec);
+  };
+  const auto [dcDense, acDense] = run(linalg::SolverChoice::ForceDense, "dense");
+  const auto [dcSparse, acSparse] = run(linalg::SolverChoice::ForceSparse, "sparse");
+  std::fprintf(tout, "%-8s %6d %12.2f %12.2f %7.2fx %12.2f %12.2f %7.2fx\n",
+               f.topology, f.n, dcDense * 1e6, dcSparse * 1e6, dcDense / dcSparse,
+               acDense * 1e6, acSparse * 1e6, acDense / acSparse);
+  json.record({{"bench", "sparse_mna"},
+               {"workload", std::string(f.topology) + size},
+               {"config", "dc-speedup"},
+               {"unit", "ratio"}},
+              dcDense / dcSparse);
+  json.record({{"bench", "sparse_mna"},
+               {"workload", std::string(f.topology) + size},
+               {"config", "ac-speedup"},
+               {"unit", "ratio"}},
+              acDense / acSparse);
+}
+
+/// 5-point grid Laplacian assembly (the mesh fixture's matrix shape) for the
+/// factor/refactor split, measured below the SPICE layer.
+void gridAssembly(int rows, int cols, double scale, linalg::SparseAssembly<double>& a) {
+  const auto id = [cols](int r, int c) { return static_cast<std::size_t>(r * cols + c); };
+  a.begin(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      a.add(id(r, c), id(r, c), scale * (4.1 + 0.01 * (r + c)));
+      if (c + 1 < cols) {
+        a.add(id(r, c), id(r, c + 1), -scale);
+        a.add(id(r, c + 1), id(r, c), -scale);
+      }
+      if (r + 1 < rows) {
+        a.add(id(r, c), id(r + 1, c), -scale);
+        a.add(id(r + 1, c), id(r, c), -scale);
+      }
+    }
+  }
+}
+
+void benchRefactor(int rows, int cols, int reps, bench::BenchJson& json) {
+  const int n = rows * cols;
+  linalg::SparseAssembly<double> a;
+  linalg::SparseLu<double> lu;
+  gridAssembly(rows, cols, 1.0, a);
+  lu.factor(a);
+
+  const double factorSec = timeBest(reps, [&] {
+    linalg::SparseLu<double> cold;
+    cold.factor(a);
+  });
+  double scale = 1.0;
+  const double refactorSec = timeBest(reps, [&] {
+    scale *= 1.0000001;  // new values, same pattern: the Newton re-stamp shape
+    gridAssembly(rows, cols, scale, a);
+    lu.refactor(a);
+  });
+
+  bench::AllocScope scope;
+  for (int k = 0; k < 100; ++k) {
+    gridAssembly(rows, cols, scale, a);
+    lu.refactor(a);
+  }
+  const double allocsPerRefactor = static_cast<double>(scope.delta().allocs) / 100.0;
+
+  std::fprintf(tout, "%6d %14.2f %14.2f %9.2fx %14.1f\n", n, factorSec * 1e6,
+               refactorSec * 1e6, factorSec / refactorSec, allocsPerRefactor);
+  const std::string size = std::to_string(n);
+  json.record({{"bench", "sparse_mna"}, {"workload", "grid" + size},
+               {"config", "factor"}, {"unit", "seconds"}}, factorSec);
+  json.record({{"bench", "sparse_mna"}, {"workload", "grid" + size},
+               {"config", "refactor"}, {"unit", "seconds"}}, refactorSec);
+  json.record({{"bench", "sparse_mna"}, {"workload", "grid" + size},
+               {"config", "refactor-speedup"}, {"unit", "ratio"}},
+              factorSec / refactorSec);
+  json.record({{"bench", "sparse_mna"}, {"workload", "grid" + size},
+               {"config", "allocs-per-refactor"}, {"unit", "count"}},
+              allocsPerRefactor);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchJson json(bench::BenchJson::flagged(argc, argv));
+  tout = json.tableStream();
+  const int reps = repsFromEnv();
+
+  std::fprintf(tout, "sparse vs dense MNA (best of %d, times in us)\n", reps);
+  std::fprintf(tout, "%-8s %6s %12s %12s %8s %12s %12s %8s\n", "topo", "n",
+               "dc dense", "dc sparse", "dc spd", "ac dense", "ac sparse",
+               "ac spd");
+  const Fixture fixtures[] = {
+      {"ladder", 20, spice::rcLadderDeck(20)},
+      {"ladder", 50, spice::rcLadderDeck(50)},
+      {"ladder", 200, spice::rcLadderDeck(200)},
+      {"ladder", 500, spice::rcLadderDeck(500)},
+      {"mesh", 20, spice::rcMeshDeck(5, 4)},
+      {"mesh", 50, spice::rcMeshDeck(10, 5)},
+      {"mesh", 200, spice::rcMeshDeck(20, 10)},
+      {"mesh", 500, spice::rcMeshDeck(25, 20)},
+  };
+  for (const Fixture& f : fixtures) benchDcAndAc(f, reps, json);
+
+  std::fprintf(tout, "\nsparse factor vs refactor (grid Laplacian, best of %d)\n",
+               reps);
+  std::fprintf(tout, "%6s %14s %14s %10s %14s\n", "n", "factor us",
+               "refactor us", "speedup", "allocs/refac");
+  benchRefactor(5, 4, reps, json);
+  benchRefactor(10, 5, reps, json);
+  benchRefactor(20, 10, reps, json);
+  benchRefactor(25, 20, reps, json);
+  benchRefactor(40, 40, reps, json);
+  return 0;
+}

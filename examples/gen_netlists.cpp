@@ -1,0 +1,49 @@
+// Regenerate the committed sparse-solver netlist fixtures.
+//
+//   ./gen_netlists [output_dir]      (default: tests/spice/fixtures)
+//
+// The fixtures are the verbatim output of spice::rcLadderDeck /
+// spice::rcMeshDeck at the sizes the parity suite and bench_sparse_mna use;
+// rerun this after changing the generators and commit the diff.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "spice/gen.h"
+
+namespace {
+
+void emit(const std::filesystem::path& dir, const std::string& name,
+          const std::string& text) {
+  const std::filesystem::path path = dir / name;
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out << text;
+  std::cout << path.string() << " (" << text.size() << " bytes)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path dir =
+      argc > 1 ? argv[1] : "tests/spice/fixtures";
+  std::filesystem::create_directories(dir);
+
+  for (int n : {20, 50, 200, 500})
+    emit(dir, "rc_ladder_" + std::to_string(n) + ".cir",
+         crl::spice::rcLadderDeck(n));
+  emit(dir, "diode_ladder_40.cir", crl::spice::rcLadderDeck(40, /*withDiodes=*/true));
+
+  // Grid shapes sized so rows*cols matches the ladder unknown counts.
+  emit(dir, "rc_mesh_20.cir", crl::spice::rcMeshDeck(5, 4));
+  emit(dir, "rc_mesh_50.cir", crl::spice::rcMeshDeck(10, 5));
+  emit(dir, "rc_mesh_200.cir", crl::spice::rcMeshDeck(20, 10));
+  emit(dir, "rc_mesh_500.cir", crl::spice::rcMeshDeck(25, 20));
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "circuit/design_space.h"
 #include "circuit/graph.h"
 #include "circuit/spec.h"
+#include "linalg/solver_choice.h"
 
 namespace crl::spice {
 class SimSession;
@@ -80,8 +81,18 @@ class Benchmark {
   void setSession(spice::SimSession* session) { session_ = session; }
   spice::SimSession* session() const { return session_; }
 
+  /// Dense/sparse solver policy for every analysis this benchmark runs.
+  /// Auto (the default) sizes the choice against CRL_SPICE_SPARSE_THRESHOLD,
+  /// which keeps the small hand-coded paper circuits on the bit-exact dense
+  /// path; Force* pins the backend (parity suites, benches). clone() carries
+  /// the policy to pool lanes so pooled fan-outs measure with the same
+  /// backend as the prototype.
+  void setSolverChoice(linalg::SolverChoice choice) { solverChoice_ = choice; }
+  linalg::SolverChoice solverChoice() const { return solverChoice_; }
+
  protected:
   spice::SimSession* session_ = nullptr;
+  linalg::SolverChoice solverChoice_ = linalg::SolverChoice::Auto;
 };
 
 }  // namespace crl::circuit

@@ -144,6 +144,7 @@ void TwoStageOpAmp::buildGraph() {
 std::unique_ptr<Benchmark> TwoStageOpAmp::clone() const {
   auto copy = std::make_unique<TwoStageOpAmp>(cfg_);
   copy->setParams(params_);
+  copy->setSolverChoice(solverChoice_);
   return copy;
 }
 
@@ -178,6 +179,7 @@ Measurement TwoStageOpAmp::measure(Fidelity) {
   // .nodeset every open-loop testbench ships with).
   spice::DcOptions dcOpt;
   dcOpt.initialVoltage = cfg_.vcm;
+  dcOpt.solver = solverChoice_;
   spice::DcAnalysis dc(net_, dcOpt);
   spice::DcResult op = lastOp_ ? dc.solve(*lastOp_) : dc.solve();
   auto biased = [&](const spice::DcResult& r) {
@@ -202,7 +204,7 @@ Measurement TwoStageOpAmp::measure(Fidelity) {
   const auto e6 = fets_[5]->evalAt(op.x);
   rz_->setResistance(1.0 / std::max(e6.gm, 1e-6));
 
-  spice::AcAnalysis ac(net_, op.x);
+  spice::AcAnalysis ac(net_, op.x, solverChoice_);
   auto sweep =
       ac.sweep(outNode_, cfg_.fSweepLo, cfg_.fSweepHi, cfg_.pointsPerDecade, session_);
   auto metrics = spice::analyzeResponse(sweep);

@@ -115,6 +115,7 @@ void FiveTransistorOta::buildGraph() {
 std::unique_ptr<Benchmark> FiveTransistorOta::clone() const {
   auto copy = std::make_unique<FiveTransistorOta>(cfg_);
   copy->setParams(params_);
+  copy->setSolverChoice(solverChoice_);
   return copy;
 }
 
@@ -140,6 +141,7 @@ Measurement FiveTransistorOta::measure(Fidelity) {
 
   spice::DcOptions dcOpt;
   dcOpt.initialVoltage = cfg_.vcm;
+  dcOpt.solver = solverChoice_;
   spice::DcAnalysis dc(net_, dcOpt);
   spice::DcResult op = lastOp_ ? dc.solve(*lastOp_) : dc.solve();
   auto biased = [&](const spice::DcResult& r) {
@@ -155,7 +157,7 @@ Measurement FiveTransistorOta::measure(Fidelity) {
 
   const double power = cfg_.vdd * std::fabs(op.x[vddSrc_->currentIndex()]);
 
-  spice::AcAnalysis ac(net_, op.x);
+  spice::AcAnalysis ac(net_, op.x, solverChoice_);
   auto sweep =
       ac.sweep(outNode_, cfg_.fSweepLo, cfg_.fSweepHi, cfg_.pointsPerDecade, session_);
   auto metrics = spice::analyzeResponse(sweep);

@@ -129,6 +129,7 @@ void GanRfPa::buildGraph() {
 std::unique_ptr<Benchmark> GanRfPa::clone() const {
   auto copy = std::make_unique<GanRfPa>(cfg_);
   copy->setParams(params_);
+  copy->setSolverChoice(solverChoice_);
   return copy;
 }
 
@@ -170,6 +171,7 @@ Measurement GanRfPa::measureFine() {
     std::vector<double> vout, iVdd;
     spice::TranOptions opt;
     opt.stepLimit = 4.0;  // 28 V circuit: allow healthy Newton steps
+    opt.solver = solverChoice_;
     spice::TranAnalysis tran(net_, opt);
     spice::TranResult res = tran.run(
         dt, tStop,
@@ -209,7 +211,9 @@ Measurement GanRfPa::measureCoarse() {
   Measurement out;
   out.specs = failedSpecs();
 
-  spice::DcAnalysis dc(net_);
+  spice::DcOptions dcOpt;
+  dcOpt.solver = solverChoice_;
+  spice::DcAnalysis dc(net_, dcOpt);
   spice::DcResult op = dc.solve();
   if (!op.converged) return out;
 

@@ -107,6 +107,22 @@ Matrix<T> Lu<T>::solve(const Matrix<T>& b) const {
 }
 
 template <typename T>
+bool Lu<T>::isSingular(double relTol) const {
+  if (!factored_) throw std::logic_error("Lu::isSingular: not factored");
+  // Compare log magnitudes of the extreme pivots: log-space keeps the test
+  // exact where the pivot product would leave double range.
+  double minLog = 0.0, maxLog = 0.0;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) {
+    const double m = magnitude(lu_(i, i));
+    if (m == 0.0) return true;  // cannot survive factor(), but be safe
+    const double l = std::log(m);
+    if (i == 0 || l < minLog) minLog = l;
+    if (i == 0 || l > maxLog) maxLog = l;
+  }
+  return lu_.rows() > 0 && minLog - maxLog < std::log(relTol);
+}
+
+template <typename T>
 T Lu<T>::determinant() const {
   T det = static_cast<T>(permSign_);
   for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);

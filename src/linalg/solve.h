@@ -44,6 +44,14 @@ class Lu {
   /// overflow for large systems so callers should prefer isSingular().
   T determinant() const;
 
+  /// Numerical-singularity check on the factored matrix: true when the
+  /// smallest pivot magnitude falls below relTol times the largest. Works on
+  /// log magnitudes, so it neither overflows nor underflows where a
+  /// determinant()-based test would (a 400x400 matrix of 1e-3 pivots has
+  /// determinant 0.0 in double yet is perfectly well conditioned). Throws
+  /// std::logic_error when not factored.
+  bool isSingular(double relTol = 1e-12) const;
+
   std::size_t order() const { return lu_.rows(); }
 
  private:

@@ -1,0 +1,98 @@
+#pragma once
+// MnaSolver<T>: the dense/sparse solver seam of the MNA solve stack.
+//
+// The SPICE Newton loops and the AC sweep all follow one rhythm —
+// beginAssembly, stamp, factorAssembled, solveInto — and MnaSolver is the
+// object that rhythm runs against. It owns both backends:
+//
+//   Dense  — linalg::Lu over a dense Matrix<T>, partial pivoting. The
+//            original path; arithmetic is untouched, so every golden curve
+//            recorded against it stays bit-exact.
+//   Sparse — linalg::SparseLu over a SparseAssembly<T> triplet buffer, with
+//            the fill-reducing ordering and fill pattern computed once per
+//            topology and every subsequent factorAssembled() a numeric-only,
+//            allocation-free refactor (Newton iterations, AC points).
+//
+// Callers pick a backend with select() (see linalg::chooseSolverKind and the
+// CRL_SPICE_SPARSE_THRESHOLD knob) and are otherwise agnostic: the spice
+// Stamper writes into whichever assembly target is active. Both backends'
+// buffers persist across select() calls, so a shared workspace (e.g. a
+// SimSession worker slot) can serve dense and sparse circuits alternately
+// without churn.
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "linalg/solver_choice.h"
+#include "linalg/sparse.h"
+#include "linalg/sparse_lu.h"
+
+namespace crl::linalg {
+
+template <typename T>
+class MnaSolver {
+ public:
+  void select(SolverKind kind) { kind_ = kind; }
+  SolverKind kind() const { return kind_; }
+
+  /// Size and zero the active backend's assembly target for an n-unknown
+  /// system, and zero the caller's RHS alongside (allocation-free once warm).
+  void beginAssembly(std::size_t n, std::vector<T>& rhs) {
+    if (kind_ == SolverKind::Dense) {
+      if (dense_.rows() != n || dense_.cols() != n) {
+        dense_ = Matrix<T>(n, n);
+      } else {
+        dense_.fill(T{});
+      }
+    } else {
+      sparse_.begin(n);
+    }
+    rhs.assign(n, T{});
+  }
+
+  /// Active assembly target for the stamper (null when the other backend is
+  /// selected).
+  Matrix<T>* denseTarget() {
+    return kind_ == SolverKind::Dense ? &dense_ : nullptr;
+  }
+  SparseAssembly<T>* sparseTarget() {
+    return kind_ == SolverKind::Sparse ? &sparse_ : nullptr;
+  }
+
+  /// Factor the assembled system, reusing backend structure: the dense LU
+  /// reuses its storage, the sparse LU reuses its symbolic analysis. Throws
+  /// std::runtime_error on singularity (object left unfactored).
+  void factorAssembled() {
+    if (kind_ == SolverKind::Dense) {
+      denseLu_.refactor(dense_);
+    } else {
+      sparseLu_.refactor(sparse_);
+    }
+  }
+
+  void solveInto(const std::vector<T>& b, std::vector<T>& x) const {
+    if (kind_ == SolverKind::Dense) {
+      denseLu_.solveInto(b, x);
+    } else {
+      sparseLu_.solveInto(b, x);
+    }
+  }
+
+  bool factored() const {
+    return kind_ == SolverKind::Dense ? denseLu_.factored() : sparseLu_.factored();
+  }
+
+  /// Backend introspection (tests, benches).
+  const Lu<T>& denseLu() const { return denseLu_; }
+  const SparseLu<T>& sparseLu() const { return sparseLu_; }
+
+ private:
+  SolverKind kind_ = SolverKind::Dense;
+  Matrix<T> dense_;
+  Lu<T> denseLu_;
+  SparseAssembly<T> sparse_;
+  SparseLu<T> sparseLu_;
+};
+
+}  // namespace crl::linalg

@@ -1,0 +1,29 @@
+#include "linalg/solver_choice.h"
+
+#include <cstdlib>
+
+namespace crl::linalg {
+
+std::size_t sparseThreshold() {
+  // Re-read per call (it is consulted once per analysis construction): tests
+  // and harnesses may flip the knob between circuits.
+  if (const char* v = std::getenv("CRL_SPICE_SPARSE_THRESHOLD")) {
+    const long parsed = std::atol(v);
+    if (parsed >= 0) return static_cast<std::size_t>(parsed);
+  }
+  return 64;
+}
+
+SolverKind chooseSolverKind(std::size_t unknowns, SolverChoice choice) {
+  switch (choice) {
+    case SolverChoice::ForceDense:
+      return SolverKind::Dense;
+    case SolverChoice::ForceSparse:
+      return SolverKind::Sparse;
+    case SolverChoice::Auto:
+      break;
+  }
+  return unknowns >= sparseThreshold() ? SolverKind::Sparse : SolverKind::Dense;
+}
+
+}  // namespace crl::linalg

@@ -1,0 +1,28 @@
+#pragma once
+// Dense/sparse solver selection knobs — a tiny header so high layers
+// (circuit::Benchmark, analysis options structs) can carry a solver policy
+// without pulling in the solver implementations.
+
+#include <cstddef>
+
+namespace crl::linalg {
+
+/// Which backend an MnaSolver runs on.
+enum class SolverKind { Dense, Sparse };
+
+/// Caller policy: Auto sizes the choice against the sparse threshold (the
+/// paper's hand-coded circuits stay dense and bit-exact); Force* pins the
+/// backend regardless of size (parity suites, benches).
+enum class SolverChoice { Auto, ForceDense, ForceSparse };
+
+/// Unknown count at which Auto flips to the sparse backend. Read from
+/// CRL_SPICE_SPARSE_THRESHOLD (default 64 — far above every hand-coded
+/// paper circuit, so their goldens keep the dense bit-exact path; 0 forces
+/// sparse everywhere).
+std::size_t sparseThreshold();
+
+/// Resolve a policy for an n-unknown system.
+SolverKind chooseSolverKind(std::size_t unknowns,
+                            SolverChoice choice = SolverChoice::Auto);
+
+}  // namespace crl::linalg

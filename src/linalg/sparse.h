@@ -1,0 +1,63 @@
+#pragma once
+// Sparse MNA assembly buffer.
+//
+// The SPICE stamping loops emit (row, col, value) contributions in a fixed
+// per-topology order: every Newton iteration and every AC frequency point
+// walks the same device list and each device emits the same stamp sequence.
+// SparseAssembly records that sequence as a reusable triplet buffer — the
+// key sequence IS the topology's fingerprint, so a solver can cache its
+// symbolic analysis against it and detect topology changes with one linear
+// compare (see SparseLu::refactor). begin()/add() never shrink capacity, so
+// steady-state reassembly is allocation-free.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace crl::linalg {
+
+template <typename T>
+class SparseAssembly {
+ public:
+  /// Start assembling an n-unknown system: clears entries, keeps capacity.
+  void begin(std::size_t n) {
+    if (n > kMaxOrder) throw std::invalid_argument("SparseAssembly: order too large");
+    n_ = n;
+    keys_.clear();
+    vals_.clear();
+  }
+
+  /// Append one contribution; duplicates at the same (row, col) are summed
+  /// by the solver in append order.
+  void add(std::size_t row, std::size_t col, T val) {
+    if (row >= n_ || col >= n_)
+      throw std::out_of_range("SparseAssembly: entry outside system");
+    keys_.push_back((static_cast<std::uint64_t>(row) << 32) |
+                    static_cast<std::uint64_t>(col));
+    vals_.push_back(val);
+  }
+
+  std::size_t order() const { return n_; }
+  std::size_t entryCount() const { return keys_.size(); }
+
+  static std::size_t rowOf(std::uint64_t key) {
+    return static_cast<std::size_t>(key >> 32);
+  }
+  static std::size_t colOf(std::uint64_t key) {
+    return static_cast<std::size_t>(key & 0xffffffffu);
+  }
+
+  /// Stamp-order (row, col) keys — the topology fingerprint.
+  const std::vector<std::uint64_t>& keys() const { return keys_; }
+  /// Stamp-order values, aligned with keys().
+  const std::vector<T>& values() const { return vals_; }
+
+ private:
+  static constexpr std::size_t kMaxOrder = 0xffffffffu;
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> keys_;
+  std::vector<T> vals_;
+};
+
+}  // namespace crl::linalg

@@ -1,0 +1,283 @@
+#include "linalg/sparse_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <stdexcept>
+
+namespace crl::linalg {
+
+namespace {
+
+inline double magnitude(double v) { return std::fabs(v); }
+inline double magnitude(const std::complex<double>& v) { return std::abs(v); }
+
+// Zero-free-diagonal transversal via Kuhn's augmenting paths: match every
+// column j to a distinct row with a structural entry in column j. rowsOfCol
+// lists candidate rows per column. Returns the matching (column -> row), or
+// an empty vector when no perfect matching exists (structural singularity).
+std::vector<std::size_t> maxTransversal(
+    std::size_t n, const std::vector<std::vector<std::size_t>>& rowsOfCol) {
+  constexpr std::size_t kUnmatched = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> rowMatch(n, kUnmatched);  // row -> column
+  std::vector<std::size_t> colMatch(n, kUnmatched);  // column -> row
+  std::vector<unsigned char> visited(n, 0);
+
+  // DFS from column c over alternating paths; stamp tracks visited rows.
+  std::function<bool(std::size_t)> tryColumn = [&](std::size_t c) -> bool {
+    for (std::size_t r : rowsOfCol[c]) {
+      if (visited[r]) continue;
+      visited[r] = 1;
+      if (rowMatch[r] == kUnmatched || tryColumn(rowMatch[r])) {
+        rowMatch[r] = c;
+        colMatch[c] = r;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (std::size_t c = 0; c < n; ++c) {
+    // Cheap pass first: an unmatched candidate row.
+    bool done = false;
+    for (std::size_t r : rowsOfCol[c]) {
+      if (rowMatch[r] == kUnmatched) {
+        rowMatch[r] = c;
+        colMatch[c] = r;
+        done = true;
+        break;
+      }
+    }
+    if (done) continue;
+    std::fill(visited.begin(), visited.end(), 0);
+    if (!tryColumn(c)) return {};
+  }
+  return colMatch;
+}
+
+// Greedy minimum-degree ordering on a symmetric pattern (diagonal excluded).
+// Eliminating a node turns its neighbourhood into a clique — the symbolic
+// fill — and the next pivot is the minimum-degree survivor (ties broken by
+// index, keeping the order fully deterministic).
+std::vector<std::size_t> minDegreeOrder(std::size_t n,
+                                        std::vector<std::set<std::size_t>> adj) {
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<unsigned char> eliminated(n, 0);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    std::size_t bestDeg = static_cast<std::size_t>(-1);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (eliminated[v]) continue;
+      const std::size_t deg = adj[v].size();
+      if (deg < bestDeg) {
+        bestDeg = deg;
+        best = v;
+      }
+    }
+    order.push_back(best);
+    eliminated[best] = 1;
+    const std::set<std::size_t> nbrs = std::move(adj[best]);
+    adj[best].clear();
+    for (std::size_t a : nbrs) adj[a].erase(best);
+    for (auto it = nbrs.begin(); it != nbrs.end(); ++it) {
+      for (auto jt = std::next(it); jt != nbrs.end(); ++jt) {
+        adj[*it].insert(*jt);
+        adj[*jt].insert(*it);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+template <typename T>
+bool SparseLu<T>::patternMatches(const SparseAssembly<T>& a) const {
+  return analyzed_ && a.order() == n_ && a.keys() == stampKeys_;
+}
+
+template <typename T>
+void SparseLu<T>::analyze(const SparseAssembly<T>& a) {
+  analyzed_ = false;
+  factored_ = false;
+  n_ = a.order();
+  stampKeys_ = a.keys();
+
+  // Deduplicated pattern entries, sorted by (row, col).
+  std::vector<std::uint64_t> uniq = stampKeys_;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  nnz_ = uniq.size();
+
+  // Structural candidates per column for the transversal.
+  std::vector<std::vector<std::size_t>> rowsOfCol(n_);
+  for (std::uint64_t key : uniq)
+    rowsOfCol[SparseAssembly<T>::colOf(key)].push_back(SparseAssembly<T>::rowOf(key));
+
+  const std::vector<std::size_t> colMatch = maxTransversal(n_, rowsOfCol);
+  if (n_ > 0 && colMatch.empty())
+    throw std::runtime_error("SparseLu: structurally singular matrix");
+
+  // B = row-permuted A with a zero-free diagonal: B row j = A row colMatch[j].
+  // permOfBRow maps an original row to its B index.
+  std::vector<std::size_t> permOfBRow(n_);
+  for (std::size_t j = 0; j < n_; ++j) permOfBRow[colMatch[j]] = j;
+
+  // Symmetrized B pattern for the fill-reducing ordering.
+  std::vector<std::set<std::size_t>> adj(n_);
+  for (std::uint64_t key : uniq) {
+    const std::size_t bi = permOfBRow[SparseAssembly<T>::rowOf(key)];
+    const std::size_t bj = SparseAssembly<T>::colOf(key);
+    if (bi == bj) continue;
+    adj[bi].insert(bj);
+    adj[bj].insert(bi);
+  }
+  const std::vector<std::size_t> sigma = minDegreeOrder(n_, std::move(adj));
+
+  // Final permutations: permuted index i corresponds to B index sigma[i].
+  rowOfPerm_.resize(n_);
+  colOfPerm_.resize(n_);
+  std::vector<std::size_t> permOfB(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    rowOfPerm_[i] = colMatch[sigma[i]];
+    colOfPerm_[i] = sigma[i];
+    permOfB[sigma[i]] = i;
+  }
+
+  // Permuted structural pattern, then symbolic elimination. Processing the
+  // strictly-lower columns of a working row in ascending order and merging
+  // in the (already final) upper pattern of each pivot row mirrors exactly
+  // what the numeric kernel will do, so the analyzed fill is exact.
+  std::vector<std::vector<std::size_t>> rowPat(n_);
+  for (std::uint64_t key : uniq) {
+    const std::size_t pi = permOfB[permOfBRow[SparseAssembly<T>::rowOf(key)]];
+    const std::size_t pj = permOfB[SparseAssembly<T>::colOf(key)];
+    rowPat[pi].push_back(pj);
+  }
+
+  luPtr_.assign(n_ + 1, 0);
+  luCol_.clear();
+  diagPos_.assign(n_, 0);
+  std::vector<std::vector<std::size_t>> finalRows(n_);
+  std::set<std::size_t> work;
+  for (std::size_t i = 0; i < n_; ++i) {
+    work.clear();
+    work.insert(rowPat[i].begin(), rowPat[i].end());
+    work.insert(i);  // transversal guarantees a structural diagonal
+    for (auto it = work.begin(); it != work.end() && *it < i; ++it) {
+      const std::size_t j = *it;
+      const auto& uj = finalRows[j];
+      // Merge U-row j (columns > j). Inserted columns exceed j, so std::set
+      // iteration still visits them in ascending order.
+      for (auto p = std::upper_bound(uj.begin(), uj.end(), j); p != uj.end(); ++p)
+        work.insert(*p);
+    }
+    finalRows[i].assign(work.begin(), work.end());
+    luPtr_[i + 1] = luPtr_[i] + finalRows[i].size();
+  }
+  luCol_.reserve(luPtr_[n_]);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t c : finalRows[i]) {
+      if (c == i) diagPos_[i] = luCol_.size();
+      luCol_.push_back(c);
+    }
+  }
+
+  // Scatter map: stamp-order triplet -> LU slot.
+  tripletToLu_.resize(stampKeys_.size());
+  for (std::size_t k = 0; k < stampKeys_.size(); ++k) {
+    const std::size_t pi = permOfB[permOfBRow[SparseAssembly<T>::rowOf(stampKeys_[k])]];
+    const std::size_t pj = permOfB[SparseAssembly<T>::colOf(stampKeys_[k])];
+    const auto begin = luCol_.begin() + static_cast<std::ptrdiff_t>(luPtr_[pi]);
+    const auto end = luCol_.begin() + static_cast<std::ptrdiff_t>(luPtr_[pi + 1]);
+    tripletToLu_[k] =
+        static_cast<std::size_t>(std::lower_bound(begin, end, pj) - luCol_.begin());
+  }
+
+  luVal_.resize(luCol_.size());
+  work_.resize(n_);
+  perm_.resize(n_);
+  analyzed_ = true;
+}
+
+template <typename T>
+void SparseLu<T>::numericFactor(const SparseAssembly<T>& a) {
+  factored_ = false;
+  std::fill(luVal_.begin(), luVal_.end(), T{});
+  const std::vector<T>& vals = a.values();
+  for (std::size_t k = 0; k < vals.size(); ++k) luVal_[tripletToLu_[k]] += vals[k];
+
+  // Up-looking row LU over the analyzed pattern: for row i, eliminate each
+  // strictly-lower column j in ascending order against the finished U row j.
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t p = luPtr_[i]; p < luPtr_[i + 1]; ++p)
+      work_[luCol_[p]] = luVal_[p];
+    for (std::size_t p = luPtr_[i]; p < luPtr_[i + 1] && luCol_[p] < i; ++p) {
+      const std::size_t j = luCol_[p];
+      const T lij = work_[j] / luVal_[diagPos_[j]];
+      work_[j] = lij;
+      if (lij == T{}) continue;
+      for (std::size_t q = diagPos_[j] + 1; q < luPtr_[j + 1]; ++q)
+        work_[luCol_[q]] -= lij * luVal_[q];
+    }
+    for (std::size_t p = luPtr_[i]; p < luPtr_[i + 1]; ++p)
+      luVal_[p] = work_[luCol_[p]];
+    if (magnitude(luVal_[diagPos_[i]]) < 1e-300)
+      throw std::runtime_error("SparseLu: singular matrix");
+  }
+  factored_ = true;
+}
+
+template <typename T>
+void SparseLu<T>::factor(const SparseAssembly<T>& a) {
+  analyze(a);
+  patternReused_ = false;
+  numericFactor(a);
+}
+
+template <typename T>
+void SparseLu<T>::refactor(const SparseAssembly<T>& a) {
+  if (!patternMatches(a)) {
+    factor(a);
+    return;
+  }
+  patternReused_ = true;
+  numericFactor(a);
+}
+
+template <typename T>
+void SparseLu<T>::solveInto(const std::vector<T>& b, std::vector<T>& x) const {
+  if (!factored_) throw std::logic_error("SparseLu::solve: not factored");
+  if (b.size() != n_) throw std::invalid_argument("SparseLu::solve: dim mismatch");
+  // Permute the RHS, forward-substitute with unit L, back-substitute with U,
+  // then undo the column permutation.
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = b[rowOfPerm_[i]];
+  for (std::size_t i = 0; i < n_; ++i) {
+    T s = perm_[i];
+    for (std::size_t p = luPtr_[i]; p < diagPos_[i]; ++p)
+      s -= luVal_[p] * perm_[luCol_[p]];
+    perm_[i] = s;
+  }
+  for (std::size_t ii = n_; ii-- > 0;) {
+    T s = perm_[ii];
+    for (std::size_t p = diagPos_[ii] + 1; p < luPtr_[ii + 1]; ++p)
+      s -= luVal_[p] * perm_[luCol_[p]];
+    perm_[ii] = s / luVal_[diagPos_[ii]];
+  }
+  x.resize(n_);
+  for (std::size_t j = 0; j < n_; ++j) x[colOfPerm_[j]] = perm_[j];
+}
+
+template <typename T>
+std::vector<T> SparseLu<T>::solve(const std::vector<T>& b) const {
+  std::vector<T> x;
+  solveInto(b, x);
+  return x;
+}
+
+template class SparseLu<double>;
+template class SparseLu<std::complex<double>>;
+
+}  // namespace crl::linalg

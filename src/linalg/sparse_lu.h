@@ -1,0 +1,101 @@
+#pragma once
+// Sparse LU with a symbolic/numeric split, built for MNA systems.
+//
+// The elimination order is computed from the sparsity PATTERN alone — a
+// zero-free-diagonal transversal (voltage-source branch rows have structural
+// zero diagonals) followed by greedy minimum-degree on the symmetrized
+// pattern — so it never depends on the matrix values. That choice buys the
+// property the solve stack's parity suites pin down: refactor() with new
+// values is bitwise identical to a fresh factor() of the same matrix, because
+// both run the same numeric kernel over the same analyzed structure.
+//
+// factor()  = symbolic analysis (ordering + fill pattern + scatter map,
+//             allocates) + numeric factorization.
+// refactor()= numeric-only pass reusing the analyzed structure when the
+//             assembly's stamp pattern is unchanged — the Newton-iteration /
+//             AC-frequency-point hot path, allocation-free once warm. A
+//             changed pattern transparently falls back to a full factor().
+//
+// Numerical caveat: static (pattern-only) pivoting trades the dense solver's
+// partial pivoting for structure reuse. MNA matrices are diagonally
+// heavy after the transversal, which holds the growth in check; a pivot that
+// still collapses numerically throws std::runtime_error exactly like the
+// dense path, leaving the object unfactored, and Newton's homotopy ladder
+// retries.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/sparse.h"
+
+namespace crl::linalg {
+
+template <typename T>
+class SparseLu {
+ public:
+  SparseLu() = default;
+
+  /// Full factorization: analyze the pattern, then factor the values.
+  /// Throws std::runtime_error (object left unfactored) when the pattern is
+  /// structurally singular or a pivot collapses numerically.
+  void factor(const SparseAssembly<T>& a);
+
+  /// Numeric-only refactorization against the cached symbolic structure;
+  /// falls back to factor() when the stamp pattern changed. Results are
+  /// bitwise identical to factor(a).
+  void refactor(const SparseAssembly<T>& a);
+
+  bool factored() const { return factored_; }
+  std::size_t order() const { return n_; }
+
+  /// Solve A x = b into a caller-owned vector (allocation-free when warm).
+  /// Not const-thread-safe: solves share one internal permutation buffer.
+  void solveInto(const std::vector<T>& b, std::vector<T>& x) const;
+  std::vector<T> solve(const std::vector<T>& b) const;
+
+  /// True when the last refactor() reused the cached symbolic structure.
+  bool patternReused() const { return patternReused_; }
+  /// Deduplicated nonzero count of the analyzed pattern.
+  std::size_t nonzeroCount() const { return nnz_; }
+  /// Nonzero count of L + U (analyzed fill included).
+  std::size_t fillCount() const { return luCol_.size(); }
+
+ private:
+  void analyze(const SparseAssembly<T>& a);
+  void numericFactor(const SparseAssembly<T>& a);
+  bool patternMatches(const SparseAssembly<T>& a) const;
+
+  std::size_t n_ = 0;
+  std::size_t nnz_ = 0;
+  bool factored_ = false;
+  bool analyzed_ = false;
+  bool patternReused_ = false;
+
+  // Cached stamp pattern (topology fingerprint) and its scatter map:
+  // triplet k accumulates into LU slot tripletToLu_[k].
+  std::vector<std::uint64_t> stampKeys_;
+  std::vector<std::size_t> tripletToLu_;
+
+  // Permutations: permuted row i is original row rowOfPerm_[i]; permuted
+  // column j is original column colOfPerm_[j].
+  std::vector<std::size_t> rowOfPerm_;
+  std::vector<std::size_t> colOfPerm_;
+
+  // Combined L+U pattern in CSR over permuted indices; columns sorted per
+  // row; diagPos_[i] indexes U_ii. L is unit lower (stored without its
+  // diagonal).
+  std::vector<std::size_t> luPtr_;
+  std::vector<std::size_t> luCol_;
+  std::vector<std::size_t> diagPos_;
+  std::vector<T> luVal_;
+
+  // Numeric scratch (sized at analysis, reused allocation-free).
+  std::vector<T> work_;
+  mutable std::vector<T> perm_;  // permuted RHS / solution staging
+};
+
+extern template class SparseLu<double>;
+extern template class SparseLu<std::complex<double>>;
+
+}  // namespace crl::linalg

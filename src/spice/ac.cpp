@@ -8,19 +8,21 @@
 
 namespace crl::spice {
 
-AcAnalysis::AcAnalysis(Netlist& net, linalg::Vec xop) : net_(net), xop_(std::move(xop)) {
+AcAnalysis::AcAnalysis(Netlist& net, linalg::Vec xop, linalg::SolverChoice solver)
+    : net_(net), xop_(std::move(xop)) {
   if (!net_.finalized()) net_.finalize();
   if (xop_.size() != net_.unknownCount())
     throw std::invalid_argument("AcAnalysis: operating point size mismatch");
+  kind_ = linalg::chooseSolverKind(net_.unknownCount(), solver);
 }
 
 void AcAnalysis::solveInto(double freqHz, AcWorkspace& ws) const {
-  ws.beginAssembly(net_.unknownCount());
-  ComplexStamper stamper(ws.y, ws.rhs);
+  ws.beginAssembly(net_.unknownCount(), kind_);
+  ComplexStamper stamper(ws.solver, ws.rhs);
   AcContext ctx{xop_, 2.0 * std::numbers::pi * freqHz};
   for (const auto& dev : net_.devices()) dev->stampAc(stamper, ctx);
-  ws.lu.refactor(ws.y);
-  ws.lu.solveInto(ws.rhs, ws.x);
+  ws.solver.factorAssembled();
+  ws.solver.solveInto(ws.rhs, ws.x);
 }
 
 linalg::CVec AcAnalysis::solveAt(double freqHz) const {

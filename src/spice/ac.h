@@ -33,8 +33,12 @@ struct AcPoint {
 /// are safe; for concurrent point probes, use one AcAnalysis per thread.
 class AcAnalysis {
  public:
-  /// xop is a converged DC solution from DcAnalysis.
-  AcAnalysis(Netlist& net, linalg::Vec xop);
+  /// xop is a converged DC solution from DcAnalysis. `solver` picks the
+  /// dense/sparse backend (Auto sizes against the sparse threshold); on the
+  /// sparse backend each workspace analyzes the topology once and refactors
+  /// numerically per frequency point.
+  AcAnalysis(Netlist& net, linalg::Vec xop,
+             linalg::SolverChoice solver = linalg::SolverChoice::Auto);
 
   /// Solve the full complex unknown vector at one frequency.
   linalg::CVec solveAt(double freqHz) const;
@@ -60,6 +64,8 @@ class AcAnalysis {
  private:
   Netlist& net_;
   linalg::Vec xop_;
+  /// Resolved backend for this circuit (chooseSolverKind at construction).
+  linalg::SolverKind kind_ = linalg::SolverKind::Dense;
   /// Serial-path workspace (sweeps without a session, nodeVoltage, solveAt).
   mutable AcWorkspace ws_;
 };

@@ -2,38 +2,35 @@
 
 #include <cmath>
 
-#include "linalg/solve.h"
 #include "util/logging.h"
 
 namespace crl::spice {
 
 DcAnalysis::DcAnalysis(Netlist& net, DcOptions opt) : net_(net), opt_(opt) {
   if (!net_.finalized()) net_.finalize();
+  solver_.select(linalg::chooseSolverKind(net_.unknownCount(), opt_.solver));
 }
 
 std::optional<linalg::Vec> DcAnalysis::newton(linalg::Vec x, double gmin,
                                               double srcScale, int* iterationsOut) {
   const std::size_t n = net_.unknownCount();
   const std::size_t nNodes = net_.nodeCount() - 1;
-  if (a_.rows() != n || a_.cols() != n) a_ = linalg::Mat(n, n);
-  rhs_.resize(n);
 
   for (int iter = 0; iter < opt_.maxIterations; ++iter) {
     ++*iterationsOut;
-    a_.fill(0.0);
-    std::fill(rhs_.begin(), rhs_.end(), 0.0);
-    RealStamper stamper(a_, rhs_);
+    solver_.beginAssembly(n, rhs_);
+    RealStamper stamper(solver_, rhs_);
     SimContext ctx{x};
     ctx.srcScale = srcScale;
     ctx.gmin = gmin;
     for (const auto& dev : net_.devices()) dev->stampLarge(stamper, ctx);
 
     try {
-      lu_.refactor(a_);
+      solver_.factorAssembled();
     } catch (const std::runtime_error&) {
       return std::nullopt;  // singular Jacobian: let the homotopy ladder retry
     }
-    lu_.solveInto(rhs_, xNew_);
+    solver_.solveInto(rhs_, xNew_);
 
     // Damping: limit node-voltage steps; branch currents move freely.
     bool converged = true;

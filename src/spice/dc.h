@@ -4,7 +4,7 @@
 
 #include <optional>
 
-#include "linalg/solve.h"
+#include "linalg/solver_backend.h"
 #include "spice/netlist.h"
 
 namespace crl::spice {
@@ -18,6 +18,8 @@ struct DcOptions {
   bool gminStepping = true;
   bool sourceStepping = true;
   double initialVoltage = 0.0;  ///< flat initial guess for node voltages [V]
+  /// Dense/sparse backend policy; Auto sizes against the sparse threshold.
+  linalg::SolverChoice solver = linalg::SolverChoice::Auto;
 };
 
 struct DcResult {
@@ -48,12 +50,13 @@ class DcAnalysis {
 
   Netlist& net_;
   DcOptions opt_;
-  // Assembly/factorization workspaces reused across Newton iterations and
-  // homotopy stages (allocation-free after the first iteration).
-  linalg::Mat a_;
+  // Solver seam plus assembly workspaces, reused across Newton iterations
+  // and homotopy stages (allocation-free after the first iteration; the
+  // sparse backend additionally reuses its symbolic analysis, computed once
+  // per topology).
+  linalg::MnaSolver<double> solver_;
   linalg::Vec rhs_;
   linalg::Vec xNew_;
-  linalg::Lu<double> lu_;
 };
 
 }  // namespace crl::spice

@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/solver_backend.h"
+#include "linalg/sparse.h"
 
 namespace crl::spice {
 
@@ -22,15 +24,26 @@ constexpr NodeId kGround = 0;
 /// Assembly helper that hides the ground-row elimination: contributions that
 /// touch ground are dropped, everything else lands at (node-1) or at the
 /// branch-current rows that follow the node block.
+///
+/// A stamper writes into either a dense matrix or a sparse triplet buffer
+/// (the MnaSolver ctor picks whichever backend is active), so devices stay
+/// solver-agnostic: the dense arm is the original `+=` — bit-exact with the
+/// pre-seam assembly — and the sparse arm appends stamp-order triplets the
+/// sparse LU accumulates in that same order.
 template <typename T>
 class Stamper {
  public:
-  Stamper(linalg::Matrix<T>& a, std::vector<T>& rhs) : a_(a), rhs_(rhs) {}
+  Stamper(linalg::Matrix<T>& a, std::vector<T>& rhs) : dense_(&a), rhs_(rhs) {}
+  Stamper(linalg::SparseAssembly<T>& a, std::vector<T>& rhs)
+      : sparse_(&a), rhs_(rhs) {}
+  /// Target the solver's active backend (after solver.beginAssembly()).
+  Stamper(linalg::MnaSolver<T>& solver, std::vector<T>& rhs)
+      : dense_(solver.denseTarget()), sparse_(solver.sparseTarget()), rhs_(rhs) {}
 
   /// Conductance-like stamp between two node voltages.
   void addY(NodeId i, NodeId j, T val) {
     if (i == kGround || j == kGround) return;
-    a_(static_cast<std::size_t>(i) - 1, static_cast<std::size_t>(j) - 1) += val;
+    addEntry(static_cast<std::size_t>(i) - 1, static_cast<std::size_t>(j) - 1, val);
   }
   /// RHS contribution at a node row.
   void addNodeRhs(NodeId i, T val) {
@@ -38,14 +51,21 @@ class Stamper {
     rhs_[static_cast<std::size_t>(i) - 1] += val;
   }
   /// Raw entry by unknown index (for branch rows/columns).
-  void addEntry(std::size_t row, std::size_t col, T val) { a_(row, col) += val; }
+  void addEntry(std::size_t row, std::size_t col, T val) {
+    if (dense_) {
+      (*dense_)(row, col) += val;
+    } else {
+      sparse_->add(row, col, val);
+    }
+  }
   void addRhsEntry(std::size_t row, T val) { rhs_[row] += val; }
 
   /// Unknown index of a non-ground node.
   static std::size_t nodeIdx(NodeId n) { return static_cast<std::size_t>(n) - 1; }
 
  private:
-  linalg::Matrix<T>& a_;
+  linalg::Matrix<T>* dense_ = nullptr;
+  linalg::SparseAssembly<T>* sparse_ = nullptr;
   std::vector<T>& rhs_;
 };
 

@@ -1,0 +1,86 @@
+#include "spice/gen.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+namespace crl::spice {
+
+namespace {
+
+// Line-at-a-time deck building through snprintf: fixed "%.6g" formatting
+// keeps regenerated decks byte-identical across platforms (the committed
+// fixtures are verbatim generator output), and the values used are exactly
+// representable products of small integers anyway.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void appendf(std::string& deck, const char* fmt, ...) {
+  char buf[160];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  deck += buf;
+}
+
+// Deterministic per-index element values. Spreading R over 1.0k..2.75k and
+// C over 0.2n..1n keeps every pole distinct and every pivot magnitude
+// unique, so a pivot-order divergence between the dense and sparse backends
+// cannot masquerade as agreement.
+double resistorOhms(int i) { return 1000.0 * (1.0 + (i % 7) * 0.25); }
+double capFarads(int i) { return 1e-9 / (1.0 + (i % 5)); }
+
+}  // namespace
+
+std::string rcLadderDeck(int stages, bool withDiodes) {
+  if (stages < 1) throw std::invalid_argument("rcLadderDeck: stages < 1");
+  std::string deck;
+  appendf(deck, "* rc ladder, %d stages%s\n", stages,
+          withDiodes ? ", diode shunts" : "");
+  appendf(deck, "V1 in 0 DC 1 AC 1 SIN(0.5 1e6)\n");
+  if (withDiodes) appendf(deck, ".model dgen D (is=1e-14 n=2)\n");
+  std::string prev = "in";
+  for (int i = 1; i <= stages; ++i) {
+    char cur[24];
+    std::snprintf(cur, sizeof cur, "n%d", i);
+    appendf(deck, "R%d %s %s %.6g\n", i, prev.c_str(), cur, resistorOhms(i));
+    appendf(deck, "C%d %s 0 %.6g\n", i, cur, capFarads(i));
+    if (withDiodes && i % 5 == 0) appendf(deck, "D%d %s 0 dgen\n", i, cur);
+    prev = cur;
+  }
+  appendf(deck, "Rgnd %s 0 10k\n", prev.c_str());
+  appendf(deck, ".end\n");
+  return deck;
+}
+
+std::string rcMeshDeck(int rows, int cols) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("rcMeshDeck: empty grid");
+  auto node = [](int r, int c) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "n%d_%d", r, c);
+    return std::string(buf);
+  };
+  std::string deck;
+  appendf(deck, "* rc mesh, %dx%d grid\n", rows, cols);
+  appendf(deck, "V1 in 0 DC 1 AC 1 SIN(0.5 1e6)\n");
+  appendf(deck, "Rin in %s 50\n", node(0, 0).c_str());
+  int rIdx = 0, cIdx = 0;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      appendf(deck, "C%d %s 0 %.6g\n", ++cIdx, node(r, c).c_str(),
+              capFarads(r * cols + c));
+      if (c + 1 < cols)
+        appendf(deck, "R%d %s %s %.6g\n", ++rIdx, node(r, c).c_str(),
+                node(r, c + 1).c_str(), resistorOhms(r * cols + c));
+      if (r + 1 < rows)
+        appendf(deck, "R%d %s %s %.6g\n", ++rIdx, node(r, c).c_str(),
+                node(r + 1, c).c_str(), resistorOhms(r * cols + c + 3));
+    }
+  }
+  appendf(deck, "Rgnd %s 0 10k\n", node(rows - 1, cols - 1).c_str());
+  appendf(deck, ".end\n");
+  return deck;
+}
+
+}  // namespace crl::spice

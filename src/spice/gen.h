@@ -1,0 +1,36 @@
+#pragma once
+// Procedural benchmark-netlist generators for the sparse-solver fixtures.
+//
+// The hand-coded paper circuits (op-amp, OTA, PA) top out around 25 MNA
+// unknowns — far below where a sparse factorization pays off — so the sparse
+// path is exercised on generated RC ladders and 2-D RC meshes instead. The
+// generators emit SPICE deck *text* (parser-ingested, like any user
+// netlist), and the committed fixtures under tests/spice/fixtures/ are their
+// verbatim output: `gen_netlists` regenerates them bit-identically.
+//
+// Both topologies are linear (R, C, V only, unless diodes are requested), so
+// dense and sparse backends agree to near machine precision on DC, AC and
+// transient — the property the parity suite pins down.
+
+#include <string>
+
+namespace crl::spice {
+
+/// N-stage RC ladder: V1 drives `in`; stage i adds a series resistor and a
+/// shunt capacitor; a tail resistor to ground makes the DC solution a
+/// nontrivial divider. Element values vary deterministically with the stage
+/// index so no two pivots are equal. Unknowns: stages + 2 (input node plus
+/// the source's branch current).
+///
+/// withDiodes adds a shunt diode every fifth stage, turning the ladder into
+/// a Newton-iterating nonlinear benchmark with the same sparsity pattern.
+std::string rcLadderDeck(int stages, bool withDiodes = false);
+
+/// rows x cols 2-D RC grid: every node has a capacitor to ground and
+/// resistors to its right/down neighbours; V1 feeds corner n0_0 through a
+/// 50-ohm source resistor and the far corner is tied to ground through a
+/// load resistor. The grid's bandwidth makes fill-in real work for the
+/// ordering, unlike the tridiagonal-ish ladder. Unknowns: rows*cols + 2.
+std::string rcMeshDeck(int rows, int cols);
+
+}  // namespace crl::spice

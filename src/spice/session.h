@@ -22,29 +22,29 @@
 #include <memory>
 #include <vector>
 
-#include "linalg/matrix.h"
-#include "linalg/solve.h"
+#include "linalg/solver_backend.h"
 #include "util/thread_pool.h"
 
 namespace crl::spice {
 
-/// Reusable complex MNA workspace for one worker slot: assembly matrix/RHS,
-/// the factorization, and the solution buffer. Everything is sized once and
-/// reused across sweep points.
+/// Reusable complex MNA workspace for one worker slot: the dense/sparse
+/// solver seam (assembly target + factorization) plus RHS and solution
+/// buffers. Everything is sized once and reused across sweep points; on the
+/// sparse backend the symbolic analysis survives across frequency points, so
+/// every point after a slot's first is a numeric-only, allocation-free
+/// refactor. Both backends' buffers persist, so one session can serve dense
+/// and sparse circuits alternately (the analysis picks the kind per circuit).
 struct AcWorkspace {
-  linalg::CMat y;
+  linalg::MnaSolver<std::complex<double>> solver;
   linalg::CVec rhs;
   linalg::CVec x;
-  linalg::Lu<std::complex<double>> lu;
 
-  /// Size the assembly slots for an n-unknown system and zero them.
-  void beginAssembly(std::size_t n) {
-    if (y.rows() != n || y.cols() != n) {
-      y = linalg::CMat(n, n);
-    } else {
-      y.fill({});
-    }
-    rhs.assign(n, {});
+  /// Select the backend and size/zero its assembly slots for an n-unknown
+  /// system.
+  void beginAssembly(std::size_t n,
+                     linalg::SolverKind kind = linalg::SolverKind::Dense) {
+    solver.select(kind);
+    solver.beginAssembly(n, rhs);
   }
 };
 

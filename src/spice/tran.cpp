@@ -10,20 +10,18 @@ namespace crl::spice {
 
 TranAnalysis::TranAnalysis(Netlist& net, TranOptions opt) : net_(net), opt_(opt) {
   if (!net_.finalized()) net_.finalize();
+  solver_.select(linalg::chooseSolverKind(net_.unknownCount(), opt_.solver));
 }
 
 bool TranAnalysis::newtonStep(linalg::Vec& x, double time, double dt,
                               const std::vector<double>& state, int* iterations) {
   const std::size_t n = net_.unknownCount();
   const std::size_t nNodes = net_.nodeCount() - 1;
-  if (a_.rows() != n || a_.cols() != n) a_ = linalg::Mat(n, n);
-  rhs_.resize(n);
 
   for (int iter = 0; iter < opt_.maxNewtonIterations; ++iter) {
     ++*iterations;
-    a_.fill(0.0);
-    std::fill(rhs_.begin(), rhs_.end(), 0.0);
-    RealStamper stamper(a_, rhs_);
+    solver_.beginAssembly(n, rhs_);
+    RealStamper stamper(solver_, rhs_);
     for (const auto& dev : net_.devices()) {
       SimContext ctx{x};
       ctx.time = time;
@@ -35,11 +33,11 @@ bool TranAnalysis::newtonStep(linalg::Vec& x, double time, double dt,
     }
 
     try {
-      lu_.refactor(a_);
+      solver_.factorAssembled();
     } catch (const std::runtime_error&) {
       return false;
     }
-    lu_.solveInto(rhs_, xNew_);
+    solver_.solveInto(rhs_, xNew_);
 
     bool converged = true;
     for (std::size_t i = 0; i < n; ++i) {
@@ -63,7 +61,11 @@ TranResult TranAnalysis::run(double dt, double tStop,
   if (dt <= 0.0 || tStop <= 0.0) throw std::invalid_argument("TranAnalysis: bad times");
   TranResult result;
 
-  DcAnalysis dc(net_, opt_.dcOptions);
+  DcOptions dcOpt = opt_.dcOptions;
+  // The transient backend policy covers the initial operating point too,
+  // unless the caller pinned the DC stage separately.
+  if (dcOpt.solver == linalg::SolverChoice::Auto) dcOpt.solver = opt_.solver;
+  DcAnalysis dc(net_, dcOpt);
   DcResult op = dc.solve();
   if (!op.converged) return result;
 

@@ -7,7 +7,7 @@
 
 #include <functional>
 
-#include "linalg/solve.h"
+#include "linalg/solver_backend.h"
 #include "spice/dc.h"
 #include "spice/netlist.h"
 
@@ -20,6 +20,8 @@ struct TranOptions {
   double stepLimit = 2.0;  ///< per-step node-voltage clamp (RF swings are large)
   double gmin = 1e-12;
   DcOptions dcOptions;     ///< for the initial operating point
+  /// Dense/sparse backend policy; Auto sizes against the sparse threshold.
+  linalg::SolverChoice solver = linalg::SolverChoice::Auto;
 };
 
 struct TranResult {
@@ -47,12 +49,13 @@ class TranAnalysis {
 
   Netlist& net_;
   TranOptions opt_;
-  // Assembly/factorization workspaces reused across Newton iterations and
-  // time steps (allocation-free after the first step).
-  linalg::Mat a_;
+  // Solver seam plus assembly workspaces, reused across Newton iterations
+  // and time steps (allocation-free after the first step; the sparse
+  // backend's symbolic analysis is computed once and reused for the whole
+  // transient run).
+  linalg::MnaSolver<double> solver_;
   linalg::Vec rhs_;
   linalg::Vec xNew_;
-  linalg::Lu<double> lu_;
 };
 
 /// First `nHarmonics` complex Fourier coefficients of a uniformly sampled

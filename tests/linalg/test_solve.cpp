@@ -160,6 +160,14 @@ TEST(Lu, Determinant) {
   EXPECT_NEAR(Lu<double>(a).determinant(), 6.0, 1e-12);
   Mat b{{0.0, 1.0}, {1.0, 0.0}};  // permutation, det = -1
   EXPECT_NEAR(Lu<double>(b).determinant(), -1.0, 1e-12);
+  // Singularity checks belong to isSingular(), which compares pivot
+  // magnitudes in log space instead of multiplying them out (the
+  // determinant under/overflows on large systems; see test_sparse_lu.cpp
+  // for those cases).
+  EXPECT_FALSE(Lu<double>(a).isSingular());
+  EXPECT_FALSE(Lu<double>(b).isSingular());
+  Mat c{{1.0, 2.0}, {1.0, 2.0 + 1e-15}};
+  EXPECT_TRUE(Lu<double>(c).isSingular());
 }
 
 TEST(Lu, ComplexSolve) {

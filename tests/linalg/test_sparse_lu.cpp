@@ -1,0 +1,306 @@
+// SparseLu unit suite: correctness against the dense solver, the
+// refactor-is-bitwise-factor contract, singularity handling, and the
+// allocation-free steady state of the refactor hot path.
+
+#include <atomic>
+#include <complex>
+#include <cstdlib>
+#include <new>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "linalg/solve.h"
+#include "linalg/sparse_lu.h"
+
+// Counting global allocator for the allocation-free-refactor test. The test
+// binary is a single TU, so these replacements are the binary's operator
+// new/delete (same technique as bench/harness.h; over-aligned news bypass
+// the counter but none occur on the solver path).
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+}  // namespace
+
+inline void* countedAlloc(std::size_t n) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n) { return countedAlloc(n); }
+void* operator new[](std::size_t n) { return countedAlloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using crl::linalg::Lu;
+using crl::linalg::Mat;
+using crl::linalg::Matrix;
+using crl::linalg::SparseAssembly;
+using crl::linalg::SparseLu;
+
+// Stamp every nonzero of a dense matrix into an assembly (row-major order,
+// which is as good as any stamp order).
+template <typename T>
+void assembleDense(const Matrix<T>& a, SparseAssembly<T>& out) {
+  out.begin(a.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      if (a(i, j) != T{}) out.add(i, j, a(i, j));
+}
+
+// Random sparse strictly-diagonally-dominant system (always nonsingular,
+// well conditioned; the values are irrelevant to the pattern machinery).
+Mat randomSparseMatrix(std::size_t n, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> col(0, n - 1);
+  Mat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double offSum = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const std::size_t j = col(rng);
+      if (j == i) continue;
+      const double v = val(rng);
+      a(i, j) += v;
+      offSum += std::abs(a(i, j));
+    }
+    a(i, i) = offSum + 1.0 + std::abs(val(rng));
+  }
+  return a;
+}
+
+double relError(const std::vector<double>& x, const std::vector<double>& ref) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num = std::max(num, std::abs(x[i] - ref[i]));
+    den = std::max(den, std::abs(ref[i]));
+  }
+  return den > 0.0 ? num / den : num;
+}
+
+TEST(SparseLu, SolvesKnownSystem) {
+  // [ 4 1 0 ] [x] = [ 9 ]   ->  x = (1, 5, 2) / ... solve exactly via dense.
+  Mat a{{4.0, 1.0, 0.0}, {1.0, 3.0, 1.0}, {0.0, 1.0, 2.0}};
+  std::vector<double> b{9.0, 8.0, 7.0};
+  SparseAssembly<double> asmb;
+  assembleDense(a, asmb);
+  SparseLu<double> slu;
+  slu.factor(asmb);
+  EXPECT_TRUE(slu.factored());
+  EXPECT_EQ(slu.order(), 3u);
+  const std::vector<double> x = slu.solve(b);
+  const std::vector<double> ref = Lu<double>(a).solve(b);
+  EXPECT_LT(relError(x, ref), 1e-14);
+}
+
+TEST(SparseLu, ZeroDiagonalNeedsTransversal) {
+  // MNA voltage-source shape: structurally zero diagonal, permutation fixes
+  // it. [[0,1],[1,0]] x = b swaps b.
+  SparseAssembly<double> asmb;
+  asmb.begin(2);
+  asmb.add(0, 1, 1.0);
+  asmb.add(1, 0, 1.0);
+  SparseLu<double> slu;
+  slu.factor(asmb);
+  const std::vector<double> x = slu.solve({3.0, 5.0});
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+}
+
+TEST(SparseLu, DuplicateStampsAreSummed) {
+  SparseAssembly<double> asmb;
+  asmb.begin(1);
+  asmb.add(0, 0, 1.5);
+  asmb.add(0, 0, 2.5);  // device stamps accumulate
+  SparseLu<double> slu;
+  slu.factor(asmb);
+  EXPECT_DOUBLE_EQ(slu.solve({8.0})[0], 2.0);
+  EXPECT_EQ(slu.nonzeroCount(), 1u);
+}
+
+TEST(SparseLu, MatchesDenseOnRandomSystems) {
+  std::mt19937_64 rng(2022);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 10 + 7 * static_cast<std::size_t>(trial);
+    const Mat a = randomSparseMatrix(n, rng);
+    std::vector<double> b(n);
+    for (auto& v : b) v = val(rng);
+    SparseAssembly<double> asmb;
+    assembleDense(a, asmb);
+    SparseLu<double> slu;
+    slu.factor(asmb);
+    EXPECT_LT(relError(slu.solve(b), Lu<double>(a).solve(b)), 1e-12);
+  }
+}
+
+TEST(SparseLu, MatchesDenseOnComplexSystems) {
+  using C = std::complex<double>;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 12 + 11 * static_cast<std::size_t>(trial);
+    const Mat re = randomSparseMatrix(n, rng);
+    Matrix<C> a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (re(i, j) != 0.0) a(i, j) = C(re(i, j), 0.3 * val(rng));
+    std::vector<C> b(n);
+    for (auto& v : b) v = C(val(rng), val(rng));
+    SparseAssembly<C> asmb;
+    assembleDense(a, asmb);
+    SparseLu<C> slu;
+    slu.factor(asmb);
+    const std::vector<C> x = slu.solve(b);
+    const std::vector<C> ref = Lu<C>(a).solve(b);
+    double err = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err = std::max(err, std::abs(x[i] - ref[i]));
+      den = std::max(den, std::abs(ref[i]));
+    }
+    EXPECT_LT(err / den, 1e-12);
+  }
+}
+
+TEST(SparseLu, RefactorIsBitwiseIdenticalToFreshFactor) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  const std::size_t n = 60;
+  const Mat a1 = randomSparseMatrix(n, rng);
+  Mat a2 = a1;  // same pattern, new values (a Newton re-stamp)
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      if (a2(i, j) != 0.0) a2(i, j) *= 1.0 + 0.1 * val(rng);
+  std::vector<double> b(n);
+  for (auto& v : b) v = val(rng);
+
+  SparseAssembly<double> asmb;
+  SparseLu<double> warm;
+  assembleDense(a1, asmb);
+  warm.factor(asmb);
+  assembleDense(a2, asmb);
+  warm.refactor(asmb);
+  EXPECT_TRUE(warm.patternReused());
+
+  SparseLu<double> fresh;
+  fresh.factor(asmb);
+  EXPECT_FALSE(fresh.patternReused());
+
+  std::vector<double> xWarm(n), xFresh(n);
+  warm.solveInto(b, xWarm);
+  fresh.solveInto(b, xFresh);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(xWarm[i], xFresh[i]) << i;
+}
+
+TEST(SparseLu, PatternChangeFallsBackToFullFactor) {
+  SparseAssembly<double> asmb;
+  asmb.begin(2);
+  asmb.add(0, 0, 2.0);
+  asmb.add(1, 1, 3.0);
+  SparseLu<double> slu;
+  slu.factor(asmb);
+  // New topology: an off-diagonal coupling appears.
+  asmb.begin(2);
+  asmb.add(0, 0, 2.0);
+  asmb.add(0, 1, 1.0);
+  asmb.add(1, 0, 1.0);
+  asmb.add(1, 1, 3.0);
+  slu.refactor(asmb);
+  EXPECT_FALSE(slu.patternReused());
+  const std::vector<double> x = slu.solve({3.0, 4.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 1.0, 1e-14);
+}
+
+TEST(SparseLu, StructurallySingularThrowsAndLeavesUnfactored) {
+  SparseAssembly<double> asmb;
+  asmb.begin(3);  // column 2 is empty: no transversal exists
+  asmb.add(0, 0, 1.0);
+  asmb.add(1, 1, 1.0);
+  asmb.add(2, 0, 1.0);
+  SparseLu<double> slu;
+  EXPECT_THROW(slu.factor(asmb), std::runtime_error);
+  EXPECT_FALSE(slu.factored());
+  // The object recovers: factoring a good system afterwards works.
+  asmb.begin(2);
+  asmb.add(0, 0, 2.0);
+  asmb.add(1, 1, 4.0);
+  slu.factor(asmb);
+  EXPECT_TRUE(slu.factored());
+  EXPECT_DOUBLE_EQ(slu.solve({2.0, 4.0})[0], 1.0);
+}
+
+TEST(SparseLu, NumericallySingularThrowsAndLeavesUnfactored) {
+  // Structurally fine, numerically rank 1.
+  Mat a{{1.0, 2.0}, {2.0, 4.0}};
+  SparseAssembly<double> asmb;
+  assembleDense(a, asmb);
+  SparseLu<double> slu;
+  EXPECT_THROW(slu.factor(asmb), std::runtime_error);
+  EXPECT_FALSE(slu.factored());
+}
+
+TEST(SparseLu, HundredRefactorsAllocateNothing) {
+  std::mt19937_64 rng(5);
+  const std::size_t n = 80;
+  const Mat a = randomSparseMatrix(n, rng);
+  std::vector<double> b(n, 1.0), x(n);
+  SparseAssembly<double> asmb;
+  SparseLu<double> slu;
+  assembleDense(a, asmb);
+  slu.factor(asmb);
+  slu.solveInto(b, x);  // warm the staging buffers
+
+  const std::uint64_t before = gAllocCount.load(std::memory_order_relaxed);
+  for (int k = 0; k < 100; ++k) {
+    assembleDense(a, asmb);  // begin() keeps capacity
+    slu.refactor(asmb);
+    slu.solveInto(b, x);
+  }
+  const std::uint64_t after = gAllocCount.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(LuIsSingular, FlagsNearSingularMatrix) {
+  Mat a{{1.0, 1.0}, {1.0, 1.0 + 1e-14}};
+  Lu<double> lu(a);
+  EXPECT_TRUE(lu.isSingular());
+  EXPECT_FALSE(lu.isSingular(1e-16));
+}
+
+TEST(LuIsSingular, WellConditionedLargeMatrixWhereDeterminantUnderflows) {
+  // 400 pivots of 1e-3: determinant is 1e-1200 -> 0.0 in double, but the
+  // matrix is perfectly conditioned and isSingular must say so.
+  const std::size_t n = 400;
+  Mat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = 1e-3;
+  Lu<double> lu(a);
+  EXPECT_EQ(lu.determinant(), 0.0);  // the underflow isSingular sidesteps
+  EXPECT_FALSE(lu.isSingular());
+}
+
+TEST(LuIsSingular, WellConditionedLargeMatrixWhereDeterminantOverflows) {
+  const std::size_t n = 400;
+  Mat a(n, n);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) = 1e3;
+  Lu<double> lu(a);
+  EXPECT_TRUE(std::isinf(lu.determinant()));
+  EXPECT_FALSE(lu.isSingular());
+}
+
+TEST(LuIsSingular, ThrowsWhenNotFactored) {
+  Lu<double> lu;
+  EXPECT_THROW(lu.isSingular(), std::logic_error);
+}
+
+TEST(LuIsSingular, ComplexMatrix) {
+  using C = std::complex<double>;
+  Matrix<C> a{{C(0.0, 1.0), C(1.0, 0.0)}, {C(0.0, 1.0), C(1.0, 1e-13)}};
+  Lu<C> lu(a);
+  EXPECT_TRUE(lu.isSingular(1e-9));
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Committed netlist fixtures: they parse, they converge, and the Auto
+// solver policy routes them to the expected backend around the
+// CRL_SPICE_SPARSE_THRESHOLD knob.
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "linalg/solver_choice.h"
+#include "spice/dc.h"
+#include "spice/parser.h"
+
+namespace {
+
+using crl::linalg::chooseSolverKind;
+using crl::linalg::SolverChoice;
+using crl::linalg::SolverKind;
+
+std::string fixturePath(const std::string& name) {
+  return std::string(CRL_REPO_TESTS_DIR) + "/spice/fixtures/" + name;
+}
+
+// setenv/unsetenv scope guard: the threshold is read per call, so the knob
+// can be tested without process restarts.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    setenv(name, value, 1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(NetlistFixtures, LaddersParseWithExpectedTopology) {
+  for (int n : {20, 50, 200, 500}) {
+    auto deck =
+        crl::spice::parseDeckFile(fixturePath("rc_ladder_" + std::to_string(n) + ".cir"));
+    // n stage nodes + the input node, plus V1's branch current.
+    EXPECT_EQ(deck.netlist->unknownCount(), static_cast<std::size_t>(n) + 2) << n;
+    EXPECT_TRUE(deck.warnings.empty());
+  }
+}
+
+TEST(NetlistFixtures, MeshesParseWithExpectedTopology) {
+  const struct {
+    const char* name;
+    int nodes;
+  } meshes[] = {{"rc_mesh_20.cir", 20}, {"rc_mesh_50.cir", 50},
+                {"rc_mesh_200.cir", 200}, {"rc_mesh_500.cir", 500}};
+  for (const auto& m : meshes) {
+    auto deck = crl::spice::parseDeckFile(fixturePath(m.name));
+    EXPECT_EQ(deck.netlist->unknownCount(), static_cast<std::size_t>(m.nodes) + 2)
+        << m.name;
+  }
+}
+
+TEST(NetlistFixtures, DcConvergesOnEveryFixture) {
+  for (const char* name : {"rc_ladder_20.cir", "rc_ladder_500.cir", "rc_mesh_500.cir",
+                           "diode_ladder_40.cir"}) {
+    auto deck = crl::spice::parseDeckFile(fixturePath(name));
+    crl::spice::DcResult op = crl::spice::DcAnalysis(*deck.netlist).solve();
+    EXPECT_TRUE(op.converged) << name;
+    // The tail divider guarantees a nontrivial DC solution.
+    const bool mesh = std::string(name).find("mesh") != std::string::npos;
+    const double vout = crl::spice::Netlist::voltageOf(
+        op.x, deck.netlist->findNode(mesh ? "n24_19" : "n1"));
+    EXPECT_GT(std::abs(vout), 1e-3) << name;
+  }
+}
+
+TEST(SolverChoicePolicy, AutoRoutesAroundThreshold) {
+  // Default threshold (64): paper-scale circuits stay dense, fixtures above
+  // it go sparse.
+  EXPECT_EQ(chooseSolverKind(25), SolverKind::Dense);
+  EXPECT_EQ(chooseSolverKind(64), SolverKind::Sparse);
+  EXPECT_EQ(chooseSolverKind(502), SolverKind::Sparse);
+  // Force overrides ignore size entirely.
+  EXPECT_EQ(chooseSolverKind(5000, SolverChoice::ForceDense), SolverKind::Dense);
+  EXPECT_EQ(chooseSolverKind(2, SolverChoice::ForceSparse), SolverKind::Sparse);
+}
+
+TEST(SolverChoicePolicy, ThresholdKnobIsLive) {
+  {
+    ScopedEnv env("CRL_SPICE_SPARSE_THRESHOLD", "10");
+    EXPECT_EQ(chooseSolverKind(25), SolverKind::Sparse);
+  }
+  {
+    ScopedEnv env("CRL_SPICE_SPARSE_THRESHOLD", "100000");
+    EXPECT_EQ(chooseSolverKind(502), SolverKind::Dense);
+  }
+  EXPECT_EQ(chooseSolverKind(25), SolverKind::Dense);  // back to default
+}
+
+}  // namespace

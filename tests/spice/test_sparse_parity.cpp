@@ -1,0 +1,208 @@
+// Dense-vs-sparse solver parity across the whole solve stack.
+//
+// The sparse backend is a different factorization (different elimination
+// order, different rounding), so exact bit-equality against dense is not the
+// contract; 1e-12 relative agreement on well-conditioned systems is. What IS
+// exact: the sparse path's own determinism — a pooled AC sweep on the sparse
+// backend is bitwise identical to the serial sweep, mirroring the dense
+// session-parity suite.
+//
+// Fixtures are the committed generator outputs under tests/spice/fixtures
+// (see examples/gen_netlists.cpp); the path comes in via CRL_REPO_TESTS_DIR.
+
+#include <cmath>
+#include <complex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/solve.h"
+#include "linalg/sparse_lu.h"
+#include "spice/ac.h"
+#include "spice/dc.h"
+#include "spice/gen.h"
+#include "spice/parser.h"
+#include "spice/session.h"
+#include "spice/tran.h"
+
+namespace {
+
+using crl::linalg::SolverChoice;
+
+std::string fixturePath(const std::string& name) {
+  return std::string(CRL_REPO_TESTS_DIR) + "/spice/fixtures/" + name;
+}
+
+double relError(const crl::linalg::Vec& x, const crl::linalg::Vec& ref) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num = std::max(num, std::abs(x[i] - ref[i]));
+    den = std::max(den, std::abs(ref[i]));
+  }
+  return den > 0.0 ? num / den : num;
+}
+
+// ---- randomized linear systems -------------------------------------------
+
+TEST(SparseParity, RandomizedSystemsAgreeWithDense) {
+  std::mt19937_64 rng(97);
+  std::uniform_real_distribution<double> val(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> pick(0, 1u << 30);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 25 + 40 * static_cast<std::size_t>(trial);
+    crl::linalg::Mat a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      double offSum = 0.0;
+      for (int k = 0; k < 5; ++k) {
+        const std::size_t j = pick(rng) % n;
+        if (j == i) continue;
+        a(i, j) += val(rng);
+        offSum += std::abs(a(i, j));
+      }
+      a(i, i) = offSum + 1.0 + std::abs(val(rng));
+    }
+    std::vector<double> b(n);
+    for (auto& v : b) v = val(rng);
+
+    crl::linalg::SparseAssembly<double> asmb;
+    asmb.begin(n);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        if (a(i, j) != 0.0) asmb.add(i, j, a(i, j));
+    crl::linalg::SparseLu<double> slu;
+    slu.factor(asmb);
+    EXPECT_LT(relError(slu.solve(b), crl::linalg::Lu<double>(a).solve(b)), 1e-12)
+        << "n=" << n;
+  }
+}
+
+// ---- netlist fixtures -----------------------------------------------------
+
+class FixtureParity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FixtureParity, DcSolutionsAgree) {
+  auto dense = crl::spice::parseDeckFile(fixturePath(GetParam()));
+  auto sparse = crl::spice::parseDeckFile(fixturePath(GetParam()));
+  crl::spice::DcOptions opt;
+  opt.solver = SolverChoice::ForceDense;
+  crl::spice::DcResult rd = crl::spice::DcAnalysis(*dense.netlist, opt).solve();
+  opt.solver = SolverChoice::ForceSparse;
+  crl::spice::DcResult rs = crl::spice::DcAnalysis(*sparse.netlist, opt).solve();
+  ASSERT_TRUE(rd.converged);
+  ASSERT_TRUE(rs.converged);
+  EXPECT_LT(relError(rs.x, rd.x), 1e-12);
+}
+
+TEST_P(FixtureParity, AcResponsesAgree) {
+  auto deck = crl::spice::parseDeckFile(fixturePath(GetParam()));
+  crl::spice::Netlist& net = *deck.netlist;
+  crl::spice::DcResult op = crl::spice::DcAnalysis(net).solve();
+  ASSERT_TRUE(op.converged);
+  crl::spice::AcAnalysis dense(net, op.x, SolverChoice::ForceDense);
+  crl::spice::AcAnalysis sparse(net, op.x, SolverChoice::ForceSparse);
+  for (double f : {1e3, 1e5, 1e7}) {
+    const crl::linalg::CVec xd = dense.solveAt(f);
+    const crl::linalg::CVec xs = sparse.solveAt(f);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < xd.size(); ++i) {
+      num = std::max(num, std::abs(xs[i] - xd[i]));
+      den = std::max(den, std::abs(xd[i]));
+    }
+    EXPECT_LT(num / den, 1e-12) << "f=" << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFixtures, FixtureParity,
+                         ::testing::Values("rc_ladder_20.cir", "rc_ladder_50.cir",
+                                           "rc_ladder_200.cir", "rc_ladder_500.cir",
+                                           "rc_mesh_20.cir", "rc_mesh_50.cir",
+                                           "rc_mesh_200.cir", "rc_mesh_500.cir"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           return n.substr(0, n.size() - 4);
+                         });
+
+TEST(SparseParity, TransientWaveformsAgree) {
+  for (const char* name : {"rc_ladder_20.cir", "rc_ladder_50.cir", "rc_ladder_200.cir",
+                           "rc_ladder_500.cir", "rc_mesh_20.cir", "rc_mesh_50.cir",
+                           "rc_mesh_200.cir", "rc_mesh_500.cir"}) {
+    auto dense = crl::spice::parseDeckFile(fixturePath(name));
+    auto sparse = crl::spice::parseDeckFile(fixturePath(name));
+    crl::spice::TranOptions opt;
+    opt.solver = SolverChoice::ForceDense;
+    crl::spice::TranResult rd =
+        crl::spice::TranAnalysis(*dense.netlist, opt).run(5e-8, 5e-7);
+    opt.solver = SolverChoice::ForceSparse;
+    crl::spice::TranResult rs =
+        crl::spice::TranAnalysis(*sparse.netlist, opt).run(5e-8, 5e-7);
+    ASSERT_TRUE(rd.converged) << name;
+    ASSERT_TRUE(rs.converged) << name;
+    ASSERT_EQ(rd.solution.size(), rs.solution.size());
+    for (std::size_t k = 0; k < rd.solution.size(); ++k)
+      EXPECT_LT(relError(rs.solution[k], rd.solution[k]), 1e-9)
+          << name << " step " << k;
+  }
+}
+
+TEST(SparseParity, NonlinearDiodeLadderAgrees) {
+  // Newton paths may round differently per iteration, so the nonlinear
+  // contract is convergence-tolerance agreement, not 1e-12.
+  auto dense = crl::spice::parseDeckFile(fixturePath("diode_ladder_40.cir"));
+  auto sparse = crl::spice::parseDeckFile(fixturePath("diode_ladder_40.cir"));
+  crl::spice::DcOptions opt;
+  opt.solver = SolverChoice::ForceDense;
+  crl::spice::DcResult rd = crl::spice::DcAnalysis(*dense.netlist, opt).solve();
+  opt.solver = SolverChoice::ForceSparse;
+  crl::spice::DcResult rs = crl::spice::DcAnalysis(*sparse.netlist, opt).solve();
+  ASSERT_TRUE(rd.converged);
+  ASSERT_TRUE(rs.converged);
+  EXPECT_LT(relError(rs.x, rd.x), 1e-6);
+}
+
+// ---- sparse-path determinism ---------------------------------------------
+
+TEST(SparseParity, PooledSparseSweepIsBitwiseSerial) {
+  auto deck = crl::spice::parseDeckFile(fixturePath("rc_mesh_200.cir"));
+  crl::spice::Netlist& net = *deck.netlist;
+  const crl::spice::NodeId out = net.findNode("n19_9");
+  crl::spice::DcResult op = crl::spice::DcAnalysis(net).solve();
+  ASSERT_TRUE(op.converged);
+  crl::spice::AcAnalysis ac(net, op.x, SolverChoice::ForceSparse);
+  const auto serial = ac.sweep(out, 1e3, 1e7, 3, nullptr);
+  crl::spice::SimSession session(4);
+  const auto pooled = ac.sweep(out, 1e3, 1e7, 3, &session);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].value.real(), pooled[i].value.real()) << i;
+    EXPECT_EQ(serial[i].value.imag(), pooled[i].value.imag()) << i;
+  }
+}
+
+TEST(SparseParity, GeneratorOutputMatchesCommittedFixtures) {
+  // The committed fixtures are verbatim generator output; a drifted
+  // generator must fail here, not silently invalidate the parity suite.
+  const struct {
+    const char* name;
+    std::string deck;
+  } cases[] = {
+      {"rc_ladder_200.cir", crl::spice::rcLadderDeck(200)},
+      {"diode_ladder_40.cir", crl::spice::rcLadderDeck(40, true)},
+      {"rc_mesh_200.cir", crl::spice::rcMeshDeck(20, 10)},
+  };
+  for (const auto& c : cases) {
+    auto committed = crl::spice::parseDeckFile(fixturePath(c.name));
+    auto generated = crl::spice::parseDeck(c.deck);
+    EXPECT_EQ(committed.netlist->unknownCount(), generated.netlist->unknownCount())
+        << c.name;
+    crl::spice::DcResult a = crl::spice::DcAnalysis(*committed.netlist).solve();
+    crl::spice::DcResult b = crl::spice::DcAnalysis(*generated.netlist).solve();
+    ASSERT_TRUE(a.converged);
+    ASSERT_TRUE(b.converged);
+    ASSERT_EQ(a.x.size(), b.x.size());
+    for (std::size_t i = 0; i < a.x.size(); ++i) EXPECT_EQ(a.x[i], b.x[i]) << i;
+  }
+}
+
+}  // namespace
