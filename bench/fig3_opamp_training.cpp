@@ -4,14 +4,21 @@
 // (GCN-RL-style, no spec pathway). Also saves the trained GAT-FC/GCN-FC
 // policies for the downstream Fig. 5/6 and Table 2 harnesses.
 //
-// Seeds are independent runs: CRL_SEED_WORKERS > 1 trains them concurrently
-// with per-seed results (curves, CSVs, accuracies) identical to the serial
-// loop. When seeds run serially, CRL_SPICE_WORKERS > 1 instead parallelizes
-// inside each SPICE evaluation (bit-identical results either way).
-// `--json` emits the final per-seed metrics as machine-readable rows.
+// All method x seed runs are jobs of one rl::CampaignRunner sharing a single
+// work-stealing pool (CRL_SEED_WORKERS sizes it; default 1 = serial, with
+// per-seed results identical to the serial loop for any worker count). Jobs
+// checkpoint periodically under $CRL_OUT/campaign_opamp/<job>/ and a rerun
+// resumes: completed jobs are skipped via their `done` markers, interrupted
+// ones continue bitwise from their last checkpoint — delete the campaign
+// directory to retrain from scratch. When seeds run serially,
+// CRL_SPICE_WORKERS > 1 instead parallelizes inside each SPICE evaluation
+// (bit-identical results either way). CRL_CHECKPOINT_EVERY overrides the
+// checkpoint cadence (default: the eval cadence). `--json` emits the final
+// per-seed metrics as machine-readable rows.
 #include "harness.h"
 
-#include "circuit/opamp.h"
+#include "core/campaign_jobs.h"
+#include "rl/campaign.h"
 
 using namespace crl;
 
@@ -33,58 +40,73 @@ int main(int argc, char** argv) {
                      " seed workers: %zu, spice workers: %zu)\n\n",
                seedWorkers, spiceWorkers);
 
-  util::TextTable table({"method", "seed", "final mean reward", "final mean length",
-                         "deploy accuracy"});
+  rl::CampaignConfig ccfg;
+  ccfg.outDir = scale.path("campaign_opamp");
+  ccfg.workers = seedWorkers;
+  ccfg.checkpointEvery = bench::intFromEnv("CRL_CHECKPOINT_EVERY", evalEvery);
+  rl::CampaignRunner runner(ccfg);
+
   for (auto kind : bench::fig3Methods()) {
     const std::string method = core::policyKindName(kind);
-    std::vector<bench::TrainOutcome> outs(static_cast<std::size_t>(scale.seeds));
-    bench::forEachSeed(scale.seeds, seedWorkers, [&](int seed) {
-      circuit::TwoStageOpAmp amp;
-      spice::SimSession session(spiceWorkers);
-      amp.setSession(&session);
-      envs::SizingEnv env(amp, {.maxSteps = 50});
-      util::Rng initRng(100 + static_cast<std::uint64_t>(seed));
-      auto policy = core::makePolicy(kind, env, initRng);
-      // Batched PPO update (default since the arena/fused-kernel PR): one
-      // autograd graph per minibatch instead of one per transition. Curves
-      // differ from the sequential path only by float summation order; the
-      // batched golden tests (test_golden_curves) pin this path, and the
-      // sequential goldens keep pinning the old one.
-      rl::PpoConfig ppo;
-      ppo.batchedUpdate = true;
-      auto out = bench::trainWithCurves(env, env, *policy, episodes, evalEvery,
-                                        /*evalEpisodes=*/25,
-                                        /*seed=*/static_cast<std::uint64_t>(seed),
-                                        ppo);
-      bench::writeCurveCsv(
-          scale.path("fig3_opamp_" + method + "_s" + std::to_string(seed) + ".csv"),
-          method, seed, out.curve);
-      if (seed == 0 && (kind == core::PolicyKind::GcnFc || kind == core::PolicyKind::GatFc)) {
-        nn::saveParameters(scale.path(std::string("policy_opamp_") + method + ".bin"),
-                           policy->parameters());
-      }
-      outs[static_cast<std::size_t>(seed)] = std::move(out);
-    });
     for (int seed = 0; seed < scale.seeds; ++seed) {
-      const auto& out = outs[static_cast<std::size_t>(seed)];
+      rl::CampaignJob job;
+      job.name = method + "_s" + std::to_string(seed);
+      job.episodes = episodes;
+      job.trainSeed = static_cast<std::uint64_t>(seed);
+      job.evalSeed = job.trainSeed + 9001;
+      job.finalEvalSeed = job.trainSeed + 5555;
+      job.evalEvery = evalEvery;
+      job.evalEpisodes = 25;
+      // Batched PPO update (default since the arena/fused-kernel PR): one
+      // autograd graph per minibatch instead of one per transition.
+      job.ppo.batchedUpdate = true;
+      job.make = core::makeSizingContext(
+          {core::CampaignCircuit::OpAmp, kind, seed, 1.0, spiceWorkers});
+      job.curveCsv =
+          scale.path("fig3_opamp_" + method + "_s" + std::to_string(seed) + ".csv");
+      job.csvMethod = method;
+      job.csvSeedTag = seed;
+      if (seed == 0 &&
+          (kind == core::PolicyKind::GcnFc || kind == core::PolicyKind::GatFc))
+        job.policyBin = scale.path(std::string("policy_opamp_") + method + ".bin");
+      runner.addJob(std::move(job));
+    }
+  }
+
+  const auto results = runner.run();
+
+  util::TextTable table({"method", "seed", "final mean reward", "final mean length",
+                         "deploy accuracy"});
+  std::size_t idx = 0;
+  bool anyFailed = false;
+  for (auto kind : bench::fig3Methods()) {
+    const std::string method = core::policyKindName(kind);
+    for (int seed = 0; seed < scale.seeds; ++seed, ++idx) {
+      const auto& r = results[idx];
+      if (r.failed) {
+        anyFailed = true;
+        std::fprintf(tout, "%-12s seed %d: FAILED: %s\n", method.c_str(), seed,
+                     r.error.c_str());
+        continue;
+      }
       table.addRow({method, std::to_string(seed),
-                    util::TextTable::num(out.curve.back().meanReward, 4),
-                    util::TextTable::num(out.curve.back().meanLength, 4),
-                    util::TextTable::num(out.finalAccuracy.accuracy, 4)});
-      std::fprintf(tout, "%-12s seed %d: accuracy %.3f, mean steps (succ) %.1f\n",
-                   method.c_str(), seed, out.finalAccuracy.accuracy,
-                   out.finalAccuracy.meanStepsSuccess);
+                    util::TextTable::num(r.finalMeanReward, 4),
+                    util::TextTable::num(r.finalMeanLength, 4),
+                    util::TextTable::num(r.finalAccuracy, 4)});
+      std::fprintf(tout, "%-12s seed %d: accuracy %.3f, mean steps (succ) %.1f%s\n",
+                   method.c_str(), seed, r.finalAccuracy, r.finalMeanStepsSuccess,
+                   r.skipped ? " [skipped: done]" : r.resumed ? " [resumed]" : "");
       std::fflush(tout);
       json.record({{"bench", "fig3_opamp"},
                    {"method", method},
                    {"seed", std::to_string(seed)},
                    {"unit", "deploy_accuracy"}},
-                  out.finalAccuracy.accuracy);
+                  r.finalAccuracy);
       json.record({{"bench", "fig3_opamp"},
                    {"method", method},
                    {"seed", std::to_string(seed)},
                    {"unit", "final_mean_reward"}},
-                  out.curve.back().meanReward);
+                  r.finalMeanReward);
     }
   }
   std::fprintf(tout, "\n");
@@ -92,5 +114,5 @@ int main(int argc, char** argv) {
   std::fprintf(tout, "\nSeries CSVs written to %s/fig3_opamp_*.csv\n",
                scale.outDir.c_str());
   json.flush();
-  return 0;
+  return anyFailed ? 1 : 0;
 }

@@ -3,14 +3,18 @@
 // learning setup — while deployment accuracy is evaluated in the FINE
 // (harmonic-balance-equivalent transient) environment.
 //
-// Seeds are independent runs: CRL_SEED_WORKERS > 1 trains them concurrently
-// with per-seed results identical to the serial loop. `--json` emits the
-// final per-seed metrics as machine-readable rows. (The RF PA's coarse and
-// fine paths are DC/transient — no AC sweep — so CRL_SPICE_WORKERS has
-// nothing to parallelize here.)
+// All method x seed runs are jobs of one rl::CampaignRunner sharing a single
+// work-stealing pool (CRL_SEED_WORKERS sizes it; per-seed results identical
+// to the serial loop for any worker count). Jobs checkpoint under
+// $CRL_OUT/campaign_rfpa/<job>/ and a rerun resumes (done markers skip,
+// checkpoints continue bitwise); CRL_CHECKPOINT_EVERY overrides the cadence.
+// `--json` emits the final per-seed metrics as machine-readable rows. (The
+// RF PA's coarse and fine paths are DC/transient — no AC sweep — so
+// CRL_SPICE_WORKERS has nothing to parallelize here.)
 #include "harness.h"
 
-#include "circuit/rfpa.h"
+#include "core/campaign_jobs.h"
+#include "rl/campaign.h"
 
 using namespace crl;
 
@@ -29,58 +33,77 @@ int main(int argc, char** argv) {
                      " seed workers: %zu)\n\n",
                seedWorkers);
 
-  util::TextTable table({"method", "seed", "final mean reward", "final mean length",
-                         "deploy accuracy (fine)"});
+  rl::CampaignConfig ccfg;
+  ccfg.outDir = scale.path("campaign_rfpa");
+  ccfg.workers = seedWorkers;
+  ccfg.checkpointEvery = bench::intFromEnv("CRL_CHECKPOINT_EVERY", evalEvery);
+  rl::CampaignRunner runner(ccfg);
+
   for (auto kind : bench::fig3Methods()) {
     const std::string method = core::policyKindName(kind);
-    std::vector<bench::TrainOutcome> outs(static_cast<std::size_t>(scale.seeds));
-    bench::forEachSeed(scale.seeds, seedWorkers, [&](int seed) {
-      circuit::GanRfPa pa;
-      envs::SizingEnv trainEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Coarse});
-      envs::SizingEnv evalEnv(pa, {.maxSteps = 30, .fidelity = circuit::Fidelity::Fine});
-      util::Rng initRng(200 + static_cast<std::uint64_t>(seed));
-      auto policy = core::makePolicy(kind, trainEnv, initRng);
-      // Batched PPO update by default (see fig3_opamp_training.cpp).
-      rl::PpoConfig ppo;
-      ppo.batchedUpdate = true;
-      auto out = bench::trainWithCurves(trainEnv, evalEnv, *policy, episodes, evalEvery,
-                                        /*evalEpisodes=*/15,
-                                        /*seed=*/17 + static_cast<std::uint64_t>(seed),
-                                        ppo);
-      bench::writeCurveCsv(
-          scale.path("fig3_rfpa_" + method + "_s" + std::to_string(seed) + ".csv"),
-          method, seed, out.curve);
-      if (seed == 0 && (kind == core::PolicyKind::GcnFc || kind == core::PolicyKind::GatFc)) {
-        nn::saveParameters(scale.path(std::string("policy_rfpa_") + method + ".bin"),
-                           policy->parameters());
-      }
-      outs[static_cast<std::size_t>(seed)] = std::move(out);
-    });
     for (int seed = 0; seed < scale.seeds; ++seed) {
-      const auto& out = outs[static_cast<std::size_t>(seed)];
+      rl::CampaignJob job;
+      job.name = method + "_s" + std::to_string(seed);
+      job.episodes = episodes;
+      job.trainSeed = 17 + static_cast<std::uint64_t>(seed);
+      job.evalSeed = job.trainSeed + 9001;
+      job.finalEvalSeed = job.trainSeed + 5555;
+      job.evalEvery = evalEvery;
+      job.evalEpisodes = 15;
+      // Batched PPO update by default (see fig3_opamp_training.cpp).
+      job.ppo.batchedUpdate = true;
+      job.make = core::makeSizingContext(
+          {core::CampaignCircuit::RfPa, kind, seed, 1.0, /*spiceWorkers=*/1});
+      job.curveCsv =
+          scale.path("fig3_rfpa_" + method + "_s" + std::to_string(seed) + ".csv");
+      job.csvMethod = method;
+      job.csvSeedTag = seed;
+      if (seed == 0 &&
+          (kind == core::PolicyKind::GcnFc || kind == core::PolicyKind::GatFc))
+        job.policyBin = scale.path(std::string("policy_rfpa_") + method + ".bin");
+      runner.addJob(std::move(job));
+    }
+  }
+
+  const auto results = runner.run();
+
+  util::TextTable table({"method", "seed", "final mean reward", "final mean length",
+                         "deploy accuracy (fine)"});
+  std::size_t idx = 0;
+  bool anyFailed = false;
+  for (auto kind : bench::fig3Methods()) {
+    const std::string method = core::policyKindName(kind);
+    for (int seed = 0; seed < scale.seeds; ++seed, ++idx) {
+      const auto& r = results[idx];
+      if (r.failed) {
+        anyFailed = true;
+        std::fprintf(tout, "%-12s seed %d: FAILED: %s\n", method.c_str(), seed,
+                     r.error.c_str());
+        continue;
+      }
       table.addRow({method, std::to_string(seed),
-                    util::TextTable::num(out.curve.back().meanReward, 4),
-                    util::TextTable::num(out.curve.back().meanLength, 4),
-                    util::TextTable::num(out.finalAccuracy.accuracy, 4)});
-      std::fprintf(tout, "%-12s seed %d: fine-env accuracy %.3f, mean steps (succ) %.1f\n",
-                   method.c_str(), seed, out.finalAccuracy.accuracy,
-                   out.finalAccuracy.meanStepsSuccess);
+                    util::TextTable::num(r.finalMeanReward, 4),
+                    util::TextTable::num(r.finalMeanLength, 4),
+                    util::TextTable::num(r.finalAccuracy, 4)});
+      std::fprintf(tout, "%-12s seed %d: fine-env accuracy %.3f, mean steps (succ) %.1f%s\n",
+                   method.c_str(), seed, r.finalAccuracy, r.finalMeanStepsSuccess,
+                   r.skipped ? " [skipped: done]" : r.resumed ? " [resumed]" : "");
       std::fflush(tout);
       json.record({{"bench", "fig3_rfpa"},
                    {"method", method},
                    {"seed", std::to_string(seed)},
                    {"unit", "deploy_accuracy_fine"}},
-                  out.finalAccuracy.accuracy);
+                  r.finalAccuracy);
       json.record({{"bench", "fig3_rfpa"},
                    {"method", method},
                    {"seed", std::to_string(seed)},
                    {"unit", "final_mean_reward"}},
-                  out.curve.back().meanReward);
+                  r.finalMeanReward);
     }
   }
   std::fprintf(tout, "\n");
   table.print(json.enabled() ? std::cerr : std::cout);
   std::fprintf(tout, "\nSeries CSVs written to %s/fig3_rfpa_*.csv\n", scale.outDir.c_str());
   json.flush();
-  return 0;
+  return anyFailed ? 1 : 0;
 }

@@ -258,6 +258,17 @@ inline std::size_t seedWorkersFromEnv() {
   return util::ThreadPool::workersFromEnv("CRL_SEED_WORKERS");
 }
 
+/// Plain integer env knob (CRL_CHECKPOINT_EVERY, ...): unset or unparsable
+/// returns `fallback`.
+inline int intFromEnv(const char* var, int fallback) {
+  const char* v = std::getenv(var);
+  if (!v || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long x = std::strtol(v, &end, 10);
+  if (end == v) return fallback;
+  return static_cast<int>(x);
+}
+
 /// Run fn(seed) for seeds [0, n) — in order on the calling thread, or fanned
 /// across a thread pool when workers > 1. Each seed's work must be fully
 /// self-contained (own benchmark, env, policy, RNGs) and deposit its results

@@ -1,0 +1,160 @@
+// Campaign CLI: run a crash-safe seed x topology x corner training campaign
+// from the command line (the fleet-scale front door to rl::CampaignRunner).
+//
+//   $ ./build/campaign_cli --out campaign --circuits opamp,ota --seeds 3
+//         --corners slow,nominal,fast --episodes 400 --workers 4
+//
+// Every job checkpoints periodically under <out>/<job>/ and the whole
+// campaign is resumable: re-running the exact same command after a crash (or
+// SIGKILL) skips completed jobs via their `done` markers and continues
+// interrupted ones bitwise from their last checkpoint. The CI kill-and-resume
+// smoke job and the resume-parity suite drive this binary; --crash-after-
+// checkpoints hard-kills the process (std::_Exit, no cleanup) after the Nth
+// checkpoint write to simulate a mid-campaign SIGKILL deterministically.
+#include <cstdio>
+#include <cstdlib>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "core/campaign_jobs.h"
+#include "rl/campaign.h"
+
+using namespace crl;
+
+namespace {
+
+std::vector<std::string> splitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+core::CampaignCircuit parseCircuit(const std::string& name) {
+  if (name == "opamp") return core::CampaignCircuit::OpAmp;
+  if (name == "ota") return core::CampaignCircuit::Ota;
+  if (name == "rfpa") return core::CampaignCircuit::RfPa;
+  std::fprintf(stderr, "unknown circuit '%s' (expected opamp|ota|rfpa)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+core::PolicyKind parseKind(const std::string& name) {
+  for (core::PolicyKind k :
+       {core::PolicyKind::GatFc, core::PolicyKind::GcnFc,
+        core::PolicyKind::BaselineA, core::PolicyKind::BaselineB,
+        core::PolicyKind::BaselineBGat})
+    if (name == core::policyKindName(k)) return k;
+  std::fprintf(stderr,
+               "unknown method '%s' (expected GAT-FC|GCN-FC|Baseline-A|"
+               "Baseline-B|Baseline-B-GAT)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: campaign_cli [options]\n"
+      "  --out DIR                 output/checkpoint directory (default: crl_campaign)\n"
+      "  --circuits a,b            opamp|ota|rfpa (default: opamp)\n"
+      "  --methods a,b             GAT-FC|GCN-FC|Baseline-A|Baseline-B|Baseline-B-GAT\n"
+      "                            (default: GCN-FC)\n"
+      "  --seeds N                 seeds per combination (default: 1)\n"
+      "  --corners a,b             slow|nominal|fast (default: nominal)\n"
+      "  --corner-spread X         corner technology spread (default: 0.1)\n"
+      "  --episodes N              training episodes per job (default: 300)\n"
+      "  --eval-episodes N         intermediate-eval episodes (default: per circuit)\n"
+      "  --workers N               shared-pool workers (default: 1)\n"
+      "  --checkpoint-every N      episodes between checkpoints (default: 50)\n"
+      "  --no-resume               ignore existing done markers and checkpoints\n"
+      "  --crash-after-checkpoints N  _Exit(42) after the Nth checkpoint (testing)\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::CampaignAxes axes;
+  rl::CampaignConfig cfg;
+  cfg.outDir = "crl_campaign";
+  cfg.checkpointEvery = 50;
+  long crashAfter = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--out") cfg.outDir = value();
+    else if (arg == "--circuits") {
+      axes.circuits.clear();
+      for (const auto& c : splitCsv(value())) axes.circuits.push_back(parseCircuit(c));
+    } else if (arg == "--methods") {
+      axes.kinds.clear();
+      for (const auto& m : splitCsv(value())) axes.kinds.push_back(parseKind(m));
+    } else if (arg == "--seeds") axes.seeds = std::atoi(value().c_str());
+    else if (arg == "--corners") axes.corners = splitCsv(value());
+    else if (arg == "--corner-spread") axes.cornerSpread = std::atof(value().c_str());
+    else if (arg == "--episodes") axes.episodes = std::atoi(value().c_str());
+    else if (arg == "--eval-episodes") axes.evalEpisodes = std::atoi(value().c_str());
+    else if (arg == "--workers") cfg.workers = static_cast<std::size_t>(std::atoi(value().c_str()));
+    else if (arg == "--checkpoint-every") cfg.checkpointEvery = std::atoi(value().c_str());
+    else if (arg == "--no-resume") cfg.resume = false;
+    else if (arg == "--crash-after-checkpoints") crashAfter = std::atol(value().c_str());
+    else usage();
+  }
+  if (axes.seeds <= 0 || axes.episodes <= 0) usage();
+
+  if (crashAfter >= 0) {
+    // Shared across worker threads: the campaign dies after N checkpoint
+    // writes total, wherever they land.
+    static std::atomic<long> checkpointsLeft{0};
+    checkpointsLeft.store(crashAfter);
+    cfg.onCheckpoint = [](const std::string& job, int episode) {
+      if (checkpointsLeft.fetch_sub(1) <= 1) {
+        std::fprintf(stderr, "crash-after-checkpoints: dying after %s @ episode %d\n",
+                     job.c_str(), episode);
+        std::fflush(stderr);
+        std::_Exit(42);  // no destructors, no atexit — a SIGKILL stand-in
+      }
+    };
+  }
+
+  rl::CampaignRunner runner(cfg);
+  std::vector<rl::CampaignJob> jobs;
+  try {
+    jobs = core::buildSizingJobs(axes);
+    for (auto& job : jobs) runner.addJob(std::move(job));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("campaign: %zu job(s), %zu worker(s), checkpoint every %d episode(s), out=%s\n",
+              jobs.size(), cfg.workers, cfg.checkpointEvery, cfg.outDir.c_str());
+  const auto results = runner.run();
+
+  bool anyFailed = false;
+  for (const auto& r : results) {
+    if (r.failed) {
+      anyFailed = true;
+      std::printf("%-40s FAILED: %s\n", r.name.c_str(), r.error.c_str());
+      continue;
+    }
+    std::printf("%-40s reward %8.3f  length %6.2f  accuracy %.3f  (%d ep)%s\n",
+                r.name.c_str(), r.finalMeanReward, r.finalMeanLength,
+                r.finalAccuracy, r.episodes,
+                r.skipped ? " [skipped]" : r.resumed ? " [resumed]" : "");
+  }
+  return anyFailed ? 1 : 0;
+}

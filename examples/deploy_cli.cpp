@@ -10,7 +10,6 @@
 // and the result is printed as a SPICE deck ready for any simulator.
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 
 #include "circuit/opamp.h"
 #include "core/deploy.h"
@@ -35,14 +34,27 @@ int main(int argc, char** argv) {
   util::Rng rng(1);
   auto policy = core::makePolicy(core::PolicyKind::GcnFc, env, rng);
 
+  // Missing artifact -> train from scratch. Present-but-unusable artifact
+  // (corrupt, truncated, wrong architecture) -> hard error: silently
+  // deploying a freshly initialized policy in its place would look like a
+  // badly trained agent and waste a sizing run.
   auto params = policy->parameters();
-  if (std::filesystem::exists(artifact) && nn::loadParameters(artifact, params)) {
-    std::printf("loaded trained policy from %s\n", artifact.c_str());
-  } else {
-    std::printf("no artifact at %s — training a fresh policy (1200 episodes)...\n",
-                artifact.c_str());
-    rl::PpoTrainer trainer(env, *policy, {}, util::Rng(2));
-    trainer.train(1200);
+  std::string loadError;
+  switch (nn::loadParametersDetailed(artifact, params, &loadError)) {
+    case nn::LoadResult::Ok:
+      std::printf("loaded trained policy from %s\n", artifact.c_str());
+      break;
+    case nn::LoadResult::Missing: {
+      std::printf("no artifact at %s — training a fresh policy (1200 episodes)...\n",
+                  artifact.c_str());
+      rl::PpoTrainer trainer(env, *policy, {}, util::Rng(2));
+      trainer.train(1200);
+      break;
+    }
+    case nn::LoadResult::Invalid:
+      std::fprintf(stderr, "error: policy artifact %s is unusable: %s\n",
+                   artifact.c_str(), loadError.c_str());
+      return 2;
   }
 
   std::printf("target: gain>=%.4g, ugbw>=%.4g Hz, pm>=%.4g deg, power<=%.3g W\n",

@@ -73,6 +73,21 @@ class Benchmark {
   /// behind schedule-independent pooled fan-outs.
   virtual void resetSolverState() {}
 
+  /// Opaque snapshot of the cached solver state (DC warm starts, the
+  /// gm-tracked zero-nulling resistor, ...). measure() depends on this state
+  /// at ulp level, so bitwise checkpoint/resume parity must carry it: a
+  /// freshly constructed benchmark given the same parameters but no warm
+  /// start solves from a different initial guess and lands on a
+  /// last-bit-different operating point. Stateless benchmarks return "".
+  virtual std::string solverStateSnapshot() const { return {}; }
+
+  /// Restore a solverStateSnapshot() blob taken from an identically
+  /// configured benchmark. On a malformed blob the solver state is reset
+  /// (never half-restored) and false is returned.
+  virtual bool restoreSolverStateSnapshot(const std::string& blob) {
+    return blob.empty();
+  }
+
   /// Attach (or detach, with nullptr) a simulation session: benchmarks whose
   /// measure() runs an AC sweep fan the frequency points out over the
   /// session's workers. Results are bit-identical with or without a session.

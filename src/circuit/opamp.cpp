@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nn/serialize.h"
+
 namespace crl::circuit {
 
 namespace {
@@ -146,6 +148,31 @@ std::unique_ptr<Benchmark> TwoStageOpAmp::clone() const {
   copy->setParams(params_);
   copy->setSolverChoice(solverChoice_);
   return copy;
+}
+
+std::string TwoStageOpAmp::solverStateSnapshot() const {
+  nn::ByteWriter w;
+  w.b8(lastOp_.has_value());
+  w.vec(lastOp_ ? *lastOp_ : linalg::Vec{});
+  w.f64(rz_->resistance());
+  return w.take();
+}
+
+bool TwoStageOpAmp::restoreSolverStateSnapshot(const std::string& blob) {
+  nn::ByteReader r(blob);
+  bool hasOp = false;
+  linalg::Vec op;
+  double rz = 0.0;
+  if (!r.b8(hasOp) || !r.vec(op) || !r.f64(rz) || !r.atEnd()) {
+    resetSolverState();
+    return false;
+  }
+  if (hasOp)
+    lastOp_ = std::move(op);
+  else
+    lastOp_.reset();
+  rz_->setResistance(rz);
+  return true;
 }
 
 void TwoStageOpAmp::setParams(const std::vector<double>& params) {

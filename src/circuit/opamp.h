@@ -83,6 +83,11 @@ class TwoStageOpAmp : public Benchmark {
     lastOp_.reset();
     rz_->setResistance(cfg_.rZero);
   }
+  /// Snapshot/restore of exactly the state resetSolverState() clears, so
+  /// checkpointed training resumes from the same warm start it would have
+  /// carried forward (tests/rl/test_resume_parity.cpp depends on this).
+  std::string solverStateSnapshot() const override;
+  bool restoreSolverStateSnapshot(const std::string& blob) override;
 
   /// Worst-case spec vector used when the solver fails.
   static std::vector<double> failedSpecs();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "nn/serialize.h"
+
 namespace crl::circuit {
 
 namespace {
@@ -117,6 +119,28 @@ std::unique_ptr<Benchmark> FiveTransistorOta::clone() const {
   copy->setParams(params_);
   copy->setSolverChoice(solverChoice_);
   return copy;
+}
+
+std::string FiveTransistorOta::solverStateSnapshot() const {
+  nn::ByteWriter w;
+  w.b8(lastOp_.has_value());
+  w.vec(lastOp_ ? *lastOp_ : linalg::Vec{});
+  return w.take();
+}
+
+bool FiveTransistorOta::restoreSolverStateSnapshot(const std::string& blob) {
+  nn::ByteReader r(blob);
+  bool hasOp = false;
+  linalg::Vec op;
+  if (!r.b8(hasOp) || !r.vec(op) || !r.atEnd()) {
+    resetSolverState();
+    return false;
+  }
+  if (hasOp)
+    lastOp_ = std::move(op);
+  else
+    lastOp_.reset();
+  return true;
 }
 
 void FiveTransistorOta::setParams(const std::vector<double>& params) {

@@ -66,6 +66,8 @@ class FiveTransistorOta : public Benchmark {
   void addSimCount(Fidelity, long n) override { fineSims_ += n; }
   std::unique_ptr<Benchmark> clone() const override;
   void resetSolverState() override { lastOp_.reset(); }
+  std::string solverStateSnapshot() const override;
+  bool restoreSolverStateSnapshot(const std::string& blob) override;
 
   static std::vector<double> failedSpecs();
   std::vector<double> worstSpecs() const override { return failedSpecs(); }

@@ -1,0 +1,167 @@
+#include "core/campaign_jobs.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "circuit/opamp.h"
+#include "circuit/ota.h"
+#include "circuit/rfpa.h"
+#include "core/deploy.h"
+#include "envs/sizing_env.h"
+#include "spice/session.h"
+
+namespace crl::core {
+
+const char* campaignCircuitName(CampaignCircuit c) {
+  switch (c) {
+    case CampaignCircuit::OpAmp: return "opamp";
+    case CampaignCircuit::Ota: return "ota";
+    case CampaignCircuit::RfPa: return "rfpa";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Owns one job's full simulation + learning stack. The benchmark is shared
+/// by the train and eval environments (like the fig3 harnesses), so there is
+/// exactly one solver-state snapshot to carry through checkpoints.
+class SizingContext final : public rl::CampaignContext {
+ public:
+  explicit SizingContext(const SizingJobSpec& spec) {
+    switch (spec.circuit) {
+      case CampaignCircuit::OpAmp: {
+        circuit::OpAmpConfig cfg;
+        cfg.kpN *= spec.cornerScale;
+        cfg.kpP *= spec.cornerScale;
+        bench_ = std::make_unique<circuit::TwoStageOpAmp>(cfg);
+        attachSession(spec.spiceWorkers);
+        trainEnv_ = std::make_unique<envs::SizingEnv>(
+            *bench_, envs::SizingEnvConfig{.maxSteps = 50});
+        evalEnv_ = trainEnv_.get();
+        initPolicy(spec, /*initSeedBase=*/100);
+        break;
+      }
+      case CampaignCircuit::Ota: {
+        circuit::OtaConfig cfg;
+        cfg.kpN *= spec.cornerScale;
+        cfg.kpP *= spec.cornerScale;
+        bench_ = std::make_unique<circuit::FiveTransistorOta>(cfg);
+        attachSession(spec.spiceWorkers);
+        trainEnv_ = std::make_unique<envs::SizingEnv>(
+            *bench_, envs::SizingEnvConfig{.maxSteps = 50});
+        evalEnv_ = trainEnv_.get();
+        initPolicy(spec, /*initSeedBase=*/300);
+        break;
+      }
+      case CampaignCircuit::RfPa: {
+        circuit::RfPaConfig cfg;
+        cfg.ganModel.ipkPerWidth *= spec.cornerScale;
+        bench_ = std::make_unique<circuit::GanRfPa>(cfg);
+        // No session: the PA's coarse/fine paths are DC/transient — nothing
+        // for an AC fan-out to parallelize (see fig3_rfpa_training.cpp).
+        trainEnv_ = std::make_unique<envs::SizingEnv>(
+            *bench_, envs::SizingEnvConfig{.maxSteps = 30,
+                                           .fidelity = circuit::Fidelity::Coarse});
+        evalEnvOwned_ = std::make_unique<envs::SizingEnv>(
+            *bench_, envs::SizingEnvConfig{.maxSteps = 30,
+                                           .fidelity = circuit::Fidelity::Fine});
+        evalEnv_ = evalEnvOwned_.get();
+        initPolicy(spec, /*initSeedBase=*/200);
+        break;
+      }
+    }
+  }
+
+  rl::Env& trainEnv() override { return *trainEnv_; }
+  rl::ActorCritic& policy() override { return *policy_; }
+
+  rl::CampaignEvalReport evaluate(int episodes, util::Rng& rng) override {
+    const AccuracyReport rep = evaluateAccuracy(*evalEnv_, *policy_, episodes, rng);
+    return {rep.accuracy, rep.meanSteps, rep.meanStepsSuccess};
+  }
+
+  std::vector<std::string> solverSnapshots() const override {
+    return {bench_->solverStateSnapshot()};
+  }
+  bool restoreSolverSnapshots(const std::vector<std::string>& blobs) override {
+    return blobs.size() == 1 && bench_->restoreSolverStateSnapshot(blobs[0]);
+  }
+
+ private:
+  void attachSession(std::size_t workers) {
+    if (workers > 1) {
+      session_ = std::make_unique<spice::SimSession>(workers);
+      bench_->setSession(session_.get());
+    }
+  }
+  void initPolicy(const SizingJobSpec& spec, std::uint64_t initSeedBase) {
+    util::Rng initRng(initSeedBase + static_cast<std::uint64_t>(spec.seed));
+    policy_ = makePolicy(spec.kind, *trainEnv_, initRng);
+  }
+
+  std::unique_ptr<circuit::Benchmark> bench_;
+  std::unique_ptr<spice::SimSession> session_;
+  std::unique_ptr<envs::SizingEnv> trainEnv_;
+  std::unique_ptr<envs::SizingEnv> evalEnvOwned_;
+  envs::SizingEnv* evalEnv_ = nullptr;
+  std::unique_ptr<MultimodalPolicy> policy_;
+};
+
+double cornerScaleFor(const std::string& corner, double spread) {
+  if (corner == "slow") return 1.0 - spread;
+  if (corner == "nominal") return 1.0;
+  if (corner == "fast") return 1.0 + spread;
+  throw std::invalid_argument("unknown corner '" + corner +
+                              "' (expected slow|nominal|fast)");
+}
+
+}  // namespace
+
+std::function<std::unique_ptr<rl::CampaignContext>()> makeSizingContext(
+    SizingJobSpec spec) {
+  return [spec]() -> std::unique_ptr<rl::CampaignContext> {
+    return std::make_unique<SizingContext>(spec);
+  };
+}
+
+std::vector<rl::CampaignJob> buildSizingJobs(const CampaignAxes& axes) {
+  std::vector<rl::CampaignJob> jobs;
+  for (CampaignCircuit circuit : axes.circuits) {
+    for (PolicyKind kind : axes.kinds) {
+      for (const std::string& corner : axes.corners) {
+        const double scale = cornerScaleFor(corner, axes.cornerSpread);
+        for (int seed = 0; seed < axes.seeds; ++seed) {
+          rl::CampaignJob job;
+          job.name = std::string(campaignCircuitName(circuit)) + "_" +
+                     policyKindName(kind) + "_" + corner + "_s" +
+                     std::to_string(seed);
+          job.episodes = axes.episodes;
+          // The fig3 harnesses' seed scheme, so a nominal-corner campaign
+          // reproduces their runs exactly.
+          job.trainSeed = circuit == CampaignCircuit::RfPa
+                              ? 17 + static_cast<std::uint64_t>(seed)
+                              : static_cast<std::uint64_t>(seed);
+          job.evalSeed = job.trainSeed + 9001;
+          job.finalEvalSeed = job.trainSeed + 5555;
+          job.evalEvery = std::max(
+              100, axes.episodes / (circuit == CampaignCircuit::RfPa ? 4 : 5));
+          job.evalEpisodes =
+              axes.evalEpisodes > 0
+                  ? axes.evalEpisodes
+                  : (circuit == CampaignCircuit::OpAmp ? 25 : 15);
+          job.ppo.batchedUpdate = true;
+          job.make = makeSizingContext(
+              {circuit, kind, seed, scale, axes.spiceWorkers});
+          job.csvMethod = policyKindName(kind);
+          job.csvSeedTag = seed;
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace crl::core

@@ -1,0 +1,61 @@
+#pragma once
+// Concrete campaign jobs for the paper's circuits: expands seed x topology
+// (circuit + policy architecture) x process-corner axes into self-contained
+// rl::CampaignJob entries. The generic runner (rl/campaign.h) knows nothing
+// about circuits; this is the layer that does.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "rl/campaign.h"
+
+namespace crl::core {
+
+enum class CampaignCircuit { OpAmp, Ota, RfPa };
+
+const char* campaignCircuitName(CampaignCircuit c);
+
+/// One job's build recipe. cornerScale models a process corner by scaling
+/// the technology transconductance (kpN/kpP for the CMOS circuits, the GaN
+/// peak-current density for the PA) — the campaign analogue of
+/// circuit::cornerSweep's slow/nominal/fast axis, applied to the device
+/// models instead of the sizing.
+struct SizingJobSpec {
+  CampaignCircuit circuit = CampaignCircuit::OpAmp;
+  PolicyKind kind = PolicyKind::GcnFc;
+  int seed = 0;
+  double cornerScale = 1.0;
+  /// In-evaluation SPICE session workers. Only use > 1 when the campaign
+  /// itself runs jobs serially — the two parallelism axes do not nest.
+  std::size_t spiceWorkers = 1;
+};
+
+/// Context factory for rl::CampaignJob::make: builds benchmark + envs +
+/// policy fresh in the worker thread (training fidelity matches the fig3
+/// harnesses: fine for the CMOS circuits, coarse-train/fine-eval for the PA).
+std::function<std::unique_ptr<rl::CampaignContext>()> makeSizingContext(
+    SizingJobSpec spec);
+
+/// Axes of a full campaign grid.
+struct CampaignAxes {
+  std::vector<CampaignCircuit> circuits{CampaignCircuit::OpAmp};
+  std::vector<PolicyKind> kinds{PolicyKind::GcnFc};
+  int seeds = 1;
+  std::vector<std::string> corners{"nominal"};  ///< slow | nominal | fast
+  double cornerSpread = 0.1;
+  int episodes = 300;
+  /// Intermediate-eval episode count; 0 = per-circuit default (the fig3
+  /// harness values: 25 op-amp, 15 RF PA / OTA).
+  int evalEpisodes = 0;
+  std::size_t spiceWorkers = 1;
+};
+
+/// Expand the axes into the job grid, one job per circuit x kind x corner x
+/// seed, with the fig3 harnesses' seeds, eval cadences, and PPO settings.
+/// Throws std::invalid_argument on an unknown corner name.
+std::vector<rl::CampaignJob> buildSizingJobs(const CampaignAxes& axes);
+
+}  // namespace crl::core

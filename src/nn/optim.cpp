@@ -35,6 +35,29 @@ void Adam::zeroGrad() {
   for (auto& p : params_) p.zeroGrad();
 }
 
+bool Adam::restoreMoments(const std::vector<Mat>& m, const std::vector<Mat>& v,
+                          long t, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (m.size() != params_.size() || v.size() != params_.size())
+    return fail("Adam moment count " + std::to_string(m.size()) + "/" +
+                std::to_string(v.size()) + " does not match " +
+                std::to_string(params_.size()) + " parameters");
+  if (t < 0) return fail("Adam step counter is negative");
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    const auto& shape = params_[i].value();
+    if (m[i].rows() != shape.rows() || m[i].cols() != shape.cols() ||
+        v[i].rows() != shape.rows() || v[i].cols() != shape.cols())
+      return fail("Adam moment " + std::to_string(i) + " shape mismatch");
+  }
+  m_ = m;
+  v_ = v;
+  t_ = t;
+  return true;
+}
+
 double clipGradNorm(const std::vector<Tensor>& params, double maxNorm) {
   double sq = 0.0;
   for (const auto& p : params)

@@ -2,6 +2,7 @@
 // Adam optimizer (Kingma & Ba) with global-norm gradient clipping — the
 // update rule Algorithm 1 of the paper uses for both policy and value nets.
 
+#include <string>
 #include <vector>
 
 #include "nn/tensor.h"
@@ -25,6 +26,20 @@ class Adam {
   void setLearningRate(double lr) { opt_.lr = lr; }
   double learningRate() const { return opt_.lr; }
   const std::vector<Tensor>& parameters() const { return params_; }
+
+  /// Optimizer state for checkpointing: first/second moments (aligned with
+  /// parameters()) and the bias-correction step counter. A resumed run that
+  /// restores only parameters silently diverges — Adam's moment estimates
+  /// and warm-up correction restart cold — so checkpoints must carry these.
+  const std::vector<Mat>& firstMoments() const { return m_; }
+  const std::vector<Mat>& secondMoments() const { return v_; }
+  long stepCount() const { return t_; }
+
+  /// Restore moment/step state saved from an identically-shaped optimizer.
+  /// Returns false (state unchanged) on any count/shape mismatch, naming the
+  /// defect in `error` when non-null.
+  bool restoreMoments(const std::vector<Mat>& m, const std::vector<Mat>& v,
+                      long t, std::string* error = nullptr);
 
  private:
   std::vector<Tensor> params_;

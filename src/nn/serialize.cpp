@@ -1,58 +1,334 @@
 #include "nn/serialize.h"
 
+#include <atomic>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#if defined(__unix__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace crl::nn {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x43524C504152414DULL;  // "CRLPARAM"
+constexpr std::uint64_t kMagic = 0x43524C504152414DULL;       // "CRLPARAM"
+constexpr std::uint64_t kTrainMagic = 0x43524C54524E5354ULL;  // "CRLTRNST"
+
+void setError(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+}
+
+#if defined(__unix__)
+/// Best-effort fsync of a path (file or directory). Checkpoint durability is
+/// layered: the rename gives atomicity on its own; the fsyncs additionally
+/// push the bytes to stable storage before the rename becomes visible.
+void fsyncPath(const char* path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path, flags);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+#endif
+}  // namespace
+
+void atomicWriteFile(const std::string& path, std::string_view bytes) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+
+  // Unique within the process (counter) and across processes (pid), so
+  // concurrent campaign jobs checkpointing into one directory never share a
+  // temp file. A stale .tmp from a SIGKILLed writer is inert: it is never
+  // renamed, and the next successful write of the same artifact ignores it.
+  static std::atomic<std::uint64_t> seq{0};
+  fs::path tmp = target;
+#if defined(__unix__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  tmp += ".tmp." + std::to_string(pid) + "." + std::to_string(seq.fetch_add(1));
+
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("atomicWriteFile: cannot open " + tmp.string());
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw std::runtime_error("atomicWriteFile: short write to " + tmp.string());
+    }
+  }
+
+#if defined(__unix__)
+  fsyncPath(tmp.c_str(), /*directory=*/false);
+#endif
+
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code rmEc;
+    fs::remove(tmp, rmEc);
+    throw std::runtime_error("atomicWriteFile: rename to " + target.string() +
+                             " failed: " + ec.message());
+  }
+
+#if defined(__unix__)
+  const fs::path dir = target.parent_path();
+  fsyncPath(dir.empty() ? "." : dir.c_str(), /*directory=*/true);
+#endif
+}
+
+bool readFile(const std::string& path, std::string& bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return false;
+  bytes = std::move(buf).str();
+  return true;
 }
 
 void saveParameters(const std::string& path, const std::vector<Tensor>& params) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("saveParameters: cannot open " + path);
-  auto writeU64 = [&](std::uint64_t v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  writeU64(kMagic);
-  writeU64(params.size());
-  for (const auto& p : params) {
-    writeU64(p.value().rows());
-    writeU64(p.value().cols());
-    out.write(reinterpret_cast<const char*>(p.value().data()),
-              static_cast<std::streamsize>(p.value().size() * sizeof(double)));
-  }
+  ByteWriter w;
+  w.u64(kMagic);
+  w.u64(params.size());
+  for (const auto& p : params) w.mat(p.value());
+  atomicWriteFile(path, w.buffer());
 }
 
-bool loadParameters(const std::string& path, std::vector<Tensor>& params) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  auto readU64 = [&](std::uint64_t& v) {
-    in.read(reinterpret_cast<char*>(&v), sizeof(v));
-    return static_cast<bool>(in);
-  };
+LoadResult loadParametersDetailed(const std::string& path,
+                                  std::vector<Tensor>& params,
+                                  std::string* error) {
+  std::string bytes;
+  if (!readFile(path, bytes)) {
+    setError(error, "no file at " + path);
+    return LoadResult::Missing;
+  }
+  ByteReader r(bytes);
   std::uint64_t magic = 0, count = 0;
-  if (!readU64(magic) || magic != kMagic) return false;
-  if (!readU64(count) || count != params.size()) return false;
+  if (!r.u64(magic) || magic != kMagic) {
+    setError(error, path + ": not a CRL parameter artifact (bad magic)");
+    return LoadResult::Invalid;
+  }
+  if (!r.u64(count)) {
+    setError(error, path + ": truncated header");
+    return LoadResult::Invalid;
+  }
+  if (count != params.size()) {
+    setError(error, path + ": holds " + std::to_string(count) +
+                        " tensors, model expects " + std::to_string(params.size()));
+    return LoadResult::Invalid;
+  }
 
   // Stage into temporaries so a short read leaves params untouched.
   std::vector<linalg::Mat> staged;
   staged.reserve(params.size());
-  for (const auto& p : params) {
-    std::uint64_t rows = 0, cols = 0;
-    if (!readU64(rows) || !readU64(cols)) return false;
-    if (rows != p.value().rows() || cols != p.value().cols()) return false;
-    linalg::Mat m(rows, cols);
-    in.read(reinterpret_cast<char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(double)));
-    if (!in) return false;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    linalg::Mat m;
+    if (!r.mat(m)) {
+      setError(error, path + ": truncated at tensor " + std::to_string(i));
+      return LoadResult::Invalid;
+    }
+    const auto& expect = params[i].value();
+    if (m.rows() != expect.rows() || m.cols() != expect.cols()) {
+      setError(error, path + ": tensor " + std::to_string(i) + " is " +
+                          std::to_string(m.rows()) + "x" + std::to_string(m.cols()) +
+                          ", model expects " + std::to_string(expect.rows()) + "x" +
+                          std::to_string(expect.cols()));
+      return LoadResult::Invalid;
+    }
     staged.push_back(std::move(m));
   }
   for (std::size_t i = 0; i < params.size(); ++i)
     params[i].mutableValue() = std::move(staged[i]);
-  return true;
+  return LoadResult::Ok;
+}
+
+// ---- TrainState -----------------------------------------------------------
+
+void TrainState::setRng(const std::string& name, std::string state) {
+  for (auto& kv : rngs)
+    if (kv.first == name) {
+      kv.second = std::move(state);
+      return;
+    }
+  rngs.emplace_back(name, std::move(state));
+}
+
+const std::string* TrainState::rng(const std::string& name) const {
+  for (const auto& kv : rngs)
+    if (kv.first == name) return &kv.second;
+  return nullptr;
+}
+
+void TrainState::setCounter(const std::string& name, std::int64_t v) {
+  for (auto& kv : counters)
+    if (kv.first == name) {
+      kv.second = v;
+      return;
+    }
+  counters.emplace_back(name, v);
+}
+
+bool TrainState::counter(const std::string& name, std::int64_t& v) const {
+  for (const auto& kv : counters)
+    if (kv.first == name) {
+      v = kv.second;
+      return true;
+    }
+  return false;
+}
+
+void TrainState::setBlob(const std::string& name, std::string bytes) {
+  for (auto& kv : blobs)
+    if (kv.first == name) {
+      kv.second = std::move(bytes);
+      return;
+    }
+  blobs.emplace_back(name, std::move(bytes));
+}
+
+const std::string* TrainState::blob(const std::string& name) const {
+  for (const auto& kv : blobs)
+    if (kv.first == name) return &kv.second;
+  return nullptr;
+}
+
+std::string encodeTrainState(const TrainState& st) {
+  ByteWriter w;
+  w.u64(kTrainMagic);
+  w.u64(st.version);
+
+  w.u64(st.params.size());
+  for (const auto& m : st.params) w.mat(m);
+  w.u64(st.adamM.size());
+  for (const auto& m : st.adamM) w.mat(m);
+  w.u64(st.adamV.size());
+  for (const auto& m : st.adamV) w.mat(m);
+  w.i64(st.adamStep);
+
+  w.u64(st.rngs.size());
+  for (const auto& [name, state] : st.rngs) {
+    w.str(name);
+    w.str(state);
+  }
+  w.u64(st.counters.size());
+  for (const auto& [name, v] : st.counters) {
+    w.str(name);
+    w.i64(v);
+  }
+  w.u64(st.blobs.size());
+  for (const auto& [name, bytes] : st.blobs) {
+    w.str(name);
+    w.str(bytes);
+  }
+  return w.take();
+}
+
+void saveTrainState(const std::string& path, const TrainState& st) {
+  atomicWriteFile(path, encodeTrainState(st));
+}
+
+LoadResult loadTrainState(const std::string& path, TrainState& st,
+                          std::string* error) {
+  std::string bytes;
+  if (!readFile(path, bytes)) {
+    setError(error, "no checkpoint at " + path);
+    return LoadResult::Missing;
+  }
+  ByteReader r(bytes);
+  std::uint64_t magic = 0;
+  TrainState staged;
+  if (!r.u64(magic) || magic != kTrainMagic) {
+    setError(error, path + ": not a CRL TrainState checkpoint (bad magic)");
+    return LoadResult::Invalid;
+  }
+  if (!r.u64(staged.version) || staged.version != kTrainStateVersion) {
+    setError(error, path + ": unsupported TrainState version " +
+                        std::to_string(staged.version) + " (expected " +
+                        std::to_string(kTrainStateVersion) + ")");
+    return LoadResult::Invalid;
+  }
+
+  auto readMats = [&](std::vector<linalg::Mat>& mats, const char* what) {
+    std::uint64_t n = 0;
+    if (!r.u64(n)) {
+      setError(error, path + ": truncated " + std::string(what) + " count");
+      return false;
+    }
+    mats.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      linalg::Mat m;
+      if (!r.mat(m)) {
+        setError(error, path + ": truncated " + std::string(what) + " " +
+                            std::to_string(i));
+        return false;
+      }
+      mats.push_back(std::move(m));
+    }
+    return true;
+  };
+  if (!readMats(staged.params, "params")) return LoadResult::Invalid;
+  if (!readMats(staged.adamM, "adamM")) return LoadResult::Invalid;
+  if (!readMats(staged.adamV, "adamV")) return LoadResult::Invalid;
+  if (!r.i64(staged.adamStep)) {
+    setError(error, path + ": truncated adam step");
+    return LoadResult::Invalid;
+  }
+
+  std::uint64_t n = 0;
+  if (!r.u64(n)) {
+    setError(error, path + ": truncated rng section");
+    return LoadResult::Invalid;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name, state;
+    if (!r.str(name) || !r.str(state)) {
+      setError(error, path + ": truncated rng record " + std::to_string(i));
+      return LoadResult::Invalid;
+    }
+    staged.rngs.emplace_back(std::move(name), std::move(state));
+  }
+  if (!r.u64(n)) {
+    setError(error, path + ": truncated counter section");
+    return LoadResult::Invalid;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    std::int64_t v = 0;
+    if (!r.str(name) || !r.i64(v)) {
+      setError(error, path + ": truncated counter record " + std::to_string(i));
+      return LoadResult::Invalid;
+    }
+    staged.counters.emplace_back(std::move(name), v);
+  }
+  if (!r.u64(n)) {
+    setError(error, path + ": truncated blob section");
+    return LoadResult::Invalid;
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name, blob;
+    if (!r.str(name) || !r.str(blob)) {
+      setError(error, path + ": truncated blob record " + std::to_string(i));
+      return LoadResult::Invalid;
+    }
+    staged.blobs.emplace_back(std::move(name), std::move(blob));
+  }
+  if (!r.atEnd()) {
+    setError(error, path + ": trailing bytes after TrainState record");
+    return LoadResult::Invalid;
+  }
+  st = std::move(staged);
+  return LoadResult::Ok;
 }
 
 }  // namespace crl::nn

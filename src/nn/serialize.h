@@ -1,21 +1,217 @@
 #pragma once
-// Binary (de)serialization of parameter lists, so benchmark harnesses can
-// share trained policies instead of retraining per figure.
+// Binary (de)serialization of policy artifacts and full training-state
+// snapshots.
+//
+// Two file formats live here:
+//
+//  * Parameter artifacts (saveParameters/loadParameters): magic, tensor
+//    count, then per tensor rows/cols (u64) + row-major doubles. Benchmark
+//    harnesses share trained policies through these instead of retraining
+//    per figure.
+//  * TrainState checkpoints (saveTrainState/loadTrainState): a versioned
+//    record of everything a training run needs to resume bitwise — parameter
+//    matrices, Adam first/second moments and step counter, the text-encoded
+//    std::mt19937_64 state of every RNG stream the trainer owns, named
+//    integer counters (epoch/episode/iteration), and named opaque blobs
+//    (pending transition buffers, SPICE solver warm-start snapshots,
+//    harness EMA/curve state).
+//
+// Every writer is crash-safe: bytes go to a temp file in the destination
+// directory, are flushed (and fsync'd where the platform allows), and the
+// temp file is rename()d over the final path — a SIGKILL at any instant
+// leaves either the previous artifact or the new one, never a torn file.
 
+#include <cstdint>
+#include <cstring>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "linalg/matrix.h"
 #include "nn/tensor.h"
 
 namespace crl::nn {
 
-/// Write parameter values to a binary file. Format: magic, tensor count,
-/// then per tensor rows/cols (u64) + row-major doubles.
+// ---- byte-level helpers ---------------------------------------------------
+// Little record encoders shared by the serializers here and by the training
+// code that snapshots its own structures into TrainState blobs (pending PPO
+// transition buffers, campaign harness state). Scalars are memcpy'd in
+// native byte order — checkpoints are same-machine restart artifacts, not
+// interchange files.
+
+class ByteWriter {
+ public:
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+  void b8(bool v) { char c = v ? 1 : 0; raw(&c, 1); }
+  void str(std::string_view s) {
+    u64(s.size());
+    raw(s.data(), s.size());
+  }
+  void mat(const linalg::Mat& m) {
+    u64(m.rows());
+    u64(m.cols());
+    raw(m.data(), m.size() * sizeof(double));
+  }
+  void vec(const std::vector<double>& v) {
+    u64(v.size());
+    raw(v.data(), v.size() * sizeof(double));
+  }
+  void vecI(const std::vector<int>& v) {
+    u64(v.size());
+    for (int x : v) i64(x);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Every read reports success; a short or malformed buffer fails cleanly
+/// instead of reading garbage, so loaders can stage-and-validate.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool u64(std::uint64_t& v) { return raw(&v, sizeof v); }
+  bool i64(std::int64_t& v) { return raw(&v, sizeof v); }
+  bool f64(double& v) { return raw(&v, sizeof v); }
+  bool b8(bool& v) {
+    char c = 0;
+    if (!raw(&c, 1)) return false;
+    v = c != 0;
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint64_t n = 0;
+    if (!u64(n) || n > remaining()) return false;
+    s.assign(data_.substr(pos_, n));
+    pos_ += n;
+    return true;
+  }
+  bool mat(linalg::Mat& m) {
+    std::uint64_t r = 0, c = 0;
+    if (!u64(r) || !u64(c)) return false;
+    if (r * c * sizeof(double) > remaining()) return false;
+    linalg::Mat staged(r, c);
+    if (!raw(staged.data(), staged.size() * sizeof(double))) return false;
+    m = std::move(staged);
+    return true;
+  }
+  bool vec(std::vector<double>& v) {
+    std::uint64_t n = 0;
+    if (!u64(n) || n * sizeof(double) > remaining()) return false;
+    v.resize(n);
+    return raw(v.data(), n * sizeof(double));
+  }
+  bool vecI(std::vector<int>& v) {
+    std::uint64_t n = 0;
+    if (!u64(n) || n * sizeof(std::int64_t) > remaining()) return false;
+    v.resize(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      std::int64_t x = 0;
+      if (!i64(x)) return false;
+      v[i] = static_cast<int>(x);
+    }
+    return true;
+  }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool atEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (n > remaining()) return false;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- crash-safe file replacement ------------------------------------------
+
+/// Atomically replace `path` with `bytes`: write to a unique temp file in the
+/// same directory, flush + fsync, then rename over the target. Throws
+/// std::runtime_error on any I/O failure (the temp file is cleaned up; the
+/// previous artifact at `path` is untouched).
+void atomicWriteFile(const std::string& path, std::string_view bytes);
+
+/// Slurp a file. Returns false if it cannot be opened.
+bool readFile(const std::string& path, std::string& bytes);
+
+// ---- parameter artifacts --------------------------------------------------
+
+/// Outcome of a load, distinguishing "nothing there" (callers may fall back
+/// to training from scratch) from "something there but unusable" (callers
+/// must not silently deploy untrained weights).
+enum class LoadResult {
+  Ok,
+  Missing,  ///< file absent or unreadable
+  Invalid,  ///< present but corrupt, truncated, or shape/count-mismatched
+};
+
+/// Write parameter values to a binary file (atomically; see header comment).
 void saveParameters(const std::string& path, const std::vector<Tensor>& params);
 
-/// Load values into existing tensors (shapes must match exactly).
-/// Returns false if the file is missing or incompatible; params untouched on
-/// failure.
-bool loadParameters(const std::string& path, std::vector<Tensor>& params);
+/// Load values into existing tensors (shapes must match exactly); params are
+/// untouched unless the result is Ok. On Invalid, `error` (when non-null)
+/// receives a message naming what mismatched.
+LoadResult loadParametersDetailed(const std::string& path,
+                                  std::vector<Tensor>& params,
+                                  std::string* error = nullptr);
+
+/// Back-compat shim: true iff the load fully succeeded. Prefer
+/// loadParametersDetailed where "missing" and "invalid" must act differently.
+inline bool loadParameters(const std::string& path, std::vector<Tensor>& params) {
+  return loadParametersDetailed(path, params, nullptr) == LoadResult::Ok;
+}
+
+// ---- training-state checkpoints -------------------------------------------
+
+inline constexpr std::uint64_t kTrainStateVersion = 1;
+
+/// Full training-run snapshot. The fixed fields cover the optimizer contract
+/// (resume must continue the exact Adam trajectory); the named sections keep
+/// the format open: trainers and campaign harnesses file their RNG streams,
+/// counters, and opaque sub-records under stable string keys without format
+/// bumps for every new field.
+struct TrainState {
+  std::uint64_t version = kTrainStateVersion;
+  std::vector<linalg::Mat> params;
+  std::vector<linalg::Mat> adamM;  ///< first moments, aligned with params
+  std::vector<linalg::Mat> adamV;  ///< second moments, aligned with params
+  std::int64_t adamStep = 0;
+
+  std::vector<std::pair<std::string, std::string>> rngs;  ///< mt19937_64 text states
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, std::string>> blobs;
+
+  void setRng(const std::string& name, std::string state);
+  const std::string* rng(const std::string& name) const;
+  void setCounter(const std::string& name, std::int64_t v);
+  bool counter(const std::string& name, std::int64_t& v) const;
+  void setBlob(const std::string& name, std::string bytes);
+  const std::string* blob(const std::string& name) const;
+};
+
+/// Serialize a TrainState to its checkpoint byte layout (exposed so tests
+/// can corrupt/truncate records deliberately).
+std::string encodeTrainState(const TrainState& st);
+
+/// Write a checkpoint atomically (temp + flush + rename).
+void saveTrainState(const std::string& path, const TrainState& st);
+
+/// Read a checkpoint. `st` is untouched unless the result is Ok. On Invalid,
+/// `error` (when non-null) names the defect.
+LoadResult loadTrainState(const std::string& path, TrainState& st,
+                          std::string* error = nullptr);
 
 }  // namespace crl::nn

@@ -1,0 +1,308 @@
+#include "rl/campaign.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <future>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/csv.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace crl::rl {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// TrainState section keys for the campaign-level state that rides alongside
+// the trainer snapshot (PpoTrainer::saveState owns the "ppo." keys).
+constexpr const char* kEvalRngKey = "campaign.eval";
+constexpr const char* kEmaKey = "campaign.ema";
+constexpr const char* kCurveKey = "campaign.curve";
+constexpr const char* kSolverKey = "campaign.solver";
+
+std::string encodeEmas(const util::Ema& reward, const util::Ema& len) {
+  nn::ByteWriter w;
+  w.f64(reward.value());
+  w.b8(reward.initialized());
+  w.f64(len.value());
+  w.b8(len.initialized());
+  return w.take();
+}
+
+bool decodeEmas(const std::string& blob, util::Ema& reward, util::Ema& len) {
+  nn::ByteReader r(blob);
+  double rv = 0.0, lv = 0.0;
+  bool ri = false, li = false;
+  if (!r.f64(rv) || !r.b8(ri) || !r.f64(lv) || !r.b8(li) || !r.atEnd())
+    return false;
+  reward.restore(rv, ri);
+  len.restore(lv, li);
+  return true;
+}
+
+std::string encodeCurve(const std::vector<CampaignCurvePoint>& curve) {
+  nn::ByteWriter w;
+  w.u64(curve.size());
+  for (const auto& p : curve) {
+    w.i64(p.episode);
+    w.f64(p.meanReward);
+    w.f64(p.meanLength);
+    w.f64(p.deployAccuracy);
+  }
+  return w.take();
+}
+
+bool decodeCurve(const std::string& blob, std::vector<CampaignCurvePoint>& curve) {
+  nn::ByteReader r(blob);
+  std::uint64_t n = 0;
+  if (!r.u64(n)) return false;
+  std::vector<CampaignCurvePoint> staged;
+  staged.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    CampaignCurvePoint p;
+    std::int64_t ep = 0;
+    if (!r.i64(ep) || !r.f64(p.meanReward) || !r.f64(p.meanLength) ||
+        !r.f64(p.deployAccuracy))
+      return false;
+    p.episode = static_cast<int>(ep);
+    staged.push_back(p);
+  }
+  if (!r.atEnd()) return false;
+  curve = std::move(staged);
+  return true;
+}
+
+std::string encodeSolverBlobs(const std::vector<std::string>& blobs) {
+  nn::ByteWriter w;
+  w.u64(blobs.size());
+  for (const auto& b : blobs) w.str(b);
+  return w.take();
+}
+
+bool decodeSolverBlobs(const std::string& blob, std::vector<std::string>& out) {
+  nn::ByteReader r(blob);
+  std::uint64_t n = 0;
+  if (!r.u64(n)) return false;
+  std::vector<std::string> staged;
+  staged.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string s;
+    if (!r.str(s)) return false;
+    staged.push_back(std::move(s));
+  }
+  if (!r.atEnd()) return false;
+  out = std::move(staged);
+  return true;
+}
+
+std::string formatCurveCsv(const CampaignJob& job,
+                           const std::vector<CampaignCurvePoint>& curve) {
+  const std::string method = job.csvMethod.empty() ? job.name : job.csvMethod;
+  std::string csv = "method,seed,episode,mean_reward,mean_length,deploy_accuracy\n";
+  for (const auto& p : curve) {
+    csv += method + ',' + std::to_string(job.csvSeedTag) + ',' +
+           std::to_string(p.episode) + ',' + util::TextTable::num(p.meanReward, 6) +
+           ',' + util::TextTable::num(p.meanLength, 6) + ',' +
+           util::TextTable::num(p.deployAccuracy, 6) + '\n';
+  }
+  return csv;
+}
+
+std::string formatDoneMarker(const CampaignJobResult& r) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "episodes=" << r.episodes << '\n'
+     << "final_mean_reward=" << r.finalMeanReward << '\n'
+     << "final_mean_length=" << r.finalMeanLength << '\n'
+     << "final_accuracy=" << r.finalAccuracy << '\n'
+     << "final_mean_steps_success=" << r.finalMeanStepsSuccess << '\n';
+  return os.str();
+}
+
+bool parseDoneMarker(const std::string& text, CampaignJobResult& r) {
+  std::istringstream is(text);
+  std::string line;
+  int fields = 0;
+  while (std::getline(is, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    try {
+      if (key == "episodes") r.episodes = std::stoi(val);
+      else if (key == "final_mean_reward") r.finalMeanReward = std::stod(val);
+      else if (key == "final_mean_length") r.finalMeanLength = std::stod(val);
+      else if (key == "final_accuracy") r.finalAccuracy = std::stod(val);
+      else if (key == "final_mean_steps_success") r.finalMeanStepsSuccess = std::stod(val);
+      else continue;
+    } catch (const std::exception&) {
+      return false;
+    }
+    ++fields;
+  }
+  return fields == 5;
+}
+
+}  // namespace
+
+CampaignRunner::CampaignRunner(CampaignConfig cfg) : cfg_(std::move(cfg)) {}
+
+void CampaignRunner::addJob(CampaignJob job) {
+  if (job.name.empty()) throw std::invalid_argument("CampaignJob: empty name");
+  if (job.episodes <= 0)
+    throw std::invalid_argument("CampaignJob " + job.name + ": episodes must be > 0");
+  if (!job.make)
+    throw std::invalid_argument("CampaignJob " + job.name + ": no context factory");
+  for (const auto& existing : jobs_)
+    if (existing.name == job.name)
+      throw std::invalid_argument("CampaignJob " + job.name + ": duplicate name");
+  jobs_.push_back(std::move(job));
+}
+
+std::vector<CampaignJobResult> CampaignRunner::run() {
+  fs::create_directories(cfg_.outDir);
+  std::vector<CampaignJobResult> results(jobs_.size());
+  if (cfg_.workers < 2 || jobs_.size() < 2) {
+    for (std::size_t i = 0; i < jobs_.size(); ++i) results[i] = runJob(jobs_[i]);
+    return results;
+  }
+  // One shared pool for the whole campaign. Jobs are the stealable unit:
+  // a worker that finishes a short job pulls the next queued one, so a mix
+  // of cheap and expensive jobs keeps every worker busy to the end.
+  util::ThreadPool pool(std::min(cfg_.workers, jobs_.size()));
+  std::vector<std::future<void>> futs;
+  futs.reserve(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i)
+    futs.push_back(pool.submit([this, i, &results]() { results[i] = runJob(jobs_[i]); }));
+  for (auto& f : futs) f.get();  // runJob captures job errors; this rethrows only harness bugs
+  return results;
+}
+
+CampaignJobResult CampaignRunner::runJob(const CampaignJob& job) {
+  CampaignJobResult r;
+  r.name = job.name;
+  r.dir = cfg_.outDir + "/" + job.name;
+  const std::string donePath = r.dir + "/done";
+  const std::string checkpointPath = r.dir + "/checkpoint.bin";
+  try {
+    fs::create_directories(r.dir);
+
+    if (cfg_.resume && fs::exists(donePath)) {
+      std::string text;
+      if (nn::readFile(donePath, text) && parseDoneMarker(text, r)) {
+        r.skipped = true;
+        return r;
+      }
+      // A done marker that does not parse is as alarming as a torn
+      // checkpoint: the atomic writer never produces one.
+      throw std::runtime_error(donePath + ": unreadable completion marker");
+    }
+
+    auto ctx = job.make();
+    PpoTrainer trainer(ctx->trainEnv(), ctx->policy(), job.ppo,
+                       util::Rng(job.trainSeed));
+    util::Ema rewardEma(0.05), lenEma(0.05);
+    util::Rng evalRng(job.evalSeed);
+    std::vector<CampaignCurvePoint> curve;
+
+    if (cfg_.resume) {
+      nn::TrainState st;
+      std::string err;
+      const nn::LoadResult lr = nn::loadTrainState(checkpointPath, st, &err);
+      if (lr == nn::LoadResult::Invalid)
+        throw std::runtime_error(checkpointPath + ": invalid checkpoint: " + err);
+      if (lr == nn::LoadResult::Ok) {
+        if (!trainer.loadState(st, &err))
+          throw std::runtime_error(checkpointPath + ": " + err);
+        const std::string* rng = st.rng(kEvalRngKey);
+        if (!rng || !evalRng.restoreState(*rng))
+          throw std::runtime_error(checkpointPath + ": missing/invalid eval RNG");
+        const std::string* ema = st.blob(kEmaKey);
+        if (!ema || !decodeEmas(*ema, rewardEma, lenEma))
+          throw std::runtime_error(checkpointPath + ": missing/invalid EMA state");
+        const std::string* cv = st.blob(kCurveKey);
+        if (!cv || !decodeCurve(*cv, curve))
+          throw std::runtime_error(checkpointPath + ": missing/invalid curve state");
+        const std::string* solver = st.blob(kSolverKey);
+        std::vector<std::string> solverBlobs;
+        if (!solver || !decodeSolverBlobs(*solver, solverBlobs) ||
+            !ctx->restoreSolverSnapshots(solverBlobs))
+          throw std::runtime_error(checkpointPath + ": missing/invalid solver state");
+        r.resumed = true;
+      }
+    }
+
+    const auto writeCheckpoint = [&]() {
+      nn::TrainState st;
+      trainer.saveState(st);
+      st.setRng(kEvalRngKey, evalRng.serializeState());
+      st.setBlob(kEmaKey, encodeEmas(rewardEma, lenEma));
+      st.setBlob(kCurveKey, encodeCurve(curve));
+      st.setBlob(kSolverKey, encodeSolverBlobs(ctx->solverSnapshots()));
+      nn::saveTrainState(checkpointPath, st);
+      if (cfg_.onCheckpoint) cfg_.onCheckpoint(job.name, trainer.episodeCount());
+    };
+
+    // The per-episode bookkeeping of bench::trainWithCurves, verbatim — the
+    // curves a campaign job emits match the old harness sample-for-sample.
+    const auto onEpisode = [&](const EpisodeStats& s) {
+      rewardEma.update(s.episodeReward);
+      lenEma.update(s.episodeLength);
+      const bool evalNow =
+          (s.episode % job.evalEvery == 0) || s.episode == job.episodes;
+      CampaignCurvePoint p;
+      p.episode = s.episode;
+      p.meanReward = rewardEma.value();
+      p.meanLength = lenEma.value();
+      if (evalNow) {
+        const CampaignEvalReport rep = ctx->evaluate(job.evalEpisodes, evalRng);
+        p.deployAccuracy = rep.accuracy;
+        curve.push_back(p);
+      } else if (s.episode % std::max(1, job.evalEvery / 10) == 0) {
+        curve.push_back(p);
+      }
+    };
+
+    while (trainer.episodeCount() < job.episodes) {
+      const int remaining = job.episodes - trainer.episodeCount();
+      const int chunk =
+          cfg_.checkpointEvery > 0 ? std::min(cfg_.checkpointEvery, remaining)
+                                   : remaining;
+      trainer.trainChunk(chunk, onEpisode);
+      if (cfg_.checkpointEvery > 0 && trainer.episodeCount() < job.episodes)
+        writeCheckpoint();
+    }
+    trainer.finishTraining();
+    // Post-training checkpoint: a crash during the final evaluation or
+    // artifact writes resumes here instead of redoing training.
+    if (cfg_.checkpointEvery > 0) writeCheckpoint();
+
+    util::Rng finalRng(job.finalEvalSeed);
+    const CampaignEvalReport rep = ctx->evaluate(2 * job.evalEpisodes, finalRng);
+    r.episodes = trainer.episodeCount();
+    r.finalMeanReward = curve.empty() ? rewardEma.value() : curve.back().meanReward;
+    r.finalMeanLength = curve.empty() ? lenEma.value() : curve.back().meanLength;
+    r.finalAccuracy = rep.accuracy;
+    r.finalMeanStepsSuccess = rep.meanStepsSuccess;
+
+    const std::string csv = formatCurveCsv(job, curve);
+    nn::atomicWriteFile(r.dir + "/curve.csv", csv);
+    if (!job.curveCsv.empty()) nn::atomicWriteFile(job.curveCsv, csv);
+    nn::saveParameters(r.dir + "/policy.bin", ctx->policy().parameters());
+    if (!job.policyBin.empty())
+      nn::saveParameters(job.policyBin, ctx->policy().parameters());
+    // The done marker is written LAST: its presence certifies every artifact
+    // above is complete, which is what makes re-running a campaign safe.
+    nn::atomicWriteFile(donePath, formatDoneMarker(r));
+  } catch (const std::exception& e) {
+    r.failed = true;
+    r.error = e.what();
+  }
+  return r;
+}
+
+}  // namespace crl::rl

@@ -1,0 +1,149 @@
+#pragma once
+// Crash-safe training-campaign runner: multiplexes independent training jobs
+// (seed x topology x corner sweeps) over ONE shared work-stealing thread
+// pool, with periodic checkpoints and resume.
+//
+// Each job is fully self-contained — its CampaignContext factory builds a
+// fresh benchmark, environments, policy, and RNG streams inside the worker
+// thread — so jobs are embarrassingly parallel and results are identical to
+// a serial run for any worker count. The runner owns the campaign-level
+// state that used to live as locals of bench::trainWithCurves (reward/length
+// EMAs, the eval RNG stream, the curve samples) precisely so it can be
+// checkpointed alongside the trainer state.
+//
+// On-disk layout (everything written atomically; see nn/serialize.h):
+//
+//   <outDir>/<job.name>/checkpoint.bin   periodic TrainState snapshot
+//   <outDir>/<job.name>/curve.csv        training-curve samples (on completion)
+//   <outDir>/<job.name>/policy.bin       final policy parameters
+//   <outDir>/<job.name>/done             completion marker + final metrics,
+//                                        written LAST — its presence means
+//                                        every other artifact is complete
+//
+// Resume semantics (CampaignConfig::resume, on by default):
+//   done marker present      -> job skipped, metrics parsed from the marker
+//   valid checkpoint present -> training continues from it, bitwise as if
+//                               the process had never died (resume parity;
+//                               tests/rl/test_resume_parity.cpp)
+//   checkpoint missing       -> job trains from scratch
+//   checkpoint INVALID       -> the job FAILS with a message naming the file
+//                               and defect: a corrupt snapshot means a bug
+//                               (atomic writes cannot be torn by SIGKILL),
+//                               and silently retraining would hide it.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/serialize.h"
+#include "rl/ppo.h"
+#include "util/rng.h"
+
+namespace crl::rl {
+
+/// Deployment-accuracy probe result (the Fig. 3 "deploy accuracy" columns).
+struct CampaignEvalReport {
+  double accuracy = 0.0;
+  double meanSteps = 0.0;
+  double meanStepsSuccess = 0.0;
+};
+
+/// Everything one campaign job trains with, built fresh in the worker thread
+/// by the job's factory. Implementations own the benchmark, both envs, and
+/// the policy; the runner only borrows references.
+class CampaignContext {
+ public:
+  virtual ~CampaignContext() = default;
+
+  virtual Env& trainEnv() = 0;
+  virtual ActorCritic& policy() = 0;
+
+  /// Deployment accuracy in the evaluation environment (which may differ
+  /// from the training env: transfer learning evaluates in fine fidelity).
+  /// Typically forwards to core::evaluateAccuracy.
+  virtual CampaignEvalReport evaluate(int episodes, util::Rng& rng) = 0;
+
+  /// Solver warm-start snapshots of every benchmark the envs drive (one
+  /// entry per distinct benchmark; train/eval may share one). Warm starts
+  /// shift DC operating points at ulp level, so bitwise resume parity must
+  /// carry them through the checkpoint.
+  virtual std::vector<std::string> solverSnapshots() const = 0;
+  virtual bool restoreSolverSnapshots(const std::vector<std::string>& blobs) = 0;
+};
+
+/// One training job: an agent trained for `episodes` with periodic
+/// deploy-accuracy probes, mirroring bench::trainWithCurves.
+struct CampaignJob {
+  std::string name;                ///< unique; names the output subdirectory
+  int episodes = 0;
+  std::uint64_t trainSeed = 0;     ///< PpoTrainer RNG stream
+  std::uint64_t evalSeed = 0;      ///< intermediate-eval RNG stream
+  std::uint64_t finalEvalSeed = 0; ///< final-accuracy RNG stream
+  int evalEvery = 100;
+  int evalEpisodes = 15;
+  PpoConfig ppo;
+  std::function<std::unique_ptr<CampaignContext>()> make;
+
+  // Optional extra artifacts (absolute/relative paths; empty = none).
+  std::string curveCsv;    ///< extra copy of curve.csv (fig3 naming scheme)
+  std::string policyBin;   ///< extra copy of the final parameters
+  std::string csvMethod;   ///< "method" column of the curve CSV
+  int csvSeedTag = 0;      ///< "seed" column of the curve CSV
+};
+
+struct CampaignConfig {
+  std::string outDir = "crl_campaign";
+  std::size_t workers = 1;     ///< shared pool size (1 = run jobs inline)
+  int checkpointEvery = 100;   ///< episodes between checkpoints (0 = none)
+  bool resume = true;          ///< honor done markers + checkpoints in outDir
+  /// Test/ops hook, called right after each periodic checkpoint is written
+  /// (from the worker thread running the job). The kill-and-resume suites
+  /// crash the process here.
+  std::function<void(const std::string& jobName, int episode)> onCheckpoint;
+};
+
+struct CampaignJobResult {
+  std::string name;
+  std::string dir;
+  bool skipped = false;   ///< done marker found; metrics parsed, nothing run
+  bool resumed = false;   ///< continued from a checkpoint
+  bool failed = false;
+  std::string error;
+  int episodes = 0;
+  double finalMeanReward = 0.0;
+  double finalMeanLength = 0.0;
+  double finalAccuracy = 0.0;
+  double finalMeanStepsSuccess = 0.0;
+};
+
+/// Curve samples (kept for programmatic access after run()).
+struct CampaignCurvePoint {
+  int episode = 0;
+  double meanReward = 0.0;
+  double meanLength = 0.0;
+  double deployAccuracy = -1.0;  ///< -1 where not evaluated
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignConfig cfg);
+
+  /// Job names must be unique (they name directories); throws otherwise.
+  void addJob(CampaignJob job);
+
+  /// Run every job over one shared pool; results align with addJob order.
+  /// Individual job failures are reported in the result, not thrown.
+  std::vector<CampaignJobResult> run();
+
+  const CampaignConfig& config() const { return cfg_; }
+
+ private:
+  CampaignJobResult runJob(const CampaignJob& job);
+
+  CampaignConfig cfg_;
+  std::vector<CampaignJob> jobs_;
+};
+
+}  // namespace crl::rl

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <stdexcept>
 
 #include "util/logging.h"
 
@@ -43,15 +44,23 @@ PpoTrainer::PpoTrainer(VecEnv& envs, ActorCritic& policy, PpoConfig cfg, util::R
 
 void PpoTrainer::train(int episodes,
                        const std::function<void(const EpisodeStats&)>& onEpisode) {
-  if (vecEnv_ && vecEnv_->size() > 1)
+  if (vecEnv_ && vecEnv_->size() > 1) {
     trainVectorized(episodes, onEpisode);
-  else
-    trainSequential(episodes, onEpisode);
+  } else {
+    // One-shot training is chunked training with an immediate tail flush;
+    // the split exists so checkpointing callers can stop between the two.
+    trainChunk(episodes, onEpisode);
+    finishTraining();
+  }
 }
 
-void PpoTrainer::trainSequential(int episodes,
-                                 const std::function<void(const EpisodeStats&)>& onEpisode) {
-  std::vector<Transition> buffer;
+void PpoTrainer::trainChunk(int episodes,
+                            const std::function<void(const EpisodeStats&)>& onEpisode) {
+  if (vecEnv_ && vecEnv_->size() > 1)
+    throw std::logic_error(
+        "PpoTrainer::trainChunk: checkpointable chunk training requires the "
+        "sequential path (single-lane trainer)");
+  std::vector<Transition>& buffer = pendingBuffer_;
   buffer.reserve(static_cast<std::size_t>(cfg_.stepsPerUpdate) + 64);
 
   for (int ep = 0; ep < episodes; ++ep) {
@@ -92,7 +101,13 @@ void PpoTrainer::trainSequential(int episodes,
       buffer.clear();
     }
   }
-  if (buffer.size() > 8) update(buffer);
+}
+
+void PpoTrainer::finishTraining() {
+  if (pendingBuffer_.size() > 8) update(pendingBuffer_);
+  // Dropped unconditionally (even the <= 8 leftovers), matching the original
+  // train() semantics where the buffer was a local.
+  pendingBuffer_.clear();
 }
 
 void PpoTrainer::trainVectorized(int episodes,
@@ -294,6 +309,117 @@ nn::Tensor PpoTrainer::minibatchLossBatched(
   return nn::add(nn::add(nn::scale(policyLoss, -invCount),
                          nn::scale(valueLoss, cfg_.valueCoef * invCount)),
                  nn::scale(entropy, -cfg_.entropyCoef * invCount));
+}
+
+// ---- checkpoint/resume ----------------------------------------------------
+
+namespace {
+
+constexpr const char* kTrainerRngKey = "ppo.trainer";
+constexpr const char* kEpisodeKey = "ppo.episodes";
+constexpr const char* kPendingKey = "ppo.pending";
+
+void encodeObservation(nn::ByteWriter& w, const Observation& obs) {
+  w.mat(obs.nodeFeatures);
+  w.vec(obs.specNow);
+  w.vec(obs.specTarget);
+  w.vec(obs.paramsNorm);
+}
+
+bool decodeObservation(nn::ByteReader& r, Observation& obs) {
+  return r.mat(obs.nodeFeatures) && r.vec(obs.specNow) && r.vec(obs.specTarget) &&
+         r.vec(obs.paramsNorm);
+}
+
+}  // namespace
+
+void PpoTrainer::saveState(nn::TrainState& st) const {
+  if (vecEnv_ && vecEnv_->size() > 1)
+    throw std::logic_error(
+        "PpoTrainer::saveState: multi-lane trainer state (per-lane RNG "
+        "streams, in-flight episodes) is not checkpointable");
+  st.params.clear();
+  st.params.reserve(optimizer_.parameters().size());
+  for (const auto& p : optimizer_.parameters()) st.params.push_back(p.value());
+  st.adamM = optimizer_.firstMoments();
+  st.adamV = optimizer_.secondMoments();
+  st.adamStep = optimizer_.stepCount();
+  st.setRng(kTrainerRngKey, rng_.serializeState());
+  st.setCounter(kEpisodeKey, episodeCounter_);
+
+  nn::ByteWriter w;
+  w.u64(pendingBuffer_.size());
+  for (const Transition& tr : pendingBuffer_) {
+    encodeObservation(w, tr.obs);
+    w.vecI(tr.columns);
+    w.f64(tr.logProb);
+    w.f64(tr.value);
+    w.f64(tr.reward);
+    w.b8(tr.terminal);
+  }
+  st.setBlob(kPendingKey, w.take());
+}
+
+bool PpoTrainer::loadState(const nn::TrainState& st, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+
+  // Validate every section into staging first; the trainer mutates only
+  // after the whole snapshot has proven coherent.
+  const auto& params = optimizer_.parameters();
+  if (st.params.size() != params.size())
+    return fail("TrainState holds " + std::to_string(st.params.size()) +
+                " parameter tensors, policy expects " +
+                std::to_string(params.size()));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& expect = params[i].value();
+    if (st.params[i].rows() != expect.rows() || st.params[i].cols() != expect.cols())
+      return fail("TrainState parameter " + std::to_string(i) + " is " +
+                  std::to_string(st.params[i].rows()) + "x" +
+                  std::to_string(st.params[i].cols()) + ", policy expects " +
+                  std::to_string(expect.rows()) + "x" +
+                  std::to_string(expect.cols()));
+  }
+
+  const std::string* rngState = st.rng(kTrainerRngKey);
+  if (!rngState) return fail("TrainState is missing the trainer RNG stream");
+  util::Rng stagedRng = rng_;
+  if (!stagedRng.restoreState(*rngState))
+    return fail("TrainState trainer RNG stream does not parse");
+
+  std::int64_t episodes = 0;
+  if (!st.counter(kEpisodeKey, episodes))
+    return fail("TrainState is missing the episode counter");
+
+  std::vector<Transition> stagedBuffer;
+  if (const std::string* blob = st.blob(kPendingKey)) {
+    nn::ByteReader r(*blob);
+    std::uint64_t n = 0;
+    if (!r.u64(n)) return fail("TrainState pending buffer is truncated");
+    stagedBuffer.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      Transition tr;
+      if (!decodeObservation(r, tr.obs) || !r.vecI(tr.columns) ||
+          !r.f64(tr.logProb) || !r.f64(tr.value) || !r.f64(tr.reward) ||
+          !r.b8(tr.terminal))
+        return fail("TrainState pending transition " + std::to_string(i) +
+                    " is truncated");
+      stagedBuffer.push_back(std::move(tr));
+    }
+  } else {
+    return fail("TrainState is missing the pending transition buffer");
+  }
+
+  if (!optimizer_.restoreMoments(st.adamM, st.adamV, st.adamStep, error))
+    return false;
+  for (std::size_t i = 0; i < params.size(); ++i)
+    const_cast<nn::Tensor&>(params[i]).mutableValue() = st.params[i];
+  rng_ = stagedRng;
+  episodeCounter_ = static_cast<int>(episodes);
+  pendingBuffer_ = std::move(stagedBuffer);
+  return true;
 }
 
 }  // namespace crl::rl

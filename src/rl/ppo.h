@@ -4,10 +4,12 @@
 // value function by regression.
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "nn/arena.h"
 #include "nn/optim.h"
+#include "nn/serialize.h"
 #include "rl/env.h"
 #include "rl/policy.h"
 #include "rl/vec_env.h"
@@ -78,6 +80,38 @@ class PpoTrainer {
   /// finished episode.
   void train(int episodes, const std::function<void(const EpisodeStats&)>& onEpisode = {});
 
+  /// Incremental training for checkpoint/resume (sequential path only;
+  /// throws std::logic_error on a multi-lane VecEnv trainer): trains
+  /// `episodes` more episodes, carrying the partially-filled transition
+  /// buffer across calls and never running train()'s tail-flush update, so
+  ///   trainChunk(a); trainChunk(b); finishTraining();
+  /// is bit-for-bit identical to train(a + b). Checkpoint between chunks
+  /// with saveState(); the pending buffer rides along in the snapshot.
+  void trainChunk(int episodes,
+                  const std::function<void(const EpisodeStats&)>& onEpisode = {});
+
+  /// The tail-flush update train() ends with: runs one last update if more
+  /// than 8 transitions are pending, then drops the buffer.
+  void finishTraining();
+
+  /// Snapshot the full training state: policy parameters, Adam moments and
+  /// step counter, the trainer RNG stream (env resets + action sampling +
+  /// minibatch permutations all draw from it), the episode counter, and the
+  /// pending transition buffer. Restoring this into a freshly constructed
+  /// trainer/policy/env of the same configuration resumes the run with
+  /// bitwise-identical results (see tests/rl/test_resume_parity.cpp).
+  /// Sequential path only — throws std::logic_error on a multi-lane VecEnv
+  /// trainer, whose per-lane streams are not captured.
+  void saveState(nn::TrainState& st) const;
+
+  /// Restore a saveState() snapshot. Returns false (trainer unchanged except
+  /// possibly staged params) on shape/count mismatch, naming the defect in
+  /// `error` when non-null.
+  bool loadState(const nn::TrainState& st, std::string* error = nullptr);
+
+  /// Episodes finished so far (across train/trainChunk calls and restores).
+  int episodeCount() const { return episodeCounter_; }
+
   const PpoConfig& config() const { return cfg_; }
   util::Rng& rng() { return rng_; }
   /// Number of rollout lanes (1 in sequential mode).
@@ -91,8 +125,6 @@ class PpoTrainer {
   void update(std::vector<Transition>& buffer);
 
  private:
-  void trainSequential(int episodes,
-                       const std::function<void(const EpisodeStats&)>& onEpisode);
   void trainVectorized(int episodes,
                        const std::function<void(const EpisodeStats&)>& onEpisode);
   /// Per-transition loss accumulation (the bit-for-bit sequential path).
@@ -123,6 +155,11 @@ class PpoTrainer {
   /// stages a minibatch without allocating.
   std::vector<Observation> obsScratch_;
   std::vector<int> columnsScratch_;
+  /// Sequential-path transition buffer. A member (not a train()-local) so
+  /// trainChunk() can stop at any episode boundary and saveState() can
+  /// capture the not-yet-updated tail — the resume-parity contract needs
+  /// the exact buffer contents, not just "roughly where training was".
+  std::vector<Transition> pendingBuffer_;
   int episodeCounter_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 namespace crl::util {
@@ -11,8 +12,13 @@ double Rng::uniform(double lo, double hi) {
 }
 
 double Rng::normal(double mean, double stddev) {
-  std::normal_distribution<double> dist(mean, stddev);
-  return dist(engine_);
+  // Discard the cached second Gaussian, then draw with per-call parameters:
+  // bit-identical to constructing a fresh distribution each call (the stream
+  // the committed golden curves pin), and no hidden state ever survives a
+  // draw — see the stream-state contract in the header.
+  normal_.reset();
+  return normal_(engine_,
+                 std::normal_distribution<double>::param_type(mean, stddev));
 }
 
 int Rng::randint(int lo, int hi) {
@@ -53,10 +59,27 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 }
 
 Rng Rng::fork() {
-  // Derive a decorrelated seed from the parent stream.
+  // Derive a decorrelated seed from the parent stream. The child is freshly
+  // seeded, so it starts with empty distribution caches by construction.
   std::uint64_t seed = engine_();
   seed ^= 0x9E3779B97F4A7C15ull;  // golden-ratio mix to avoid trivial overlap
   return Rng(seed);
+}
+
+std::string Rng::serializeState() const {
+  std::ostringstream oss;
+  oss << engine_;
+  return oss.str();
+}
+
+bool Rng::restoreState(const std::string& state) {
+  std::istringstream iss(state);
+  std::mt19937_64 staged;
+  iss >> staged;
+  if (iss.fail()) return false;
+  engine_ = staged;
+  resetDistributionCaches();
+  return true;
 }
 
 }  // namespace crl::util

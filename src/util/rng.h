@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace crl::util {
@@ -18,10 +19,32 @@ inline std::uint64_t substreamSeed(std::uint64_t base, std::uint64_t index) {
 }
 
 /// Thin deterministic wrapper around std::mt19937_64 with the sampling
-/// helpers the library needs. Copyable; copying forks the stream state.
+/// helpers the library needs.
+///
+/// Stream-state contract (checkpoint/resume depends on it):
+///  * The observable stream is a function of the engine state alone. The
+///    member normal_distribution exists so its second-Gaussian cache has an
+///    explicit lifecycle: normal() discards it before every draw (keeping
+///    the draw bit-identical to a freshly constructed distribution), and
+///    copy/assign/fork/restore discard it again defensively — a cached
+///    Gaussian smuggled across any of those boundaries would make two
+///    "independent" streams emit one correlated sample, or a restored
+///    stream diverge from the run it was saved from.
+///  * serializeState()/restoreState() round-trip the engine exactly: a
+///    restored Rng emits the same uniform/normal/randint/permutation
+///    sequence, byte for byte, as the original would have from the moment
+///    of the save.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
+
+  /// Copying forks the stream state; distribution caches do not travel.
+  Rng(const Rng& other) : engine_(other.engine_) {}
+  Rng& operator=(const Rng& other) {
+    engine_ = other.engine_;
+    resetDistributionCaches();
+    return *this;
+  }
 
   /// Uniform double in [lo, hi).
   double uniform(double lo = 0.0, double hi = 1.0);
@@ -44,10 +67,25 @@ class Rng {
   /// Fork a child RNG with a decorrelated seed (for parallel streams).
   Rng fork();
 
+  /// Exact engine-state snapshot as a text token stream (std::mt19937_64's
+  /// portable operator<< encoding). Saving has no effect on this stream.
+  std::string serializeState() const;
+
+  /// Restore a snapshot taken with serializeState(). Distribution caches are
+  /// cleared, so the restored stream is byte-for-byte aligned with the
+  /// stream the snapshot was taken from. Returns false (state unchanged) if
+  /// the snapshot does not parse.
+  bool restoreState(const std::string& state);
+
   std::mt19937_64& engine() { return engine_; }
 
  private:
+  void resetDistributionCaches() { normal_.reset(); }
+
   std::mt19937_64 engine_;
+  /// See the class comment: member-owned so the cache lifecycle is explicit;
+  /// never carries state between draws or across copy/fork/restore.
+  std::normal_distribution<double> normal_{0.0, 1.0};
 };
 
 }  // namespace crl::util

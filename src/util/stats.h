@@ -39,6 +39,12 @@ class Ema {
   double update(double x);
   double value() const { return value_; }
   bool initialized() const { return initialized_; }
+  /// Checkpoint hook: reinstate a mid-run smoother exactly (alpha comes from
+  /// construction; value/initialized are the only evolving state).
+  void restore(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
 
  private:
   double alpha_;

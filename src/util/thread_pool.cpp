@@ -5,6 +5,14 @@
 
 namespace crl::util {
 
+namespace {
+// Which pool (if any) the current thread is a worker of, and its lane index.
+// Lets enqueue() route worker-submitted subtasks onto the submitting
+// worker's own deque (LIFO, cache-hot) instead of round-robin.
+thread_local ThreadPool* tlsPool = nullptr;
+thread_local std::size_t tlsLane = 0;
+}  // namespace
+
 std::size_t ThreadPool::defaultWorkerCount() {
   return std::max<std::size_t>(1, std::thread::hardware_concurrency());
 }
@@ -21,37 +29,94 @@ std::size_t ThreadPool::workersFromEnv(const char* envVar, std::size_t fallback)
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = defaultWorkerCount();
+  lanes_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) lanes_.push_back(std::make_unique<Lane>());
   workers_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
-    workers_.emplace_back([this]() { workerLoop(); });
+    workers_.emplace_back([this, i]() { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  const std::size_t lane =
+      tlsPool == this
+          ? tlsLane
+          : nextLane_.fetch_add(1, std::memory_order_relaxed) % lanes_.size();
+  {
+    std::lock_guard<std::mutex> lock(lanes_[lane]->m);
+    // Checked under the lane lock: shutdown() flips stopping_ while holding
+    // every lane lock, so any task pushed here is guaranteed to be drained.
+    if (stopping_.load(std::memory_order_relaxed))
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    lanes_[lane]->q.push_back(std::move(task));
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  // Empty critical section before notify: a worker between its predicate
+  // check and its sleep holds sleepMutex_, so this cannot slip past it.
+  { std::lock_guard<std::mutex> sl(sleepMutex_); }
+  wake_.notify_one();
+}
 
 void ThreadPool::shutdown() {
   // call_once serializes concurrent shutdown()/destructor races: join() on
   // the same std::thread from two callers is undefined behavior.
   std::call_once(shutdownOnce_, [this]() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      stopping_ = true;
+      // Hold every lane lock while flipping the flag so enqueue()'s
+      // check-then-push can never lose a task to the drain.
+      std::vector<std::unique_lock<std::mutex>> locks;
+      locks.reserve(lanes_.size());
+      for (auto& lane : lanes_) locks.emplace_back(lane->m);
+      stopping_.store(true, std::memory_order_release);
     }
+    { std::lock_guard<std::mutex> sl(sleepMutex_); }
     wake_.notify_all();
     for (auto& w : workers_) w.join();
   });
 }
 
-void ThreadPool::workerLoop() {
+bool ThreadPool::tryPop(std::size_t lane, std::function<void()>& task) {
+  Lane& l = *lanes_[lane];
+  std::lock_guard<std::mutex> lock(l.m);
+  if (l.q.empty()) return false;
+  task = std::move(l.q.back());  // LIFO on the own lane: newest is hottest
+  l.q.pop_back();
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::trySteal(std::size_t thief, std::function<void()>& task) {
+  const std::size_t n = lanes_.size();
+  for (std::size_t k = 1; k < n; ++k) {
+    Lane& l = *lanes_[(thief + k) % n];
+    std::lock_guard<std::mutex> lock(l.m);
+    if (l.q.empty()) continue;
+    task = std::move(l.q.front());  // FIFO steal: take the victim's oldest
+    l.q.pop_front();
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(std::size_t lane) {
+  tlsPool = this;
+  tlsLane = lane;
   for (;;) {
     std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ set and no work left
-      task = std::move(queue_.front());
-      queue_.pop();
+    if (tryPop(lane, task) || trySteal(lane, task)) {
+      task();  // packaged_task captures any exception into the future
+      continue;
     }
-    task();  // packaged_task captures any exception into the future
+    std::unique_lock<std::mutex> sl(sleepMutex_);
+    wake_.wait(sl, [this]() {
+      return stopping_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0)
+      return;  // stopping and every queue drained
   }
 }
 

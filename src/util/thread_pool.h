@@ -1,19 +1,24 @@
 #pragma once
-// Fixed-size worker pool for the parallel rollout engine.
+// Fixed-size work-stealing worker pool shared by the parallel rollout engine
+// and the campaign runner.
 //
 // Tasks are submitted as callables and return std::futures; exceptions thrown
-// inside a task are captured in its future and rethrown at get(). The pool is
-// deliberately minimal: no work stealing, no priorities — the workloads here
-// are N identical SPICE environment steps per batch, which a plain FIFO queue
-// load-balances well enough.
+// inside a task are captured in its future and rethrown at get(). Each worker
+// owns a deque: submits from a worker thread push onto that worker's own
+// deque (popped LIFO, keeping freshly-spawned subtasks cache-hot), submits
+// from outside the pool are distributed round-robin, and an idle worker
+// steals FIFO from the other lanes — so one long-running campaign job cannot
+// starve the SPICE fan-out tasks another job keeps submitting, which is what
+// lets heterogeneous seed x topology x corner jobs share a single pool.
 
 #include <condition_variable>
+#include <atomic>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
@@ -34,22 +39,16 @@ class ThreadPool {
 
   /// Enqueue a callable; the returned future yields its result (or rethrows
   /// the exception it raised). Throws std::runtime_error if shutdown has
-  /// begun: a task enqueued after the workers start draining the final queue
-  /// may never run, which would silently swallow both its result and any
-  /// exception it would have raised — failing loudly at the submit site is
-  /// the only place that information still exists.
+  /// begun: a task enqueued after the workers start draining the final
+  /// queues may never run, which would silently swallow both its result and
+  /// any exception it would have raised — failing loudly at the submit site
+  /// is the only place that information still exists.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_)
-        throw std::runtime_error("ThreadPool: submit after shutdown");
-      queue_.push([task]() { (*task)(); });
-    }
-    wake_.notify_one();
+    enqueue([task]() { (*task)(); });
     return fut;
   }
 
@@ -71,14 +70,29 @@ class ThreadPool {
   static std::size_t workersFromEnv(const char* envVar, std::size_t fallback = 1);
 
  private:
-  void workerLoop();
+  /// One worker's deque. Guarded by its own mutex — contention is between
+  /// the owner and occasional thieves, not every submitter in the process.
+  struct Lane {
+    std::mutex m;
+    std::deque<std::function<void()>> q;
+  };
 
+  void enqueue(std::function<void()> task);
+  bool tryPop(std::size_t lane, std::function<void()>& task);
+  bool trySteal(std::size_t thief, std::function<void()>& task);
+  void workerLoop(std::size_t lane);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  /// Tasks currently sitting in some lane (incremented under the lane lock
+  /// at push, decremented at pop) — the sleep predicate, so a task in any
+  /// queue keeps at least one worker awake.
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> nextLane_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex sleepMutex_;
   std::condition_variable wake_;
   std::once_flag shutdownOnce_;
-  bool stopping_ = false;
 };
 
 }  // namespace crl::util

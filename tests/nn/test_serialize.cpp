@@ -88,6 +88,147 @@ TEST(Serialize, CorruptMagicIsRejected) {
   std::remove(path.c_str());
 }
 
+TEST(Serialize, MissingVsInvalidAreDistinguished) {
+  // The deploy CLI depends on this split: Missing may fall back to training
+  // from scratch, Invalid must abort loudly.
+  auto dst = makeParams(30);
+  std::string error;
+  EXPECT_EQ(loadParametersDetailed("/nonexistent/params.bin", dst, &error),
+            LoadResult::Missing);
+
+  auto path = tempPath("crl_serialize_invalid.bin");
+  atomicWriteFile(path, "garbage bytes, definitely not a parameter artifact");
+  error.clear();
+  EXPECT_EQ(loadParametersDetailed(path, dst, &error), LoadResult::Invalid);
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, InvalidErrorNamesTheShapeMismatch) {
+  auto path = tempPath("crl_serialize_shape_msg.bin");
+  auto src = makeParams(31);
+  saveParameters(path, src);
+  std::vector<Tensor> wrong;
+  wrong.emplace_back(linalg::Mat(2, 2, 0.0), true);
+  wrong.emplace_back(linalg::Mat(1, 7, 0.0), true);
+  wrong.emplace_back(linalg::Mat(5, 5, 0.0), true);
+  std::string error;
+  EXPECT_EQ(loadParametersDetailed(path, wrong, &error), LoadResult::Invalid);
+  EXPECT_NE(error.find("3x4"), std::string::npos) << error;
+  EXPECT_NE(error.find("2x2"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, AtomicWriteReplacesAndLeavesNoTempFiles) {
+  namespace fs = std::filesystem;
+  const auto dir = fs::temp_directory_path() / "crl_atomic_test";
+  fs::create_directories(dir);
+  const auto path = (dir / "artifact.bin").string();
+  atomicWriteFile(path, "first");
+  atomicWriteFile(path, "second");
+  std::string bytes;
+  ASSERT_TRUE(readFile(path, bytes));
+  EXPECT_EQ(bytes, "second");
+  std::size_t entries = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir)) ++entries;
+  EXPECT_EQ(entries, 1u);  // no .tmp.* droppings
+  fs::remove_all(dir);
+}
+
+TrainState makeTrainState() {
+  TrainState st;
+  util::Rng rng(40);
+  for (auto [r, c] : {std::pair<std::size_t, std::size_t>{2, 3}, {4, 1}}) {
+    linalg::Mat p(r, c), m(r, c), v(r, c);
+    for (std::size_t i = 0; i < r; ++i)
+      for (std::size_t j = 0; j < c; ++j) {
+        p(i, j) = rng.uniform(-1, 1);
+        m(i, j) = rng.uniform(-1, 1);
+        v(i, j) = rng.uniform(0, 1);
+      }
+    st.params.push_back(p);
+    st.adamM.push_back(m);
+    st.adamV.push_back(v);
+  }
+  st.adamStep = 137;
+  util::Rng stream(41);
+  stream.uniform();
+  st.setRng("trainer", stream.serializeState());
+  st.setRng("eval", util::Rng(42).serializeState());
+  st.setCounter("episodes", 9001);
+  std::string blob = "binary blob";
+  blob[0] = '\0';
+  blob[6] = '\xff';
+  st.setBlob("pending", blob);
+  return st;
+}
+
+TEST(Serialize, TrainStateRoundTripsEverySection) {
+  auto path = tempPath("crl_trainstate_rt.bin");
+  const TrainState src = makeTrainState();
+  saveTrainState(path, src);
+
+  TrainState dst;
+  std::string error;
+  ASSERT_EQ(loadTrainState(path, dst, &error), LoadResult::Ok) << error;
+  EXPECT_EQ(dst.version, kTrainStateVersion);
+  ASSERT_EQ(dst.params.size(), src.params.size());
+  for (std::size_t k = 0; k < src.params.size(); ++k)
+    for (std::size_t i = 0; i < src.params[k].rows(); ++i)
+      for (std::size_t j = 0; j < src.params[k].cols(); ++j) {
+        EXPECT_DOUBLE_EQ(dst.params[k](i, j), src.params[k](i, j));
+        EXPECT_DOUBLE_EQ(dst.adamM[k](i, j), src.adamM[k](i, j));
+        EXPECT_DOUBLE_EQ(dst.adamV[k](i, j), src.adamV[k](i, j));
+      }
+  EXPECT_EQ(dst.adamStep, 137);
+  ASSERT_NE(dst.rng("trainer"), nullptr);
+  EXPECT_EQ(*dst.rng("trainer"), *src.rng("trainer"));
+  ASSERT_NE(dst.rng("eval"), nullptr);
+  std::int64_t episodes = 0;
+  ASSERT_TRUE(dst.counter("episodes", episodes));
+  EXPECT_EQ(episodes, 9001);
+  ASSERT_NE(dst.blob("pending"), nullptr);
+  EXPECT_EQ(*dst.blob("pending"), *src.blob("pending"));
+  // The full encoding is byte-stable — the resume-parity suites compare
+  // snapshots of independently reached states this way.
+  EXPECT_EQ(encodeTrainState(dst), encodeTrainState(src));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedTrainStateIsInvalidAtEveryPrefix) {
+  // The regression the atomic writer exists to prevent: a torn checkpoint
+  // (power cut mid-write without rename protection) must never load as Ok,
+  // never crash the loader, and must leave the destination untouched.
+  auto path = tempPath("crl_trainstate_trunc.bin");
+  const std::string full = encodeTrainState(makeTrainState());
+  for (std::size_t len = 0; len < full.size(); len += 7) {
+    atomicWriteFile(path, std::string_view(full).substr(0, len));
+    TrainState dst;
+    dst.setCounter("sentinel", 1);
+    std::string error;
+    EXPECT_EQ(loadTrainState(path, dst, &error), LoadResult::Invalid)
+        << "prefix length " << len;
+    EXPECT_FALSE(error.empty());
+    std::int64_t sentinel = 0;
+    EXPECT_TRUE(dst.counter("sentinel", sentinel));  // dst untouched
+  }
+  // Sanity: the full record still loads.
+  atomicWriteFile(path, full);
+  TrainState dst;
+  EXPECT_EQ(loadTrainState(path, dst, nullptr), LoadResult::Ok);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TrailingGarbageIsInvalid) {
+  auto path = tempPath("crl_trainstate_trail.bin");
+  atomicWriteFile(path, encodeTrainState(makeTrainState()) + "extra");
+  TrainState dst;
+  std::string error;
+  EXPECT_EQ(loadTrainState(path, dst, &error), LoadResult::Invalid);
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
 TEST(Serialize, MlpStateSurvivesRoundTrip) {
   // End-to-end: a real module's forward output is identical after save/load
   // into a freshly initialized twin.

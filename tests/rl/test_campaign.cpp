@@ -1,0 +1,377 @@
+// CampaignRunner contract tests: on-disk protocol (done markers written last,
+// artifacts atomic, no temp droppings), resume semantics (skip / continue /
+// fail-loudly on corruption), crash-and-resume parity, and worker-count
+// invariance over the shared pool. Runs on a cheap synthetic context so the
+// suite exercises the runner, not SPICE.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "nn/serialize.h"
+#include "rl/campaign.h"
+#include "rl/policy.h"
+#include "rl/ppo.h"
+
+namespace crl::rl {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kFeatDim = 3;
+constexpr std::size_t kParams = 4;
+constexpr std::size_t kSpecs = 2;
+
+linalg::Mat pathNormAdj() {
+  linalg::Mat a(kNodes, kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    a(i, i) = 1.0;
+    if (i + 1 < kNodes) a(i, i + 1) = a(i + 1, i) = 1.0;
+  }
+  std::vector<double> deg(kNodes, 0.0);
+  for (std::size_t i = 0; i < kNodes; ++i)
+    for (std::size_t j = 0; j < kNodes; ++j) deg[i] += a(i, j);
+  linalg::Mat norm(kNodes, kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i)
+    for (std::size_t j = 0; j < kNodes; ++j)
+      norm(i, j) = a(i, j) / std::sqrt(deg[i] * deg[j]);
+  return norm;
+}
+
+linalg::Mat pathMask() {
+  linalg::Mat mask(kNodes, kNodes, -1e9);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    mask(i, i) = 0.0;
+    if (i + 1 < kNodes) mask(i, i + 1) = mask(i + 1, i) = 0.0;
+  }
+  return mask;
+}
+
+Observation randomObservation(util::Rng& rng) {
+  Observation o;
+  o.nodeFeatures = linalg::Mat(kNodes, kFeatDim);
+  for (auto& v : o.nodeFeatures.raw()) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t s = 0; s < kSpecs; ++s) {
+    o.specNow.push_back(rng.uniform(-1.0, 1.0));
+    o.specTarget.push_back(rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t p = 0; p < kParams; ++p)
+    o.paramsNorm.push_back(rng.uniform(0.0, 1.0));
+  return o;
+}
+
+class ToyEnv : public Env {
+ public:
+  ToyEnv() : normAdj_(pathNormAdj()), mask_(pathMask()) {}
+  Observation reset(util::Rng& rng) override {
+    stepCount_ = 0;
+    return randomObservation(rng);
+  }
+  Observation resetWithTarget(const std::vector<double>&, util::Rng& rng) override {
+    return reset(rng);
+  }
+  StepResult step(const std::vector<int>& actions) override {
+    StepResult r;
+    util::Rng rng(static_cast<std::uint64_t>(++stepCount_));
+    r.obs = randomObservation(rng);
+    r.reward = 0.1 * static_cast<double>(actions[0]) - 0.05;
+    r.done = stepCount_ >= maxSteps();
+    return r;
+  }
+  std::size_t numParams() const override { return kParams; }
+  std::size_t numSpecs() const override { return kSpecs; }
+  int maxSteps() const override { return 8; }
+  const linalg::Mat& normalizedAdjacency() const override { return normAdj_; }
+  const linalg::Mat& attentionMask() const override { return mask_; }
+  std::size_t graphNodeCount() const override { return kNodes; }
+  std::size_t graphFeatureDim() const override { return kFeatDim; }
+  const std::vector<double>& rawTarget() const override { return raw_; }
+  const std::vector<double>& rawSpecs() const override { return raw_; }
+  const std::vector<double>& currentParams() const override { return raw_; }
+
+ private:
+  linalg::Mat normAdj_, mask_;
+  int stepCount_ = 0;
+  std::vector<double> raw_{0.0};
+};
+
+core::PolicyConfig smallConfig() {
+  core::PolicyConfig cfg;
+  cfg.numParams = kParams;
+  cfg.numSpecs = kSpecs;
+  cfg.graphFeatureDim = kFeatDim;
+  cfg.gnnHidden = 8;
+  cfg.gnnLayers = 2;
+  cfg.gatHeads = 2;
+  cfg.specHidden = 8;
+  cfg.trunkHidden = 16;
+  return cfg;
+}
+
+/// Synthetic campaign context. Carries a fake "solver warm-start" counter —
+/// every evaluation bumps it and it biases the reported accuracy — so a
+/// resume that fails to restore the solver blob is visibly non-parity.
+class ToyContext final : public CampaignContext {
+ public:
+  explicit ToyContext(std::uint64_t initSeed)
+      : initRng_(initSeed),
+        policy_(core::PolicyKind::GcnFc, smallConfig(), pathNormAdj(),
+                pathMask(), initRng_) {}
+
+  Env& trainEnv() override { return env_; }
+  ActorCritic& policy() override { return policy_; }
+
+  CampaignEvalReport evaluate(int episodes, util::Rng& rng) override {
+    ++evalCalls_;
+    double acc = 0.0;
+    for (int i = 0; i < episodes; ++i) acc += rng.uniform();
+    CampaignEvalReport rep;
+    rep.accuracy = acc / std::max(1, episodes) + 1e-3 * evalCalls_;
+    rep.meanSteps = 4.0;
+    rep.meanStepsSuccess = 3.0;
+    return rep;
+  }
+
+  std::vector<std::string> solverSnapshots() const override {
+    return {std::to_string(evalCalls_)};
+  }
+  bool restoreSolverSnapshots(const std::vector<std::string>& blobs) override {
+    if (blobs.size() != 1) return false;
+    try {
+      evalCalls_ = std::stoll(blobs[0]);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  ToyEnv env_;
+  util::Rng initRng_;
+  core::MultimodalPolicy policy_;
+  long long evalCalls_ = 0;
+};
+
+CampaignJob toyJob(const std::string& name, std::uint64_t seed) {
+  CampaignJob job;
+  job.name = name;
+  job.episodes = 12;
+  job.trainSeed = seed;
+  job.evalSeed = seed + 9001;
+  job.finalEvalSeed = seed + 5555;
+  job.evalEvery = 5;
+  job.evalEpisodes = 3;
+  job.ppo.stepsPerUpdate = 32;
+  job.ppo.minibatchSize = 8;
+  job.ppo.updateEpochs = 2;
+  job.ppo.batchedUpdate = true;
+  job.make = [seed]() -> std::unique_ptr<CampaignContext> {
+    return std::make_unique<ToyContext>(100 + seed);
+  };
+  return job;
+}
+
+std::string tempDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::string bytes;
+  EXPECT_TRUE(nn::readFile(path, bytes)) << path;
+  return bytes;
+}
+
+TEST(Campaign, WritesArtifactsThenDoneMarkerAndSkipsOnRerun) {
+  const std::string out = tempDir("crl_campaign_basic");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_a", 1));
+  auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_FALSE(results[0].failed) << results[0].error;
+  EXPECT_FALSE(results[0].skipped);
+  EXPECT_EQ(results[0].episodes, 12);
+
+  const std::string dir = out + "/job_a";
+  for (const char* f : {"checkpoint.bin", "curve.csv", "policy.bin", "done"})
+    EXPECT_TRUE(fs::exists(dir + "/" + f)) << f;
+  // Atomic writers must not leave temp files behind.
+  for (const auto& e : fs::directory_iterator(dir))
+    EXPECT_EQ(e.path().filename().string().find(".tmp"), std::string::npos)
+        << e.path();
+  // The curve CSV has the harness schema.
+  EXPECT_EQ(slurp(dir + "/curve.csv").rfind(
+                "method,seed,episode,mean_reward,mean_length,deploy_accuracy", 0),
+            0u);
+
+  // Re-running the identical campaign skips the job and reports the same
+  // final metrics, parsed back from the done marker.
+  CampaignRunner again(cfg);
+  again.addJob(toyJob("job_a", 1));
+  auto rerun = again.run();
+  ASSERT_FALSE(rerun[0].failed) << rerun[0].error;
+  EXPECT_TRUE(rerun[0].skipped);
+  EXPECT_EQ(rerun[0].episodes, results[0].episodes);
+  EXPECT_DOUBLE_EQ(rerun[0].finalMeanReward, results[0].finalMeanReward);
+  EXPECT_DOUBLE_EQ(rerun[0].finalMeanLength, results[0].finalMeanLength);
+  EXPECT_DOUBLE_EQ(rerun[0].finalAccuracy, results[0].finalAccuracy);
+  EXPECT_DOUBLE_EQ(rerun[0].finalMeanStepsSuccess,
+                   results[0].finalMeanStepsSuccess);
+
+  // --no-resume semantics: the job runs again from scratch and lands on the
+  // same results (jobs are deterministic in their seeds, not their history).
+  CampaignConfig fresh = cfg;
+  fresh.resume = false;
+  CampaignRunner forced(fresh);
+  forced.addJob(toyJob("job_a", 1));
+  auto rerun2 = forced.run();
+  ASSERT_FALSE(rerun2[0].failed) << rerun2[0].error;
+  EXPECT_FALSE(rerun2[0].skipped);
+  EXPECT_DOUBLE_EQ(rerun2[0].finalAccuracy, results[0].finalAccuracy);
+
+  fs::remove_all(out);
+}
+
+TEST(Campaign, CrashAfterCheckpointThenResumeIsBitwiseParity) {
+  // In-process stand-in for a mid-campaign crash: the onCheckpoint hook
+  // throws after the first checkpoint (the job fails, checkpoint on disk),
+  // then a plain rerun resumes it. Every artifact must match an
+  // uninterrupted run byte for byte — including the solver-blob-dependent
+  // accuracy baked into done/curve.csv.
+  const std::string straightOut = tempDir("crl_campaign_straight");
+  const std::string crashOut = tempDir("crl_campaign_crash");
+
+  CampaignConfig cfg;
+  cfg.outDir = straightOut;
+  cfg.checkpointEvery = 5;
+  CampaignRunner straight(cfg);
+  straight.addJob(toyJob("job_c", 3));
+  ASSERT_FALSE(straight.run()[0].failed);
+
+  CampaignConfig crashCfg = cfg;
+  crashCfg.outDir = crashOut;
+  int checkpoints = 0;
+  crashCfg.onCheckpoint = [&checkpoints](const std::string&, int) {
+    if (++checkpoints == 1) throw std::runtime_error("simulated crash");
+  };
+  CampaignRunner crashing(crashCfg);
+  crashing.addJob(toyJob("job_c", 3));
+  auto crashed = crashing.run();
+  ASSERT_TRUE(crashed[0].failed);
+  EXPECT_NE(crashed[0].error.find("simulated crash"), std::string::npos);
+  EXPECT_TRUE(fs::exists(crashOut + "/job_c/checkpoint.bin"));
+  EXPECT_FALSE(fs::exists(crashOut + "/job_c/done"));
+
+  CampaignConfig resumeCfg = cfg;
+  resumeCfg.outDir = crashOut;
+  CampaignRunner resuming(resumeCfg);
+  resuming.addJob(toyJob("job_c", 3));
+  auto resumed = resuming.run();
+  ASSERT_FALSE(resumed[0].failed) << resumed[0].error;
+  EXPECT_TRUE(resumed[0].resumed);
+
+  for (const char* f : {"policy.bin", "curve.csv", "done"})
+    EXPECT_EQ(slurp(straightOut + "/job_c/" + f), slurp(crashOut + "/job_c/" + f))
+        << f << " differs after crash-and-resume";
+
+  fs::remove_all(straightOut);
+  fs::remove_all(crashOut);
+}
+
+TEST(Campaign, InvalidCheckpointFailsLoudlyNamingTheFile) {
+  // Atomic writes mean a torn checkpoint cannot happen by crash — one on
+  // disk is a bug, and silently retraining over it would bury the evidence.
+  const std::string out = tempDir("crl_campaign_corrupt");
+  fs::create_directories(out + "/job_x");
+  nn::atomicWriteFile(out + "/job_x/checkpoint.bin", "corrupt checkpoint bytes");
+
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_x", 4));
+  auto results = runner.run();
+  ASSERT_TRUE(results[0].failed);
+  EXPECT_NE(results[0].error.find("checkpoint.bin"), std::string::npos)
+      << results[0].error;
+  fs::remove_all(out);
+}
+
+TEST(Campaign, UnreadableDoneMarkerFailsLoudly) {
+  const std::string out = tempDir("crl_campaign_baddone");
+  fs::create_directories(out + "/job_y");
+  nn::atomicWriteFile(out + "/job_y/done", "not a done marker");
+
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_y", 5));
+  auto results = runner.run();
+  ASSERT_TRUE(results[0].failed);
+  EXPECT_NE(results[0].error.find("done"), std::string::npos) << results[0].error;
+  fs::remove_all(out);
+}
+
+TEST(Campaign, RejectsMalformedJobs) {
+  CampaignRunner runner(CampaignConfig{});
+  runner.addJob(toyJob("dup", 1));
+  EXPECT_THROW(runner.addJob(toyJob("dup", 2)), std::invalid_argument);
+
+  CampaignJob unnamed = toyJob("", 1);
+  EXPECT_THROW(runner.addJob(std::move(unnamed)), std::invalid_argument);
+
+  CampaignJob zeroEp = toyJob("zero_ep", 1);
+  zeroEp.episodes = 0;
+  EXPECT_THROW(runner.addJob(std::move(zeroEp)), std::invalid_argument);
+
+  CampaignJob noFactory = toyJob("no_factory", 1);
+  noFactory.make = nullptr;
+  EXPECT_THROW(runner.addJob(std::move(noFactory)), std::invalid_argument);
+}
+
+TEST(Campaign, SharedPoolResultsMatchInlineRun) {
+  // The tentpole scheduling claim: multiplexing jobs over one shared pool
+  // changes wall-clock, never results. Same three jobs, workers=1 vs
+  // workers=3 into different outDirs — done markers must match bitwise.
+  const std::string inlineOut = tempDir("crl_campaign_inline");
+  const std::string poolOut = tempDir("crl_campaign_pool");
+
+  auto runWith = [](const std::string& out, std::size_t workers) {
+    CampaignConfig cfg;
+    cfg.outDir = out;
+    cfg.workers = workers;
+    cfg.checkpointEvery = 5;
+    CampaignRunner runner(cfg);
+    runner.addJob(toyJob("job_p0", 10));
+    runner.addJob(toyJob("job_p1", 11));
+    runner.addJob(toyJob("job_p2", 12));
+    return runner.run();
+  };
+  auto inlineResults = runWith(inlineOut, 1);
+  auto poolResults = runWith(poolOut, 3);
+  ASSERT_EQ(inlineResults.size(), 3u);
+  ASSERT_EQ(poolResults.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_FALSE(inlineResults[i].failed) << inlineResults[i].error;
+    ASSERT_FALSE(poolResults[i].failed) << poolResults[i].error;
+    EXPECT_EQ(inlineResults[i].name, poolResults[i].name);  // addJob order kept
+    const std::string job = "/" + inlineResults[i].name + "/";
+    for (const char* f : {"policy.bin", "curve.csv", "done"})
+      EXPECT_EQ(slurp(inlineOut + job + f), slurp(poolOut + job + f))
+          << inlineResults[i].name << "/" << f;
+  }
+  fs::remove_all(inlineOut);
+  fs::remove_all(poolOut);
+}
+
+}  // namespace
+}  // namespace crl::rl

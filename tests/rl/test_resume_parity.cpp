@@ -1,0 +1,322 @@
+// Resume-parity suite (CTest label: parity). The checkpoint contract is
+// bitwise: a run that checkpoints at episode k, dies, and is restored into a
+// FRESH stack (new env, newly initialized policy, new trainer) must finish
+// with exactly the parameters, Adam moments, RNG stream, and reward curve of
+// a run that never died. Covered here:
+//   - trainChunk(a); trainChunk(b); finishTraining() == train(a+b)
+//   - saveState -> loadState into a fresh differently-seeded stack
+//   - the snapshot survives the disk round-trip (saveTrainState/loadTrainState)
+//   - architecture mismatches are rejected without touching the trainer
+//   - a real campaign_cli process SIGKILL'd mid-campaign resumes bitwise
+// Both a GNN policy (GCN-FC) and an FCNN baseline (Baseline-A) are exercised,
+// in both sequential and batched update modes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "nn/serialize.h"
+#include "rl/policy.h"
+#include "rl/ppo.h"
+#include "rl/vec_env.h"
+
+namespace crl::rl {
+namespace {
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kFeatDim = 3;
+constexpr std::size_t kParams = 4;
+constexpr std::size_t kSpecs = 2;
+
+linalg::Mat pathNormAdj() {
+  linalg::Mat a(kNodes, kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    a(i, i) = 1.0;
+    if (i + 1 < kNodes) a(i, i + 1) = a(i + 1, i) = 1.0;
+  }
+  std::vector<double> deg(kNodes, 0.0);
+  for (std::size_t i = 0; i < kNodes; ++i)
+    for (std::size_t j = 0; j < kNodes; ++j) deg[i] += a(i, j);
+  linalg::Mat norm(kNodes, kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i)
+    for (std::size_t j = 0; j < kNodes; ++j)
+      norm(i, j) = a(i, j) / std::sqrt(deg[i] * deg[j]);
+  return norm;
+}
+
+linalg::Mat pathMask() {
+  linalg::Mat mask(kNodes, kNodes, -1e9);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    mask(i, i) = 0.0;
+    if (i + 1 < kNodes) mask(i, i + 1) = mask(i + 1, i) = 0.0;
+  }
+  return mask;
+}
+
+Observation randomObservation(util::Rng& rng) {
+  Observation o;
+  o.nodeFeatures = linalg::Mat(kNodes, kFeatDim);
+  for (auto& v : o.nodeFeatures.raw()) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t s = 0; s < kSpecs; ++s) {
+    o.specNow.push_back(rng.uniform(-1.0, 1.0));
+    o.specTarget.push_back(rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t p = 0; p < kParams; ++p)
+    o.paramsNorm.push_back(rng.uniform(0.0, 1.0));
+  return o;
+}
+
+/// Deterministic toy env: resets draw observations from the caller's RNG
+/// (the trainer stream), steps are a pure function of the step index — so
+/// the whole trajectory is reproducible from the trainer state alone, which
+/// is exactly what the resume contract promises to capture.
+class ToyEnv : public Env {
+ public:
+  ToyEnv() : normAdj_(pathNormAdj()), mask_(pathMask()) {}
+  Observation reset(util::Rng& rng) override {
+    stepCount_ = 0;
+    return randomObservation(rng);
+  }
+  Observation resetWithTarget(const std::vector<double>&, util::Rng& rng) override {
+    return reset(rng);
+  }
+  StepResult step(const std::vector<int>& actions) override {
+    StepResult r;
+    util::Rng rng(static_cast<std::uint64_t>(++stepCount_));
+    r.obs = randomObservation(rng);
+    r.reward = 0.1 * static_cast<double>(actions[0]) - 0.05;
+    r.done = stepCount_ >= maxSteps();
+    return r;
+  }
+  std::size_t numParams() const override { return kParams; }
+  std::size_t numSpecs() const override { return kSpecs; }
+  int maxSteps() const override { return 8; }
+  const linalg::Mat& normalizedAdjacency() const override { return normAdj_; }
+  const linalg::Mat& attentionMask() const override { return mask_; }
+  std::size_t graphNodeCount() const override { return kNodes; }
+  std::size_t graphFeatureDim() const override { return kFeatDim; }
+  const std::vector<double>& rawTarget() const override { return raw_; }
+  const std::vector<double>& rawSpecs() const override { return raw_; }
+  const std::vector<double>& currentParams() const override { return raw_; }
+
+ private:
+  linalg::Mat normAdj_, mask_;
+  int stepCount_ = 0;
+  std::vector<double> raw_{0.0};
+};
+
+core::PolicyConfig smallConfig() {
+  core::PolicyConfig cfg;
+  cfg.numParams = kParams;
+  cfg.numSpecs = kSpecs;
+  cfg.graphFeatureDim = kFeatDim;
+  cfg.gnnHidden = 8;
+  cfg.gnnLayers = 2;
+  cfg.gatHeads = 2;
+  cfg.specHidden = 8;
+  cfg.trunkHidden = 16;
+  return cfg;
+}
+
+PpoConfig smallPpo(bool batched) {
+  PpoConfig cfg;
+  cfg.stepsPerUpdate = 32;  // 8-step episodes -> an update every 4 episodes
+  cfg.minibatchSize = 8;
+  cfg.updateEpochs = 2;
+  cfg.batchedUpdate = batched;
+  return cfg;
+}
+
+/// One self-contained training stack.
+struct Stack {
+  Stack(core::PolicyKind kind, std::uint64_t initSeed, std::uint64_t trainSeed,
+        bool batched)
+      : initRng(initSeed),
+        policy(kind, smallConfig(), pathNormAdj(), pathMask(), initRng),
+        trainer(env, policy, smallPpo(batched), util::Rng(trainSeed)) {}
+
+  std::string stateBytes() const {
+    nn::TrainState st;
+    trainer.saveState(st);
+    return nn::encodeTrainState(st);
+  }
+
+  ToyEnv env;
+  util::Rng initRng;
+  core::MultimodalPolicy policy;
+  PpoTrainer trainer;
+  std::vector<double> rewards;
+
+  std::function<void(const EpisodeStats&)> recorder() {
+    return [this](const EpisodeStats& s) { rewards.push_back(s.episodeReward); };
+  }
+};
+
+struct ParityCase {
+  core::PolicyKind kind;
+  bool batched;
+};
+
+class ResumeParity : public ::testing::TestWithParam<ParityCase> {};
+
+TEST_P(ResumeParity, ChunkedTrainingMatchesStraight) {
+  const auto [kind, batched] = GetParam();
+  Stack straight(kind, 11, 7, batched);
+  straight.trainer.train(20, straight.recorder());
+
+  Stack chunked(kind, 11, 7, batched);
+  chunked.trainer.trainChunk(13, chunked.recorder());
+  chunked.trainer.trainChunk(7, chunked.recorder());
+  chunked.trainer.finishTraining();
+
+  ASSERT_EQ(straight.rewards.size(), chunked.rewards.size());
+  for (std::size_t i = 0; i < straight.rewards.size(); ++i)
+    EXPECT_DOUBLE_EQ(straight.rewards[i], chunked.rewards[i]) << "episode " << i;
+  EXPECT_EQ(straight.stateBytes(), chunked.stateBytes());
+}
+
+TEST_P(ResumeParity, RestoreIntoFreshStackContinuesBitwise) {
+  const auto [kind, batched] = GetParam();
+
+  // Reference: one uninterrupted run, with a snapshot taken at episode 10.
+  Stack ref(kind, 11, 7, batched);
+  ref.trainer.trainChunk(10, ref.recorder());
+  nn::TrainState snapshot;
+  ref.trainer.saveState(snapshot);
+  ref.trainer.trainChunk(10, ref.recorder());
+  ref.trainer.finishTraining();
+
+  // Resume: a fresh stack with DIFFERENT init and trainer seeds — every bit
+  // of state it finishes with must come from the snapshot, not construction.
+  Stack resumed(kind, 999, 555, batched);
+  std::string error;
+  ASSERT_TRUE(resumed.trainer.loadState(snapshot, &error)) << error;
+  EXPECT_EQ(resumed.trainer.episodeCount(), 10);
+  resumed.trainer.trainChunk(10, resumed.recorder());
+  resumed.trainer.finishTraining();
+
+  ASSERT_EQ(resumed.rewards.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(ref.rewards[10 + i], resumed.rewards[i]) << "episode " << i;
+  // Full-state comparison: parameters, Adam moments and step, RNG stream,
+  // episode counter, pending buffer — all byte-for-byte.
+  EXPECT_EQ(ref.stateBytes(), resumed.stateBytes());
+}
+
+TEST_P(ResumeParity, SnapshotSurvivesDiskRoundTrip) {
+  const auto [kind, batched] = GetParam();
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("crl_parity_ckpt_" + std::to_string(static_cast<int>(kind)) +
+        (batched ? "_b" : "_s") + ".bin"))
+          .string();
+
+  Stack ref(kind, 3, 5, batched);
+  ref.trainer.trainChunk(9, ref.recorder());
+  nn::TrainState st;
+  ref.trainer.saveState(st);
+  nn::saveTrainState(path, st);
+  ref.trainer.trainChunk(6, ref.recorder());
+  ref.trainer.finishTraining();
+
+  nn::TrainState fromDisk;
+  std::string error;
+  ASSERT_EQ(nn::loadTrainState(path, fromDisk, &error), nn::LoadResult::Ok)
+      << error;
+  Stack resumed(kind, 77, 88, batched);
+  ASSERT_TRUE(resumed.trainer.loadState(fromDisk, &error)) << error;
+  resumed.trainer.trainChunk(6, resumed.recorder());
+  resumed.trainer.finishTraining();
+
+  EXPECT_EQ(ref.stateBytes(), resumed.stateBytes());
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GnnAndFcnn, ResumeParity,
+    ::testing::Values(ParityCase{core::PolicyKind::GcnFc, true},
+                      ParityCase{core::PolicyKind::GcnFc, false},
+                      ParityCase{core::PolicyKind::BaselineA, true},
+                      ParityCase{core::PolicyKind::BaselineA, false}),
+    [](const ::testing::TestParamInfo<ParityCase>& info) {
+      std::string name = core::policyKindName(info.param.kind);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name + (info.param.batched ? "_batched" : "_sequential");
+    });
+
+TEST(ResumeParityGuards, WrongArchitectureIsRejectedWithoutMutation) {
+  Stack src(core::PolicyKind::BaselineA, 1, 2, false);
+  src.trainer.trainChunk(5);
+  nn::TrainState st;
+  src.trainer.saveState(st);
+
+  Stack dst(core::PolicyKind::GcnFc, 3, 4, false);
+  const std::string before = dst.stateBytes();
+  std::string error;
+  EXPECT_FALSE(dst.trainer.loadState(st, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(dst.stateBytes(), before);  // failed load left the trainer alone
+}
+
+TEST(ResumeParityGuards, MultiLaneTrainerRefusesToCheckpoint) {
+  // Per-lane RNG streams and in-flight episodes are not captured; silently
+  // checkpointing a vectorized trainer would produce snapshots that cannot
+  // resume bitwise, so saveState must refuse.
+  util::Rng initRng(6);
+  core::MultimodalPolicy policy(core::PolicyKind::BaselineA, smallConfig(),
+                                pathNormAdj(), pathMask(), initRng);
+  VecEnv envs(
+      2, [](std::size_t) { return EnvLane{std::make_unique<ToyEnv>(), nullptr}; },
+      9);
+  PpoTrainer trainer(envs, policy, smallPpo(true), util::Rng(9));
+  nn::TrainState st;
+  EXPECT_THROW(trainer.saveState(st), std::logic_error);
+  EXPECT_THROW(trainer.trainChunk(1), std::logic_error);
+}
+
+#ifdef CRL_CAMPAIGN_CLI
+// End-to-end, across a real process death: run a small op-amp-family campaign
+// straight, then the identical campaign with --crash-after-checkpoints (the
+// process _Exit(42)s mid-run, destructors skipped — a SIGKILL stand-in),
+// resume it, and require every final artifact byte-identical.
+TEST(ResumeParityProcess, KillAndResumeMatchesStraightRun) {
+  namespace fs = std::filesystem;
+  const fs::path base = fs::temp_directory_path() / "crl_parity_proc";
+  fs::remove_all(base);
+  fs::create_directories(base);
+
+  const std::string common =
+      std::string(CRL_CAMPAIGN_CLI) +
+      " --circuits ota --methods GCN-FC --seeds 1 --episodes 30"
+      " --checkpoint-every 10 --eval-episodes 4";
+  const std::string straightDir = (base / "straight").string();
+  const std::string crashDir = (base / "crash").string();
+  const std::string quiet = " >/dev/null 2>&1";
+
+  ASSERT_EQ(std::system((common + " --out " + straightDir + quiet).c_str()), 0);
+  // Dies after the 2nd checkpoint (episode 20 of 30).
+  EXPECT_NE(std::system((common + " --out " + crashDir +
+                         " --crash-after-checkpoints 2" + quiet)
+                            .c_str()),
+            0);
+  ASSERT_EQ(std::system((common + " --out " + crashDir + quiet).c_str()), 0);
+
+  const std::string job = "/ota_GCN-FC_nominal_s0/";
+  for (const char* file : {"policy.bin", "curve.csv", "done"}) {
+    std::string a, b;
+    ASSERT_TRUE(nn::readFile(straightDir + job + file, a)) << file;
+    ASSERT_TRUE(nn::readFile(crashDir + job + file, b)) << file;
+    EXPECT_EQ(a, b) << file << " differs after kill-and-resume";
+  }
+  fs::remove_all(base);
+}
+#endif
+
+}  // namespace
+}  // namespace crl::rl

@@ -128,5 +128,80 @@ TEST(Rng, ForkDecorrelates) {
   EXPECT_LT(same, 5);
 }
 
+// ---- stream-state contract (checkpoint/resume + copy/fork hazards) --------
+
+TEST(Rng, NormalMatchesFreshDistributionPerCall) {
+  // The committed golden curves pin the stream produced by constructing a
+  // fresh std::normal_distribution for every draw. The member-distribution
+  // implementation (reset + per-call params) must reproduce it bit for bit.
+  Rng rng(31);
+  std::mt19937_64 ref(31);
+  for (int i = 0; i < 500; ++i) {
+    std::normal_distribution<double> dist(1.5, 0.75);
+    const double expect = dist(ref);
+    EXPECT_DOUBLE_EQ(rng.normal(1.5, 0.75), expect);
+  }
+}
+
+TEST(Rng, SerializeRestoreContinuesBitwiseMidStream) {
+  Rng a(123);
+  for (int i = 0; i < 37; ++i) {
+    a.uniform();
+    a.normal();
+  }
+  const std::string state = a.serializeState();
+  std::vector<double> expect;
+  for (int i = 0; i < 200; ++i) {
+    expect.push_back(a.uniform());
+    expect.push_back(a.normal(3.0, 2.0));
+    expect.push_back(static_cast<double>(a.randint(0, 1000)));
+  }
+
+  Rng b(999);  // wrong seed, fully overwritten by restore
+  ASSERT_TRUE(b.restoreState(state));
+  for (std::size_t i = 0; i < expect.size(); i += 3) {
+    EXPECT_DOUBLE_EQ(b.uniform(), expect[i]);
+    EXPECT_DOUBLE_EQ(b.normal(3.0, 2.0), expect[i + 1]);
+    EXPECT_DOUBLE_EQ(static_cast<double>(b.randint(0, 1000)), expect[i + 2]);
+  }
+}
+
+TEST(Rng, RestoreRejectsGarbageAndLeavesStreamIntact) {
+  Rng a(7);
+  a.uniform();
+  Rng twin = a;
+  EXPECT_FALSE(a.restoreState("not a mersenne twister state"));
+  // The failed restore must not have disturbed the engine.
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.uniform(), twin.uniform());
+}
+
+TEST(Rng, CopyProducesIdenticalStreamIncludingNormals) {
+  // Regression for the hidden-state hazard: a copied RNG must generate the
+  // same stream as the original from the copy point on — including normal()
+  // draws right after the copy, where a stale cached second Gaussian in the
+  // copy (or the original) would desynchronize the pair.
+  Rng a(55);
+  for (int i = 0; i < 11; ++i) a.normal();  // park mid-stream
+  Rng b = a;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.normal(0.5, 2.0), b.normal(0.5, 2.0));
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+  Rng c(1);
+  c = a;  // copy assignment mid-stream
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.normal(-1.0, 0.1), c.normal(-1.0, 0.1));
+}
+
+TEST(Rng, ForkAfterNormalDrawsIsDeterministic) {
+  // fork() must depend only on the engine stream position, never on
+  // distribution caches left by prior normal() draws.
+  Rng a(77), b(77);
+  a.normal();
+  b.normal();
+  Rng fa = a.fork(), fb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(fa.normal(), fb.normal());
+}
+
 }  // namespace
 }  // namespace crl::util

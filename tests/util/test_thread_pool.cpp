@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <future>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -89,6 +91,47 @@ TEST(ThreadPool, SubmitAfterShutdownThrows) {
   ThreadPool pool(2);
   pool.shutdown();
   EXPECT_THROW(pool.submit([]() { return 1; }), std::runtime_error);
+}
+
+TEST(ThreadPool, StealingDrainsABlockedWorkersLane) {
+  // External submits are distributed round-robin across per-worker lanes, so
+  // with two workers half of these tasks land on the blocked worker's lane.
+  // Without work stealing they would sit there until the blocker finishes
+  // and the .get() loop below would deadlock; with stealing the free worker
+  // drains every lane while the blocker is still parked.
+  ThreadPool pool(2);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  auto blocker = pool.submit([gate]() { gate.wait(); });
+
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 64; ++i)
+    futs.push_back(pool.submit([&done]() { done.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), 64);
+
+  release.set_value();
+  blocker.get();
+}
+
+TEST(ThreadPool, WorkerLocalSubmitsComplete) {
+  // Tasks submitted from inside a worker thread go to that worker's own lane
+  // (LIFO); they must all run, and be stealable by the other workers.
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::mutex m;
+  std::vector<std::future<void>> inner;
+  std::vector<std::future<void>> outer;
+  for (int i = 0; i < 24; ++i)
+    outer.push_back(pool.submit([&]() {
+      auto f = pool.submit([&counter]() { counter.fetch_add(1); });
+      std::lock_guard<std::mutex> lock(m);
+      inner.push_back(std::move(f));
+    }));
+  for (auto& f : outer) f.get();
+  for (auto& f : inner) f.get();
+  EXPECT_EQ(counter.load(), 24);
 }
 
 TEST(ThreadPool, ZeroRequestsDefaultWorkerCount) {
