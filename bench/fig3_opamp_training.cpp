@@ -113,6 +113,23 @@ int main(int argc, char** argv) {
   table.print(json.enabled() ? std::cerr : std::cout);
   std::fprintf(tout, "\nSeries CSVs written to %s/fig3_opamp_*.csv\n",
                scale.outDir.c_str());
+
+  // Shared-pool utilization for the whole campaign (zeros when the runner
+  // executed jobs inline, i.e. one worker or one job).
+  const util::ThreadPool::Stats pool = runner.poolStats();
+  if (pool.workers > 0) {
+    std::fprintf(tout,
+                 "pool: %zu worker(s), %llu task(s) (%llu stolen), "
+                 "utilization %.1f%%, max queue depth %zu\n",
+                 pool.workers,
+                 static_cast<unsigned long long>(pool.tasksExecuted),
+                 static_cast<unsigned long long>(pool.tasksStolen),
+                 100.0 * pool.utilization(), pool.maxQueueDepth);
+    json.record({{"bench", "fig3_opamp"}, {"unit", "pool_utilization"}},
+                pool.utilization());
+    json.record({{"bench", "fig3_opamp"}, {"unit", "pool_tasks_stolen"}},
+                static_cast<double>(pool.tasksStolen));
+  }
   json.flush();
   return anyFailed ? 1 : 0;
 }

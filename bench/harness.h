@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <initializer_list>
 #include <iostream>
@@ -30,6 +31,7 @@
 
 #if defined(__unix__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 #include "core/deploy.h"
@@ -94,11 +96,15 @@ inline double peakRssMib() {
 
 /// Machine-readable bench output (`--json` flag): benches record flat
 /// string-field + value rows while printing their human tables, and a JSON
-/// array is emitted to stdout at the end, so the perf trajectory
-/// (bench_batched_update, bench_parallel_rollout, ...) can be collected by
-/// scripts/CI without scraping the tables. In `--json` mode the human
-/// tables go to stderr (write them to `tableStream()`), keeping stdout
-/// pipeable straight into `jq`.
+/// object `{"meta": {...}, "rows": [...]}` is emitted to stdout at the end,
+/// so the perf trajectory (bench_batched_update, bench_parallel_rollout,
+/// ...) can be collected by scripts/CI without scraping the tables. The
+/// meta block makes checked-in BENCH_*.json files self-describing: git SHA
+/// and build type (baked in at configure time via CRL_GIT_SHA /
+/// CRL_BUILD_TYPE), hostname, UTC timestamp, and the worker/scale env knobs
+/// in effect. In `--json` mode the human tables go to stderr (write them to
+/// `tableStream()`), keeping stdout pipeable straight into `jq` (rows:
+/// `jq .rows[]`).
 class BenchJson {
  public:
   /// True when `--json` appears in the arguments.
@@ -139,17 +145,75 @@ class BenchJson {
     rows_.push_back(std::move(row));
   }
 
-  /// Print the accumulated array once (also called by the destructor).
+  /// Print the accumulated object once (also called by the destructor).
   void flush() {
     if (!enabled_ || flushed_) return;
     flushed_ = true;
-    std::printf("[\n");
+    std::printf("{\n\"meta\": %s,\n\"rows\": [\n", metaJson().c_str());
     for (std::size_t i = 0; i < rows_.size(); ++i)
       std::printf("%s%s\n", rows_[i].c_str(), i + 1 == rows_.size() ? "" : ",");
-    std::printf("]\n");
+    std::printf("]\n}\n");
   }
 
  private:
+  /// Run provenance: who/where/when/how the numbers were produced. Values
+  /// are plain identifiers (SHAs, hostnames, env-knob strings) — no JSON
+  /// metacharacters in practice, but escape quotes/backslashes defensively.
+  static std::string metaJson() {
+    auto quote = [](const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+      }
+      out += '"';
+      return out;
+    };
+    auto envOr = [](const char* var, const char* fallback) {
+      const char* v = std::getenv(var);
+      return std::string(v && *v ? v : fallback);
+    };
+#ifdef CRL_GIT_SHA
+    const std::string gitSha = CRL_GIT_SHA;
+#else
+    const std::string gitSha = "unknown";
+#endif
+#ifdef CRL_BUILD_TYPE
+    const std::string buildType = CRL_BUILD_TYPE;
+#else
+    const std::string buildType = "unknown";
+#endif
+    std::string hostname = "unknown";
+#if defined(__unix__)
+    char hostBuf[256] = {0};
+    if (gethostname(hostBuf, sizeof hostBuf - 1) == 0 && hostBuf[0] != '\0')
+      hostname = hostBuf;
+#endif
+    char stamp[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm utc{};
+#if defined(__unix__)
+    gmtime_r(&now, &utc);
+#else
+    utc = *std::gmtime(&now);
+#endif
+    std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%SZ", &utc);
+
+    std::string meta = "{";
+    meta += "\"schema\": \"crl.bench/v2\", ";
+    meta += "\"git_sha\": " + quote(gitSha) + ", ";
+    meta += "\"build_type\": " + quote(buildType) + ", ";
+    meta += "\"hostname\": " + quote(hostname) + ", ";
+    meta += "\"timestamp\": " + quote(stamp) + ", ";
+    meta += "\"env\": {";
+    meta += "\"CRL_SCALE\": " + quote(envOr("CRL_SCALE", "1")) + ", ";
+    meta += "\"CRL_SEEDS\": " + quote(envOr("CRL_SEEDS", "1")) + ", ";
+    meta += "\"CRL_SEED_WORKERS\": " + quote(envOr("CRL_SEED_WORKERS", "1")) + ", ";
+    meta += "\"CRL_SPICE_WORKERS\": " + quote(envOr("CRL_SPICE_WORKERS", "1"));
+    meta += "}}";
+    return meta;
+  }
+
   bool enabled_ = false;
   bool flushed_ = false;
   std::vector<std::string> rows_;

@@ -14,15 +14,92 @@
 #include <cstdio>
 #include <cstdlib>
 #include <atomic>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/campaign_jobs.h"
+#include "obs/json.h"
 #include "rl/campaign.h"
 
 using namespace crl;
 
 namespace {
+
+// `--status <dir>`: pretty-print <dir>/campaign_status.json (or the file
+// itself when <dir> is a file path) — the human front-end to the status
+// board rl::CampaignRunner keeps atomically rewritten during a run.
+int printStatus(const std::string& target) {
+  std::string path = target;
+  {
+    std::ifstream probe(path + "/campaign_status.json");
+    if (probe.good()) path += "/campaign_status.json";
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  obs::json::Value doc;
+  std::string err;
+  if (!obs::json::parse(buf.str(), doc, &err)) {
+    std::fprintf(stderr, "error: %s: malformed status JSON (%s)\n", path.c_str(),
+                 err.c_str());
+    return 2;
+  }
+  const std::string schema = doc.string("schema");
+  if (schema != "crl.campaign_status/v1") {
+    std::fprintf(stderr, "error: %s: unexpected schema '%s'\n", path.c_str(),
+                 schema.c_str());
+    return 2;
+  }
+
+  const double elapsed = doc.number("elapsed_seconds");
+  std::printf("campaign status  (%s)\n", path.c_str());
+  std::printf("  elapsed %.1fs   workers %d   pending %d  running %d  done %d"
+              "  skipped %d  failed %d\n",
+              elapsed, static_cast<int>(doc.number("workers")),
+              static_cast<int>(doc.number("jobs_pending")),
+              static_cast<int>(doc.number("jobs_running")),
+              static_cast<int>(doc.number("jobs_done")),
+              static_cast<int>(doc.number("jobs_skipped")),
+              static_cast<int>(doc.number("jobs_failed")));
+  const double epDone = doc.number("episodes_done");
+  const double epTotal = doc.number("episodes_total");
+  const obs::json::Value* eta = doc.find("eta_seconds");
+  if (eta && eta->isNumber())
+    std::printf("  episodes %.0f/%.0f   eta %.1fs\n", epDone, epTotal,
+                eta->asNumber());
+  else
+    std::printf("  episodes %.0f/%.0f   eta n/a\n", epDone, epTotal);
+
+  const obs::json::Value* jobs = doc.find("jobs");
+  if (jobs && jobs->isArray()) {
+    std::printf("  %-40s %-8s %12s %12s %10s %10s\n", "job", "state",
+                "episodes", "ema_reward", "ckpt_age", "beat_age");
+    for (const obs::json::Value& j : jobs->array()) {
+      const obs::json::Value* ckpt = j.find("checkpoint_age_seconds");
+      const obs::json::Value* beat = j.find("heartbeat_age_seconds");
+      char ckptBuf[32] = "-", beatBuf[32] = "-";
+      if (ckpt && ckpt->isNumber())
+        std::snprintf(ckptBuf, sizeof ckptBuf, "%.1fs", ckpt->asNumber());
+      if (beat && beat->isNumber())
+        std::snprintf(beatBuf, sizeof beatBuf, "%.1fs", beat->asNumber());
+      std::printf("  %-40s %-8s %7.0f/%-4.0f %12.3f %10s %10s\n",
+                  j.string("name").c_str(), j.string("state").c_str(),
+                  j.number("episodes_done"), j.number("episodes_total"),
+                  j.number("ema_reward"), ckptBuf, beatBuf);
+      const std::string jobErr = j.string("error");
+      if (!jobErr.empty())
+        std::printf("  %-40s   error: %s\n", "", jobErr.c_str());
+    }
+  }
+  return 0;
+}
 
 std::vector<std::string> splitCsv(const std::string& s) {
   std::vector<std::string> out;
@@ -76,7 +153,8 @@ core::PolicyKind parseKind(const std::string& name) {
       "  --workers N               shared-pool workers (default: 1)\n"
       "  --checkpoint-every N      episodes between checkpoints (default: 50)\n"
       "  --no-resume               ignore existing done markers and checkpoints\n"
-      "  --crash-after-checkpoints N  _Exit(42) after the Nth checkpoint (testing)\n");
+      "  --crash-after-checkpoints N  _Exit(42) after the Nth checkpoint (testing)\n"
+      "  --status DIR              pretty-print DIR/campaign_status.json and exit\n");
   std::exit(2);
 }
 
@@ -95,7 +173,8 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage();
       return argv[++i];
     };
-    if (arg == "--out") cfg.outDir = value();
+    if (arg == "--status") return printStatus(value());
+    else if (arg == "--out") cfg.outDir = value();
     else if (arg == "--circuits") {
       axes.circuits.clear();
       for (const auto& c : splitCsv(value())) axes.circuits.push_back(parseCircuit(c));

@@ -1,10 +1,17 @@
 #include "core/deploy.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace crl::core {
 
 DeploymentResult runDeployment(rl::Env& env, const rl::ActorCritic& policy,
                                const std::vector<double>& target, util::Rng& rng,
                                DeployOptions opt) {
+  static auto& queries = obs::counter("core.deploy.queries");
+  static auto& latency = obs::histogram("core.deploy.query_seconds");
+  queries.add();
+  obs::ScopedTimer timer(latency);
   DeploymentResult result;
   rl::Observation obs = env.resetWithTarget(target, rng);
   if (opt.recordTrajectory) result.specTrajectory.push_back(env.rawSpecs());
@@ -30,6 +37,12 @@ DeploymentResult runDeployment(rl::Env& env, const rl::ActorCritic& policy,
 std::vector<DeploymentResult> runDeploymentBatch(
     rl::VecEnv& envs, const rl::ActorCritic& policy,
     const std::vector<std::vector<double>>& targets, DeployOptions opt) {
+  obs::TraceSpan span("core.deploy.batch", "core");
+  static auto& queries = obs::counter("core.deploy.queries");
+  static auto& latency = obs::histogram("core.deploy.query_seconds");
+  // Per-query latency = lane reset to retire (wave scheduling means a query
+  // can wait on its wave-mates; that wait is real serving latency).
+  const bool measure = obs::metricsEnabled();
   std::vector<DeploymentResult> results(targets.size());
   const std::size_t lanes = envs.size();
 
@@ -41,7 +54,9 @@ std::vector<DeploymentResult> runDeploymentBatch(
 
     std::vector<rl::Observation> obs(laneTarget.size());
     std::vector<char> active(laneTarget.size(), 1);
+    std::vector<std::int64_t> laneStartNs(laneTarget.size(), 0);
     for (std::size_t k = 0; k < laneTarget.size(); ++k) {
+      if (measure) laneStartNs[k] = obs::monotonicNowNs();
       obs[k] = envs.resetLaneWithTarget(k, targets[laneTarget[k]]);
       if (opt.recordTrajectory)
         results[laneTarget[k]].specTrajectory.push_back(envs.lane(k).rawSpecs());
@@ -87,6 +102,11 @@ std::vector<DeploymentResult> runDeploymentBatch(
           r.finalSpecs = envs.lane(k).rawSpecs();
           active[k] = 0;
           --remaining;
+          queries.add();
+          if (measure)
+            latency.observe(
+                static_cast<double>(obs::monotonicNowNs() - laneStartNs[k]) /
+                1e9);
         }
       }
     }

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace crl::linalg {
 
 std::size_t sparseThreshold() {
@@ -15,15 +17,24 @@ std::size_t sparseThreshold() {
 }
 
 SolverKind chooseSolverKind(std::size_t unknowns, SolverChoice choice) {
-  switch (choice) {
-    case SolverChoice::ForceDense:
-      return SolverKind::Dense;
-    case SolverChoice::ForceSparse:
-      return SolverKind::Sparse;
-    case SolverChoice::Auto:
-      break;
-  }
-  return unknowns >= sparseThreshold() ? SolverKind::Sparse : SolverKind::Dense;
+  const auto chosen = [&] {
+    switch (choice) {
+      case SolverChoice::ForceDense:
+        return SolverKind::Dense;
+      case SolverChoice::ForceSparse:
+        return SolverKind::Sparse;
+      case SolverChoice::Auto:
+        break;
+    }
+    return unknowns >= sparseThreshold() ? SolverKind::Sparse
+                                         : SolverKind::Dense;
+  }();
+  // One choice per analysis construction — the dense/sparse split over a
+  // run is the first thing to look at when solve timings move.
+  static auto& dense = obs::counter("linalg.solver.dense_selected");
+  static auto& sparse = obs::counter("linalg.solver.sparse_selected");
+  (chosen == SolverKind::Dense ? dense : sparse).add();
+  return chosen;
 }
 
 }  // namespace crl::linalg

@@ -6,6 +6,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace crl::linalg {
 
 namespace {
@@ -91,6 +93,25 @@ std::vector<std::size_t> minDegreeOrder(std::size_t n,
   return order;
 }
 
+// All sparse-LU instruments registered as one block: the first touch of
+// ANY entry point registers every counter, so later first-uses of the
+// other paths (e.g. the first refactor() after a factor() warmup) stay
+// allocation-free — the refactor hot loop promises zero allocations.
+struct SparseLuMetrics {
+  obs::Counter& analyses = obs::counter("linalg.sparse_lu.symbolic_analyses");
+  obs::Gauge& fillNnz = obs::gauge("linalg.sparse_lu.fill_nnz");
+  obs::Gauge& fillRatio = obs::gauge("linalg.sparse_lu.fill_ratio");
+  obs::Counter& collapses = obs::counter("linalg.sparse_lu.pivot_collapses");
+  obs::Counter& factors = obs::counter("linalg.sparse_lu.factors");
+  obs::Counter& reused = obs::counter("linalg.sparse_lu.refactors_reused");
+  obs::Counter& solves = obs::counter("linalg.sparse_lu.solves");
+
+  static SparseLuMetrics& get() {
+    static SparseLuMetrics m;
+    return m;
+  }
+};
+
 }  // namespace
 
 template <typename T>
@@ -100,6 +121,7 @@ bool SparseLu<T>::patternMatches(const SparseAssembly<T>& a) const {
 
 template <typename T>
 void SparseLu<T>::analyze(const SparseAssembly<T>& a) {
+  SparseLuMetrics::get().analyses.add();
   analyzed_ = false;
   factored_ = false;
   n_ = a.order();
@@ -200,6 +222,12 @@ void SparseLu<T>::analyze(const SparseAssembly<T>& a) {
   work_.resize(n_);
   perm_.resize(n_);
   analyzed_ = true;
+  // Fill-in from the last analysis: factor slots vs stamped entries.
+  SparseLuMetrics& m = SparseLuMetrics::get();
+  m.fillNnz.set(static_cast<double>(luCol_.size()));
+  m.fillRatio.set(nnz_ > 0 ? static_cast<double>(luCol_.size()) /
+                                 static_cast<double>(nnz_)
+                           : 1.0);
 }
 
 template <typename T>
@@ -224,14 +252,17 @@ void SparseLu<T>::numericFactor(const SparseAssembly<T>& a) {
     }
     for (std::size_t p = luPtr_[i]; p < luPtr_[i + 1]; ++p)
       luVal_[p] = work_[luCol_[p]];
-    if (magnitude(luVal_[diagPos_[i]]) < 1e-300)
+    if (magnitude(luVal_[diagPos_[i]]) < 1e-300) {
+      SparseLuMetrics::get().collapses.add();
       throw std::runtime_error("SparseLu: singular matrix");
+    }
   }
   factored_ = true;
 }
 
 template <typename T>
 void SparseLu<T>::factor(const SparseAssembly<T>& a) {
+  SparseLuMetrics::get().factors.add();
   analyze(a);
   patternReused_ = false;
   numericFactor(a);
@@ -243,12 +274,14 @@ void SparseLu<T>::refactor(const SparseAssembly<T>& a) {
     factor(a);
     return;
   }
+  SparseLuMetrics::get().reused.add();
   patternReused_ = true;
   numericFactor(a);
 }
 
 template <typename T>
 void SparseLu<T>::solveInto(const std::vector<T>& b, std::vector<T>& x) const {
+  SparseLuMetrics::get().solves.add();
   if (!factored_) throw std::logic_error("SparseLu::solve: not factored");
   if (b.size() != n_) throw std::invalid_argument("SparseLu::solve: dim mismatch");
   // Permute the RHS, forward-substitute with unit L, back-substitute with U,

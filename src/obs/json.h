@@ -1,0 +1,116 @@
+#pragma once
+// Minimal zero-dependency JSON support for the telemetry subsystem: a
+// recursive-descent parser producing a Value tree, and the string-escaping
+// helper every obs writer uses. This exists so the CLI, the tests, and CI
+// can consume the JSON the subsystem emits (campaign_status.json, registry
+// snapshots, trace files) without an external library.
+//
+// Scope is deliberately small: UTF-8 passes through untouched, numbers are
+// doubles, objects preserve insertion order, duplicate keys keep the first.
+// It is a validator/reader for our own output, not a general JSON toolkit.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace crl::obs::json {
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::Null; }
+  bool isBool() const { return kind_ == Kind::Bool; }
+  bool isNumber() const { return kind_ == Kind::Number; }
+  bool isString() const { return kind_ == Kind::String; }
+  bool isArray() const { return kind_ == Kind::Array; }
+  bool isObject() const { return kind_ == Kind::Object; }
+
+  bool asBool(bool fallback = false) const {
+    return isBool() ? bool_ : fallback;
+  }
+  double asNumber(double fallback = 0.0) const {
+    return isNumber() ? number_ : fallback;
+  }
+  const std::string& asString() const { return string_; }
+
+  const std::vector<Value>& array() const { return array_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (kind_ != Kind::Object) return nullptr;
+    for (const auto& [k, v] : members_)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  /// Convenience: find(key) asNumber with fallback.
+  double number(const std::string& key, double fallback = 0.0) const {
+    const Value* v = find(key);
+    return v ? v->asNumber(fallback) : fallback;
+  }
+  /// Convenience: find(key) asString with fallback.
+  std::string string(const std::string& key, const std::string& fallback = {}) const {
+    const Value* v = find(key);
+    return v && v->isString() ? v->asString() : fallback;
+  }
+
+  static Value makeNull() { return Value(); }
+  static Value makeBool(bool b) {
+    Value v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+  }
+  static Value makeNumber(double d) {
+    Value v;
+    v.kind_ = Kind::Number;
+    v.number_ = d;
+    return v;
+  }
+  static Value makeString(std::string s) {
+    Value v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static Value makeArray(std::vector<Value> items) {
+    Value v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::move(items);
+    return v;
+  }
+  static Value makeObject(std::vector<std::pair<std::string, Value>> members) {
+    Value v;
+    v.kind_ = Kind::Object;
+    v.members_ = std::move(members);
+    return v;
+  }
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parse a complete JSON document (one value plus surrounding whitespace).
+/// Returns false on malformed input, describing the defect and its byte
+/// offset in `error` when non-null; `out` is untouched on failure.
+bool parse(const std::string& text, Value& out, std::string* error = nullptr);
+
+/// Escape a string for embedding between JSON double quotes (quotes,
+/// backslashes, control characters; everything else passes through).
+std::string escape(const std::string& s);
+
+/// Shortest %.17g-style double formatting that round-trips, with the JSON
+/// restriction that NaN/Inf (illegal in JSON) render as null.
+std::string number(double v);
+
+}  // namespace crl::obs::json

@@ -1,0 +1,232 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace crl::obs {
+
+namespace {
+
+std::atomic<bool> g_metricsEnabled{true};
+
+// Per-thread shard index: round-robin assignment keeps concurrent pool
+// workers on distinct cache lines regardless of thread-id hashing.
+int threadShard() {
+  static std::atomic<unsigned> next{0};
+  thread_local const int shard =
+      static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<unsigned>(Counter::kShards));
+  return shard;
+}
+
+void atomicAddDouble(std::atomic<std::uint64_t>& bits, double delta) {
+  std::uint64_t old = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = std::bit_cast<double>(old) + delta;
+    if (bits.compare_exchange_weak(old, std::bit_cast<std::uint64_t>(next),
+                                   std::memory_order_relaxed))
+      return;
+  }
+}
+
+}  // namespace
+
+bool metricsEnabled() { return g_metricsEnabled.load(std::memory_order_relaxed); }
+void setMetricsEnabled(bool on) {
+  g_metricsEnabled.store(on, std::memory_order_relaxed);
+}
+
+void Counter::add(std::uint64_t n) noexcept {
+  if (!metricsEnabled()) return;
+  shards_[threadShard()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::reset() noexcept {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+void Gauge::set(double v) noexcept {
+  if (!metricsEnabled()) return;
+  bits_.store(std::bit_cast<std::uint64_t>(v), std::memory_order_relaxed);
+}
+
+double Gauge::value() const noexcept {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+void Gauge::reset() noexcept { bits_.store(0, std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), cells_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) noexcept {
+  if (!metricsEnabled()) return;
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  cells_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomicAddDouble(sumBits_, v);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return std::bit_cast<double>(sumBits_.load(std::memory_order_relaxed));
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    out[i] = cells_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> b = buckets();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : b) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[i] == 0) continue;
+    const double before = cumulative;
+    cumulative += static_cast<double>(b[i]);
+    if (cumulative < rank) continue;
+    // Overflow bucket has no upper edge; report the last finite bound.
+    if (i >= bounds_.size())
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double frac = (rank - before) / static_cast<double>(b[i]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sumBits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> exponentialBounds(double start, double factor, int count) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(std::max(count, 0)));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(v);
+    v *= factor;
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives atexit flushers
+  return *r;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(m_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    if (bounds.empty()) bounds = exponentialBounds(1e-6, 2.0, 24);
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot;
+}
+
+std::string Registry::snapshotJson() const {
+  std::lock_guard<std::mutex> lock(m_);
+  std::ostringstream os;
+  os << "{\"schema\":\"crl.metrics/v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json::escape(name) << "\":" << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json::escape(name) << "\":" << json::number(g->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json::escape(name) << "\":{\"count\":" << h->count()
+       << ",\"sum\":" << json::number(h->sum()) << ",\"bounds\":[";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      if (i) os << ",";
+      os << json::number(bounds[i]);
+    }
+    os << "],\"buckets\":[";
+    const auto buckets = h->buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      if (i) os << ",";
+      os << buckets[i];
+    }
+    os << "],\"p50\":" << json::number(h->quantile(0.50))
+       << ",\"p90\":" << json::number(h->quantile(0.90))
+       << ",\"p99\":" << json::number(h->quantile(0.99)) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void Registry::resetAll() {
+  std::lock_guard<std::mutex> lock(m_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::int64_t monotonicNowNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Counter& counter(const std::string& name) {
+  return Registry::global().counter(name);
+}
+Gauge& gauge(const std::string& name) { return Registry::global().gauge(name); }
+Histogram& histogram(const std::string& name, std::vector<double> bounds) {
+  return Registry::global().histogram(name, std::move(bounds));
+}
+
+}  // namespace crl::obs

@@ -1,0 +1,155 @@
+#pragma once
+// Thread-safe metrics registry: counters, gauges, and fixed-bucket
+// histograms with lock-free hot paths. Counters shard their cells across
+// cache lines so concurrent workers never contend; gauges and histogram
+// cells are single relaxed atomics. The registry aggregates shards only on
+// scrape (snapshotJson), so instrumentation sites pay one relaxed RMW.
+//
+// All instruments are observation-only by construction: they never draw
+// randomness, allocate on the hot path, or touch the numerical state of
+// the code they watch, so parity/golden contracts are unaffected.
+//
+// Usage at an instrumentation site (handle lookup is amortized away):
+//   static auto& iters = obs::counter("spice.dc.newton_iters");
+//   iters.add(result.iterations);
+//
+// A process-wide kill switch (setMetricsEnabled) turns every add/set/
+// observe into a relaxed load + branch; the overhead bench uses it to A/B
+// instrumented-vs-uninstrumented hot paths inside one binary.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace crl::obs {
+
+/// Process-wide metrics kill switch (default on). Relaxed-atomic read on
+/// every instrument operation; flipping it mid-run is safe.
+bool metricsEnabled();
+void setMetricsEnabled(bool on);
+
+/// Monotonic counter. add() hits one of kShards cache-line-padded cells
+/// chosen by a per-thread index, so concurrent increments from pool
+/// workers never share a line; value() sums the shards.
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void add(std::uint64_t n = 1) noexcept;
+  std::uint64_t value() const noexcept;
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// Last-write-wins double gauge (bit-cast through one atomic word).
+class Gauge {
+ public:
+  void set(double v) noexcept;
+  double value() const noexcept;
+  void reset() noexcept;  // unconditional zero, ignores the kill switch
+
+ private:
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram over ascending upper bounds: bucket i counts
+/// observations v <= bounds[i]; one extra overflow bucket catches the
+/// rest. observe() is two relaxed RMWs (bucket cell + CAS'd sum) after a
+/// branch-free-ish linear scan over the (small, fixed) bounds array.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket counts, length bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> buckets() const;
+  /// Linearly interpolated quantile estimate from the bucket counts
+  /// (q in [0,1]); 0 when empty. Overflow mass reports the last bound.
+  double quantile(double q) const;
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> cells_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sumBits_{0};
+};
+
+/// `count` ascending bounds starting at `start`, each `factor` apart —
+/// the usual latency-bucket ladder (e.g. exponentialBounds(1e-6, 2, 24)).
+std::vector<double> exponentialBounds(double start, double factor, int count);
+
+/// Named instrument registry. Instruments are created on first lookup and
+/// have stable addresses for the life of the process; lookups take a
+/// mutex, so call sites cache the reference (function-local static).
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First lookup fixes the bounds; later lookups ignore `bounds` and
+  /// return the existing instrument. Empty bounds = default latency
+  /// ladder (1us..~8s, x2).
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  /// One JSON object ({"schema":"crl.metrics/v1","counters":{...},
+  /// "gauges":{...},"histograms":{...}}), names sorted for determinism.
+  /// Histograms carry count/sum/bounds/buckets plus p50/p90/p99.
+  std::string snapshotJson() const;
+
+  /// Zero every instrument (tests and the overhead bench); instruments
+  /// themselves stay registered so cached references remain valid.
+  void resetAll();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+ private:
+  mutable std::mutex m_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Conveniences over Registry::global() — what instrumentation sites use.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+/// Monotonic clock in nanoseconds (same timebase the tracer uses).
+std::int64_t monotonicNowNs() noexcept;
+
+/// RAII stopwatch: observes elapsed seconds into a histogram at scope
+/// exit. Reads the clock only when metrics are enabled at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) noexcept
+      : hist_(hist), startNs_(metricsEnabled() ? monotonicNowNs() : -1) {}
+  ~ScopedTimer() {
+    if (startNs_ >= 0)
+      hist_.observe(static_cast<double>(monotonicNowNs() - startNs_) / 1e9);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& hist_;
+  std::int64_t startNs_;
+};
+
+}  // namespace crl::obs

@@ -1,0 +1,189 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace crl::obs {
+
+namespace {
+
+struct Event {
+  const char* name;
+  const char* cat;
+  std::int64_t startNs;
+  std::int64_t endNs;
+  int tid;
+};
+
+// Per-thread event buffer: record() takes only this (uncontended) mutex,
+// so tracing never serializes pool workers against each other.
+struct ThreadBuf {
+  static constexpr std::size_t kCap = 1u << 20;
+  std::mutex m;
+  std::vector<Event> events;
+  std::uint64_t dropped = 0;
+  int tid = 0;
+};
+
+struct SinkState {
+  std::atomic<bool> enabled{false};
+  std::mutex m;  // guards everything below
+  std::string path;
+  std::int64_t epochNs = 0;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  int nextTid = 1;
+  std::uint64_t droppedTotal = 0;
+};
+
+SinkState& state() {
+  static SinkState* s = new SinkState();  // leaked: used from atexit
+  return *s;
+}
+
+ThreadBuf& threadBuf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    SinkState& s = state();
+    std::lock_guard<std::mutex> lock(s.m);
+    b->tid = s.nextTid++;
+    s.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+struct EnvTraceInit {
+  EnvTraceInit() {
+    if (const char* p = std::getenv("CRL_TRACE"); p && *p)
+      TraceSink::global().start(p);
+  }
+};
+EnvTraceInit g_envTraceInit;
+
+}  // namespace
+
+TraceSink& TraceSink::global() {
+  static TraceSink sink;
+  return sink;
+}
+
+std::int64_t TraceSink::nowNs() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool TraceSink::enabled() const noexcept {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceSink::dropped() const noexcept {
+  SinkState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  std::uint64_t total = s.droppedTotal;
+  for (const auto& b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->m);
+    total += b->dropped;
+  }
+  return total;
+}
+
+bool TraceSink::start(const std::string& path) {
+  SinkState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  if (s.enabled.load(std::memory_order_relaxed)) return false;
+  s.path = path;
+  s.epochNs = nowNs();
+  s.droppedTotal = 0;
+  for (const auto& b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->m);
+    b->events.clear();
+    b->dropped = 0;
+  }
+  // Flush whatever is buffered if the process exits without stop() —
+  // the CRL_TRACE env path relies on this.
+  static bool atexitRegistered = [] {
+    std::atexit([] { TraceSink::global().stop(); });
+    return true;
+  }();
+  (void)atexitRegistered;
+  s.enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void TraceSink::record(const char* name, const char* cat, std::int64_t startNs,
+                       std::int64_t endNs) noexcept {
+  if (!enabled()) return;
+  ThreadBuf& buf = threadBuf();
+  std::lock_guard<std::mutex> lock(buf.m);
+  if (buf.events.size() >= ThreadBuf::kCap) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(Event{name, cat, startNs, endNs, buf.tid});
+}
+
+void TraceSink::stop() {
+  SinkState& s = state();
+  std::lock_guard<std::mutex> lock(s.m);
+  if (!s.enabled.load(std::memory_order_relaxed)) return;
+  // Disable first so in-flight spans stop appending while we drain.
+  s.enabled.store(false, std::memory_order_relaxed);
+
+  std::vector<Event> all;
+  std::uint64_t dropped = s.droppedTotal;
+  for (const auto& b : s.bufs) {
+    std::lock_guard<std::mutex> bl(b->m);
+    all.insert(all.end(), b->events.begin(), b->events.end());
+    dropped += b->dropped;
+    b->events.clear();
+    b->dropped = 0;
+  }
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    return a.startNs < b.startNs;
+  });
+
+  std::ofstream out(s.path, std::ios::trunc);
+  if (!out) return;
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedEvents\":"
+      << dropped << "},\"traceEvents\":[";
+  bool first = true;
+  for (const Event& e : all) {
+    if (!first) out << ",";
+    first = false;
+    const double tsUs = static_cast<double>(e.startNs - s.epochNs) / 1e3;
+    const double durUs = static_cast<double>(e.endNs - e.startNs) / 1e3;
+    out << "{\"name\":\"" << json::escape(e.name) << "\",\"cat\":\""
+        << json::escape(e.cat) << "\",\"ph\":\"X\",\"ts\":" << json::number(tsUs)
+        << ",\"dur\":" << json::number(durUs) << ",\"pid\":1,\"tid\":" << e.tid
+        << "}";
+  }
+  out << "]}\n";
+}
+
+#ifndef CRL_OBS_NO_TRACE
+
+TraceSpan::TraceSpan(const char* name, const char* cat) noexcept
+    : name_(name),
+      cat_(cat),
+      startNs_(0),
+      active_(TraceSink::global().enabled()) {
+  if (active_) startNs_ = TraceSink::nowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (active_)
+    TraceSink::global().record(name_, cat_, startNs_, TraceSink::nowNs());
+}
+
+#endif  // CRL_OBS_NO_TRACE
+
+}  // namespace crl::obs

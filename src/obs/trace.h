@@ -1,0 +1,81 @@
+#pragma once
+// Scoped tracing emitting Chrome / Perfetto trace-event JSON. A TraceSpan
+// is an RAII stopwatch: when tracing is enabled its destructor records one
+// complete ("ph":"X") event into a per-thread buffer owned by the global
+// TraceSink; when disabled the constructor is a single relaxed atomic load
+// and nothing else happens — no clock read, no allocation — so golden and
+// parity results are untouched by spans left in the code.
+//
+// Enable either programmatically (TraceSink::global().start("trace.json"))
+// or by exporting CRL_TRACE=trace.json before launch; the file is written
+// on stop(), which the env path registers via atexit. Open the result at
+// https://ui.perfetto.dev or chrome://tracing.
+//
+// Span name/category must be string literals (or otherwise outlive the
+// sink) — events store the pointers, not copies.
+//
+// Compile-time opt-out: defining CRL_OBS_NO_TRACE turns TraceSpan into an
+// empty struct for builds that must not even carry the atomic load.
+
+#include <cstdint>
+#include <string>
+
+namespace crl::obs {
+
+class TraceSink {
+ public:
+  static TraceSink& global();
+
+  /// Begin buffering events; `path` is where stop() writes the JSON.
+  /// Returns false (and stays untouched) if tracing is already active.
+  bool start(const std::string& path);
+
+  /// Flush all per-thread buffers to the path given to start(), sorted by
+  /// timestamp, and disable tracing. No-op when not started.
+  void stop();
+
+  bool enabled() const noexcept;
+
+  /// Record one complete event (timestamps from TraceSink::nowNs()).
+  /// Called by ~TraceSpan; callable directly for non-scoped events.
+  void record(const char* name, const char* cat, std::int64_t startNs,
+              std::int64_t endNs) noexcept;
+
+  /// Monotonic clock used for span timestamps, in nanoseconds.
+  static std::int64_t nowNs() noexcept;
+
+  /// Events dropped because a thread buffer hit its cap (diagnostic;
+  /// also written into the trace file header).
+  std::uint64_t dropped() const noexcept;
+
+ private:
+  TraceSink() = default;
+};
+
+#ifndef CRL_OBS_NO_TRACE
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "crl") noexcept;
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::int64_t startNs_;
+  bool active_;
+};
+
+#else
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*, const char* = "crl") noexcept {}
+};
+
+#endif  // CRL_OBS_NO_TRACE
+
+}  // namespace crl::obs

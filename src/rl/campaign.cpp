@@ -1,15 +1,21 @@
 #include "rl/campaign.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <future>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/csv.h"
 #include "util/stats.h"
-#include "util/thread_pool.h"
 
 namespace crl::rl {
 
@@ -147,9 +153,152 @@ bool parseDoneMarker(const std::string& text, CampaignJobResult& r) {
   return fields == 5;
 }
 
+double statusCadenceSeconds(double configured) {
+  if (const char* v = std::getenv("CRL_METRICS_EVERY"); v && *v) {
+    char* end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    if (end != v && parsed >= 0.0) return parsed;
+  }
+  return configured;
+}
+
 }  // namespace
 
+// Live campaign introspection: one mutex-guarded table of per-job states,
+// atomically rewritten (temp + fsync + rename, via nn::atomicWriteFile) to
+// the status JSON so a reader never sees a torn file. Job state transitions
+// force a write; per-episode heartbeats are throttled to the configured
+// cadence. Everything here is observational — the training path never reads
+// the board.
+struct CampaignRunner::StatusBoard {
+  struct JobStatus {
+    std::string name;
+    const char* state = "pending";  // pending|running|done|skipped|failed
+    int episodesDone = 0;
+    int episodesTotal = 0;
+    double emaReward = 0.0;
+    std::int64_t lastCheckpointNs = -1;
+    std::int64_t lastHeartbeatNs = -1;
+    std::string error;
+  };
+
+  std::mutex m;
+  std::string path;
+  double everySeconds = 2.0;
+  std::size_t workers = 0;
+  std::int64_t startNs = 0;
+  std::int64_t lastWriteNs = -1;
+  std::vector<JobStatus> jobs;
+
+  StatusBoard(const CampaignConfig& cfg, const std::vector<CampaignJob>& campaignJobs) {
+    path = cfg.statusFile.empty() ? cfg.outDir + "/campaign_status.json"
+                                  : cfg.statusFile;
+    everySeconds = statusCadenceSeconds(cfg.statusEverySeconds);
+    workers = cfg.workers;
+    startNs = obs::monotonicNowNs();
+    jobs.reserve(campaignJobs.size());
+    for (const auto& j : campaignJobs) {
+      JobStatus s;
+      s.name = j.name;
+      s.episodesTotal = j.episodes;
+      jobs.push_back(std::move(s));
+    }
+  }
+
+  /// Apply `mutate` to one job's row, then rewrite the file — immediately
+  /// for state transitions (force), throttled for heartbeats.
+  template <typename F>
+  void update(std::size_t idx, bool force, F&& mutate) {
+    std::lock_guard<std::mutex> lock(m);
+    mutate(jobs[idx]);
+    jobs[idx].lastHeartbeatNs = obs::monotonicNowNs();
+    writeLocked(force);
+  }
+
+  void writeNow() {
+    std::lock_guard<std::mutex> lock(m);
+    writeLocked(true);
+  }
+
+  void writeLocked(bool force) {
+    const std::int64_t now = obs::monotonicNowNs();
+    if (!force && lastWriteNs >= 0 &&
+        static_cast<double>(now - lastWriteNs) / 1e9 < everySeconds)
+      return;
+    lastWriteNs = now;
+    nn::atomicWriteFile(path, renderLocked(now));
+  }
+
+  std::string renderLocked(std::int64_t now) const {
+    int pending = 0, running = 0, done = 0, skipped = 0, failed = 0;
+    std::int64_t episodesDone = 0, episodesTotal = 0;
+    for (const JobStatus& j : jobs) {
+      if (std::string_view(j.state) == "pending") ++pending;
+      else if (std::string_view(j.state) == "running") ++running;
+      else if (std::string_view(j.state) == "done") ++done;
+      else if (std::string_view(j.state) == "skipped") ++skipped;
+      else ++failed;
+      episodesDone += j.episodesDone;
+      episodesTotal += j.episodesTotal;
+    }
+    const double elapsed = static_cast<double>(now - startNs) / 1e9;
+    // Wall-clock ETA from the campaign-wide episode rate; null until the
+    // first episodes land (no rate to extrapolate from).
+    const bool haveRate = episodesDone > 0 && elapsed > 0.0;
+    const double eta =
+        haveRate ? static_cast<double>(episodesTotal - episodesDone) *
+                       (elapsed / static_cast<double>(episodesDone))
+                 : 0.0;
+    const auto wallMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::system_clock::now().time_since_epoch())
+                            .count();
+
+    std::ostringstream os;
+    os << "{\"schema\":\"crl.campaign_status/v1\""
+       << ",\"updated_unix_ms\":" << wallMs
+       << ",\"elapsed_seconds\":" << obs::json::number(elapsed)
+       << ",\"workers\":" << workers
+       << ",\"jobs_pending\":" << pending
+       << ",\"jobs_running\":" << running
+       << ",\"jobs_done\":" << done
+       << ",\"jobs_skipped\":" << skipped
+       << ",\"jobs_failed\":" << failed
+       << ",\"episodes_done\":" << episodesDone
+       << ",\"episodes_total\":" << episodesTotal
+       << ",\"eta_seconds\":";
+    if (haveRate) os << obs::json::number(eta);
+    else os << "null";
+    os << ",\"jobs\":[";
+    bool first = true;
+    for (const JobStatus& j : jobs) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"name\":\"" << obs::json::escape(j.name) << "\",\"state\":\""
+         << j.state << "\",\"episodes_done\":" << j.episodesDone
+         << ",\"episodes_total\":" << j.episodesTotal
+         << ",\"ema_reward\":" << obs::json::number(j.emaReward)
+         << ",\"checkpoint_age_seconds\":";
+      if (j.lastCheckpointNs >= 0)
+        os << obs::json::number(static_cast<double>(now - j.lastCheckpointNs) / 1e9);
+      else
+        os << "null";
+      os << ",\"heartbeat_age_seconds\":";
+      if (j.lastHeartbeatNs >= 0)
+        os << obs::json::number(static_cast<double>(now - j.lastHeartbeatNs) / 1e9);
+      else
+        os << "null";
+      if (!j.error.empty())
+        os << ",\"error\":\"" << obs::json::escape(j.error) << "\"";
+      os << "}";
+    }
+    os << "]}";
+    return os.str();
+  }
+};
+
 CampaignRunner::CampaignRunner(CampaignConfig cfg) : cfg_(std::move(cfg)) {}
+
+CampaignRunner::~CampaignRunner() = default;
 
 void CampaignRunner::addJob(CampaignJob job) {
   if (job.name.empty()) throw std::invalid_argument("CampaignJob: empty name");
@@ -164,25 +313,41 @@ void CampaignRunner::addJob(CampaignJob job) {
 }
 
 std::vector<CampaignJobResult> CampaignRunner::run() {
+  obs::TraceSpan span("rl.campaign.run", "rl");
   fs::create_directories(cfg_.outDir);
+  poolStats_ = util::ThreadPool::Stats{};
+  if (cfg_.writeStatus) {
+    status_ = std::make_unique<StatusBoard>(cfg_, jobs_);
+    status_->writeNow();  // all-pending snapshot: the file exists immediately
+  }
   std::vector<CampaignJobResult> results(jobs_.size());
   if (cfg_.workers < 2 || jobs_.size() < 2) {
-    for (std::size_t i = 0; i < jobs_.size(); ++i) results[i] = runJob(jobs_[i]);
+    for (std::size_t i = 0; i < jobs_.size(); ++i) results[i] = runJob(i);
+    if (status_) status_->writeNow();
     return results;
   }
   // One shared pool for the whole campaign. Jobs are the stealable unit:
   // a worker that finishes a short job pulls the next queued one, so a mix
   // of cheap and expensive jobs keeps every worker busy to the end.
-  util::ThreadPool pool(std::min(cfg_.workers, jobs_.size()));
-  std::vector<std::future<void>> futs;
-  futs.reserve(jobs_.size());
-  for (std::size_t i = 0; i < jobs_.size(); ++i)
-    futs.push_back(pool.submit([this, i, &results]() { results[i] = runJob(jobs_[i]); }));
-  for (auto& f : futs) f.get();  // runJob captures job errors; this rethrows only harness bugs
+  {
+    util::ThreadPool pool(std::min(cfg_.workers, jobs_.size()));
+    std::vector<std::future<void>> futs;
+    futs.reserve(jobs_.size());
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+      futs.push_back(pool.submit([this, i, &results]() { results[i] = runJob(i); }));
+    for (auto& f : futs) f.get();  // runJob captures job errors; this rethrows only harness bugs
+    poolStats_ = pool.stats();
+  }
+  if (status_) status_->writeNow();
   return results;
 }
 
-CampaignJobResult CampaignRunner::runJob(const CampaignJob& job) {
+CampaignJobResult CampaignRunner::runJob(std::size_t jobIndex) {
+  const CampaignJob& job = jobs_[jobIndex];
+  obs::TraceSpan jobSpan("rl.campaign.job", "rl");
+  const auto status = [&](bool force, auto&& mutate) {
+    if (status_) status_->update(jobIndex, force, mutate);
+  };
   CampaignJobResult r;
   r.name = job.name;
   r.dir = cfg_.outDir + "/" + job.name;
@@ -190,11 +355,17 @@ CampaignJobResult CampaignRunner::runJob(const CampaignJob& job) {
   const std::string checkpointPath = r.dir + "/checkpoint.bin";
   try {
     fs::create_directories(r.dir);
+    status(true, [](StatusBoard::JobStatus& row) { row.state = "running"; });
 
     if (cfg_.resume && fs::exists(donePath)) {
       std::string text;
       if (nn::readFile(donePath, text) && parseDoneMarker(text, r)) {
         r.skipped = true;
+        status(true, [&](StatusBoard::JobStatus& row) {
+          row.state = "skipped";
+          row.episodesDone = r.episodes;
+          row.emaReward = r.finalMeanReward;
+        });
         return r;
       }
       // A done marker that does not parse is as alarming as a torn
@@ -233,6 +404,10 @@ CampaignJobResult CampaignRunner::runJob(const CampaignJob& job) {
             !ctx->restoreSolverSnapshots(solverBlobs))
           throw std::runtime_error(checkpointPath + ": missing/invalid solver state");
         r.resumed = true;
+        status(true, [&](StatusBoard::JobStatus& row) {
+          row.episodesDone = trainer.episodeCount();
+          row.emaReward = rewardEma.value();
+        });
       }
     }
 
@@ -244,6 +419,11 @@ CampaignJobResult CampaignRunner::runJob(const CampaignJob& job) {
       st.setBlob(kCurveKey, encodeCurve(curve));
       st.setBlob(kSolverKey, encodeSolverBlobs(ctx->solverSnapshots()));
       nn::saveTrainState(checkpointPath, st);
+      status(true, [&](StatusBoard::JobStatus& row) {
+        row.lastCheckpointNs = obs::monotonicNowNs();
+        row.episodesDone = trainer.episodeCount();
+        row.emaReward = rewardEma.value();
+      });
       if (cfg_.onCheckpoint) cfg_.onCheckpoint(job.name, trainer.episodeCount());
     };
 
@@ -265,6 +445,12 @@ CampaignJobResult CampaignRunner::runJob(const CampaignJob& job) {
       } else if (s.episode % std::max(1, job.evalEvery / 10) == 0) {
         curve.push_back(p);
       }
+      // Throttled heartbeat: cheap row mutation every episode, file rewrite
+      // at most once per status cadence.
+      status(false, [&](StatusBoard::JobStatus& row) {
+        row.episodesDone = s.episode;
+        row.emaReward = rewardEma.value();
+      });
     };
 
     while (trainer.episodeCount() < job.episodes) {
@@ -298,9 +484,22 @@ CampaignJobResult CampaignRunner::runJob(const CampaignJob& job) {
     // The done marker is written LAST: its presence certifies every artifact
     // above is complete, which is what makes re-running a campaign safe.
     nn::atomicWriteFile(donePath, formatDoneMarker(r));
+    static auto& jobsDone = obs::counter("rl.campaign.jobs_done");
+    jobsDone.add();
+    status(true, [&](StatusBoard::JobStatus& row) {
+      row.state = "done";
+      row.episodesDone = r.episodes;
+      row.emaReward = r.finalMeanReward;
+    });
   } catch (const std::exception& e) {
     r.failed = true;
     r.error = e.what();
+    static auto& jobsFailed = obs::counter("rl.campaign.jobs_failed");
+    jobsFailed.add();
+    status(true, [&](StatusBoard::JobStatus& row) {
+      row.state = "failed";
+      row.error = r.error;
+    });
   }
   return r;
 }

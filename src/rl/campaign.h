@@ -40,6 +40,7 @@
 #include "nn/serialize.h"
 #include "rl/ppo.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace crl::rl {
 
@@ -102,6 +103,17 @@ struct CampaignConfig {
   /// (from the worker thread running the job). The kill-and-resume suites
   /// crash the process here.
   std::function<void(const std::string& jobName, int episode)> onCheckpoint;
+
+  /// Live campaign introspection: the runner atomically rewrites a status
+  /// JSON (schema crl.campaign_status/v1 — job states, per-job episode
+  /// progress and EMA reward, checkpoint/heartbeat ages, campaign ETA) at
+  /// every job state transition and, throttled, from the episode loop.
+  /// Purely observational — it never feeds back into training.
+  bool writeStatus = true;
+  std::string statusFile;          ///< empty = "<outDir>/campaign_status.json"
+  /// Minimum seconds between throttled status rewrites; the
+  /// CRL_METRICS_EVERY env knob (seconds, floating point) overrides this.
+  double statusEverySeconds = 2.0;
 };
 
 struct CampaignJobResult {
@@ -129,6 +141,7 @@ struct CampaignCurvePoint {
 class CampaignRunner {
  public:
   explicit CampaignRunner(CampaignConfig cfg);
+  ~CampaignRunner();
 
   /// Job names must be unique (they name directories); throws otherwise.
   void addJob(CampaignJob job);
@@ -139,11 +152,19 @@ class CampaignRunner {
 
   const CampaignConfig& config() const { return cfg_; }
 
+  /// Telemetry of the shared pool the last run() used, captured just before
+  /// the pool wound down (workers == 0 when run() executed jobs inline).
+  const util::ThreadPool::Stats& poolStats() const { return poolStats_; }
+
  private:
-  CampaignJobResult runJob(const CampaignJob& job);
+  struct StatusBoard;
+
+  CampaignJobResult runJob(std::size_t jobIndex);
 
   CampaignConfig cfg_;
   std::vector<CampaignJob> jobs_;
+  std::unique_ptr<StatusBoard> status_;
+  util::ThreadPool::Stats poolStats_;
 };
 
 }  // namespace crl::rl

@@ -5,6 +5,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace crl::rl {
@@ -60,6 +62,13 @@ void PpoTrainer::trainChunk(int episodes,
     throw std::logic_error(
         "PpoTrainer::trainChunk: checkpointable chunk training requires the "
         "sequential path (single-lane trainer)");
+  obs::TraceSpan span("rl.ppo.train_chunk", "rl");
+  static auto& envSteps = obs::counter("rl.ppo.env_steps");
+  static auto& episodesDone = obs::counter("rl.ppo.episodes");
+  static auto& throughput = obs::gauge("rl.ppo.train_steps_per_s");
+  const std::int64_t chunkStartNs = obs::monotonicNowNs();
+  std::uint64_t chunkSteps = 0;
+
   std::vector<Transition>& buffer = pendingBuffer_;
   buffer.reserve(static_cast<std::size_t>(cfg_.stepsPerUpdate) + 64);
 
@@ -94,6 +103,9 @@ void PpoTrainer::trainChunk(int episodes,
     }
 
     ++episodeCounter_;
+    episodesDone.add();
+    envSteps.add(static_cast<std::uint64_t>(epLen));
+    chunkSteps += static_cast<std::uint64_t>(epLen);
     if (onEpisode) onEpisode({episodeCounter_, epReward, epLen, epSuccess});
 
     if (static_cast<int>(buffer.size()) >= cfg_.stepsPerUpdate) {
@@ -101,6 +113,11 @@ void PpoTrainer::trainChunk(int episodes,
       buffer.clear();
     }
   }
+
+  const double chunkSeconds =
+      static_cast<double>(obs::monotonicNowNs() - chunkStartNs) / 1e9;
+  if (chunkSeconds > 0.0)
+    throughput.set(static_cast<double>(chunkSteps) / chunkSeconds);
 }
 
 void PpoTrainer::finishTraining() {
@@ -169,6 +186,10 @@ void PpoTrainer::trainVectorized(int episodes,
       ep.steps.push_back(std::move(tr));
 
       if (terminal) {
+        static auto& envSteps = obs::counter("rl.ppo.env_steps");
+        static auto& episodesTotal = obs::counter("rl.ppo.episodes");
+        envSteps.add(static_cast<std::uint64_t>(ep.length));
+        episodesTotal.add();
         for (Transition& t : ep.steps) buffer.push_back(std::move(t));
         ++episodeCounter_;
         ++episodesDone;
@@ -191,6 +212,11 @@ void PpoTrainer::trainVectorized(int episodes,
 }
 
 void PpoTrainer::update(std::vector<Transition>& buffer) {
+  obs::TraceSpan span("rl.ppo.update", "rl");
+  static auto& updates = obs::counter("rl.ppo.updates");
+  static auto& updateSeconds = obs::histogram("rl.ppo.update_seconds");
+  updates.add();
+  obs::ScopedTimer timer(updateSeconds);
   std::vector<double> advantages, returns;
   computeGae(buffer, cfg_.gamma, cfg_.gaeLambda, &advantages, &returns);
 
@@ -222,6 +248,9 @@ void PpoTrainer::update(std::vector<Transition>& buffer) {
                                        returns)
                 : minibatchLossSequential(buffer, perm, start, end, advantages,
                                           returns);
+        // Observation only: .item() reads the eager forward value.
+        static auto& lossGauge = obs::gauge("rl.ppo.minibatch_loss");
+        lossGauge.set(loss.item());
         nn::backward(loss);
       }
       if (cfg_.arenaUpdate) arena_.reset();
@@ -257,6 +286,9 @@ nn::Tensor PpoTrainer::minibatchLossSequential(
     valueLoss = nn::add(valueLoss, nn::sum(nn::mul(verr, verr)));
     entropy = nn::add(entropy, entropyOf(out.logits));
   }
+
+  static auto& entropyGauge = obs::gauge("rl.ppo.minibatch_entropy");
+  entropyGauge.set(entropy.item() * invCount);
 
   // Maximize surrogate + entropy, minimize value error.
   return nn::add(nn::add(nn::scale(policyLoss, -invCount),
@@ -305,6 +337,9 @@ nn::Tensor PpoTrainer::minibatchLossBatched(
   nn::Tensor entropy = entropyBatch(out.logits, count);
   nn::reclaimPooledMat(std::move(negOldLogp));
   nn::reclaimPooledMat(std::move(negRet));
+
+  static auto& entropyGauge = obs::gauge("rl.ppo.minibatch_entropy");
+  entropyGauge.set(entropy.item() * invCount);
 
   return nn::add(nn::add(nn::scale(policyLoss, -invCount),
                          nn::scale(valueLoss, cfg_.valueCoef * invCount)),

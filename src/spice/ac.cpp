@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "linalg/solve.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace crl::spice {
 
@@ -17,6 +19,8 @@ AcAnalysis::AcAnalysis(Netlist& net, linalg::Vec xop, linalg::SolverChoice solve
 }
 
 void AcAnalysis::solveInto(double freqHz, AcWorkspace& ws) const {
+  static auto& points = obs::counter("spice.ac.points_solved");
+  points.add();
   ws.beginAssembly(net_.unknownCount(), kind_);
   ComplexStamper stamper(ws.solver, ws.rhs);
   AcContext ctx{xop_, 2.0 * std::numbers::pi * freqHz};
@@ -52,6 +56,11 @@ std::vector<double> AcAnalysis::logspace(double f0, double f1, int pointsPerDeca
 std::vector<AcPoint> AcAnalysis::sweep(NodeId node, double f0, double f1,
                                        int pointsPerDecade,
                                        SimSession* session) const {
+  obs::TraceSpan span("spice.ac.sweep", "spice");
+  static auto& sweeps = obs::counter("spice.ac.sweeps");
+  static auto& sweepSeconds = obs::histogram("spice.ac.sweep_seconds");
+  sweeps.add();
+  obs::ScopedTimer timer(sweepSeconds);
   const std::vector<double> freqs = logspace(f0, f1, pointsPerDecade);
   std::vector<AcPoint> out(freqs.size());
   auto solveRange = [&](std::size_t first, std::size_t last, AcWorkspace& ws) {

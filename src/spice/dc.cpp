@@ -1,7 +1,10 @@
 #include "spice/dc.h"
 
 #include <cmath>
+#include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace crl::spice {
@@ -58,6 +61,22 @@ DcResult DcAnalysis::solve() {
 }
 
 DcResult DcAnalysis::solve(const linalg::Vec& x0) {
+  obs::TraceSpan span("spice.dc.solve", "spice");
+  DcResult result = solveStaged(x0);
+  static auto& solves = obs::counter("spice.dc.solves");
+  static auto& iters = obs::counter("spice.dc.newton_iters");
+  static auto& nonconverged = obs::counter("spice.dc.nonconverged");
+  static auto& homotopy = obs::counter("spice.dc.homotopy_rescues");
+  solves.add();
+  iters.add(static_cast<std::uint64_t>(result.iterations));
+  if (!result.converged)
+    nonconverged.add();
+  else if (std::strcmp(result.strategy, "newton") != 0)
+    homotopy.add();
+  return result;
+}
+
+DcResult DcAnalysis::solveStaged(const linalg::Vec& x0) {
   DcResult result;
   result.x = x0;
 

@@ -47,6 +47,9 @@ class DcAnalysis {
   /// Plain Newton loop at fixed (gmin, srcScale); nullopt if not converged.
   std::optional<linalg::Vec> newton(linalg::Vec x, double gmin, double srcScale,
                                     int* iterationsOut);
+  /// The homotopy ladder (newton -> gmin stepping -> source stepping);
+  /// solve() wraps it with telemetry.
+  DcResult solveStaged(const linalg::Vec& x0);
 
   Netlist& net_;
   DcOptions opt_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "linalg/solve.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace crl::spice {
 
@@ -59,6 +61,13 @@ TranResult TranAnalysis::run(double dt, double tStop,
                              const std::function<void(double, const linalg::Vec&)>& callback,
                              bool record) {
   if (dt <= 0.0 || tStop <= 0.0) throw std::invalid_argument("TranAnalysis: bad times");
+  obs::TraceSpan span("spice.tran.run", "spice");
+  static auto& runs = obs::counter("spice.tran.runs");
+  static auto& timesteps = obs::counter("spice.tran.timesteps");
+  static auto& newtonIters = obs::counter("spice.tran.newton_iters");
+  static auto& runSeconds = obs::histogram("spice.tran.run_seconds");
+  runs.add();
+  obs::ScopedTimer timer(runSeconds);
   TranResult result;
 
   DcOptions dcOpt = opt_.dcOptions;
@@ -84,7 +93,12 @@ TranResult TranAnalysis::run(double dt, double tStop,
   const int steps = static_cast<int>(std::llround(tStop / dt));
   for (int k = 1; k <= steps; ++k) {
     const double t = k * dt;
-    if (!newtonStep(x, t, dt, state, &result.newtonIterations)) return result;
+    const int itersBefore = result.newtonIterations;
+    const bool stepOk = newtonStep(x, t, dt, state, &result.newtonIterations);
+    newtonIters.add(
+        static_cast<std::uint64_t>(result.newtonIterations - itersBefore));
+    if (!stepOk) return result;
+    timesteps.add();
     // Commit integrator history after a converged step.
     for (const auto& dev : net_.devices()) {
       if (dev->tranStateSize() > 0) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace crl::util {
 
 namespace {
@@ -29,6 +31,7 @@ std::size_t ThreadPool::workersFromEnv(const char* envVar, std::size_t fallback)
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) workers = defaultWorkerCount();
+  startNs_ = obs::monotonicNowNs();
   lanes_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) lanes_.push_back(std::make_unique<Lane>());
   workers_.reserve(workers);
@@ -37,6 +40,23 @@ ThreadPool::ThreadPool(std::size_t workers) {
 }
 
 ThreadPool::~ThreadPool() { shutdown(); }
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.workers = workers_.size();
+  std::uint64_t busyNanos = 0;
+  for (const auto& lane : lanes_) {
+    s.tasksExecuted += lane->executed.load(std::memory_order_relaxed);
+    s.tasksStolen += lane->stolen.load(std::memory_order_relaxed);
+    busyNanos += lane->busyNanos.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(lane->m);
+    s.maxQueueDepth = std::max(s.maxQueueDepth, lane->maxDepth);
+  }
+  s.busySeconds = static_cast<double>(busyNanos) / 1e9;
+  s.wallSeconds =
+      static_cast<double>(obs::monotonicNowNs() - startNs_) / 1e9;
+  return s;
+}
 
 void ThreadPool::enqueue(std::function<void()> task) {
   const std::size_t lane =
@@ -50,8 +70,12 @@ void ThreadPool::enqueue(std::function<void()> task) {
     if (stopping_.load(std::memory_order_relaxed))
       throw std::runtime_error("ThreadPool: submit after shutdown");
     lanes_[lane]->q.push_back(std::move(task));
+    lanes_[lane]->maxDepth = std::max(lanes_[lane]->maxDepth, lanes_[lane]->q.size());
     pending_.fetch_add(1, std::memory_order_release);
   }
+  // Live depth across all lanes; one relaxed load + gauge store per submit.
+  static auto& depth = obs::gauge("util.pool.queue_depth");
+  depth.set(static_cast<double>(pending_.load(std::memory_order_relaxed)));
   // Empty critical section before notify: a worker between its predicate
   // check and its sleep holds sleepMutex_, so this cannot slip past it.
   { std::lock_guard<std::mutex> sl(sleepMutex_); }
@@ -103,10 +127,25 @@ bool ThreadPool::trySteal(std::size_t thief, std::function<void()>& task) {
 void ThreadPool::workerLoop(std::size_t lane) {
   tlsPool = this;
   tlsLane = lane;
+  static auto& executedTotal = obs::counter("util.pool.tasks_executed");
+  static auto& stolenTotal = obs::counter("util.pool.tasks_stolen");
+  Lane& own = *lanes_[lane];
   for (;;) {
     std::function<void()> task;
-    if (tryPop(lane, task) || trySteal(lane, task)) {
+    const bool popped = tryPop(lane, task);
+    const bool stole = !popped && trySteal(lane, task);
+    if (popped || stole) {
+      const std::int64_t t0 = obs::monotonicNowNs();
       task();  // packaged_task captures any exception into the future
+      own.busyNanos.fetch_add(
+          static_cast<std::uint64_t>(obs::monotonicNowNs() - t0),
+          std::memory_order_relaxed);
+      own.executed.fetch_add(1, std::memory_order_relaxed);
+      executedTotal.add();
+      if (stole) {
+        own.stolen.fetch_add(1, std::memory_order_relaxed);
+        stolenTotal.add();
+      }
       continue;
     }
     std::unique_lock<std::mutex> sl(sleepMutex_);

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -61,6 +62,24 @@ class ThreadPool {
 
   std::size_t workerCount() const { return workers_.size(); }
 
+  /// Lifetime telemetry for this pool (also mirrored into the global
+  /// obs::Registry under util.pool.*). Cheap to call at any time; counts
+  /// are relaxed-atomic so a concurrent snapshot may lag by a task or two.
+  struct Stats {
+    std::size_t workers = 0;
+    std::uint64_t tasksExecuted = 0;
+    std::uint64_t tasksStolen = 0;   ///< subset of executed taken from another lane
+    double busySeconds = 0.0;        ///< summed task execution time across workers
+    double wallSeconds = 0.0;        ///< pool lifetime so far
+    std::size_t maxQueueDepth = 0;   ///< high-water mark of any single lane
+    /// Fraction of worker-seconds spent running tasks (0 when idle-only).
+    double utilization() const {
+      const double denom = wallSeconds * static_cast<double>(workers);
+      return denom > 0.0 ? busySeconds / denom : 0.0;
+    }
+  };
+  Stats stats() const;
+
   /// Hardware concurrency with a floor of 1 (hardware_concurrency may be 0).
   static std::size_t defaultWorkerCount();
 
@@ -75,6 +94,11 @@ class ThreadPool {
   struct Lane {
     std::mutex m;
     std::deque<std::function<void()>> q;
+    std::size_t maxDepth = 0;  ///< guarded by m
+    // Owner-written telemetry; relaxed atomics so stats() can read live.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> busyNanos{0};
   };
 
   void enqueue(std::function<void()> task);
@@ -84,6 +108,7 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::thread> workers_;
+  std::int64_t startNs_ = 0;  ///< construction time, for Stats::wallSeconds
   /// Tasks currently sitting in some lane (incremented under the lane lock
   /// at push, decremented at pop) — the sleep predicate, so a task in any
   /// queue keeps at least one worker awake.

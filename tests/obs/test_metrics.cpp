@@ -1,0 +1,197 @@
+// Metrics registry contract: counters aggregate exactly under concurrency,
+// histogram bucket edges are inclusive upper bounds, the kill switch stops
+// every instrument, and the JSON snapshot round-trips through the obs JSON
+// parser.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace crl::obs {
+namespace {
+
+TEST(Metrics, CounterAddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, ConcurrentCounterIncrementsAggregateExactly) {
+  // The whole point of the per-thread shards: N threads hammering one
+  // counter lose nothing. 8 threads x 100k increments must sum exactly.
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(3.25);
+  EXPECT_EQ(g.value(), 3.25);
+  g.set(-1e-9);
+  EXPECT_EQ(g.value(), -1e-9);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, KillSwitchStopsEveryInstrument) {
+  Counter c;
+  Gauge g;
+  Histogram h({1.0, 2.0});
+  setMetricsEnabled(false);
+  c.add(5);
+  g.set(7.0);
+  h.observe(1.5);
+  setMetricsEnabled(true);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // Gauge::reset is the exception: it must zero even while disabled (the
+  // registry's resetAll runs regardless of the switch).
+  g.set(7.0);
+  setMetricsEnabled(false);
+  g.reset();
+  setMetricsEnabled(true);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0, 4.0});
+  // Bucket i counts v <= bounds[i]; the 4th cell is overflow.
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(2.0);   // bucket 1 (inclusive)
+  h.observe(3.9);   // bucket 2
+  h.observe(4.0);   // bucket 2 (inclusive)
+  h.observe(4.001); // overflow
+  h.observe(100.0); // overflow
+  const std::vector<std::uint64_t> buckets = h.buckets();
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 2u);
+  EXPECT_EQ(buckets[3], 2u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 3.9 + 4.0 + 4.001 + 100.0, 1e-12);
+}
+
+TEST(Metrics, HistogramQuantilesInterpolateAndClampToLastBound) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 100; ++i) h.observe(1.5);  // all in (1, 2]
+  const double p50 = h.quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  h.reset();
+  for (int i = 0; i < 10; ++i) h.observe(1e9);  // all overflow
+  EXPECT_EQ(h.quantile(0.99), 4.0);  // overflow mass reports the last bound
+}
+
+TEST(Metrics, ExponentialBoundsAreAscendingGeometric) {
+  const std::vector<double> b = exponentialBounds(1e-6, 2.0, 24);
+  ASSERT_EQ(b.size(), 24u);
+  EXPECT_DOUBLE_EQ(b[0], 1e-6);
+  for (std::size_t i = 1; i < b.size(); ++i)
+    EXPECT_NEAR(b[i] / b[i - 1], 2.0, 1e-12) << i;
+}
+
+TEST(Metrics, RegistryReturnsStableInstrumentsByName) {
+  Registry reg;
+  Counter& a = reg.counter("test.a");
+  Counter& b = reg.counter("test.a");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &reg.counter("test.b"));
+  // First lookup fixes histogram bounds; later bounds are ignored.
+  Histogram& h1 = reg.histogram("test.h", {1.0, 2.0});
+  Histogram& h2 = reg.histogram("test.h", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  ASSERT_EQ(h2.bounds().size(), 2u);
+  EXPECT_EQ(h2.bounds()[1], 2.0);
+  // Empty bounds = the default latency ladder.
+  EXPECT_FALSE(reg.histogram("test.default").bounds().empty());
+}
+
+TEST(Metrics, SnapshotJsonRoundTripsThroughTheObsParser) {
+  Registry reg;
+  reg.counter("snap.counter").add(7);
+  reg.gauge("snap.gauge").set(2.5);
+  Histogram& h = reg.histogram("snap.hist", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(10.0);
+
+  const std::string text = reg.snapshotJson();
+  json::Value doc;
+  std::string err;
+  ASSERT_TRUE(json::parse(text, doc, &err)) << err << "\n" << text;
+  EXPECT_EQ(doc.string("schema"), "crl.metrics/v1");
+
+  const json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->number("snap.counter"), 7.0);
+
+  const json::Value* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->number("snap.gauge"), 2.5);
+
+  const json::Value* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const json::Value* hv = hists->find("snap.hist");
+  ASSERT_NE(hv, nullptr);
+  EXPECT_EQ(hv->number("count"), 3.0);
+  EXPECT_NEAR(hv->number("sum"), 12.0, 1e-9);
+  const json::Value* buckets = hv->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->isArray());
+  ASSERT_EQ(buckets->array().size(), 3u);  // 2 bounds + overflow
+  EXPECT_EQ(buckets->array()[0].asNumber(), 1.0);
+  EXPECT_EQ(buckets->array()[1].asNumber(), 1.0);
+  EXPECT_EQ(buckets->array()[2].asNumber(), 1.0);
+  ASSERT_NE(hv->find("p50"), nullptr);
+  ASSERT_NE(hv->find("p99"), nullptr);
+}
+
+TEST(Metrics, ResetAllZeroesButKeepsInstrumentAddresses) {
+  Registry reg;
+  Counter& c = reg.counter("reset.c");
+  Gauge& g = reg.gauge("reset.g");
+  Histogram& h = reg.histogram("reset.h", {1.0});
+  c.add(3);
+  g.set(4.0);
+  h.observe(0.5);
+  reg.resetAll();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&c, &reg.counter("reset.c"));  // cached references stay valid
+}
+
+TEST(Metrics, GlobalConveniencesShareTheGlobalRegistry) {
+  Counter& c = counter("global.test.counter");
+  c.reset();
+  c.add(2);
+  EXPECT_EQ(&c, &Registry::global().counter("global.test.counter"));
+  EXPECT_EQ(counter("global.test.counter").value(), 2u);
+  c.reset();
+}
+
+}  // namespace
+}  // namespace crl::obs

@@ -1,0 +1,153 @@
+// TraceSink/TraceSpan contract: disabled tracing is inert, an enabled
+// session produces a valid Chrome trace-event JSON with time-sorted,
+// properly nested spans from any thread, and the sink can be restarted.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace crl::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string tempTracePath(const char* name) {
+  const fs::path p = fs::temp_directory_path() / name;
+  fs::remove(p);
+  return p.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+json::Value parseTrace(const std::string& path) {
+  json::Value doc;
+  std::string err;
+  EXPECT_TRUE(json::parse(slurp(path), doc, &err)) << path << ": " << err;
+  return doc;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  // A CRL_TRACE session inherited from the environment would interleave
+  // with these tests; shut any down first (no-op otherwise).
+  void SetUp() override { TraceSink::global().stop(); }
+  void TearDown() override { TraceSink::global().stop(); }
+};
+
+TEST_F(TraceTest, DisabledSpansAreInertAndWriteNothing) {
+  const std::string path = tempTracePath("crl_trace_disabled.json");
+  ASSERT_FALSE(TraceSink::global().enabled());
+  {
+    TraceSpan outer("outer", "test");
+    TraceSpan inner("inner", "test");
+  }
+  TraceSink::global().record("direct", "test", 0, 1);
+  TraceSink::global().stop();  // no session: must not write anything
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(TraceTest, WritesValidNestedSortedChromeTraceJson) {
+  const std::string path = tempTracePath("crl_trace_basic.json");
+  ASSERT_TRUE(TraceSink::global().start(path));
+  EXPECT_TRUE(TraceSink::global().enabled());
+  // A second start while active must refuse and leave the session alone.
+  EXPECT_FALSE(TraceSink::global().start(tempTracePath("crl_trace_other.json")));
+
+  {
+    TraceSpan parent("parent", "test");
+    {
+      TraceSpan child("child", "test");
+      volatile double sink = 0.0;
+      for (int i = 0; i < 10000; ++i) sink = sink + 1.0;  // non-zero duration
+    }
+  }
+  std::thread worker([] { TraceSpan span("worker", "test"); });
+  worker.join();
+
+  TraceSink::global().stop();
+  EXPECT_FALSE(TraceSink::global().enabled());
+  EXPECT_EQ(TraceSink::global().dropped(), 0u);
+
+  const json::Value doc = parseTrace(path);
+  EXPECT_EQ(doc.string("displayTimeUnit"), "ms");
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->isArray());
+  ASSERT_EQ(events->array().size(), 3u);
+
+  double lastTs = -1.0;
+  const json::Value* parent = nullptr;
+  const json::Value* child = nullptr;
+  const json::Value* workerEv = nullptr;
+  for (const json::Value& e : events->array()) {
+    EXPECT_EQ(e.string("ph"), "X");
+    EXPECT_EQ(e.string("cat"), "test");
+    ASSERT_NE(e.find("ts"), nullptr);
+    ASSERT_NE(e.find("dur"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    EXPECT_GE(e.number("ts"), lastTs);  // sorted by start time
+    lastTs = e.number("ts");
+    const std::string name = e.string("name");
+    if (name == "parent") parent = &e;
+    else if (name == "child") child = &e;
+    else if (name == "worker") workerEv = &e;
+  }
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  ASSERT_NE(workerEv, nullptr);
+  // The child's interval nests inside the parent's.
+  EXPECT_GE(child->number("ts"), parent->number("ts"));
+  EXPECT_LE(child->number("ts") + child->number("dur"),
+            parent->number("ts") + parent->number("dur"));
+  // The worker span carries a different thread id.
+  EXPECT_NE(workerEv->number("tid"), parent->number("tid"));
+}
+
+TEST_F(TraceTest, DroppedCountIsReportedInTheHeader) {
+  const std::string path = tempTracePath("crl_trace_header.json");
+  ASSERT_TRUE(TraceSink::global().start(path));
+  { TraceSpan span("solo", "test"); }
+  TraceSink::global().stop();
+  const json::Value doc = parseTrace(path);
+  const json::Value* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_EQ(other->number("droppedEvents", -1.0), 0.0);
+}
+
+TEST_F(TraceTest, SinkRestartsCleanlyWithFreshEvents) {
+  const std::string first = tempTracePath("crl_trace_first.json");
+  const std::string second = tempTracePath("crl_trace_second.json");
+
+  ASSERT_TRUE(TraceSink::global().start(first));
+  { TraceSpan span("first_only", "test"); }
+  TraceSink::global().stop();
+
+  ASSERT_TRUE(TraceSink::global().start(second));
+  { TraceSpan span("second_only", "test"); }
+  TraceSink::global().stop();
+
+  const json::Value doc1 = parseTrace(first);
+  const json::Value doc2 = parseTrace(second);
+  ASSERT_EQ(doc1.find("traceEvents")->array().size(), 1u);
+  ASSERT_EQ(doc2.find("traceEvents")->array().size(), 1u);
+  EXPECT_EQ(doc1.find("traceEvents")->array()[0].string("name"), "first_only");
+  EXPECT_EQ(doc2.find("traceEvents")->array()[0].string("name"), "second_only");
+}
+
+}  // namespace
+}  // namespace crl::obs

@@ -1,0 +1,371 @@
+// Campaign status-board contract: CampaignRunner keeps an atomically
+// rewritten campaign_status.json (schema crl.campaign_status/v1) that is
+// parseable at any instant during the run, tracks every job state
+// transition (running/done/skipped/failed), and honors the statusFile /
+// writeStatus knobs. Runs on the same cheap synthetic context as
+// test_campaign.cpp so the suite exercises the board, not SPICE.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/policies.h"
+#include "obs/json.h"
+#include "rl/campaign.h"
+#include "rl/policy.h"
+#include "rl/ppo.h"
+
+namespace crl::rl {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kFeatDim = 3;
+constexpr std::size_t kParams = 4;
+constexpr std::size_t kSpecs = 2;
+
+linalg::Mat pathNormAdj() {
+  linalg::Mat a(kNodes, kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    a(i, i) = 1.0;
+    if (i + 1 < kNodes) a(i, i + 1) = a(i + 1, i) = 1.0;
+  }
+  std::vector<double> deg(kNodes, 0.0);
+  for (std::size_t i = 0; i < kNodes; ++i)
+    for (std::size_t j = 0; j < kNodes; ++j) deg[i] += a(i, j);
+  linalg::Mat norm(kNodes, kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i)
+    for (std::size_t j = 0; j < kNodes; ++j)
+      norm(i, j) = a(i, j) / std::sqrt(deg[i] * deg[j]);
+  return norm;
+}
+
+linalg::Mat pathMask() {
+  linalg::Mat mask(kNodes, kNodes, -1e9);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    mask(i, i) = 0.0;
+    if (i + 1 < kNodes) mask(i, i + 1) = mask(i + 1, i) = 0.0;
+  }
+  return mask;
+}
+
+Observation randomObservation(util::Rng& rng) {
+  Observation o;
+  o.nodeFeatures = linalg::Mat(kNodes, kFeatDim);
+  for (auto& v : o.nodeFeatures.raw()) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t s = 0; s < kSpecs; ++s) {
+    o.specNow.push_back(rng.uniform(-1.0, 1.0));
+    o.specTarget.push_back(rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t p = 0; p < kParams; ++p)
+    o.paramsNorm.push_back(rng.uniform(0.0, 1.0));
+  return o;
+}
+
+class ToyEnv : public Env {
+ public:
+  ToyEnv() : normAdj_(pathNormAdj()), mask_(pathMask()) {}
+  Observation reset(util::Rng& rng) override {
+    stepCount_ = 0;
+    return randomObservation(rng);
+  }
+  Observation resetWithTarget(const std::vector<double>&, util::Rng& rng) override {
+    return reset(rng);
+  }
+  StepResult step(const std::vector<int>& actions) override {
+    StepResult r;
+    util::Rng rng(static_cast<std::uint64_t>(++stepCount_));
+    r.obs = randomObservation(rng);
+    r.reward = 0.1 * static_cast<double>(actions[0]) - 0.05;
+    r.done = stepCount_ >= maxSteps();
+    return r;
+  }
+  std::size_t numParams() const override { return kParams; }
+  std::size_t numSpecs() const override { return kSpecs; }
+  int maxSteps() const override { return 8; }
+  const linalg::Mat& normalizedAdjacency() const override { return normAdj_; }
+  const linalg::Mat& attentionMask() const override { return mask_; }
+  std::size_t graphNodeCount() const override { return kNodes; }
+  std::size_t graphFeatureDim() const override { return kFeatDim; }
+  const std::vector<double>& rawTarget() const override { return raw_; }
+  const std::vector<double>& rawSpecs() const override { return raw_; }
+  const std::vector<double>& currentParams() const override { return raw_; }
+
+ private:
+  linalg::Mat normAdj_, mask_;
+  int stepCount_ = 0;
+  std::vector<double> raw_{0.0};
+};
+
+core::PolicyConfig smallConfig() {
+  core::PolicyConfig cfg;
+  cfg.numParams = kParams;
+  cfg.numSpecs = kSpecs;
+  cfg.graphFeatureDim = kFeatDim;
+  cfg.gnnHidden = 8;
+  cfg.gnnLayers = 2;
+  cfg.gatHeads = 2;
+  cfg.specHidden = 8;
+  cfg.trunkHidden = 16;
+  return cfg;
+}
+
+class ToyContext final : public CampaignContext {
+ public:
+  explicit ToyContext(std::uint64_t initSeed)
+      : initRng_(initSeed),
+        policy_(core::PolicyKind::GcnFc, smallConfig(), pathNormAdj(),
+                pathMask(), initRng_) {}
+
+  Env& trainEnv() override { return env_; }
+  ActorCritic& policy() override { return policy_; }
+
+  CampaignEvalReport evaluate(int episodes, util::Rng& rng) override {
+    ++evalCalls_;
+    double acc = 0.0;
+    for (int i = 0; i < episodes; ++i) acc += rng.uniform();
+    CampaignEvalReport rep;
+    rep.accuracy = acc / std::max(1, episodes) + 1e-3 * evalCalls_;
+    rep.meanSteps = 4.0;
+    rep.meanStepsSuccess = 3.0;
+    return rep;
+  }
+
+  std::vector<std::string> solverSnapshots() const override {
+    return {std::to_string(evalCalls_)};
+  }
+  bool restoreSolverSnapshots(const std::vector<std::string>& blobs) override {
+    if (blobs.size() != 1) return false;
+    try {
+      evalCalls_ = std::stoll(blobs[0]);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  ToyEnv env_;
+  util::Rng initRng_;
+  core::MultimodalPolicy policy_;
+  long long evalCalls_ = 0;
+};
+
+CampaignJob toyJob(const std::string& name, std::uint64_t seed) {
+  CampaignJob job;
+  job.name = name;
+  job.episodes = 12;
+  job.trainSeed = seed;
+  job.evalSeed = seed + 9001;
+  job.finalEvalSeed = seed + 5555;
+  job.evalEvery = 5;
+  job.evalEpisodes = 3;
+  job.ppo.stepsPerUpdate = 32;
+  job.ppo.minibatchSize = 8;
+  job.ppo.updateEpochs = 2;
+  job.ppo.batchedUpdate = true;
+  job.make = [seed]() -> std::unique_ptr<CampaignContext> {
+    return std::make_unique<ToyContext>(100 + seed);
+  };
+  return job;
+}
+
+std::string tempDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// Read + parse a status file, failing the test on any malformation — the
+/// "never torn" clause: atomic rewrites mean a reader sees a complete,
+/// valid document at every instant.
+obs::json::Value parseStatus(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  obs::json::Value doc;
+  std::string err;
+  EXPECT_TRUE(obs::json::parse(buf.str(), doc, &err)) << path << ": " << err;
+  EXPECT_EQ(doc.string("schema"), "crl.campaign_status/v1");
+  return doc;
+}
+
+const obs::json::Value* findJob(const obs::json::Value& doc,
+                                const std::string& name) {
+  const obs::json::Value* jobs = doc.find("jobs");
+  if (!jobs || !jobs->isArray()) return nullptr;
+  for (const obs::json::Value& j : jobs->array())
+    if (j.string("name") == name) return &j;
+  return nullptr;
+}
+
+TEST(CampaignStatus, FinalStatusReflectsCompletedCampaign) {
+  const std::string out = tempDir("crl_status_done");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.statusEverySeconds = 0.0;  // every heartbeat rewrites
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_a", 1));
+  runner.addJob(toyJob("job_b", 2));
+  auto results = runner.run();
+  ASSERT_FALSE(results[0].failed) << results[0].error;
+  ASSERT_FALSE(results[1].failed) << results[1].error;
+
+  const obs::json::Value doc = parseStatus(out + "/campaign_status.json");
+  EXPECT_EQ(doc.number("jobs_done"), 2.0);
+  EXPECT_EQ(doc.number("jobs_pending"), 0.0);
+  EXPECT_EQ(doc.number("jobs_running"), 0.0);
+  EXPECT_EQ(doc.number("jobs_failed"), 0.0);
+  EXPECT_EQ(doc.number("episodes_done"), 24.0);
+  EXPECT_EQ(doc.number("episodes_total"), 24.0);
+  EXPECT_GE(doc.number("elapsed_seconds"), 0.0);
+  EXPECT_GT(doc.number("updated_unix_ms"), 0.0);
+  const obs::json::Value* eta = doc.find("eta_seconds");
+  ASSERT_NE(eta, nullptr);
+  ASSERT_TRUE(eta->isNumber());  // episodes landed, so a rate exists
+  EXPECT_NEAR(eta->asNumber(), 0.0, 1e-6);
+
+  for (const char* name : {"job_a", "job_b"}) {
+    const obs::json::Value* j = findJob(doc, name);
+    ASSERT_NE(j, nullptr) << name;
+    EXPECT_EQ(j->string("state"), "done");
+    EXPECT_EQ(j->number("episodes_done"), 12.0);
+    EXPECT_EQ(j->number("episodes_total"), 12.0);
+    const obs::json::Value* ckpt = j->find("checkpoint_age_seconds");
+    ASSERT_NE(ckpt, nullptr);
+    EXPECT_TRUE(ckpt->isNumber()) << name << ": checkpoints were written";
+    const obs::json::Value* beat = j->find("heartbeat_age_seconds");
+    ASSERT_NE(beat, nullptr);
+    EXPECT_TRUE(beat->isNumber());
+    EXPECT_EQ(j->find("error"), nullptr);
+  }
+  fs::remove_all(out);
+}
+
+TEST(CampaignStatus, LiveStatusDuringRunMatchesRunnerState) {
+  // Sample the file mid-run from the onCheckpoint hook (which fires after
+  // the board recorded the checkpoint): it must parse cleanly and show the
+  // job running at the checkpointed episode.
+  const std::string out = tempDir("crl_status_live");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.statusEverySeconds = 0.0;
+  int observed = 0;
+  std::string liveState;
+  double liveEpisodes = -1.0;
+  bool liveCkptIsNumber = false;
+  cfg.onCheckpoint = [&](const std::string& jobName, int episode) {
+    if (observed++ > 0) return;  // first checkpoint only
+    const obs::json::Value doc = parseStatus(out + "/campaign_status.json");
+    const obs::json::Value* j = findJob(doc, jobName);
+    ASSERT_NE(j, nullptr);
+    liveState = j->string("state");
+    liveEpisodes = j->number("episodes_done");
+    EXPECT_EQ(liveEpisodes, static_cast<double>(episode));
+    const obs::json::Value* ckpt = j->find("checkpoint_age_seconds");
+    liveCkptIsNumber = ckpt && ckpt->isNumber();
+  };
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_live", 3));
+  ASSERT_FALSE(runner.run()[0].failed);
+  EXPECT_GE(observed, 1);
+  EXPECT_EQ(liveState, "running");
+  EXPECT_EQ(liveEpisodes, 5.0);
+  EXPECT_TRUE(liveCkptIsNumber);
+  fs::remove_all(out);
+}
+
+TEST(CampaignStatus, CrashResumeAndSkipLifecycle) {
+  const std::string out = tempDir("crl_status_crash");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.statusEverySeconds = 0.0;
+
+  // Crash after the first checkpoint: the final status of that run reports
+  // the job failed, carrying the error text.
+  CampaignConfig crashCfg = cfg;
+  int checkpoints = 0;
+  crashCfg.onCheckpoint = [&checkpoints](const std::string&, int) {
+    if (++checkpoints == 1) throw std::runtime_error("simulated crash");
+  };
+  CampaignRunner crashing(crashCfg);
+  crashing.addJob(toyJob("job_c", 4));
+  ASSERT_TRUE(crashing.run()[0].failed);
+  {
+    const obs::json::Value doc = parseStatus(out + "/campaign_status.json");
+    EXPECT_EQ(doc.number("jobs_failed"), 1.0);
+    const obs::json::Value* j = findJob(doc, "job_c");
+    ASSERT_NE(j, nullptr);
+    EXPECT_EQ(j->string("state"), "failed");
+    EXPECT_NE(j->string("error").find("simulated crash"), std::string::npos);
+  }
+
+  // Resume: the rerun finishes the job and the status converges to done.
+  CampaignRunner resuming(cfg);
+  resuming.addJob(toyJob("job_c", 4));
+  auto resumed = resuming.run();
+  ASSERT_FALSE(resumed[0].failed) << resumed[0].error;
+  EXPECT_TRUE(resumed[0].resumed);
+  {
+    const obs::json::Value doc = parseStatus(out + "/campaign_status.json");
+    EXPECT_EQ(doc.number("jobs_done"), 1.0);
+    EXPECT_EQ(findJob(doc, "job_c")->string("state"), "done");
+  }
+
+  // Second rerun: the done marker skips the job; the status says so.
+  CampaignRunner skipping(cfg);
+  skipping.addJob(toyJob("job_c", 4));
+  EXPECT_TRUE(skipping.run()[0].skipped);
+  {
+    const obs::json::Value doc = parseStatus(out + "/campaign_status.json");
+    EXPECT_EQ(doc.number("jobs_skipped"), 1.0);
+    const obs::json::Value* j = findJob(doc, "job_c");
+    ASSERT_NE(j, nullptr);
+    EXPECT_EQ(j->string("state"), "skipped");
+    EXPECT_EQ(j->number("episodes_done"), 12.0);  // parsed from the marker
+  }
+  fs::remove_all(out);
+}
+
+TEST(CampaignStatus, HonorsStatusFileAndWriteStatusKnobs) {
+  const std::string out = tempDir("crl_status_knobs");
+  const std::string custom = out + "/elsewhere.json";
+
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 0;
+  cfg.statusFile = custom;
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_k", 6));
+  ASSERT_FALSE(runner.run()[0].failed);
+  EXPECT_TRUE(fs::exists(custom));
+  EXPECT_FALSE(fs::exists(out + "/campaign_status.json"));
+  EXPECT_EQ(parseStatus(custom).number("jobs_done"), 1.0);
+
+  const std::string quiet = tempDir("crl_status_off");
+  CampaignConfig off;
+  off.outDir = quiet;
+  off.checkpointEvery = 0;
+  off.writeStatus = false;
+  CampaignRunner silent(off);
+  silent.addJob(toyJob("job_q", 7));
+  ASSERT_FALSE(silent.run()[0].failed);
+  EXPECT_FALSE(fs::exists(quiet + "/campaign_status.json"));
+
+  fs::remove_all(out);
+  fs::remove_all(quiet);
+}
+
+}  // namespace
+}  // namespace crl::rl
