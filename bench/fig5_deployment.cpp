@@ -18,7 +18,11 @@ std::unique_ptr<core::MultimodalPolicy> obtainPolicy(
   util::Rng rng(42);
   auto policy = core::makePolicy(core::PolicyKind::GcnFc, trainEnv, rng);
   auto params = policy->parameters();
-  if (nn::loadParameters(scale.path(artifact), params)) {
+  nn::ParamAdapter adapter = [&policy](std::vector<linalg::Mat>& m) {
+    return policy->adaptLegacyParameterMats(m);  // legacy per-head GAT artifacts
+  };
+  if (nn::loadParametersDetailed(scale.path(artifact), params, nullptr, adapter) ==
+      nn::LoadResult::Ok) {
     std::printf("(loaded trained policy from %s)\n", scale.path(artifact).c_str());
     return policy;
   }

@@ -56,7 +56,12 @@ core::AccuracyReport rlReport(core::PolicyKind kind, circuit::Benchmark& benchRe
   util::Rng rng(42);
   auto policy = core::makePolicy(kind, trainEnv, rng);
   auto params = policy->parameters();
-  if (!artifact.empty() && nn::loadParameters(scale.path(artifact), params)) {
+  nn::ParamAdapter adapter = [&policy](std::vector<linalg::Mat>& m) {
+    return policy->adaptLegacyParameterMats(m);  // legacy per-head GAT artifacts
+  };
+  if (!artifact.empty() &&
+      nn::loadParametersDetailed(scale.path(artifact), params, nullptr, adapter) ==
+          nn::LoadResult::Ok) {
     // reuse trained policy
   } else {
     rl::PpoTrainer trainer(trainEnv, *policy, {}, util::Rng(7));

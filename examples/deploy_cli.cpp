@@ -40,7 +40,12 @@ int main(int argc, char** argv) {
   // badly trained agent and waste a sizing run.
   auto params = policy->parameters();
   std::string loadError;
-  switch (nn::loadParametersDetailed(artifact, params, &loadError)) {
+  // The adapter transparently repacks artifacts saved in the retired
+  // per-head GAT parameter layout.
+  nn::ParamAdapter adapter = [&policy](std::vector<linalg::Mat>& m) {
+    return policy->adaptLegacyParameterMats(m);
+  };
+  switch (nn::loadParametersDetailed(artifact, params, &loadError, adapter)) {
     case nn::LoadResult::Ok:
       std::printf("loaded trained policy from %s\n", artifact.c_str());
       break;

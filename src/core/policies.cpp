@@ -107,6 +107,21 @@ nn::Tensor GnnFcTower::forwardBatch(const std::vector<rl::Observation>& obs,
   return trunk_->forward(features);
 }
 
+bool GnnFcTower::adaptLegacyParams(const std::vector<linalg::Mat>& in,
+                                   std::size_t& pos,
+                                   std::vector<linalg::Mat>& out) const {
+  if (graphEnc_ && !graphEnc_->adaptLegacyParams(in, pos, out)) return false;
+  // The spec/param/trunk MLPs never changed layout — copy their mats through
+  // verbatim (parameters() order: specNet, paramNet, trunk).
+  std::size_t passthrough = 0;
+  if (specNet_) passthrough += specNet_->parameters().size();
+  if (paramNet_) passthrough += paramNet_->parameters().size();
+  passthrough += trunk_->parameters().size();
+  if (pos + passthrough > in.size()) return false;
+  for (std::size_t i = 0; i < passthrough; ++i) out.push_back(in[pos++]);
+  return true;
+}
+
 std::vector<nn::Tensor> GnnFcTower::parameters() const {
   std::vector<nn::Tensor> out;
   auto append = [&out](const std::vector<nn::Tensor>& ps) {
@@ -185,6 +200,18 @@ rl::BatchedPolicyOutput MultimodalPolicy::forwardBatchStacked(
   out.logits = nn::reshape(actorFlat, obs.size() * cfg_.numParams, 3);
   out.values = values;
   return out;
+}
+
+bool MultimodalPolicy::adaptLegacyParameterMats(std::vector<linalg::Mat>& mats) const {
+  std::vector<linalg::Mat> out;
+  out.reserve(mats.size());
+  std::size_t pos = 0;
+  if (!actor_->adaptLegacyParams(mats, pos, out)) return false;
+  if (!critic_->adaptLegacyParams(mats, pos, out)) return false;
+  if (pos != mats.size()) return false;
+  if (out.size() != parameters().size()) return false;
+  mats = std::move(out);
+  return true;
 }
 
 std::vector<nn::Tensor> MultimodalPolicy::parameters() const {

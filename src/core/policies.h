@@ -61,6 +61,12 @@ class GnnFcTower {
                           const linalg::Mat& mask) const;
   std::vector<nn::Tensor> parameters() const;
 
+  /// Checkpoint-migration walker: consume this tower's parameter mats in the
+  /// legacy per-head GAT layout from `in` at `pos` (advancing it), appending
+  /// current-layout mats to `out`. Non-GNN pathways copy through verbatim.
+  bool adaptLegacyParams(const std::vector<linalg::Mat>& in, std::size_t& pos,
+                         std::vector<linalg::Mat>& out) const;
+
  private:
   bool useGraph_;
   bool useSpecs_;
@@ -91,6 +97,10 @@ class MultimodalPolicy : public rl::ActorCritic {
   std::vector<nn::Tensor> parameters() const override;
   const char* name() const override { return name_.c_str(); }
   PolicyKind kind() const { return kind_; }
+  /// Recognizes the retired per-head GAT parameter layout (3*heads mats per
+  /// GAT layer) and repacks it into the packed layout — actor tower first,
+  /// then critic, mirroring parameters() order.
+  bool adaptLegacyParameterMats(std::vector<linalg::Mat>& mats) const override;
 
  private:
   /// Shared batched tower sweep: actor logits [N x 3M] + values [N x 1].

@@ -1,7 +1,9 @@
 #include "gnn/layers.h"
 
+#include <cmath>
 #include <stdexcept>
 
+#include "linalg/vec_math.h"
 #include "nn/arena.h"
 
 namespace crl::gnn {
@@ -26,76 +28,105 @@ Tensor GcnLayer::forwardBatch(const Tensor& h, const linalg::Mat& normAdj,
 
 GatLayer::GatLayer(std::size_t in, std::size_t headDim, std::size_t heads,
                    util::Rng& rng, nn::Activation act)
-    : headDim_(headDim), act_(act) {
+    : headDim_(headDim), heads_(heads), act_(act) {
   if (heads == 0 || headDim == 0) throw std::invalid_argument("GatLayer: empty head");
+  // Draw the RNG in the legacy per-head order (w_k, aSrc_k, aDst_k) and
+  // scatter into the packed mats, so a fresh packed layer is bit-identical
+  // to what the per-head layout initialized from the same stream.
+  linalg::Mat w(in, heads * headDim);
+  linalg::Mat as(heads * headDim, 1);
+  linalg::Mat ad(heads * headDim, 1);
+  const double wBound = std::sqrt(6.0 / static_cast<double>(in + headDim));
+  const double aBound = std::sqrt(6.0 / static_cast<double>(headDim + 1));
   for (std::size_t k = 0; k < heads; ++k) {
-    wPerHead_.push_back(Tensor::xavier(in, headDim, rng));
-    aSrc_.push_back(Tensor::xavier(headDim, 1, rng));
-    aDst_.push_back(Tensor::xavier(headDim, 1, rng));
+    for (std::size_t r = 0; r < in; ++r)
+      for (std::size_t c = 0; c < headDim; ++c)
+        w(r, k * headDim + c) = rng.uniform(-wBound, wBound);
+    for (std::size_t j = 0; j < headDim; ++j)
+      as(k * headDim + j, 0) = rng.uniform(-aBound, aBound);
+    for (std::size_t j = 0; j < headDim; ++j)
+      ad(k * headDim + j, 0) = rng.uniform(-aBound, aBound);
   }
-}
-
-Tensor GatLayer::headForward(const Tensor& h, const linalg::Mat& mask,
-                             std::size_t k) const {
-  // Three tape nodes per head: hw = h W, the fused attention-logit chain
-  // (src/dst projections + src_i + dst_j + leakyRelu + mask), and the fused
-  // row-softmax + attention mixing — all bit-identical to the unfused op
-  // chains (tests/nn/test_fused.cpp).
-  Tensor hw = nn::matmul(h, wPerHead_[k]);         // n x d
-  Tensor e = nn::fusedGatLogits(hw, aSrc_[k], aDst_[k], mask, 1, 0.2);
-  return nn::fusedSoftmaxMatmulBlocks(e, hw, 1);
+  wPacked_ = Tensor(std::move(w), /*requiresGrad=*/true);
+  aSrcPacked_ = Tensor(std::move(as), /*requiresGrad=*/true);
+  aDstPacked_ = Tensor(std::move(ad), /*requiresGrad=*/true);
 }
 
 Tensor GatLayer::forward(const Tensor& h, const linalg::Mat& mask) const {
-  std::vector<Tensor> heads;
-  heads.reserve(wPerHead_.size());
-  for (std::size_t k = 0; k < wPerHead_.size(); ++k)
-    heads.push_back(headForward(h, mask, k));
-  return nn::activate(nn::concatColsAll(heads), act_);
-}
-
-Tensor GatLayer::headForwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
-                                  std::size_t count, std::size_t k) const {
-  // Block-local attention: e is [count*n x n] — row g*n+i holds node i's
-  // logits over graph g's own n nodes — instead of a dense
-  // [count*n x count*n], so cost stays linear in the batch.
-  Tensor hw = nn::matmul(h, wPerHead_[k]);         // count*n x d
-  Tensor e = nn::fusedGatLogits(hw, aSrc_[k], aDst_[k], tiledMask, count, 0.2);
-  return nn::fusedSoftmaxMatmulBlocks(e, hw, count);
+  // Two tape nodes for the whole layer: ONE packed weight matmul covering
+  // every head, then the fused multi-head attention chain (logits, softmax,
+  // mixing, concat activation). Forward values are bit-identical to the
+  // retired per-head chain (tests/rl/test_gat_packing_parity.cpp).
+  Tensor hw = nn::matmul(h, wPacked_);  // n x heads*d
+  return nn::fusedGatMultiHead(hw, aSrcPacked_, aDstPacked_, mask, 1, heads_,
+                               0.2, act_);
 }
 
 Tensor GatLayer::forwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
                               std::size_t count) const {
-  std::vector<Tensor> heads;
-  heads.reserve(wPerHead_.size());
-  for (std::size_t k = 0; k < wPerHead_.size(); ++k)
-    heads.push_back(headForwardBatch(h, tiledMask, count, k));
-  return nn::activate(nn::concatColsAll(heads), act_);
+  // Block-local attention: each head's coefficient matrix is [count*n x n] —
+  // row g*n+i holds node i's logits over graph g's own n nodes — instead of
+  // a dense [count*n x count*n], so cost stays linear in the batch.
+  Tensor hw = nn::matmul(h, wPacked_);  // count*n x heads*d
+  return nn::fusedGatMultiHead(hw, aSrcPacked_, aDstPacked_, tiledMask, count,
+                               heads_, 0.2, act_);
 }
 
 std::vector<Tensor> GatLayer::parameters() const {
-  std::vector<Tensor> out;
-  for (std::size_t k = 0; k < wPerHead_.size(); ++k) {
-    out.push_back(wPerHead_[k]);
-    out.push_back(aSrc_[k]);
-    out.push_back(aDst_[k]);
+  return {wPacked_, aSrcPacked_, aDstPacked_};
+}
+
+bool GatLayer::packLegacyParams(const linalg::Mat* legacy, std::size_t heads,
+                                std::vector<linalg::Mat>& out) {
+  if (heads == 0) return false;
+  const std::size_t in = legacy[0].rows();
+  const std::size_t d = legacy[0].cols();
+  if (in == 0 || d == 0) return false;
+  for (std::size_t k = 0; k < heads; ++k) {
+    if (legacy[3 * k].rows() != in || legacy[3 * k].cols() != d) return false;
+    if (legacy[3 * k + 1].rows() != d || legacy[3 * k + 1].cols() != 1) return false;
+    if (legacy[3 * k + 2].rows() != d || legacy[3 * k + 2].cols() != 1) return false;
   }
-  return out;
+  linalg::Mat w(in, heads * d), as(heads * d, 1), ad(heads * d, 1);
+  for (std::size_t k = 0; k < heads; ++k) {
+    const linalg::Mat& wk = legacy[3 * k];
+    for (std::size_t r = 0; r < in; ++r)
+      for (std::size_t c = 0; c < d; ++c) w(r, k * d + c) = wk(r, c);
+    for (std::size_t j = 0; j < d; ++j) {
+      as(k * d + j, 0) = legacy[3 * k + 1](j, 0);
+      ad(k * d + j, 0) = legacy[3 * k + 2](j, 0);
+    }
+  }
+  out.push_back(std::move(w));
+  out.push_back(std::move(as));
+  out.push_back(std::move(ad));
+  return true;
 }
 
 linalg::Mat GatLayer::attention(const linalg::Mat& features, const linalg::Mat& mask,
                                 std::size_t head) const {
-  Tensor h(features);
+  if (head >= heads_) throw std::out_of_range("GatLayer::attention: bad head");
+  nn::NoGradGuard guard;
   const std::size_t n = features.rows();
-  Tensor hw = nn::matmul(h, wPerHead_[head]);
-  Tensor src = nn::matmul(hw, aSrc_[head]);
-  Tensor dst = nn::matmul(hw, aDst_[head]);
-  Tensor onesRow(linalg::Mat(1, n, 1.0));
-  Tensor onesCol(linalg::Mat(n, 1, 1.0));
-  Tensor e = nn::add(nn::matmul(src, onesRow), nn::matmul(onesCol, nn::transpose(dst)));
-  e = nn::leakyRelu(e, 0.2);
-  e = nn::addConst(e, mask);
-  return nn::softmaxRows(e).value();
+  const std::size_t d = headDim_;
+  Tensor hw = nn::matmul(Tensor(features), wPacked_);  // n x heads*d
+  const linalg::Mat& hwv = hw.value();
+  const linalg::Mat& as = aSrcPacked_.value();
+  const linalg::Mat& ad = aDstPacked_.value();
+  std::vector<double> src(n, 0.0), dst(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < d; ++j) {
+      src[i] += hwv(i, head * d + j) * as(head * d + j, 0);
+      dst[i] += hwv(i, head * d + j) * ad(head * d + j, 0);
+    }
+  linalg::Mat e(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double p = src[i] + dst[j];
+      e(i, j) = (p > 0.0 ? p : 0.2 * p) + mask(i, j);
+    }
+  linalg::vecmath::softmaxRowsInPlace(e.data(), n, n);
+  return e;
 }
 
 GraphEncoder::GraphEncoder(Config cfg, util::Rng& rng) : cfg_(cfg) {
@@ -158,6 +189,23 @@ std::vector<Tensor> GraphEncoder::parameters() const {
   for (const auto& l : gat_)
     for (const auto& p : l.parameters()) out.push_back(p);
   return out;
+}
+
+bool GraphEncoder::adaptLegacyParams(const std::vector<linalg::Mat>& in,
+                                     std::size_t& pos,
+                                     std::vector<linalg::Mat>& out) const {
+  for (std::size_t l = 0; l < gcn_.size(); ++l) {
+    if (pos + 2 > in.size()) return false;
+    out.push_back(in[pos++]);  // w
+    out.push_back(in[pos++]);  // b
+  }
+  for (const auto& l : gat_) {
+    const std::size_t need = 3 * l.heads();
+    if (pos + need > in.size()) return false;
+    if (!GatLayer::packLegacyParams(&in[pos], l.heads(), out)) return false;
+    pos += need;
+  }
+  return true;
 }
 
 }  // namespace crl::gnn

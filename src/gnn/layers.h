@@ -42,7 +42,12 @@ class GcnLayer {
 
 class GatLayer {
  public:
-  /// Output feature dimension is heads * headDim (concatenated).
+  /// Output feature dimension is heads * headDim (concatenated). All heads
+  /// share one packed weight matrix [in x heads*headDim] (head k on column
+  /// block [k*headDim, (k+1)*headDim)) so the layer runs ONE weight matmul
+  /// instead of one per head; the packed initialization draws the RNG in the
+  /// legacy per-head order, so a fresh layer starts from the exact weights
+  /// the per-head layout drew from the same stream.
   GatLayer(std::size_t in, std::size_t headDim, std::size_t heads, util::Rng& rng,
            nn::Activation act = nn::Activation::Tanh);
 
@@ -59,22 +64,27 @@ class GatLayer {
   Tensor forwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
                       std::size_t count) const;
   std::vector<Tensor> parameters() const;
-  std::size_t heads() const { return wPerHead_.size(); }
-  std::size_t outFeatures() const { return heads() * headDim_; }
+  std::size_t heads() const { return heads_; }
+  std::size_t outFeatures() const { return heads_ * headDim_; }
 
   /// Attention coefficients of one head for inspection (no grad tracking).
   linalg::Mat attention(const linalg::Mat& features, const linalg::Mat& mask,
                         std::size_t head) const;
 
- private:
-  Tensor headForward(const Tensor& h, const linalg::Mat& mask, std::size_t k) const;
-  Tensor headForwardBatch(const Tensor& h, const linalg::Mat& tiledMask,
-                          std::size_t count, std::size_t k) const;
+  /// Checkpoint-migration shim: repack one layer's legacy per-head parameter
+  /// mats (w_0, aSrc_0, aDst_0, w_1, ...; 3*heads of them at `legacy`) into
+  /// the packed layout, appending wPacked, aSrcPacked, aDstPacked to `out`.
+  /// Returns false when the legacy mats are not a coherent per-head layer
+  /// (inconsistent shapes).
+  static bool packLegacyParams(const linalg::Mat* legacy, std::size_t heads,
+                               std::vector<linalg::Mat>& out);
 
+ private:
   std::size_t headDim_;
-  std::vector<Tensor> wPerHead_;
-  std::vector<Tensor> aSrc_;
-  std::vector<Tensor> aDst_;
+  std::size_t heads_;
+  Tensor wPacked_;     ///< [in x heads*headDim]
+  Tensor aSrcPacked_;  ///< [heads*headDim x 1], head k on rows [k*headDim, ...)
+  Tensor aDstPacked_;  ///< [heads*headDim x 1]
   nn::Activation act_;
 };
 
@@ -116,6 +126,14 @@ class GraphEncoder {
 
   std::vector<Tensor> parameters() const;
   const Config& config() const { return cfg_; }
+
+  /// Checkpoint-migration shim: consume this encoder's parameter mats in the
+  /// LEGACY per-head GAT layout from `in` starting at `pos` (advancing it)
+  /// and append the current-layout equivalents to `out`. GCN layers copy
+  /// through unchanged. Returns false when `in` runs out or a GAT layer's
+  /// mats are incoherent.
+  bool adaptLegacyParams(const std::vector<linalg::Mat>& in, std::size_t& pos,
+                         std::vector<linalg::Mat>& out) const;
 
  private:
   Config cfg_;

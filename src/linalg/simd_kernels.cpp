@@ -289,6 +289,116 @@ void gatLogitsBackwardKernel(double* dsrc, double* ddst, double* dpre,
 }
 
 CRL_SIMD_CLONES
+void gatPackedProjectKernel(double* srcAll, double* dstAll, const double* hw,
+                            const double* aSrc, const double* aDst,
+                            std::size_t rows, std::size_t heads, std::size_t d) {
+  const std::size_t ld = heads * d;
+  for (std::size_t h = 0; h < heads; ++h) {
+    const double* __restrict as = aSrc + h * d;
+    const double* __restrict ad = aDst + h * d;
+    double* __restrict so = srcAll + h * rows;
+    double* __restrict dso = dstAll + h * rows;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double* __restrict hrow = hw + i * ld + h * d;
+      // Two independent accumulator chains per row; each matches the
+      // separate per-head matmulKernel n == 1 call of the unpacked layout.
+      double accS = 0.0, accD = 0.0;
+      for (std::size_t k = 0; k < d; ++k) {
+        const double aik = hrow[k];
+        if (aik == 0.0) continue;
+        accS += aik * as[k];
+        accD += aik * ad[k];
+      }
+      so[i] = accS;
+      dso[i] = accD;
+    }
+  }
+}
+
+CRL_SIMD_CLONES
+void blocksMatmulStridedKernel(double* out, std::size_t outLd, const double* a,
+                               const double* b, std::size_t bLd,
+                               std::size_t blocks, std::size_t r, std::size_t k,
+                               std::size_t m) {
+  const std::size_t mChunks = m - m % kChunk;
+  for (std::size_t g = 0; g < blocks; ++g)
+    for (std::size_t i = 0; i < r; ++i) {
+      double* __restrict orow = out + (g * r + i) * outLd;
+      const double* __restrict arow = a + (g * r + i) * k;
+      const double* bg = b + g * k * bLd;
+      std::size_t jb = 0;
+      for (; jb < mChunks; jb += kChunk) {
+        double acc[kChunk];
+        for (std::size_t t = 0; t < kChunk; ++t) acc[t] = orow[jb + t];
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const double aik = arow[kk];
+          if (aik == 0.0) continue;
+          const double* __restrict brow = bg + kk * bLd + jb;
+          for (std::size_t t = 0; t < kChunk; ++t) acc[t] += aik * brow[t];
+        }
+        for (std::size_t t = 0; t < kChunk; ++t) orow[jb + t] = acc[t];
+      }
+      if (jb < m) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+          const double aik = arow[kk];
+          if (aik == 0.0) continue;
+          const double* __restrict brow = bg + kk * bLd;
+          for (std::size_t j = jb; j < m; ++j) orow[j] += aik * brow[j];
+        }
+      }
+    }
+}
+
+CRL_SIMD_CLONES
+void gatMixBackwardStridedKernel(double* da, double* db, std::size_t dbLd,
+                                 const double* alpha, const double* b,
+                                 std::size_t bLd, const double* g,
+                                 std::size_t gLd, std::size_t blocks,
+                                 std::size_t r, std::size_t k, std::size_t m) {
+  for (std::size_t blk = 0; blk < blocks; ++blk)
+    for (std::size_t i = 0; i < r; ++i) {
+      const double* __restrict grow = g + (blk * r + i) * gLd;
+      const double* __restrict arow = alpha + (blk * r + i) * k;
+      double* __restrict darow = da + (blk * r + i) * k;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const double* __restrict brow = b + (blk * k + kk) * bLd;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < m; ++j) acc += grow[j] * brow[j];
+        darow[kk] = acc;
+        const double aik = arow[kk];
+        if (aik == 0.0) continue;
+        double* __restrict dbrow = db + (blk * k + kk) * dbLd;
+        for (std::size_t j = 0; j < m; ++j) dbrow[j] += aik * grow[j];
+      }
+    }
+}
+
+CRL_SIMD_CLONES
+void outerAddStridedKernel(double* c, std::size_t cLd, const double* v,
+                           const double* a, std::size_t rows, std::size_t m) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    double* __restrict crow = c + i * cLd;
+    for (std::size_t j = 0; j < m; ++j) crow[j] += vi * a[j];
+  }
+}
+
+CRL_SIMD_CLONES
+void matvecAtStridedKernel(double* out, const double* a, std::size_t aLd,
+                           const double* v, std::size_t rows, std::size_t m) {
+  for (std::size_t j = 0; j < m; ++j) {
+    double acc = out[j];
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double aij = a[i * aLd + j];
+      if (aij == 0.0) continue;
+      acc += aij * v[i];
+    }
+    out[j] = acc;
+  }
+}
+
+CRL_SIMD_CLONES
 void adamStepKernel(double* value, double* m, double* v, const double* grad,
                     std::size_t count, double beta1, double beta2, double lr,
                     double eps, double bc1, double bc2) {

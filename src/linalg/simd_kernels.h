@@ -70,6 +70,49 @@ void gatLogitsBackwardKernel(double* dsrc, double* ddst, double* dpre,
                              const double* pre, const double* grad,
                              std::size_t blocks, std::size_t n, double slope);
 
+// ---- head-packed GAT kernels --------------------------------------------
+// Strided variants for the packed [rows x heads*d] GAT layout (one weight
+// matmul for all heads; head k lives on column block [k*d, (k+1)*d)). Each
+// runs the per-element chains of its compact counterpart above on views of
+// the packed buffers, so per-head results are bit-identical to the per-head
+// tensor layout.
+
+/// Both attention projections of every head in one sweep: for head h,
+/// srcAll[h*rows + i] = hw(i, h*d..) . aSrc[h*d..] and dstAll likewise
+/// (head-major outputs). Per element this is matmulKernel's n == 1 loop —
+/// k-ascending register accumulation with the zero-skip on the hw element.
+void gatPackedProjectKernel(double* srcAll, double* dstAll, const double* hw,
+                            const double* aSrc, const double* aDst,
+                            std::size_t rows, std::size_t heads, std::size_t d);
+
+/// blocksMatmulKernel over a column block of strided operands: out/b rows
+/// have leading dimensions outLd/bLd and the caller pre-offsets both
+/// pointers to the head's column block; a (alpha) is compact [blocks*r x k].
+void blocksMatmulStridedKernel(double* out, std::size_t outLd, const double* a,
+                               const double* b, std::size_t bLd,
+                               std::size_t blocks, std::size_t r, std::size_t k,
+                               std::size_t m);
+
+/// gatMixBackwardKernel with db/b/g strided (leading dimensions dbLd/bLd/gLd,
+/// pointers pre-offset to the head's column block); da/alpha are compact.
+void gatMixBackwardStridedKernel(double* da, double* db, std::size_t dbLd,
+                                 const double* alpha, const double* b,
+                                 std::size_t bLd, const double* g,
+                                 std::size_t gLd, std::size_t blocks,
+                                 std::size_t r, std::size_t k, std::size_t m);
+
+/// Rank-1 update c(i, 0..m) += v[i] * a[0..m] over a strided c column block
+/// (leading dimension cLd) — the hw-side projection backward, matmulKernel's
+/// kk == 1 saxpy with its zero-skip on v[i].
+void outerAddStridedKernel(double* c, std::size_t cLd, const double* v,
+                           const double* a, std::size_t rows, std::size_t m);
+
+/// out[j] += sum_i a(i, j) * v[i] over a strided a column block (leading
+/// dimension aLd) — the aSrc/aDst projection gradients, matmulAtBKernel's
+/// n == 1 loop (i-ascending with the zero-skip on the a element).
+void matvecAtStridedKernel(double* out, const double* a, std::size_t aLd,
+                           const double* v, std::size_t rows, std::size_t m);
+
 /// One Adam update over a parameter buffer: the exact per-element update of
 /// Adam::step (m/v decay, bias-corrected divide, sqrt) — vectorized sqrt
 /// and divide are correctly-rounded IEEE ops, so results match the scalar

@@ -1,0 +1,340 @@
+// Vectorized exp/tanh/sigmoid cores — see vec_math.h for the dispatch and
+// exactness contract. This TU is compiled with -ffp-contract=off
+// -fno-math-errno (enforced in CMakeLists.txt): the per-element algorithm
+// is a fixed sequence of IEEE operations, and forbidding FMA contraction is
+// what makes the AVX-512 / AVX2 / baseline clones (and the scalar reference
+// entry points) produce identical bits.
+//
+// Algorithm notes (all branchless, so GCC's vectorizer if-converts them):
+//
+//   exp(x):  clamp x into [-746, 710] (results saturate to 0 / inf exactly
+//            like libm; NaN passes every clamp unchanged), then
+//            k = round(x * log2(e)) via the 1.5*2^52 magic-shift trick (the
+//            rounded integer appears in the low mantissa bits — no
+//            double->int64 conversion, which AVX2 lacks), Cody-Waite
+//            reduction r = x - k*ln2 against a hi/lo split of ln2, a
+//            degree-13 Taylor polynomial for expm1(r) on |r| <= ln2/2, and
+//            reconstruction (1 + q) * 2^(k/2) * 2^(k - k/2). The split
+//            scale keeps both factors normal for every clamped k in
+//            [-1076, 1025], so overflow -> inf and the gradual-underflow
+//            tail produce exactly one final rounding.
+//
+//   tanh(x): em = expm1(2|x|) by the same reduction (2|x| clamped to 40 —
+//            beyond it em/(em+2) rounds to 1.0 anyway), then
+//            copysign(em / (em + 2), x). Subnormal and tiny x collapse to
+//            x itself (q's quadratic term underflows), matching std::tanh.
+//
+//   sigmoid(x): 1 / (1 + exp(-x)) — literally the legacy scalar formula
+//            with exp swapped for the kernel above.
+
+#include "linalg/vec_math.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+// Same guard as simd_kernels.cpp: per-ISA clones need GNU ifunc support.
+#if defined(__x86_64__) && defined(__GNUC__) && defined(__gnu_linux__) && \
+    !defined(CRL_SIMD_NO_CLONES)
+#define CRL_VEC_MATH_CLONES \
+  __attribute__((target_clones("avx512f", "avx2", "default")))
+#define CRL_VEC_MATH_TIERS 1
+#else
+#define CRL_VEC_MATH_CLONES
+#endif
+
+namespace crl::linalg::vecmath {
+namespace {
+
+constexpr double kLog2E = 1.44269504088896340736;       // 1/ln(2)
+constexpr double kLn2Hi = 6.93147180369123816490e-01;   // fdlibm hi/lo split
+constexpr double kLn2Lo = 1.90821492927058770002e-10;   //   of ln(2)
+constexpr double kShift = 6755399441055744.0;           // 1.5 * 2^52
+
+/// q = expm1(r) = r + r^2/2! + ... + r^13/13! for |r| <= ln2/2. The
+/// truncation error (~4e-18 relative) is below half an ulp; the leading
+/// term is exact, which keeps expm1's relative accuracy near r = 0.
+inline double expm1Poly(double r) {
+  double q = 1.0 / 6227020800.0;  // 1/13!
+  q = q * r + 1.0 / 479001600.0;
+  q = q * r + 1.0 / 39916800.0;
+  q = q * r + 1.0 / 3628800.0;
+  q = q * r + 1.0 / 362880.0;
+  q = q * r + 1.0 / 40320.0;
+  q = q * r + 1.0 / 5040.0;
+  q = q * r + 1.0 / 720.0;
+  q = q * r + 1.0 / 120.0;
+  q = q * r + 1.0 / 24.0;
+  q = q * r + 1.0 / 6.0;
+  q = q * r + 0.5;
+  return q * r * r + r;
+}
+
+/// Rounded k from the magic-shifted kd = x*log2e + 1.5*2^52: the low 13
+/// mantissa bits hold (2^51 + k) mod 2^13; xor/sub sign-extends the 13-bit
+/// two's complement. Valid for |k| <= 4095 — every clamped input below
+/// keeps k in [-1076, 1025].
+inline std::int64_t shiftedK(double kd) {
+  return ((std::bit_cast<std::int64_t>(kd) & 0x1FFF) ^ 0x1000) - 0x1000;
+}
+
+/// x > hi ? hi : x; NaN fails the compare and passes through. Kept as a
+/// plain ternary — the TU's -fno-trapping-math (CMakeLists.txt) lets the
+/// if-converter turn it into a lane select on every ISA tier.
+inline double clampHi(double x, double hi) { return x > hi ? hi : x; }
+
+/// x < lo ? lo : x (NaN passes through).
+inline double clampLo(double x, double lo) { return x < lo ? lo : x; }
+
+/// 2^k assembled in the exponent field; k must keep k + 1023 in [1, 2046].
+inline double pow2i(std::int64_t k) {
+  return std::bit_cast<double>(static_cast<std::uint64_t>(k + 1023) << 52);
+}
+
+inline double expCore(double x) {
+  // Saturation clamps (NaN fails both compares and passes through): at
+  // x = 710 the reconstruction overflows to inf, at -746 it underflows to
+  // 0 through the subnormal range — the same thresholds where std::exp
+  // saturates.
+  const double xc = clampLo(clampHi(x, 710.0), -746.0);
+  const double kd = xc * kLog2E + kShift;
+  const double kf = kd - kShift;
+  const std::int64_t k = shiftedK(kd);
+  const double r = (xc - kf * kLn2Hi) - kf * kLn2Lo;
+  const double q = expm1Poly(r);
+  // Split scale: (1+q)*2^kh stays normal for every clamped k, so the final
+  // multiply by 2^(k-kh) is the single rounding that lands on inf, a
+  // subnormal, or 0 at the extremes.
+  const std::int64_t kh = k >> 1;
+  return ((1.0 + q) * pow2i(kh)) * pow2i(k - kh);
+}
+
+inline double tanhCore(double x) {
+  const double ax = std::fabs(x);
+  // Beyond y = 2|x| = 40, em/(em+2) rounds to 1.0 regardless, so the clamp
+  // saturates exactly like std::tanh. NaN passes through the mask select.
+  const double y = clampHi(2.0 * ax, 40.0);
+  const double kd = y * kLog2E + kShift;
+  const double kf = kd - kShift;
+  const std::int64_t k = shiftedK(kd);  // 0..58 for real inputs
+  const double r = (y - kf * kLn2Hi) - kf * kLn2Lo;
+  const double q = expm1Poly(r);
+  const double s = pow2i(k);
+  const double em = s * q + (s - 1.0);  // expm1(y); exact q when k == 0
+  const double t = em / (em + 2.0);
+  return std::copysign(t, x);
+}
+
+inline double sigmoidCore(double x) { return 1.0 / (1.0 + expCore(-x)); }
+
+// ---- CRL_SIMD_MATH knob ---------------------------------------------------
+
+std::atomic<int> gKnob{-1};  // -1 = env not read yet, 0 = off, 1 = on
+
+}  // namespace
+
+bool enabled() {
+  int k = gKnob.load(std::memory_order_relaxed);
+  if (k < 0) {
+    const char* v = std::getenv("CRL_SIMD_MATH");
+    k = (v != nullptr && v[0] == '0' && v[1] == '\0') ? 0 : 1;
+    gKnob.store(k, std::memory_order_relaxed);
+  }
+  return k == 1;
+}
+
+void setEnabled(bool on) {
+  gKnob.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ---- scalar references ----------------------------------------------------
+
+double refExp(double x) { return expCore(x); }
+double refTanh(double x) { return tanhCore(x); }
+double refSigmoid(double x) { return sigmoidCore(x); }
+
+// ---- dispatched array kernels ---------------------------------------------
+
+namespace {
+
+CRL_VEC_MATH_CLONES
+void expKernel(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = expCore(x[i]);
+}
+
+CRL_VEC_MATH_CLONES
+void tanhKernel(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = tanhCore(x[i]);
+}
+
+CRL_VEC_MATH_CLONES
+void sigmoidKernel(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = sigmoidCore(x[i]);
+}
+
+}  // namespace
+
+void expInPlace(double* x, std::size_t n) {
+  if (enabled()) {
+    expKernel(x, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::exp(x[i]);
+}
+
+void tanhInPlace(double* x, std::size_t n) {
+  if (enabled()) {
+    tanhKernel(x, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] = std::tanh(x[i]);
+}
+
+void sigmoidInPlace(double* x, std::size_t n) {
+  if (enabled()) {
+    sigmoidKernel(x, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) x[i] = 1.0 / (1.0 + std::exp(-x[i]));
+}
+
+// ---- shared softmax row kernels -------------------------------------------
+
+void softmaxRowsInPlace(double* m, std::size_t rows, std::size_t cols) {
+  const bool vec = enabled();
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* row = m + r * cols;
+    double mx = row[0];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    if (vec) {
+      for (std::size_t c = 0; c < cols; ++c) row[c] -= mx;
+      expKernel(row, cols);
+    } else {
+      for (std::size_t c = 0; c < cols; ++c) row[c] = std::exp(row[c] - mx);
+    }
+    double total = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) total += row[c];
+    for (std::size_t c = 0; c < cols; ++c) row[c] /= total;
+  }
+}
+
+void logSoftmaxRowsInPlace(double* m, double* probs, std::size_t rows,
+                           std::size_t cols) {
+  const bool vec = enabled();
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* row = m + r * cols;
+    double* prow = probs != nullptr ? probs + r * cols : nullptr;
+    double mx = row[0];
+    for (std::size_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    double total = 0.0;
+    if (vec && prow != nullptr) {
+      for (std::size_t c = 0; c < cols; ++c) prow[c] = row[c] - mx;
+      expKernel(prow, cols);
+      for (std::size_t c = 0; c < cols; ++c) total += prow[c];
+    } else if (vec) {
+      // No probs buffer: the scalar reference core gives the same bits as
+      // the vector kernel, so the row sum is unchanged.
+      for (std::size_t c = 0; c < cols; ++c) total += expCore(row[c] - mx);
+    } else {
+      for (std::size_t c = 0; c < cols; ++c) total += std::exp(row[c] - mx);
+    }
+    const double lse = mx + std::log(total);
+    for (std::size_t c = 0; c < cols; ++c) row[c] -= lse;
+    if (prow != nullptr) {
+      if (vec) {
+        for (std::size_t c = 0; c < cols; ++c) prow[c] /= total;
+      } else {
+        // Legacy-bit probabilities: the pre-knob backward recomputed
+        // exp(log-softmax), so the fallback reproduces those exact bits.
+        for (std::size_t c = 0; c < cols; ++c) prow[c] = std::exp(row[c]);
+      }
+    }
+  }
+}
+
+// ---- explicit ISA tiers (bench entry points) ------------------------------
+
+namespace {
+
+#ifdef CRL_VEC_MATH_TIERS
+#define CRL_VEC_MATH_TIER_DEFS(ATTR, SUFFIX)                        \
+  ATTR void expLoop##SUFFIX(double* x, std::size_t n) {             \
+    for (std::size_t i = 0; i < n; ++i) x[i] = expCore(x[i]);       \
+  }                                                                 \
+  ATTR void tanhLoop##SUFFIX(double* x, std::size_t n) {            \
+    for (std::size_t i = 0; i < n; ++i) x[i] = tanhCore(x[i]);      \
+  }                                                                 \
+  ATTR void sigmoidLoop##SUFFIX(double* x, std::size_t n) {         \
+    for (std::size_t i = 0; i < n; ++i) x[i] = sigmoidCore(x[i]);   \
+  }
+
+CRL_VEC_MATH_TIER_DEFS(__attribute__((target("avx512f"))), Avx512)
+CRL_VEC_MATH_TIER_DEFS(__attribute__((target("avx2"))), Avx2)
+CRL_VEC_MATH_TIER_DEFS(, Baseline)
+#undef CRL_VEC_MATH_TIER_DEFS
+#else
+void expLoopBaseline(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = expCore(x[i]);
+}
+void tanhLoopBaseline(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = tanhCore(x[i]);
+}
+void sigmoidLoopBaseline(double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) x[i] = sigmoidCore(x[i]);
+}
+#endif
+
+}  // namespace
+
+const char* isaName(Isa isa) {
+  switch (isa) {
+    case Isa::Baseline: return "baseline";
+    case Isa::Avx2: return "avx2";
+    case Isa::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+bool isaSupported(Isa isa) {
+#ifdef CRL_VEC_MATH_TIERS
+  switch (isa) {
+    case Isa::Baseline: return true;
+    case Isa::Avx2: return __builtin_cpu_supports("avx2") != 0;
+    case Isa::Avx512: return __builtin_cpu_supports("avx512f") != 0;
+  }
+  return false;
+#else
+  return isa == Isa::Baseline;
+#endif
+}
+
+void expInPlaceIsa(Isa isa, double* x, std::size_t n) {
+#ifdef CRL_VEC_MATH_TIERS
+  if (isa == Isa::Avx512) return expLoopAvx512(x, n);
+  if (isa == Isa::Avx2) return expLoopAvx2(x, n);
+#endif
+  (void)isa;
+  expLoopBaseline(x, n);
+}
+
+void tanhInPlaceIsa(Isa isa, double* x, std::size_t n) {
+#ifdef CRL_VEC_MATH_TIERS
+  if (isa == Isa::Avx512) return tanhLoopAvx512(x, n);
+  if (isa == Isa::Avx2) return tanhLoopAvx2(x, n);
+#endif
+  (void)isa;
+  tanhLoopBaseline(x, n);
+}
+
+void sigmoidInPlaceIsa(Isa isa, double* x, std::size_t n) {
+#ifdef CRL_VEC_MATH_TIERS
+  if (isa == Isa::Avx512) return sigmoidLoopAvx512(x, n);
+  if (isa == Isa::Avx2) return sigmoidLoopAvx2(x, n);
+#endif
+  (void)isa;
+  sigmoidLoopBaseline(x, n);
+}
+
+}  // namespace crl::linalg::vecmath

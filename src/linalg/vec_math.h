@@ -1,0 +1,80 @@
+#pragma once
+// Runtime-dispatched vectorized transcendental math for the update-path hot
+// loops: exp, tanh, sigmoid, and the shared softmax/log-softmax row kernels
+// built on them.
+//
+// Dispatch follows the simd_kernels.h pattern: one source of truth per
+// kernel, cloned per ISA (AVX-512 / AVX2 / baseline) with glibc ifunc
+// dispatch picking the widest supported clone at load time. The per-element
+// algorithm (range reduction + polynomial, see vec_math.cpp) is branchless
+// straight-line IEEE arithmetic, so every clone produces bit-identical
+// results — the TU is compiled with -ffp-contract=off to keep FMA
+// contraction from breaking that (enforced in CMakeLists.txt).
+//
+// Exactness contract: unlike the simd_kernels.h kernels, these do NOT
+// reproduce libm bit-for-bit — a polynomial evaluated in a different order
+// than glibc's cannot. Instead the contract is:
+//   * results are bit-identical across ISA tiers, platforms, and the
+//     scalar reference entry points (refExp/refTanh/refSigmoid), and
+//   * the deviation from std::exp / std::tanh / the scalar sigmoid formula
+//     is bounded by the audited max-ULP bound pinned in
+//     tests/linalg/test_vec_math_parity.cpp (edge cases — ±0, ±inf, NaN,
+//     denormals, overflow/underflow thresholds — match std:: exactly).
+// Because the bits differ from libm, the kernels sit behind the
+// CRL_SIMD_MATH knob (default on; set CRL_SIMD_MATH=0 before first use or
+// call setEnabled(false) to fall back to the exact legacy std:: loops).
+// The golden learning curves survived the switch unchanged — the few-ULP
+// probability shifts never flip a sampled action at golden-curve length —
+// so they were NOT re-baselined (tests/rl/test_golden_curves.cpp still
+// pins the pre-SIMD arrays, bit-for-bit on this toolchain).
+
+#include <cstddef>
+
+namespace crl::linalg::vecmath {
+
+/// Whether the vectorized kernels are active (lazily reads CRL_SIMD_MATH on
+/// first call; "0" disables, anything else — including unset — enables).
+bool enabled();
+
+/// Test/bench override of the CRL_SIMD_MATH knob.
+void setEnabled(bool on);
+
+/// Scalar reference evaluations — single-element runs of the exact
+/// per-element algorithm the array kernels vectorize (same TU, same flags),
+/// so they are bit-identical to any array element. These ignore the knob;
+/// they exist for the ULP audit and for callers that need one value.
+double refExp(double x);
+double refTanh(double x);
+double refSigmoid(double x);
+
+/// In-place batched transforms over n contiguous doubles. Honor the knob:
+/// vectorized kernels when enabled, the legacy std:: loops otherwise.
+void expInPlace(double* x, std::size_t n);
+void tanhInPlace(double* x, std::size_t n);
+void sigmoidInPlace(double* x, std::size_t n);
+
+/// Row-wise softmax over a [rows x cols] row-major buffer, in place. The
+/// max-subtract + ascending row-sum summation order of the legacy loops is
+/// preserved exactly; only the per-element exp changes with the knob. This
+/// is the single shared implementation behind nn::softmaxRows, the fused
+/// GAT attention softmax, and rl's sampling softmax.
+void softmaxRowsInPlace(double* m, std::size_t rows, std::size_t cols);
+
+/// Row-wise log-softmax in place: m(r,c) -= max_r + log(sum_c exp(m(r,c) -
+/// max_r)), summation ascending in c like the legacy loop. When `probs` is
+/// non-null it receives the softmax probabilities (rows*cols, row-major) as
+/// a by-product for the backward pass — exp is not recomputed there.
+void logSoftmaxRowsInPlace(double* m, double* probs, std::size_t rows,
+                           std::size_t cols);
+
+/// Explicit ISA-tier entry points for bench_vec_math: the same loops pinned
+/// to one clone each, bypassing both the ifunc dispatch and the knob.
+/// Calling a tier that isaSupported() rejects is undefined (SIGILL).
+enum class Isa { Baseline, Avx2, Avx512 };
+const char* isaName(Isa isa);
+bool isaSupported(Isa isa);
+void expInPlaceIsa(Isa isa, double* x, std::size_t n);
+void tanhInPlaceIsa(Isa isa, double* x, std::size_t n);
+void sigmoidInPlaceIsa(Isa isa, double* x, std::size_t n);
+
+}  // namespace crl::linalg::vecmath

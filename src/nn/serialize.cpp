@@ -107,7 +107,8 @@ void saveParameters(const std::string& path, const std::vector<Tensor>& params) 
 
 LoadResult loadParametersDetailed(const std::string& path,
                                   std::vector<Tensor>& params,
-                                  std::string* error) {
+                                  std::string* error,
+                                  const ParamAdapter& adapter) {
   std::string bytes;
   if (!readFile(path, bytes)) {
     setError(error, "no file at " + path);
@@ -123,22 +124,43 @@ LoadResult loadParametersDetailed(const std::string& path,
     setError(error, path + ": truncated header");
     return LoadResult::Invalid;
   }
-  if (count != params.size()) {
+  if (count != params.size() && !adapter) {
     setError(error, path + ": holds " + std::to_string(count) +
                         " tensors, model expects " + std::to_string(params.size()));
+    return LoadResult::Invalid;
+  }
+  if (count > r.remaining() / 16) {  // each tensor record is >= 16 bytes
+    setError(error, path + ": tensor count " + std::to_string(count) +
+                        " exceeds the file size");
     return LoadResult::Invalid;
   }
 
   // Stage into temporaries so a short read leaves params untouched.
   std::vector<linalg::Mat> staged;
-  staged.reserve(params.size());
-  for (std::size_t i = 0; i < params.size(); ++i) {
+  staged.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     linalg::Mat m;
     if (!r.mat(m)) {
       setError(error, path + ": truncated at tensor " + std::to_string(i));
       return LoadResult::Invalid;
     }
+    staged.push_back(std::move(m));
+  }
+  if (count != params.size()) {
+    // The caller supplied a layout-migration adapter (e.g. repacking the
+    // retired per-head GAT layout); let it rewrite the staged mats, then
+    // validate the result like any other artifact.
+    if (!adapter(staged) || staged.size() != params.size()) {
+      setError(error, path + ": holds " + std::to_string(count) +
+                          " tensors, model expects " +
+                          std::to_string(params.size()) +
+                          " (and no legacy-layout migration applies)");
+      return LoadResult::Invalid;
+    }
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
     const auto& expect = params[i].value();
+    const auto& m = staged[i];
     if (m.rows() != expect.rows() || m.cols() != expect.cols()) {
       setError(error, path + ": tensor " + std::to_string(i) + " is " +
                           std::to_string(m.rows()) + "x" + std::to_string(m.cols()) +
@@ -146,7 +168,6 @@ LoadResult loadParametersDetailed(const std::string& path,
                           std::to_string(expect.cols()));
       return LoadResult::Invalid;
     }
-    staged.push_back(std::move(m));
   }
   for (std::size_t i = 0; i < params.size(); ++i)
     params[i].mutableValue() = std::move(staged[i]);

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -161,12 +162,21 @@ enum class LoadResult {
 /// Write parameter values to a binary file (atomically; see header comment).
 void saveParameters(const std::string& path, const std::vector<Tensor>& params);
 
+/// Optional layout-migration adapter for loadParametersDetailed: when the
+/// artifact's tensor count differs from the model's, the adapter receives
+/// the artifact's mats and may rewrite them into the current layout
+/// (returning true). ActorCritic::adaptLegacyParameterMats is the intended
+/// implementation.
+using ParamAdapter = std::function<bool(std::vector<linalg::Mat>&)>;
+
 /// Load values into existing tensors (shapes must match exactly); params are
 /// untouched unless the result is Ok. On Invalid, `error` (when non-null)
-/// receives a message naming what mismatched.
+/// receives a message naming what mismatched. A count mismatch is routed
+/// through `adapter` (when provided) before being declared Invalid.
 LoadResult loadParametersDetailed(const std::string& path,
                                   std::vector<Tensor>& params,
-                                  std::string* error = nullptr);
+                                  std::string* error = nullptr,
+                                  const ParamAdapter& adapter = nullptr);
 
 /// Back-compat shim: true iff the load fully succeeded. Prefer
 /// loadParametersDetailed where "missing" and "invalid" must act differently.

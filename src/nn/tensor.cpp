@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/vec_math.h"
 #include "nn/arena.h"
 
 namespace crl::nn {
@@ -131,6 +132,23 @@ Tensor pointwise(const Tensor& a, F f, DF dfda) {
   }));
 }
 
+/// pointwise with the forward computed by a whole-buffer kernel (the
+/// vec_math batched transforms) instead of a per-element lambda.
+template <typename AF, typename DF>
+Tensor pointwiseBatched(const Tensor& a, AF arrayFn, DF dfda) {
+  Mat out = copyMat(a.value());
+  arrayFn(out.data(), out.raw().size());
+  if (tlInferenceDepth > 0) return wrap(makeValueNode(std::move(out)));
+  auto pa = a.node();
+  return wrap(makeNode(std::move(out), {pa}, [pa, dfda](Node& self) {
+    const Mat& in = pa->value;
+    Mat delta = newMatUninit(in.rows(), in.cols());
+    for (std::size_t i = 0; i < in.raw().size(); ++i)
+      delta.raw()[i] = dfda(in.raw()[i], self.value.raw()[i]) * self.grad.raw()[i];
+    accumulate(*pa, std::move(delta));
+  }));
+}
+
 // ---- fused-kernel helpers ----------------------------------------------
 
 /// y += diag(block, ..., block) x with `repeat` copies of blk along the
@@ -151,18 +169,10 @@ void blockDiagApplyTransposedInto(Mat& y, const Mat& blk, std::size_t repeat,
                                 x.data(), x.cols(), /*transposed=*/true);
 }
 
-/// Row-wise softmax in place — the exact loops of softmaxRows' forward.
+/// Row-wise softmax in place — the shared vectorized kernel (max-subtract
+/// and ascending row-sum order preserved; see vec_math.h).
 void softmaxRowsInPlace(Mat& out) {
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    double mx = out(r, 0);
-    for (std::size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
-    double total = 0.0;
-    for (std::size_t c = 0; c < out.cols(); ++c) {
-      out(r, c) = std::exp(out(r, c) - mx);
-      total += out(r, c);
-    }
-    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) /= total;
-  }
+  linalg::vecmath::softmaxRowsInPlace(out.data(), out.rows(), out.cols());
 }
 
 /// The matmulBlocks value kernel: out += a_g * b_g per block, out zero-filled.
@@ -173,12 +183,13 @@ void blocksMatmulInto(Mat& out, const Mat& a, const Mat& b, std::size_t blocks,
 }
 
 /// Pointwise activation in place — per-element functions identical to the
-/// tanhT/relu/leakyRelu/sigmoid ops.
+/// tanhT/relu/leakyRelu/sigmoid ops (which route through the same vec_math
+/// kernels).
 void applyActivationInPlace(Mat& m, Activation act) {
   switch (act) {
     case Activation::None: return;
     case Activation::Tanh:
-      for (auto& v : m.raw()) v = std::tanh(v);
+      linalg::vecmath::tanhInPlace(m.data(), m.raw().size());
       return;
     case Activation::Relu:
       for (auto& v : m.raw()) v = v > 0.0 ? v : 0.0;
@@ -187,7 +198,7 @@ void applyActivationInPlace(Mat& m, Activation act) {
       for (auto& v : m.raw()) v = v > 0.0 ? v : 0.2 * v;
       return;
     case Activation::Sigmoid:
-      for (auto& v : m.raw()) v = 1.0 / (1.0 + std::exp(-v));
+      linalg::vecmath::sigmoidInPlace(m.data(), m.raw().size());
       return;
   }
   throw std::logic_error("applyActivationInPlace: unknown activation");
@@ -477,8 +488,8 @@ Tensor addConst(const Tensor& a, const Mat& c) {
 }
 
 Tensor tanhT(const Tensor& a) {
-  return pointwise(a, [](double v) { return std::tanh(v); },
-                   [](double, double y) { return 1.0 - y * y; });
+  return pointwiseBatched(a, linalg::vecmath::tanhInPlace,
+                          [](double, double y) { return 1.0 - y * y; });
 }
 
 Tensor relu(const Tensor& a) {
@@ -492,13 +503,13 @@ Tensor leakyRelu(const Tensor& a, double slope) {
 }
 
 Tensor sigmoid(const Tensor& a) {
-  return pointwise(a, [](double v) { return 1.0 / (1.0 + std::exp(-v)); },
-                   [](double, double y) { return y * (1.0 - y); });
+  return pointwiseBatched(a, linalg::vecmath::sigmoidInPlace,
+                          [](double, double y) { return y * (1.0 - y); });
 }
 
 Tensor expT(const Tensor& a) {
-  return pointwise(a, [](double v) { return std::exp(v); },
-                   [](double, double y) { return y; });
+  return pointwiseBatched(a, linalg::vecmath::expInPlace,
+                          [](double, double y) { return y; });
 }
 
 Tensor logT(const Tensor& a, double eps) {
@@ -552,25 +563,30 @@ Tensor softmaxRows(const Tensor& a) {
 Tensor logSoftmaxRows(const Tensor& a) {
   auto pa = a.node();
   Mat out = copyMat(a.value());
-  for (std::size_t r = 0; r < out.rows(); ++r) {
-    double mx = out(r, 0);
-    for (std::size_t c = 1; c < out.cols(); ++c) mx = std::max(mx, out(r, c));
-    double total = 0.0;
-    for (std::size_t c = 0; c < out.cols(); ++c) total += std::exp(out(r, c) - mx);
-    const double lse = mx + std::log(total);
-    for (std::size_t c = 0; c < out.cols(); ++c) out(r, c) -= lse;
+  if (tlInferenceDepth > 0) {
+    linalg::vecmath::logSoftmaxRowsInPlace(out.data(), nullptr, out.rows(),
+                                           out.cols());
+    return wrap(makeValueNode(std::move(out)));
   }
-  return wrap(makeNode(std::move(out), {pa}, [pa](Node& self) {
+  // The forward's softmax probabilities ride along in ctx so the backward
+  // reuses them instead of re-exponentiating every element.
+  Mat probs = newMatUninit(out.rows(), out.cols());
+  linalg::vecmath::logSoftmaxRowsInPlace(out.data(), probs.data(), out.rows(),
+                                         out.cols());
+  auto node = makeNode(std::move(out), {pa}, [pa](Node& self) {
     // dx_rc = dout_rc - softmax_rc * sum_k dout_rk.
+    const Mat& probs = self.ctx;
     Mat delta = newMatUninit(self.value.rows(), self.value.cols());
     for (std::size_t r = 0; r < self.value.rows(); ++r) {
       double rowSum = 0.0;
       for (std::size_t c = 0; c < self.value.cols(); ++c) rowSum += self.grad(r, c);
       for (std::size_t c = 0; c < self.value.cols(); ++c)
-        delta(r, c) = self.grad(r, c) - std::exp(self.value(r, c)) * rowSum;
+        delta(r, c) = self.grad(r, c) - probs(r, c) * rowSum;
     }
     accumulate(*pa, std::move(delta));
-  }));
+  });
+  node->ctx = std::move(probs);
+  return wrap(std::move(node));
 }
 
 Tensor sum(const Tensor& a) {
@@ -971,6 +987,128 @@ Tensor fusedGatLogits(const Tensor& hw, const Tensor& aSrc, const Tensor& aDst,
         releaseMat(std::move(ddst));
       });
   node->ctx = std::move(pre);
+  return wrap(std::move(node));
+}
+
+Tensor fusedGatMultiHead(const Tensor& hwAll, const Tensor& aSrcPacked,
+                         const Tensor& aDstPacked, const Mat& mask,
+                         std::size_t blocks, std::size_t heads, double slope,
+                         Activation act) {
+  const std::size_t n = mask.cols();
+  const std::size_t rows = blocks * n;
+  const std::size_t hd = hwAll.cols();
+  if (heads == 0 || hd % heads != 0)
+    throw std::invalid_argument("fusedGatMultiHead: cols must divide into heads");
+  const std::size_t d = hd / heads;
+  if (mask.rows() != rows)
+    throw std::invalid_argument("fusedGatMultiHead: mask must be [blocks*n x n]");
+  if (hwAll.rows() != rows)
+    throw std::invalid_argument("fusedGatMultiHead: hw row count mismatch");
+  if (aSrcPacked.rows() != hd || aSrcPacked.cols() != 1 ||
+      aDstPacked.rows() != hd || aDstPacked.cols() != 1)
+    throw std::invalid_argument("fusedGatMultiHead: projection shape mismatch");
+  // Head-major projection scratch: row h of each holds head h's src/dst
+  // projections over all graph rows. Released once the logits are built.
+  Mat srcAll = newMatUninit(heads, rows);
+  Mat dstAll = newMatUninit(heads, rows);
+  linalg::simd::gatPackedProjectKernel(
+      srcAll.data(), dstAll.data(), hwAll.value().data(),
+      aSrcPacked.value().data(), aDstPacked.value().data(), rows, heads, d);
+  // One ctx slab for the whole layer: head k's attention coefficients on
+  // rows [k*rows, (k+1)*rows), its pre-activation logits on rows
+  // [(heads+k)*rows, (heads+k+1)*rows).
+  Mat ctx = newMatUninit(2 * heads * rows, n);
+  Mat out = newMat(rows, hd);
+  for (std::size_t k = 0; k < heads; ++k) {
+    double* alphaK = ctx.data() + k * rows * n;
+    double* preK = ctx.data() + (heads + k) * rows * n;
+    linalg::simd::gatLogitsKernel(alphaK, preK, srcAll.data() + k * rows,
+                                  dstAll.data() + k * rows, mask.data(), blocks,
+                                  n, slope);
+    linalg::vecmath::softmaxRowsInPlace(alphaK, rows, n);
+    linalg::simd::blocksMatmulStridedKernel(out.data() + k * d, hd, alphaK,
+                                            hwAll.value().data() + k * d, hd,
+                                            blocks, n, n, d);
+  }
+  releaseMat(std::move(srcAll));
+  releaseMat(std::move(dstAll));
+  applyActivationInPlace(out, act);
+  if (tlInferenceDepth > 0) {
+    releaseMat(std::move(ctx));
+    return wrap(makeValueNode(std::move(out)));
+  }
+  auto phw = hwAll.node(), pas = aSrcPacked.node(), pad = aDstPacked.node();
+  auto node = makeNode(
+      std::move(out), {phw, pas, pad},
+      [phw, pas, pad, blocks, n, heads, d, slope, act](Node& self) {
+        const std::size_t rows = blocks * n;
+        const std::size_t hd = heads * d;
+        const Mat& ctx = self.ctx;
+        // Activation backward over the whole concatenated output, then per
+        // head ascending: mix backward (dAlpha + the hw-side saxpy into the
+        // packed column block), softmax backward, logit backward, and the
+        // projection backwards — each head's dhw block accumulates mix-db
+        // first, then the src side, then the dst side, the legacy per-head
+        // accumulation order.
+        Mat dz = newMatUninit(rows, hd);
+        activationBackwardInto(dz, self.value, self.grad, act);
+        Mat dhw = newMat(rows, hd);
+        Mat dASrc = newMat(hd, 1);
+        Mat dADst = newMat(hd, 1);
+        Mat da = newMatUninit(rows, n);
+        Mat de = newMatUninit(rows, n);
+        Mat dpre = newMatUninit(rows, n);
+        Mat dsrc = newMatUninit(rows, 1);
+        Mat ddst = newMatUninit(rows, 1);
+        for (std::size_t k = 0; k < heads; ++k) {
+          const double* alphaK = ctx.data() + k * rows * n;
+          const double* preK = ctx.data() + (heads + k) * rows * n;
+          linalg::simd::gatMixBackwardStridedKernel(
+              da.data(), dhw.data() + k * d, hd, alphaK,
+              phw->value.data() + k * d, hd, dz.data() + k * d, hd, blocks, n,
+              n, d);
+          for (std::size_t row = 0; row < rows; ++row) {
+            const double* arow = alphaK + row * n;
+            const double* darow = da.data() + row * n;
+            double* derow = de.data() + row * n;
+            double dotProd = 0.0;
+            for (std::size_t c = 0; c < n; ++c) dotProd += darow[c] * arow[c];
+            for (std::size_t c = 0; c < n; ++c)
+              derow[c] = arow[c] * (darow[c] - dotProd);
+          }
+          linalg::simd::gatLogitsBackwardKernel(dsrc.data(), ddst.data(),
+                                                dpre.data(), preK, de.data(),
+                                                blocks, n, slope);
+          if (phw->requiresGrad) {
+            linalg::simd::outerAddStridedKernel(dhw.data() + k * d, hd,
+                                                dsrc.data(),
+                                                pas->value.data() + k * d, rows,
+                                                d);
+            linalg::simd::outerAddStridedKernel(dhw.data() + k * d, hd,
+                                                ddst.data(),
+                                                pad->value.data() + k * d, rows,
+                                                d);
+          }
+          if (pas->requiresGrad)
+            linalg::simd::matvecAtStridedKernel(dASrc.data() + k * d,
+                                                phw->value.data() + k * d, hd,
+                                                dsrc.data(), rows, d);
+          if (pad->requiresGrad)
+            linalg::simd::matvecAtStridedKernel(dADst.data() + k * d,
+                                                phw->value.data() + k * d, hd,
+                                                ddst.data(), rows, d);
+        }
+        releaseMat(std::move(da));
+        releaseMat(std::move(de));
+        releaseMat(std::move(dpre));
+        releaseMat(std::move(dsrc));
+        releaseMat(std::move(ddst));
+        releaseMat(std::move(dz));
+        accumulate(*phw, std::move(dhw));
+        accumulate(*pas, std::move(dASrc));
+        accumulate(*pad, std::move(dADst));
+      });
+  node->ctx = std::move(ctx);
   return wrap(std::move(node));
 }
 

@@ -366,6 +366,25 @@ Tensor fusedSoftmaxMatmulBlocks(const Tensor& e, const Tensor& hw,
 Tensor fusedGatLogits(const Tensor& hw, const Tensor& aSrc, const Tensor& aDst,
                       const Mat& mask, std::size_t blocks, double slope = 0.2);
 
+/// Everything after the packed projection of a multi-head GAT layer — per
+/// head: the attention-logit chain (fusedGatLogits), the row-softmax, and
+/// the block-local mixing — then the activation over the concatenated heads,
+/// all in ONE tape node. `hwAll` is h * wPacked ([blocks*n x heads*d] with
+/// head k on column block [k*d, (k+1)*d)); aSrcPacked/aDstPacked stack the
+/// per-head projection vectors into [heads*d x 1]. Forward values are
+/// bit-identical to the legacy per-head op chain (each head's kernels run in
+/// the legacy order on strided views of the packed buffers; only the
+/// CRL_SIMD_MATH knob changes the exp). The backward accumulates every
+/// head's hwAll gradient into one buffer whose per-head column blocks match
+/// the legacy per-head deltas bit-for-bit; downstream of the shared packed
+/// matmul, dW blocks stay bitwise legacy while dh sums head contributions in
+/// packed-column order (a rounding-level reordering; too small to flip any
+/// sampled action at golden-curve length, so the golden arrays stood).
+Tensor fusedGatMultiHead(const Tensor& hwAll, const Tensor& aSrcPacked,
+                         const Tensor& aDstPacked, const Mat& mask,
+                         std::size_t blocks, std::size_t heads,
+                         double slope, Activation act);
+
 /// N-way horizontal concatenation in one graph node (multi-head outputs) —
 /// a fold over concatCols re-copies the growing prefix per operand; this
 /// copies each part once. Pure data movement, so bit-identity is trivial.

@@ -3,22 +3,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/vec_math.h"
+
 namespace crl::rl {
 
 namespace {
-/// Row-wise softmax on plain values (no autograd needed for sampling).
+/// Row-wise softmax on plain values (no autograd needed for sampling) —
+/// the shared vec_math kernel, same summation order as nn::softmaxRows.
 linalg::Mat softmaxValues(const linalg::Mat& logits) {
   linalg::Mat p = logits;
-  for (std::size_t r = 0; r < p.rows(); ++r) {
-    double mx = p(r, 0);
-    for (std::size_t c = 1; c < p.cols(); ++c) mx = std::max(mx, p(r, c));
-    double total = 0.0;
-    for (std::size_t c = 0; c < p.cols(); ++c) {
-      p(r, c) = std::exp(p(r, c) - mx);
-      total += p(r, c);
-    }
-    for (std::size_t c = 0; c < p.cols(); ++c) p(r, c) /= total;
-  }
+  linalg::vecmath::softmaxRowsInPlace(p.data(), p.rows(), p.cols());
   return p;
 }
 }  // namespace

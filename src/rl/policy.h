@@ -41,6 +41,16 @@ class ActorCritic {
       const std::vector<Observation>& obs) const;
   virtual std::vector<nn::Tensor> parameters() const = 0;
   virtual const char* name() const = 0;
+  /// Checkpoint-migration hook: given the parameter mats of an older
+  /// artifact whose tensor COUNT does not match parameters() (e.g. the
+  /// retired per-head GAT layout), rewrite them in place into the current
+  /// layout. Returns true when a known legacy layout was recognized and
+  /// converted (the caller still shape-validates the result). The default
+  /// knows no legacy layouts.
+  virtual bool adaptLegacyParameterMats(std::vector<linalg::Mat>& mats) const {
+    (void)mats;
+    return false;
+  }
 };
 
 /// Sample one action per parameter from the logits ({-1,0,+1} encoded as

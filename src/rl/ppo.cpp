@@ -404,16 +404,42 @@ bool PpoTrainer::loadState(const nn::TrainState& st, std::string* error) {
   // Validate every section into staging first; the trainer mutates only
   // after the whole snapshot has proven coherent.
   const auto& params = optimizer_.parameters();
-  if (st.params.size() != params.size())
-    return fail("TrainState holds " + std::to_string(st.params.size()) +
-                " parameter tensors, policy expects " +
-                std::to_string(params.size()));
+  const std::vector<linalg::Mat>* srcParams = &st.params;
+  const std::vector<linalg::Mat>* srcM = &st.adamM;
+  const std::vector<linalg::Mat>* srcV = &st.adamV;
+  std::vector<linalg::Mat> adaptedParams, adaptedM, adaptedV;
+  if (st.params.size() != params.size()) {
+    // A count mismatch may be an older parameter layout (e.g. the retired
+    // per-head GAT weights). Let the policy's migration hook repack the
+    // params AND the aligned Adam moments — the update is elementwise, so
+    // the moments migrate with the same permutation and the resumed Adam
+    // trajectory continues exactly.
+    if (st.adamM.size() != st.params.size() || st.adamV.size() != st.params.size())
+      return fail("TrainState holds " + std::to_string(st.params.size()) +
+                  " parameter tensors, policy expects " +
+                  std::to_string(params.size()));
+    adaptedParams = st.params;
+    adaptedM = st.adamM;
+    adaptedV = st.adamV;
+    if (!policy_.adaptLegacyParameterMats(adaptedParams) ||
+        !policy_.adaptLegacyParameterMats(adaptedM) ||
+        !policy_.adaptLegacyParameterMats(adaptedV) ||
+        adaptedParams.size() != params.size())
+      return fail("TrainState holds " + std::to_string(st.params.size()) +
+                  " parameter tensors, policy expects " +
+                  std::to_string(params.size()) +
+                  " (and no legacy-layout migration applies)");
+    srcParams = &adaptedParams;
+    srcM = &adaptedM;
+    srcV = &adaptedV;
+  }
   for (std::size_t i = 0; i < params.size(); ++i) {
     const auto& expect = params[i].value();
-    if (st.params[i].rows() != expect.rows() || st.params[i].cols() != expect.cols())
+    const auto& got = (*srcParams)[i];
+    if (got.rows() != expect.rows() || got.cols() != expect.cols())
       return fail("TrainState parameter " + std::to_string(i) + " is " +
-                  std::to_string(st.params[i].rows()) + "x" +
-                  std::to_string(st.params[i].cols()) + ", policy expects " +
+                  std::to_string(got.rows()) + "x" +
+                  std::to_string(got.cols()) + ", policy expects " +
                   std::to_string(expect.rows()) + "x" +
                   std::to_string(expect.cols()));
   }
@@ -447,10 +473,10 @@ bool PpoTrainer::loadState(const nn::TrainState& st, std::string* error) {
     return fail("TrainState is missing the pending transition buffer");
   }
 
-  if (!optimizer_.restoreMoments(st.adamM, st.adamV, st.adamStep, error))
+  if (!optimizer_.restoreMoments(*srcM, *srcV, st.adamStep, error))
     return false;
   for (std::size_t i = 0; i < params.size(); ++i)
-    const_cast<nn::Tensor&>(params[i]).mutableValue() = st.params[i];
+    const_cast<nn::Tensor&>(params[i]).mutableValue() = (*srcParams)[i];
   rng_ = stagedRng;
   episodeCounter_ = static_cast<int>(episodes);
   pendingBuffer_ = std::move(stagedBuffer);

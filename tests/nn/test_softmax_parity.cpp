@@ -1,0 +1,223 @@
+// Parity suite for the shared softmax kernels and the head-packed GAT fused
+// op (CTest label: parity), with the vec-math knob pinned OFF so every
+// comparison is against the exact legacy std:: bits.
+//
+//  * fusedGatMultiHead vs the retired per-head chain (matmul +
+//    fusedGatLogits + fusedSoftmaxMatmulBlocks per head, concatColsAll,
+//    activate): forward values and all PARAMETER gradients (projection
+//    blocks, attention vectors) must be bitwise identical; only the input
+//    gradient dh sums head contributions in a different order and is
+//    compared within tolerance (the documented rounding-level reordering).
+//  * logSoftmaxRows backward: the node must produce exactly
+//    g - probs * rowsum(g) with the probabilities SAVED BY THE FORWARD pass
+//    (regression for the backward that recomputed std::exp per element).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/vec_math.h"
+#include "nn/arena.h"
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace crl::nn {
+namespace {
+
+Mat randomMat(std::size_t rows, std::size_t cols, util::Rng& rng,
+              double lo = -1.5, double hi = 1.5) {
+  Mat m(rows, cols);
+  for (auto& v : m.raw()) v = rng.uniform(lo, hi);
+  return m;
+}
+
+void expectSameMat(const Mat& a, const Mat& b, const char* what) {
+  ASSERT_TRUE(a.sameShape(b)) << what;
+  for (std::size_t i = 0; i < a.raw().size(); ++i)
+    EXPECT_EQ(a.raw()[i], b.raw()[i]) << what << " element " << i;
+}
+
+/// Pin the knob off for the scope of a test; the audited vectorized bits are
+/// exercised by tests/linalg/test_vec_math_parity.cpp instead.
+class ScopedKnobOff {
+ public:
+  ScopedKnobOff() { linalg::vecmath::setEnabled(false); }
+  ~ScopedKnobOff() { linalg::vecmath::setEnabled(true); }
+};
+
+/// Block-local attention mask for `blocks` copies of an n-node path graph.
+Mat tiledPathMask(std::size_t n, std::size_t blocks) {
+  Mat mask(blocks * n, n, -1e9);
+  for (std::size_t g = 0; g < blocks; ++g)
+    for (std::size_t i = 0; i < n; ++i) {
+      mask(g * n + i, i) = 0.0;
+      if (i + 1 < n) {
+        mask(g * n + i, i + 1) = 0.0;
+        mask(g * n + i + 1, i) = 0.0;
+      }
+    }
+  return mask;
+}
+
+struct GatCase {
+  std::size_t blocks;
+  Activation act;
+};
+
+class GatMultiHeadParity : public ::testing::TestWithParam<GatCase> {};
+
+TEST_P(GatMultiHeadParity, MatchesPerHeadChain) {
+  ScopedKnobOff knob;
+  const auto [blocks, act] = GetParam();
+  constexpr std::size_t n = 5, in = 4, d = 3, heads = 2;
+  util::Rng rng(314);
+  const Mat hV = randomMat(blocks * n, in, rng);
+  const Mat wV = randomMat(in, heads * d, rng);
+  const Mat asV = randomMat(heads * d, 1, rng);
+  const Mat adV = randomMat(heads * d, 1, rng);
+  const Mat mask = tiledPathMask(n, blocks);
+
+  // Fused head-packed formulation.
+  Tensor hF(hV, /*requiresGrad=*/true);
+  Tensor wF(wV, /*requiresGrad=*/true);
+  Tensor asF(asV, /*requiresGrad=*/true);
+  Tensor adF(adV, /*requiresGrad=*/true);
+  Tensor outF = fusedGatMultiHead(matmul(hF, wF), asF, adF, mask, blocks, heads,
+                                  0.2, act);
+  backward(sum(outF));
+
+  // Retired per-head formulation over per-head slices of the same values.
+  Tensor hP(hV, /*requiresGrad=*/true);
+  std::vector<Tensor> wK, asK, adK, headOut;
+  for (std::size_t k = 0; k < heads; ++k) {
+    Mat wk(in, d), ak(d, 1), dk(d, 1);
+    for (std::size_t r = 0; r < in; ++r)
+      for (std::size_t c = 0; c < d; ++c) wk(r, c) = wV(r, k * d + c);
+    for (std::size_t j = 0; j < d; ++j) {
+      ak(j, 0) = asV(k * d + j, 0);
+      dk(j, 0) = adV(k * d + j, 0);
+    }
+    wK.emplace_back(std::move(wk), true);
+    asK.emplace_back(std::move(ak), true);
+    adK.emplace_back(std::move(dk), true);
+  }
+  for (std::size_t k = 0; k < heads; ++k) {
+    Tensor hw = matmul(hP, wK[k]);
+    Tensor e = fusedGatLogits(hw, asK[k], adK[k], mask, blocks, 0.2);
+    headOut.push_back(fusedSoftmaxMatmulBlocks(e, hw, blocks));
+  }
+  Tensor outP = activate(concatColsAll(headOut), act);
+  backward(sum(outP));
+
+  expectSameMat(outF.value(), outP.value(), "forward");
+
+  // Parameter gradients: bitwise equal, block by block.
+  const Mat& gw = wF.grad();
+  const Mat& gas = asF.grad();
+  const Mat& gad = adF.grad();
+  for (std::size_t k = 0; k < heads; ++k) {
+    const Mat& gwk = wK[k].grad();
+    for (std::size_t r = 0; r < in; ++r)
+      for (std::size_t c = 0; c < d; ++c)
+        EXPECT_EQ(gw(r, k * d + c), gwk(r, c)) << "dW head " << k;
+    for (std::size_t j = 0; j < d; ++j) {
+      EXPECT_EQ(gas(k * d + j, 0), asK[k].grad()(j, 0)) << "daSrc head " << k;
+      EXPECT_EQ(gad(k * d + j, 0), adK[k].grad()(j, 0)) << "daDst head " << k;
+    }
+  }
+
+  // Input gradient: head contributions are summed in packed-column order by
+  // one matmul instead of per-head accumulate — rounding-level difference.
+  const Mat& ghF = hF.grad();
+  const Mat& ghP = hP.grad();
+  for (std::size_t i = 0; i < ghF.raw().size(); ++i)
+    EXPECT_NEAR(ghF.raw()[i], ghP.raw()[i], 1e-12) << "dh element " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlocksAndActivations, GatMultiHeadParity,
+    ::testing::Values(GatCase{1, Activation::Tanh}, GatCase{1, Activation::None},
+                      GatCase{3, Activation::Tanh},
+                      GatCase{3, Activation::LeakyRelu}),
+    [](const ::testing::TestParamInfo<GatCase>& info) {
+      const char* act = info.param.act == Activation::Tanh       ? "tanh"
+                        : info.param.act == Activation::LeakyRelu ? "lrelu"
+                                                                  : "none";
+      return "blocks" + std::to_string(info.param.blocks) + "_" + act;
+    });
+
+TEST(GatMultiHeadParity, ArenaPathMatchesHeapPath) {
+  ScopedKnobOff knob;
+  constexpr std::size_t n = 4, in = 3, d = 2, heads = 2;
+  util::Rng rng(99);
+  const Mat hV = randomMat(n, in, rng);
+  const Mat wV = randomMat(in, heads * d, rng);
+  const Mat asV = randomMat(heads * d, 1, rng);
+  const Mat adV = randomMat(heads * d, 1, rng);
+  const Mat mask = tiledPathMask(n, 1);
+
+  auto run = [&](bool useArena) {
+    GraphArena arena;
+    std::optional<ArenaScope> scope;
+    if (useArena) scope.emplace(arena);
+    Tensor h(hV, true), w(wV, true), as(asV, true), ad(adV, true);
+    Tensor out = fusedGatMultiHead(matmul(h, w), as, ad, mask, 1, heads, 0.2,
+                                   Activation::Tanh);
+    backward(sum(out));
+    return std::make_pair(out.value(), w.grad());
+  };
+  auto heap = run(false);
+  auto pooled = run(true);
+  expectSameMat(heap.first, pooled.first, "value");
+  expectSameMat(heap.second, pooled.second, "dW");
+}
+
+// ---------------------------------------------------------------- logSoftmax
+
+TEST(LogSoftmaxBackward, MatchesSavedProbsFormulaBitwise) {
+  ScopedKnobOff knob;
+  constexpr std::size_t rows = 6, cols = 5;
+  util::Rng rng(2718);
+  const Mat logits = randomMat(rows, cols, rng, -4.0, 4.0);
+  const Mat weights = randomMat(rows, cols, rng);  // non-uniform upstream grad
+
+  Tensor a(logits, /*requiresGrad=*/true);
+  Tensor lsm = logSoftmaxRows(a);
+  backward(sum(mul(lsm, Tensor(weights))));
+
+  // Legacy closed form, evaluated with the exact std::exp bits the knob-off
+  // forward saved: delta = g - exp(lsm) * rowsum(g), row sums ascending.
+  Mat want(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double rowSum = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) rowSum += weights(r, c);
+    for (std::size_t c = 0; c < cols; ++c)
+      want(r, c) = weights(r, c) - std::exp(lsm.value()(r, c)) * rowSum;
+  }
+  expectSameMat(a.grad(), want, "logSoftmax backward");
+}
+
+TEST(LogSoftmaxBackward, KnobOnGradUsesForwardProbs) {
+  // With the vectorized exp active the backward must consume the forward's
+  // saved probabilities — the same bits expInPlace produced — so the
+  // gradient identity sum_c delta(r,c) = 0 holds to one rounding of the row.
+  constexpr std::size_t rows = 7, cols = 9;
+  util::Rng rng(55);
+  const Mat logits = randomMat(rows, cols, rng, -6.0, 6.0);
+
+  linalg::vecmath::setEnabled(true);
+  Tensor a(logits, /*requiresGrad=*/true);
+  Tensor lsm = logSoftmaxRows(a);
+  backward(sum(lsm));
+  // Uniform upstream grad of 1: delta = 1 - probs * cols.
+  for (std::size_t r = 0; r < rows; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols; ++c) sum += a.grad()(r, c);
+    EXPECT_NEAR(sum, 0.0, 1e-12) << "row " << r;
+  }
+}
+
+}  // namespace
+}  // namespace crl::nn

@@ -1,0 +1,194 @@
+// GAT head-packing migration parity (CTest label: parity).
+//
+// PR 9 replaced GatLayer's per-head parameter tensors (3 mats per head) with
+// a head-packed layout (3 mats per layer). Checkpoints and parameter
+// artifacts saved by older builds still carry the per-head layout; the
+// legacy-layout shim (GatLayer::packLegacyParams, reachable through both
+// PpoTrainer::loadState and nn::loadParametersDetailed's ParamAdapter) must
+// keep them loadable with NO behavioural drift. Pinned here:
+//
+//  * the committed pre-migration fixtures (tests/rl/fixtures/gat_prepack_*,
+//    written by the PR 8-era code; tests/rl/gat_fixture.h froze the exact
+//    stack) load through the shim, and the restored policy reproduces the
+//    recorded forward outputs BIT-FOR-BIT with the vec-math knob off;
+//  * a synthesized inverse-pack round trip: a packed-era checkpoint split
+//    back into per-head mats, loaded through the shim, and trained onward is
+//    bitwise indistinguishable from never having left the packed layout —
+//    Adam moments repack with the same permutation as the parameters;
+//  * layouts the shim cannot explain are still rejected without mutation.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gat_fixture.h"
+#include "linalg/vec_math.h"
+#include "nn/serialize.h"
+#include "rl/policy.h"
+
+namespace crl::rl {
+namespace {
+
+std::string fixturePath(const char* name) {
+  return std::string(CRL_REPO_TESTS_DIR) + "/rl/fixtures/" + name;
+}
+
+class ScopedKnobOff {
+ public:
+  ScopedKnobOff() { linalg::vecmath::setEnabled(false); }
+  ~ScopedKnobOff() { linalg::vecmath::setEnabled(true); }
+};
+
+/// Inverse of GatLayer::packLegacyParams over a whole parameter vector:
+/// splits each GAT layer's packed (W, aSrc, aDst) triple back into the
+/// retired per-head layout, leaving the MLP mats alone. Layout knowledge
+/// mirrors MultimodalPolicy::adaptLegacyParameterMats: two towers (actor,
+/// critic), each leading with gnnLayers GAT triples.
+std::vector<linalg::Mat> unpackToLegacy(const std::vector<linalg::Mat>& packed,
+                                        std::size_t heads, std::size_t layers) {
+  EXPECT_EQ(packed.size() % 2, 0u);
+  const std::size_t towerSize = packed.size() / 2;
+  std::vector<linalg::Mat> out;
+  for (std::size_t tower = 0; tower < 2; ++tower) {
+    std::size_t pos = tower * towerSize;
+    for (std::size_t l = 0; l < layers; ++l) {
+      const linalg::Mat& w = packed[pos];
+      const linalg::Mat& as = packed[pos + 1];
+      const linalg::Mat& ad = packed[pos + 2];
+      pos += 3;
+      const std::size_t d = as.rows() / heads;
+      EXPECT_EQ(w.cols(), heads * d);
+      for (std::size_t k = 0; k < heads; ++k) {
+        linalg::Mat wk(w.rows(), d), ak(d, 1), dk(d, 1);
+        for (std::size_t r = 0; r < w.rows(); ++r)
+          for (std::size_t c = 0; c < d; ++c) wk(r, c) = w(r, k * d + c);
+        for (std::size_t j = 0; j < d; ++j) {
+          ak(j, 0) = as(k * d + j, 0);
+          dk(j, 0) = ad(k * d + j, 0);
+        }
+        out.push_back(std::move(wk));
+        out.push_back(std::move(ak));
+        out.push_back(std::move(dk));
+      }
+    }
+    for (std::size_t i = tower * towerSize + 3 * layers; i < (tower + 1) * towerSize;
+         ++i)
+      out.push_back(packed[i]);
+  }
+  return out;
+}
+
+/// Serialize a forward pass the way tmp_gen_fixture recorded it.
+std::string forwardBytes(const core::MultimodalPolicy& policy) {
+  util::Rng obsRng(gatfix::kObsSeed);
+  Observation obs = gatfix::randomObservation(obsRng);
+  PolicyOutput out = policy.forward(obs);
+  nn::ByteWriter w;
+  w.mat(out.logits.value());
+  w.mat(out.value.value());
+  return w.take();
+}
+
+TEST(GatPackingFixtures, PrepackTrainStateLoadsAndForwardMatchesBitwise) {
+  ScopedKnobOff knob;
+  nn::TrainState st;
+  std::string error;
+  ASSERT_EQ(nn::loadTrainState(fixturePath("gat_prepack_trainstate.bin"), st, &error),
+            nn::LoadResult::Ok)
+      << error;
+  // The fixture predates the packing: 2 towers x 2 layers x 2 heads x 3 mats
+  // of GAT parameters plus 16 MLP mats.
+  EXPECT_EQ(st.params.size(), 40u);
+
+  gatfix::Stack stack(/*initSeed=*/999, /*trainSeed=*/555);
+  EXPECT_EQ(stack.policy.parameters().size(), 28u);
+  ASSERT_TRUE(stack.trainer.loadState(st, &error)) << error;
+  EXPECT_EQ(stack.trainer.episodeCount(), gatfix::kFixtureEpisodes);
+
+  std::string recorded;
+  ASSERT_TRUE(nn::readFile(fixturePath("gat_prepack_forward.bin"), recorded));
+  EXPECT_EQ(forwardBytes(stack.policy), recorded)
+      << "per-head fixture does not reproduce bitwise through the shim";
+}
+
+TEST(GatPackingFixtures, PrepackParamsLoadThroughAdapterAndMatchBitwise) {
+  ScopedKnobOff knob;
+  gatfix::Stack stack(/*initSeed=*/4242, /*trainSeed=*/11);
+  auto params = stack.policy.parameters();
+  std::string error;
+
+  // Without the adapter the 40-tensor artifact must be rejected untouched.
+  ASSERT_EQ(nn::loadParametersDetailed(fixturePath("gat_prepack_params.bin"),
+                                       params, &error),
+            nn::LoadResult::Invalid);
+  EXPECT_NE(error.find("40"), std::string::npos) << error;
+
+  nn::ParamAdapter adapter = [&stack](std::vector<linalg::Mat>& m) {
+    return stack.policy.adaptLegacyParameterMats(m);
+  };
+  ASSERT_EQ(nn::loadParametersDetailed(fixturePath("gat_prepack_params.bin"),
+                                       params, &error, adapter),
+            nn::LoadResult::Ok)
+      << error;
+
+  std::string recorded;
+  ASSERT_TRUE(nn::readFile(fixturePath("gat_prepack_forward.bin"), recorded));
+  EXPECT_EQ(forwardBytes(stack.policy), recorded);
+}
+
+TEST(GatPackingRoundTrip, InversePackedCheckpointResumesBitwise) {
+  // Straight run: packed stack trains 12 + 8 episodes without interruption.
+  gatfix::Stack straight;
+  straight.trainer.trainChunk(gatfix::kFixtureEpisodes);
+  nn::TrainState packedSnap;
+  straight.trainer.saveState(packedSnap);
+  straight.trainer.trainChunk(8);
+  straight.trainer.finishTraining();
+
+  // Synthesize a per-head-era checkpoint from the packed snapshot: params
+  // and BOTH Adam moment vectors unpack with the same permutation.
+  nn::TrainState legacySnap = packedSnap;
+  const auto& cfg = gatfix::smallConfig();
+  legacySnap.params = unpackToLegacy(packedSnap.params, cfg.gatHeads, cfg.gnnLayers);
+  legacySnap.adamM = unpackToLegacy(packedSnap.adamM, cfg.gatHeads, cfg.gnnLayers);
+  legacySnap.adamV = unpackToLegacy(packedSnap.adamV, cfg.gatHeads, cfg.gnnLayers);
+  ASSERT_EQ(legacySnap.params.size(), 40u);
+
+  // Resume through the shim into a fresh differently-seeded stack.
+  gatfix::Stack resumed(/*initSeed=*/31337, /*trainSeed=*/808);
+  std::string error;
+  ASSERT_TRUE(resumed.trainer.loadState(legacySnap, &error)) << error;
+  EXPECT_EQ(resumed.trainer.episodeCount(), gatfix::kFixtureEpisodes);
+  resumed.trainer.trainChunk(8);
+  resumed.trainer.finishTraining();
+
+  nn::TrainState a, b;
+  straight.trainer.saveState(a);
+  resumed.trainer.saveState(b);
+  EXPECT_EQ(nn::encodeTrainState(a), nn::encodeTrainState(b))
+      << "resume through the per-head shim diverged from the packed run";
+}
+
+TEST(GatPackingGuards, UnexplainableLayoutIsRejectedWithoutMutation) {
+  gatfix::Stack stack;
+  nn::TrainState st;
+  stack.trainer.saveState(st);
+  // 29 mats: neither the packed count (28) nor the legacy count (40).
+  st.params.emplace_back(1, 1);
+  st.adamM.emplace_back(1, 1);
+  st.adamV.emplace_back(1, 1);
+
+  nn::TrainState before;
+  stack.trainer.saveState(before);
+  std::string error;
+  EXPECT_FALSE(stack.trainer.loadState(st, &error));
+  EXPECT_NE(error.find("migration"), std::string::npos) << error;
+  nn::TrainState after;
+  stack.trainer.saveState(after);
+  EXPECT_EQ(nn::encodeTrainState(before), nn::encodeTrainState(after));
+}
+
+}  // namespace
+}  // namespace crl::rl
