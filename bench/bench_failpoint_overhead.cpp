@@ -1,0 +1,163 @@
+// Failpoint overhead A/B: the cost of the util::failpoint::check() gates
+// compiled into every hardened path (atomicWriteFile's four io.* sites, the
+// spice.dc.newton gate, the pool.task wrapper, the train.* guards) when no
+// chaos schedule is armed — the state every production run is in.
+//
+// Methodology, mirroring bench_telemetry_overhead: each workload runs twice
+// per repetition — once with the registry empty (CRL_FAILPOINTS unset; every
+// check() is one relaxed atomic load plus a predicted branch) and once with
+// one entry armed at a site no workload ever checks ("bench.unused"), which
+// forces every check() through the locked slow path and upper-bounds what a
+// chaos run pays on paths it does NOT target. Legs interleave within each
+// repetition so cache and frequency drift hit both alike; best-of per leg.
+//
+// A raw microbench additionally pins the per-call cost of a disarmed
+// check() in nanoseconds. That number is the "zero overhead when off"
+// contract from failpoint.h: one gate per DC solve (~µs) or per atomic save
+// (~100 µs) is noise, far below the 1% acceptance line.
+//
+//   CRL_BENCH_REPS — timed repetitions per leg, best-of (default 5)
+//   --json         — machine-readable output (bench/harness.h)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "nn/serialize.h"
+#include "spice/dc.h"
+#include "spice/gen.h"
+#include "spice/parser.h"
+#include "util/failpoint.h"
+
+using namespace crl;
+
+namespace {
+
+std::FILE* tout = stdout;
+
+int repsFromEnv() {
+  if (const char* v = std::getenv("CRL_BENCH_REPS")) return std::max(1, std::atoi(v));
+  return 5;
+}
+
+double timeOnce(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct AbResult {
+  double secondsOff = 1e300;  ///< best-of, registry empty (production state)
+  double secondsOn = 1e300;   ///< best-of, one unrelated entry armed
+  double overheadPct() const {
+    return 100.0 * (secondsOn - secondsOff) / secondsOff;
+  }
+};
+
+/// Interleaved A/B: disarmed and armed-at-an-unrelated-site alternate within
+/// every repetition; best-of per leg.
+AbResult measure(int reps, const std::function<void()>& fn) {
+  AbResult r;
+  for (int rep = 0; rep < reps; ++rep) {
+    util::failpoint::clear();
+    r.secondsOff = std::min(r.secondsOff, timeOnce(fn));
+    util::failpoint::configure("bench.unused=throw@always");
+    r.secondsOn = std::min(r.secondsOn, timeOnce(fn));
+  }
+  util::failpoint::clear();
+  return r;
+}
+
+void report(const char* workload, const AbResult& r, bench::BenchJson& json) {
+  std::fprintf(tout, "%-20s %14.3f %14.3f %9.2f%%\n", workload,
+               r.secondsOff * 1e3, r.secondsOn * 1e3, r.overheadPct());
+  json.record({{"bench", "failpoint_overhead"}, {"workload", workload},
+               {"config", "disarmed"}, {"unit", "seconds"}}, r.secondsOff);
+  json.record({{"bench", "failpoint_overhead"}, {"workload", workload},
+               {"config", "armed-miss"}, {"unit", "seconds"}}, r.secondsOn);
+  json.record({{"bench", "failpoint_overhead"}, {"workload", workload},
+               {"config", "overhead"}, {"unit", "percent"}}, r.overheadPct());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchJson json(bench::BenchJson::flagged(argc, argv));
+  tout = json.tableStream();
+  const int reps = repsFromEnv();
+
+  if (util::failpoint::anyArmed())
+    std::fprintf(tout, "WARNING: CRL_FAILPOINTS is set — clearing it for the "
+                       "bench; the numbers below measure the hooks, not your "
+                       "chaos schedule.\n");
+  util::failpoint::clear();
+
+  std::fprintf(tout,
+               "failpoint hook overhead, disarmed vs armed-elsewhere "
+               "(best of %d)\n",
+               reps);
+  std::fprintf(tout, "%-20s %14s %14s %10s\n", "workload", "disarmed ms",
+               "armed ms", "overhead");
+
+  // Raw gate cost: a tight loop of nothing but check() on a never-armed
+  // site. Disarmed this is the relaxed-load fast path; with an unrelated
+  // entry armed every call takes the registry lock and misses.
+  {
+    constexpr int kCalls = 20'000'000;
+    const AbResult r = measure(reps, [&] {
+      for (int k = 0; k < kCalls; ++k)
+        if (util::failpoint::check("bench.never")) std::abort();
+    });
+    report("raw_check_20M", r, json);
+    json.record({{"bench", "failpoint_overhead"}, {"workload", "raw_check"},
+                 {"config", "disarmed"}, {"unit", "ns_per_call"}},
+                r.secondsOff / kCalls * 1e9);
+    json.record({{"bench", "failpoint_overhead"}, {"workload", "raw_check"},
+                 {"config", "armed-miss"}, {"unit", "ns_per_call"}},
+                r.secondsOn / kCalls * 1e9);
+    std::fprintf(tout, "  (%.2f ns/call disarmed, %.1f ns/call armed-miss)\n",
+                 r.secondsOff / kCalls * 1e9, r.secondsOn / kCalls * 1e9);
+  }
+
+  // DC Newton loop: the spice.dc.newton gate fires once per newton() entry —
+  // once per converging solve, a handful per homotopy rescue. A ladder-20
+  // solve is a few microseconds, so this is the hottest gated path.
+  {
+    auto deck = spice::parseDeck(spice::rcLadderDeck(20));
+    spice::DcAnalysis dc(*deck.netlist);
+    const AbResult r = measure(reps, [&] {
+      for (int k = 0; k < 2000; ++k)
+        if (!dc.solve().converged) std::abort();
+    });
+    report("dc_ladder20", r, json);
+  }
+
+  // Atomic checkpoint save: four io.* gates per atomicWriteFile (temp,
+  // write, fsync, rename) against ~100 µs of real file I/O.
+  {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() / "crl_bench_failpoint";
+    fs::create_directories(dir);
+    const std::string p = (dir / "params.bin").string();
+    util::Rng rng(17);
+    std::vector<nn::Tensor> params;
+    linalg::Mat m(32, 64);
+    for (std::size_t i = 0; i < m.rows(); ++i)
+      for (std::size_t j = 0; j < m.cols(); ++j) m(i, j) = rng.uniform(-1, 1);
+    params.emplace_back(m, /*requiresGrad=*/true);
+    const AbResult r = measure(reps, [&] {
+      for (int k = 0; k < 200; ++k) nn::saveParameters(p, params);
+    });
+    report("atomic_save_200x", r, json);
+    fs::remove_all(dir);
+  }
+
+  util::failpoint::clear();
+  return 0;
+}

@@ -59,15 +59,26 @@ int printStatus(const std::string& target) {
   }
 
   const double elapsed = doc.number("elapsed_seconds");
+  const int jobsFailed = static_cast<int>(doc.number("jobs_failed"));
+  const int jobsQuarantined = static_cast<int>(doc.number("jobs_quarantined"));
+  // Stale-heartbeat threshold: 3x the writer's own status cadence (the file
+  // records it as status_every_seconds; older files fall back to the 2s
+  // default). A running job whose heartbeat is older than that is rendered
+  // as STALLED — either genuinely hung or starved of its heartbeat path.
+  double cadence = 2.0;
+  if (const obs::json::Value* c = doc.find("status_every_seconds");
+      c && c->isNumber() && c->asNumber() > 0.0)
+    cadence = c->asNumber();
+  const double staleAfter = 3.0 * cadence;
   std::printf("campaign status  (%s)\n", path.c_str());
   std::printf("  elapsed %.1fs   workers %d   pending %d  running %d  done %d"
-              "  skipped %d  failed %d\n",
+              "  skipped %d  failed %d  quarantined %d\n",
               elapsed, static_cast<int>(doc.number("workers")),
               static_cast<int>(doc.number("jobs_pending")),
               static_cast<int>(doc.number("jobs_running")),
               static_cast<int>(doc.number("jobs_done")),
-              static_cast<int>(doc.number("jobs_skipped")),
-              static_cast<int>(doc.number("jobs_failed")));
+              static_cast<int>(doc.number("jobs_skipped")), jobsFailed,
+              jobsQuarantined);
   const double epDone = doc.number("episodes_done");
   const double epTotal = doc.number("episodes_total");
   const obs::json::Value* eta = doc.find("eta_seconds");
@@ -77,9 +88,10 @@ int printStatus(const std::string& target) {
   else
     std::printf("  episodes %.0f/%.0f   eta n/a\n", epDone, epTotal);
 
+  bool anyStalled = false;
   const obs::json::Value* jobs = doc.find("jobs");
   if (jobs && jobs->isArray()) {
-    std::printf("  %-40s %-8s %12s %12s %10s %10s\n", "job", "state",
+    std::printf("  %-40s %-11s %12s %12s %10s %10s\n", "job", "state",
                 "episodes", "ema_reward", "ckpt_age", "beat_age");
     for (const obs::json::Value& j : jobs->array()) {
       const obs::json::Value* ckpt = j.find("checkpoint_age_seconds");
@@ -89,16 +101,30 @@ int printStatus(const std::string& target) {
         std::snprintf(ckptBuf, sizeof ckptBuf, "%.1fs", ckpt->asNumber());
       if (beat && beat->isNumber())
         std::snprintf(beatBuf, sizeof beatBuf, "%.1fs", beat->asNumber());
-      std::printf("  %-40s %-8s %7.0f/%-4.0f %12.3f %10s %10s\n",
-                  j.string("name").c_str(), j.string("state").c_str(),
+      const std::string state = j.string("state");
+      const obs::json::Value* stalledFlag = j.find("stalled");
+      const bool stalled =
+          state == "running" &&
+          ((stalledFlag && stalledFlag->isBool() && stalledFlag->asBool()) ||
+           (beat && beat->isNumber() && beat->asNumber() > staleAfter));
+      anyStalled = anyStalled || stalled;
+      std::printf("  %-40s %-11s %7.0f/%-4.0f %12.3f %10s %10s%s\n",
+                  j.string("name").c_str(), state.c_str(),
                   j.number("episodes_done"), j.number("episodes_total"),
-                  j.number("ema_reward"), ckptBuf, beatBuf);
+                  j.number("ema_reward"), ckptBuf, beatBuf,
+                  stalled ? "  ⚠ STALLED" : "");
       const std::string jobErr = j.string("error");
       if (!jobErr.empty())
         std::printf("  %-40s   error: %s\n", "", jobErr.c_str());
     }
   }
-  return 0;
+  if (anyStalled)
+    std::printf("  ⚠ stalled job(s) detected: heartbeat older than %.1fs\n",
+                staleAfter);
+  // A monitoring-friendly exit code: anything failed or quarantined makes
+  // --status itself nonzero, so `campaign_cli --status DIR && deploy` is a
+  // legitimate gate.
+  return jobsFailed > 0 || jobsQuarantined > 0 ? 1 : 0;
 }
 
 std::vector<std::string> splitCsv(const std::string& s) {
@@ -152,6 +178,8 @@ core::PolicyKind parseKind(const std::string& name) {
       "  --eval-episodes N         intermediate-eval episodes (default: per circuit)\n"
       "  --workers N               shared-pool workers (default: 1)\n"
       "  --checkpoint-every N      episodes between checkpoints (default: 50)\n"
+      "  --retries N               retry budget per failed job; exhausted ->\n"
+      "                            quarantined, campaign continues (default: 2)\n"
       "  --no-resume               ignore existing done markers and checkpoints\n"
       "  --crash-after-checkpoints N  _Exit(42) after the Nth checkpoint (testing)\n"
       "  --status DIR              pretty-print DIR/campaign_status.json and exit\n");
@@ -165,6 +193,10 @@ int main(int argc, char** argv) {
   rl::CampaignConfig cfg;
   cfg.outDir = "crl_campaign";
   cfg.checkpointEvery = 50;
+  // The CLI front door assumes unattended fleet runs, so unlike the library
+  // default (0: fail fast, the unit-test contract) a failed job gets retried
+  // before being quarantined.
+  cfg.maxJobRetries = 2;
   long crashAfter = -1;
 
   for (int i = 1; i < argc; ++i) {
@@ -188,6 +220,7 @@ int main(int argc, char** argv) {
     else if (arg == "--eval-episodes") axes.evalEpisodes = std::atoi(value().c_str());
     else if (arg == "--workers") cfg.workers = static_cast<std::size_t>(std::atoi(value().c_str()));
     else if (arg == "--checkpoint-every") cfg.checkpointEvery = std::atoi(value().c_str());
+    else if (arg == "--retries") cfg.maxJobRetries = std::atoi(value().c_str());
     else if (arg == "--no-resume") cfg.resume = false;
     else if (arg == "--crash-after-checkpoints") crashAfter = std::atol(value().c_str());
     else usage();
@@ -227,13 +260,16 @@ int main(int argc, char** argv) {
   for (const auto& r : results) {
     if (r.failed) {
       anyFailed = true;
-      std::printf("%-40s FAILED: %s\n", r.name.c_str(), r.error.c_str());
+      std::printf("%-40s %s after %d attempt(s): %s\n", r.name.c_str(),
+                  r.quarantined ? "QUARANTINED" : "FAILED", r.attempts,
+                  r.error.c_str());
       continue;
     }
-    std::printf("%-40s reward %8.3f  length %6.2f  accuracy %.3f  (%d ep)%s\n",
+    std::printf("%-40s reward %8.3f  length %6.2f  accuracy %.3f  (%d ep)%s%s\n",
                 r.name.c_str(), r.finalMeanReward, r.finalMeanLength,
                 r.finalAccuracy, r.episodes,
-                r.skipped ? " [skipped]" : r.resumed ? " [resumed]" : "");
+                r.skipped ? " [skipped]" : r.resumed ? " [resumed]" : "",
+                r.attempts > 1 ? " [retried]" : "");
   }
   return anyFailed ? 1 : 0;
 }

@@ -2,8 +2,25 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
 
 namespace crl::core {
+
+namespace {
+
+/// Record a captured query failure: structured error result plus telemetry.
+/// Serving keeps going — one bad query must never take down its batch.
+void markQueryFailed(DeploymentResult& r, const std::string& what) {
+  static auto& failures = obs::counter("deploy.query_failures");
+  failures.add();
+  r.failed = true;
+  r.error = what;
+  r.success = false;
+  util::logWarn() << "deploy: query failed (" << what << ")";
+}
+
+}  // namespace
 
 DeploymentResult runDeployment(rl::Env& env, const rl::ActorCritic& policy,
                                const std::vector<double>& target, util::Rng& rng,
@@ -13,21 +30,30 @@ DeploymentResult runDeployment(rl::Env& env, const rl::ActorCritic& policy,
   queries.add();
   obs::ScopedTimer timer(latency);
   DeploymentResult result;
-  rl::Observation obs = env.resetWithTarget(target, rng);
-  if (opt.recordTrajectory) result.specTrajectory.push_back(env.rawSpecs());
-
-  for (int t = 0; t < env.maxSteps(); ++t) {
-    rl::PolicyOutput out = policy.forward(obs);
-    rl::SampledAction act = opt.greedy ? rl::greedyAction(out.logits.value())
-                                       : rl::sampleAction(out.logits.value(), rng);
-    rl::StepResult res = env.step(act.actions);
-    ++result.steps;
+  try {
+    // Chaos gate: "deploy.query=throw" makes the query itself hostile, which
+    // is how tests pin down the isolation contract below.
+    if (auto h = util::failpoint::check("deploy.query"); h && h->action == "throw")
+      throw std::runtime_error("deploy: injected query failure");
+    rl::Observation obs = env.resetWithTarget(target, rng);
     if (opt.recordTrajectory) result.specTrajectory.push_back(env.rawSpecs());
-    obs = res.obs;
-    if (res.done) {
-      result.success = res.success;
-      break;
+
+    for (int t = 0; t < env.maxSteps(); ++t) {
+      rl::PolicyOutput out = policy.forward(obs);
+      rl::SampledAction act = opt.greedy
+                                  ? rl::greedyAction(out.logits.value())
+                                  : rl::sampleAction(out.logits.value(), rng);
+      rl::StepResult res = env.step(act.actions);
+      ++result.steps;
+      if (opt.recordTrajectory) result.specTrajectory.push_back(env.rawSpecs());
+      obs = res.obs;
+      if (res.done) {
+        result.success = res.success;
+        break;
+      }
     }
+  } catch (const std::exception& e) {
+    markQueryFailed(result, e.what());
   }
   result.finalParams = env.currentParams();
   result.finalSpecs = env.rawSpecs();
@@ -55,14 +81,26 @@ std::vector<DeploymentResult> runDeploymentBatch(
     std::vector<rl::Observation> obs(laneTarget.size());
     std::vector<char> active(laneTarget.size(), 1);
     std::vector<std::int64_t> laneStartNs(laneTarget.size(), 0);
+    std::size_t remaining = 0;
     for (std::size_t k = 0; k < laneTarget.size(); ++k) {
       if (measure) laneStartNs[k] = obs::monotonicNowNs();
-      obs[k] = envs.resetLaneWithTarget(k, targets[laneTarget[k]]);
+      try {
+        if (auto h = util::failpoint::check("deploy.query");
+            h && h->action == "throw")
+          throw std::runtime_error("deploy: injected query failure");
+        obs[k] = envs.resetLaneWithTarget(k, targets[laneTarget[k]]);
+      } catch (const std::exception& e) {
+        // A query that cannot even initialize retires immediately with a
+        // structured error; its wave-mates proceed untouched.
+        markQueryFailed(results[laneTarget[k]], e.what());
+        active[k] = 0;
+        queries.add();
+        continue;
+      }
+      ++remaining;
       if (opt.recordTrajectory)
         results[laneTarget[k]].specTrajectory.push_back(envs.lane(k).rawSpecs());
     }
-
-    std::size_t remaining = laneTarget.size();
     while (remaining > 0) {
       // Batch the policy over the still-active lanes only.
       std::vector<std::size_t> ids;
@@ -85,19 +123,29 @@ std::vector<DeploymentResult> runDeploymentBatch(
         actions[j] = act.actions;
       }
 
-      std::vector<rl::StepResult> stepped = envs.stepLanes(ids, actions);
+      // Guarded stepping: a lane whose step throws (env failure or a fault
+      // injected into its pooled task) retires with a structured error while
+      // its wave-mates' results stay valid.
+      std::vector<rl::VecEnv::LaneStepOutcome> stepped =
+          envs.stepLanesGuarded(ids, actions);
 
       for (std::size_t j = 0; j < ids.size(); ++j) {
         const std::size_t k = ids[j];
         DeploymentResult& r = results[laneTarget[k]];
-        ++r.steps;
-        if (opt.recordTrajectory)
-          r.specTrajectory.push_back(envs.lane(k).rawSpecs());
-        obs[k] = std::move(stepped[j].obs);
-        const bool retire =
-            stepped[j].done || r.steps >= envs.lane(k).maxSteps();
+        bool retire = false;
+        if (stepped[j].failed) {
+          markQueryFailed(r, stepped[j].error);
+          retire = true;
+        } else {
+          ++r.steps;
+          if (opt.recordTrajectory)
+            r.specTrajectory.push_back(envs.lane(k).rawSpecs());
+          obs[k] = std::move(stepped[j].result.obs);
+          retire = stepped[j].result.done || r.steps >= envs.lane(k).maxSteps();
+          if (retire)
+            r.success = stepped[j].result.done && stepped[j].result.success;
+        }
         if (retire) {
-          r.success = stepped[j].done && stepped[j].success;
           r.finalParams = envs.lane(k).currentParams();
           r.finalSpecs = envs.lane(k).rawSpecs();
           active[k] = 0;

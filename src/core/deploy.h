@@ -3,6 +3,7 @@
 // run a trained policy greedily against a target spec group, optionally
 // recording the per-step intermediate specifications (Figs. 5 and 6).
 
+#include <string>
 #include <vector>
 
 #include "rl/env.h"
@@ -24,6 +25,11 @@ struct DeploymentResult {
   /// Raw intermediate specs per step, starting with the initial state
   /// (filled when recordTrajectory is set).
   std::vector<std::vector<double>> specTrajectory;
+  /// The query's evaluation threw (simulator error, injected fault, ...).
+  /// A failed query is a structured per-result outcome, never an exception
+  /// out of runDeploymentBatch: one hostile target cannot poison the batch.
+  bool failed = false;
+  std::string error;              ///< what() of the captured exception
 };
 
 DeploymentResult runDeployment(rl::Env& env, const rl::ActorCritic& policy,

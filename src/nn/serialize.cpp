@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/failpoint.h"
+
 #if defined(__unix__)
 #include <fcntl.h>
 #include <unistd.h>
@@ -54,6 +56,34 @@ void atomicWriteFile(const std::string& path, std::string_view bytes) {
 #endif
   tmp += ".tmp." + std::to_string(pid) + "." + std::to_string(seq.fetch_add(1));
 
+  // Chaos sites (disarmed in production: one relaxed load each). Each one
+  // simulates a distinct real-world I/O failure at the exact stage it occurs;
+  // the atomicity contract — `path` holds the previous artifact or the new
+  // one, never a torn hybrid — must hold under every single one of them
+  // (tests/nn/test_serialize.cpp, the failpoint suite).
+  if (auto h = util::failpoint::check("io.temp"); h && h->action == "torn") {
+    // A writer killed mid-write: half the payload sits in a stale temp file
+    // that nothing ever renames. The temp must be inert for all readers.
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    out.flush();
+    throw std::runtime_error("atomicWriteFile: writer died mid-write to " +
+                             tmp.string() + " (injected)");
+  }
+  if (auto h = util::failpoint::check("io.write");
+      h && (h->action == "shortwrite" || h->action == "enospc")) {
+    // ENOSPC during write(): some bytes land, the stream error is noticed,
+    // the temp is cleaned up — exactly the real short-write path below.
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    std::error_code rmEc;
+    fs::remove(tmp, rmEc);
+    throw std::runtime_error("atomicWriteFile: short write to " + tmp.string() +
+                             " (injected ENOSPC)");
+  }
+
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out)
@@ -68,10 +98,24 @@ void atomicWriteFile(const std::string& path, std::string_view bytes) {
     }
   }
 
+  if (auto h = util::failpoint::check("io.fsync"); h && h->action == "fail") {
+    // fsync() reported EIO/ENOSPC: the bytes may not be durable, so the
+    // write must not become visible — drop the temp and fail the save.
+    std::error_code rmEc;
+    fs::remove(tmp, rmEc);
+    throw std::runtime_error("atomicWriteFile: fsync of " + tmp.string() +
+                             " failed (injected)");
+  }
 #if defined(__unix__)
   fsyncPath(tmp.c_str(), /*directory=*/false);
 #endif
 
+  if (auto h = util::failpoint::check("io.rename"); h && h->action == "enospc") {
+    std::error_code rmEc;
+    fs::remove(tmp, rmEc);
+    throw std::runtime_error("atomicWriteFile: rename to " + target.string() +
+                             " failed: No space left on device (injected)");
+  }
   std::error_code ec;
   fs::rename(tmp, target, ec);
   if (ec) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <condition_variable>
 #include <cstdlib>
 #include <filesystem>
 #include <future>
@@ -9,12 +11,15 @@
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
+#include <thread>
 #include <utility>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/csv.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
 #include "util/stats.h"
 
 namespace crl::rl {
@@ -153,6 +158,16 @@ bool parseDoneMarker(const std::string& text, CampaignJobResult& r) {
   return fields == 5;
 }
 
+void backoffSleep(double seconds) {
+  if (seconds > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Exponential backoff base * 2^(attempt-1), attempt >= 1.
+double backoffDelay(double base, int attempt) {
+  return base * std::ldexp(1.0, std::max(0, attempt - 1));
+}
+
 double statusCadenceSeconds(double configured) {
   if (const char* v = std::getenv("CRL_METRICS_EVERY"); v && *v) {
     char* end = nullptr;
@@ -173,9 +188,12 @@ double statusCadenceSeconds(double configured) {
 struct CampaignRunner::StatusBoard {
   struct JobStatus {
     std::string name;
-    const char* state = "pending";  // pending|running|done|skipped|failed
+    // pending|running|done|skipped|failed|quarantined
+    const char* state = "pending";
     int episodesDone = 0;
     int episodesTotal = 0;
+    int attempts = 1;      ///< runJob attempts started so far
+    bool stalled = false;  ///< watchdog verdict; cleared by a fresh heartbeat
     double emaReward = 0.0;
     std::int64_t lastCheckpointNs = -1;
     std::int64_t lastHeartbeatNs = -1;
@@ -189,6 +207,10 @@ struct CampaignRunner::StatusBoard {
   std::int64_t startNs = 0;
   std::int64_t lastWriteNs = -1;
   std::vector<JobStatus> jobs;
+  // Heartbeat watchdog (see CampaignConfig::watchdog).
+  std::thread watchdog;
+  std::condition_variable watchdogCv;
+  bool watchdogStop = false;  ///< guarded by m
 
   StatusBoard(const CampaignConfig& cfg, const std::vector<CampaignJob>& campaignJobs) {
     path = cfg.statusFile.empty() ? cfg.outDir + "/campaign_status.json"
@@ -212,6 +234,7 @@ struct CampaignRunner::StatusBoard {
     std::lock_guard<std::mutex> lock(m);
     mutate(jobs[idx]);
     jobs[idx].lastHeartbeatNs = obs::monotonicNowNs();
+    jobs[idx].stalled = false;  // a fresh heartbeat is recovery by definition
     writeLocked(force);
   }
 
@@ -226,18 +249,76 @@ struct CampaignRunner::StatusBoard {
         static_cast<double>(now - lastWriteNs) / 1e9 < everySeconds)
       return;
     lastWriteNs = now;
-    nn::atomicWriteFile(path, renderLocked(now));
+    // The board is pure observability: a status write that cannot land (full
+    // disk, injected I/O fault) must never take a training job down with it.
+    // The next write retries from scratch — the board state is the truth,
+    // the file is just its latest projection.
+    try {
+      nn::atomicWriteFile(path, renderLocked(now));
+    } catch (const std::exception& e) {
+      static auto& failures = obs::counter("campaign.status_write_failures");
+      failures.add();
+      util::logWarn() << "campaign: status write failed (" << e.what() << ")";
+    }
   }
+
+  /// Start the heartbeat watchdog: every scan flags running rows whose last
+  /// heartbeat is older than stallSeconds (and unflags recovered ones); a
+  /// verdict change forces a status rewrite so readers see it promptly.
+  void startWatchdog(double stallSeconds) {
+    const double period = std::clamp(stallSeconds / 4.0, 0.02, 1.0);
+    watchdog = std::thread([this, stallSeconds, period]() {
+      std::unique_lock<std::mutex> lock(m);
+      while (!watchdogCv.wait_for(lock, std::chrono::duration<double>(period),
+                                  [this]() { return watchdogStop; })) {
+        const std::int64_t now = obs::monotonicNowNs();
+        bool changed = false;
+        for (JobStatus& j : jobs) {
+          const bool running = std::string_view(j.state) == "running";
+          const bool stale =
+              running && j.lastHeartbeatNs >= 0 &&
+              static_cast<double>(now - j.lastHeartbeatNs) / 1e9 > stallSeconds;
+          if (stale && !j.stalled) {
+            j.stalled = true;
+            changed = true;
+            static auto& stalls = obs::counter("campaign.jobs_stalled");
+            stalls.add();
+            util::logWarn() << "campaign: job " << j.name
+                            << " looks stalled (no heartbeat for "
+                            << stallSeconds << "s)";
+          } else if (!stale && j.stalled) {
+            j.stalled = false;  // fresh heartbeat (or terminal state): recovered
+            changed = true;
+          }
+        }
+        if (changed) writeLocked(true);
+      }
+    });
+  }
+
+  void stopWatchdog() {
+    if (!watchdog.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(m);
+      watchdogStop = true;
+    }
+    watchdogCv.notify_all();
+    watchdog.join();
+  }
+
+  ~StatusBoard() { stopWatchdog(); }
 
   std::string renderLocked(std::int64_t now) const {
     int pending = 0, running = 0, done = 0, skipped = 0, failed = 0;
+    int quarantined = 0;
     std::int64_t episodesDone = 0, episodesTotal = 0;
     for (const JobStatus& j : jobs) {
       if (std::string_view(j.state) == "pending") ++pending;
       else if (std::string_view(j.state) == "running") ++running;
       else if (std::string_view(j.state) == "done") ++done;
       else if (std::string_view(j.state) == "skipped") ++skipped;
-      else ++failed;
+      else ++failed;  // "failed" and "quarantined" both count as failed
+      if (std::string_view(j.state) == "quarantined") ++quarantined;
       episodesDone += j.episodesDone;
       episodesTotal += j.episodesTotal;
     }
@@ -263,11 +344,28 @@ struct CampaignRunner::StatusBoard {
        << ",\"jobs_done\":" << done
        << ",\"jobs_skipped\":" << skipped
        << ",\"jobs_failed\":" << failed
+       << ",\"jobs_quarantined\":" << quarantined
+       << ",\"status_every_seconds\":" << obs::json::number(everySeconds)
        << ",\"episodes_done\":" << episodesDone
        << ",\"episodes_total\":" << episodesTotal
        << ",\"eta_seconds\":";
     if (haveRate) os << obs::json::number(eta);
     else os << "null";
+    // The failed_jobs manifest: everything a post-mortem needs without
+    // scanning the per-job rows — name, terminal state, attempts, error.
+    os << ",\"failed_jobs\":[";
+    bool firstFailed = true;
+    for (const JobStatus& j : jobs) {
+      if (std::string_view(j.state) != "failed" &&
+          std::string_view(j.state) != "quarantined")
+        continue;
+      if (!firstFailed) os << ",";
+      firstFailed = false;
+      os << "{\"name\":\"" << obs::json::escape(j.name) << "\",\"state\":\""
+         << j.state << "\",\"attempts\":" << j.attempts << ",\"error\":\""
+         << obs::json::escape(j.error) << "\"}";
+    }
+    os << "]";
     os << ",\"jobs\":[";
     bool first = true;
     for (const JobStatus& j : jobs) {
@@ -276,6 +374,8 @@ struct CampaignRunner::StatusBoard {
       os << "{\"name\":\"" << obs::json::escape(j.name) << "\",\"state\":\""
          << j.state << "\",\"episodes_done\":" << j.episodesDone
          << ",\"episodes_total\":" << j.episodesTotal
+         << ",\"attempts\":" << j.attempts
+         << ",\"stalled\":" << (j.stalled ? "true" : "false")
          << ",\"ema_reward\":" << obs::json::number(j.emaReward)
          << ",\"checkpoint_age_seconds\":";
       if (j.lastCheckpointNs >= 0)
@@ -319,11 +419,20 @@ std::vector<CampaignJobResult> CampaignRunner::run() {
   if (cfg_.writeStatus) {
     status_ = std::make_unique<StatusBoard>(cfg_, jobs_);
     status_->writeNow();  // all-pending snapshot: the file exists immediately
+    if (cfg_.watchdog) {
+      const double stall = cfg_.stallAfterSeconds > 0.0
+                               ? cfg_.stallAfterSeconds
+                               : std::max(1.0, 3.0 * status_->everySeconds);
+      status_->startWatchdog(stall);
+    }
   }
   std::vector<CampaignJobResult> results(jobs_.size());
   if (cfg_.workers < 2 || jobs_.size() < 2) {
     for (std::size_t i = 0; i < jobs_.size(); ++i) results[i] = runJob(i);
-    if (status_) status_->writeNow();
+    if (status_) {
+      status_->stopWatchdog();
+      status_->writeNow();
+    }
     return results;
   }
   // One shared pool for the whole campaign. Jobs are the stealable unit:
@@ -338,16 +447,66 @@ std::vector<CampaignJobResult> CampaignRunner::run() {
     for (auto& f : futs) f.get();  // runJob captures job errors; this rethrows only harness bugs
     poolStats_ = pool.stats();
   }
-  if (status_) status_->writeNow();
+  if (status_) {
+    status_->stopWatchdog();
+    status_->writeNow();
+  }
   return results;
 }
 
 CampaignJobResult CampaignRunner::runJob(std::size_t jobIndex) {
   const CampaignJob& job = jobs_[jobIndex];
-  obs::TraceSpan jobSpan("rl.campaign.job", "rl");
   const auto status = [&](bool force, auto&& mutate) {
     if (status_) status_->update(jobIndex, force, mutate);
   };
+  const int maxAttempts = 1 + std::max(0, cfg_.maxJobRetries);
+  static auto& retries = obs::counter("campaign.job_retries");
+  static auto& quarantines = obs::counter("campaign.quarantined");
+  CampaignJobResult r;
+  bool permanent = false;
+  for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+    permanent = false;
+    if (attempt > 1) {
+      retries.add();
+      util::logWarn() << "campaign: retrying job " << job.name << " (attempt "
+                      << attempt << "/" << maxAttempts << "): " << r.error;
+      backoffSleep(backoffDelay(cfg_.retryBackoffSeconds, attempt - 1));
+    }
+    status(attempt > 1, [&](StatusBoard::JobStatus& row) { row.attempts = attempt; });
+    r = runJobAttempt(jobIndex, &permanent);
+    r.attempts = attempt;
+    if (!r.failed) return r;
+    if (permanent) break;  // deterministic failure: retrying replays it
+  }
+  // Terminal failure. With a retry budget this is a quarantine — whether the
+  // budget was exhausted or a permanent error made retrying pointless — and
+  // the job is parked in the failed_jobs manifest while the rest of the
+  // campaign goes on. Without a budget the historical "failed" state stands.
+  if (cfg_.maxJobRetries > 0) {
+    r.quarantined = true;
+    quarantines.add();
+  }
+  static auto& jobsFailed = obs::counter("rl.campaign.jobs_failed");
+  jobsFailed.add();
+  status(true, [&](StatusBoard::JobStatus& row) {
+    row.state = r.quarantined ? "quarantined" : "failed";
+    row.error = r.error;
+  });
+  return r;
+}
+
+CampaignJobResult CampaignRunner::runJobAttempt(std::size_t jobIndex,
+                                                bool* permanent) {
+  const CampaignJob& job = jobs_[jobIndex];
+  obs::TraceSpan jobSpan("rl.campaign.job", "rl");
+  // Tag this thread for the duration of the attempt so failpoint schedules
+  // can target jobs by name ("spice.dc.newton=diverge@3#ota" hits only jobs
+  // whose name contains "ota").
+  util::failpoint::ScopedContext fpScope(job.name);
+  const auto status = [&](bool force, auto&& mutate) {
+    if (status_) status_->update(jobIndex, force, mutate);
+  };
+  static auto& saveRetries = obs::counter("io.save_retries");
   CampaignJobResult r;
   r.name = job.name;
   r.dir = cfg_.outDir + "/" + job.name;
@@ -369,8 +528,9 @@ CampaignJobResult CampaignRunner::runJob(std::size_t jobIndex) {
         return r;
       }
       // A done marker that does not parse is as alarming as a torn
-      // checkpoint: the atomic writer never produces one.
-      throw std::runtime_error(donePath + ": unreadable completion marker");
+      // checkpoint: the atomic writer never produces one. Permanent — the
+      // file will be just as corrupt on every retry.
+      throw PermanentJobError(donePath + ": unreadable completion marker");
     }
 
     auto ctx = job.make();
@@ -385,24 +545,24 @@ CampaignJobResult CampaignRunner::runJob(std::size_t jobIndex) {
       std::string err;
       const nn::LoadResult lr = nn::loadTrainState(checkpointPath, st, &err);
       if (lr == nn::LoadResult::Invalid)
-        throw std::runtime_error(checkpointPath + ": invalid checkpoint: " + err);
+        throw PermanentJobError(checkpointPath + ": invalid checkpoint: " + err);
       if (lr == nn::LoadResult::Ok) {
         if (!trainer.loadState(st, &err))
-          throw std::runtime_error(checkpointPath + ": " + err);
+          throw PermanentJobError(checkpointPath + ": " + err);
         const std::string* rng = st.rng(kEvalRngKey);
         if (!rng || !evalRng.restoreState(*rng))
-          throw std::runtime_error(checkpointPath + ": missing/invalid eval RNG");
+          throw PermanentJobError(checkpointPath + ": missing/invalid eval RNG");
         const std::string* ema = st.blob(kEmaKey);
         if (!ema || !decodeEmas(*ema, rewardEma, lenEma))
-          throw std::runtime_error(checkpointPath + ": missing/invalid EMA state");
+          throw PermanentJobError(checkpointPath + ": missing/invalid EMA state");
         const std::string* cv = st.blob(kCurveKey);
         if (!cv || !decodeCurve(*cv, curve))
-          throw std::runtime_error(checkpointPath + ": missing/invalid curve state");
+          throw PermanentJobError(checkpointPath + ": missing/invalid curve state");
         const std::string* solver = st.blob(kSolverKey);
         std::vector<std::string> solverBlobs;
         if (!solver || !decodeSolverBlobs(*solver, solverBlobs) ||
             !ctx->restoreSolverSnapshots(solverBlobs))
-          throw std::runtime_error(checkpointPath + ": missing/invalid solver state");
+          throw PermanentJobError(checkpointPath + ": missing/invalid solver state");
         r.resumed = true;
         status(true, [&](StatusBoard::JobStatus& row) {
           row.episodesDone = trainer.episodeCount();
@@ -411,6 +571,14 @@ CampaignJobResult CampaignRunner::runJob(std::size_t jobIndex) {
       }
     }
 
+    // Checkpoint writes survive transient I/O faults: each write gets
+    // checkpointWriteAttempts inline tries with exponential backoff; a write
+    // that still fails degrades the cadence (train on, write less often)
+    // and only maxCheckpointFailures consecutive dead writes fail the job.
+    // A checkpoint is atomic (temp + fsync + rename), so a failed write
+    // leaves the previous snapshot intact — resume still works bitwise.
+    int consecutiveCheckpointFailures = 0;
+    int checkpointCadence = std::max(1, cfg_.checkpointEvery);
     const auto writeCheckpoint = [&]() {
       nn::TrainState st;
       trainer.saveState(st);
@@ -418,7 +586,40 @@ CampaignJobResult CampaignRunner::runJob(std::size_t jobIndex) {
       st.setBlob(kEmaKey, encodeEmas(rewardEma, lenEma));
       st.setBlob(kCurveKey, encodeCurve(curve));
       st.setBlob(kSolverKey, encodeSolverBlobs(ctx->solverSnapshots()));
-      nn::saveTrainState(checkpointPath, st);
+      std::string lastError;
+      bool saved = false;
+      const int tries = std::max(1, cfg_.checkpointWriteAttempts);
+      for (int a = 1; a <= tries && !saved; ++a) {
+        if (a > 1) {
+          saveRetries.add();
+          backoffSleep(backoffDelay(cfg_.checkpointRetryBackoffSeconds, a - 1));
+        }
+        try {
+          nn::saveTrainState(checkpointPath, st);
+          saved = true;
+        } catch (const std::exception& e) {
+          lastError = e.what();
+        }
+      }
+      if (!saved) {
+        ++consecutiveCheckpointFailures;
+        if (consecutiveCheckpointFailures >= std::max(1, cfg_.maxCheckpointFailures))
+          throw std::runtime_error(checkpointPath +
+                                   ": checkpoint writes keep failing (last: " +
+                                   lastError + ")");
+        checkpointCadence =
+            std::min(checkpointCadence * 2, std::max(1, job.episodes));
+        static auto& degraded =
+            obs::counter("campaign.checkpoint_cadence_degraded");
+        degraded.add();
+        util::logWarn() << "campaign: job " << job.name
+                        << " checkpoint write failed (" << lastError
+                        << "); degrading cadence to every " << checkpointCadence
+                        << " episodes";
+        return;
+      }
+      consecutiveCheckpointFailures = 0;
+      checkpointCadence = std::max(1, cfg_.checkpointEvery);
       status(true, [&](StatusBoard::JobStatus& row) {
         row.lastCheckpointNs = obs::monotonicNowNs();
         row.episodesDone = trainer.episodeCount();
@@ -455,9 +656,12 @@ CampaignJobResult CampaignRunner::runJob(std::size_t jobIndex) {
 
     while (trainer.episodeCount() < job.episodes) {
       const int remaining = job.episodes - trainer.episodeCount();
-      const int chunk =
-          cfg_.checkpointEvery > 0 ? std::min(cfg_.checkpointEvery, remaining)
-                                   : remaining;
+      // checkpointCadence (not checkpointEvery): a degraded job writes less
+      // often. Chunk boundaries never affect the math, only when snapshots
+      // happen, so cadence changes preserve bitwise training results.
+      const int chunk = cfg_.checkpointEvery > 0
+                            ? std::min(checkpointCadence, remaining)
+                            : remaining;
       trainer.trainChunk(chunk, onEpisode);
       if (cfg_.checkpointEvery > 0 && trainer.episodeCount() < job.episodes)
         writeCheckpoint();
@@ -475,32 +679,74 @@ CampaignJobResult CampaignRunner::runJob(std::size_t jobIndex) {
     r.finalAccuracy = rep.accuracy;
     r.finalMeanStepsSuccess = rep.meanStepsSuccess;
 
+    // Final artifacts get the same transient-I/O retry as checkpoints; a
+    // failure that survives every inline attempt fails the job (and the
+    // post-training checkpoint above means a retried job resumes straight
+    // here instead of retraining).
+    const auto writeArtifact = [&](const char* what,
+                                   const std::function<void()>& op) {
+      std::string lastError;
+      const int tries = std::max(1, cfg_.checkpointWriteAttempts);
+      for (int a = 1; a <= tries; ++a) {
+        if (a > 1) {
+          saveRetries.add();
+          backoffSleep(backoffDelay(cfg_.checkpointRetryBackoffSeconds, a - 1));
+        }
+        try {
+          op();
+          return;
+        } catch (const std::exception& e) {
+          lastError = e.what();
+        }
+      }
+      throw std::runtime_error(std::string(what) +
+                               ": write keeps failing (last: " + lastError + ")");
+    };
     const std::string csv = formatCurveCsv(job, curve);
-    nn::atomicWriteFile(r.dir + "/curve.csv", csv);
-    if (!job.curveCsv.empty()) nn::atomicWriteFile(job.curveCsv, csv);
-    nn::saveParameters(r.dir + "/policy.bin", ctx->policy().parameters());
+    writeArtifact("curve.csv",
+                  [&]() { nn::atomicWriteFile(r.dir + "/curve.csv", csv); });
+    if (!job.curveCsv.empty())
+      writeArtifact("curve.csv copy",
+                    [&]() { nn::atomicWriteFile(job.curveCsv, csv); });
+    writeArtifact("policy.bin", [&]() {
+      nn::saveParameters(r.dir + "/policy.bin", ctx->policy().parameters());
+    });
     if (!job.policyBin.empty())
-      nn::saveParameters(job.policyBin, ctx->policy().parameters());
+      writeArtifact("policy.bin copy", [&]() {
+        nn::saveParameters(job.policyBin, ctx->policy().parameters());
+      });
     // The done marker is written LAST: its presence certifies every artifact
     // above is complete, which is what makes re-running a campaign safe.
-    nn::atomicWriteFile(donePath, formatDoneMarker(r));
+    writeArtifact("done marker", [&]() {
+      nn::atomicWriteFile(donePath, formatDoneMarker(r));
+    });
     static auto& jobsDone = obs::counter("rl.campaign.jobs_done");
     jobsDone.add();
     status(true, [&](StatusBoard::JobStatus& row) {
       row.state = "done";
       row.episodesDone = r.episodes;
       row.emaReward = r.finalMeanReward;
+      row.error.clear();  // a retried job that succeeded is not in error
     });
-  } catch (const std::exception& e) {
+  } catch (const NonFiniteError& e) {
+    // Structured math failure: the message already names episode/epoch/
+    // minibatch; the job name pins it to a grid cell. Deterministic replay
+    // reproduces it exactly, so it never consumes retries.
     r.failed = true;
-    r.error = e.what();
-    static auto& jobsFailed = obs::counter("rl.campaign.jobs_failed");
-    jobsFailed.add();
-    status(true, [&](StatusBoard::JobStatus& row) {
-      row.state = "failed";
-      row.error = r.error;
-    });
+    *permanent = true;
+    r.error = job.name + ": " + e.what();
+  } catch (const PermanentJobError& e) {
+    r.failed = true;
+    *permanent = true;
+    r.error = job.name + ": " + e.what();
+  } catch (const std::exception& e) {
+    // Everything else (I/O, simulator, pool) is presumed transient and
+    // eligible for the retry budget; the wrapper applies terminal state.
+    r.failed = true;
+    r.error = job.name + ": " + e.what();
   }
+  if (r.failed)
+    status(true, [&](StatusBoard::JobStatus& row) { row.error = r.error; });
   return r;
 }
 

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,15 @@
 #include "util/thread_pool.h"
 
 namespace crl::rl {
+
+/// A job failure deterministic replay would reproduce exactly — a corrupt
+/// checkpoint, an unreadable done marker, non-finite training math. Retrying
+/// such a job burns the whole retry budget re-deriving the same error, so
+/// the runner sends it straight to its terminal state instead.
+class PermanentJobError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Deployment-accuracy probe result (the Fig. 3 "deploy accuracy" columns).
 struct CampaignEvalReport {
@@ -114,6 +124,35 @@ struct CampaignConfig {
   /// Minimum seconds between throttled status rewrites; the
   /// CRL_METRICS_EVERY env knob (seconds, floating point) overrides this.
   double statusEverySeconds = 2.0;
+
+  // ---- fault tolerance ----------------------------------------------------
+  /// Extra attempts granted to a job that fails with a transient error
+  /// (I/O, simulator, pool). 0 — the historical default — fails the job on
+  /// its first error. A retried job re-enters the normal resume path: with
+  /// `resume` set it continues bitwise from its last checkpoint, so a
+  /// transient fault costs at most one checkpoint interval of rework.
+  /// PermanentJobError (and rl::NonFiniteError) never consume retries.
+  int maxJobRetries = 0;
+  /// Exponential retry backoff: attempt k waits
+  /// retryBackoffSeconds * 2^(k-1) before re-running the job.
+  double retryBackoffSeconds = 0.25;
+  /// Inline attempts for a single checkpoint (and final artifact) write;
+  /// transient I/O errors — ENOSPC, failed fsync — are retried with
+  /// checkpointRetryBackoffSeconds * 2^(attempt-1) pauses in between.
+  int checkpointWriteAttempts = 3;
+  double checkpointRetryBackoffSeconds = 0.05;
+  /// When a whole checkpoint write fails (all inline attempts exhausted) the
+  /// job keeps training but doubles its checkpoint cadence — a sick disk is
+  /// not helped by hammering it — and fails loudly after this many
+  /// *consecutive* failed writes.
+  int maxCheckpointFailures = 3;
+  /// Heartbeat watchdog: a background scan flags running jobs whose last
+  /// heartbeat is older than stallAfterSeconds as "stalled" in the status
+  /// JSON (and ticks campaign.jobs_stalled). Observational only — nothing
+  /// is killed; a recovered job is unflagged on its next heartbeat.
+  bool watchdog = true;
+  /// 0 = derive as 3 x statusEverySeconds (floored at 1s).
+  double stallAfterSeconds = 0.0;
 };
 
 struct CampaignJobResult {
@@ -122,7 +161,12 @@ struct CampaignJobResult {
   bool skipped = false;   ///< done marker found; metrics parsed, nothing run
   bool resumed = false;   ///< continued from a checkpoint
   bool failed = false;
+  /// Terminal failure after a non-zero retry budget was exhausted (or a
+  /// permanent error short-circuited it). Quarantined jobs are listed in the
+  /// status JSON's failed_jobs manifest; the rest of the campaign completes.
+  bool quarantined = false;
   std::string error;
+  int attempts = 1;       ///< runJob attempts consumed (1 = no retry needed)
   int episodes = 0;
   double finalMeanReward = 0.0;
   double finalMeanLength = 0.0;
@@ -159,7 +203,14 @@ class CampaignRunner {
  private:
   struct StatusBoard;
 
+  /// Retry wrapper: runs runJobAttempt up to 1 + maxJobRetries times with
+  /// exponential backoff, classifies permanent errors, and applies the
+  /// terminal failed/quarantined state.
   CampaignJobResult runJob(std::size_t jobIndex);
+  /// One attempt at a job, under a failpoint scope tagged with the job name
+  /// (so chaos schedules can target jobs by `#substring`). Sets *permanent
+  /// when the failure is not worth retrying.
+  CampaignJobResult runJobAttempt(std::size_t jobIndex, bool* permanent);
 
   CampaignConfig cfg_;
   std::vector<CampaignJob> jobs_;

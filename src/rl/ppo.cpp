@@ -2,14 +2,42 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace crl::rl {
+
+namespace {
+std::string nonFiniteMessage(const std::string& quantity, double value,
+                             int episode, int epoch,
+                             std::size_t minibatchStart) {
+  std::ostringstream os;
+  os << "PpoTrainer: non-finite " << quantity << " (" << value
+     << ") at episode " << episode;
+  if (epoch >= 0)
+    os << ", update epoch " << epoch << ", minibatch offset " << minibatchStart;
+  os << "; aborting the update before it reaches the parameters";
+  return os.str();
+}
+}  // namespace
+
+NonFiniteError::NonFiniteError(const std::string& quantityIn, double valueIn,
+                               int episodeIn, int epochIn,
+                               std::size_t minibatchStartIn)
+    : std::runtime_error(nonFiniteMessage(quantityIn, valueIn, episodeIn,
+                                          epochIn, minibatchStartIn)),
+      quantity(quantityIn),
+      value(valueIn),
+      episode(episodeIn),
+      epoch(epochIn),
+      minibatchStart(minibatchStartIn) {}
 
 void computeGae(const std::vector<Transition>& steps, double gamma, double lambda,
                 std::vector<double>* advantages, std::vector<double>* returns) {
@@ -89,6 +117,12 @@ void PpoTrainer::trainChunk(int episodes,
       tr.value = out.value.item();
 
       StepResult res = env_.step(act.actions);
+      // Chaos gate: a benchmark whose reward computation went non-finite (a
+      // divide-by-zero FoM, a NaN spec). The guard in update() must catch it
+      // before it reaches the parameters.
+      if (auto h = util::failpoint::check("train.reward");
+          h && h->action == "nan")
+        res.reward = std::numeric_limits<double>::quiet_NaN();
       tr.reward = res.reward;
       tr.terminal = res.done || (t + 1 == env_.maxSteps());
       buffer.push_back(std::move(tr));
@@ -228,6 +262,16 @@ void PpoTrainer::update(std::vector<Transition>& buffer) {
   const double sd = std::sqrt(sq / std::max<std::size_t>(advantages.size() - 1, 1)) + 1e-8;
   for (double& a : advantages) a = (a - m) / sd;
 
+  // Non-finite guard, stage 1: one NaN reward poisons every advantage
+  // through the normalization above. Catch it here — with the offending
+  // index — instead of letting Adam write NaN into every parameter.
+  for (std::size_t i = 0; i < advantages.size(); ++i) {
+    if (!std::isfinite(advantages[i]))
+      throw NonFiniteError("advantage", advantages[i], episodeCounter_, -1, i);
+    if (!std::isfinite(returns[i]))
+      throw NonFiniteError("return", returns[i], episodeCounter_, -1, i);
+  }
+
   const std::size_t n = buffer.size();
   for (int epoch = 0; epoch < cfg_.updateEpochs; ++epoch) {
     auto perm = rng_.permutation(n);
@@ -248,9 +292,23 @@ void PpoTrainer::update(std::vector<Transition>& buffer) {
                                        returns)
                 : minibatchLossSequential(buffer, perm, start, end, advantages,
                                           returns);
+        double lossVal = loss.item();
+        // Chaos gate: pretend this minibatch's loss went NaN (the real
+        // triggers — exploding ratios, non-finite specs — are hard to
+        // provoke on demand; the guard below must fire either way).
+        if (auto h = util::failpoint::check("train.loss");
+            h && h->action == "nan")
+          lossVal = std::numeric_limits<double>::quiet_NaN();
+        // Non-finite guard, stage 2: refuse to backpropagate a NaN/inf
+        // loss. The structured error names exactly where training was.
+        if (!std::isfinite(lossVal)) {
+          static auto& aborts = obs::counter("rl.ppo.nonfinite_aborts");
+          aborts.add();
+          throw NonFiniteError("loss", lossVal, episodeCounter_, epoch, start);
+        }
         // Observation only: .item() reads the eager forward value.
         static auto& lossGauge = obs::gauge("rl.ppo.minibatch_loss");
-        lossGauge.set(loss.item());
+        lossGauge.set(lossVal);
         nn::backward(loss);
       }
       if (cfg_.arenaUpdate) arena_.reset();

@@ -3,7 +3,9 @@
 // compute GAE advantages, maximize the clipped surrogate with Adam, fit the
 // value function by regression.
 
+#include <cstddef>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -42,6 +44,24 @@ struct PpoConfig {
   /// are zero-filled like fresh ones) — tests/nn/test_arena.cpp locks that
   /// in; the off switch exists for A/B benchmarking (bench_arena).
   bool arenaUpdate = true;
+};
+
+/// Thrown by PpoTrainer::update when a loss, advantage, or return goes
+/// NaN/inf: silently stepping Adam on non-finite gradients would poison
+/// every parameter and *train on* from garbage. The fields pinpoint where
+/// training was when the guard fired; the campaign runner prefixes the job
+/// name and treats the error as permanent (deterministic replay would fail
+/// identically, so retrying is pointless — the job is quarantined).
+class NonFiniteError : public std::runtime_error {
+ public:
+  NonFiniteError(const std::string& quantity, double value, int episode,
+                 int epoch, std::size_t minibatchStart);
+
+  std::string quantity;         ///< "loss" | "advantage" | "return"
+  double value = 0.0;           ///< the offending non-finite value
+  int episode = 0;              ///< episodes finished when the update began
+  int epoch = 0;                ///< update epoch (-1: before the epoch loop)
+  std::size_t minibatchStart = 0;  ///< permutation offset (advantage: index)
 };
 
 /// Per-episode statistics streamed to the caller (training curves of Fig. 3).

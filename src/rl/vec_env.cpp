@@ -82,4 +82,45 @@ std::vector<StepResult> VecEnv::stepLanes(const std::vector<std::size_t>& laneId
   return results;
 }
 
+std::vector<VecEnv::LaneStepOutcome> VecEnv::stepLanesGuarded(
+    const std::vector<std::size_t>& laneIds,
+    const std::vector<std::vector<int>>& actions) {
+  if (actions.size() != laneIds.size())
+    throw std::invalid_argument(
+        "VecEnv::stepLanesGuarded: one action vector per lane id");
+  std::vector<LaneStepOutcome> out(laneIds.size());
+  const auto capture = [&out](std::size_t k, const std::exception& e) {
+    out[k].failed = true;
+    out[k].error = e.what();
+  };
+  if (!pool_ || pool_->workerCount() < 2 || laneIds.size() == 1) {
+    for (std::size_t k = 0; k < laneIds.size(); ++k) {
+      try {
+        out[k].result = lanes_[laneIds[k]].env->step(actions[k]);
+      } catch (const std::exception& e) {
+        capture(k, e);
+      }
+    }
+    return out;
+  }
+  std::vector<std::future<StepResult>> futs;
+  futs.reserve(laneIds.size());
+  for (std::size_t k = 0; k < laneIds.size(); ++k)
+    futs.push_back(pool_->submit([this, &laneIds, &actions, k]() {
+      return lanes_[laneIds[k]].env->step(actions[k]);
+    }));
+  // Wait for every lane before collecting, then catch per future: the catch
+  // at get() is what isolates failures injected into the pooled task wrapper
+  // (failpoint pool.task) as well as ones thrown by the env itself.
+  for (auto& f : futs) f.wait();
+  for (std::size_t k = 0; k < futs.size(); ++k) {
+    try {
+      out[k].result = futs[k].get();
+    } catch (const std::exception& e) {
+      capture(k, e);
+    }
+  }
+  return out;
+}
+
 }  // namespace crl::rl

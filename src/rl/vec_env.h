@@ -65,6 +65,22 @@ class VecEnv {
   std::vector<StepResult> stepLanes(const std::vector<std::size_t>& laneIds,
                                     const std::vector<std::vector<int>>& actions);
 
+  /// One guarded lane step: the StepResult, or the captured error of the
+  /// lane that threw (the other lanes' results stay valid either way).
+  struct LaneStepOutcome {
+    StepResult result;
+    bool failed = false;
+    std::string error;
+  };
+
+  /// stepLanes with per-lane failure isolation: an exception thrown by one
+  /// lane's env->step (or injected into its pooled task) is captured into
+  /// that lane's outcome instead of poisoning the whole batch. Every lane
+  /// still runs to completion before this returns, exactly like stepLanes.
+  std::vector<LaneStepOutcome> stepLanesGuarded(
+      const std::vector<std::size_t>& laneIds,
+      const std::vector<std::vector<int>>& actions);
+
   util::ThreadPool* pool() { return pool_; }
 
  private:

@@ -1,10 +1,14 @@
 #include "spice/dc.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <stdexcept>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace crl::spice {
@@ -18,6 +22,20 @@ std::optional<linalg::Vec> DcAnalysis::newton(linalg::Vec x, double gmin,
                                               double srcScale, int* iterationsOut) {
   const std::size_t n = net_.unknownCount();
   const std::size_t nNodes = net_.nodeCount() - 1;
+
+  // Chaos gate (one relaxed load when disarmed). "diverge" abandons this
+  // Newton attempt as a non-convergence, "singular" mimics a collapsed
+  // pivot — both feed the same homotopy-rescue ladder a hostile circuit
+  // would. "sleep" injects per-attempt latency (watchdog/stall testing);
+  // "throw" escalates to a hard evaluation error.
+  if (auto h = util::failpoint::check("spice.dc.newton")) {
+    if (h->action == "diverge" || h->action == "singular") return std::nullopt;
+    if (h->action == "throw")
+      throw std::runtime_error("spice.dc.newton: injected evaluation failure");
+    if (h->action == "sleep")
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          h->hasValue ? h->value : 10.0));
+  }
 
   for (int iter = 0; iter < opt_.maxIterations; ++iter) {
     ++*iterationsOut;

@@ -1,0 +1,229 @@
+#include "util/failpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace crl::util::failpoint {
+
+namespace detail {
+std::atomic<int> armedEntries{0};
+}  // namespace detail
+
+namespace {
+
+struct Entry {
+  std::string site;
+  Hit hit;
+  enum class Trigger { Always, Nth, Prob } trigger = Trigger::Always;
+  std::uint64_t nth = 0;        ///< for Trigger::Nth (1-based)
+  double p = 0.0;               ///< for Trigger::Prob
+  std::mt19937_64 rng;          ///< for Trigger::Prob, seeded per entry
+  std::string scope;            ///< '#' filter; empty matches everything
+  std::uint64_t hits = 0;       ///< eligible hits so far (registry-locked)
+};
+
+/// One registry for the process. Everything behind the armed-entries gate is
+/// mutex-guarded: chaos runs trade a lock for a deterministic schedule.
+struct Registry {
+  std::mutex m;
+  std::vector<Entry> entries;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during shutdown
+  return *r;
+}
+
+thread_local std::string tlsContext;
+
+bool parseU64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parseDouble(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+Entry parseEntry(const std::string& text) {
+  const auto fail = [&](const std::string& why) {
+    throw std::invalid_argument("failpoint: '" + text + "': " + why);
+  };
+  Entry e;
+
+  const std::size_t eq = text.find('=');
+  if (eq == std::string::npos || eq == 0) fail("expected site=action");
+  e.site = text.substr(0, eq);
+  std::string rest = text.substr(eq + 1);
+
+  // Peel the '#' scope (rightmost, so actions/values may not contain '#').
+  if (const std::size_t hash = rest.rfind('#'); hash != std::string::npos) {
+    e.scope = rest.substr(hash + 1);
+    if (e.scope.empty()) fail("empty scope after '#'");
+    rest = rest.substr(0, hash);
+  }
+
+  // Split action[:value] from the '@' trigger.
+  std::string actionPart = rest, triggerPart;
+  if (const std::size_t at = rest.find('@'); at != std::string::npos) {
+    actionPart = rest.substr(0, at);
+    triggerPart = rest.substr(at + 1);
+    if (triggerPart.empty()) fail("empty trigger after '@'");
+  }
+  if (actionPart.empty()) fail("empty action");
+  if (const std::size_t colon = actionPart.find(':'); colon != std::string::npos) {
+    e.hit.action = actionPart.substr(0, colon);
+    if (!parseDouble(actionPart.substr(colon + 1), e.hit.value))
+      fail("bad numeric payload '" + actionPart.substr(colon + 1) + "'");
+    e.hit.hasValue = true;
+  } else {
+    e.hit.action = actionPart;
+  }
+  if (e.hit.action.empty()) fail("empty action");
+
+  if (triggerPart.empty() || triggerPart == "always") {
+    e.trigger = Entry::Trigger::Always;
+  } else if (triggerPart == "once") {
+    e.trigger = Entry::Trigger::Nth;
+    e.nth = 1;
+  } else if (triggerPart.find('.') == std::string::npos &&
+             triggerPart.find(':') == std::string::npos) {
+    e.trigger = Entry::Trigger::Nth;
+    if (!parseU64(triggerPart, e.nth) || e.nth == 0)
+      fail("bad hit number '" + triggerPart + "'");
+  } else {
+    // Probability, optionally ":seedS" (the "seed" prefix is optional).
+    std::string probPart = triggerPart, seedPart;
+    if (const std::size_t colon = triggerPart.find(':'); colon != std::string::npos) {
+      probPart = triggerPart.substr(0, colon);
+      seedPart = triggerPart.substr(colon + 1);
+      if (seedPart.rfind("seed", 0) == 0) seedPart = seedPart.substr(4);
+    }
+    if (!parseDouble(probPart, e.p) || !(e.p > 0.0) || !(e.p <= 1.0))
+      fail("bad probability '" + probPart + "' (want 0 < p <= 1)");
+    std::uint64_t seed = 0;
+    if (!seedPart.empty() && !parseU64(seedPart, seed))
+      fail("bad seed '" + seedPart + "'");
+    e.trigger = Entry::Trigger::Prob;
+    e.rng.seed(seed);
+  }
+  return e;
+}
+
+std::vector<Entry> parseSpec(const std::string& spec) {
+  std::vector<Entry> entries;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t semi = spec.find(';', start);
+    const std::string item = spec.substr(
+        start, semi == std::string::npos ? std::string::npos : semi - start);
+    // Tolerate blank segments (trailing ';', doubled separators).
+    std::size_t b = item.find_first_not_of(" \t\n");
+    std::size_t eTrim = item.find_last_not_of(" \t\n");
+    if (b != std::string::npos)
+      entries.push_back(parseEntry(item.substr(b, eTrim - b + 1)));
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return entries;
+}
+
+/// Arms the registry from CRL_FAILPOINTS once at process start. A malformed
+/// env spec warns and disarms rather than aborting static initialization —
+/// chaos tooling must never take the production binary down by typo.
+struct EnvLoader {
+  EnvLoader() {
+    const char* v = std::getenv("CRL_FAILPOINTS");
+    if (!v || !*v) return;
+    try {
+      configure(v);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: ignoring CRL_FAILPOINTS: %s\n", e.what());
+    }
+  }
+};
+EnvLoader envLoaderAtStartup;
+
+}  // namespace
+
+void configure(const std::string& spec) {
+  std::vector<Entry> parsed = parseSpec(spec);  // throws before touching state
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  r.entries = std::move(parsed);
+  detail::armedEntries.store(static_cast<int>(r.entries.size()),
+                             std::memory_order_relaxed);
+}
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  r.entries.clear();
+  detail::armedEntries.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hitCount(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  std::uint64_t total = 0;
+  for (const Entry& e : r.entries)
+    if (e.site == site) total += e.hits;
+  return total;
+}
+
+namespace detail {
+std::optional<Hit> checkSlow(std::string_view site) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.m);
+  for (Entry& e : r.entries) {
+    if (e.site != site) continue;
+    if (!e.scope.empty() && tlsContext.find(e.scope) == std::string::npos)
+      continue;
+    ++e.hits;
+    switch (e.trigger) {
+      case Entry::Trigger::Always:
+        return e.hit;
+      case Entry::Trigger::Nth:
+        if (e.hits == e.nth) return e.hit;
+        break;
+      case Entry::Trigger::Prob: {
+        // Canonical [0,1) draw; one u64 per hit keeps the stream simple and
+        // reproducible across platforms.
+        const double u =
+            static_cast<double>(e.rng() >> 11) * 0x1.0p-53;
+        if (u < e.p) return e.hit;
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+}  // namespace detail
+
+ScopedContext::ScopedContext(std::string_view tag)
+    : restoreLength_(tlsContext.size()) {
+  tlsContext += '/';
+  tlsContext += tag;
+}
+
+ScopedContext::~ScopedContext() { tlsContext.resize(restoreLength_); }
+
+const std::string& currentContext() { return tlsContext; }
+
+}  // namespace crl::util::failpoint

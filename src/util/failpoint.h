@@ -1,0 +1,116 @@
+#pragma once
+// Deterministic fault-injection registry ("failpoints").
+//
+// Production code marks the places where reality can fail — a rename that
+// can hit ENOSPC, a Newton loop that can diverge, a pooled task that can
+// throw — with a named site:
+//
+//   if (auto h = util::failpoint::check("io.rename")) { ...inject... }
+//
+// Normally every site is disarmed and check() is one relaxed atomic load
+// plus a predicted branch (the "zero overhead when off" contract;
+// bench_failpoint_overhead pins it below 1% on a SPICE hot loop). A chaos
+// run arms sites through the CRL_FAILPOINTS environment variable, e.g.
+//
+//   CRL_FAILPOINTS="io.rename=enospc@3;spice.dc.newton=diverge@0.02:seed7;
+//                   pool.task=throw@once;train.loss=nan@always#ota"
+//
+// Grammar (per ';'-separated entry):
+//
+//   site '=' action [':' value] ['@' trigger] ['#' scope]
+//
+//   action   a word the *site* interprets (enospc, shortwrite, torn, fail,
+//            diverge, singular, throw, nan, sleep, ...); the registry only
+//            transports it. An optional numeric payload rides after ':'
+//            (e.g. sleep:50 = 50 ms).
+//   trigger  when the site fires:
+//              N        fire on the Nth eligible hit only (1-based)
+//              once     alias for 1
+//              always   every hit (default when '@' is absent)
+//              P[:seedS]  Bernoulli(P) per hit, P in (0,1), drawn from a
+//                       dedicated mt19937_64 seeded with S (default 0) — the
+//                       schedule is reproducible run to run.
+//   scope    substring that must appear in the calling thread's failpoint
+//            context (see ScopedContext) for the entry to be eligible. The
+//            campaign runner tags each worker thread with its job name, so
+//            "#ota" targets only jobs with "ota" in their name.
+//
+// Hit counting is per entry and counts *eligible* hits (site name and scope
+// matched), so "@3" means "the 3rd time THIS entry saw its site". Every
+// trigger decision is made under the registry lock — chaos schedules are
+// deterministic for a fixed thread interleaving, and exactly reproducible
+// in single-worker runs.
+//
+// Sites are instrumentation, not policy: a fired hit only reports the
+// action string back; the call site decides what "enospc" or "diverge"
+// means there. This keeps the registry free of dependencies on the layers
+// it is injected into.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace crl::util::failpoint {
+
+/// A fired injection: the action word and its optional numeric payload.
+struct Hit {
+  std::string action;
+  double value = 0.0;
+  bool hasValue = false;
+};
+
+namespace detail {
+/// Number of armed entries; 0 keeps check() on the fast path. Relaxed is
+/// enough: arming happens at process start (env) or in tests, and a stale
+/// read during reconfiguration only delays the first injection by one call.
+extern std::atomic<int> armedEntries;
+std::optional<Hit> checkSlow(std::string_view site);
+}  // namespace detail
+
+/// The site gate. Disarmed: one relaxed load + branch, no allocation, no
+/// lock. Armed: takes the registry lock, matches entries, advances trigger
+/// state deterministically.
+inline std::optional<Hit> check(std::string_view site) {
+  if (detail::armedEntries.load(std::memory_order_relaxed) == 0)
+    return std::nullopt;
+  return detail::checkSlow(site);
+}
+
+/// True when any entry is armed (tests and benches branch on this).
+inline bool anyArmed() {
+  return detail::armedEntries.load(std::memory_order_relaxed) != 0;
+}
+
+/// Replace the configuration with `spec` (the CRL_FAILPOINTS grammar).
+/// Throws std::invalid_argument naming the defect on a malformed spec;
+/// the previous configuration stays armed in that case. An empty spec
+/// disarms everything.
+void configure(const std::string& spec);
+
+/// Disarm every entry and forget all trigger state.
+void clear();
+
+/// Eligible hits observed so far, summed over every entry for `site`
+/// (0 when the site is not armed). Counts hits, not fires.
+std::uint64_t hitCount(std::string_view site);
+
+/// Tag the calling thread (RAII, nestable) for '#' scope filters. The
+/// campaign runner wraps each job attempt in its job's name; tests wrap
+/// sections they want to target.
+class ScopedContext {
+ public:
+  explicit ScopedContext(std::string_view tag);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  std::size_t restoreLength_;
+};
+
+/// The calling thread's joined context ("/tag1/tag2"); empty when untagged.
+const std::string& currentContext();
+
+}  // namespace crl::util::failpoint

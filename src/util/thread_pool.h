@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/failpoint.h"
+
 namespace crl::util {
 
 class ThreadPool {
@@ -47,7 +49,16 @@ class ThreadPool {
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    // The pool.task chaos gate (one relaxed load when disarmed) lives inside
+    // the packaged task, so an injected throw is captured by the future and
+    // surfaces at get() — indistinguishable from the task itself failing.
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<F>(fn)]() mutable -> R {
+          if (auto h = failpoint::check("pool.task"); h && h->action == "throw")
+            throw std::runtime_error(
+                "ThreadPool: injected task failure (failpoint pool.task)");
+          return fn();
+        });
     std::future<R> fut = task->get_future();
     enqueue([task]() { (*task)(); });
     return fut;

@@ -11,6 +11,8 @@
 #include "core/policies.h"
 #include "envs/sizing_env.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "util/failpoint.h"
 
 namespace crl::core {
 namespace {
@@ -130,6 +132,101 @@ TEST_F(DeployTest, EvaluateAccuracyBatchCountsAndBounds) {
   EXPECT_LE(rep.accuracy, 1.0);
   EXPECT_GE(rep.meanSteps, 1.0);
   EXPECT_LE(rep.meanSteps, 12.0);
+}
+
+// ---- per-query failure isolation (failpoint-injected faults) --------------
+
+/// Clears any failpoint schedule even when an assertion fails mid-test.
+struct FailpointGuard {
+  ~FailpointGuard() { util::failpoint::clear(); }
+};
+
+TEST_F(DeployTest, SingleQueryFailureIsStructuredNotThrown) {
+  FailpointGuard guard;
+  util::Rng initRng(11);
+  auto policy = makePolicy(PolicyKind::GcnFc, env_, initRng);
+  util::Rng rng(3);
+  const std::uint64_t before = obs::counter("deploy.query_failures").value();
+  util::failpoint::configure("deploy.query=throw@once");
+  auto r = runDeployment(env_, *policy, target_, rng);
+  EXPECT_TRUE(r.failed);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.error.find("injected"), std::string::npos) << r.error;
+  EXPECT_EQ(obs::counter("deploy.query_failures").value(), before + 1);
+
+  // The failpoint has burnt its one shot: the next query works normally.
+  auto ok = runDeployment(env_, *policy, target_, rng);
+  EXPECT_FALSE(ok.failed);
+}
+
+TEST_F(DeployTest, BatchIsolatesAFailedQueryFromItsWaveMates) {
+  FailpointGuard guard;
+  util::Rng initRng(12);
+  auto policy = makePolicy(PolicyKind::GcnFc, env_, initRng);
+  const std::vector<std::vector<double>> targets{
+      {350.0, 1.8e7, 55.0, 4e-3},
+      {420.0, 2.2e7, 57.0, 6e-3},
+      {380.0, 1.2e7, 56.0, 3e-3},
+  };
+  util::ThreadPool pool(2);
+  auto factory = [](std::size_t) {
+    rl::EnvLane lane;
+    auto amp = std::make_shared<circuit::TwoStageOpAmp>();
+    lane.env = std::make_unique<envs::SizingEnv>(
+        *amp, envs::SizingEnvConfig{.maxSteps = 12});
+    lane.keepAlive = amp;
+    return lane;
+  };
+  rl::VecEnv vec(2, factory, 21, &pool);
+
+  // The first query of the batch dies at initialization; the batch neither
+  // throws nor loses the other queries' results.
+  util::failpoint::configure("deploy.query=throw@1");
+  auto results = runDeploymentBatch(vec, *policy, targets);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].failed);
+  EXPECT_NE(results[0].error.find("injected"), std::string::npos);
+  EXPECT_FALSE(results[0].success);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_FALSE(results[i].failed) << results[i].error;
+    EXPECT_GE(results[i].steps, 1);
+  }
+}
+
+TEST_F(DeployTest, InjectedSimulatorFaultMidBatchRetiresOnlyThatLane) {
+  FailpointGuard guard;
+  util::Rng initRng(13);
+  auto policy = makePolicy(PolicyKind::GcnFc, env_, initRng);
+  const std::vector<std::vector<double>> targets{
+      {350.0, 1.8e7, 55.0, 4e-3},
+      {420.0, 2.2e7, 57.0, 6e-3},
+  };
+  util::ThreadPool pool(2);
+  auto factory = [](std::size_t) {
+    rl::EnvLane lane;
+    auto amp = std::make_shared<circuit::TwoStageOpAmp>();
+    lane.env = std::make_unique<envs::SizingEnv>(
+        *amp, envs::SizingEnvConfig{.maxSteps = 12});
+    lane.keepAlive = amp;
+    return lane;
+  };
+  rl::VecEnv vec(2, factory, 22, &pool);
+
+  // A hard simulator error somewhere inside one lane's episode (the 20th
+  // Newton attempt, wherever stepping lands it — this batch makes ~35 total)
+  // must surface as exactly one structured per-query failure, never poison
+  // the whole batch.
+  util::failpoint::configure("spice.dc.newton=throw@20");
+  auto results = runDeploymentBatch(vec, *policy, targets);
+  ASSERT_EQ(results.size(), 2u);
+  int failed = 0;
+  for (const auto& r : results) {
+    if (r.failed) {
+      ++failed;
+      EXPECT_NE(r.error.find("injected"), std::string::npos) << r.error;
+    }
+  }
+  EXPECT_EQ(failed, 1);
 }
 
 /// Every policy kind must round-trip its parameters bit-exactly through the

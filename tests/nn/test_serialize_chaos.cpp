@@ -1,0 +1,199 @@
+// Atomic-save contract under injected I/O faults (failpoint sites inside
+// nn::atomicWriteFile): whatever stage fails — the temp write, the fsync,
+// the rename, or the writer dying mid-write — the target path holds either
+// the previous complete artifact or the new one, never a torn hybrid, and a
+// reader never sees LoadResult::Invalid because of a crashed writer.
+
+#include "nn/serialize.h"
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace crl::nn {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SerializeChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test case: ctest -j runs the cases as parallel processes,
+    // and a shared directory would let one test's SetUp wipe another's files.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("crl_serialize_chaos_") + info->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::failpoint::clear();
+    fs::remove_all(dir_);
+  }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  /// Temp droppings next to `target` (same directory, ".tmp." infix).
+  std::vector<fs::path> tempFiles() const {
+    std::vector<fs::path> out;
+    for (const auto& e : fs::directory_iterator(dir_))
+      if (e.path().filename().string().find(".tmp.") != std::string::npos)
+        out.push_back(e.path());
+    return out;
+  }
+
+  fs::path dir_;
+};
+
+std::vector<Tensor> makeParams(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Tensor> params;
+  for (auto [r, c] : {std::pair<std::size_t, std::size_t>{3, 4}, {2, 6}}) {
+    linalg::Mat m(r, c);
+    for (std::size_t i = 0; i < r; ++i)
+      for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-2.0, 2.0);
+    params.emplace_back(m, /*requiresGrad=*/true);
+  }
+  return params;
+}
+
+std::vector<linalg::Mat> makeMats(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<linalg::Mat> mats;
+  for (auto [r, c] : {std::pair<std::size_t, std::size_t>{3, 4}, {2, 6}}) {
+    linalg::Mat m(r, c);
+    for (std::size_t i = 0; i < r; ++i)
+      for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.uniform(-2.0, 2.0);
+    mats.push_back(std::move(m));
+  }
+  return mats;
+}
+
+void expectParamsEqual(const std::vector<Tensor>& a, const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k)
+    for (std::size_t i = 0; i < a[k].value().rows(); ++i)
+      for (std::size_t j = 0; j < a[k].value().cols(); ++j)
+        EXPECT_DOUBLE_EQ(a[k].value()(i, j), b[k].value()(i, j));
+}
+
+TEST_F(SerializeChaosTest, EnospcDuringWriteLeavesPreviousArtifactIntact) {
+  const std::string p = path("params.bin");
+  const auto original = makeParams(1);
+  saveParameters(p, original);
+
+  util::failpoint::configure("io.write=enospc@always");
+  EXPECT_THROW(saveParameters(p, makeParams(2)), std::runtime_error);
+  util::failpoint::clear();
+
+  auto loaded = makeParams(3);
+  std::string err;
+  EXPECT_EQ(loadParametersDetailed(p, loaded, &err), LoadResult::Ok) << err;
+  expectParamsEqual(original, loaded);
+  EXPECT_TRUE(tempFiles().empty());  // the failed writer cleaned up its temp
+}
+
+TEST_F(SerializeChaosTest, ShortWriteOnFreshPathIsMissingNeverInvalid) {
+  const std::string p = path("fresh.bin");
+  util::failpoint::configure("io.write=shortwrite@always");
+  EXPECT_THROW(saveParameters(p, makeParams(1)), std::runtime_error);
+  util::failpoint::clear();
+
+  // The target was never created: a reader sees a clean Missing, not a torn
+  // file it would have to classify as Invalid.
+  auto loaded = makeParams(2);
+  EXPECT_EQ(loadParametersDetailed(p, loaded, nullptr), LoadResult::Missing);
+}
+
+TEST_F(SerializeChaosTest, FailedFsyncNeverPublishesTheNewBytes) {
+  const std::string p = path("params.bin");
+  const auto original = makeParams(4);
+  saveParameters(p, original);
+
+  util::failpoint::configure("io.fsync=fail@always");
+  EXPECT_THROW(saveParameters(p, makeParams(5)), std::runtime_error);
+  util::failpoint::clear();
+
+  // Durability unknown => the write must not become visible at all.
+  auto loaded = makeParams(6);
+  EXPECT_EQ(loadParametersDetailed(p, loaded, nullptr), LoadResult::Ok);
+  expectParamsEqual(original, loaded);
+  EXPECT_TRUE(tempFiles().empty());
+}
+
+TEST_F(SerializeChaosTest, EnospcAtRenameLeavesPreviousTrainState) {
+  const std::string p = path("checkpoint.bin");
+  TrainState original;
+  original.adamStep = 7;
+  original.params = makeMats(7);
+  original.setBlob("tag", "first");
+  saveTrainState(p, original);
+
+  TrainState updated = original;
+  updated.adamStep = 8;
+  updated.setBlob("tag", "second");
+  util::failpoint::configure("io.rename=enospc@always");
+  EXPECT_THROW(saveTrainState(p, updated), std::runtime_error);
+  util::failpoint::clear();
+
+  TrainState loaded;
+  std::string err;
+  ASSERT_EQ(loadTrainState(p, loaded, &err), LoadResult::Ok) << err;
+  EXPECT_EQ(loaded.adamStep, 7);
+  ASSERT_NE(loaded.blob("tag"), nullptr);
+  EXPECT_EQ(*loaded.blob("tag"), "first");
+}
+
+TEST_F(SerializeChaosTest, TornTempFromDeadWriterIsInertForReaders) {
+  const std::string p = path("checkpoint.bin");
+  TrainState original;
+  original.adamStep = 3;
+  original.params = makeMats(8);
+  saveTrainState(p, original);
+
+  // Writer dies mid-write: half the payload is left in a stale temp file.
+  util::failpoint::configure("io.temp=torn@once");
+  EXPECT_THROW(saveTrainState(p, original), std::runtime_error);
+  util::failpoint::clear();
+  ASSERT_EQ(tempFiles().size(), 1u);
+
+  // The torn temp is never read: the published artifact stays Ok...
+  TrainState loaded;
+  ASSERT_EQ(loadTrainState(p, loaded, nullptr), LoadResult::Ok);
+  EXPECT_EQ(loaded.adamStep, 3);
+
+  // ...and the next successful save of the same artifact works around it
+  // (unique temp names: the stale dropping is ignored, not renamed).
+  original.adamStep = 4;
+  saveTrainState(p, original);
+  ASSERT_EQ(loadTrainState(p, loaded, nullptr), LoadResult::Ok);
+  EXPECT_EQ(loaded.adamStep, 4);
+}
+
+TEST_F(SerializeChaosTest, NthTriggerFailsExactlyOneSaveInASequence) {
+  const std::string p = path("seq.bin");
+  util::failpoint::configure("io.rename=enospc@2");
+  TrainState st;
+  st.params = makeMats(9);
+
+  st.adamStep = 1;
+  saveTrainState(p, st);  // hit 1: passes
+  st.adamStep = 2;
+  EXPECT_THROW(saveTrainState(p, st), std::runtime_error);  // hit 2: fires
+  st.adamStep = 3;
+  saveTrainState(p, st);  // hit 3: passes again
+
+  TrainState loaded;
+  ASSERT_EQ(loadTrainState(p, loaded, nullptr), LoadResult::Ok);
+  EXPECT_EQ(loaded.adamStep, 3);
+  EXPECT_EQ(util::failpoint::hitCount("io.rename"), 3u);
+}
+
+}  // namespace
+}  // namespace crl::nn

@@ -1,0 +1,474 @@
+// Fault-injection tests for the hardened campaign runner: bounded per-job
+// retry with bitwise-identical recovery, permanent-error classification,
+// quarantine + failed_jobs manifest, inline checkpoint-write retries, status
+// writes that never kill jobs, the heartbeat watchdog, and the non-finite
+// guard in PpoTrainer::update. Runs on the same cheap synthetic context as
+// test_campaign.cpp so the suite exercises recovery paths, not SPICE.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/policies.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "rl/campaign.h"
+#include "rl/policy.h"
+#include "rl/ppo.h"
+#include "util/failpoint.h"
+
+namespace crl::rl {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kFeatDim = 3;
+constexpr std::size_t kParams = 4;
+constexpr std::size_t kSpecs = 2;
+
+linalg::Mat pathNormAdj() {
+  linalg::Mat a(kNodes, kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    a(i, i) = 1.0;
+    if (i + 1 < kNodes) a(i, i + 1) = a(i + 1, i) = 1.0;
+  }
+  std::vector<double> deg(kNodes, 0.0);
+  for (std::size_t i = 0; i < kNodes; ++i)
+    for (std::size_t j = 0; j < kNodes; ++j) deg[i] += a(i, j);
+  linalg::Mat norm(kNodes, kNodes);
+  for (std::size_t i = 0; i < kNodes; ++i)
+    for (std::size_t j = 0; j < kNodes; ++j)
+      norm(i, j) = a(i, j) / std::sqrt(deg[i] * deg[j]);
+  return norm;
+}
+
+linalg::Mat pathMask() {
+  linalg::Mat mask(kNodes, kNodes, -1e9);
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    mask(i, i) = 0.0;
+    if (i + 1 < kNodes) mask(i, i + 1) = mask(i + 1, i) = 0.0;
+  }
+  return mask;
+}
+
+Observation randomObservation(util::Rng& rng) {
+  Observation o;
+  o.nodeFeatures = linalg::Mat(kNodes, kFeatDim);
+  for (auto& v : o.nodeFeatures.raw()) v = rng.uniform(-1.0, 1.0);
+  for (std::size_t s = 0; s < kSpecs; ++s) {
+    o.specNow.push_back(rng.uniform(-1.0, 1.0));
+    o.specTarget.push_back(rng.uniform(-1.0, 1.0));
+  }
+  for (std::size_t p = 0; p < kParams; ++p)
+    o.paramsNorm.push_back(rng.uniform(0.0, 1.0));
+  return o;
+}
+
+class ToyEnv : public Env {
+ public:
+  /// stepDelay > 0 makes each step sleep that long (watchdog/stall tests).
+  explicit ToyEnv(double stepDelaySeconds = 0.0)
+      : normAdj_(pathNormAdj()), mask_(pathMask()), stepDelay_(stepDelaySeconds) {}
+  Observation reset(util::Rng& rng) override {
+    stepCount_ = 0;
+    return randomObservation(rng);
+  }
+  Observation resetWithTarget(const std::vector<double>&, util::Rng& rng) override {
+    return reset(rng);
+  }
+  StepResult step(const std::vector<int>& actions) override {
+    if (stepDelay_ > 0.0)
+      std::this_thread::sleep_for(std::chrono::duration<double>(stepDelay_));
+    StepResult r;
+    util::Rng rng(static_cast<std::uint64_t>(++stepCount_));
+    r.obs = randomObservation(rng);
+    r.reward = 0.1 * static_cast<double>(actions[0]) - 0.05;
+    r.done = stepCount_ >= maxSteps();
+    return r;
+  }
+  std::size_t numParams() const override { return kParams; }
+  std::size_t numSpecs() const override { return kSpecs; }
+  int maxSteps() const override { return 8; }
+  const linalg::Mat& normalizedAdjacency() const override { return normAdj_; }
+  const linalg::Mat& attentionMask() const override { return mask_; }
+  std::size_t graphNodeCount() const override { return kNodes; }
+  std::size_t graphFeatureDim() const override { return kFeatDim; }
+  const std::vector<double>& rawTarget() const override { return raw_; }
+  const std::vector<double>& rawSpecs() const override { return raw_; }
+  const std::vector<double>& currentParams() const override { return raw_; }
+
+ private:
+  linalg::Mat normAdj_, mask_;
+  double stepDelay_ = 0.0;
+  int stepCount_ = 0;
+  std::vector<double> raw_{0.0};
+};
+
+core::PolicyConfig smallConfig() {
+  core::PolicyConfig cfg;
+  cfg.numParams = kParams;
+  cfg.numSpecs = kSpecs;
+  cfg.graphFeatureDim = kFeatDim;
+  cfg.gnnHidden = 8;
+  cfg.gnnLayers = 2;
+  cfg.gatHeads = 2;
+  cfg.specHidden = 8;
+  cfg.trunkHidden = 16;
+  return cfg;
+}
+
+class ToyContext final : public CampaignContext {
+ public:
+  explicit ToyContext(std::uint64_t initSeed, double stepDelaySeconds = 0.0)
+      : env_(stepDelaySeconds),
+        initRng_(initSeed),
+        policy_(core::PolicyKind::GcnFc, smallConfig(), pathNormAdj(),
+                pathMask(), initRng_) {}
+
+  Env& trainEnv() override { return env_; }
+  ActorCritic& policy() override { return policy_; }
+
+  CampaignEvalReport evaluate(int episodes, util::Rng& rng) override {
+    ++evalCalls_;
+    double acc = 0.0;
+    for (int i = 0; i < episodes; ++i) acc += rng.uniform();
+    CampaignEvalReport rep;
+    rep.accuracy = acc / std::max(1, episodes) + 1e-3 * evalCalls_;
+    rep.meanSteps = 4.0;
+    rep.meanStepsSuccess = 3.0;
+    return rep;
+  }
+
+  std::vector<std::string> solverSnapshots() const override {
+    return {std::to_string(evalCalls_)};
+  }
+  bool restoreSolverSnapshots(const std::vector<std::string>& blobs) override {
+    if (blobs.size() != 1) return false;
+    try {
+      evalCalls_ = std::stoll(blobs[0]);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  ToyEnv env_;
+  util::Rng initRng_;
+  core::MultimodalPolicy policy_;
+  long long evalCalls_ = 0;
+};
+
+CampaignJob toyJob(const std::string& name, std::uint64_t seed,
+                   double stepDelaySeconds = 0.0) {
+  CampaignJob job;
+  job.name = name;
+  job.episodes = 12;
+  job.trainSeed = seed;
+  job.evalSeed = seed + 9001;
+  job.finalEvalSeed = seed + 5555;
+  job.evalEvery = 5;
+  job.evalEpisodes = 3;
+  job.ppo.stepsPerUpdate = 32;
+  job.ppo.minibatchSize = 8;
+  job.ppo.updateEpochs = 2;
+  job.ppo.batchedUpdate = true;
+  job.make = [seed, stepDelaySeconds]() -> std::unique_ptr<CampaignContext> {
+    return std::make_unique<ToyContext>(100 + seed, stepDelaySeconds);
+  };
+  return job;
+}
+
+std::string tempDir(const char* name) {
+  const fs::path dir = fs::temp_directory_path() / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+std::string slurp(const std::string& path) {
+  std::string bytes;
+  EXPECT_TRUE(nn::readFile(path, bytes)) << path;
+  return bytes;
+}
+
+class CampaignChaosTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::failpoint::clear(); }
+};
+
+/// Reference artifacts of an uninterrupted run of `job` (fresh outDir).
+struct ReferenceRun {
+  std::string policy, curve, done, checkpoint;
+};
+
+ReferenceRun referenceRun(const CampaignJob& job, const char* dirName) {
+  const std::string out = tempDir(dirName);
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.writeStatus = false;
+  CampaignRunner runner(cfg);
+  runner.addJob(job);
+  auto results = runner.run();
+  EXPECT_FALSE(results[0].failed) << results[0].error;
+  const std::string dir = out + "/" + job.name;
+  return {slurp(dir + "/policy.bin"), slurp(dir + "/curve.csv"),
+          slurp(dir + "/done"), slurp(dir + "/checkpoint.bin")};
+}
+
+TEST_F(CampaignChaosTest, TransientFailureIsRetriedAndRecoversBitwise) {
+  const ReferenceRun ref = referenceRun(toyJob("job_retry", 3), "crl_chaos_ref");
+
+  const std::string out = tempDir("crl_chaos_retry");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.writeStatus = false;
+  cfg.maxJobRetries = 2;
+  cfg.retryBackoffSeconds = 0.0;
+  // A transient fault right after the first checkpoint lands: attempt 1
+  // dies, attempt 2 resumes from that checkpoint and must be bitwise
+  // identical to never having failed at all.
+  int checkpoints = 0;
+  cfg.onCheckpoint = [&](const std::string&, int) {
+    if (++checkpoints == 1) throw std::runtime_error("injected transient fault");
+  };
+  const std::uint64_t retriesBefore = obs::counter("campaign.job_retries").value();
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_retry", 3));
+  auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].failed) << results[0].error;
+  EXPECT_FALSE(results[0].quarantined);
+  EXPECT_EQ(results[0].attempts, 2);
+  EXPECT_TRUE(results[0].resumed);
+  EXPECT_EQ(obs::counter("campaign.job_retries").value(), retriesBefore + 1);
+
+  const std::string dir = out + "/job_retry";
+  EXPECT_EQ(slurp(dir + "/policy.bin"), ref.policy);
+  EXPECT_EQ(slurp(dir + "/curve.csv"), ref.curve);
+  EXPECT_EQ(slurp(dir + "/done"), ref.done);
+  EXPECT_EQ(slurp(dir + "/checkpoint.bin"), ref.checkpoint);
+}
+
+TEST_F(CampaignChaosTest, CheckpointWriteRetriesTransientIoInline) {
+  const ReferenceRun ref = referenceRun(toyJob("job_io", 4), "crl_chaos_io_ref");
+
+  const std::string out = tempDir("crl_chaos_io");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.writeStatus = false;  // keep the failpoint aimed at checkpoint writes
+  cfg.checkpointRetryBackoffSeconds = 0.0;
+  const std::uint64_t savesBefore = obs::counter("io.save_retries").value();
+  // The second fsync in the job fails once (the ep-10 checkpoint's first
+  // write attempt); the inline retry immediately succeeds.
+  util::failpoint::configure("io.fsync=fail@2");
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_io", 4));
+  auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].failed) << results[0].error;
+  EXPECT_EQ(results[0].attempts, 1);  // handled below the job level
+  EXPECT_GE(obs::counter("io.save_retries").value(), savesBefore + 1);
+
+  const std::string dir = out + "/job_io";
+  EXPECT_EQ(slurp(dir + "/policy.bin"), ref.policy);
+  EXPECT_EQ(slurp(dir + "/curve.csv"), ref.curve);
+  EXPECT_EQ(slurp(dir + "/done"), ref.done);
+}
+
+TEST_F(CampaignChaosTest, PermanentErrorSkipsTheRetryBudget) {
+  const std::string out = tempDir("crl_chaos_permanent");
+  fs::create_directories(out + "/job_perm");
+  nn::atomicWriteFile(out + "/job_perm/checkpoint.bin", "garbage bytes");
+
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.writeStatus = false;
+  cfg.maxJobRetries = 3;
+  cfg.retryBackoffSeconds = 0.0;
+  const std::uint64_t retriesBefore = obs::counter("campaign.job_retries").value();
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_perm", 5));
+  auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].failed);
+  EXPECT_TRUE(results[0].quarantined);
+  EXPECT_EQ(results[0].attempts, 1);  // deterministic failure: no retries
+  EXPECT_NE(results[0].error.find("invalid checkpoint"), std::string::npos)
+      << results[0].error;
+  EXPECT_NE(results[0].error.find("job_perm"), std::string::npos);
+  EXPECT_EQ(obs::counter("campaign.job_retries").value(), retriesBefore);
+}
+
+TEST_F(CampaignChaosTest, ExhaustedBudgetQuarantinesAndCampaignCompletes) {
+  const std::string out = tempDir("crl_chaos_quarantine");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.maxJobRetries = 2;
+  cfg.retryBackoffSeconds = 0.0;
+  cfg.statusEverySeconds = 0.0;
+  // job_sick dies at its first checkpoint on every attempt; job_ok is fine.
+  cfg.onCheckpoint = [](const std::string& name, int) {
+    if (name == "job_sick") throw std::runtime_error("stuck fault");
+  };
+  const std::uint64_t quarantinedBefore = obs::counter("campaign.quarantined").value();
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_sick", 6));
+  runner.addJob(toyJob("job_ok", 7));
+  auto results = runner.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].failed);
+  EXPECT_TRUE(results[0].quarantined);
+  EXPECT_EQ(results[0].attempts, 3);  // 1 + 2 retries
+  EXPECT_NE(results[0].error.find("stuck fault"), std::string::npos);
+  EXPECT_FALSE(results[1].failed) << results[1].error;
+  EXPECT_EQ(obs::counter("campaign.quarantined").value(), quarantinedBefore + 1);
+
+  // The status JSON carries the quarantine verdict and the manifest.
+  const std::string status = slurp(out + "/campaign_status.json");
+  EXPECT_NE(status.find("\"jobs_quarantined\":1"), std::string::npos) << status;
+  EXPECT_NE(status.find("\"state\":\"quarantined\""), std::string::npos);
+  EXPECT_NE(status.find("\"failed_jobs\":[{\"name\":\"job_sick\""), std::string::npos);
+  EXPECT_NE(status.find("\"attempts\":3"), std::string::npos);
+}
+
+TEST_F(CampaignChaosTest, NonFiniteLossIsPermanentAndScopedToTheTargetedJob) {
+  const std::string out = tempDir("crl_chaos_nan");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.maxJobRetries = 2;
+  cfg.retryBackoffSeconds = 0.0;
+  cfg.statusEverySeconds = 0.0;
+  // Scope filter: only the job whose name contains "nan" sees NaN losses.
+  util::failpoint::configure("train.loss=nan@always#nan");
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_nan", 8));
+  runner.addJob(toyJob("job_fine", 9));
+  auto results = runner.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].failed);
+  EXPECT_TRUE(results[0].quarantined);
+  EXPECT_EQ(results[0].attempts, 1);  // NonFiniteError never consumes retries
+  EXPECT_NE(results[0].error.find("job_nan"), std::string::npos) << results[0].error;
+  EXPECT_NE(results[0].error.find("non-finite loss"), std::string::npos);
+  EXPECT_NE(results[0].error.find("minibatch"), std::string::npos);
+  EXPECT_FALSE(results[1].failed) << results[1].error;
+}
+
+TEST_F(CampaignChaosTest, StatusWriteFailuresNeverKillJobs) {
+  const std::string out = tempDir("crl_chaos_status");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 5;
+  cfg.statusEverySeconds = 0.0;
+  // Point the status file somewhere unwritable: every board write fails, and
+  // none of that may leak into job outcomes.
+  cfg.statusFile = out + "/no_such_dir/campaign_status.json";
+  CampaignRunner runner(cfg);
+  runner.addJob(toyJob("job_status", 10));
+  auto results = runner.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].failed) << results[0].error;
+  EXPECT_FALSE(fs::exists(cfg.statusFile));
+}
+
+TEST_F(CampaignChaosTest, WatchdogFlagsAStalledJobAndClearsOnRecovery) {
+  const std::string out = tempDir("crl_chaos_stall");
+  CampaignConfig cfg;
+  cfg.outDir = out;
+  cfg.checkpointEvery = 0;
+  cfg.statusEverySeconds = 0.0;   // every heartbeat write lands
+  cfg.stallAfterSeconds = 0.05;   // heartbeats come per-episode (~0.5s apart)
+  CampaignJob job = toyJob("job_slow", 11, /*stepDelaySeconds=*/0.06);
+  job.episodes = 2;
+  job.evalEpisodes = 1;
+  CampaignRunner runner(cfg);
+  runner.addJob(job);
+
+  std::thread campaign([&]() { runner.run(); });
+  // While the first episode crawls, the watchdog must flag the job stalled
+  // in the status file (heartbeat age > stallAfterSeconds).
+  const std::string statusPath = out + "/campaign_status.json";
+  bool sawStalled = false;
+  for (int i = 0; i < 500 && !sawStalled; ++i) {
+    std::string text;
+    if (nn::readFile(statusPath, text))
+      sawStalled = text.find("\"stalled\":true") != std::string::npos;
+    if (!sawStalled) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  campaign.join();
+  EXPECT_TRUE(sawStalled);
+
+  // Once the campaign is over the flag is gone: stall is a live verdict,
+  // not a permanent mark.
+  const std::string final = slurp(statusPath);
+  EXPECT_EQ(final.find("\"stalled\":true"), std::string::npos) << final;
+  EXPECT_NE(final.find("\"state\":\"done\""), std::string::npos) << final;
+}
+
+// ---- PpoTrainer non-finite guard ------------------------------------------
+
+TEST_F(CampaignChaosTest, NonFiniteLossAbortsTheUpdateWithContext) {
+  ToyEnv env;
+  util::Rng initRng(42);
+  core::MultimodalPolicy policy(core::PolicyKind::GcnFc, smallConfig(),
+                                pathNormAdj(), pathMask(), initRng);
+  PpoConfig cfg;
+  cfg.stepsPerUpdate = 32;
+  cfg.minibatchSize = 8;
+  cfg.updateEpochs = 2;
+  cfg.batchedUpdate = true;
+  PpoTrainer trainer(env, policy, cfg, util::Rng(1));
+
+  util::failpoint::configure("train.loss=nan@once");
+  try {
+    trainer.train(8);
+    FAIL() << "expected NonFiniteError";
+  } catch (const NonFiniteError& e) {
+    EXPECT_EQ(e.quantity, "loss");
+    EXPECT_TRUE(std::isnan(e.value));
+    EXPECT_GE(e.epoch, 0);
+    EXPECT_NE(std::string(e.what()).find("episode"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("minibatch"), std::string::npos);
+  }
+}
+
+TEST_F(CampaignChaosTest, NonFiniteRewardIsCaughtBeforeTheEpochLoop) {
+  ToyEnv env;
+  util::Rng initRng(43);
+  core::MultimodalPolicy policy(core::PolicyKind::GcnFc, smallConfig(),
+                                pathNormAdj(), pathMask(), initRng);
+  PpoConfig cfg;
+  cfg.stepsPerUpdate = 32;
+  cfg.minibatchSize = 8;
+  cfg.updateEpochs = 2;
+  cfg.batchedUpdate = true;
+  PpoTrainer trainer(env, policy, cfg, util::Rng(2));
+
+  // One NaN reward poisons GAE: the stage-1 scan must refuse the buffer
+  // before any gradient math runs.
+  util::failpoint::configure("train.reward=nan@once");
+  try {
+    trainer.train(8);
+    FAIL() << "expected NonFiniteError";
+  } catch (const NonFiniteError& e) {
+    EXPECT_TRUE(e.quantity == "advantage" || e.quantity == "return")
+        << e.quantity;
+    EXPECT_EQ(e.epoch, -1);  // before the epoch loop
+  }
+}
+
+}  // namespace
+}  // namespace crl::rl

@@ -5,6 +5,7 @@
 #include "spice/elements.h"
 #include "spice/mosfet.h"
 #include "spice/netlist.h"
+#include "util/failpoint.h"
 
 namespace crl::spice {
 namespace {
@@ -171,6 +172,47 @@ TEST(DcHomotopy, ColdStartHighGainCircuitConverges) {
   double vout = dc.voltage(r, out);
   EXPECT_GT(vout, 0.0);
   EXPECT_LT(vout, 1.2);
+}
+
+// ---- injected non-convergence (failpoint spice.dc.newton) -----------------
+
+TEST(DcChaos, InjectedDivergenceIsRescuedByTheHomotopyLadder) {
+  Netlist net;
+  NodeId a = net.node("a");
+  net.add<VSource>("V1", a, kGround, 3.0);
+  net.add<Resistor>("R1", a, kGround, 1e3);
+  DcAnalysis dc(net);
+
+  // Kill the direct-Newton stage only: gmin stepping must rescue the solve
+  // exactly as it would for a genuinely hostile circuit.
+  util::failpoint::configure("spice.dc.newton=diverge@1");
+  DcResult r = dc.solve();
+  util::failpoint::clear();
+  ASSERT_TRUE(r.converged);
+  EXPECT_STRNE(r.strategy, "newton");
+  EXPECT_NEAR(dc.voltage(r, a), 3.0, 1e-9);
+}
+
+TEST(DcChaos, PersistentDivergenceFailsCleanlyNotFatally) {
+  Netlist net;
+  NodeId a = net.node("a");
+  net.add<VSource>("V1", a, kGround, 3.0);
+  net.add<Resistor>("R1", a, kGround, 1e3);
+  DcAnalysis dc(net);
+
+  // Every Newton attempt diverges: the whole ladder runs dry and the result
+  // reports non-convergence instead of throwing or looping forever.
+  util::failpoint::configure("spice.dc.newton=diverge@always");
+  DcResult r = dc.solve();
+  const std::uint64_t attempts = util::failpoint::hitCount("spice.dc.newton");
+  util::failpoint::clear();
+  EXPECT_FALSE(r.converged);
+  EXPECT_GE(attempts, 3u);  // direct + gmin ladder + source ladder all tried
+
+  // And the analysis object is not poisoned: the next solve succeeds.
+  DcResult ok = dc.solve();
+  ASSERT_TRUE(ok.converged);
+  EXPECT_NEAR(dc.voltage(ok, a), 3.0, 1e-9);
 }
 
 TEST(DcOptions, WarmStartReusesSolution) {

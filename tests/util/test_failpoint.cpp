@@ -1,0 +1,156 @@
+// util::failpoint contract tests: spec grammar, trigger determinism, scope
+// filters, and the disarmed fast path.
+
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace crl::util::failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { clear(); }
+};
+
+TEST_F(FailpointTest, DisarmedCheckReturnsNothing) {
+  clear();
+  EXPECT_FALSE(anyArmed());
+  EXPECT_FALSE(check("io.rename").has_value());
+  EXPECT_EQ(hitCount("io.rename"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysTriggerFiresEveryHit) {
+  configure("io.rename=enospc");
+  EXPECT_TRUE(anyArmed());
+  for (int i = 0; i < 5; ++i) {
+    auto h = check("io.rename");
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->action, "enospc");
+    EXPECT_FALSE(h->hasValue);
+  }
+  EXPECT_EQ(hitCount("io.rename"), 5u);
+  EXPECT_FALSE(check("io.fsync").has_value());  // other sites stay disarmed
+}
+
+TEST_F(FailpointTest, NthTriggerFiresExactlyOnTheNthHit) {
+  configure("io.rename=enospc@3");
+  EXPECT_FALSE(check("io.rename").has_value());
+  EXPECT_FALSE(check("io.rename").has_value());
+  EXPECT_TRUE(check("io.rename").has_value());   // hit 3
+  EXPECT_FALSE(check("io.rename").has_value());  // hit 4: armed but spent
+  EXPECT_EQ(hitCount("io.rename"), 4u);
+}
+
+TEST_F(FailpointTest, OnceIsTheFirstHitOnly) {
+  configure("pool.task=throw@once");
+  EXPECT_TRUE(check("pool.task").has_value());
+  EXPECT_FALSE(check("pool.task").has_value());
+}
+
+TEST_F(FailpointTest, NumericPayloadRidesAlong) {
+  configure("spice.dc.newton=sleep:50@always");
+  auto h = check("spice.dc.newton");
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->action, "sleep");
+  EXPECT_TRUE(h->hasValue);
+  EXPECT_DOUBLE_EQ(h->value, 50.0);
+}
+
+TEST_F(FailpointTest, ProbabilityScheduleIsSeededAndReproducible) {
+  const auto run = [](const char* spec) {
+    configure(spec);
+    std::vector<int> fires;
+    for (int i = 0; i < 200; ++i)
+      if (check("spice.dc.newton").has_value()) fires.push_back(i);
+    return fires;
+  };
+  const auto a = run("spice.dc.newton=diverge@0.1:seed7");
+  const auto b = run("spice.dc.newton=diverge@0.1:seed7");
+  EXPECT_EQ(a, b);  // same seed, same schedule
+  EXPECT_FALSE(a.empty());
+  EXPECT_LT(a.size(), 60u);  // p=0.1 over 200 hits: nowhere near always
+  const auto c = run("spice.dc.newton=diverge@0.1:seed8");
+  EXPECT_NE(a, c);  // different seed, different schedule
+}
+
+TEST_F(FailpointTest, ScopeFilterMatchesThreadContextSubstring) {
+  configure("train.loss=nan@always#ota");
+  EXPECT_FALSE(check("train.loss").has_value());  // untagged thread
+  {
+    ScopedContext job("ota_GCN-FC_nominal_s0");
+    EXPECT_TRUE(check("train.loss").has_value());
+  }
+  {
+    ScopedContext job("opamp_GCN-FC_nominal_s0");
+    EXPECT_FALSE(check("train.loss").has_value());
+  }
+  EXPECT_FALSE(check("train.loss").has_value());  // tag popped
+}
+
+TEST_F(FailpointTest, ScopeIsPerThread) {
+  configure("train.loss=nan#ota");
+  ScopedContext job("ota_job");
+  ASSERT_TRUE(check("train.loss").has_value());
+  bool firedOnOtherThread = true;
+  std::thread t([&]() { firedOnOtherThread = check("train.loss").has_value(); });
+  t.join();
+  EXPECT_FALSE(firedOnOtherThread);
+}
+
+TEST_F(FailpointTest, ScopedHitsOnlyCountEligibleHits) {
+  configure("io.rename=enospc@2#jobA");
+  {
+    ScopedContext other("jobB");
+    EXPECT_FALSE(check("io.rename").has_value());  // not eligible, not counted
+  }
+  ScopedContext mine("jobA");
+  EXPECT_FALSE(check("io.rename").has_value());  // eligible hit 1
+  EXPECT_TRUE(check("io.rename").has_value());   // eligible hit 2 fires
+  EXPECT_EQ(hitCount("io.rename"), 2u);
+}
+
+TEST_F(FailpointTest, MultipleEntriesAndSitesCoexist) {
+  configure("io.rename=enospc@2;io.fsync=fail@once;train.loss=nan#x");
+  EXPECT_FALSE(check("io.rename").has_value());
+  EXPECT_TRUE(check("io.fsync").has_value());
+  EXPECT_TRUE(check("io.rename").has_value());
+  EXPECT_FALSE(check("train.loss").has_value());  // scope filter
+}
+
+TEST_F(FailpointTest, ReconfigureReplacesAndClearDisarms) {
+  configure("a=throw");
+  ASSERT_TRUE(check("a").has_value());
+  configure("b=throw");
+  EXPECT_FALSE(check("a").has_value());
+  EXPECT_TRUE(check("b").has_value());
+  clear();
+  EXPECT_FALSE(anyArmed());
+  EXPECT_FALSE(check("b").has_value());
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrowAndLeavePreviousConfigArmed) {
+  configure("a=throw@2");
+  for (const char* bad :
+       {"nosite", "=act", "a=", "a=x@", "a=x@0", "a=x@1.5", "a=x@0.5:seedq",
+        "a=x:@1", "a=x#", "a=x:notanumber"}) {
+    EXPECT_THROW(configure(bad), std::invalid_argument) << bad;
+  }
+  // The good config from before the bad ones is still armed.
+  EXPECT_FALSE(check("a").has_value());
+  EXPECT_TRUE(check("a").has_value());
+}
+
+TEST_F(FailpointTest, BlankSegmentsAreTolerated) {
+  configure("a=throw;;  ;b=throw@once;");
+  EXPECT_TRUE(check("a").has_value());
+  EXPECT_TRUE(check("b").has_value());
+}
+
+}  // namespace
+}  // namespace crl::util::failpoint
